@@ -1,0 +1,281 @@
+//! Criterion benches: the per-operation costs behind each experiment in
+//! DESIGN.md §5 (one group per table/figure; the `report` binary produces
+//! the full tables).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use gloss_event::{Architecture, Event, Filter, Op, PubSubConfig, PubSubNetwork};
+use gloss_knowledge::{Fact, InMemoryFacts, LexicalMatcher, Ontology, ServiceDescription, Term, TextMatcher};
+use gloss_matchlet::MatchletEngine;
+use gloss_overlay::{Key, OverlayNetwork};
+use gloss_sim::{NodeIndex, SimDuration, SimTime};
+use gloss_store::{Document, ErasureCode, StoreConfig, StoreNetwork};
+use gloss_xml::{parse, FieldType, ProjSpec, Schema};
+
+/// E1: the matchlet engine's per-event cost (the inner loop of the global
+/// matching service).
+fn e1_matching(c: &mut Criterion) {
+    let mut kb = InMemoryFacts::new();
+    for i in 0..100 {
+        kb.add(Fact::new(format!("user{i}"), "likes", Term::str("ice cream")));
+        kb.add(Fact::new(format!("user{i}"), "nationality", Term::str("scottish")));
+    }
+    let mut engine = MatchletEngine::compile(
+        r#"
+        rule hot {
+            on w: event weather.reading(celsius: ?c)
+            where ?c >= 18.0
+            within 1 m
+            emit alert(celsius: ?c)
+        }
+        "#,
+    )
+    .unwrap();
+    let ev = Event::new("weather.reading").with_attr("celsius", 20.0);
+    let mut t = 0u64;
+    c.bench_function("e1_matchlet_on_event", |b| {
+        b.iter(|| {
+            t += 1;
+            engine.on_event(SimTime::from_micros(t), &ev, &kb)
+        })
+    });
+}
+
+/// E2: pushing one event through an assembled pipeline graph.
+fn e2_pipeline_push(c: &mut Criterion) {
+    use gloss_pipeline::standard::{Counter, KindFilter, MovementThreshold};
+    use gloss_pipeline::PipelineGraph;
+    let mut g = PipelineGraph::new();
+    let a = g.add(Box::new(KindFilter::new("f", Filter::for_kind("user.location"))));
+    let b2 = g.add(Box::new(MovementThreshold::new("m", 0.0)));
+    let d = g.add(Box::new(Counter::new("c")));
+    g.connect(a, b2);
+    g.connect(b2, d);
+    g.mark_entry(a);
+    let ev = Event::new("user.location")
+        .with_attr("user", "bob")
+        .with_attr("lat", 56.34)
+        .with_attr("lon", -2.8);
+    c.bench_function("e2_pipeline_push_3_components", |b| {
+        b.iter(|| g.push(SimTime::ZERO, ev.clone()))
+    });
+}
+
+/// E3: sealing and verifying a code bundle (the deployment hot path).
+fn e3_bundle_roundtrip(c: &mut Criterion) {
+    use gloss_bundle::{AuthKey, Bundle};
+    let key = AuthKey::new("ops", b"secret");
+    let bundle = Bundle::matchlet(
+        "bench",
+        r#"rule r { on a: event k(x: ?x) where ?x > 1 emit o(x: ?x) }"#,
+    )
+    .issued_by("ops");
+    c.bench_function("e3_bundle_seal", |b| b.iter(|| bundle.to_packet(&key)));
+    let packet = bundle.to_packet(&key);
+    c.bench_function("e3_bundle_verify", |b| {
+        b.iter(|| Bundle::from_packet(&packet, &key).unwrap())
+    });
+}
+
+/// C1: filter matching and covering (the broker's per-message work).
+fn c1_filter_ops(c: &mut Criterion) {
+    let filter = Filter::for_kind("user.location")
+        .with_constraint("lat", Op::Gt, 56.0)
+        .with_eq("user", "bob");
+    let ev = Event::new("user.location").with_attr("user", "bob").with_attr("lat", 56.34);
+    c.bench_function("c1_filter_match", |b| b.iter(|| filter.matches(&ev)));
+    let broad = Filter::for_kind("user.location").with_constraint("lat", Op::Gt, 50.0);
+    c.bench_function("c1_filter_covers", |b| b.iter(|| broad.covers(&filter)));
+}
+
+/// C1 (system): one publish through a settled acyclic-peer network.
+fn c1_publish_through_network(c: &mut Criterion) {
+    let mut net = PubSubNetwork::build(PubSubConfig {
+        architecture: Architecture::AcyclicPeer,
+        brokers: 4,
+        clients_per_broker: 2,
+        seed: 7,
+        ..PubSubConfig::default()
+    });
+    let clients = net.clients().to_vec();
+    for &cl in &clients {
+        net.subscribe(cl, Filter::for_kind("k"));
+    }
+    net.run_for(SimDuration::from_secs(5));
+    c.bench_function("c1_publish_and_settle", |b| {
+        b.iter(|| {
+            net.publish(clients[0], Event::new("k"));
+            net.run_for(SimDuration::from_secs(2));
+        })
+    });
+}
+
+/// C2: one route through a settled 64-node overlay.
+fn c2_overlay_route(c: &mut Criterion) {
+    let mut net = OverlayNetwork::build(64, 5);
+    net.run_for(SimDuration::from_secs(120));
+    let mut i = 0u64;
+    c.bench_function("c2_route_and_settle", |b| {
+        b.iter(|| {
+            i += 1;
+            let from = net.random_node();
+            net.route_from(from, Key::hash_of(format!("bench-{i}").as_bytes()));
+            net.run_for(SimDuration::from_secs(2));
+        })
+    });
+}
+
+/// C3: cache insert/get at the storage layer.
+fn c3_cache_ops(c: &mut Criterion) {
+    use gloss_store::LruCache;
+    let docs: Vec<Document> =
+        (0..64).map(|i| Document::new(format!("d{i}"), vec![0u8; 512])).collect();
+    c.bench_function("c3_cache_insert_get", |b| {
+        b.iter_batched(
+            || LruCache::new(16 * 1024),
+            |mut cache| {
+                for d in &docs {
+                    cache.insert(d.clone());
+                }
+                for d in &docs {
+                    let _ = cache.get(d.guid);
+                }
+                cache
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+/// C4/C5: the placement solver on a mid-sized violation.
+fn c4_solver(c: &mut Criterion) {
+    use gloss_deploy::{solver::plan_repairs, Constraint, Deployment, NodeResources};
+    use std::collections::BTreeMap;
+    let resources: BTreeMap<NodeIndex, NodeResources> = (0..50u32)
+        .map(|i| {
+            (
+                NodeIndex(i),
+                NodeResources {
+                    node: NodeIndex(i),
+                    region: ["scotland", "england", "europe"][i as usize % 3].into(),
+                    geo: gloss_sim::GeoPoint::new(50.0 + i as f64 / 10.0, 0.0),
+                    cpu: 1.0,
+                    storage: 0,
+                },
+            )
+        })
+        .collect();
+    let constraints = vec![
+        Constraint::count("matcher", Some("scotland"), 8),
+        Constraint::count("replicator", None, 12),
+        Constraint::Capacity { max: 2 },
+    ];
+    let deployment = Deployment::new();
+    c.bench_function("c4_plan_repairs_50_nodes", |b| {
+        b.iter(|| plan_repairs(&constraints, &deployment, &resources))
+    });
+}
+
+/// C6: the three binding strategies on one document.
+fn c6_binding(c: &mut Criterion) {
+    let doc = parse(
+        r#"<event seq="9"><user id="bob"/><pos lat="56.34" lon="-2.80"/><extra><x/></extra></event>"#,
+    )
+    .unwrap();
+    let spec = ProjSpec::new("loc")
+        .field("user", "user/@id", FieldType::Str)
+        .field("lat", "pos/@lat", FieldType::Float);
+    c.bench_function("c6_project", |b| b.iter(|| spec.project(&doc).unwrap()));
+    let plain = parse(r#"<event seq="9"><user id="bob"/><pos lat="56.34" lon="-2.80"/></event>"#)
+        .unwrap();
+    let schema = Schema::infer(&[&plain]).unwrap();
+    c.bench_function("c6_schema_bind", |b| b.iter(|| schema.bind(&plain).unwrap()));
+    c.bench_function("c6_xml_parse", |b| {
+        b.iter(|| parse(r#"<event seq="9"><user id="bob"/><pos lat="56.34" lon="-2.80"/></event>"#).unwrap())
+    });
+}
+
+/// C7: the multi-pattern join (two buffered streams + facts).
+fn c7_join(c: &mut Criterion) {
+    let mut kb = InMemoryFacts::new();
+    kb.add(Fact::new("bob", "likes", Term::str("ice cream")));
+    kb.add(Fact::new("bob", "nationality", Term::str("scottish")));
+    let mut engine = MatchletEngine::compile(
+        r#"
+        rule pairup {
+            on w: event weather.reading(celsius: ?t)
+            on l: event user.location(user: ?u)
+            where fact(?u, likes, "ice cream") and fact(?u, nationality, ?nat)
+            where ?t >= hot_threshold(?nat)
+            within 5 m
+            emit suggestion(user: ?u)
+        }
+        "#,
+    )
+    .unwrap();
+    let weather = Event::new("weather.reading").with_attr("celsius", 20.0);
+    let loc = Event::new("user.location").with_attr("user", "bob");
+    let mut t = 0u64;
+    c.bench_function("c7_two_pattern_join", |b| {
+        b.iter(|| {
+            t += 2;
+            engine.on_event(SimTime::from_millis(t), &weather, &kb);
+            engine.on_event(SimTime::from_millis(t + 1), &loc, &kb)
+        })
+    });
+}
+
+/// C8: store lookup issue + conclusion (the discovery fetch path).
+fn c8_store_lookup(c: &mut Criterion) {
+    let mut net = StoreNetwork::build(12, StoreConfig::default(), 9);
+    net.settle();
+    let doc = Document::new("handler-code", vec![7u8; 256]);
+    net.insert(NodeIndex(0), doc.clone());
+    net.run_for(SimDuration::from_secs(30));
+    let mut reader = 1u32;
+    c.bench_function("c8_lookup_and_settle", |b| {
+        b.iter(|| {
+            reader = (reader + 1) % 12;
+            let id = net.lookup(NodeIndex(reader), doc.guid);
+            net.run_for(SimDuration::from_secs(2));
+            id
+        })
+    });
+}
+
+/// C9: ontology-expanded retrieval over a small corpus.
+fn c9_retrieval(c: &mut Criterion) {
+    let corpus: Vec<ServiceDescription> = (0..50)
+        .map(|i| {
+            ServiceDescription::new(format!("s{i}"), format!("service number {i} selling gelato"))
+                .with_facet("offers", if i % 2 == 0 { "gelato" } else { "espresso" })
+        })
+        .collect();
+    let lexical = LexicalMatcher::new(Ontology::food_and_context());
+    c.bench_function("c9_lexical_retrieve", |b| {
+        b.iter(|| lexical.retrieve("offers", "ice cream", &corpus))
+    });
+    c.bench_function("c9_text_retrieve", |b| {
+        b.iter(|| TextMatcher.retrieve("ice cream", &corpus))
+    });
+}
+
+/// C10: erasure encode/decode of a 16 KiB object.
+fn c10_erasure(c: &mut Criterion) {
+    let code = ErasureCode::new(4, 8).unwrap();
+    let data: Vec<u8> = (0..16 * 1024).map(|i| (i % 251) as u8).collect();
+    c.bench_function("c10_encode_16k_4of8", |b| b.iter(|| code.encode(&data)));
+    let shards = code.encode(&data);
+    let kept: Vec<(usize, Vec<u8>)> = (4..8).map(|i| (i, shards[i].clone())).collect();
+    c.bench_function("c10_decode_16k_4of8", |b| {
+        b.iter(|| code.decode(&kept, data.len()).unwrap())
+    });
+}
+
+criterion_group! {
+    name = experiments;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = e1_matching, e2_pipeline_push, e3_bundle_roundtrip, c1_filter_ops,
+              c1_publish_through_network, c2_overlay_route, c3_cache_ops, c4_solver,
+              c6_binding, c7_join, c8_store_lookup, c9_retrieval, c10_erasure
+}
+criterion_main!(experiments);

@@ -1,0 +1,25 @@
+//! Regenerates every experiment table in EXPERIMENTS.md.
+//!
+//! Usage:
+//!   cargo run -p gloss-bench --bin report            # all experiments
+//!   cargo run -p gloss-bench --bin report c2 c10     # a subset
+
+use gloss_bench::{run_experiment, ALL_EXPERIMENTS};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let ids: Vec<&str> = if args.is_empty() {
+        ALL_EXPERIMENTS.to_vec()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    for id in ids {
+        match run_experiment(id) {
+            Some((title, body)) => {
+                println!("## {title}\n");
+                println!("{body}");
+            }
+            None => eprintln!("unknown experiment `{id}` (known: {ALL_EXPERIMENTS:?})"),
+        }
+    }
+}

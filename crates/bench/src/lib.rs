@@ -1,0 +1,729 @@
+//! Experiment harness: one function per experiment in DESIGN.md §5.
+//!
+//! `cargo run -p gloss-bench --bin report` regenerates every table in
+//! EXPERIMENTS.md; the Criterion benches under `benches/` measure the
+//! per-operation costs behind each experiment.
+
+use gloss_core::{
+    ActiveArchitecture, ArchConfig, IceCreamScenario, PopulationWorkload,
+};
+use gloss_deploy::{Constraint, DeploymentPlane};
+use gloss_event::{Architecture, Event, Filter, PubSubConfig, PubSubNetwork};
+use gloss_knowledge::{
+    LexicalMatcher, Ontology, RetrievalScores, ServiceDescription, SpecMatcher, TextMatcher,
+};
+use gloss_overlay::{FreenetNetwork, Key, OverlayNetwork};
+use gloss_pipeline::{standard::Counter, DistributedPipeline, PipelineGraph};
+use gloss_sim::{NodeIndex, SimDuration, SimRng, Zipf};
+use gloss_store::{Document, ErasureCode, StoreConfig, StoreNetwork};
+use gloss_xml::{Element, FieldType, ProjSpec, Schema};
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+/// Renders an aligned table.
+pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            let _ = write!(line, "| {:<w$} ", c, w = widths[i]);
+        }
+        line.push('|');
+        line
+    };
+    let header_cells: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    let mut sep = String::new();
+    for w in &widths {
+        let _ = write!(sep, "|{:-<w$}", "", w = w + 2);
+    }
+    sep.push('|');
+    out.push_str(&sep);
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+fn f(v: f64) -> String {
+    if v.abs() >= 100.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+/// E1 (Figure 1): the global matching service distils a high event volume
+/// into few meaningful events.
+pub fn e1_matching_service() -> String {
+    let mut rows = Vec::new();
+    for users in [10usize, 20, 40] {
+        let mut scenario = IceCreamScenario::setup(100 + users as u64);
+        let workload = PopulationWorkload {
+            users,
+            duration: SimDuration::from_secs(300),
+            ..Default::default()
+        };
+        workload.seed_population_knowledge(&mut scenario.arch, 1);
+        scenario.arch.run_for(SimDuration::from_secs(30));
+        let scheduled = workload.inject(&mut scenario.arch, 2);
+        scenario.play_events();
+        scenario.arch.run_for(SimDuration::from_secs(400));
+        let sensed = scenario.arch.total_sensed();
+        let meaningful = scenario.arch.total_synthesized();
+        let suggestions = scenario.suggestions().len();
+        rows.push(vec![
+            users.to_string(),
+            scheduled.to_string(),
+            sensed.to_string(),
+            meaningful.to_string(),
+            f(sensed as f64 / meaningful.max(1) as f64),
+            suggestions.to_string(),
+        ]);
+    }
+    table(
+        &["users", "scheduled", "events in", "events out", "distillation", "bob+anna suggestions"],
+        &rows,
+    )
+}
+
+/// E2 (Figure 2): distributed XML pipelines — intra- vs inter-node flow.
+pub fn e2_pipelines() -> String {
+    let mut rows = Vec::new();
+    for (components, nodes) in [(4usize, 1usize), (4, 2), (8, 1), (8, 2), (8, 4)] {
+        // Split the chain across `nodes` hosts.
+        let per_node = components / nodes;
+        let mut graphs = Vec::new();
+        for n in 0..nodes {
+            let mut g = PipelineGraph::new();
+            let mut prev = None;
+            for c in 0..per_node {
+                let idx = g.add(Box::new(Counter::new(format!("c{n}-{c}"))));
+                if let Some(p) = prev {
+                    g.connect(p, idx);
+                }
+                prev = Some(idx);
+            }
+            g.mark_entry(g.index_of(&format!("c{n}-0")).expect("added above"));
+            graphs.push(g);
+        }
+        let mut dp = DistributedPipeline::build(graphs, 11);
+        for n in 0..nodes.saturating_sub(1) {
+            dp.link(NodeIndex(n as u32), NodeIndex(n as u32 + 1));
+        }
+        for i in 0..200i64 {
+            dp.put(NodeIndex(0), Event::new("e").with_attr("n", i));
+        }
+        dp.run_for(SimDuration::from_secs(30));
+        let s = dp.world().metrics().summary("pipeline.end_to_end_ms");
+        rows.push(vec![
+            components.to_string(),
+            nodes.to_string(),
+            s.count.to_string(),
+            f(s.mean),
+            f(s.p99),
+        ]);
+    }
+    table(&["components", "nodes", "events", "mean ms", "p99 ms"], &rows)
+}
+
+/// E3 (Figure 3): bundle deployment onto thin servers.
+pub fn e3_deployment() -> String {
+    let mut rows = Vec::new();
+    for instances in [2usize, 4, 8] {
+        let constraints = vec![Constraint::count("matcher", None, instances)];
+        let mut plane = DeploymentPlane::build(10, constraints, 21);
+        plane.run_for(SimDuration::from_secs(120));
+        let sat = plane.evolution().satisfaction();
+        let bundles = plane.world().metrics().counter("deploy.bundles_sent");
+        let installs = plane.world().metrics().counter("deploy.installs");
+        // Time of the initial rollout = last repair episode end.
+        let rollout = plane
+            .evolution()
+            .repair_episodes
+            .first()
+            .map(|(a, b)| b.since(*a).as_secs_f64())
+            .unwrap_or(0.0);
+        rows.push(vec![
+            instances.to_string(),
+            f(sat * 100.0),
+            bundles.to_string(),
+            installs.to_string(),
+            f(rollout),
+        ]);
+    }
+    table(
+        &["instances", "satisfied %", "bundles sent", "installs", "rollout s"],
+        &rows,
+    )
+}
+
+/// C1: centralized vs hierarchical vs acyclic-peer event routing load.
+pub fn c1_event_routing() -> String {
+    let mut rows = Vec::new();
+    for brokers in [2usize, 4, 8] {
+        let mut cells = vec![brokers.to_string(), (brokers * 4).to_string()];
+        for arch in
+            [Architecture::Centralized, Architecture::Hierarchical, Architecture::AcyclicPeer]
+        {
+            let mut net = PubSubNetwork::build(PubSubConfig {
+                architecture: arch,
+                brokers,
+                clients_per_broker: 4,
+                seed: 31,
+                ..PubSubConfig::default()
+            });
+            let clients = net.clients().to_vec();
+            for &c in &clients {
+                net.subscribe(c, Filter::for_kind("k").with_eq("shard", (c.0 % 4) as i64));
+            }
+            net.run_for(SimDuration::from_secs(5));
+            for round in 0..5 {
+                for &c in &clients {
+                    net.publish(
+                        c,
+                        Event::new("k").with_attr("shard", ((c.0 + round) % 4) as i64),
+                    );
+                }
+                net.run_for(SimDuration::from_secs(5));
+            }
+            cells.push(net.max_broker_load().to_string());
+        }
+        rows.push(cells);
+    }
+    table(
+        &["brokers", "clients", "central max load", "hier max load", "peer max load"],
+        &rows,
+    )
+}
+
+/// C2: deterministic Plaxton routing vs a Freenet-like walk.
+pub fn c2_overlay_routing() -> String {
+    let mut rows = Vec::new();
+    for n in [16usize, 64, 256] {
+        let mut net = OverlayNetwork::build(n, 41);
+        net.run_for(SimDuration::from_millis(200) * n as u64 + SimDuration::from_secs(60));
+        let mut ids = Vec::new();
+        for i in 0..60 {
+            let from = net.random_node();
+            let target = Key::hash_of(format!("c2-{i}").as_bytes());
+            ids.push((net.route_from(from, target), target));
+        }
+        net.run_for(SimDuration::from_secs(30));
+        let outcomes = net.outcomes();
+        let delivered = ids.iter().filter(|(id, _)| outcomes.contains_key(id)).count();
+        let correct = ids
+            .iter()
+            .filter(|(id, t)| {
+                outcomes.get(id).is_some_and(|o| o.delivered_at == net.closest_alive(*t))
+            })
+            .count();
+        let mean_hops = outcomes.values().map(|o| o.hops as f64).sum::<f64>()
+            / outcomes.len().max(1) as f64;
+
+        // Freenet-like baseline with the same population.
+        let mut fnet = FreenetNetwork::build(n, 5, 24, 41);
+        let mut batch = Vec::new();
+        for i in 0..60 {
+            let key = Key::hash_of(format!("c2-{i}").as_bytes());
+            fnet.store(key);
+            batch.push(fnet.lookup(key));
+        }
+        fnet.run_for(SimDuration::from_secs(240));
+        rows.push(vec![
+            n.to_string(),
+            format!("{delivered}/60"),
+            format!("{correct}/60"),
+            f(mean_hops),
+            f((n as f64).log(16.0)),
+            f(fnet.success_rate(&batch) * 100.0),
+        ]);
+    }
+    table(
+        &["nodes", "plaxton delivered", "correct dest", "mean hops", "log16 N", "freenet success %"],
+        &rows,
+    )
+}
+
+/// C3: promiscuous caching and self-healing replication.
+pub fn c3_caching() -> String {
+    let mut rows = Vec::new();
+    for cache in [false, true] {
+        let cfg = StoreConfig { cache_enabled: cache, ..Default::default() };
+        let mut net = StoreNetwork::build(24, cfg, 51);
+        net.settle();
+        // 30 documents, Zipf-read 200 times from random nodes.
+        let docs: Vec<Document> =
+            (0..30).map(|i| Document::new(format!("doc-{i}"), vec![7u8; 256])).collect();
+        for d in &docs {
+            let node = net.random_node();
+            net.insert(node, d.clone());
+        }
+        net.run_for(SimDuration::from_secs(60));
+        let zipf = Zipf::new(docs.len(), 1.0);
+        let mut rng = SimRng::new(51).fork("c3");
+        for _ in 0..200 {
+            let d = &docs[zipf.sample(&mut rng)];
+            let reader = net.random_node();
+            net.lookup(reader, d.guid);
+            net.run_for(SimDuration::from_secs(2));
+        }
+        net.run_for(SimDuration::from_secs(30));
+        let lat = net.world().metrics().summary("store.lookup_ms");
+        let served_cache = net.world().metrics().counter("store.cache_served");
+        let local = net.world().metrics().counter("store.lookups_local");
+        rows.push(vec![
+            if cache { "on" } else { "off" }.to_string(),
+            f(lat.mean),
+            f(lat.p99),
+            f(served_cache),
+            f(local),
+        ]);
+    }
+    let mut out = String::from("Promiscuous caching (Zipf reads over 30 docs, 24 nodes):\n");
+    out.push_str(&table(
+        &["cache", "mean read ms", "p99 ms", "cache-served", "local hits"],
+        &rows,
+    ));
+
+    // Healing: crash a replica holder, watch the count recover.
+    let cfg = StoreConfig {
+        replicas: 3,
+        heal_interval: SimDuration::from_secs(10),
+        ..Default::default()
+    };
+    let mut net = StoreNetwork::build(16, cfg, 52);
+    net.settle();
+    let doc = Document::new("healing-doc", vec![1u8; 128]);
+    net.insert(NodeIndex(0), doc.clone());
+    net.run_for(SimDuration::from_secs(60));
+    let before = net.replica_count(doc.guid);
+    let holder = (0..16u32)
+        .map(NodeIndex)
+        .find(|&i| net.world().node(i).store.holds(doc.guid))
+        .expect("replicated");
+    net.crash(holder);
+    let mut elapsed = 0u64;
+    while net.replica_count(doc.guid) < 3 && elapsed < 300 {
+        net.run_for(SimDuration::from_secs(10));
+        elapsed += 10;
+    }
+    let _ = writeln!(
+        out,
+        "\nSelf-healing: {before} replicas -> crash one -> back to {} within {elapsed} s (probe timeout + heal interval).",
+        net.replica_count(doc.guid)
+    );
+    out
+}
+
+/// C4: evolution engine repair latency under churn.
+pub fn c4_evolution() -> String {
+    let mut rows = Vec::new();
+    for crashes in [1usize, 2, 3] {
+        let constraints = vec![Constraint::count("replicator", None, 4)];
+        let mut plane = DeploymentPlane::build(10, constraints, 61);
+        plane.run_for(SimDuration::from_secs(120));
+        let hosts: Vec<NodeIndex> = plane
+            .evolution()
+            .deployment()
+            .instances_of("replicator")
+            .map(|(_, n)| n)
+            .take(crashes)
+            .collect();
+        for h in &hosts {
+            plane.crash(*h);
+        }
+        plane.run_for(SimDuration::from_secs(240));
+        let sat = plane.evolution().satisfaction();
+        let detect = plane.monitor().failures_detected;
+        let repair = plane.world().metrics().summary("deploy.repair_ms");
+        rows.push(vec![
+            crashes.to_string(),
+            f(sat * 100.0),
+            detect.to_string(),
+            f(repair.mean / 1000.0),
+            f(repair.max / 1000.0),
+        ]);
+    }
+    table(
+        &["simultaneous crashes", "final satisfied %", "failures detected", "mean repair s", "max repair s"],
+        &rows,
+    )
+}
+
+/// C5: latency-reduction vs backup placement policies.
+pub fn c5_placement() -> String {
+    // Latency policy: Australian reads of a Scottish document.
+    let run_reads = |threshold: Option<u64>| -> Vec<f64> {
+        let cfg = StoreConfig {
+            replicas: 1,
+            cache_enabled: false,
+            latency_policy_threshold: threshold,
+            ..Default::default()
+        };
+        let mut net = StoreNetwork::build(18, cfg, 71);
+        net.settle();
+        let doc = Document::new("bob-personal-data", vec![2u8; 64]);
+        net.insert(NodeIndex(0), doc.clone());
+        net.run_for(SimDuration::from_secs(30));
+        let reader = net.random_node_in("australia").expect("has australia");
+        let mut latencies = Vec::new();
+        for _ in 0..6 {
+            let id = net.lookup(reader, doc.guid);
+            net.run_for(SimDuration::from_secs(20));
+            latencies.push(
+                net.result(id).map(|r| r.latency.as_secs_f64() * 1e3).unwrap_or(f64::NAN),
+            );
+        }
+        latencies
+    };
+    let without = run_reads(None);
+    let with = run_reads(Some(3));
+    let mut rows = Vec::new();
+    for i in 0..6 {
+        rows.push(vec![
+            (i + 1).to_string(),
+            f(without[i]),
+            f(with[i]),
+        ]);
+    }
+    let mut out = String::from(
+        "Latency-reduction policy (read #N from Australia, primary in Scotland, threshold 3):\n",
+    );
+    out.push_str(&table(&["read #", "policy off ms", "policy on ms"], &rows));
+
+    // Backup policy: time to a geographically remote replica.
+    let cfg = StoreConfig {
+        replicas: 1,
+        backup_policy_min_km: Some(5_000.0),
+        ..Default::default()
+    };
+    let mut net = StoreNetwork::build(18, cfg, 72);
+    net.settle();
+    let doc = Document::new("fresh-data", vec![3u8; 64]);
+    let t0 = net.now();
+    net.insert(NodeIndex(0), doc.clone());
+    let mut waited = 0u64;
+    let far_exists = |net: &StoreNetwork| -> bool {
+        let holders: Vec<NodeIndex> = (0..18u32)
+            .map(NodeIndex)
+            .filter(|&i| net.world().node(i).store.holds(doc.guid))
+            .collect();
+        holders.iter().any(|&a| {
+            holders.iter().any(|&b| {
+                net.world().topology().node(a).geo.distance_km(net.world().topology().node(b).geo)
+                    >= 5_000.0
+            })
+        })
+    };
+    while !far_exists(&net) && waited < 120 {
+        net.run_for(SimDuration::from_secs(5));
+        waited += 5;
+    }
+    let _ = writeln!(
+        out,
+        "\nBackup policy: geographically remote (>=5000 km) replica exists {:.1} s after creation.",
+        (net.now().since(t0)).as_secs_f64()
+    );
+    out
+}
+
+/// C6: type projection vs type generation vs naive tree walking.
+pub fn c6_projection() -> String {
+    // Corpus: location events with a known island plus variable extras.
+    let make_doc = |i: usize, extra: bool| -> Element {
+        let mut e = Element::new("event")
+            .with_attr("seq", i.to_string())
+            .with_child(Element::new("user").with_attr("id", format!("u{}", i % 50)))
+            .with_child(
+                Element::new("pos")
+                    .with_attr("lat", format!("{}", 56.0 + (i % 100) as f64 / 1000.0))
+                    .with_attr("lon", "-2.8"),
+            );
+        if extra {
+            e.push(
+                Element::new("vendor_extension")
+                    .with_attr("firmware", "2.1")
+                    .with_child(Element::new("diag").with_text("ok")),
+            );
+        }
+        e
+    };
+    let regular: Vec<Element> = (0..200).map(|i| make_doc(i, false)).collect();
+    let evolved: Vec<Element> = (0..200).map(|i| make_doc(i, true)).collect();
+
+    let spec = ProjSpec::new("loc")
+        .field("user", "user/@id", FieldType::Str)
+        .field("lat", "pos/@lat", FieldType::Float)
+        .field("lon", "pos/@lon", FieldType::Float);
+    let schema = {
+        let refs: Vec<&Element> = regular.iter().collect();
+        Schema::infer(&refs).expect("regular corpus infers")
+    };
+
+    let time_per_doc = |f: &mut dyn FnMut(&Element) -> bool, docs: &[Element]| -> (f64, f64) {
+        let start = std::time::Instant::now();
+        let mut ok = 0usize;
+        let reps = 50;
+        for _ in 0..reps {
+            for d in docs {
+                if f(d) {
+                    ok += 1;
+                }
+            }
+        }
+        let ns = start.elapsed().as_nanos() as f64 / (docs.len() * reps) as f64;
+        (ns, ok as f64 / (docs.len() * reps) as f64 * 100.0)
+    };
+
+    let mut naive = |d: &Element| -> bool {
+        // Hand-rolled tree walk: scan all descendants for the fields.
+        let mut user = None;
+        let mut lat = None;
+        for el in d.descendants() {
+            if el.name() == "user" {
+                user = el.attr("id");
+            }
+            if el.name() == "pos" {
+                lat = el.attr("lat");
+            }
+        }
+        user.is_some() && lat.and_then(|l| l.parse::<f64>().ok()).is_some()
+    };
+    let mut proj = |d: &Element| -> bool { spec.project(d).is_ok() };
+    let mut gen = |d: &Element| -> bool { schema.bind(d).is_ok() };
+
+    let mut rows = Vec::new();
+    for (name, func) in [
+        ("naive tree walk", &mut naive as &mut dyn FnMut(&Element) -> bool),
+        ("type projection", &mut proj),
+        ("type generation", &mut gen),
+    ] {
+        let (ns_reg, ok_reg) = time_per_doc(func, &regular);
+        let (ns_evo, ok_evo) = time_per_doc(func, &evolved);
+        rows.push(vec![
+            name.to_string(),
+            f(ns_reg),
+            f(ok_reg),
+            f(ns_evo),
+            f(ok_evo),
+        ]);
+    }
+    table(
+        &["binding strategy", "regular ns/doc", "regular ok %", "evolved ns/doc", "evolved ok %"],
+        &rows,
+    )
+}
+
+/// C7: the ice-cream correlation inside its five-minute window, under
+/// background noise.
+pub fn c7_scenario() -> String {
+    let mut rows = Vec::new();
+    for noise_rate in [0.0f64, 2.0, 10.0] {
+        let mut scenario = IceCreamScenario::setup(81);
+        if noise_rate > 0.0 {
+            let w = PopulationWorkload {
+                users: 10,
+                noise_rate,
+                duration: SimDuration::from_secs(400),
+                ..Default::default()
+            };
+            w.seed_population_knowledge(&mut scenario.arch, 3);
+            scenario.arch.run_for(SimDuration::from_secs(20));
+            w.inject(&mut scenario.arch, 4);
+        }
+        let before = scenario.arch.now();
+        scenario.play_events();
+        // The last enabling event lands 70 s after `before`.
+        let enabling_done = before + SimDuration::from_secs(70);
+        scenario.arch.run_for(SimDuration::from_secs(400));
+        let first_suggestion = scenario
+            .suggestions()
+            .first()
+            .map(|e| e.published_at())
+            .unwrap_or(gloss_sim::SimTime::MAX);
+        let latency_s = if first_suggestion == gloss_sim::SimTime::MAX {
+            f64::NAN
+        } else {
+            first_suggestion.since(enabling_done).as_secs_f64()
+        };
+        rows.push(vec![
+            f(noise_rate),
+            scenario.arch.total_sensed().to_string(),
+            scenario.suggestions().len().to_string(),
+            f(latency_s),
+            (latency_s < 300.0).to_string(),
+        ]);
+    }
+    table(
+        &["noise ev/s", "total events", "suggestions", "latency s", "within 5 min window"],
+        &rows,
+    )
+}
+
+/// C8: discovery of handlers for unknown event kinds.
+pub fn c8_discovery() -> String {
+    let mut arch = ActiveArchitecture::build(ArchConfig { nodes: 8, seed: 91, ..Default::default() });
+    arch.settle();
+    arch.register_handler_code(
+        NodeIndex(1),
+        "air.quality",
+        r#"rule smog { on a: event air.quality(aqi: ?a) where ?a > 100 within 1 m emit smog_warning(aqi: ?a) }"#,
+    );
+    arch.run_for(SimDuration::from_secs(30));
+    arch.subscribe_ui(NodeIndex(2), Filter::for_kind("smog_warning"));
+    arch.run_for(SimDuration::from_secs(10));
+
+    // Phase 1: events before discovery produce nothing.
+    let t0 = arch.now();
+    arch.publish(NodeIndex(6), Event::new("air.quality").with_attr("aqi", 140i64));
+    arch.run_for(SimDuration::from_secs(60));
+    let discovered = arch
+        .node(NodeIndex(0))
+        .coordinator_state
+        .as_ref()
+        .map(|c| c.discovered.clone())
+        .unwrap_or_default();
+    let matched_before = arch.node(NodeIndex(2)).ui_received.len();
+    // Phase 2: post-discovery events are matched.
+    arch.publish(NodeIndex(6), Event::new("air.quality").with_attr("aqi", 150i64));
+    arch.run_for(SimDuration::from_secs(30));
+    let matched_after = arch.node(NodeIndex(2)).ui_received.len();
+    let lookups = arch.world().metrics().counter("gloss.discovery_lookups");
+
+    let rows = vec![vec![
+        discovered.join(","),
+        f(lookups),
+        matched_before.to_string(),
+        (matched_after - matched_before).to_string(),
+        f(arch.now().since(t0).as_secs_f64()),
+    ]];
+    table(
+        &["discovered kinds", "store lookups", "matched before", "matched after", "elapsed s"],
+        &rows,
+    )
+}
+
+/// C9: text vs lexical vs specification description matching.
+pub fn c9_description_match() -> String {
+    // A corpus of 40 services: half genuinely about ice cream (with
+    // controlled facet terms), half lexically confusable prose.
+    let ontology = Ontology::food_and_context();
+    let mut corpus = Vec::new();
+    let mut relevant: BTreeSet<String> = BTreeSet::new();
+    let variants = ["gelato", "sorbet", "ice cream"];
+    for i in 0..20 {
+        let term = variants[i % variants.len()];
+        let name = format!("cold-{i}");
+        relevant.insert(name.clone());
+        corpus.push(
+            ServiceDescription::new(
+                &name,
+                format!("shop number {i} selling quality {term} near the beach"),
+            )
+            .with_facet("offers", term),
+        );
+    }
+    for i in 0..20 {
+        corpus.push(
+            ServiceDescription::new(
+                format!("decoy-{i}"),
+                "we repair ice damaged cream colored phone screens",
+            )
+            .with_facet("offers", "phone repair"),
+        );
+    }
+    let text = RetrievalScores::compute(&TextMatcher.retrieve("ice cream", &corpus), &relevant);
+    let lexical = RetrievalScores::compute(
+        &LexicalMatcher::new(ontology).retrieve("offers", "ice cream", &corpus),
+        &relevant,
+    );
+    let spec = RetrievalScores::compute(
+        &SpecMatcher::new().require("offers", "ice cream").retrieve(&corpus),
+        &relevant,
+    );
+    let rows = vec![
+        vec!["text".into(), f(text.precision), f(text.recall), f(text.f1())],
+        vec!["lexical (faceted+ontology)".into(), f(lexical.precision), f(lexical.recall), f(lexical.f1())],
+        vec!["specification".into(), f(spec.precision), f(spec.recall), f(spec.f1())],
+    ];
+    table(&["strategy", "precision", "recall", "F1"], &rows)
+}
+
+/// C10: erasure coding vs replication — overhead and availability.
+pub fn c10_erasure() -> String {
+    let mut rng = SimRng::new(101).fork("c10");
+    let mut rows = Vec::new();
+    let object: Vec<u8> = (0..64 * 1024).map(|i| (i % 251) as u8).collect();
+    for (m, n) in [(1usize, 3usize), (4, 6), (4, 8), (8, 12)] {
+        let code = ErasureCode::new(m, n).expect("valid params");
+        // Availability under independent node loss p=0.2 (Monte Carlo).
+        let p = 0.2;
+        let trials = 5_000;
+        let mut survived = 0;
+        for _ in 0..trials {
+            let alive = (0..n).filter(|_| !rng.chance(p)).count();
+            if alive >= m {
+                survived += 1;
+            }
+        }
+        // Encode/decode timing.
+        let start = std::time::Instant::now();
+        let shards = code.encode(&object);
+        let enc_us = start.elapsed().as_micros();
+        let kept: Vec<(usize, Vec<u8>)> =
+            (n - m..n).map(|i| (i, shards[i].clone())).collect();
+        let start = std::time::Instant::now();
+        let restored = code.decode(&kept, object.len()).expect("decodes");
+        let dec_us = start.elapsed().as_micros();
+        assert_eq!(restored, object);
+        rows.push(vec![
+            format!("({m},{n})"),
+            f(code.overhead()),
+            (n - m).to_string(),
+            f(survived as f64 / trials as f64 * 100.0),
+            enc_us.to_string(),
+            dec_us.to_string(),
+        ]);
+    }
+    table(
+        &["(m,n)", "storage overhead", "tolerated losses", "availability % @ p=0.2", "encode us (64 KiB)", "decode us"],
+        &rows,
+    )
+}
+
+/// Runs one experiment by id, returning its rendered output.
+pub fn run_experiment(id: &str) -> Option<(String, String)> {
+    let (title, body) = match id {
+        "e1" => ("E1 (Figure 1): global matching service distillation", e1_matching_service()),
+        "e2" => ("E2 (Figure 2): distributed XML pipelines", e2_pipelines()),
+        "e3" => ("E3 (Figure 3): bundle deployment infrastructure", e3_deployment()),
+        "c1" => ("C1: event routing — centralized vs hierarchical vs peer", c1_event_routing()),
+        "c2" => ("C2: Plaxton routing vs non-deterministic baseline", c2_overlay_routing()),
+        "c3" => ("C3: promiscuous caching and self-healing", c3_caching()),
+        "c4" => ("C4: evolution engine repair under churn", c4_evolution()),
+        "c5" => ("C5: data placement policies", c5_placement()),
+        "c6" => ("C6: type projection vs generation vs tree walking", c6_projection()),
+        "c7" => ("C7: ice-cream correlation within its window", c7_scenario()),
+        "c8" => ("C8: discovery matchlets for unknown kinds", c8_discovery()),
+        "c9" => ("C9: description matching strategies", c9_description_match()),
+        "c10" => ("C10: erasure coding vs replication", c10_erasure()),
+        _ => return None,
+    };
+    Some((title.to_string(), body))
+}
+
+/// All experiment ids in order.
+pub const ALL_EXPERIMENTS: &[&str] =
+    &["e1", "e2", "e3", "c1", "c2", "c3", "c4", "c5", "c6", "c7", "c8", "c9", "c10"];

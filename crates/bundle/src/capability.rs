@@ -1,0 +1,69 @@
+//! Capability-based protection for thin servers.
+
+use std::fmt;
+
+/// A right that a bundle may require and an issuer may hold on a server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Capability {
+    /// Install matchlet programs.
+    DeployMatchlet,
+    /// Install pipeline components.
+    DeployComponent,
+    /// Write objects into the server's object store.
+    StoreAccess,
+    /// Publish events from installed code.
+    Publish,
+    /// Subscribe to events for installed code.
+    Subscribe,
+    /// Manage the server itself (grants, uninstalls of others' bundles).
+    Admin,
+}
+
+impl fmt::Display for Capability {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Capability::DeployMatchlet => "deploy-matchlet",
+            Capability::DeployComponent => "deploy-component",
+            Capability::StoreAccess => "store-access",
+            Capability::Publish => "publish",
+            Capability::Subscribe => "subscribe",
+            Capability::Admin => "admin",
+        };
+        f.write_str(s)
+    }
+}
+
+impl Capability {
+    /// Parses the textual form produced by [`fmt::Display`].
+    pub fn parse(s: &str) -> Option<Capability> {
+        Some(match s {
+            "deploy-matchlet" => Capability::DeployMatchlet,
+            "deploy-component" => Capability::DeployComponent,
+            "store-access" => Capability::StoreAccess,
+            "publish" => Capability::Publish,
+            "subscribe" => Capability::Subscribe,
+            "admin" => Capability::Admin,
+            _ => return None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_parse_round_trip() {
+        for c in [
+            Capability::DeployMatchlet,
+            Capability::DeployComponent,
+            Capability::StoreAccess,
+            Capability::Publish,
+            Capability::Subscribe,
+            Capability::Admin,
+        ] {
+            assert_eq!(Capability::parse(&c.to_string()), Some(c));
+        }
+        assert_eq!(Capability::parse("fly"), None);
+    }
+}

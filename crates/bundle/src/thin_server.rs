@@ -1,0 +1,413 @@
+//! The thin server: verification, capability checks, installation into a
+//! security domain, and the per-server object store.
+
+use crate::bundle::{Bundle, BundleError, Code, Manifest};
+use crate::capability::Capability;
+use crate::verify::AuthKey;
+use gloss_event::Event;
+use gloss_knowledge::FactSource;
+use gloss_matchlet::{parse_rules, MatchletEngine};
+use gloss_sim::SimTime;
+use gloss_xml::Element;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// What an accepted installation did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InstallReport {
+    /// The bundle name.
+    pub name: String,
+    /// The installed version.
+    pub version: u64,
+    /// Matchlet rules added.
+    pub rules_added: usize,
+    /// Data objects stored.
+    pub objects_stored: usize,
+    /// The component kind requested, if the bundle was a component.
+    pub component_kind: Option<String>,
+}
+
+#[derive(Debug, Clone)]
+struct Installed {
+    manifest: Manifest,
+    rule_names: Vec<String>,
+    object_names: Vec<String>,
+}
+
+/// A Cingal thin server: accepts bundles, verifies and authorises them,
+/// hosts the installed matchlets, and keeps an object store.
+///
+/// Component bundles are *requested* here and instantiated by the
+/// embedding pipeline host through its registry (drain with
+/// [`take_component_requests`](Self::take_component_requests)).
+#[derive(Debug, Default)]
+pub struct ThinServer {
+    name: String,
+    trusted: BTreeMap<String, AuthKey>,
+    grants: BTreeMap<String, BTreeSet<Capability>>,
+    engine: MatchletEngine,
+    installed: BTreeMap<String, Installed>,
+    objects: BTreeMap<String, Element>,
+    component_requests: Vec<(String, String, Element)>,
+    /// Rejected packets, by reason (for the security experiments).
+    pub rejections: u64,
+}
+
+impl ThinServer {
+    /// Creates a thin server named `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        ThinServer { name: name.into(), ..Default::default() }
+    }
+
+    /// The server name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Trusts an issuer's key.
+    pub fn trust(&mut self, key: AuthKey) {
+        self.trusted.insert(key.issuer().to_string(), key);
+    }
+
+    /// Grants a capability to an issuer.
+    pub fn grant(&mut self, issuer: impl Into<String>, cap: Capability) {
+        self.grants.entry(issuer.into()).or_default().insert(cap);
+    }
+
+    /// Revokes a capability.
+    pub fn revoke(&mut self, issuer: &str, cap: Capability) {
+        if let Some(set) = self.grants.get_mut(issuer) {
+            set.remove(&cap);
+        }
+    }
+
+    /// The hosted matchlet engine.
+    pub fn engine(&self) -> &MatchletEngine {
+        &self.engine
+    }
+
+    /// Mutable engine access.
+    pub fn engine_mut(&mut self) -> &mut MatchletEngine {
+        &mut self.engine
+    }
+
+    /// Offers an event to the hosted matchlets.
+    pub fn match_event(
+        &mut self,
+        now: SimTime,
+        event: &Event,
+        kb: &dyn FactSource,
+    ) -> Vec<Event> {
+        self.engine.on_event(now, event, kb)
+    }
+
+    /// Reads an object from the store.
+    pub fn object(&self, name: &str) -> Option<&Element> {
+        self.objects.get(name)
+    }
+
+    /// Writes an object directly (local privileged access).
+    pub fn put_object(&mut self, name: impl Into<String>, value: Element) {
+        self.objects.insert(name.into(), value);
+    }
+
+    /// Names of all stored objects.
+    pub fn object_names(&self) -> Vec<&str> {
+        self.objects.keys().map(String::as_str).collect()
+    }
+
+    /// Names of installed bundles.
+    pub fn installed_names(&self) -> Vec<&str> {
+        self.installed.keys().map(String::as_str).collect()
+    }
+
+    /// The installed version of a bundle, if present.
+    pub fn installed_version(&self, name: &str) -> Option<u64> {
+        self.installed.get(name).map(|i| i.manifest.version)
+    }
+
+    /// Drains pending component instantiation requests:
+    /// `(bundle name, component kind, config)`.
+    pub fn take_component_requests(&mut self) -> Vec<(String, String, Element)> {
+        std::mem::take(&mut self.component_requests)
+    }
+
+    /// Receives, verifies, authorises, and installs one packet.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BundleError`] describing the first check that failed;
+    /// the server state is unchanged on error.
+    pub fn receive_packet(&mut self, packet: &str) -> Result<InstallReport, BundleError> {
+        let result = self.try_install(packet);
+        if result.is_err() {
+            self.rejections += 1;
+        }
+        result
+    }
+
+    fn try_install(&mut self, packet: &str) -> Result<InstallReport, BundleError> {
+        // Authentication: the issuer named in the packet must be trusted
+        // and the tag must verify under that issuer's key.
+        let (bundle, digest, tag) = Bundle::from_packet_unverified(packet)?;
+        let issuer = bundle.manifest.issuer.clone();
+        let key = self
+            .trusted
+            .get(&issuer)
+            .ok_or_else(|| BundleError::AuthenticationFailure(issuer.clone()))?;
+        if key.tag(digest) != tag {
+            return Err(BundleError::AuthenticationFailure(issuer));
+        }
+        // Capability check.
+        let granted = self.grants.get(&issuer).cloned().unwrap_or_default();
+        for cap in bundle.required_capabilities() {
+            if !granted.contains(&cap) {
+                return Err(BundleError::CapabilityDenied { issuer, missing: cap });
+            }
+        }
+        // Version check.
+        if let Some(existing) = self.installed.get(&bundle.manifest.name) {
+            if existing.manifest.version >= bundle.manifest.version {
+                return Err(BundleError::StaleVersion {
+                    name: bundle.manifest.name.clone(),
+                    installed: existing.manifest.version,
+                    offered: bundle.manifest.version,
+                });
+            }
+        }
+        // Validate code before mutating anything.
+        let mut rule_names = Vec::new();
+        let mut component_kind = None;
+        match &bundle.code {
+            Code::Matchlet { source } => {
+                let rules =
+                    parse_rules(source).map_err(|e| BundleError::BadMatchlet(e.to_string()))?;
+                rule_names = rules.iter().map(|r| r.name.clone()).collect();
+            }
+            Code::Component { kind, .. } => {
+                component_kind = Some(kind.clone());
+            }
+        }
+
+        // Install: replace a previous version cleanly.
+        if let Some(prev) = self.installed.remove(&bundle.manifest.name) {
+            for r in &prev.rule_names {
+                self.engine.remove_rule(r);
+            }
+            for o in &prev.object_names {
+                self.objects.remove(o);
+            }
+        }
+        match &bundle.code {
+            Code::Matchlet { source } => {
+                self.engine.add_rules(source).expect("validated above");
+            }
+            Code::Component { kind, config } => {
+                self.component_requests.push((
+                    bundle.manifest.name.clone(),
+                    kind.clone(),
+                    config.clone(),
+                ));
+            }
+        }
+        let mut object_names = Vec::new();
+        for (name, value) in &bundle.data {
+            self.objects.insert(name.clone(), value.clone());
+            object_names.push(name.clone());
+        }
+        let report = InstallReport {
+            name: bundle.manifest.name.clone(),
+            version: bundle.manifest.version,
+            rules_added: rule_names.len(),
+            objects_stored: object_names.len(),
+            component_kind,
+        };
+        self.installed.insert(
+            bundle.manifest.name.clone(),
+            Installed { manifest: bundle.manifest, rule_names, object_names },
+        );
+        Ok(report)
+    }
+
+    /// Uninstalls a bundle: its rules and objects are removed.
+    /// Returns whether it was installed.
+    pub fn uninstall(&mut self, name: &str) -> bool {
+        match self.installed.remove(name) {
+            None => false,
+            Some(prev) => {
+                for r in &prev.rule_names {
+                    self.engine.remove_rule(r);
+                }
+                for o in &prev.object_names {
+                    self.objects.remove(o);
+                }
+                true
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gloss_knowledge::InMemoryFacts;
+    use gloss_xml::parse;
+
+    const RULE: &str = r#"rule hot { on w: event weather(c: ?c) where ?c > 18.0 emit alert(c: ?c) }"#;
+
+    fn key() -> AuthKey {
+        AuthKey::new("tenant", b"k1")
+    }
+
+    fn ready_server() -> ThinServer {
+        let mut s = ThinServer::new("node-1");
+        s.trust(key());
+        s.grant("tenant", Capability::DeployMatchlet);
+        s.grant("tenant", Capability::DeployComponent);
+        s.grant("tenant", Capability::StoreAccess);
+        s
+    }
+
+    fn matchlet_packet() -> String {
+        Bundle::matchlet("hot-alert", RULE).issued_by("tenant").to_packet(&key())
+    }
+
+    #[test]
+    fn install_runs_matchlets() {
+        let mut s = ready_server();
+        let report = s.receive_packet(&matchlet_packet()).unwrap();
+        assert_eq!(report.rules_added, 1);
+        assert!(s.engine().handles_kind("weather"));
+        let out = s.match_event(
+            SimTime::ZERO,
+            &Event::new("weather").with_attr("c", 25.0),
+            &InMemoryFacts::new(),
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].kind(), "alert");
+    }
+
+    #[test]
+    fn untrusted_issuer_rejected() {
+        let mut s = ThinServer::new("node-1");
+        // No trust established.
+        let err = s.receive_packet(&matchlet_packet()).unwrap_err();
+        assert!(matches!(err, BundleError::AuthenticationFailure(_)));
+        assert_eq!(s.rejections, 1);
+    }
+
+    #[test]
+    fn forged_tag_rejected() {
+        let mut s = ready_server();
+        // Packet sealed with a different secret for the same issuer name.
+        let forged = Bundle::matchlet("hot-alert", RULE)
+            .issued_by("tenant")
+            .to_packet(&AuthKey::new("tenant", b"stolen-name"));
+        assert!(matches!(
+            s.receive_packet(&forged),
+            Err(BundleError::AuthenticationFailure(_))
+        ));
+    }
+
+    #[test]
+    fn missing_capability_rejected() {
+        let mut s = ThinServer::new("node-1");
+        s.trust(key());
+        // Only component rights, but the bundle is a matchlet.
+        s.grant("tenant", Capability::DeployComponent);
+        let err = s.receive_packet(&matchlet_packet()).unwrap_err();
+        assert!(matches!(
+            err,
+            BundleError::CapabilityDenied { missing: Capability::DeployMatchlet, .. }
+        ));
+        // Granting fixes it.
+        s.grant("tenant", Capability::DeployMatchlet);
+        assert!(s.receive_packet(&matchlet_packet()).is_ok());
+    }
+
+    #[test]
+    fn revoke_takes_effect() {
+        let mut s = ready_server();
+        s.revoke("tenant", Capability::DeployMatchlet);
+        assert!(s.receive_packet(&matchlet_packet()).is_err());
+    }
+
+    #[test]
+    fn version_upgrade_replaces_rules() {
+        let mut s = ready_server();
+        s.receive_packet(&matchlet_packet()).unwrap();
+        // Same version again: stale.
+        assert!(matches!(
+            s.receive_packet(&matchlet_packet()),
+            Err(BundleError::StaleVersion { .. })
+        ));
+        // Version 2 with a different rule replaces the old one.
+        let v2 = Bundle::matchlet(
+            "hot-alert",
+            r#"rule cold { on w: event weather(c: ?c) where ?c < 5.0 emit brr() }"#,
+        )
+        .issued_by("tenant")
+        .with_version(2)
+        .to_packet(&key());
+        let report = s.receive_packet(&v2).unwrap();
+        assert_eq!(report.version, 2);
+        assert_eq!(s.engine().rule_names(), vec!["cold"]);
+        assert_eq!(s.installed_version("hot-alert"), Some(2));
+    }
+
+    #[test]
+    fn bad_matchlet_source_rejected_cleanly() {
+        let mut s = ready_server();
+        let bad = Bundle::matchlet("oops", "rule { broken").issued_by("tenant").to_packet(&key());
+        assert!(matches!(s.receive_packet(&bad), Err(BundleError::BadMatchlet(_))));
+        assert!(s.installed_names().is_empty());
+        assert!(s.engine().rule_names().is_empty());
+    }
+
+    #[test]
+    fn data_objects_land_in_store() {
+        let mut s = ready_server();
+        let packet = Bundle::matchlet("with-data", RULE)
+            .issued_by("tenant")
+            .with_data("config/regions", parse("<regions><r>scotland</r></regions>").unwrap())
+            .to_packet(&key());
+        let report = s.receive_packet(&packet).unwrap();
+        assert_eq!(report.objects_stored, 1);
+        assert_eq!(s.object("config/regions").unwrap().children().count(), 1);
+        assert!(s.uninstall("with-data"));
+        assert!(s.object("config/regions").is_none());
+        assert!(!s.uninstall("with-data"));
+    }
+
+    #[test]
+    fn component_bundles_queue_requests() {
+        let mut s = ready_server();
+        let packet = Bundle::component(
+            "thresh",
+            "filter.threshold",
+            parse(r#"<cfg min="50"/>"#).unwrap(),
+        )
+        .issued_by("tenant")
+        .to_packet(&key());
+        let report = s.receive_packet(&packet).unwrap();
+        assert_eq!(report.component_kind.as_deref(), Some("filter.threshold"));
+        let reqs = s.take_component_requests();
+        assert_eq!(reqs.len(), 1);
+        assert_eq!(reqs[0].1, "filter.threshold");
+        assert!(s.take_component_requests().is_empty(), "drained");
+    }
+
+    #[test]
+    fn store_access_needed_for_data() {
+        let mut s = ThinServer::new("node-1");
+        s.trust(key());
+        s.grant("tenant", Capability::DeployMatchlet);
+        let packet = Bundle::matchlet("with-data", RULE)
+            .issued_by("tenant")
+            .with_data("x", Element::new("y"))
+            .to_packet(&key());
+        assert!(matches!(
+            s.receive_packet(&packet),
+            Err(BundleError::CapabilityDenied { missing: Capability::StoreAccess, .. })
+        ));
+    }
+}

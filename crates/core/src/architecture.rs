@@ -1,0 +1,423 @@
+//! The [`ActiveArchitecture`] harness: builds the full stack on a
+//! simulated wide-area topology and exposes the operations the examples,
+//! tests, and benchmarks drive.
+
+use crate::node::{GlossMsg, GlossNode};
+use crate::service::ServiceSpec;
+use gloss_bundle::AuthKey;
+use gloss_deploy::NodeResources;
+use gloss_event::{Broker, BrokerTopology, Event, Filter};
+use gloss_knowledge::{DistributedKnowledge, Fact};
+use gloss_overlay::{Key, OverlayNode};
+use gloss_sim::{NodeIndex, SimDuration, SimRng, SimTime, Topology, World};
+use gloss_store::{Document, StoreConfig, StoreMsg, StoreNode, StorePayload};
+use gloss_store::placement::NodeSite;
+use gloss_overlay::OverlayMsg;
+
+/// Configuration for an [`ActiveArchitecture`].
+#[derive(Debug, Clone)]
+pub struct ArchConfig {
+    /// Number of nodes (node 0 is the coordinator).
+    pub nodes: usize,
+    /// Root seed.
+    pub seed: u64,
+    /// Storage configuration (replication, caching, healing).
+    pub store: StoreConfig,
+    /// Worker heartbeat period.
+    pub heartbeat: SimDuration,
+    /// Monitor silence deadline.
+    pub monitor_deadline: SimDuration,
+    /// Region names the topology spans.
+    pub regions: Vec<String>,
+}
+
+impl Default for ArchConfig {
+    fn default() -> Self {
+        ArchConfig {
+            nodes: 8,
+            seed: 1,
+            store: StoreConfig::default(),
+            heartbeat: SimDuration::from_secs(10),
+            monitor_deadline: SimDuration::from_secs(30),
+            regions: vec![
+                "scotland".into(),
+                "england".into(),
+                "europe".into(),
+                "australia".into(),
+            ],
+        }
+    }
+}
+
+/// The assembled architecture: one [`GlossNode`] per physical node.
+///
+/// # Example
+///
+/// ```
+/// use gloss_core::{ActiveArchitecture, ArchConfig};
+/// let mut arch = ActiveArchitecture::build(ArchConfig { nodes: 4, ..Default::default() });
+/// arch.settle();
+/// assert!(arch.world().metrics().counter("sim.messages_delivered") > 0.0);
+/// ```
+#[derive(Debug)]
+pub struct ActiveArchitecture {
+    world: World<GlossNode>,
+    next_store_req: u64,
+    kb_versions: std::collections::BTreeMap<String, u64>,
+}
+
+impl ActiveArchitecture {
+    /// Builds the stack per `cfg`.
+    pub fn build(cfg: ArchConfig) -> Self {
+        let regions: Vec<&str> = cfg.regions.iter().map(String::as_str).collect();
+        let topology = Topology::random(cfg.nodes, &regions, cfg.seed);
+        let mut rng = SimRng::new(cfg.seed).fork("gloss-arch");
+        let key = AuthKey::new("evolution", b"gloss-architecture-key");
+
+        // Broker graph: an acyclic peer star centred on the coordinator.
+        // A worker crash then never partitions the event plane (the
+        // brokers themselves have no topology-repair protocol — see
+        // DESIGN.md; the general tree/graph topologies are exercised by
+        // `gloss-event`'s own networks in experiment C1).
+        let mut neighbors: Vec<Vec<NodeIndex>> = vec![Vec::new(); cfg.nodes];
+        for i in 1..cfg.nodes {
+            neighbors[i].push(NodeIndex(0));
+            neighbors[0].push(NodeIndex(i as u32));
+        }
+
+        let directory: Vec<NodeSite> = topology
+            .iter()
+            .map(|info| NodeSite {
+                node: info.index,
+                geo: info.geo,
+                region: info.region.clone(),
+            })
+            .collect();
+
+        let mut nodes = Vec::with_capacity(cfg.nodes);
+        for info in topology.iter() {
+            let i = info.index.as_usize();
+            let broker = Broker::new(
+                info.index,
+                BrokerTopology::Peer { neighbors: neighbors[i].clone() },
+            );
+            let overlay_key = Key::hash_of(format!("gloss-node-{i}-{}", cfg.seed).as_bytes());
+            let (bootstrap, delay) = if i == 0 {
+                (None, SimDuration::ZERO)
+            } else {
+                (Some(NodeIndex(rng.index(i) as u32)), SimDuration::from_millis(200) * i as u64)
+            };
+            let overlay: OverlayNode<StorePayload> =
+                OverlayNode::new(overlay_key, info.index, bootstrap, delay)
+                    .with_probe_interval(SimDuration::from_secs(5));
+            let store =
+                StoreNode::new(info.index, overlay, cfg.store.clone(), directory.clone());
+            let resources = NodeResources {
+                node: info.index,
+                region: info.region.clone(),
+                geo: info.geo,
+                cpu: info.cpu,
+                storage: info.storage,
+            };
+            nodes.push(GlossNode::new(
+                info.index,
+                broker,
+                store,
+                resources,
+                NodeIndex(0),
+                key.clone(),
+                cfg.heartbeat,
+                cfg.monitor_deadline,
+            ));
+        }
+        let world = World::new(topology, cfg.seed, nodes);
+        ActiveArchitecture { world, next_store_req: 0, kb_versions: Default::default() }
+    }
+
+    /// Runs long enough for overlay joins, broker subscriptions, and
+    /// initial heartbeats to complete.
+    pub fn settle(&mut self) {
+        let n = self.world.topology().len() as u64;
+        self.world.run_for(SimDuration::from_millis(200) * n + SimDuration::from_secs(90));
+    }
+
+    /// Advances the simulation.
+    pub fn run_for(&mut self, d: SimDuration) {
+        self.world.run_for(d);
+    }
+
+    /// Runs until an absolute simulated time.
+    pub fn run_until(&mut self, t: SimTime) {
+        self.world.run_until(t);
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.world.now()
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.world.topology().len()
+    }
+
+    /// Whether the architecture has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The underlying world.
+    pub fn world(&self) -> &World<GlossNode> {
+        &self.world
+    }
+
+    /// Mutable world access (failure injection).
+    pub fn world_mut(&mut self) -> &mut World<GlossNode> {
+        &mut self.world
+    }
+
+    /// A node's state.
+    pub fn node(&self, i: NodeIndex) -> &GlossNode {
+        self.world.node(i)
+    }
+
+    /// Registers a contextual service: its constraints feed the evolution
+    /// engine, which deploys matchlet bundles at the next sweep.
+    pub fn deploy_service(&mut self, spec: ServiceSpec) {
+        let cs = self
+            .world
+            .node_mut(NodeIndex(0))
+            .coordinator_state
+            .as_mut()
+            .expect("node 0 is the coordinator");
+        for c in spec.constraints() {
+            cs.evolution.add_constraint(c);
+        }
+        cs.services.insert(spec.name.clone(), spec);
+    }
+
+    /// Publishes a sensed event at `node` now.
+    pub fn publish(&mut self, node: NodeIndex, event: Event) {
+        self.world.inject(node, node, GlossMsg::Sensor(event));
+    }
+
+    /// Publishes a sensed event at `node` at an absolute future time.
+    pub fn publish_at(&mut self, at: SimTime, node: NodeIndex, event: Event) {
+        self.world.inject_at(at, node, node, GlossMsg::Sensor(event));
+    }
+
+    /// Subscribes a UI client at `node`; matching events land in
+    /// [`GlossNode::ui_received`].
+    pub fn subscribe_ui(&mut self, node: NodeIndex, filter: Filter) {
+        self.world.inject(node, node, GlossMsg::UiSubscribe(filter));
+    }
+
+    /// Writes facts about one subject into the distributed knowledge base
+    /// (stored under `kb/<subject>` in the P2P store).
+    pub fn seed_knowledge(&mut self, via: NodeIndex, subject: &str, facts: &[Fact]) {
+        let refs: Vec<&Fact> = facts.iter().collect();
+        let xml = DistributedKnowledge::facts_to_xml(subject, &refs).to_xml();
+        let mut doc = Document::new(DistributedKnowledge::doc_name(subject), xml.into_bytes());
+        // Re-seeding a subject writes a newer version, so replicas and
+        // caches converge on the update.
+        let version = self.kb_versions.entry(subject.to_string()).or_insert(0);
+        *version += 1;
+        doc.version = *version;
+        self.insert_document(via, doc);
+    }
+
+    /// Publishes matchlet handler code for an event kind into the storage
+    /// architecture (`code/<kind>`), where discovery matchlets find it.
+    pub fn register_handler_code(&mut self, via: NodeIndex, kind: &str, source: &str) {
+        let doc = Document::new(format!("code/{kind}"), source.as_bytes().to_vec());
+        self.insert_document(via, doc);
+    }
+
+    /// Inserts a raw document into the P2P store from `via`.
+    pub fn insert_document(&mut self, via: NodeIndex, mut doc: Document) {
+        doc.stamp(self.world.now());
+        let guid = doc.guid;
+        self.world.inject(
+            via,
+            via,
+            GlossMsg::Store(StoreMsg::Overlay(OverlayMsg::Route {
+                target: guid,
+                payload: StorePayload::Insert { doc },
+                origin: via,
+                hops: 0,
+            })),
+        );
+        self.next_store_req += 1;
+    }
+
+    /// Pulls the kb document for `subject` into `node`'s local fact store
+    /// (through a real storage lookup; the reply auto-ingests).
+    pub fn prefetch_subject(&mut self, node: NodeIndex, subject: &str) {
+        self.world.inject(node, node, GlossMsg::PrefetchSubject(subject.to_string()));
+    }
+
+    /// Pulls a subject into every node (population-wide knowledge sync).
+    pub fn prefetch_subject_everywhere(&mut self, subject: &str) {
+        for i in 0..self.len() as u32 {
+            self.prefetch_subject(NodeIndex(i), subject);
+        }
+    }
+
+    /// Total events synthesised by matchlets across all nodes.
+    pub fn total_synthesized(&self) -> u64 {
+        self.world.nodes().map(|n| n.emitted).sum()
+    }
+
+    /// Total sensor events injected.
+    pub fn total_sensed(&self) -> u64 {
+        self.world.metrics().counter("gloss.sensor_events") as u64
+    }
+
+    /// The coordinator's evolution-engine satisfaction (1.0 = all
+    /// placement constraints met).
+    pub fn satisfaction(&self) -> f64 {
+        self.world
+            .node(NodeIndex(0))
+            .coordinator_state
+            .as_ref()
+            .map(|cs| cs.evolution.satisfaction())
+            .unwrap_or(1.0)
+    }
+
+    /// Nodes currently hosting an installed bundle whose name starts with
+    /// the given prefix.
+    pub fn hosts_of(&self, bundle_prefix: &str) -> Vec<NodeIndex> {
+        (0..self.len() as u32)
+            .map(NodeIndex)
+            .filter(|&i| self.world.is_alive(i))
+            .filter(|&i| {
+                self.world
+                    .node(i)
+                    .server
+                    .installed_names()
+                    .iter()
+                    .any(|n| n.starts_with(bundle_prefix))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gloss_knowledge::{FactSource, Term};
+
+    fn arch(nodes: usize, seed: u64) -> ActiveArchitecture {
+        let mut a = ActiveArchitecture::build(ArchConfig {
+            nodes,
+            seed,
+            ..Default::default()
+        });
+        a.settle();
+        a
+    }
+
+    #[test]
+    fn coordinator_sees_worker_heartbeats() {
+        let a = arch(6, 11);
+        let cs = a.node(NodeIndex(0)).coordinator_state.as_ref().unwrap();
+        // All five workers advertise over pub/sub.
+        assert_eq!(cs.monitor.alive_count(), 5);
+        assert_eq!(cs.evolution.resources().len(), 5);
+    }
+
+    #[test]
+    fn service_deployment_installs_and_subscribes() {
+        let mut a = arch(6, 12);
+        let spec = ServiceSpec::new(
+            "hot",
+            r#"rule hot { on w: event weather.reading(celsius: ?c) where ?c >= 18.0 emit alert(celsius: ?c) }"#,
+            vec![(None, 2)],
+        )
+        .unwrap();
+        a.deploy_service(spec);
+        a.run_for(SimDuration::from_secs(60));
+        assert_eq!(a.satisfaction(), 1.0);
+        let hosts = a.hosts_of("matchlet:hot");
+        assert_eq!(hosts.len(), 2);
+        // The full loop: a sensor event on some node reaches the hosted
+        // matchlets through pub/sub and comes back as an alert.
+        a.subscribe_ui(NodeIndex(1), Filter::for_kind("alert"));
+        a.run_for(SimDuration::from_secs(30));
+        a.publish(
+            NodeIndex(5),
+            Event::new("weather.reading").with_attr("celsius", 21.0),
+        );
+        a.run_for(SimDuration::from_secs(30));
+        assert!(a.total_synthesized() >= 1, "matchlet fired");
+        assert!(
+            !a.node(NodeIndex(1)).ui_received.is_empty(),
+            "alert delivered to the UI subscriber"
+        );
+    }
+
+    #[test]
+    fn knowledge_seeding_and_prefetch() {
+        let mut a = arch(6, 13);
+        let facts = vec![
+            Fact::new("bob", "likes", Term::str("ice cream")),
+            Fact::new("bob", "nationality", Term::str("scottish")),
+        ];
+        a.seed_knowledge(NodeIndex(2), "bob", &facts);
+        a.run_for(SimDuration::from_secs(30));
+        a.prefetch_subject(NodeIndex(4), "bob");
+        a.run_for(SimDuration::from_secs(30));
+        let node = a.node(NodeIndex(4));
+        assert!(node.known_subjects.contains("bob"));
+        assert_eq!(node.kb.query(Some("bob"), None).count(), 2);
+    }
+
+    #[test]
+    fn node_failure_repairs_service_placement() {
+        let mut a = arch(7, 14);
+        let spec = ServiceSpec::new(
+            "svc",
+            r#"rule r { on a: event ping() emit pong() }"#,
+            vec![(None, 2)],
+        )
+        .unwrap();
+        a.deploy_service(spec);
+        a.run_for(SimDuration::from_secs(60));
+        let hosts = a.hosts_of("matchlet:svc");
+        assert_eq!(hosts.len(), 2);
+        a.world_mut().crash(hosts[0]);
+        // Heartbeats stop; monitor deadline 30 s; sweep 10 s; redeploy.
+        a.run_for(SimDuration::from_secs(150));
+        assert_eq!(a.satisfaction(), 1.0, "constraint repaired after crash");
+        let new_hosts = a.hosts_of("matchlet:svc");
+        assert!(new_hosts.iter().all(|h| *h != hosts[0]));
+        assert!(new_hosts.len() >= 2);
+    }
+
+    #[test]
+    fn discovery_deploys_handler_for_unknown_kind() {
+        let mut a = arch(6, 15);
+        // Handler code lives in the storage architecture.
+        a.register_handler_code(
+            NodeIndex(1),
+            "pollen.reading",
+            r#"rule pollen { on p: event pollen.reading(level: ?l) where ?l > 5 emit pollen_alert(level: ?l) }"#,
+        );
+        a.run_for(SimDuration::from_secs(30));
+        a.subscribe_ui(NodeIndex(2), Filter::for_kind("pollen_alert"));
+        a.run_for(SimDuration::from_secs(10));
+        // An unknown kind arrives at node 3: nothing handles it yet.
+        a.publish(NodeIndex(3), Event::new("pollen.reading").with_attr("level", 8i64));
+        a.run_for(SimDuration::from_secs(60));
+        let cs = a.node(NodeIndex(0)).coordinator_state.as_ref().unwrap();
+        assert!(cs.discovered.contains(&"pollen.reading".to_string()));
+        assert!(!a.hosts_of("discovered:pollen.reading").is_empty());
+        // Subsequent events are matched by the discovered matchlet.
+        a.publish(NodeIndex(3), Event::new("pollen.reading").with_attr("level", 9i64));
+        a.run_for(SimDuration::from_secs(30));
+        assert!(
+            !a.node(NodeIndex(2)).ui_received.is_empty(),
+            "post-discovery events produce alerts"
+        );
+    }
+}

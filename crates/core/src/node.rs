@@ -1,0 +1,525 @@
+//! The integrated architecture node: broker + storelet + thin server +
+//! matchlets, with the coordinator engines on node 0.
+
+use crate::service::ServiceSpec;
+use gloss_bundle::{AuthKey, Bundle, Capability, ThinServer};
+use gloss_deploy::{EvolutionEngine, MonitorEngine, NodeResources};
+use gloss_event::{Broker, BrokerMsg, Event, EventId, Filter, Subscription};
+use gloss_knowledge::{DistributedKnowledge, InMemoryFacts};
+use gloss_overlay::Key;
+use gloss_sim::{Input, Node, NodeIndex, Outbox, SimDuration, SimTime};
+use gloss_store::{Document, StoreMsg, StoreNode};
+use gloss_xml::Element;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Messages of the integrated architecture.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GlossMsg {
+    /// Event-plane traffic (Siena brokers).
+    PubSub(BrokerMsg),
+    /// Storage-plane traffic (overlay + storage).
+    Store(StoreMsg),
+    /// A locally sensed event (device wrappers / workload injection).
+    Sensor(Event),
+    /// A UI client subscription on this node.
+    UiSubscribe(Filter),
+    /// Prefetch the knowledge-base document for a subject into this node.
+    PrefetchSubject(String),
+    /// A sealed code bundle shipped by the evolution engine or discovery.
+    Bundle {
+        /// Instance id (evolution bookkeeping; empty for discovery).
+        instance: String,
+        /// The XML packet.
+        packet: String,
+    },
+    /// Install confirmation back to the coordinator.
+    Installed {
+        /// Instance id.
+        instance: String,
+    },
+    /// A node saw an event kind no local matchlet handles (discovery, §5).
+    UnknownKind {
+        /// The unhandled kind.
+        kind: String,
+    },
+}
+
+/// Timer tags owned by the integration layer (store/overlay tags pass
+/// through to the storelet).
+mod timers {
+    /// Worker resource heartbeat.
+    pub const HEARTBEAT: u64 = 0x40;
+    /// Coordinator sweep (monitor + reconcile).
+    pub const SWEEP: u64 = 0x41;
+}
+
+/// Coordinator-only state (node 0).
+#[derive(Debug)]
+pub struct CoordinatorState {
+    /// The monitoring engine.
+    pub monitor: MonitorEngine,
+    /// The evolution engine.
+    pub evolution: EvolutionEngine,
+    /// Registered services by name.
+    pub services: BTreeMap<String, ServiceSpec>,
+    /// Kinds currently being discovered → reporting nodes.
+    discovery_pending: BTreeMap<String, BTreeSet<NodeIndex>>,
+    /// Outstanding handler-code fetches: store request id → kind.
+    handler_reqs: BTreeMap<u64, String>,
+    next_req: u64,
+    /// Kinds successfully discovered and deployed.
+    pub discovered: Vec<String>,
+}
+
+impl CoordinatorState {
+    fn new(monitor_deadline: SimDuration) -> Self {
+        CoordinatorState {
+            monitor: MonitorEngine::new(monitor_deadline),
+            evolution: EvolutionEngine::new(Vec::new()),
+            services: BTreeMap::new(),
+            discovery_pending: BTreeMap::new(),
+            handler_reqs: BTreeMap::new(),
+            next_req: 0,
+            discovered: Vec::new(),
+        }
+    }
+}
+
+/// One node of the active architecture.
+#[derive(Debug)]
+pub struct GlossNode {
+    me: NodeIndex,
+    /// The event broker.
+    pub broker: Broker,
+    /// The storelet (overlay + storage + caches).
+    pub store: StoreNode,
+    /// The thin server hosting matchlets.
+    pub server: ThinServer,
+    /// The node-local fact store (fed by `kb/…` documents).
+    pub kb: InMemoryFacts,
+    resources: NodeResources,
+    coordinator: NodeIndex,
+    heartbeat: SimDuration,
+    sweep_every: SimDuration,
+    key: AuthKey,
+    sub_seq: u64,
+    pub_seq: u64,
+    subscribed_kinds: BTreeSet<String>,
+    reported_unknown: BTreeSet<String>,
+    /// UI-style subscriptions delivered to [`ui_received`](Self::ui_received).
+    pub ui_filters: Vec<Filter>,
+    /// Events delivered to this node's UI subscriptions.
+    pub ui_received: Vec<Event>,
+    /// Events synthesised by local matchlets.
+    pub emitted: u64,
+    /// Coordinator engines (node 0 only).
+    pub coordinator_state: Option<CoordinatorState>,
+    /// Subjects whose kb documents have been ingested locally.
+    pub known_subjects: BTreeSet<String>,
+}
+
+impl GlossNode {
+    /// Creates an integrated node.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        me: NodeIndex,
+        broker: Broker,
+        store: StoreNode,
+        resources: NodeResources,
+        coordinator: NodeIndex,
+        key: AuthKey,
+        heartbeat: SimDuration,
+        monitor_deadline: SimDuration,
+    ) -> Self {
+        let mut server = ThinServer::new(format!("gloss-{me}"));
+        server.trust(key.clone());
+        server.grant(key.issuer(), Capability::DeployMatchlet);
+        server.grant(key.issuer(), Capability::DeployComponent);
+        server.grant(key.issuer(), Capability::StoreAccess);
+        let coordinator_state =
+            (me == coordinator).then(|| CoordinatorState::new(monitor_deadline));
+        GlossNode {
+            me,
+            broker,
+            store,
+            server,
+            kb: InMemoryFacts::new(),
+            resources,
+            coordinator,
+            heartbeat,
+            sweep_every: SimDuration::from_secs(10),
+            key,
+            sub_seq: 0,
+            pub_seq: 0,
+            subscribed_kinds: BTreeSet::new(),
+            reported_unknown: BTreeSet::new(),
+            ui_filters: Vec::new(),
+            ui_received: Vec::new(),
+            emitted: 0,
+            coordinator_state,
+            known_subjects: BTreeSet::new(),
+        }
+    }
+
+    /// This node's index.
+    pub fn index(&self) -> NodeIndex {
+        self.me
+    }
+
+    /// Whether this node is the coordinator.
+    pub fn is_coordinator(&self) -> bool {
+        self.coordinator_state.is_some()
+    }
+
+    fn broker_do(&mut self, now: SimTime, from: NodeIndex, msg: BrokerMsg, out: &mut Outbox<GlossMsg>) {
+        let mut bout = Outbox::new();
+        self.broker.handle(now, from, msg, &mut bout);
+        bout.transfer_into(out, GlossMsg::PubSub);
+    }
+
+    fn subscribe_filter(&mut self, now: SimTime, filter: Filter, out: &mut Outbox<GlossMsg>) {
+        self.sub_seq += 1;
+        let id = ((self.me.0 as u64) << 32) | self.sub_seq;
+        let me = self.me;
+        self.broker_do(now, me, BrokerMsg::Subscribe(Subscription { id, filter }), out);
+    }
+
+    fn subscribe_kind(&mut self, now: SimTime, kind: &str, out: &mut Outbox<GlossMsg>) {
+        if self.subscribed_kinds.insert(kind.to_string()) {
+            self.subscribe_filter(now, Filter::for_kind(kind), out);
+        }
+    }
+
+    /// Publishes an event onto the bus from this node.
+    fn publish(&mut self, now: SimTime, mut event: Event, out: &mut Outbox<GlossMsg>) {
+        self.pub_seq += 1;
+        event.stamp(EventId { origin: self.me, seq: self.pub_seq }, now);
+        let me = self.me;
+        self.broker_do(now, me, BrokerMsg::Publish(event), out);
+    }
+
+    /// Client-side delivery: UI logging, matchlet matching, coordinator
+    /// engines.
+    fn deliver_to_client(&mut self, now: SimTime, event: Event, out: &mut Outbox<GlossMsg>) {
+        if self.ui_filters.iter().any(|f| f.matches(&event)) {
+            out.count("gloss.ui_delivered", 1.0);
+            self.ui_received.push(event.clone());
+        }
+        // Coordinator engines consume resource events from the bus.
+        if event.kind().starts_with("resource.") {
+            if let Some(cs) = self.coordinator_state.as_mut() {
+                cs.monitor.on_event(now, &event);
+                let actions = cs.evolution.on_event(now, &event);
+                self.dispatch_actions(now, actions, out);
+            }
+            return;
+        }
+        // Matchlets.
+        let outputs = self.server.match_event(now, &event, &self.kb);
+        for synthesized in outputs {
+            self.emitted += 1;
+            out.count("gloss.synthesized", 1.0);
+            out.trace("synthesize", format!("{synthesized}"));
+            self.publish(now, synthesized, out);
+        }
+    }
+
+    fn dispatch_actions(
+        &mut self,
+        now: SimTime,
+        actions: Vec<(String, gloss_deploy::Action)>,
+        out: &mut Outbox<GlossMsg>,
+    ) {
+        let _ = now;
+        for (instance, action) in actions {
+            if let gloss_deploy::Action::Deploy { kind, node } = action {
+                let cs = self.coordinator_state.as_ref().expect("only coordinator dispatches");
+                let bundle = match kind.strip_prefix("matchlet:") {
+                    Some(service_name) => match cs.services.get(service_name) {
+                        Some(spec) => Bundle::matchlet(instance.clone(), &spec.rules_source)
+                            .issued_by(self.key.issuer()),
+                        None => continue,
+                    },
+                    None => Bundle::component(instance.clone(), kind, Element::new("cfg"))
+                        .issued_by(self.key.issuer()),
+                };
+                let packet = bundle.to_packet(&self.key);
+                out.count("gloss.bundles_sent", 1.0);
+                out.send(node, GlossMsg::Bundle { instance, packet });
+            }
+        }
+    }
+
+    /// Feeds a store-plane message to the storelet, then runs the
+    /// knowledge/discovery ingestion hooks.
+    fn store_do(&mut self, now: SimTime, from: NodeIndex, msg: StoreMsg, out: &mut Outbox<GlossMsg>) {
+        let landed_doc: Option<Document> = match &msg {
+            StoreMsg::ReplicaPut { doc } | StoreMsg::CachePush { doc } => Some(doc.clone()),
+            StoreMsg::FetchReply { doc, .. } => Some(doc.clone()),
+            _ => None,
+        };
+        let concluded_req: Option<u64> = match &msg {
+            StoreMsg::FetchReply { req_id, .. } | StoreMsg::NotFound { req_id, .. } => {
+                Some(*req_id)
+            }
+            _ => None,
+        };
+        let mut sout = Outbox::new();
+        self.store.handle(now, from, msg, &mut sout);
+        sout.transfer_into(out, GlossMsg::Store);
+        if let Some(doc) = landed_doc {
+            self.ingest_document(&doc, out);
+        }
+        if let Some(req) = concluded_req {
+            self.conclude_discovery_fetch(now, req, out);
+        }
+    }
+
+    /// Knowledge documents (`kb/<subject>`) ingest into the local fact
+    /// store wherever they land — the knowledge analogue of promiscuous
+    /// caching.
+    fn ingest_document(&mut self, doc: &Document, out: &mut Outbox<GlossMsg>) {
+        let Some(subject) = doc.name.strip_prefix("kb/") else {
+            return;
+        };
+        let Ok(text) = std::str::from_utf8(&doc.content) else {
+            return;
+        };
+        let Ok(el) = gloss_xml::parse(text) else {
+            return;
+        };
+        let facts = DistributedKnowledge::facts_from_xml(&el);
+        self.kb.remove_subject(subject);
+        self.kb.extend(facts);
+        self.known_subjects.insert(subject.to_string());
+        out.count("gloss.kb_ingested", 1.0);
+    }
+
+    /// Completes a discovery fetch: deploy handler code to the reporters.
+    fn conclude_discovery_fetch(&mut self, now: SimTime, req: u64, out: &mut Outbox<GlossMsg>) {
+        let Some(cs) = self.coordinator_state.as_mut() else {
+            return;
+        };
+        if !cs.handler_reqs.contains_key(&req) {
+            return;
+        }
+        // Only conclude once the storage layer has an outcome (the fetch
+        // may still be in flight when this is probed optimistically).
+        let Some(outcome) = self.store.outcomes.get(&req).cloned() else {
+            return;
+        };
+        let kind = cs.handler_reqs.remove(&req).expect("checked above");
+        let reporters = cs.discovery_pending.remove(&kind).unwrap_or_default();
+        match outcome.doc {
+            Some(doc) => {
+                let Ok(source) = String::from_utf8(doc.content.to_vec()) else {
+                    return;
+                };
+                cs.discovered.push(kind.clone());
+                out.count("gloss.discovered_kinds", 1.0);
+                let bundle = Bundle::matchlet(format!("discovered:{kind}"), &source)
+                    .issued_by(self.key.issuer());
+                let packet = bundle.to_packet(&self.key);
+                for node in reporters {
+                    if node == self.me {
+                        // Install locally.
+                        if self.server.receive_packet(&packet).is_ok() {
+                            let kinds: Vec<String> = self
+                                .server
+                                .engine()
+                                .rules()
+                                .iter()
+                                .flat_map(|r| r.rule.patterns.iter().map(|p| p.kind.clone()))
+                                .collect();
+                            for k in kinds {
+                                self.subscribe_kind(now, &k, out);
+                            }
+                        }
+                    } else {
+                        out.send(
+                            node,
+                            GlossMsg::Bundle { instance: String::new(), packet: packet.clone() },
+                        );
+                    }
+                }
+            }
+            None => {
+                out.count("gloss.discovery_misses", 1.0);
+            }
+        }
+    }
+
+    fn handle_sensor(&mut self, now: SimTime, event: Event, out: &mut Outbox<GlossMsg>) {
+        out.count("gloss.sensor_events", 1.0);
+        // Local delivery first (devices feed the local pipeline), then the
+        // global event service.
+        self.deliver_to_client(now, event.clone(), out);
+        // Discovery: no local matchlet handles this kind.
+        if !event.kind().starts_with("resource.")
+            && !self.server.engine().handles_kind(event.kind())
+            && self.reported_unknown.insert(event.kind().to_string())
+        {
+            out.send(self.coordinator, GlossMsg::UnknownKind { kind: event.kind().to_string() });
+        }
+        self.publish(now, event, out);
+    }
+
+    fn on_start(&mut self, now: SimTime, out: &mut Outbox<GlossMsg>) {
+        // Attach to our own broker as the local client.
+        let me = self.me;
+        self.broker_do(now, me, BrokerMsg::Attach, out);
+        // Storage/overlay stack.
+        let mut sout = Outbox::new();
+        self.store.on_start(&mut sout);
+        sout.transfer_into(out, GlossMsg::Store);
+        if self.is_coordinator() {
+            self.subscribe_kind(now, gloss_deploy::resource::kinds::ADVERTISE, out);
+            self.subscribe_kind(now, gloss_deploy::resource::kinds::WITHDRAW, out);
+            out.timer(self.sweep_every, timers::SWEEP);
+        } else {
+            let advert = self.resources.to_event();
+            self.publish(now, advert, out);
+            out.timer(self.heartbeat, timers::HEARTBEAT);
+        }
+    }
+
+    fn on_timer(&mut self, now: SimTime, tag: u64, out: &mut Outbox<GlossMsg>) {
+        match tag {
+            timers::HEARTBEAT => {
+                let advert = self.resources.to_event();
+                self.publish(now, advert, out);
+                out.timer(self.heartbeat, timers::HEARTBEAT);
+            }
+            timers::SWEEP => {
+                if let Some(cs) = self.coordinator_state.as_mut() {
+                    let mut actions = Vec::new();
+                    for failure in cs.monitor.sweep(now) {
+                        out.count("gloss.failures_detected", 1.0);
+                        actions.extend(cs.evolution.on_event(now, &failure));
+                    }
+                    actions.extend(cs.evolution.reconcile(now));
+                    self.dispatch_actions(now, actions, out);
+                }
+                out.timer(self.sweep_every, timers::SWEEP);
+            }
+            other => {
+                let mut sout = Outbox::new();
+                self.store.on_timer(now, other, &mut sout);
+                sout.transfer_into(out, GlossMsg::Store);
+            }
+        }
+    }
+
+    /// Issues a storage lookup for a subject's kb document (the reply
+    /// auto-ingests).
+    fn prefetch_subject(&mut self, now: SimTime, subject: &str, out: &mut Outbox<GlossMsg>) {
+        let guid = Key::hash_of_str(&DistributedKnowledge::doc_name(subject));
+        self.sub_seq += 1;
+        let req = (1 << 48) | ((self.me.0 as u64) << 20) | self.sub_seq;
+        let mut sout = Outbox::new();
+        self.store.lookup(guid, req, now, &mut sout);
+        sout.transfer_into(out, GlossMsg::Store);
+        // A locally held copy concludes synchronously with no FetchReply
+        // message, so the ingest hook must run here.
+        if let Some(doc) = self.store.outcomes.get(&req).and_then(|o| o.doc.clone()) {
+            self.ingest_document(&doc, out);
+        }
+    }
+}
+
+impl Node for GlossNode {
+    type Msg = GlossMsg;
+
+    fn handle(&mut self, now: SimTime, input: Input<GlossMsg>, out: &mut Outbox<GlossMsg>) {
+        match input {
+            Input::Start => self.on_start(now, out),
+            Input::Timer { tag } => self.on_timer(now, tag, out),
+            Input::Msg { from, msg } => match msg {
+                GlossMsg::PubSub(bmsg) => {
+                    // A Notify from ourselves is the broker delivering to
+                    // its local client (this node); everything else is
+                    // broker-plane traffic.
+                    match bmsg {
+                        BrokerMsg::Notify(event) if from == self.me => {
+                            self.deliver_to_client(now, event, out)
+                        }
+                        other => self.broker_do(now, from, other, out),
+                    }
+                }
+                GlossMsg::Store(smsg) => self.store_do(now, from, smsg, out),
+                GlossMsg::Sensor(event) => self.handle_sensor(now, event, out),
+                GlossMsg::UiSubscribe(filter) => {
+                    self.ui_filters.push(filter.clone());
+                    self.subscribe_filter(now, filter, out);
+                }
+                GlossMsg::PrefetchSubject(subject) => {
+                    self.prefetch_subject(now, &subject, out)
+                }
+                GlossMsg::Bundle { instance, packet } => {
+                    match self.server.receive_packet(&packet) {
+                        Ok(_) => {
+                            out.count("gloss.installs", 1.0);
+                            let kinds: Vec<String> = self
+                                .server
+                                .engine()
+                                .rules()
+                                .iter()
+                                .flat_map(|r| r.rule.patterns.iter().map(|p| p.kind.clone()))
+                                .collect();
+                            for k in kinds {
+                                self.subscribe_kind(now, &k, out);
+                            }
+                            if !instance.is_empty() {
+                                out.send(from, GlossMsg::Installed { instance });
+                            }
+                        }
+                        Err(_) => out.count("gloss.install_failures", 1.0),
+                    }
+                }
+                GlossMsg::Installed { instance } => {
+                    if let Some(cs) = self.coordinator_state.as_mut() {
+                        cs.evolution.confirm_deploy(now, &instance);
+                        if cs.evolution.violations().is_empty() {
+                            if let Some(&(v_at, r_at)) = cs.evolution.repair_episodes.last() {
+                                out.observe(
+                                    "gloss.repair_ms",
+                                    r_at.since(v_at).as_secs_f64() * 1e3,
+                                );
+                            }
+                        }
+                    }
+                }
+                GlossMsg::UnknownKind { kind } => {
+                    let me = self.me;
+                    let mut fetch: Option<(u64, Key)> = None;
+                    if let Some(cs) = self.coordinator_state.as_mut() {
+                        // Skip kinds already covered by a registered service.
+                        let covered = cs
+                            .services
+                            .values()
+                            .any(|s| s.input_kinds.iter().any(|k| k == &kind));
+                        let entry = cs.discovery_pending.entry(kind.clone()).or_default();
+                        let first_report = entry.is_empty();
+                        entry.insert(from);
+                        if !covered && first_report {
+                            cs.next_req += 1;
+                            let req = (1 << 52) | cs.next_req;
+                            cs.handler_reqs.insert(req, kind.clone());
+                            let guid = Key::hash_of_str(&format!("code/{kind}"));
+                            fetch = Some((req, guid));
+                        }
+                    }
+                    let _ = me;
+                    if let Some((req, guid)) = fetch {
+                        out.count("gloss.discovery_lookups", 1.0);
+                        let mut sout = Outbox::new();
+                        self.store.lookup(guid, req, now, &mut sout);
+                        sout.transfer_into(out, GlossMsg::Store);
+                        // A locally satisfied lookup concludes immediately.
+                        self.conclude_discovery_fetch(now, req, out);
+                    }
+                }
+            },
+        }
+    }
+}

@@ -1,0 +1,380 @@
+//! Canned scenarios and workload generators: the paper's §1.1 examples as
+//! runnable artefacts, plus the population workloads behind experiments
+//! E1 and C7.
+
+use crate::architecture::{ActiveArchitecture, ArchConfig};
+use crate::service::ServiceSpec;
+use gloss_event::{Event, Filter};
+use gloss_knowledge::{Fact, PlaceDirectory, Term, UserProfile};
+use gloss_sim::{GeoPoint, NodeIndex, SimDuration, SimRng, SimTime};
+
+/// The paper's worked example: within a five-minute interval, correlate
+/// Bob's preferences, nationality, location, the weather, Janetta's
+/// opening hours, and Anna's proximity — and suggest an ice cream.
+///
+/// "If, within the time interval 16.45–16.50, all these items could be
+/// correlated, a pervasive contextual service could suggest to both Bob
+/// and Anna via some appropriate user interface mechanism that they might
+/// wish to meet for an ice cream at Janetta's at 16.55."
+#[derive(Debug)]
+pub struct IceCreamScenario {
+    /// The architecture the scenario runs on.
+    pub arch: ActiveArchitecture,
+    /// Where Bob's and Anna's UI clients live.
+    pub ui_node: NodeIndex,
+}
+
+/// The matchlet realising the correlation (spatial, temporal and logical
+/// relationships per §1.1).
+pub const ICE_CREAM_RULES: &str = r#"
+    rule ice_cream_meetup {
+        on w: event weather.reading(street: ?street, celsius: ?temp)
+        on b: event user.location(user: ?u, lat: ?lat, lon: ?lon, on_foot: true)
+        on f: event user.location(user: ?v, lat: ?flat, lon: ?flon)
+        where ?u != ?v and fact(?u, knows, ?v)
+        where fact(?u, likes, "ice cream") and fact(?u, nationality, ?nat)
+        where ?temp >= hot_threshold(?nat)
+        where fact(?shop, sells, "ice cream") and fact(?shop, located_at, ?sg)
+        where distance_km(geo(?lat, ?lon), ?sg) < 0.6
+        where distance_km(geo(?flat, ?flon), ?sg) < 1.2
+        where fact(?shop, closes_at, ?close)
+        where minutes_of_day() + walk_minutes(geo(?lat, ?lon), ?sg) < ?close
+        within 5 m
+        emit suggestion(user: ?u, friend: ?v, shop: ?shop, what: "ice cream")
+    }
+"#;
+
+impl IceCreamScenario {
+    /// Builds the architecture, seeds the knowledge base (Bob, Anna,
+    /// Janetta's and the rest of St Andrews), deploys the service, and
+    /// settles.
+    pub fn setup(seed: u64) -> Self {
+        let mut arch = ActiveArchitecture::build(ArchConfig {
+            nodes: 8,
+            seed,
+            ..Default::default()
+        });
+        arch.settle();
+
+        // Knowledge: profiles and the GIS directory.
+        let (_, bob_facts) = UserProfile::paper_bob(
+            SimTime::ZERO,
+            SimTime::from_secs(7 * 24 * 3600), // on holiday all week
+        );
+        arch.seed_knowledge(NodeIndex(1), "bob", &bob_facts);
+        let anna_facts = UserProfile::paper_anna().to_facts();
+        arch.seed_knowledge(NodeIndex(2), "anna", &anna_facts);
+        let directory = PlaceDirectory::st_andrews();
+        for place in directory.iter() {
+            arch.seed_knowledge(NodeIndex(3), &place.name, &place.to_facts());
+        }
+        arch.run_for(SimDuration::from_secs(30));
+
+        // The service, constrained to run near the users (Scotland) with
+        // a spare instance elsewhere.
+        let spec = ServiceSpec::new(
+            "ice_cream",
+            ICE_CREAM_RULES,
+            vec![(Some("scotland".into()), 1), (None, 2)],
+        )
+        .expect("scenario rules compile");
+        arch.deploy_service(spec);
+        arch.run_for(SimDuration::from_secs(60));
+
+        // Matchlet hosts need the relevant knowledge locally; in the full
+        // architecture this is driven by the caching policies (§4.5) — we
+        // prefetch the subjects the service touches.
+        for subject in ["bob", "anna"] {
+            arch.prefetch_subject_everywhere(subject);
+        }
+        for place in directory.iter() {
+            arch.prefetch_subject_everywhere(&place.name);
+        }
+        arch.run_for(SimDuration::from_secs(30));
+
+        let ui_node = NodeIndex(1);
+        let mut s = IceCreamScenario { arch, ui_node };
+        s.arch.subscribe_ui(ui_node, Filter::for_kind("suggestion"));
+        s.arch.run_for(SimDuration::from_secs(10));
+        s
+    }
+
+    /// Plays the §1.1 event sequence: warm weather in South Street, Bob
+    /// walking along North Street, Anna nearby — all within the window.
+    pub fn play_events(&mut self) {
+        let base = self.arch.now();
+        // 16:45-equivalent: the correlation window opens.
+        self.arch.publish_at(
+            base + SimDuration::from_secs(10),
+            NodeIndex(4),
+            Event::new("weather.reading")
+                .with_attr("street", "South Street")
+                .with_attr("celsius", 20.0),
+        );
+        // Bob is in North Street, on foot (near Janetta's).
+        self.arch.publish_at(
+            base + SimDuration::from_secs(40),
+            NodeIndex(5),
+            Event::new("user.location")
+                .with_attr("user", "bob")
+                .with_attr("lat", 56.3417)
+                .with_attr("lon", -2.7956)
+                .with_attr("on_foot", true),
+        );
+        // Anna is at the paper's exact coordinate 56.3397, -2.80753.
+        self.arch.publish_at(
+            base + SimDuration::from_secs(70),
+            NodeIndex(6),
+            Event::new("user.location")
+                .with_attr("user", "anna")
+                .with_attr("lat", 56.3397)
+                .with_attr("lon", -2.80753)
+                .with_attr("on_foot", true),
+        );
+    }
+
+    /// The suggestions delivered to the UI so far.
+    pub fn suggestions(&self) -> Vec<&Event> {
+        self.arch.node(self.ui_node).ui_received.iter().collect()
+    }
+}
+
+/// A population workload: `users` wandering around St Andrews reporting
+/// locations, street thermometers reporting temperature, and unrelated
+/// background noise — the "very high volume of globally distributed items
+/// of information" of Figure 1.
+#[derive(Debug)]
+pub struct PopulationWorkload {
+    /// Number of simulated users.
+    pub users: usize,
+    /// Location report period per user.
+    pub report_every: SimDuration,
+    /// Weather report period per street.
+    pub weather_every: SimDuration,
+    /// Background noise events per second (population-wide).
+    pub noise_rate: f64,
+    /// Workload duration.
+    pub duration: SimDuration,
+}
+
+impl Default for PopulationWorkload {
+    fn default() -> Self {
+        PopulationWorkload {
+            users: 20,
+            report_every: SimDuration::from_secs(30),
+            weather_every: SimDuration::from_secs(60),
+            noise_rate: 2.0,
+            duration: SimDuration::from_secs(300),
+        }
+    }
+}
+
+impl PopulationWorkload {
+    /// Injects the whole workload into `arch` starting now; returns the
+    /// number of events scheduled.
+    pub fn inject(&self, arch: &mut ActiveArchitecture, seed: u64) -> usize {
+        let mut rng = SimRng::new(seed).fork("population");
+        let n = arch.len() as u32;
+        let base = arch.now();
+        let mut scheduled = 0;
+
+        // Users: random-walk positions around the town centre.
+        let centre = GeoPoint::new(56.3404, -2.7955);
+        for u in 0..self.users {
+            let name = format!("user{u}");
+            let mut pos = GeoPoint::new(
+                centre.lat + rng.float_range(-0.03, 0.03),
+                centre.lon + rng.float_range(-0.05, 0.05),
+            );
+            let node = NodeIndex(rng.range(0, n as u64) as u32);
+            let mut t = base + SimDuration::from_millis(rng.range(0, 10_000));
+            while t < base + self.duration {
+                pos = GeoPoint::new(
+                    pos.lat + rng.float_range(-0.0006, 0.0006),
+                    pos.lon + rng.float_range(-0.001, 0.001),
+                );
+                arch.publish_at(
+                    t,
+                    node,
+                    Event::new("user.location")
+                        .with_attr("user", name.as_str())
+                        .with_attr("lat", pos.lat)
+                        .with_attr("lon", pos.lon)
+                        .with_attr("on_foot", true),
+                );
+                scheduled += 1;
+                t = t + self.report_every;
+            }
+        }
+
+        // Weather per street.
+        for (i, street) in ["South Street", "Market Street", "North Street"]
+            .iter()
+            .enumerate()
+        {
+            let node = NodeIndex((i as u32 + 1) % n);
+            let mut t = base + SimDuration::from_millis(rng.range(0, 5_000));
+            while t < base + self.duration {
+                let c = 12.0 + rng.float_range(0.0, 7.0);
+                arch.publish_at(
+                    t,
+                    node,
+                    Event::new("weather.reading")
+                        .with_attr("street", *street)
+                        .with_attr("celsius", c),
+                );
+                scheduled += 1;
+                t = t + self.weather_every;
+            }
+        }
+
+        // Background noise: events no service cares about.
+        let noise_events = (self.noise_rate * self.duration.as_secs_f64()) as usize;
+        for _ in 0..noise_events {
+            let node = NodeIndex(rng.range(0, n as u64) as u32);
+            let t = base + SimDuration::from_secs_f64(
+                rng.float_range(0.0, self.duration.as_secs_f64()),
+            );
+            arch.publish_at(
+                t,
+                node,
+                Event::new("telemetry.noise").with_attr("v", rng.range(0, 1_000) as i64),
+            );
+            scheduled += 1;
+        }
+        scheduled
+    }
+
+    /// Seeds profile facts for the population: everyone likes ice cream
+    /// with a mixed set of nationalities, plus a ring of acquaintances.
+    pub fn seed_population_knowledge(&self, arch: &mut ActiveArchitecture, seed: u64) {
+        let mut rng = SimRng::new(seed).fork("population-kb");
+        let nationalities = ["scottish", "australian", "brazilian", "german"];
+        for u in 0..self.users {
+            let name = format!("user{u}");
+            let friend = format!("user{}", (u + 1) % self.users);
+            let mut facts = vec![
+                Fact::new(
+                    &name,
+                    "nationality",
+                    Term::str(*rng.choose(&nationalities).expect("non-empty")),
+                ),
+                Fact::new(&name, "knows", Term::str(&friend)),
+            ];
+            // A third of the population shares Bob's taste.
+            if u % 3 == 0 {
+                facts.push(Fact::new(&name, "likes", Term::str("ice cream")));
+            }
+            arch.seed_knowledge(NodeIndex((u % arch.len()) as u32), &name, &facts);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ice_cream_scenario_produces_the_papers_suggestion() {
+        let mut s = IceCreamScenario::setup(42);
+        s.play_events();
+        // The correlation window is five minutes; run it out.
+        s.arch.run_for(SimDuration::from_secs(360));
+        let suggestions = s.suggestions();
+        assert!(
+            !suggestions.is_empty(),
+            "the scenario must produce at least one suggestion"
+        );
+        let sg = suggestions[0];
+        assert_eq!(sg.str_attr("user"), Some("bob"));
+        assert_eq!(sg.str_attr("friend"), Some("anna"));
+        assert_eq!(sg.str_attr("shop"), Some("Janetta's"));
+    }
+
+    #[test]
+    fn no_suggestion_in_cold_weather() {
+        let mut s = IceCreamScenario::setup(43);
+        let base = s.arch.now();
+        // 8 °C: not hot even for Bob.
+        s.arch.publish_at(
+            base + SimDuration::from_secs(10),
+            NodeIndex(4),
+            Event::new("weather.reading")
+                .with_attr("street", "South Street")
+                .with_attr("celsius", 8.0),
+        );
+        s.arch.publish_at(
+            base + SimDuration::from_secs(40),
+            NodeIndex(5),
+            Event::new("user.location")
+                .with_attr("user", "bob")
+                .with_attr("lat", 56.3417)
+                .with_attr("lon", -2.7956)
+                .with_attr("on_foot", true),
+        );
+        s.arch.publish_at(
+            base + SimDuration::from_secs(70),
+            NodeIndex(6),
+            Event::new("user.location")
+                .with_attr("user", "anna")
+                .with_attr("lat", 56.3397)
+                .with_attr("lon", -2.80753)
+                .with_attr("on_foot", true),
+        );
+        s.arch.run_for(SimDuration::from_secs(360));
+        assert!(s.suggestions().is_empty());
+    }
+
+    #[test]
+    fn events_outside_the_window_do_not_correlate() {
+        let mut s = IceCreamScenario::setup(44);
+        let base = s.arch.now();
+        s.arch.publish_at(
+            base + SimDuration::from_secs(10),
+            NodeIndex(4),
+            Event::new("weather.reading")
+                .with_attr("street", "South Street")
+                .with_attr("celsius", 20.0),
+        );
+        // Bob appears 10 minutes later: the weather reading has expired.
+        s.arch.publish_at(
+            base + SimDuration::from_secs(610),
+            NodeIndex(5),
+            Event::new("user.location")
+                .with_attr("user", "bob")
+                .with_attr("lat", 56.3417)
+                .with_attr("lon", -2.7956)
+                .with_attr("on_foot", true),
+        );
+        s.arch.publish_at(
+            base + SimDuration::from_secs(640),
+            NodeIndex(6),
+            Event::new("user.location")
+                .with_attr("user", "anna")
+                .with_attr("lat", 56.3397)
+                .with_attr("lon", -2.80753)
+                .with_attr("on_foot", true),
+        );
+        s.arch.run_for(SimDuration::from_secs(900));
+        assert!(s.suggestions().is_empty());
+    }
+
+    #[test]
+    fn population_workload_schedules_the_expected_volume() {
+        let mut arch = ActiveArchitecture::build(ArchConfig {
+            nodes: 6,
+            seed: 9,
+            ..Default::default()
+        });
+        arch.settle();
+        let w = PopulationWorkload {
+            users: 5,
+            duration: SimDuration::from_secs(120),
+            ..Default::default()
+        };
+        let scheduled = w.inject(&mut arch, 9);
+        assert!(scheduled > 20, "scheduled {scheduled}");
+        arch.run_for(SimDuration::from_secs(180));
+        assert_eq!(arch.total_sensed(), scheduled as u64);
+    }
+}

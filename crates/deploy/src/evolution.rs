@@ -1,0 +1,276 @@
+//! The evolution engine: constraint-driven deployment repair.
+
+use crate::constraint::{Constraint, Deployment, Violation};
+use crate::resource::NodeResources;
+use crate::solver::plan_repairs;
+use gloss_event::Event;
+use gloss_sim::{NodeIndex, SimTime};
+use std::collections::BTreeMap;
+
+/// An action the evolution engine wants executed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Action {
+    /// Deploy a component of `kind` onto `node` (ship a code bundle).
+    Deploy {
+        /// The component kind.
+        kind: String,
+        /// The target node.
+        node: NodeIndex,
+    },
+    /// Remove an instance.
+    Remove {
+        /// The instance id.
+        instance: String,
+    },
+}
+
+/// The evolution engine: holds the constraint set, the resource view
+/// (from advertisement events), and the believed deployment; emits repair
+/// actions when constraints are violated.
+#[derive(Debug, Clone)]
+pub struct EvolutionEngine {
+    constraints: Vec<Constraint>,
+    resources: BTreeMap<NodeIndex, NodeResources>,
+    deployment: Deployment,
+    /// Pending deploys: instance id → (kind, node), not yet confirmed.
+    pending: BTreeMap<String, (String, NodeIndex)>,
+    next_instance: u64,
+    /// When the system first became violated (for repair-latency metrics);
+    /// `None` while satisfied.
+    violated_since: Option<SimTime>,
+    /// Completed repair episodes: (violated_at, repaired_at).
+    pub repair_episodes: Vec<(SimTime, SimTime)>,
+    /// Actions issued over the engine's lifetime.
+    pub actions_issued: u64,
+}
+
+impl EvolutionEngine {
+    /// Creates an engine for the given constraint set.
+    pub fn new(constraints: Vec<Constraint>) -> Self {
+        EvolutionEngine {
+            constraints,
+            resources: BTreeMap::new(),
+            deployment: Deployment::new(),
+            pending: BTreeMap::new(),
+            next_instance: 0,
+            violated_since: None,
+            repair_episodes: Vec::new(),
+            actions_issued: 0,
+        }
+    }
+
+    /// The constraint set.
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// Adds a constraint at runtime (policies "evolve in response to such
+    /// changes").
+    pub fn add_constraint(&mut self, c: Constraint) {
+        self.constraints.push(c);
+    }
+
+    /// The believed deployment.
+    pub fn deployment(&self) -> &Deployment {
+        &self.deployment
+    }
+
+    /// The current resource view.
+    pub fn resources(&self) -> &BTreeMap<NodeIndex, NodeResources> {
+        &self.resources
+    }
+
+    /// Current violations.
+    pub fn violations(&self) -> Vec<Violation> {
+        self.constraints
+            .iter()
+            .filter_map(|c| c.violation(&self.deployment, &self.resources))
+            .collect()
+    }
+
+    /// Fraction of constraints currently satisfied (1.0 = all).
+    pub fn satisfaction(&self) -> f64 {
+        if self.constraints.is_empty() {
+            return 1.0;
+        }
+        let violated = self.violations().len();
+        1.0 - violated as f64 / self.constraints.len() as f64
+    }
+
+    /// Feeds a resource event (advertise / withdraw / failed); returns
+    /// repair actions to execute.
+    pub fn on_event(&mut self, now: SimTime, ev: &Event) -> Vec<(String, Action)> {
+        if let Some(r) = NodeResources::from_event(ev) {
+            self.resources.insert(r.node, r);
+        } else if let Some(node) = NodeResources::departed_node(ev) {
+            self.resources.remove(&node);
+            self.deployment.remove_node(node);
+            self.pending.retain(|_, (_, n)| *n != node);
+        } else {
+            return Vec::new();
+        }
+        self.reconcile(now)
+    }
+
+    /// Periodic reconciliation (also catches lost install confirmations).
+    pub fn reconcile(&mut self, now: SimTime) -> Vec<(String, Action)> {
+        // Measure episodes: satisfied -> violated -> satisfied.
+        let violated = !self.violations().is_empty();
+        match (self.violated_since, violated) {
+            (None, true) => self.violated_since = Some(now),
+            (Some(_since), false) => {
+                // Repair completes when confirmations arrive (see
+                // `confirm_deploy`), handled there.
+            }
+            _ => {}
+        }
+        // Plan against deployment ∪ pending so we do not double-deploy
+        // while installs are in flight.
+        let mut projected = self.deployment.clone();
+        for (instance, (kind, node)) in &self.pending {
+            projected.place(instance.clone(), kind.clone(), *node);
+        }
+        let actions = plan_repairs(&self.constraints, &projected, &self.resources);
+        let mut out = Vec::new();
+        for action in actions {
+            match &action {
+                Action::Deploy { kind, node } => {
+                    self.next_instance += 1;
+                    let instance = format!("{kind}@{}#{}", node, self.next_instance);
+                    self.pending.insert(instance.clone(), (kind.clone(), *node));
+                    self.actions_issued += 1;
+                    out.push((instance, action));
+                }
+                Action::Remove { instance } => {
+                    self.deployment.remove(instance);
+                    self.actions_issued += 1;
+                    out.push((instance.clone(), action));
+                }
+            }
+        }
+        out
+    }
+
+    /// Confirms that a deploy action completed (the bundle installed).
+    pub fn confirm_deploy(&mut self, now: SimTime, instance: &str) {
+        if let Some((kind, node)) = self.pending.remove(instance) {
+            self.deployment.place(instance, kind, node);
+        }
+        if self.violations().is_empty() {
+            if let Some(since) = self.violated_since.take() {
+                self.repair_episodes.push((since, now));
+            }
+        }
+    }
+
+    /// A deploy failed (node died mid-install); forget it so the next
+    /// reconcile can re-plan.
+    pub fn abandon_deploy(&mut self, instance: &str) {
+        self.pending.remove(instance);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gloss_sim::GeoPoint;
+
+    fn advert(node: u32, region: &str) -> Event {
+        NodeResources {
+            node: NodeIndex(node),
+            region: region.into(),
+            geo: GeoPoint::new(0.0, 0.0),
+            cpu: 1.0,
+            storage: 0,
+        }
+        .to_event()
+    }
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn deploys_when_resources_arrive() {
+        let mut e = EvolutionEngine::new(vec![Constraint::count("repl", None, 2)]);
+        assert!(e.on_event(t(0), &advert(0, "scotland")).len() <= 2);
+        let actions = e.on_event(t(1), &advert(1, "scotland"));
+        // By now two nodes exist; across both events two deploys total.
+        let total = e.actions_issued;
+        assert_eq!(total, 2, "two instances requested, got {actions:?}");
+        assert_eq!(e.satisfaction(), 0.0, "not yet confirmed");
+    }
+
+    #[test]
+    fn confirmation_completes_the_repair_episode() {
+        let mut e = EvolutionEngine::new(vec![Constraint::count("repl", None, 1)]);
+        let actions = e.on_event(t(5), &advert(0, "scotland"));
+        assert_eq!(actions.len(), 1);
+        let (instance, _) = &actions[0];
+        e.confirm_deploy(t(8), instance);
+        assert_eq!(e.satisfaction(), 1.0);
+        assert_eq!(e.repair_episodes.len(), 1);
+        let (from, to) = e.repair_episodes[0];
+        assert_eq!(from, t(5));
+        assert_eq!(to, t(8));
+    }
+
+    #[test]
+    fn no_double_deploy_while_pending() {
+        let mut e = EvolutionEngine::new(vec![Constraint::count("repl", None, 1)]);
+        let first = e.on_event(t(0), &advert(0, "scotland"));
+        assert_eq!(first.len(), 1);
+        // Reconcile again before confirmation: nothing new planned.
+        let second = e.reconcile(t(1));
+        assert!(second.is_empty(), "pending deploy must suppress re-planning");
+    }
+
+    #[test]
+    fn node_failure_triggers_replacement() {
+        let mut e = EvolutionEngine::new(vec![Constraint::count("repl", None, 1)]);
+        let mut actions = e.on_event(t(0), &advert(0, "scotland"));
+        actions.extend(e.on_event(t(0), &advert(1, "scotland")));
+        actions.extend(e.reconcile(t(1)));
+        let confirmed: Vec<String> = actions.iter().map(|(i, _)| i.clone()).collect();
+        for i in &confirmed {
+            e.confirm_deploy(t(2), i);
+        }
+        assert_eq!(e.satisfaction(), 1.0);
+        // The hosting node dies.
+        let hosting: NodeIndex = e.deployment.instances_of("repl").next().unwrap().1;
+        let repairs = e.on_event(t(10), &NodeResources::failed_event(hosting));
+        assert_eq!(repairs.len(), 1, "replacement planned immediately");
+        let (instance, Action::Deploy { node, .. }) = &repairs[0] else {
+            panic!("expected deploy");
+        };
+        assert_ne!(*node, hosting, "replacement goes to a surviving node");
+        e.confirm_deploy(t(12), instance);
+        assert_eq!(e.satisfaction(), 1.0);
+        assert_eq!(e.repair_episodes.len(), 2);
+    }
+
+    #[test]
+    fn abandon_allows_replanning() {
+        let mut e = EvolutionEngine::new(vec![Constraint::count("repl", None, 1)]);
+        let actions = e.on_event(t(0), &advert(0, "scotland"));
+        let (instance, _) = &actions[0];
+        e.abandon_deploy(instance);
+        let retry = e.reconcile(t(5));
+        assert_eq!(retry.len(), 1, "abandoned deploy is re-planned");
+    }
+
+    #[test]
+    fn satisfaction_with_no_constraints_is_full() {
+        let e = EvolutionEngine::new(vec![]);
+        assert_eq!(e.satisfaction(), 1.0);
+    }
+
+    #[test]
+    fn runtime_constraint_addition() {
+        let mut e = EvolutionEngine::new(vec![]);
+        e.on_event(t(0), &advert(0, "scotland"));
+        assert!(e.reconcile(t(1)).is_empty());
+        e.add_constraint(Constraint::count("cache", None, 1));
+        assert_eq!(e.reconcile(t(2)).len(), 1);
+    }
+}

@@ -1,0 +1,124 @@
+//! The monitoring engine: liveness tracking from resource advertisements.
+//!
+//! "Nodes may disappear from the network either gracefully, in which case
+//! they will publish events warning of their imminent withdrawal, or
+//! without warning, in which case the loss may eventually be detected by
+//! other monitoring components, which will publish events on their
+//! behalf." (§4.4)
+
+use crate::resource::NodeResources;
+use gloss_event::Event;
+use gloss_sim::{NodeIndex, SimDuration, SimTime};
+use std::collections::BTreeMap;
+
+/// Tracks heartbeats (advertisements) and detects silent failures.
+#[derive(Debug, Clone)]
+pub struct MonitorEngine {
+    deadline: SimDuration,
+    last_seen: BTreeMap<NodeIndex, SimTime>,
+    /// Failures detected so far.
+    pub failures_detected: u64,
+}
+
+impl MonitorEngine {
+    /// Creates a monitor declaring nodes dead after `deadline` without an
+    /// advertisement.
+    pub fn new(deadline: SimDuration) -> Self {
+        MonitorEngine { deadline, last_seen: BTreeMap::new(), failures_detected: 0 }
+    }
+
+    /// Number of nodes currently believed alive.
+    pub fn alive_count(&self) -> usize {
+        self.last_seen.len()
+    }
+
+    /// Whether `node` is currently believed alive.
+    pub fn is_alive(&self, node: NodeIndex) -> bool {
+        self.last_seen.contains_key(&node)
+    }
+
+    /// Feeds an observed event (advertisement refreshes liveness;
+    /// withdrawal removes the node immediately).
+    pub fn on_event(&mut self, now: SimTime, ev: &Event) {
+        if let Some(r) = NodeResources::from_event(ev) {
+            self.last_seen.insert(r.node, now);
+        } else if ev.kind() == crate::resource::kinds::WITHDRAW {
+            if let Some(node) = NodeResources::departed_node(ev) {
+                self.last_seen.remove(&node);
+            }
+        }
+    }
+
+    /// Periodic sweep: returns `resource.failed` events for nodes whose
+    /// advertisements stopped (published "on their behalf").
+    pub fn sweep(&mut self, now: SimTime) -> Vec<Event> {
+        let dead: Vec<NodeIndex> = self
+            .last_seen
+            .iter()
+            .filter(|(_, &t)| now.since(t) > self.deadline)
+            .map(|(&n, _)| n)
+            .collect();
+        let mut events = Vec::new();
+        for node in dead {
+            self.last_seen.remove(&node);
+            self.failures_detected += 1;
+            events.push(NodeResources::failed_event(node));
+        }
+        events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gloss_sim::GeoPoint;
+
+    fn advert(node: u32) -> Event {
+        NodeResources {
+            node: NodeIndex(node),
+            region: "scotland".into(),
+            geo: GeoPoint::new(56.3, -3.0),
+            cpu: 1.0,
+            storage: 0,
+        }
+        .to_event()
+    }
+
+    #[test]
+    fn heartbeats_keep_nodes_alive() {
+        let mut m = MonitorEngine::new(SimDuration::from_secs(30));
+        m.on_event(SimTime::from_secs(0), &advert(1));
+        m.on_event(SimTime::from_secs(20), &advert(1));
+        assert!(m.sweep(SimTime::from_secs(40)).is_empty(), "refreshed at t=20");
+        assert!(m.is_alive(NodeIndex(1)));
+    }
+
+    #[test]
+    fn silent_nodes_are_declared_failed() {
+        let mut m = MonitorEngine::new(SimDuration::from_secs(30));
+        m.on_event(SimTime::from_secs(0), &advert(1));
+        m.on_event(SimTime::from_secs(0), &advert(2));
+        m.on_event(SimTime::from_secs(50), &advert(2));
+        let failed = m.sweep(SimTime::from_secs(60));
+        assert_eq!(failed.len(), 1);
+        assert_eq!(NodeResources::departed_node(&failed[0]), Some(NodeIndex(1)));
+        assert_eq!(m.failures_detected, 1);
+        assert!(!m.is_alive(NodeIndex(1)));
+        assert!(m.is_alive(NodeIndex(2)));
+        // A failure is reported once.
+        assert!(m.sweep(SimTime::from_secs(90)).len() <= 1);
+    }
+
+    #[test]
+    fn graceful_withdrawal_needs_no_detection() {
+        let mut m = MonitorEngine::new(SimDuration::from_secs(30));
+        m.on_event(SimTime::from_secs(0), &advert(1));
+        m.on_event(
+            SimTime::from_secs(5),
+            &NodeResources::withdraw_event(NodeIndex(1)),
+        );
+        assert!(!m.is_alive(NodeIndex(1)));
+        assert!(m.sweep(SimTime::from_secs(100)).is_empty());
+        assert_eq!(m.failures_detected, 0, "withdrawals are not failures");
+    }
+}

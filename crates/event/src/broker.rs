@@ -1,0 +1,683 @@
+//! The Siena-like event broker: a sans-IO state machine implementing
+//! subscription propagation with covering-based pruning, advertisement
+//! gating, and notification forwarding over hierarchical or acyclic-peer
+//! broker topologies.
+
+use crate::filter::{Advertisement, Subscription};
+#[cfg(test)]
+use crate::filter::Filter;
+use crate::notification::Event;
+use gloss_sim::{NodeIndex, Outbox, SimTime};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Unique subscription identifier (clients derive these from their node
+/// index so ids never collide).
+pub type SubId = u64;
+
+/// How this broker is wired to other brokers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BrokerTopology {
+    /// Acyclic peer-to-peer graph: subscriptions propagate to all
+    /// neighbours (pruned by covering); notifications follow reverse
+    /// subscription paths.
+    Peer {
+        /// Neighbouring brokers.
+        neighbors: Vec<NodeIndex>,
+    },
+    /// Hierarchical (client/server chain): subscriptions propagate to the
+    /// parent only; notifications always flow up, and down only toward
+    /// matching subscriptions. Simpler, but the root sees every event —
+    /// the scalability contrast measured in experiment C1.
+    Hierarchical {
+        /// The parent broker (`None` at the root).
+        parent: Option<NodeIndex>,
+        /// Child brokers.
+        children: Vec<NodeIndex>,
+    },
+}
+
+impl BrokerTopology {
+    fn broker_links(&self) -> Vec<NodeIndex> {
+        match self {
+            BrokerTopology::Peer { neighbors } => neighbors.clone(),
+            BrokerTopology::Hierarchical { parent, children } => {
+                let mut v = children.clone();
+                if let Some(p) = parent {
+                    v.push(*p);
+                }
+                v
+            }
+        }
+    }
+}
+
+/// Messages of the publish/subscribe plane.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BrokerMsg {
+    /// Register a subscription (client→broker and broker→broker).
+    Subscribe(Subscription),
+    /// Remove a subscription by id.
+    Unsubscribe(SubId),
+    /// Declare the events a publisher will produce.
+    Advertise(Advertisement),
+    /// Retract an advertisement.
+    Unadvertise(u64),
+    /// Publish an event (client→broker).
+    Publish(Event),
+    /// Deliver/forward an event (broker→broker and broker→client).
+    Notify(Event),
+    /// A client registers with its access broker.
+    Attach,
+    /// A client deregisters (its subscriptions are dropped).
+    Detach,
+    /// Mobility: the client disconnects; a proxy buffers its events.
+    MoveOut,
+    /// Mobility: the client reconnects here; fetch state from `old_broker`.
+    MoveIn {
+        /// The broker the client was previously attached to.
+        old_broker: NodeIndex,
+    },
+    /// Mobility: new broker asks old broker for a client's state.
+    FetchBuffer {
+        /// The mobile client.
+        client: NodeIndex,
+    },
+    /// Mobility: old broker hands over buffered events and subscriptions.
+    Handoff {
+        /// The mobile client.
+        client: NodeIndex,
+        /// Events buffered while the client was away.
+        events: Vec<Event>,
+        /// The client's subscriptions, to re-register at the new broker.
+        subs: Vec<Subscription>,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct SubEntry {
+    sub: Subscription,
+    iface: NodeIndex,
+}
+
+/// A content-based event broker (one per broker node).
+#[derive(Debug, Clone)]
+pub struct Broker {
+    me: NodeIndex,
+    topology: BrokerTopology,
+    clients: BTreeSet<NodeIndex>,
+    subs: Vec<SubEntry>,
+    /// Subscription ids we have forwarded, per neighbouring broker.
+    forwarded: BTreeMap<NodeIndex, BTreeSet<SubId>>,
+    /// Advertisements seen, with the interface they arrived from.
+    advs: Vec<(Advertisement, NodeIndex)>,
+    /// When true, subscriptions are only forwarded toward interfaces that
+    /// sent an overlapping advertisement.
+    use_advertisements: bool,
+    /// Mobility proxies: disconnected client → buffered events.
+    proxies: BTreeMap<NodeIndex, Vec<Event>>,
+    /// Messages handled (load metric for C1).
+    pub msgs_handled: u64,
+    /// Notifications forwarded to other brokers.
+    pub notifications_forwarded: u64,
+}
+
+impl Broker {
+    /// Creates a broker for node `me` with the given topology.
+    pub fn new(me: NodeIndex, topology: BrokerTopology) -> Self {
+        Broker {
+            me,
+            topology,
+            clients: BTreeSet::new(),
+            subs: Vec::new(),
+            forwarded: BTreeMap::new(),
+            advs: Vec::new(),
+            use_advertisements: false,
+            proxies: BTreeMap::new(),
+            msgs_handled: 0,
+            notifications_forwarded: 0,
+        }
+    }
+
+    /// Enables advertisement-gated subscription forwarding.
+    pub fn with_advertisements(mut self) -> Self {
+        self.use_advertisements = true;
+        self
+    }
+
+    /// This broker's node index.
+    pub fn index(&self) -> NodeIndex {
+        self.me
+    }
+
+    /// Number of subscription entries currently stored.
+    pub fn subscription_count(&self) -> usize {
+        self.subs.len()
+    }
+
+    /// The locally attached clients.
+    pub fn clients(&self) -> impl Iterator<Item = NodeIndex> + '_ {
+        self.clients.iter().copied()
+    }
+
+    /// Whether a proxy is buffering for `client`.
+    pub fn has_proxy_for(&self, client: NodeIndex) -> bool {
+        self.proxies.contains_key(&client)
+    }
+
+    /// Handles one message. `from` is the interface (client or neighbour
+    /// broker) it arrived on.
+    pub fn handle(
+        &mut self,
+        now: SimTime,
+        from: NodeIndex,
+        msg: BrokerMsg,
+        out: &mut Outbox<BrokerMsg>,
+    ) {
+        self.msgs_handled += 1;
+        match msg {
+            BrokerMsg::Attach => {
+                self.clients.insert(from);
+            }
+            BrokerMsg::Detach => {
+                self.clients.remove(&from);
+                let ids: Vec<SubId> = self
+                    .subs
+                    .iter()
+                    .filter(|e| e.iface == from)
+                    .map(|e| e.sub.id)
+                    .collect();
+                for id in ids {
+                    self.unsubscribe(id, out);
+                }
+            }
+            BrokerMsg::Subscribe(sub) => self.subscribe(from, sub, out),
+            BrokerMsg::Unsubscribe(id) => self.unsubscribe(id, out),
+            BrokerMsg::Advertise(adv) => self.advertise(from, adv, out),
+            BrokerMsg::Unadvertise(id) => {
+                if let Some(pos) = self.advs.iter().position(|(a, _)| a.id == id) {
+                    let (_, iface) = self.advs.remove(pos);
+                    // Flood the retraction away from where it came.
+                    for n in self.topology.broker_links() {
+                        if n != iface {
+                            out.send(n, BrokerMsg::Unadvertise(id));
+                        }
+                    }
+                }
+            }
+            BrokerMsg::Publish(event) | BrokerMsg::Notify(event) => {
+                self.route(now, from, event, out)
+            }
+            BrokerMsg::MoveOut => {
+                // Keep the client's subscriptions live; buffer its events.
+                self.proxies.entry(from).or_default();
+                out.count("pubsub.move_out", 1.0);
+            }
+            BrokerMsg::MoveIn { old_broker } => {
+                self.clients.insert(from);
+                out.send(old_broker, BrokerMsg::FetchBuffer { client: from });
+            }
+            BrokerMsg::FetchBuffer { client } => {
+                let events = self.proxies.remove(&client).unwrap_or_default();
+                let subs: Vec<Subscription> = self
+                    .subs
+                    .iter()
+                    .filter(|e| e.iface == client)
+                    .map(|e| e.sub.clone())
+                    .collect();
+                self.clients.remove(&client);
+                for s in &subs {
+                    self.unsubscribe(s.id, out);
+                }
+                out.send(from, BrokerMsg::Handoff { client, events, subs });
+            }
+            BrokerMsg::Handoff { client, events, subs } => {
+                // The handoff target is the client's new access broker;
+                // (re-)attach covers the same-broker move, where
+                // FetchBuffer detached the client after MoveIn attached it.
+                self.clients.insert(client);
+                for s in subs {
+                    self.subscribe(client, s, out);
+                }
+                out.count("pubsub.handoff_events", events.len() as f64);
+                for e in events {
+                    out.send(client, BrokerMsg::Notify(e));
+                }
+            }
+        }
+    }
+
+    fn is_broker_link(&self, iface: NodeIndex) -> bool {
+        self.topology.broker_links().contains(&iface)
+    }
+
+    /// Targets for subscription propagation, excluding the interface the
+    /// subscription arrived on.
+    fn sub_targets(&self, came_from: NodeIndex) -> Vec<NodeIndex> {
+        match &self.topology {
+            BrokerTopology::Peer { neighbors } => {
+                neighbors.iter().copied().filter(|n| *n != came_from).collect()
+            }
+            BrokerTopology::Hierarchical { parent, .. } => {
+                parent.iter().copied().filter(|p| *p != came_from).collect()
+            }
+        }
+    }
+
+    fn subscribe(&mut self, from: NodeIndex, sub: Subscription, out: &mut Outbox<BrokerMsg>) {
+        if self.subs.iter().any(|e| e.sub.id == sub.id) {
+            return; // duplicate (acyclic topologies make this rare)
+        }
+        for target in self.sub_targets(from) {
+            let already = self.forwarded.get(&target);
+            // Covering-based pruning: skip if an already-forwarded filter
+            // covers this one.
+            let covered = self.subs.iter().any(|e| {
+                already.is_some_and(|set| set.contains(&e.sub.id))
+                    && e.sub.filter.covers(&sub.filter)
+            });
+            if covered {
+                out.count("pubsub.subs_pruned", 1.0);
+                continue;
+            }
+            // Advertisement gating: forward only toward interfaces that
+            // advertised overlapping events.
+            if self.use_advertisements {
+                let relevant = self
+                    .advs
+                    .iter()
+                    .any(|(a, iface)| *iface == target && a.relevant_to(&sub.filter));
+                if !relevant {
+                    out.count("pubsub.subs_gated", 1.0);
+                    continue;
+                }
+            }
+            self.forwarded.entry(target).or_default().insert(sub.id);
+            out.send(target, BrokerMsg::Subscribe(sub.clone()));
+        }
+        self.subs.push(SubEntry { sub, iface: from });
+    }
+
+    fn unsubscribe(&mut self, id: SubId, out: &mut Outbox<BrokerMsg>) {
+        let Some(pos) = self.subs.iter().position(|e| e.sub.id == id) else {
+            return;
+        };
+        let removed = self.subs.remove(pos);
+        for (neighbor, set) in self.forwarded.iter_mut() {
+            if set.remove(&id) {
+                out.send(*neighbor, BrokerMsg::Unsubscribe(id));
+                // Re-forward subscriptions this one was covering.
+                for e in &self.subs {
+                    if e.iface == *neighbor || set.contains(&e.sub.id) {
+                        continue;
+                    }
+                    if removed.sub.filter.covers(&e.sub.filter) {
+                        set.insert(e.sub.id);
+                        out.send(*neighbor, BrokerMsg::Subscribe(e.sub.clone()));
+                    }
+                }
+            }
+        }
+    }
+
+    fn advertise(&mut self, from: NodeIndex, adv: Advertisement, out: &mut Outbox<BrokerMsg>) {
+        if self.advs.iter().any(|(a, _)| a.id == adv.id) {
+            return;
+        }
+        // Advertisements flood the broker graph.
+        for n in self.topology.broker_links() {
+            if n != from {
+                out.send(n, BrokerMsg::Advertise(adv.clone()));
+            }
+        }
+        self.advs.push((adv, from));
+    }
+
+    fn route(&mut self, _now: SimTime, from: NodeIndex, event: Event, out: &mut Outbox<BrokerMsg>) {
+        // Local delivery to attached clients with matching subscriptions
+        // (or into their proxy buffer if they have moved out).
+        let mut to_buffer: Vec<NodeIndex> = Vec::new();
+        for e in &self.subs {
+            let iface = e.iface;
+            if iface == from || !self.clients.contains(&iface) && !self.proxies.contains_key(&iface)
+            {
+                continue;
+            }
+            if e.sub.filter.matches(&event) {
+                if self.proxies.contains_key(&iface) {
+                    if !to_buffer.contains(&iface) {
+                        to_buffer.push(iface);
+                    }
+                } else if self.clients.contains(&iface) {
+                    out.send(iface, BrokerMsg::Notify(event.clone()));
+                    out.count("pubsub.delivered_local", 1.0);
+                }
+            }
+        }
+        for iface in to_buffer {
+            self.proxies.get_mut(&iface).expect("proxy exists").push(event.clone());
+        }
+
+        // Inter-broker forwarding.
+        match &self.topology {
+            BrokerTopology::Peer { neighbors } => {
+                for &n in neighbors {
+                    if n == from {
+                        continue;
+                    }
+                    let wanted = self
+                        .subs
+                        .iter()
+                        .any(|e| e.iface == n && e.sub.filter.matches(&event));
+                    if wanted {
+                        self.notifications_forwarded += 1;
+                        out.send(n, BrokerMsg::Notify(event.clone()));
+                    }
+                }
+            }
+            BrokerTopology::Hierarchical { parent, children } => {
+                if let Some(p) = parent {
+                    if *p != from {
+                        // Hierarchical cost: everything flows to the root.
+                        self.notifications_forwarded += 1;
+                        out.send(*p, BrokerMsg::Notify(event.clone()));
+                    }
+                }
+                for &c in children {
+                    if c == from {
+                        continue;
+                    }
+                    let wanted = self
+                        .subs
+                        .iter()
+                        .any(|e| e.iface == c && e.sub.filter.matches(&event));
+                    if wanted {
+                        self.notifications_forwarded += 1;
+                        out.send(c, BrokerMsg::Notify(event.clone()));
+                    }
+                }
+            }
+        }
+
+        // Dedup bookkeeping happens client-side; brokers are stateless
+        // w.r.t. event history (acyclicity prevents loops).
+        let _ = self.is_broker_link(from);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filter::Op;
+
+    fn n(i: u32) -> NodeIndex {
+        NodeIndex(i)
+    }
+
+    fn sub(id: SubId, filter: Filter) -> Subscription {
+        Subscription { id, filter }
+    }
+
+    fn sent_to(out: &Outbox<BrokerMsg>, to: NodeIndex) -> Vec<&BrokerMsg> {
+        out.sends().iter().filter(|(t, _, _)| *t == to).map(|(_, m, _)| m).collect()
+    }
+
+    /// Broker 0 with peer neighbours 1 and 2; client 10 attached.
+    fn peer_broker() -> Broker {
+        let mut b = Broker::new(n(0), BrokerTopology::Peer { neighbors: vec![n(1), n(2)] });
+        let mut out = Outbox::new();
+        b.handle(SimTime::ZERO, n(10), BrokerMsg::Attach, &mut out);
+        b
+    }
+
+    #[test]
+    fn subscription_forwarded_to_other_neighbors() {
+        let mut b = peer_broker();
+        let mut out = Outbox::new();
+        let s = sub(1, Filter::for_kind("k"));
+        b.handle(SimTime::ZERO, n(10), BrokerMsg::Subscribe(s), &mut out);
+        assert_eq!(sent_to(&out, n(1)).len(), 1);
+        assert_eq!(sent_to(&out, n(2)).len(), 1);
+        // From a neighbour: not forwarded back.
+        let mut out = Outbox::new();
+        let s = sub(2, Filter::for_kind("j"));
+        b.handle(SimTime::ZERO, n(1), BrokerMsg::Subscribe(s), &mut out);
+        assert!(sent_to(&out, n(1)).is_empty());
+        assert_eq!(sent_to(&out, n(2)).len(), 1);
+    }
+
+    #[test]
+    fn covering_prunes_forwarding() {
+        let mut b = peer_broker();
+        let mut out = Outbox::new();
+        let broad = sub(1, Filter::for_kind("k"));
+        b.handle(SimTime::ZERO, n(10), BrokerMsg::Subscribe(broad), &mut out);
+        // A narrower subscription is covered: no further forwarding.
+        let mut out = Outbox::new();
+        let narrow = sub(2, Filter::for_kind("k").with_eq("user", "bob"));
+        b.handle(SimTime::ZERO, n(10), BrokerMsg::Subscribe(narrow), &mut out);
+        assert!(out.sends().is_empty(), "covered sub must not be forwarded");
+        assert_eq!(b.subscription_count(), 2);
+    }
+
+    #[test]
+    fn uncovered_subscription_still_forwarded() {
+        let mut b = peer_broker();
+        let mut out = Outbox::new();
+        let narrow = sub(1, Filter::for_kind("k").with_eq("user", "bob"));
+        b.handle(SimTime::ZERO, n(10), BrokerMsg::Subscribe(narrow), &mut out);
+        let mut out = Outbox::new();
+        let broad = sub(2, Filter::for_kind("k"));
+        b.handle(SimTime::ZERO, n(10), BrokerMsg::Subscribe(broad), &mut out);
+        // Broad is not covered by narrow; must go out to both neighbours.
+        assert_eq!(out.sends().len(), 2);
+    }
+
+    #[test]
+    fn notification_follows_subscription_reverse_path() {
+        let mut b = peer_broker();
+        let mut out = Outbox::new();
+        // Neighbour 1 subscribed to kind k.
+        b.handle(SimTime::ZERO, n(1), BrokerMsg::Subscribe(sub(1, Filter::for_kind("k"))), &mut out);
+        // Client 10 publishes a matching event.
+        let mut out = Outbox::new();
+        b.handle(SimTime::ZERO, n(10), BrokerMsg::Publish(Event::new("k")), &mut out);
+        assert_eq!(sent_to(&out, n(1)).len(), 1, "forward toward subscriber");
+        assert!(sent_to(&out, n(2)).is_empty(), "no subscriber there");
+        // Non-matching event goes nowhere.
+        let mut out = Outbox::new();
+        b.handle(SimTime::ZERO, n(10), BrokerMsg::Publish(Event::new("other")), &mut out);
+        assert!(out.sends().is_empty());
+    }
+
+    #[test]
+    fn local_client_delivery() {
+        let mut b = peer_broker();
+        let mut out = Outbox::new();
+        b.handle(
+            SimTime::ZERO,
+            n(10),
+            BrokerMsg::Subscribe(sub(1, Filter::any().with_constraint("t", Op::Gt, 15i64))),
+            &mut out,
+        );
+        let mut out = Outbox::new();
+        let ev = Event::new("w").with_attr("t", 20i64);
+        b.handle(SimTime::ZERO, n(1), BrokerMsg::Notify(ev), &mut out);
+        let delivered = sent_to(&out, n(10));
+        assert_eq!(delivered.len(), 1);
+        assert!(matches!(delivered[0], BrokerMsg::Notify(_)));
+    }
+
+    #[test]
+    fn publisher_does_not_receive_own_event() {
+        let mut b = peer_broker();
+        let mut out = Outbox::new();
+        b.handle(SimTime::ZERO, n(10), BrokerMsg::Subscribe(sub(1, Filter::any())), &mut out);
+        let mut out = Outbox::new();
+        b.handle(SimTime::ZERO, n(10), BrokerMsg::Publish(Event::new("k")), &mut out);
+        assert!(sent_to(&out, n(10)).is_empty());
+    }
+
+    #[test]
+    fn unsubscribe_stops_forwarding_and_reinstates_covered() {
+        let mut b = peer_broker();
+        let mut out = Outbox::new();
+        b.handle(SimTime::ZERO, n(10), BrokerMsg::Subscribe(sub(1, Filter::for_kind("k"))), &mut out);
+        b.handle(
+            SimTime::ZERO,
+            n(10),
+            BrokerMsg::Subscribe(sub(2, Filter::for_kind("k").with_eq("u", "bob"))),
+            &mut out,
+        );
+        // Unsubscribe the broad one; the narrow one must now be forwarded.
+        let mut out = Outbox::new();
+        b.handle(SimTime::ZERO, n(10), BrokerMsg::Unsubscribe(1), &mut out);
+        let to1 = sent_to(&out, n(1));
+        assert!(to1.iter().any(|m| matches!(m, BrokerMsg::Unsubscribe(1))));
+        assert!(
+            to1.iter()
+                .any(|m| matches!(m, BrokerMsg::Subscribe(s) if s.id == 2)),
+            "previously covered sub must be re-forwarded"
+        );
+        // Events no longer delivered to 10 after full unsubscribe of 2.
+        let mut out = Outbox::new();
+        b.handle(SimTime::ZERO, n(10), BrokerMsg::Unsubscribe(2), &mut out);
+        let mut out = Outbox::new();
+        b.handle(SimTime::ZERO, n(1), BrokerMsg::Notify(Event::new("k")), &mut out);
+        assert!(sent_to(&out, n(10)).is_empty());
+    }
+
+    #[test]
+    fn hierarchical_notifications_always_go_up() {
+        let mut b = Broker::new(
+            n(1),
+            BrokerTopology::Hierarchical { parent: Some(n(0)), children: vec![n(2)] },
+        );
+        let mut out = Outbox::new();
+        b.handle(SimTime::ZERO, n(10), BrokerMsg::Attach, &mut out);
+        b.handle(SimTime::ZERO, n(10), BrokerMsg::Publish(Event::new("k")), &mut out);
+        assert_eq!(sent_to(&out, n(0)).len(), 1, "parent always gets the event");
+        assert!(sent_to(&out, n(2)).is_empty(), "child has no matching sub");
+    }
+
+    #[test]
+    fn hierarchical_subscriptions_go_to_parent_only() {
+        let mut b = Broker::new(
+            n(1),
+            BrokerTopology::Hierarchical { parent: Some(n(0)), children: vec![n(2)] },
+        );
+        let mut out = Outbox::new();
+        b.handle(SimTime::ZERO, n(10), BrokerMsg::Subscribe(sub(1, Filter::any())), &mut out);
+        assert_eq!(sent_to(&out, n(0)).len(), 1);
+        assert!(sent_to(&out, n(2)).is_empty());
+    }
+
+    #[test]
+    fn hierarchical_down_forwarding_needs_matching_sub() {
+        let mut b = Broker::new(
+            n(0),
+            BrokerTopology::Hierarchical { parent: None, children: vec![n(1), n(2)] },
+        );
+        let mut out = Outbox::new();
+        b.handle(SimTime::ZERO, n(1), BrokerMsg::Subscribe(sub(1, Filter::for_kind("k"))), &mut out);
+        let mut out = Outbox::new();
+        b.handle(SimTime::ZERO, n(2), BrokerMsg::Notify(Event::new("k")), &mut out);
+        assert_eq!(sent_to(&out, n(1)).len(), 1);
+        assert!(sent_to(&out, n(2)).is_empty());
+    }
+
+    #[test]
+    fn advertisement_gating() {
+        let mut b = peer_broker().with_advertisements();
+        let mut out = Outbox::new();
+        // Neighbour 1 advertises kind k.
+        b.handle(
+            SimTime::ZERO,
+            n(1),
+            BrokerMsg::Advertise(Advertisement { id: 7, filter: Filter::for_kind("k") }),
+            &mut out,
+        );
+        // Advertisement floods to the other neighbour.
+        assert_eq!(sent_to(&out, n(2)).len(), 1);
+        // A subscription for kind k goes toward 1 only.
+        let mut out = Outbox::new();
+        b.handle(SimTime::ZERO, n(10), BrokerMsg::Subscribe(sub(1, Filter::for_kind("k"))), &mut out);
+        assert_eq!(sent_to(&out, n(1)).len(), 1);
+        assert!(sent_to(&out, n(2)).is_empty(), "no advertisement from 2");
+        // A subscription for an unadvertised kind goes nowhere.
+        let mut out = Outbox::new();
+        b.handle(SimTime::ZERO, n(10), BrokerMsg::Subscribe(sub(2, Filter::for_kind("z"))), &mut out);
+        assert!(out.sends().is_empty());
+    }
+
+    #[test]
+    fn detach_removes_client_subscriptions() {
+        let mut b = peer_broker();
+        let mut out = Outbox::new();
+        b.handle(SimTime::ZERO, n(10), BrokerMsg::Subscribe(sub(1, Filter::any())), &mut out);
+        b.handle(SimTime::ZERO, n(10), BrokerMsg::Detach, &mut out);
+        assert_eq!(b.subscription_count(), 0);
+        assert_eq!(b.clients().count(), 0);
+    }
+
+    #[test]
+    fn duplicate_subscription_ignored() {
+        let mut b = peer_broker();
+        let mut out = Outbox::new();
+        let s = sub(1, Filter::any());
+        b.handle(SimTime::ZERO, n(10), BrokerMsg::Subscribe(s.clone()), &mut out);
+        b.handle(SimTime::ZERO, n(10), BrokerMsg::Subscribe(s), &mut out);
+        assert_eq!(b.subscription_count(), 1);
+    }
+
+    #[test]
+    fn move_out_buffers_then_handoff_drains() {
+        let mut b = peer_broker();
+        let mut out = Outbox::new();
+        b.handle(SimTime::ZERO, n(10), BrokerMsg::Subscribe(sub(1, Filter::for_kind("k"))), &mut out);
+        b.handle(SimTime::ZERO, n(10), BrokerMsg::MoveOut, &mut out);
+        assert!(b.has_proxy_for(n(10)));
+        // Events arriving while away are buffered, not sent.
+        let mut out = Outbox::new();
+        b.handle(SimTime::ZERO, n(1), BrokerMsg::Notify(Event::new("k")), &mut out);
+        assert!(sent_to(&out, n(10)).is_empty());
+        // New broker (20) fetches the buffer.
+        let mut out = Outbox::new();
+        b.handle(SimTime::ZERO, n(20), BrokerMsg::FetchBuffer { client: n(10) }, &mut out);
+        let handoffs = sent_to(&out, n(20));
+        assert_eq!(handoffs.len(), 1);
+        match handoffs[0] {
+            BrokerMsg::Handoff { events, subs, .. } => {
+                assert_eq!(events.len(), 1);
+                assert_eq!(subs.len(), 1);
+            }
+            other => panic!("expected handoff, got {other:?}"),
+        }
+        assert!(!b.has_proxy_for(n(10)));
+        assert_eq!(b.subscription_count(), 0);
+    }
+
+    #[test]
+    fn handoff_reregisters_and_replays() {
+        let mut b2 = Broker::new(n(5), BrokerTopology::Peer { neighbors: vec![] });
+        let mut out = Outbox::new();
+        b2.handle(SimTime::ZERO, n(10), BrokerMsg::MoveIn { old_broker: n(0) }, &mut out);
+        assert!(matches!(
+            sent_to(&out, n(0))[0],
+            BrokerMsg::FetchBuffer { client } if *client == n(10)
+        ));
+        let mut out = Outbox::new();
+        b2.handle(
+            SimTime::ZERO,
+            n(0),
+            BrokerMsg::Handoff {
+                client: n(10),
+                events: vec![Event::new("k")],
+                subs: vec![sub(1, Filter::for_kind("k"))],
+            },
+            &mut out,
+        );
+        // Buffered event replayed to the client; sub re-registered.
+        assert_eq!(sent_to(&out, n(10)).len(), 1);
+        assert_eq!(b2.subscription_count(), 1);
+    }
+}

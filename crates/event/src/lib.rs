@@ -1,0 +1,50 @@
+//! Content-based publish/subscribe: the paper's "generic global event
+//! service" (§4.1).
+//!
+//! The paper proposes "a general-purpose system such as Siena" to
+//! distribute both low-level sensor events and high-level synthesised
+//! events, because "it has enough expressibility in its publish/subscribe
+//! language and shows evidence of being globally scalable". This crate
+//! implements the published Siena design:
+//!
+//! * typed attribute events ([`Event`], [`AttrValue`]) with optional XML
+//!   payloads bound via type projection,
+//! * a subscription language ([`Filter`], [`Constraint`], [`Op`]) with the
+//!   **covering** relation used to prune subscription propagation,
+//! * [`Broker`] state machines supporting the *hierarchical* and *acyclic
+//!   peer* topologies of the Siena paper,
+//! * an Elvin-like [`centralized`] client-server baseline ("it uses a
+//!   client-server architecture, limiting its scalability" — experiment
+//!   **C1** quantifies this), and
+//! * Mobikit-like [`mobility`] proxies that subscribe on behalf of
+//!   disconnected mobile clients and hand buffered events over on
+//!   reconnection.
+//!
+//! # Example
+//!
+//! ```
+//! use gloss_event::{Event, Filter, Op};
+//!
+//! let filter = Filter::for_kind("user.location")
+//!     .with_eq("user", "bob")
+//!     .with_constraint("lat", Op::Gt, 56.0);
+//! let event = Event::new("user.location")
+//!     .with_attr("user", "bob")
+//!     .with_attr("lat", 56.34);
+//! assert!(filter.matches(&event));
+//! ```
+
+pub mod broker;
+pub mod centralized;
+pub mod filter;
+pub mod mobility;
+pub mod network;
+pub mod notification;
+pub mod value;
+
+pub use broker::{Broker, BrokerMsg, BrokerTopology, SubId};
+pub use centralized::CentralServer;
+pub use filter::{Advertisement, Constraint, Filter, Op, Subscription};
+pub use network::{Architecture, ClientApi, PubSubConfig, PubSubNetwork, PubSubNode, Role};
+pub use notification::{Event, EventId};
+pub use value::AttrValue;

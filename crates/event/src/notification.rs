@@ -1,0 +1,288 @@
+//! Events (notifications): typed attribute maps with optional XML payloads.
+
+use crate::value::AttrValue;
+use gloss_sim::{NodeIndex, SimTime};
+use gloss_xml::{Element, ParseError};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Globally unique event identifier: publishing node + per-node sequence.
+///
+/// Used for duplicate suppression during mobility handoff and for tracing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct EventId {
+    /// The publishing node.
+    pub origin: NodeIndex,
+    /// The publisher's sequence number.
+    pub seq: u64,
+}
+
+impl fmt::Display for EventId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", self.origin, self.seq)
+    }
+}
+
+/// An event: a kind, typed attributes, an optional structured XML payload,
+/// and provenance (id + publication time).
+///
+/// The paper's events are "XML-encoded"; [`Event::to_xml`] /
+/// [`Event::from_xml`] provide that wire form, used by the pipeline layer
+/// and by inter-node links.
+///
+/// # Example
+///
+/// ```
+/// use gloss_event::Event;
+/// let e = Event::new("weather.reading")
+///     .with_attr("street", "South Street")
+///     .with_attr("celsius", 20.0);
+/// assert_eq!(e.kind(), "weather.reading");
+/// assert_eq!(e.attr("celsius").and_then(|v| v.as_number()), Some(20.0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Event {
+    kind: String,
+    attrs: BTreeMap<String, AttrValue>,
+    payload: Option<Element>,
+    id: EventId,
+    published_at: SimTime,
+}
+
+impl Event {
+    /// Creates an event of the given kind with no attributes.
+    pub fn new(kind: impl Into<String>) -> Self {
+        Event { kind: kind.into(), ..Default::default() }
+    }
+
+    /// The event kind (e.g. `"user.location"`).
+    pub fn kind(&self) -> &str {
+        &self.kind
+    }
+
+    /// The unique id assigned at publication.
+    pub fn id(&self) -> EventId {
+        self.id
+    }
+
+    /// When the event was published (simulated time).
+    pub fn published_at(&self) -> SimTime {
+        self.published_at
+    }
+
+    /// Stamps provenance; called by the publishing client/broker.
+    pub fn stamp(&mut self, id: EventId, at: SimTime) {
+        self.id = id;
+        self.published_at = at;
+    }
+
+    /// Builder: stamped form, for tests and workload generators.
+    pub fn stamped(mut self, id: EventId, at: SimTime) -> Self {
+        self.stamp(id, at);
+        self
+    }
+
+    /// The value of attribute `name`.
+    pub fn attr(&self, name: &str) -> Option<&AttrValue> {
+        self.attrs.get(name)
+    }
+
+    /// String attribute convenience accessor.
+    pub fn str_attr(&self, name: &str) -> Option<&str> {
+        self.attr(name).and_then(AttrValue::as_str)
+    }
+
+    /// Numeric attribute convenience accessor.
+    pub fn num_attr(&self, name: &str) -> Option<f64> {
+        self.attr(name).and_then(AttrValue::as_number)
+    }
+
+    /// All attributes in name order.
+    pub fn attrs(&self) -> impl Iterator<Item = (&str, &AttrValue)> {
+        self.attrs.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Number of attributes.
+    pub fn attr_count(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Sets an attribute.
+    pub fn set_attr(&mut self, name: impl Into<String>, value: impl Into<AttrValue>) {
+        self.attrs.insert(name.into(), value.into());
+    }
+
+    /// Builder form of [`set_attr`](Self::set_attr).
+    pub fn with_attr(mut self, name: impl Into<String>, value: impl Into<AttrValue>) -> Self {
+        self.set_attr(name, value);
+        self
+    }
+
+    /// The structured payload, if any.
+    pub fn payload(&self) -> Option<&Element> {
+        self.payload.as_ref()
+    }
+
+    /// Attaches a structured payload.
+    pub fn with_payload(mut self, payload: Element) -> Self {
+        self.payload = Some(payload);
+        self
+    }
+
+    /// Serialises to the XML wire form.
+    pub fn to_xml(&self) -> Element {
+        let mut el = Element::new("event")
+            .with_attr("kind", &self.kind)
+            .with_attr("origin", self.id.origin.0.to_string())
+            .with_attr("seq", self.id.seq.to_string())
+            .with_attr("at", self.published_at.as_micros().to_string());
+        for (name, value) in &self.attrs {
+            el.push(
+                Element::new("attr")
+                    .with_attr("name", name)
+                    .with_attr("type", value.type_name())
+                    .with_text(value.to_text()),
+            );
+        }
+        if let Some(p) = &self.payload {
+            el.push(Element::new("payload").with_child(p.clone()));
+        }
+        el
+    }
+
+    /// Parses the XML wire form.
+    ///
+    /// Attributes with unknown types or unparseable values are dropped
+    /// (forward compatibility: an old node can still route an event whose
+    /// new attribute types it does not understand).
+    pub fn from_xml(el: &Element) -> Event {
+        let mut ev = Event::new(el.attr("kind").unwrap_or("unknown"));
+        let origin = el.attr("origin").and_then(|s| s.parse().ok()).unwrap_or(0);
+        let seq = el.attr("seq").and_then(|s| s.parse().ok()).unwrap_or(0);
+        let at = el.attr("at").and_then(|s| s.parse().ok()).unwrap_or(0);
+        ev.id = EventId { origin: NodeIndex(origin), seq };
+        ev.published_at = SimTime::from_micros(at);
+        for a in el.children_named("attr") {
+            if let (Some(name), Some(ty)) = (a.attr("name"), a.attr("type")) {
+                if let Some(v) = AttrValue::from_text(ty, &a.text()) {
+                    ev.attrs.insert(name.to_string(), v);
+                }
+            }
+        }
+        if let Some(p) = el.child("payload").and_then(|p| p.children().next()) {
+            ev.payload = Some(p.clone());
+        }
+        ev
+    }
+
+    /// Parses the textual XML wire form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseError`] if `text` is not well-formed XML.
+    pub fn from_xml_text(text: &str) -> Result<Event, ParseError> {
+        Ok(Event::from_xml(&gloss_xml::parse(text)?))
+    }
+
+    /// Approximate wire size in bytes (for load accounting).
+    pub fn wire_size(&self) -> usize {
+        self.to_xml().to_xml().len()
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}](", self.kind, self.id)?;
+        for (i, (k, v)) in self.attrs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{k}={v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gloss_xml::parse;
+
+    fn sample() -> Event {
+        Event::new("user.location")
+            .with_attr("user", "bob")
+            .with_attr("lat", 56.34)
+            .with_attr("lon", -2.80)
+            .with_attr("indoor", false)
+            .with_attr("floor", 2i64)
+            .with_payload(parse(r#"<pos src="gps"><accuracy>5</accuracy></pos>"#).unwrap())
+            .stamped(EventId { origin: NodeIndex(3), seq: 17 }, SimTime::from_millis(1234))
+    }
+
+    #[test]
+    fn accessors() {
+        let e = sample();
+        assert_eq!(e.kind(), "user.location");
+        assert_eq!(e.str_attr("user"), Some("bob"));
+        assert_eq!(e.num_attr("floor"), Some(2.0));
+        assert_eq!(e.attr("indoor").and_then(AttrValue::as_bool), Some(false));
+        assert_eq!(e.attr_count(), 5);
+        assert_eq!(e.id().seq, 17);
+    }
+
+    #[test]
+    fn xml_round_trip() {
+        let e = sample();
+        let xml = e.to_xml();
+        let back = Event::from_xml(&xml);
+        assert_eq!(back.kind(), e.kind());
+        assert_eq!(back.id(), e.id());
+        assert_eq!(back.published_at(), e.published_at());
+        assert_eq!(back.str_attr("user"), Some("bob"));
+        assert!((back.num_attr("lat").unwrap() - 56.34).abs() < 1e-9);
+        assert_eq!(back.payload().unwrap().name(), "pos");
+        assert_eq!(back.attr_count(), e.attr_count());
+    }
+
+    #[test]
+    fn xml_text_round_trip() {
+        let e = sample();
+        let text = e.to_xml().to_xml();
+        let back = Event::from_xml_text(&text).unwrap();
+        assert_eq!(back.num_attr("lon"), e.num_attr("lon"));
+    }
+
+    #[test]
+    fn from_xml_tolerates_unknown_attribute_types() {
+        let el = parse(
+            r#"<event kind="x"><attr name="good" type="int">5</attr><attr name="odd" type="tensor">?</attr></event>"#,
+        )
+        .unwrap();
+        let e = Event::from_xml(&el);
+        assert_eq!(e.num_attr("good"), Some(5.0));
+        assert!(e.attr("odd").is_none());
+    }
+
+    #[test]
+    fn from_xml_defaults_when_unstamped() {
+        let el = parse(r#"<event kind="y"/>"#).unwrap();
+        let e = Event::from_xml(&el);
+        assert_eq!(e.id(), EventId::default());
+        assert_eq!(e.published_at(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn wire_size_positive_and_monotone() {
+        let small = Event::new("a");
+        let big = sample();
+        assert!(small.wire_size() > 0);
+        assert!(big.wire_size() > small.wire_size());
+    }
+
+    #[test]
+    fn display_contains_kind_and_attrs() {
+        let s = sample().to_string();
+        assert!(s.contains("user.location"));
+        assert!(s.contains("user=\"bob\""));
+    }
+}

@@ -1,0 +1,232 @@
+//! Typed attribute values, following Siena's name/type/value tuples.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// The value of an event attribute.
+///
+/// Comparisons between `Int` and `Float` are numeric; all other cross-type
+/// comparisons are undefined (constraints on mismatched types simply fail
+/// to match, they do not error).
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrValue {
+    /// A string.
+    Str(String),
+    /// A 64-bit integer.
+    Int(i64),
+    /// A 64-bit float.
+    Float(f64),
+    /// A boolean.
+    Bool(bool),
+}
+
+impl AttrValue {
+    /// The type name, for diagnostics and XML encoding.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            AttrValue::Str(_) => "str",
+            AttrValue::Int(_) => "int",
+            AttrValue::Float(_) => "float",
+            AttrValue::Bool(_) => "bool",
+        }
+    }
+
+    /// The string inside, if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            AttrValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric view: `Int` and `Float` yield a float.
+    pub fn as_number(&self) -> Option<f64> {
+        match self {
+            AttrValue::Int(i) => Some(*i as f64),
+            AttrValue::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// The boolean inside, if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            AttrValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Total-order comparison where defined: numerics compare numerically,
+    /// strings lexicographically, booleans false < true. Mismatched types
+    /// return `None`.
+    pub fn partial_cmp_value(&self, other: &AttrValue) -> Option<Ordering> {
+        use AttrValue::*;
+        match (self, other) {
+            (Str(a), Str(b)) => Some(a.cmp(b)),
+            (Bool(a), Bool(b)) => Some(a.cmp(b)),
+            (a, b) => {
+                let (x, y) = (a.as_number()?, b.as_number()?);
+                x.partial_cmp(&y)
+            }
+        }
+    }
+
+    /// Equality where defined (numeric across `Int`/`Float`).
+    pub fn eq_value(&self, other: &AttrValue) -> bool {
+        self.partial_cmp_value(other) == Some(Ordering::Equal)
+    }
+
+    /// Encodes the value as text for XML transport; parses back via
+    /// [`AttrValue::from_text`] given the [`type_name`](Self::type_name).
+    pub fn to_text(&self) -> String {
+        match self {
+            AttrValue::Str(s) => s.clone(),
+            AttrValue::Int(i) => i.to_string(),
+            AttrValue::Float(f) => {
+                // Preserve float-ness through the round trip.
+                if f.fract() == 0.0 && f.is_finite() {
+                    format!("{f:.1}")
+                } else {
+                    f.to_string()
+                }
+            }
+            AttrValue::Bool(b) => b.to_string(),
+        }
+    }
+
+    /// Decodes a value from its `type_name` and text form.
+    ///
+    /// Returns `None` for unknown types or unparseable text.
+    pub fn from_text(type_name: &str, text: &str) -> Option<AttrValue> {
+        match type_name {
+            "str" => Some(AttrValue::Str(text.to_string())),
+            "int" => text.trim().parse().ok().map(AttrValue::Int),
+            "float" => text.trim().parse().ok().map(AttrValue::Float),
+            "bool" => match text.trim() {
+                "true" => Some(AttrValue::Bool(true)),
+                "false" => Some(AttrValue::Bool(false)),
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for AttrValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttrValue::Str(s) => write!(f, "\"{s}\""),
+            AttrValue::Int(i) => write!(f, "{i}"),
+            AttrValue::Float(x) => write!(f, "{x}"),
+            AttrValue::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+impl From<&str> for AttrValue {
+    fn from(s: &str) -> Self {
+        AttrValue::Str(s.to_string())
+    }
+}
+
+impl From<String> for AttrValue {
+    fn from(s: String) -> Self {
+        AttrValue::Str(s)
+    }
+}
+
+impl From<i64> for AttrValue {
+    fn from(i: i64) -> Self {
+        AttrValue::Int(i)
+    }
+}
+
+impl From<i32> for AttrValue {
+    fn from(i: i32) -> Self {
+        AttrValue::Int(i as i64)
+    }
+}
+
+impl From<u32> for AttrValue {
+    fn from(i: u32) -> Self {
+        AttrValue::Int(i as i64)
+    }
+}
+
+impl From<f64> for AttrValue {
+    fn from(f: f64) -> Self {
+        AttrValue::Float(f)
+    }
+}
+
+impl From<bool> for AttrValue {
+    fn from(b: bool) -> Self {
+        AttrValue::Bool(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_cross_type_comparison() {
+        assert!(AttrValue::Int(3).eq_value(&AttrValue::Float(3.0)));
+        assert_eq!(
+            AttrValue::Int(2).partial_cmp_value(&AttrValue::Float(2.5)),
+            Some(Ordering::Less)
+        );
+    }
+
+    #[test]
+    fn mismatched_types_do_not_compare() {
+        assert_eq!(AttrValue::Str("3".into()).partial_cmp_value(&AttrValue::Int(3)), None);
+        assert!(!AttrValue::Bool(true).eq_value(&AttrValue::Int(1)));
+    }
+
+    #[test]
+    fn string_ordering() {
+        assert_eq!(
+            AttrValue::Str("abc".into()).partial_cmp_value(&AttrValue::Str("abd".into())),
+            Some(Ordering::Less)
+        );
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let values = [
+            AttrValue::Str("hello world".into()),
+            AttrValue::Int(-42),
+            AttrValue::Float(3.25),
+            AttrValue::Float(7.0),
+            AttrValue::Bool(true),
+        ];
+        for v in values {
+            let back = AttrValue::from_text(v.type_name(), &v.to_text()).unwrap();
+            assert!(v.eq_value(&back) || v == back, "{v:?} vs {back:?}");
+            assert_eq!(back.type_name(), v.type_name());
+        }
+    }
+
+    #[test]
+    fn from_text_rejects_garbage() {
+        assert_eq!(AttrValue::from_text("int", "abc"), None);
+        assert_eq!(AttrValue::from_text("bool", "maybe"), None);
+        assert_eq!(AttrValue::from_text("quaternion", "1"), None);
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(AttrValue::from("x"), AttrValue::Str("x".into()));
+        assert_eq!(AttrValue::from(5i64), AttrValue::Int(5));
+        assert_eq!(AttrValue::from(5i32), AttrValue::Int(5));
+        assert_eq!(AttrValue::from(2.5), AttrValue::Float(2.5));
+        assert_eq!(AttrValue::from(true), AttrValue::Bool(true));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(AttrValue::Str("s".into()).to_string(), "\"s\"");
+        assert_eq!(AttrValue::Int(1).to_string(), "1");
+    }
+}

@@ -1,0 +1,220 @@
+//! Distribution of the knowledge base over the P2P store.
+//!
+//! "In addition to the input event streams, the matching service will
+//! operate over a global knowledge base" (§1.1); caching and replication
+//! of that knowledge is handled by "a Plaxton based storage architecture
+//! supported by promiscuous caching mechanisms" (§5).
+//!
+//! Facts are grouped by subject into one XML document per subject
+//! (`kb/<subject>`), so a matchlet that needs everything known about
+//! "bob" or "Janetta's" fetches one document — and repeat fetches hit the
+//! promiscuous caches measured in experiment C3.
+
+use crate::fact::{Fact, Term};
+use gloss_sim::{GeoPoint, NodeIndex, SimTime};
+use gloss_store::{Document, StoreNetwork};
+use gloss_xml::Element;
+
+/// Client-side API for reading and writing facts in the P2P store.
+///
+/// One instance per accessing node; it remembers the node it issues
+/// requests from.
+#[derive(Debug, Clone, Copy)]
+pub struct DistributedKnowledge {
+    node: NodeIndex,
+}
+
+impl DistributedKnowledge {
+    /// Creates a KB client issuing from `node`.
+    pub fn new(node: NodeIndex) -> Self {
+        DistributedKnowledge { node }
+    }
+
+    /// The store document name for a subject.
+    pub fn doc_name(subject: &str) -> String {
+        format!("kb/{subject}")
+    }
+
+    /// Serialises facts about one subject to the XML document form.
+    pub fn facts_to_xml(subject: &str, facts: &[&Fact]) -> Element {
+        let mut el = Element::new("facts").with_attr("subject", subject);
+        for f in facts {
+            debug_assert_eq!(f.subject, subject, "grouped by subject");
+            let mut fe = Element::new("fact")
+                .with_attr("predicate", &f.predicate)
+                .with_attr("type", f.object.type_name());
+            match &f.object {
+                Term::Geo(g) => {
+                    fe.set_attr("lat", g.lat.to_string());
+                    fe.set_attr("lon", g.lon.to_string());
+                }
+                Term::Time(t) => {
+                    fe.set_attr("us", t.as_micros().to_string());
+                }
+                Term::Str(s) => fe.push(Element::new("value").with_text(s)),
+                Term::Int(i) => fe.push(Element::new("value").with_text(i.to_string())),
+                Term::Float(x) => fe.push(Element::new("value").with_text(x.to_string())),
+                Term::Bool(b) => fe.push(Element::new("value").with_text(b.to_string())),
+            }
+            if let Some(from) = f.valid_from {
+                fe.set_attr("from_us", from.as_micros().to_string());
+            }
+            if let Some(to) = f.valid_to {
+                fe.set_attr("to_us", to.as_micros().to_string());
+            }
+            el.push(fe);
+        }
+        el
+    }
+
+    /// Parses facts back from the XML document form. Malformed entries
+    /// are skipped (forward compatibility).
+    pub fn facts_from_xml(el: &Element) -> Vec<Fact> {
+        let subject = el.attr("subject").unwrap_or("unknown").to_string();
+        let mut out = Vec::new();
+        for fe in el.children_named("fact") {
+            let Some(predicate) = fe.attr("predicate") else {
+                continue;
+            };
+            let value_text = fe.child("value").map(|v| v.text()).unwrap_or_default();
+            let object = match fe.attr("type") {
+                Some("str") => Term::Str(value_text),
+                Some("int") => match value_text.parse() {
+                    Ok(v) => Term::Int(v),
+                    Err(_) => continue,
+                },
+                Some("float") => match value_text.parse() {
+                    Ok(v) => Term::Float(v),
+                    Err(_) => continue,
+                },
+                Some("bool") => match value_text.parse() {
+                    Ok(v) => Term::Bool(v),
+                    Err(_) => continue,
+                },
+                Some("geo") => {
+                    let lat = fe.attr("lat").and_then(|s| s.parse().ok());
+                    let lon = fe.attr("lon").and_then(|s| s.parse().ok());
+                    match (lat, lon) {
+                        (Some(lat), Some(lon)) => Term::Geo(GeoPoint::new(lat, lon)),
+                        _ => continue,
+                    }
+                }
+                Some("time") => match fe.attr("us").and_then(|s| s.parse().ok()) {
+                    Some(us) => Term::Time(SimTime::from_micros(us)),
+                    None => continue,
+                },
+                _ => continue,
+            };
+            let mut fact = Fact::new(&subject, predicate, object);
+            fact.valid_from =
+                fe.attr("from_us").and_then(|s| s.parse().ok()).map(SimTime::from_micros);
+            fact.valid_to =
+                fe.attr("to_us").and_then(|s| s.parse().ok()).map(SimTime::from_micros);
+            out.push(fact);
+        }
+        out
+    }
+
+    /// Writes all facts about `subject` into the store (replacing any
+    /// previous document for the subject).
+    pub fn put_subject(&self, net: &mut StoreNetwork, subject: &str, facts: &[&Fact]) {
+        let xml = Self::facts_to_xml(subject, facts).to_xml();
+        let doc = Document::new(Self::doc_name(subject), xml.into_bytes());
+        net.insert(self.node, doc);
+    }
+
+    /// Starts a fetch of the facts about `subject`; returns the request
+    /// id to pass to [`take_facts`](Self::take_facts) once the simulation
+    /// has run.
+    pub fn fetch_subject(&self, net: &mut StoreNetwork, subject: &str) -> u64 {
+        let guid = Document::new(Self::doc_name(subject), Vec::new()).guid;
+        net.lookup(self.node, guid)
+    }
+
+    /// Extracts the facts from a concluded fetch (`None` while in flight
+    /// or when the subject has no document).
+    pub fn take_facts(&self, net: &StoreNetwork, req_id: u64) -> Option<Vec<Fact>> {
+        let result = net.result(req_id)?;
+        let doc = result.doc.as_ref()?;
+        let text = std::str::from_utf8(&doc.content).ok()?;
+        let el = gloss_xml::parse(text).ok()?;
+        Some(Self::facts_from_xml(&el))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gloss_sim::SimDuration;
+    use gloss_store::StoreConfig;
+
+    #[test]
+    fn xml_round_trip_all_term_types() {
+        let facts = vec![
+            Fact::new("bob", "likes", Term::str("ice cream")),
+            Fact::new("bob", "age", Term::Int(34)),
+            Fact::new("bob", "height_m", Term::Float(1.82)),
+            Fact::new("bob", "on_foot", Term::Bool(true)),
+            Fact::new("bob", "at", Term::Geo(GeoPoint::new(56.34, -2.8))),
+            Fact::new("bob", "seen", Term::Time(SimTime::from_millis(1500))),
+            Fact::new("bob", "on_holiday", Term::Bool(true))
+                .valid_between(SimTime::from_secs(1), SimTime::from_secs(2)),
+        ];
+        let refs: Vec<&Fact> = facts.iter().collect();
+        let xml = DistributedKnowledge::facts_to_xml("bob", &refs);
+        let back = DistributedKnowledge::facts_from_xml(&xml);
+        assert_eq!(back.len(), facts.len());
+        for (a, b) in facts.iter().zip(back.iter()) {
+            assert_eq!(a.predicate, b.predicate);
+            assert!(a.object.eq_term(&b.object) || a.object == b.object, "{a} vs {b}");
+            assert_eq!(a.valid_from, b.valid_from);
+            assert_eq!(a.valid_to, b.valid_to);
+        }
+    }
+
+    #[test]
+    fn malformed_entries_are_skipped() {
+        let xml = gloss_xml::parse(
+            r#"<facts subject="x">
+                 <fact predicate="ok" type="int"><value>5</value></fact>
+                 <fact predicate="bad" type="int"><value>five</value></fact>
+                 <fact type="int"><value>5</value></fact>
+                 <fact predicate="odd" type="tensor"><value>?</value></fact>
+               </facts>"#,
+        )
+        .unwrap();
+        let facts = DistributedKnowledge::facts_from_xml(&xml);
+        assert_eq!(facts.len(), 1);
+        assert_eq!(facts[0].predicate, "ok");
+    }
+
+    #[test]
+    fn store_round_trip_over_the_network() {
+        let mut net = StoreNetwork::build(12, StoreConfig::default(), 31);
+        net.settle();
+        let writer = DistributedKnowledge::new(NodeIndex(1));
+        let reader = DistributedKnowledge::new(NodeIndex(9));
+        let facts = vec![
+            Fact::new("janettas", "sells", Term::str("ice cream")),
+            Fact::new("janettas", "closes_at", Term::Int(1020)),
+        ];
+        let refs: Vec<&Fact> = facts.iter().collect();
+        writer.put_subject(&mut net, "janettas", &refs);
+        net.run_for(SimDuration::from_secs(30));
+        let req = reader.fetch_subject(&mut net, "janettas");
+        net.run_for(SimDuration::from_secs(30));
+        let fetched = reader.take_facts(&net, req).expect("facts fetched");
+        assert_eq!(fetched.len(), 2);
+        assert_eq!(fetched[0].subject, "janettas");
+    }
+
+    #[test]
+    fn missing_subject_yields_none() {
+        let mut net = StoreNetwork::build(8, StoreConfig::default(), 32);
+        net.settle();
+        let reader = DistributedKnowledge::new(NodeIndex(2));
+        let req = reader.fetch_subject(&mut net, "nobody");
+        net.run_for(SimDuration::from_secs(30));
+        assert!(reader.take_facts(&net, req).is_none());
+    }
+}

@@ -1,0 +1,380 @@
+//! Facts: subject/predicate/object triples with validity intervals.
+
+use gloss_sim::{GeoPoint, SimTime};
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// A knowledge-base value (also the runtime value type of the matchlet
+/// language).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Term {
+    /// A string.
+    Str(String),
+    /// An integer.
+    Int(i64),
+    /// A float.
+    Float(f64),
+    /// A boolean.
+    Bool(bool),
+    /// A geographic point.
+    Geo(GeoPoint),
+    /// An instant of simulated time.
+    Time(SimTime),
+}
+
+impl Term {
+    /// Convenience string constructor.
+    pub fn str(s: impl Into<String>) -> Term {
+        Term::Str(s.into())
+    }
+
+    /// The string inside, if any.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Term::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric view (`Int` and `Float`; `Time` yields seconds).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Term::Int(i) => Some(*i as f64),
+            Term::Float(f) => Some(*f),
+            Term::Time(t) => Some(t.as_secs_f64()),
+            _ => None,
+        }
+    }
+
+    /// The boolean inside, if any.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Term::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The geographic point inside, if any.
+    pub fn as_geo(&self) -> Option<GeoPoint> {
+        match self {
+            Term::Geo(g) => Some(*g),
+            _ => None,
+        }
+    }
+
+    /// The time inside, if any.
+    pub fn as_time(&self) -> Option<SimTime> {
+        match self {
+            Term::Time(t) => Some(*t),
+            _ => None,
+        }
+    }
+
+    /// Semantic equality: numerics compare numerically, other types by
+    /// structure.
+    pub fn eq_term(&self, other: &Term) -> bool {
+        match (self.as_f64(), other.as_f64()) {
+            (Some(a), Some(b)) => (a - b).abs() < 1e-12,
+            _ => self == other,
+        }
+    }
+
+    /// The type name (used by the XML encoding).
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Term::Str(_) => "str",
+            Term::Int(_) => "int",
+            Term::Float(_) => "float",
+            Term::Bool(_) => "bool",
+            Term::Geo(_) => "geo",
+            Term::Time(_) => "time",
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Str(s) => write!(f, "\"{s}\""),
+            Term::Int(i) => write!(f, "{i}"),
+            Term::Float(x) => write!(f, "{x}"),
+            Term::Bool(b) => write!(f, "{b}"),
+            Term::Geo(g) => write!(f, "{g}"),
+            Term::Time(t) => write!(f, "{t}"),
+        }
+    }
+}
+
+impl From<&str> for Term {
+    fn from(s: &str) -> Term {
+        Term::Str(s.to_string())
+    }
+}
+impl From<String> for Term {
+    fn from(s: String) -> Term {
+        Term::Str(s)
+    }
+}
+impl From<i64> for Term {
+    fn from(i: i64) -> Term {
+        Term::Int(i)
+    }
+}
+impl From<f64> for Term {
+    fn from(f: f64) -> Term {
+        Term::Float(f)
+    }
+}
+impl From<bool> for Term {
+    fn from(b: bool) -> Term {
+        Term::Bool(b)
+    }
+}
+impl From<GeoPoint> for Term {
+    fn from(g: GeoPoint) -> Term {
+        Term::Geo(g)
+    }
+}
+impl From<SimTime> for Term {
+    fn from(t: SimTime) -> Term {
+        Term::Time(t)
+    }
+}
+
+/// A fact: `subject predicate object`, optionally valid only within a
+/// time interval ("Bob is on holiday from 20/6/2003 to 27/6/2003").
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fact {
+    /// The subject ("bob").
+    pub subject: String,
+    /// The predicate ("likes").
+    pub predicate: String,
+    /// The object.
+    pub object: Term,
+    /// Validity start (inclusive), if bounded.
+    pub valid_from: Option<SimTime>,
+    /// Validity end (exclusive), if bounded.
+    pub valid_to: Option<SimTime>,
+}
+
+impl Fact {
+    /// Creates an always-valid fact.
+    pub fn new(subject: impl Into<String>, predicate: impl Into<String>, object: Term) -> Self {
+        Fact {
+            subject: subject.into(),
+            predicate: predicate.into(),
+            object,
+            valid_from: None,
+            valid_to: None,
+        }
+    }
+
+    /// Restricts validity to `[from, to)`.
+    pub fn valid_between(mut self, from: SimTime, to: SimTime) -> Self {
+        self.valid_from = Some(from);
+        self.valid_to = Some(to);
+        self
+    }
+
+    /// Whether the fact holds at `t`.
+    pub fn valid_at(&self, t: SimTime) -> bool {
+        self.valid_from.is_none_or(|f| t >= f) && self.valid_to.is_none_or(|e| t < e)
+    }
+}
+
+impl fmt::Display for Fact {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.subject, self.predicate, self.object)
+    }
+}
+
+/// Read access to a fact collection, as used by the matchlet engine.
+pub trait FactSource {
+    /// Facts with the given subject and/or predicate (either may be left
+    /// open), regardless of validity.
+    fn query<'a>(
+        &'a self,
+        subject: Option<&'a str>,
+        predicate: Option<&'a str>,
+    ) -> Box<dyn Iterator<Item = &'a Fact> + 'a>;
+
+    /// Facts valid at `t` with the given subject and/or predicate.
+    fn query_at<'a>(
+        &'a self,
+        subject: Option<&'a str>,
+        predicate: Option<&'a str>,
+        t: SimTime,
+    ) -> Box<dyn Iterator<Item = &'a Fact> + 'a> {
+        Box::new(self.query(subject, predicate).filter(move |f| f.valid_at(t)))
+    }
+}
+
+/// An indexed in-memory fact store.
+#[derive(Debug, Clone, Default)]
+pub struct InMemoryFacts {
+    facts: Vec<Fact>,
+    by_predicate: HashMap<String, Vec<usize>>,
+    by_subject: HashMap<String, Vec<usize>>,
+}
+
+impl InMemoryFacts {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        InMemoryFacts::default()
+    }
+
+    /// Adds a fact.
+    pub fn add(&mut self, fact: Fact) {
+        let i = self.facts.len();
+        self.by_predicate.entry(fact.predicate.clone()).or_default().push(i);
+        self.by_subject.entry(fact.subject.clone()).or_default().push(i);
+        self.facts.push(fact);
+    }
+
+    /// Adds many facts.
+    pub fn extend(&mut self, facts: impl IntoIterator<Item = Fact>) {
+        for f in facts {
+            self.add(f);
+        }
+    }
+
+    /// Number of facts.
+    pub fn len(&self) -> usize {
+        self.facts.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.facts.is_empty()
+    }
+
+    /// Removes all facts about a subject (profile update), returning how
+    /// many were removed.
+    pub fn remove_subject(&mut self, subject: &str) -> usize {
+        let before = self.facts.len();
+        self.facts.retain(|f| f.subject != subject);
+        self.reindex();
+        before - self.facts.len()
+    }
+
+    fn reindex(&mut self) {
+        self.by_predicate.clear();
+        self.by_subject.clear();
+        for (i, f) in self.facts.iter().enumerate() {
+            self.by_predicate.entry(f.predicate.clone()).or_default().push(i);
+            self.by_subject.entry(f.subject.clone()).or_default().push(i);
+        }
+    }
+
+    /// All facts, grouped by subject (for distribution into the store).
+    pub fn by_subject(&self) -> BTreeMap<&str, Vec<&Fact>> {
+        let mut map: BTreeMap<&str, Vec<&Fact>> = BTreeMap::new();
+        for f in &self.facts {
+            map.entry(f.subject.as_str()).or_default().push(f);
+        }
+        map
+    }
+}
+
+impl FactSource for InMemoryFacts {
+    fn query<'a>(
+        &'a self,
+        subject: Option<&'a str>,
+        predicate: Option<&'a str>,
+    ) -> Box<dyn Iterator<Item = &'a Fact> + 'a> {
+        match (subject, predicate) {
+            (Some(s), Some(p)) => {
+                // The smaller index wins; subject lists are usually short.
+                let idx = self.by_subject.get(s).cloned().unwrap_or_default();
+                Box::new(
+                    idx.into_iter().map(|i| &self.facts[i]).filter(move |f| f.predicate == p),
+                )
+            }
+            (Some(s), None) => {
+                let idx = self.by_subject.get(s).cloned().unwrap_or_default();
+                Box::new(idx.into_iter().map(|i| &self.facts[i]))
+            }
+            (None, Some(p)) => {
+                let idx = self.by_predicate.get(p).cloned().unwrap_or_default();
+                Box::new(idx.into_iter().map(|i| &self.facts[i]))
+            }
+            (None, None) => Box::new(self.facts.iter()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kb() -> InMemoryFacts {
+        let mut kb = InMemoryFacts::new();
+        kb.add(Fact::new("bob", "likes", Term::str("ice cream")));
+        kb.add(Fact::new("bob", "nationality", Term::str("scottish")));
+        kb.add(Fact::new("anna", "likes", Term::str("coffee")));
+        kb.add(Fact::new("bob", "knows", Term::str("anna")));
+        kb.add(
+            Fact::new("bob", "on_holiday", Term::Bool(true))
+                .valid_between(SimTime::from_secs(100), SimTime::from_secs(200)),
+        );
+        kb
+    }
+
+    #[test]
+    fn query_combinations() {
+        let kb = kb();
+        assert_eq!(kb.query(Some("bob"), Some("likes")).count(), 1);
+        assert_eq!(kb.query(Some("bob"), None).count(), 4);
+        assert_eq!(kb.query(None, Some("likes")).count(), 2);
+        assert_eq!(kb.query(None, None).count(), 5);
+        assert_eq!(kb.query(Some("zoe"), None).count(), 0);
+    }
+
+    #[test]
+    fn validity_intervals() {
+        let kb = kb();
+        let at = |s| {
+            kb.query_at(Some("bob"), Some("on_holiday"), SimTime::from_secs(s)).count()
+        };
+        assert_eq!(at(50), 0);
+        assert_eq!(at(100), 1);
+        assert_eq!(at(199), 1);
+        assert_eq!(at(200), 0, "end is exclusive");
+    }
+
+    #[test]
+    fn remove_subject_reindexes() {
+        let mut kb = kb();
+        assert_eq!(kb.remove_subject("bob"), 4);
+        assert_eq!(kb.query(Some("bob"), None).count(), 0);
+        assert_eq!(kb.query(None, Some("likes")).count(), 1);
+        assert_eq!(kb.len(), 1);
+    }
+
+    #[test]
+    fn term_accessors_and_equality() {
+        assert!(Term::Int(3).eq_term(&Term::Float(3.0)));
+        assert!(!Term::Int(3).eq_term(&Term::str("3")));
+        assert_eq!(Term::str("x").as_str(), Some("x"));
+        assert_eq!(Term::Float(1.5).as_f64(), Some(1.5));
+        assert_eq!(Term::Bool(true).as_bool(), Some(true));
+        let g = GeoPoint::new(56.0, -3.0);
+        assert_eq!(Term::Geo(g).as_geo(), Some(g));
+        assert_eq!(Term::Time(SimTime::from_secs(2)).as_f64(), Some(2.0));
+    }
+
+    #[test]
+    fn by_subject_grouping() {
+        let kb = kb();
+        let groups = kb.by_subject();
+        assert_eq!(groups["bob"].len(), 4);
+        assert_eq!(groups["anna"].len(), 1);
+    }
+
+    #[test]
+    fn term_display() {
+        assert_eq!(Term::str("a").to_string(), "\"a\"");
+        assert_eq!(Term::Int(4).to_string(), "4");
+        assert_eq!(Fact::new("a", "b", Term::Int(1)).to_string(), "a b 1");
+    }
+}

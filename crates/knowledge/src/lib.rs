@@ -1,0 +1,48 @@
+//! The knowledge base: "relatively static information such as spatial data
+//! from GIS, and more general information published on intranets and the
+//! internet" (§1.1), plus user profiles, preferences and history.
+//!
+//! The matching service "will operate over a global knowledge base
+//! comprising elements such as GIS, web-based systems, databases,
+//! semi-structured data". This crate provides the synthetic equivalent:
+//!
+//! * [`Fact`]s — subject/predicate/object triples with optional validity
+//!   intervals, behind the [`FactSource`] query trait used by matchlets,
+//! * [`gis`] — a spatial directory (places, streets, opening hours,
+//!   haversine geometry) including the St Andrews scene of the paper's
+//!   ice-cream scenario,
+//! * [`profile`] — user profiles: preferences, traits, social graph,
+//!   movement history,
+//! * [`ontology`] — a term hierarchy plus the paper's three
+//!   description-matching strategies (§3): text-based, lexical-descriptor
+//!   (multi-faceted classification) and specification-based, compared in
+//!   experiment **C9**,
+//! * [`distributed`] — facts serialised as XML documents in the P2P store
+//!   (one document per subject), with promiscuous caching applying
+//!   transparently.
+//!
+//! # Example
+//!
+//! ```
+//! use gloss_knowledge::{Fact, FactSource, InMemoryFacts, Term};
+//!
+//! let mut kb = InMemoryFacts::new();
+//! kb.add(Fact::new("bob", "likes", Term::str("ice cream")));
+//! kb.add(Fact::new("bob", "nationality", Term::str("scottish")));
+//! let likes: Vec<_> = kb.query(Some("bob"), Some("likes")).collect();
+//! assert_eq!(likes[0].object.as_str(), Some("ice cream"));
+//! ```
+
+pub mod distributed;
+pub mod fact;
+pub mod gis;
+pub mod ontology;
+pub mod profile;
+
+pub use distributed::DistributedKnowledge;
+pub use fact::{Fact, FactSource, InMemoryFacts, Term};
+pub use gis::{Place, PlaceDirectory};
+pub use ontology::{
+    LexicalMatcher, Ontology, RetrievalScores, ServiceDescription, SpecMatcher, TextMatcher,
+};
+pub use profile::UserProfile;

@@ -1,0 +1,306 @@
+//! The matchlet language abstract syntax.
+
+use gloss_knowledge::Term;
+use gloss_sim::SimDuration;
+use std::fmt;
+
+/// A pattern position: a variable to bind, a literal to require, or a
+/// wildcard.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Pat {
+    /// `?name` — binds (or unifies with) a variable.
+    Var(String),
+    /// A literal the value must equal.
+    Lit(Term),
+    /// `_` — matches anything, binds nothing.
+    Wild,
+}
+
+impl fmt::Display for Pat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Pat::Var(v) => write!(f, "?{v}"),
+            Pat::Lit(t) => write!(f, "{t}"),
+            Pat::Wild => write!(f, "_"),
+        }
+    }
+}
+
+/// Binary operators, in increasing precedence groups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// Logical or.
+    Or,
+    /// Logical and.
+    And,
+    /// Equality.
+    Eq,
+    /// Inequality.
+    Ne,
+    /// Less than.
+    Lt,
+    /// At most.
+    Le,
+    /// Greater than.
+    Gt,
+    /// At least.
+    Ge,
+    /// Addition (numeric) / concatenation (strings).
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division.
+    Div,
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Or => "or",
+            BinOp::And => "and",
+            BinOp::Eq => "=",
+            BinOp::Ne => "!=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+        };
+        f.write_str(s)
+    }
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A literal value.
+    Lit(Term),
+    /// A variable reference (`?x`).
+    Var(String),
+    /// A builtin function call.
+    Call(String, Vec<Expr>),
+    /// A binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// Logical negation.
+    Not(Box<Expr>),
+    /// Arithmetic negation.
+    Neg(Box<Expr>),
+}
+
+/// One step of a `where` clause, solved left to right.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Goal {
+    /// `fact(subject, predicate, object)` — enumerates the knowledge base
+    /// with unification; unbound variables in subject/object positions are
+    /// bound by each matching fact (backtracking point).
+    Fact {
+        /// Subject pattern.
+        subject: Pat,
+        /// Predicate (always a literal name).
+        predicate: String,
+        /// Object pattern.
+        object: Pat,
+    },
+    /// A boolean condition over bound variables.
+    Cond(Expr),
+}
+
+/// One `on alias: event kind(field: pat, ...)` clause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventPattern {
+    /// The clause alias (usable as documentation; not referenced today).
+    pub alias: String,
+    /// The event kind to match (e.g. `user.location`).
+    pub kind: String,
+    /// Field patterns. A key containing `/` or starting with `@` is an
+    /// XPath into the XML payload (type projection); otherwise it names a
+    /// typed attribute.
+    pub fields: Vec<(String, Pat)>,
+}
+
+/// The `emit kind(field: expr, ...)` clause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EmitSpec {
+    /// The synthesised event kind.
+    pub kind: String,
+    /// Fields computed from the solution bindings.
+    pub fields: Vec<(String, Expr)>,
+}
+
+/// A complete rule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rule {
+    /// The rule name.
+    pub name: String,
+    /// Event patterns (at least one).
+    pub patterns: Vec<EventPattern>,
+    /// Where goals (conjunction, solved in order).
+    pub goals: Vec<Goal>,
+    /// The correlation window: all joined events must lie within it.
+    pub window: SimDuration,
+    /// What to emit per solution.
+    pub emit: EmitSpec,
+}
+
+impl Rule {
+    /// All variables bound by the event patterns.
+    pub fn pattern_variables(&self) -> Vec<&str> {
+        let mut vars = Vec::new();
+        for p in &self.patterns {
+            for (_, pat) in &p.fields {
+                if let Pat::Var(v) = pat {
+                    if !vars.contains(&v.as_str()) {
+                        vars.push(v.as_str());
+                    }
+                }
+            }
+        }
+        vars
+    }
+}
+
+/// Flattens an expression into goals: top-level `and`s become separate
+/// goals so `fact` patterns become backtracking points.
+pub fn expr_to_goals(expr: Expr) -> Vec<Goal> {
+    match expr {
+        Expr::Binary(BinOp::And, l, r) => {
+            let mut goals = expr_to_goals(*l);
+            goals.extend(expr_to_goals(*r));
+            goals
+        }
+        Expr::Call(name, args) if name == "fact" && args.len() == 3 => {
+            let mut it = args.into_iter();
+            let subject = expr_to_pat(it.next().expect("3 args"));
+            let pred_expr = it.next().expect("3 args");
+            let object = expr_to_pat(it.next().expect("3 args"));
+            let predicate = match pred_expr {
+                Expr::Lit(Term::Str(s)) => s,
+                // Bare identifiers parse as zero-arg calls ("atoms").
+                Expr::Call(name, args) if args.is_empty() => name,
+                Expr::Var(v) => {
+                    // A variable predicate is not supported; treat as a
+                    // literal name for robustness.
+                    v
+                }
+                other => {
+                    return vec![Goal::Cond(Expr::Call(
+                        "fact".into(),
+                        vec![pat_to_expr(subject), other, pat_to_expr(object)],
+                    ))]
+                }
+            };
+            vec![Goal::Fact { subject, predicate, object }]
+        }
+        other => vec![Goal::Cond(other)],
+    }
+}
+
+fn expr_to_pat(e: Expr) -> Pat {
+    match e {
+        Expr::Var(v) if v == "_" => Pat::Wild,
+        Expr::Var(v) => Pat::Var(v),
+        Expr::Lit(t) => Pat::Lit(t),
+        // Identifiers in fact positions parse as zero-arg calls; treat
+        // their names as string literals ("bare atoms").
+        Expr::Call(name, args) if args.is_empty() => Pat::Lit(Term::Str(name)),
+        _ => Pat::Wild,
+    }
+}
+
+fn pat_to_expr(p: Pat) -> Expr {
+    match p {
+        Pat::Var(v) => Expr::Var(v),
+        Pat::Lit(t) => Expr::Lit(t),
+        Pat::Wild => Expr::Var("_".into()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn and_flattens_to_goal_sequence() {
+        let e = Expr::Binary(
+            BinOp::And,
+            Box::new(Expr::Binary(
+                BinOp::And,
+                Box::new(Expr::Lit(Term::Bool(true))),
+                Box::new(Expr::Lit(Term::Bool(true))),
+            )),
+            Box::new(Expr::Lit(Term::Bool(false))),
+        );
+        assert_eq!(expr_to_goals(e).len(), 3);
+    }
+
+    #[test]
+    fn fact_calls_become_fact_goals() {
+        let e = Expr::Call(
+            "fact".into(),
+            vec![
+                Expr::Var("u".into()),
+                Expr::Lit(Term::str("likes")),
+                Expr::Lit(Term::str("ice cream")),
+            ],
+        );
+        let goals = expr_to_goals(e);
+        assert_eq!(goals.len(), 1);
+        match &goals[0] {
+            Goal::Fact { subject, predicate, object } => {
+                assert_eq!(subject, &Pat::Var("u".into()));
+                assert_eq!(predicate, "likes");
+                assert_eq!(object, &Pat::Lit(Term::str("ice cream")));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bare_atoms_in_fact_positions_are_strings() {
+        let e = Expr::Call(
+            "fact".into(),
+            vec![
+                Expr::Call("janettas".into(), vec![]),
+                Expr::Lit(Term::str("sells")),
+                Expr::Var("what".into()),
+            ],
+        );
+        match &expr_to_goals(e)[0] {
+            Goal::Fact { subject, .. } => {
+                assert_eq!(subject, &Pat::Lit(Term::str("janettas")));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pattern_variables_deduplicate() {
+        let rule = Rule {
+            name: "r".into(),
+            patterns: vec![
+                EventPattern {
+                    alias: "a".into(),
+                    kind: "k".into(),
+                    fields: vec![
+                        ("x".into(), Pat::Var("u".into())),
+                        ("y".into(), Pat::Var("v".into())),
+                    ],
+                },
+                EventPattern {
+                    alias: "b".into(),
+                    kind: "j".into(),
+                    fields: vec![("z".into(), Pat::Var("u".into()))],
+                },
+            ],
+            goals: vec![],
+            window: SimDuration::from_secs(60),
+            emit: EmitSpec { kind: "out".into(), fields: vec![] },
+        };
+        assert_eq!(rule.pattern_variables(), vec!["u", "v"]);
+    }
+}

@@ -1,0 +1,524 @@
+//! The matchlet engine: windowed multi-event joins driving rule firing.
+
+use crate::ast::Rule;
+use crate::eval::{eval, solve, unify, Bindings};
+use crate::parser::{parse_rules, MatchletError};
+use gloss_event::{AttrValue, Event};
+use gloss_knowledge::{FactSource, Term};
+use gloss_sim::SimTime;
+use gloss_xml::Path;
+use std::collections::VecDeque;
+
+/// A rule plus its per-pattern event buffers.
+#[derive(Debug, Clone)]
+pub struct CompiledRule {
+    /// The rule.
+    pub rule: Rule,
+    /// Per-pattern buffers of `(arrival time, bindings)`.
+    buffers: Vec<VecDeque<(SimTime, Bindings)>>,
+    /// How many times the rule has fired.
+    pub fired: u64,
+}
+
+impl CompiledRule {
+    fn new(rule: Rule) -> Self {
+        let buffers = vec![VecDeque::new(); rule.patterns.len()];
+        CompiledRule { rule, buffers, fired: 0 }
+    }
+
+    fn evict_before(&mut self, cutoff: SimTime) {
+        for buf in &mut self.buffers {
+            while buf.front().is_some_and(|(t, _)| *t < cutoff) {
+                buf.pop_front();
+            }
+        }
+    }
+
+    /// Total buffered partial matches.
+    pub fn buffered(&self) -> usize {
+        self.buffers.iter().map(VecDeque::len).sum()
+    }
+}
+
+/// Aggregate engine statistics — the "distillation" measure of Figure 1:
+/// a high volume of input events reduced to few meaningful outputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EngineStats {
+    /// Events offered to the engine.
+    pub events_in: u64,
+    /// Events synthesised.
+    pub events_out: u64,
+    /// Where-clause evaluation errors (branches pruned).
+    pub eval_errors: u64,
+}
+
+impl EngineStats {
+    /// Input events per output event (∞ reported as `f64::INFINITY`).
+    pub fn distillation_ratio(&self) -> f64 {
+        if self.events_out == 0 {
+            f64::INFINITY
+        } else {
+            self.events_in as f64 / self.events_out as f64
+        }
+    }
+}
+
+/// A matchlet engine hosting compiled rules.
+///
+/// See the [crate docs](crate) for the language and an example.
+#[derive(Debug, Clone, Default)]
+pub struct MatchletEngine {
+    rules: Vec<CompiledRule>,
+    /// Engine statistics.
+    pub stats: EngineStats,
+    emit_seq: u64,
+}
+
+impl MatchletEngine {
+    /// Creates an empty engine.
+    pub fn new() -> Self {
+        MatchletEngine::default()
+    }
+
+    /// Compiles source text into a fresh engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatchletError`] on syntax errors.
+    pub fn compile(src: &str) -> Result<Self, MatchletError> {
+        let mut engine = MatchletEngine::new();
+        engine.add_rules(src)?;
+        Ok(engine)
+    }
+
+    /// Hot-adds rules from source to a running engine (the dynamic
+    /// deployment path used by code bundles).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatchletError`] on syntax errors; existing rules are
+    /// untouched.
+    pub fn add_rules(&mut self, src: &str) -> Result<(), MatchletError> {
+        for rule in parse_rules(src)? {
+            self.add_rule(rule);
+        }
+        Ok(())
+    }
+
+    /// Adds one already-parsed rule.
+    pub fn add_rule(&mut self, rule: Rule) {
+        self.rules.push(CompiledRule::new(rule));
+    }
+
+    /// Removes a rule by name; returns whether it existed.
+    pub fn remove_rule(&mut self, name: &str) -> bool {
+        let before = self.rules.len();
+        self.rules.retain(|r| r.rule.name != name);
+        before != self.rules.len()
+    }
+
+    /// The hosted rule names.
+    pub fn rule_names(&self) -> Vec<&str> {
+        self.rules.iter().map(|r| r.rule.name.as_str()).collect()
+    }
+
+    /// The hosted rules (with buffer state).
+    pub fn rules(&self) -> &[CompiledRule] {
+        &self.rules
+    }
+
+    /// Whether any rule listens for the given event kind.
+    pub fn handles_kind(&self, kind: &str) -> bool {
+        self.rules
+            .iter()
+            .any(|r| r.rule.patterns.iter().any(|p| p.kind == kind))
+    }
+
+    /// Offers an event to every rule; returns the synthesised events.
+    ///
+    /// Joining semantics: the new event is fixed at each pattern position
+    /// it matches and joined against the *buffered* partial matches of
+    /// the other patterns (so an event never joins with itself), then the
+    /// event is buffered. All joined events lie within the rule's window
+    /// of the new event.
+    pub fn on_event(&mut self, now: SimTime, event: &Event, kb: &dyn FactSource) -> Vec<Event> {
+        self.stats.events_in += 1;
+        let mut out = Vec::new();
+        for rule_idx in 0..self.rules.len() {
+            let window = self.rules[rule_idx].rule.window;
+            let cutoff = if now.as_micros() > window.as_micros() {
+                SimTime::from_micros(now.as_micros() - window.as_micros())
+            } else {
+                SimTime::ZERO
+            };
+            self.rules[rule_idx].evict_before(cutoff);
+
+            let pattern_count = self.rules[rule_idx].rule.patterns.len();
+            let mut matched: Vec<(usize, Bindings)> = Vec::new();
+            for p in 0..pattern_count {
+                if let Some(b) =
+                    Self::match_pattern(&self.rules[rule_idx].rule.patterns[p], event)
+                {
+                    matched.push((p, b));
+                }
+            }
+            for (p, bindings) in &matched {
+                self.join_and_fire(rule_idx, *p, bindings.clone(), now, kb, &mut out);
+            }
+            for (p, bindings) in matched {
+                self.rules[rule_idx].buffers[p].push_back((now, bindings));
+            }
+        }
+        self.stats.events_out += out.len() as u64;
+        out
+    }
+
+    /// Matches one pattern against an event, producing bindings.
+    fn match_pattern(
+        pattern: &crate::ast::EventPattern,
+        event: &Event,
+    ) -> Option<Bindings> {
+        if pattern.kind != event.kind() {
+            return None;
+        }
+        let mut env = Bindings::new();
+        for (key, pat) in &pattern.fields {
+            let value = if key.contains('/') || key.starts_with('@') {
+                // Type projection into the XML payload (§3).
+                let payload = event.payload()?;
+                let path = Path::parse(key).ok()?;
+                let text = path.select_text_first(payload)?;
+                text_to_term(&text)
+            } else {
+                attr_to_term(event.attr(key)?)
+            };
+            if !unify(pat, &value, &mut env) {
+                return None;
+            }
+        }
+        Some(env)
+    }
+
+    fn join_and_fire(
+        &mut self,
+        rule_idx: usize,
+        fixed_pattern: usize,
+        fixed_bindings: Bindings,
+        now: SimTime,
+        kb: &dyn FactSource,
+        out: &mut Vec<Event>,
+    ) {
+        // Collect join environments across the other patterns' buffers.
+        let pattern_count = self.rules[rule_idx].rule.patterns.len();
+        let mut envs = vec![fixed_bindings];
+        for p in 0..pattern_count {
+            if p == fixed_pattern {
+                continue;
+            }
+            let mut next = Vec::new();
+            for env in &envs {
+                for (_, buffered) in &self.rules[rule_idx].buffers[p] {
+                    // Unify the buffered bindings into the environment.
+                    let mut child = env.clone();
+                    let mut compatible = true;
+                    for (k, v) in buffered {
+                        match child.get(k) {
+                            Some(existing) if !existing.eq_term(v) => {
+                                compatible = false;
+                                break;
+                            }
+                            Some(_) => {}
+                            None => {
+                                child.insert(k.clone(), v.clone());
+                            }
+                        }
+                    }
+                    if compatible {
+                        next.push(child);
+                    }
+                }
+            }
+            envs = next;
+            if envs.is_empty() {
+                return;
+            }
+        }
+
+        // Solve the where-goals for every join environment and emit.
+        let goals = self.rules[rule_idx].rule.goals.clone();
+        let emit = self.rules[rule_idx].rule.emit.clone();
+        let mut fired = 0u64;
+        let mut errors = 0u64;
+        for env in envs {
+            let mut solutions: Vec<Bindings> = Vec::new();
+            errors += solve(&goals, &env, kb, now, &mut |solution| {
+                solutions.push(solution.clone());
+            });
+            for solution in solutions {
+                let mut ev = Event::new(&emit.kind);
+                let mut ok = true;
+                for (field, expr) in &emit.fields {
+                    match eval(expr, &solution, kb, now) {
+                        Ok(term) => ev.set_attr(field, term_to_attr(&term)),
+                        Err(_) => {
+                            errors += 1;
+                            ok = false;
+                            break;
+                        }
+                    }
+                }
+                if ok {
+                    self.emit_seq += 1;
+                    fired += 1;
+                    out.push(ev);
+                }
+            }
+        }
+        self.rules[rule_idx].fired += fired;
+        self.stats.eval_errors += errors;
+    }
+}
+
+/// Converts an event attribute to a matchlet term.
+pub fn attr_to_term(value: &AttrValue) -> Term {
+    match value {
+        AttrValue::Str(s) => Term::Str(s.clone()),
+        AttrValue::Int(i) => Term::Int(*i),
+        AttrValue::Float(f) => Term::Float(*f),
+        AttrValue::Bool(b) => Term::Bool(*b),
+    }
+}
+
+/// Converts a matchlet term to an event attribute.
+pub fn term_to_attr(term: &Term) -> AttrValue {
+    match term {
+        Term::Str(s) => AttrValue::Str(s.clone()),
+        Term::Int(i) => AttrValue::Int(*i),
+        Term::Float(f) => AttrValue::Float(*f),
+        Term::Bool(b) => AttrValue::Bool(*b),
+        Term::Geo(g) => AttrValue::Str(format!("{},{}", g.lat, g.lon)),
+        Term::Time(t) => AttrValue::Int(t.as_micros() as i64),
+    }
+}
+
+/// Parses projected payload text into the most specific term.
+fn text_to_term(text: &str) -> Term {
+    let t = text.trim();
+    if let Ok(i) = t.parse::<i64>() {
+        return Term::Int(i);
+    }
+    if let Ok(f) = t.parse::<f64>() {
+        return Term::Float(f);
+    }
+    match t {
+        "true" => Term::Bool(true),
+        "false" => Term::Bool(false),
+        _ => Term::Str(text.to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gloss_knowledge::{Fact, InMemoryFacts};
+    use gloss_xml::parse;
+
+    fn kb() -> InMemoryFacts {
+        let mut kb = InMemoryFacts::new();
+        kb.add(Fact::new("bob", "likes", Term::str("ice cream")));
+        kb.add(Fact::new("bob", "nationality", Term::str("scottish")));
+        kb.add(Fact::new("anna", "nationality", Term::str("australian")));
+        kb.add(Fact::new("anna", "likes", Term::str("ice cream")));
+        kb
+    }
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    #[test]
+    fn single_pattern_rule_fires_immediately() {
+        let mut e = MatchletEngine::compile(
+            r#"rule r { on a: event ping(n: ?n) where ?n > 2 emit pong(n: ?n) }"#,
+        )
+        .unwrap();
+        let out = e.on_event(t(0), &Event::new("ping").with_attr("n", 5i64), &kb());
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].kind(), "pong");
+        assert_eq!(out[0].num_attr("n"), Some(5.0));
+        let out = e.on_event(t(1), &Event::new("ping").with_attr("n", 1i64), &kb());
+        assert!(out.is_empty());
+        assert_eq!(e.stats.events_in, 2);
+        assert_eq!(e.stats.events_out, 1);
+    }
+
+    #[test]
+    fn two_pattern_join_within_window() {
+        let src = r#"
+            rule meet {
+                on a: event user.location(user: ?u, place: ?p)
+                on b: event user.location(user: ?v, place: ?p)
+                where ?u != ?v
+                within 1m
+                emit co_located(a: ?u, b: ?v, place: ?p)
+            }
+        "#;
+        let mut e = MatchletEngine::compile(src).unwrap();
+        let ev = |u: &str, p: &str| {
+            Event::new("user.location").with_attr("user", u).with_attr("place", p)
+        };
+        assert!(e.on_event(t(0), &ev("bob", "market st"), &kb()).is_empty());
+        // Different place: no join.
+        assert!(e.on_event(t(10), &ev("anna", "north st"), &kb()).is_empty());
+        // Same place within window: fires (both pattern orders join).
+        let out = e.on_event(t(20), &ev("anna", "market st"), &kb());
+        assert_eq!(out.len(), 2, "anna joins bob's buffered event in both roles");
+        assert_eq!(out[0].kind(), "co_located");
+    }
+
+    #[test]
+    fn window_expiry_prevents_stale_joins() {
+        let src = r#"
+            rule meet {
+                on a: event x(u: ?u)
+                on b: event y(v: ?v)
+                within 30 s
+                emit z(u: ?u, v: ?v)
+            }
+        "#;
+        let mut e = MatchletEngine::compile(src).unwrap();
+        e.on_event(t(0), &Event::new("x").with_attr("u", "one"), &kb());
+        // 60 s later: the x event has expired.
+        let out = e.on_event(t(60), &Event::new("y").with_attr("v", "two"), &kb());
+        assert!(out.is_empty());
+        // Within the window it joins.
+        e.on_event(t(70), &Event::new("x").with_attr("u", "three"), &kb());
+        let out = e.on_event(t(80), &Event::new("y").with_attr("v", "four"), &kb());
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn event_does_not_join_with_itself() {
+        let src = r#"
+            rule pair {
+                on a: event k(u: ?u)
+                on b: event k(v: ?v)
+                within 1m
+                emit p(u: ?u, v: ?v)
+            }
+        "#;
+        let mut e = MatchletEngine::compile(src).unwrap();
+        let out = e.on_event(t(0), &Event::new("k").with_attr("u", "x").with_attr("v", "x"), &kb());
+        assert!(out.is_empty(), "first event has nothing buffered to join");
+    }
+
+    #[test]
+    fn fact_goals_enrich_matches() {
+        let src = r#"
+            rule hot_for_you {
+                on w: event weather(celsius: ?c)
+                where fact(?u, likes, "ice cream") and fact(?u, nationality, ?nat)
+                where ?c >= hot_threshold(?nat)
+                within 1m
+                emit suggest(user: ?u, c: ?c)
+            }
+        "#;
+        let mut e = MatchletEngine::compile(src).unwrap();
+        // 20C: hot for scottish bob (18), not for australian anna (30).
+        let out = e.on_event(t(0), &Event::new("weather").with_attr("celsius", 20.0), &kb());
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].str_attr("user"), Some("bob"));
+        // 35C: hot for both.
+        let out = e.on_event(t(10), &Event::new("weather").with_attr("celsius", 35.0), &kb());
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn payload_projection_binding() {
+        let src = r#"
+            rule gps {
+                on l: event loc("pos/@lat": ?lat, "pos/@lon": ?lon)
+                where ?lat > 56.0
+                within 1m
+                emit seen(lat: ?lat, lon: ?lon)
+            }
+        "#;
+        let mut e = MatchletEngine::compile(src).unwrap();
+        let payload = parse(r#"<fix><pos lat="56.34" lon="-2.80"/></fix>"#).unwrap();
+        let out = e.on_event(t(0), &Event::new("loc").with_payload(payload), &kb());
+        assert_eq!(out.len(), 1);
+        assert!((out[0].num_attr("lat").unwrap() - 56.34).abs() < 1e-9);
+        // Event without a payload cannot match a projection pattern.
+        let out = e.on_event(t(1), &Event::new("loc"), &kb());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn literal_field_constraints_filter() {
+        let src = r#"
+            rule walkers {
+                on l: event loc(user: ?u, on_foot: true)
+                within 1m
+                emit walking(user: ?u)
+            }
+        "#;
+        let mut e = MatchletEngine::compile(src).unwrap();
+        let walk = Event::new("loc").with_attr("user", "bob").with_attr("on_foot", true);
+        let drive = Event::new("loc").with_attr("user", "anna").with_attr("on_foot", false);
+        assert_eq!(e.on_event(t(0), &walk, &kb()).len(), 1);
+        assert_eq!(e.on_event(t(1), &drive, &kb()).len(), 0);
+    }
+
+    #[test]
+    fn hot_rule_addition_and_removal() {
+        let mut e = MatchletEngine::new();
+        assert!(!e.handles_kind("ping"));
+        e.add_rules(r#"rule r { on a: event ping() emit pong() }"#).unwrap();
+        assert!(e.handles_kind("ping"));
+        assert_eq!(e.on_event(t(0), &Event::new("ping"), &kb()).len(), 1);
+        assert!(e.remove_rule("r"));
+        assert!(!e.remove_rule("r"));
+        assert_eq!(e.on_event(t(1), &Event::new("ping"), &kb()).len(), 0);
+    }
+
+    #[test]
+    fn distillation_ratio() {
+        let mut e = MatchletEngine::compile(
+            r#"rule r { on a: event tick(n: ?n) where ?n = 0 emit rare() }"#,
+        )
+        .unwrap();
+        for i in 0..100i64 {
+            e.on_event(t(i as u64), &Event::new("tick").with_attr("n", i % 50), &kb());
+        }
+        assert_eq!(e.stats.events_out, 2);
+        assert_eq!(e.stats.distillation_ratio(), 50.0);
+    }
+
+    #[test]
+    fn cross_variable_join_narrows() {
+        // The shared ?u across patterns requires the same user.
+        let src = r#"
+            rule same_user {
+                on a: event enter(user: ?u)
+                on b: event exit(user: ?u)
+                within 1m
+                emit visit(user: ?u)
+            }
+        "#;
+        let mut e = MatchletEngine::compile(src).unwrap();
+        e.on_event(t(0), &Event::new("enter").with_attr("user", "bob"), &kb());
+        let out = e.on_event(t(5), &Event::new("exit").with_attr("user", "anna"), &kb());
+        assert!(out.is_empty(), "different users do not join");
+        let out = e.on_event(t(6), &Event::new("exit").with_attr("user", "bob"), &kb());
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn emit_errors_counted_and_skipped() {
+        let src = r#"rule r { on a: event k() emit out(v: ?never_bound) }"#;
+        let mut e = MatchletEngine::compile(src).unwrap();
+        let out = e.on_event(t(0), &Event::new("k"), &kb());
+        assert!(out.is_empty());
+        assert_eq!(e.stats.eval_errors, 1);
+    }
+}

@@ -1,0 +1,301 @@
+//! Tokeniser for the matchlet language.
+
+use std::fmt;
+
+/// A token with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token kind and payload.
+    pub kind: TokenKind,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// An identifier or keyword, possibly dotted (`user.location`).
+    Ident(String),
+    /// A `?variable`.
+    Var(String),
+    /// A quoted string.
+    Str(String),
+    /// A number (always lexed as f64; integral values are narrowed later).
+    Num(f64),
+    /// Punctuation / operators.
+    Punct(&'static str),
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "`{s}`"),
+            TokenKind::Var(s) => write!(f, "`?{s}`"),
+            TokenKind::Str(s) => write!(f, "\"{s}\""),
+            TokenKind::Num(n) => write!(f, "{n}"),
+            TokenKind::Punct(p) => write!(f, "`{p}`"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A lexing failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+    /// The problem.
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at {}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenises matchlet source. Comments run from `#` to end of line.
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let mut tokens = Vec::new();
+    let chars: Vec<char> = src.chars().collect();
+    let mut i = 0;
+    let mut line = 1;
+    let mut col = 1;
+
+    macro_rules! bump {
+        () => {{
+            if chars[i] == '\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+            i += 1;
+        }};
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        let (tline, tcol) = (line, col);
+        match c {
+            ' ' | '\t' | '\r' | '\n' => bump!(),
+            '#' => {
+                while i < chars.len() && chars[i] != '\n' {
+                    bump!();
+                }
+            }
+            '"' => {
+                bump!();
+                let mut s = String::new();
+                loop {
+                    if i >= chars.len() {
+                        return Err(LexError {
+                            line: tline,
+                            col: tcol,
+                            message: "unterminated string".into(),
+                        });
+                    }
+                    let c = chars[i];
+                    bump!();
+                    match c {
+                        '"' => break,
+                        '\\' => {
+                            if i >= chars.len() {
+                                return Err(LexError {
+                                    line: tline,
+                                    col: tcol,
+                                    message: "unterminated escape".into(),
+                                });
+                            }
+                            let e = chars[i];
+                            bump!();
+                            s.push(match e {
+                                'n' => '\n',
+                                't' => '\t',
+                                other => other,
+                            });
+                        }
+                        other => s.push(other),
+                    }
+                }
+                tokens.push(Token { kind: TokenKind::Str(s), line: tline, col: tcol });
+            }
+            '?' => {
+                bump!();
+                let mut s = String::new();
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    s.push(chars[i]);
+                    bump!();
+                }
+                if s.is_empty() {
+                    return Err(LexError {
+                        line: tline,
+                        col: tcol,
+                        message: "`?` must be followed by a variable name".into(),
+                    });
+                }
+                tokens.push(Token { kind: TokenKind::Var(s), line: tline, col: tcol });
+            }
+            c if c.is_ascii_digit() => {
+                let mut s = String::new();
+                while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '.') {
+                    // Don't swallow a dot that isn't followed by a digit
+                    // (e.g. `1..2` never occurs, but `kind.` might).
+                    if chars[i] == '.'
+                        && !(i + 1 < chars.len() && chars[i + 1].is_ascii_digit())
+                    {
+                        break;
+                    }
+                    s.push(chars[i]);
+                    bump!();
+                }
+                let n: f64 = s.parse().map_err(|_| LexError {
+                    line: tline,
+                    col: tcol,
+                    message: format!("bad number `{s}`"),
+                })?;
+                tokens.push(Token { kind: TokenKind::Num(n), line: tline, col: tcol });
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut s = String::new();
+                while i < chars.len()
+                    && (chars[i].is_alphanumeric() || chars[i] == '_' || chars[i] == '.')
+                {
+                    // A dot is part of a dotted kind name only when
+                    // followed by a letter.
+                    if chars[i] == '.'
+                        && !(i + 1 < chars.len() && chars[i + 1].is_alphabetic())
+                    {
+                        break;
+                    }
+                    s.push(chars[i]);
+                    bump!();
+                }
+                tokens.push(Token { kind: TokenKind::Ident(s), line: tline, col: tcol });
+            }
+            _ => {
+                // Multi-char operators first.
+                let two: String = chars[i..chars.len().min(i + 2)].iter().collect();
+                let punct = match two.as_str() {
+                    "<=" | ">=" | "!=" => {
+                        bump!();
+                        bump!();
+                        match two.as_str() {
+                            "<=" => "<=",
+                            ">=" => ">=",
+                            _ => "!=",
+                        }
+                    }
+                    _ => {
+                        let p = match c {
+                            '{' => "{",
+                            '}' => "}",
+                            '(' => "(",
+                            ')' => ")",
+                            ':' => ":",
+                            ',' => ",",
+                            '=' => "=",
+                            '<' => "<",
+                            '>' => ">",
+                            '+' => "+",
+                            '-' => "-",
+                            '*' => "*",
+                            '/' => "/",
+                            other => {
+                                return Err(LexError {
+                                    line: tline,
+                                    col: tcol,
+                                    message: format!("unexpected character `{other}`"),
+                                })
+                            }
+                        };
+                        bump!();
+                        p
+                    }
+                };
+                tokens.push(Token { kind: TokenKind::Punct(punct), line: tline, col: tcol });
+            }
+        }
+    }
+    tokens.push(Token { kind: TokenKind::Eof, line, col });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        let ks = kinds(r#"rule r { on w: event user.location(x: ?u) }"#);
+        assert!(ks.contains(&TokenKind::Ident("rule".into())));
+        assert!(ks.contains(&TokenKind::Ident("user.location".into())));
+        assert!(ks.contains(&TokenKind::Var("u".into())));
+        assert!(ks.contains(&TokenKind::Punct("{")));
+        assert_eq!(*ks.last().unwrap(), TokenKind::Eof);
+    }
+
+    #[test]
+    fn numbers_and_strings() {
+        let ks = kinds(r#"3 2.5 "hi \"there\"\n" 10"#);
+        assert_eq!(ks[0], TokenKind::Num(3.0));
+        assert_eq!(ks[1], TokenKind::Num(2.5));
+        assert_eq!(ks[2], TokenKind::Str("hi \"there\"\n".into()));
+        assert_eq!(ks[3], TokenKind::Num(10.0));
+    }
+
+    #[test]
+    fn comparison_operators() {
+        let ks = kinds("a <= b >= c != d < e > f = g");
+        let puncts: Vec<&TokenKind> =
+            ks.iter().filter(|k| matches!(k, TokenKind::Punct(_))).collect();
+        assert_eq!(
+            puncts,
+            vec![
+                &TokenKind::Punct("<="),
+                &TokenKind::Punct(">="),
+                &TokenKind::Punct("!="),
+                &TokenKind::Punct("<"),
+                &TokenKind::Punct(">"),
+                &TokenKind::Punct("=")
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let ks = kinds("a # comment with ?vars and \"strings\"\nb");
+        assert_eq!(ks.len(), 3); // a, b, eof
+    }
+
+    #[test]
+    fn dotted_ident_boundaries() {
+        // Trailing dot is not swallowed.
+        let ks = kinds("weather.reading");
+        assert_eq!(ks[0], TokenKind::Ident("weather.reading".into()));
+        let ks = kinds("5m");
+        assert_eq!(ks[0], TokenKind::Num(5.0));
+        assert_eq!(ks[1], TokenKind::Ident("m".into()));
+    }
+
+    #[test]
+    fn errors_carry_position() {
+        let err = lex("abc\n  ~").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert_eq!(err.col, 3);
+        assert!(lex("\"never ends").is_err());
+        assert!(lex("? notavar").is_err());
+    }
+}

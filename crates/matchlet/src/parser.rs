@@ -1,0 +1,563 @@
+//! Recursive-descent parser for the matchlet language.
+
+use crate::ast::{expr_to_goals, BinOp, EmitSpec, EventPattern, Expr, Pat, Rule};
+use crate::lexer::{lex, LexError, Token, TokenKind};
+use gloss_knowledge::Term;
+use gloss_sim::SimDuration;
+use std::error::Error;
+use std::fmt;
+
+/// A compile failure (lexing or parsing).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatchletError {
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+    /// The problem.
+    pub message: String,
+}
+
+impl fmt::Display for MatchletError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "matchlet error at {}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl Error for MatchletError {}
+
+impl From<LexError> for MatchletError {
+    fn from(e: LexError) -> Self {
+        MatchletError { line: e.line, col: e.col, message: e.message }
+    }
+}
+
+/// Parses a source file containing zero or more rules.
+///
+/// # Errors
+///
+/// Returns [`MatchletError`] with the position of the first problem.
+pub fn parse_rules(src: &str) -> Result<Vec<Rule>, MatchletError> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let mut rules = Vec::new();
+    while !p.at_eof() {
+        rules.push(p.rule()?);
+    }
+    Ok(rules)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn at_eof(&self) -> bool {
+        matches!(self.peek().kind, TokenKind::Eof)
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn fail(&self, message: impl Into<String>) -> MatchletError {
+        let t = self.peek();
+        MatchletError { line: t.line, col: t.col, message: message.into() }
+    }
+
+    fn expect_punct(&mut self, p: &str) -> Result<(), MatchletError> {
+        match &self.peek().kind {
+            TokenKind::Punct(q) if *q == p => {
+                self.bump();
+                Ok(())
+            }
+            other => Err(self.fail(format!("expected `{p}`, found {other}"))),
+        }
+    }
+
+    fn eat_punct(&mut self, p: &str) -> bool {
+        if matches!(&self.peek().kind, TokenKind::Punct(q) if *q == p) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), MatchletError> {
+        match &self.peek().kind {
+            TokenKind::Ident(s) if s == kw => {
+                self.bump();
+                Ok(())
+            }
+            other => Err(self.fail(format!("expected `{kw}`, found {other}"))),
+        }
+    }
+
+    fn peek_keyword(&self, kw: &str) -> bool {
+        matches!(&self.peek().kind, TokenKind::Ident(s) if s == kw)
+    }
+
+    fn ident(&mut self) -> Result<String, MatchletError> {
+        match self.peek().kind.clone() {
+            TokenKind::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => Err(self.fail(format!("expected identifier, found {other}"))),
+        }
+    }
+
+    fn rule(&mut self) -> Result<Rule, MatchletError> {
+        self.expect_keyword("rule")?;
+        let name = self.ident()?;
+        self.expect_punct("{")?;
+        let mut patterns = Vec::new();
+        let mut goals = Vec::new();
+        let mut window = SimDuration::from_secs(60);
+        let mut emit = None;
+        loop {
+            if self.eat_punct("}") {
+                break;
+            }
+            if self.peek_keyword("on") {
+                self.bump();
+                patterns.push(self.event_pattern()?);
+            } else if self.peek_keyword("where") {
+                self.bump();
+                let e = self.expr()?;
+                goals.extend(expr_to_goals(e));
+            } else if self.peek_keyword("within") {
+                self.bump();
+                window = self.duration()?;
+            } else if self.peek_keyword("emit") {
+                self.bump();
+                emit = Some(self.emit_spec()?);
+            } else {
+                return Err(self.fail("expected `on`, `where`, `within`, `emit` or `}`"));
+            }
+        }
+        if patterns.is_empty() {
+            return Err(self.fail(format!("rule `{name}` has no `on` clause")));
+        }
+        let emit = emit.ok_or_else(|| self.fail(format!("rule `{name}` has no `emit` clause")))?;
+        Ok(Rule { name, patterns, goals, window, emit })
+    }
+
+    fn event_pattern(&mut self) -> Result<EventPattern, MatchletError> {
+        let alias = self.ident()?;
+        self.expect_punct(":")?;
+        self.expect_keyword("event")?;
+        let kind = self.ident()?;
+        self.expect_punct("(")?;
+        let mut fields = Vec::new();
+        if !self.eat_punct(")") {
+            loop {
+                let key = match self.peek().kind.clone() {
+                    TokenKind::Ident(s) => {
+                        self.bump();
+                        s
+                    }
+                    // Quoted keys are XPaths into the payload.
+                    TokenKind::Str(s) => {
+                        self.bump();
+                        s
+                    }
+                    other => return Err(self.fail(format!("expected field key, found {other}"))),
+                };
+                self.expect_punct(":")?;
+                let pat = self.pattern()?;
+                fields.push((key, pat));
+                if self.eat_punct(")") {
+                    break;
+                }
+                self.expect_punct(",")?;
+            }
+        }
+        Ok(EventPattern { alias, kind, fields })
+    }
+
+    fn pattern(&mut self) -> Result<Pat, MatchletError> {
+        match self.peek().kind.clone() {
+            TokenKind::Var(v) => {
+                self.bump();
+                Ok(Pat::Var(v))
+            }
+            TokenKind::Ident(s) if s == "_" => {
+                self.bump();
+                Ok(Pat::Wild)
+            }
+            TokenKind::Ident(s) if s == "true" => {
+                self.bump();
+                Ok(Pat::Lit(Term::Bool(true)))
+            }
+            TokenKind::Ident(s) if s == "false" => {
+                self.bump();
+                Ok(Pat::Lit(Term::Bool(false)))
+            }
+            TokenKind::Str(s) => {
+                self.bump();
+                Ok(Pat::Lit(Term::Str(s)))
+            }
+            TokenKind::Num(n) => {
+                self.bump();
+                Ok(Pat::Lit(num_term(n)))
+            }
+            TokenKind::Punct("-") => {
+                self.bump();
+                match self.peek().kind.clone() {
+                    TokenKind::Num(n) => {
+                        self.bump();
+                        Ok(Pat::Lit(num_term(-n)))
+                    }
+                    other => Err(self.fail(format!("expected number after `-`, found {other}"))),
+                }
+            }
+            other => Err(self.fail(format!("expected pattern, found {other}"))),
+        }
+    }
+
+    fn duration(&mut self) -> Result<SimDuration, MatchletError> {
+        let n = match self.peek().kind.clone() {
+            TokenKind::Num(n) if n >= 0.0 => {
+                self.bump();
+                n
+            }
+            other => return Err(self.fail(format!("expected duration, found {other}"))),
+        };
+        let unit = self.ident()?;
+        let secs = match unit.as_str() {
+            "ms" => n / 1e3,
+            "s" => n,
+            "m" => n * 60.0,
+            "h" => n * 3600.0,
+            other => return Err(self.fail(format!("unknown duration unit `{other}`"))),
+        };
+        Ok(SimDuration::from_secs_f64(secs))
+    }
+
+    fn emit_spec(&mut self) -> Result<EmitSpec, MatchletError> {
+        let kind = self.ident()?;
+        self.expect_punct("(")?;
+        let mut fields = Vec::new();
+        if !self.eat_punct(")") {
+            loop {
+                let key = self.ident()?;
+                self.expect_punct(":")?;
+                let value = self.expr()?;
+                fields.push((key, value));
+                if self.eat_punct(")") {
+                    break;
+                }
+                self.expect_punct(",")?;
+            }
+        }
+        Ok(EmitSpec { kind, fields })
+    }
+
+    // --- expressions, by precedence ---
+
+    fn expr(&mut self) -> Result<Expr, MatchletError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, MatchletError> {
+        let mut left = self.and_expr()?;
+        while self.peek_keyword("or") {
+            self.bump();
+            let right = self.and_expr()?;
+            left = Expr::Binary(BinOp::Or, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, MatchletError> {
+        let mut left = self.not_expr()?;
+        while self.peek_keyword("and") {
+            self.bump();
+            let right = self.not_expr()?;
+            left = Expr::Binary(BinOp::And, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr, MatchletError> {
+        if self.peek_keyword("not") {
+            self.bump();
+            return Ok(Expr::Not(Box::new(self.not_expr()?)));
+        }
+        self.comparison()
+    }
+
+    fn comparison(&mut self) -> Result<Expr, MatchletError> {
+        let left = self.additive()?;
+        let op = match &self.peek().kind {
+            TokenKind::Punct("=") => Some(BinOp::Eq),
+            TokenKind::Punct("!=") => Some(BinOp::Ne),
+            TokenKind::Punct("<") => Some(BinOp::Lt),
+            TokenKind::Punct("<=") => Some(BinOp::Le),
+            TokenKind::Punct(">") => Some(BinOp::Gt),
+            TokenKind::Punct(">=") => Some(BinOp::Ge),
+            _ => None,
+        };
+        match op {
+            Some(op) => {
+                self.bump();
+                let right = self.additive()?;
+                Ok(Expr::Binary(op, Box::new(left), Box::new(right)))
+            }
+            None => Ok(left),
+        }
+    }
+
+    fn additive(&mut self) -> Result<Expr, MatchletError> {
+        let mut left = self.multiplicative()?;
+        loop {
+            let op = match &self.peek().kind {
+                TokenKind::Punct("+") => BinOp::Add,
+                TokenKind::Punct("-") => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let right = self.multiplicative()?;
+            left = Expr::Binary(op, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr, MatchletError> {
+        let mut left = self.unary()?;
+        loop {
+            let op = match &self.peek().kind {
+                TokenKind::Punct("*") => BinOp::Mul,
+                TokenKind::Punct("/") => BinOp::Div,
+                _ => break,
+            };
+            self.bump();
+            let right = self.unary()?;
+            left = Expr::Binary(op, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn unary(&mut self) -> Result<Expr, MatchletError> {
+        if self.eat_punct("-") {
+            return Ok(Expr::Neg(Box::new(self.unary()?)));
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr, MatchletError> {
+        match self.peek().kind.clone() {
+            TokenKind::Num(n) => {
+                self.bump();
+                Ok(Expr::Lit(num_term(n)))
+            }
+            TokenKind::Str(s) => {
+                self.bump();
+                Ok(Expr::Lit(Term::Str(s)))
+            }
+            TokenKind::Var(v) => {
+                self.bump();
+                Ok(Expr::Var(v))
+            }
+            TokenKind::Punct("(") => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect_punct(")")?;
+                Ok(e)
+            }
+            TokenKind::Ident(s) => {
+                self.bump();
+                match s.as_str() {
+                    "true" => return Ok(Expr::Lit(Term::Bool(true))),
+                    "false" => return Ok(Expr::Lit(Term::Bool(false))),
+                    _ => {}
+                }
+                if self.eat_punct("(") {
+                    let mut args = Vec::new();
+                    if !self.eat_punct(")") {
+                        loop {
+                            args.push(self.expr()?);
+                            if self.eat_punct(")") {
+                                break;
+                            }
+                            self.expect_punct(",")?;
+                        }
+                    }
+                    Ok(Expr::Call(s, args))
+                } else {
+                    // Bare identifier: a zero-argument call (used as an
+                    // atom in `fact` positions).
+                    Ok(Expr::Call(s, Vec::new()))
+                }
+            }
+            other => Err(self.fail(format!("expected expression, found {other}"))),
+        }
+    }
+}
+
+/// Numbers without a fractional part become integers.
+fn num_term(n: f64) -> Term {
+    if n.fract() == 0.0 && n.abs() < 9e15 {
+        Term::Int(n as i64)
+    } else {
+        Term::Float(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Goal;
+
+    const ICE_CREAM: &str = r#"
+        # The paper's scenario, as a matchlet.
+        rule ice_cream_meetup {
+            on w: event weather.reading(street: ?street, celsius: ?temp)
+            on l: event user.location(user: ?u, lat: ?lat, lon: ?lon)
+            where fact(?u, likes, "ice cream") and fact(?u, nationality, ?nat)
+            where ?temp >= hot_threshold(?nat)
+            within 5m
+            emit suggestion(user: ?u, what: "ice cream", degrees: ?temp)
+        }
+    "#;
+
+    #[test]
+    fn parses_the_ice_cream_rule() {
+        let rules = parse_rules(ICE_CREAM).unwrap();
+        assert_eq!(rules.len(), 1);
+        let r = &rules[0];
+        assert_eq!(r.name, "ice_cream_meetup");
+        assert_eq!(r.patterns.len(), 2);
+        assert_eq!(r.patterns[0].kind, "weather.reading");
+        assert_eq!(r.patterns[1].fields.len(), 3);
+        assert_eq!(r.goals.len(), 3);
+        assert_eq!(r.window, SimDuration::from_secs(300));
+        assert_eq!(r.emit.kind, "suggestion");
+        assert_eq!(r.emit.fields.len(), 3);
+    }
+
+    #[test]
+    fn goal_splitting_and_fact_patterns() {
+        let rules = parse_rules(ICE_CREAM).unwrap();
+        let goals = &rules[0].goals;
+        assert!(matches!(&goals[0], Goal::Fact { predicate, .. } if predicate == "likes"));
+        assert!(matches!(&goals[1], Goal::Fact { predicate, .. } if predicate == "nationality"));
+        assert!(matches!(&goals[2], Goal::Cond(_)));
+    }
+
+    #[test]
+    fn duration_units() {
+        for (src, secs) in
+            [("500 ms", 0.5), ("30 s", 30.0), ("5 m", 300.0), ("2 h", 7200.0)]
+        {
+            let rule = format!(
+                "rule r {{ on a: event k() within {src} emit out() }}"
+            );
+            let rules = parse_rules(&rule).unwrap();
+            assert_eq!(rules[0].window, SimDuration::from_secs_f64(secs), "{src}");
+        }
+    }
+
+    #[test]
+    fn payload_path_field_keys() {
+        let src = r#"
+            rule r {
+                on a: event k("pos/@lat": ?lat, "pos/@lon": ?lon)
+                emit out(lat: ?lat)
+            }
+        "#;
+        let rules = parse_rules(src).unwrap();
+        assert_eq!(rules[0].patterns[0].fields[0].0, "pos/@lat");
+    }
+
+    #[test]
+    fn literal_field_patterns() {
+        let src = r#"
+            rule r {
+                on a: event k(mode: "walking", level: 3, ok: true, skip: _)
+                emit out()
+            }
+        "#;
+        let fields = &parse_rules(src).unwrap()[0].patterns[0].fields;
+        assert_eq!(fields[0].1, Pat::Lit(Term::str("walking")));
+        assert_eq!(fields[1].1, Pat::Lit(Term::Int(3)));
+        assert_eq!(fields[2].1, Pat::Lit(Term::Bool(true)));
+        assert_eq!(fields[3].1, Pat::Wild);
+    }
+
+    #[test]
+    fn expression_precedence() {
+        let src = r#"
+            rule r {
+                on a: event k(x: ?x)
+                where ?x + 2 * 3 >= 10 - 1
+                emit out()
+            }
+        "#;
+        let goals = &parse_rules(src).unwrap()[0].goals;
+        let Goal::Cond(Expr::Binary(BinOp::Ge, l, r)) = &goals[0] else {
+            panic!("expected >=");
+        };
+        assert!(matches!(**l, Expr::Binary(BinOp::Add, _, _)));
+        assert!(matches!(**r, Expr::Binary(BinOp::Sub, _, _)));
+    }
+
+    #[test]
+    fn or_does_not_split_goals() {
+        let src = r#"
+            rule r {
+                on a: event k(x: ?x)
+                where ?x = 1 or ?x = 2
+                emit out()
+            }
+        "#;
+        let goals = &parse_rules(src).unwrap()[0].goals;
+        assert_eq!(goals.len(), 1);
+        assert!(matches!(&goals[0], Goal::Cond(Expr::Binary(BinOp::Or, _, _))));
+    }
+
+    #[test]
+    fn multiple_rules_in_one_source() {
+        let src = r#"
+            rule a { on x: event k() emit out1() }
+            rule b { on y: event j() emit out2() }
+        "#;
+        assert_eq!(parse_rules(src).unwrap().len(), 2);
+        assert!(parse_rules("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse_rules("rule {").is_err());
+        assert!(parse_rules("rule r { emit out() }").is_err(), "no on clause");
+        assert!(parse_rules("rule r { on a: event k() }").is_err(), "no emit clause");
+        assert!(parse_rules("rule r { on a event k() emit o() }").is_err());
+        assert!(parse_rules("rule r { on a: event k() within 5 parsec emit o() }").is_err());
+        let err = parse_rules("rule r {\n  banana\n}").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn negative_number_patterns_and_exprs() {
+        let src = r#"
+            rule r {
+                on a: event k(lon: -2.8)
+                where -1 < 0
+                emit out(v: -3)
+            }
+        "#;
+        let r = &parse_rules(src).unwrap()[0];
+        assert_eq!(r.patterns[0].fields[0].1, Pat::Lit(Term::Float(-2.8)));
+    }
+}

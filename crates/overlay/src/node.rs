@@ -1,0 +1,557 @@
+//! The Pastry-style overlay node state machine: joining, prefix routing,
+//! failure detection, and repair. Sans-IO; drive it with
+//! [`crate::OverlayNetwork`] or embed it (the storage layer does).
+
+use crate::id::{Key, KeyedNode};
+use crate::table::{LeafSet, RoutingTable};
+use gloss_sim::{NodeIndex, Outbox, SimDuration, SimTime};
+use std::collections::BTreeMap;
+
+/// Timer tags used by the overlay (the embedding layer must route timer
+/// fires with these tags back into [`OverlayNode::on_timer`]).
+pub mod timers {
+    /// Periodic leaf-set heartbeat.
+    pub const PROBE: u64 = 0x10;
+    /// Deferred join (staggered bootstrap).
+    pub const JOIN: u64 = 0x11;
+}
+
+/// Overlay protocol messages, generic over the routed payload `P`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OverlayMsg<P> {
+    /// A joining node's request, routed toward its own key.
+    Join {
+        /// The joiner.
+        joiner: KeyedNode,
+    },
+    /// Routing state sent to a joiner by each node on the join path.
+    JoinInfo {
+        /// The sender's routing entries (a superset of one row; sending
+        /// everything known speeds convergence in small networks).
+        known: Vec<KeyedNode>,
+    },
+    /// Final join message from the numerically closest node.
+    JoinDone {
+        /// The closest node itself.
+        closest: KeyedNode,
+        /// Its leaf set, which seeds the joiner's.
+        leaves: Vec<KeyedNode>,
+    },
+    /// A (re)joined node introduces itself to everyone it knows.
+    Announce {
+        /// The new node.
+        node: KeyedNode,
+    },
+    /// Reply to an announcement, so the joiner learns the replier too.
+    AnnounceAck {
+        /// The replying node.
+        node: KeyedNode,
+    },
+    /// An application payload being routed to the live node closest to
+    /// `target`.
+    Route {
+        /// The destination key.
+        target: Key,
+        /// The payload delivered at the destination.
+        payload: P,
+        /// Who originated the route (for replies).
+        origin: NodeIndex,
+        /// Hops taken so far.
+        hops: u32,
+    },
+    /// Leaf-set heartbeat.
+    Probe,
+    /// Heartbeat acknowledgement, carrying the responder's leaf set so
+    /// ring-neighbour knowledge converges continuously (gossip).
+    ProbeAck {
+        /// The responder's current leaf members.
+        leaves: Vec<KeyedNode>,
+    },
+    /// Ask a neighbour for its leaf set (repair after a failure).
+    LeafSetRequest,
+    /// Leaf set contents.
+    LeafSetReply {
+        /// The members.
+        leaves: Vec<KeyedNode>,
+    },
+}
+
+/// A payload delivered at this node (it is the live node numerically
+/// closest to the target).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Delivery<P> {
+    /// The routed key.
+    pub target: Key,
+    /// The payload.
+    pub payload: P,
+    /// The originating physical node.
+    pub origin: NodeIndex,
+    /// Overlay hops from origin to delivery.
+    pub hops: u32,
+}
+
+/// Safety valve: routes longer than this deliver locally and are counted,
+/// preventing pathological loops while tables converge.
+const MAX_HOPS: u32 = 64;
+/// Consecutive missed probes before a leaf is declared dead.
+const PROBE_DEATH: u32 = 3;
+
+/// A Pastry-style overlay node.
+#[derive(Debug, Clone)]
+pub struct OverlayNode<P> {
+    me: KeyedNode,
+    table: RoutingTable,
+    leaves: LeafSet,
+    joined: bool,
+    bootstrap: Option<NodeIndex>,
+    join_delay: SimDuration,
+    probe_interval: SimDuration,
+    outstanding_probes: BTreeMap<NodeIndex, u32>,
+    _payload: std::marker::PhantomData<P>,
+}
+
+impl<P> OverlayNode<P> {
+    /// Creates a node with identifier `key` on physical node `node`.
+    ///
+    /// `bootstrap` is the physical node to join through (`None` for the
+    /// first node of the ring). `join_delay` staggers joins so the ring
+    /// forms incrementally.
+    pub fn new(
+        key: Key,
+        node: NodeIndex,
+        bootstrap: Option<NodeIndex>,
+        join_delay: SimDuration,
+    ) -> Self {
+        let me = KeyedNode::new(key, node);
+        OverlayNode {
+            me,
+            table: RoutingTable::new(key),
+            leaves: LeafSet::new(key, 8),
+            joined: bootstrap.is_none(),
+            bootstrap,
+            join_delay,
+            probe_interval: SimDuration::from_secs(5),
+            outstanding_probes: BTreeMap::new(),
+            _payload: std::marker::PhantomData,
+        }
+    }
+
+    /// Sets the leaf-set heartbeat interval.
+    pub fn with_probe_interval(mut self, interval: SimDuration) -> Self {
+        self.probe_interval = interval;
+        self
+    }
+
+    /// This node's key and address.
+    pub fn id(&self) -> KeyedNode {
+        self.me
+    }
+
+    /// Whether the node has completed its join.
+    pub fn is_joined(&self) -> bool {
+        self.joined
+    }
+
+    /// The current leaf set members.
+    pub fn leaf_members(&self) -> Vec<KeyedNode> {
+        self.leaves.members()
+    }
+
+    /// Every node this node knows about.
+    pub fn known(&self) -> Vec<KeyedNode> {
+        let mut all = self.table.entries();
+        for m in self.leaves.members() {
+            if !all.iter().any(|e| e.key == m.key) {
+                all.push(m);
+            }
+        }
+        all
+    }
+
+    /// Incorporates a discovered node into the routing state.
+    pub fn learn(&mut self, node: KeyedNode) {
+        if node.key != self.me.key {
+            self.table.offer(node);
+            self.leaves.offer(node);
+        }
+    }
+
+    /// Handles a cold start (initial or post-crash): reset volatile state,
+    /// arm timers, and begin joining if a bootstrap is configured.
+    pub fn on_start(&mut self, out: &mut Outbox<OverlayMsg<P>>) {
+        self.table = RoutingTable::new(self.me.key);
+        self.leaves = LeafSet::new(self.me.key, 8);
+        self.outstanding_probes.clear();
+        self.joined = self.bootstrap.is_none();
+        if self.bootstrap.is_some() {
+            out.timer(self.join_delay, timers::JOIN);
+        }
+        out.timer(self.probe_interval, timers::PROBE);
+    }
+
+    /// Handles a timer fire for one of [`timers`]' tags.
+    pub fn on_timer(&mut self, _now: SimTime, tag: u64, out: &mut Outbox<OverlayMsg<P>>) {
+        match tag {
+            timers::JOIN => {
+                if !self.joined {
+                    if let Some(b) = self.bootstrap {
+                        out.send(b, OverlayMsg::Join { joiner: self.me });
+                        // Retry until JoinDone arrives.
+                        out.timer(self.probe_interval * 4, timers::JOIN);
+                    }
+                }
+            }
+            timers::PROBE => {
+                // Probe everything we know (leaves *and* routing table):
+                // stale table entries would otherwise silently eat routed
+                // messages after a crash.
+                let mut dead: Vec<NodeIndex> = Vec::new();
+                for m in self.known() {
+                    let missed = self.outstanding_probes.entry(m.node).or_insert(0);
+                    if *missed >= PROBE_DEATH {
+                        dead.push(m.node);
+                    } else {
+                        *missed += 1;
+                        out.send(m.node, OverlayMsg::Probe);
+                    }
+                }
+                for d in dead {
+                    self.handle_failure(d, out);
+                }
+                out.timer(self.probe_interval, timers::PROBE);
+            }
+            _ => {}
+        }
+    }
+
+    fn handle_failure(&mut self, node: NodeIndex, out: &mut Outbox<OverlayMsg<P>>) {
+        self.outstanding_probes.remove(&node);
+        let in_leaves = self.leaves.remove_node(node);
+        self.table.remove_node(node);
+        out.count("overlay.failures_detected", 1.0);
+        if in_leaves {
+            // Repair the leaf set from the survivors.
+            for m in self.leaves.members() {
+                out.send(m.node, OverlayMsg::LeafSetRequest);
+            }
+        }
+    }
+
+    /// Handles a protocol message; returns payloads delivered here.
+    pub fn handle(
+        &mut self,
+        _now: SimTime,
+        from: NodeIndex,
+        msg: OverlayMsg<P>,
+        out: &mut Outbox<OverlayMsg<P>>,
+    ) -> Vec<Delivery<P>> {
+        match msg {
+            OverlayMsg::Join { joiner } => {
+                // Send the joiner everything we know, then pass the join
+                // along the route toward its key.
+                let mut known = self.known();
+                known.push(self.me);
+                out.send(joiner.node, OverlayMsg::JoinInfo { known });
+                match self.next_hop(joiner.key) {
+                    Some(hop) if hop.node != joiner.node => {
+                        out.send(hop.node, OverlayMsg::Join { joiner });
+                    }
+                    _ => {
+                        out.send(
+                            joiner.node,
+                            OverlayMsg::JoinDone {
+                                closest: self.me,
+                                leaves: self.leaves.members(),
+                            },
+                        );
+                    }
+                }
+                self.learn(joiner);
+                Vec::new()
+            }
+            OverlayMsg::JoinInfo { known } => {
+                for k in known {
+                    self.learn(k);
+                }
+                Vec::new()
+            }
+            OverlayMsg::JoinDone { closest, leaves } => {
+                self.learn(closest);
+                for l in leaves {
+                    self.learn(l);
+                }
+                if !self.joined {
+                    self.joined = true;
+                    out.count("overlay.joins_completed", 1.0);
+                    for k in self.known() {
+                        out.send(k.node, OverlayMsg::Announce { node: self.me });
+                    }
+                }
+                Vec::new()
+            }
+            OverlayMsg::Announce { node } => {
+                self.learn(node);
+                out.send(node.node, OverlayMsg::AnnounceAck { node: self.me });
+                Vec::new()
+            }
+            OverlayMsg::AnnounceAck { node } => {
+                self.learn(node);
+                Vec::new()
+            }
+            OverlayMsg::Route { target, payload, origin, hops } => {
+                self.route_step(target, payload, origin, hops, out).into_iter().collect()
+            }
+            OverlayMsg::Probe => {
+                out.send(from, OverlayMsg::ProbeAck { leaves: self.leaves.members() });
+                Vec::new()
+            }
+            OverlayMsg::ProbeAck { leaves } => {
+                self.outstanding_probes.insert(from, 0);
+                for l in leaves {
+                    self.learn(l);
+                }
+                Vec::new()
+            }
+            OverlayMsg::LeafSetRequest => {
+                let mut leaves = self.leaves.members();
+                leaves.push(self.me);
+                out.send(from, OverlayMsg::LeafSetReply { leaves });
+                Vec::new()
+            }
+            OverlayMsg::LeafSetReply { leaves } => {
+                for l in leaves {
+                    self.learn(l);
+                }
+                Vec::new()
+            }
+        }
+    }
+
+    /// Originates a route from this node; returns the delivery if this
+    /// node is itself the destination.
+    pub fn route(
+        &mut self,
+        target: Key,
+        payload: P,
+        out: &mut Outbox<OverlayMsg<P>>,
+    ) -> Option<Delivery<P>> {
+        let origin = self.me.node;
+        self.route_step(target, payload, origin, 0, out)
+    }
+
+    /// The Pastry routing decision for `key`: `None` means this node is
+    /// the destination.
+    pub fn next_hop(&self, key: Key) -> Option<KeyedNode> {
+        if key == self.me.key {
+            return None;
+        }
+        // Final hops: within the leaf-set span, go numerically closest.
+        if self.leaves.covers(key) {
+            let closest = self.leaves.closest(key, self.me);
+            return if closest.key == self.me.key { None } else { Some(closest) };
+        }
+        // Prefix routing: advance the shared prefix by one digit.
+        if let Some(hop) = self.table.next_hop(key) {
+            return Some(hop);
+        }
+        // Rare case: no entry; take any known node strictly closer with at
+        // least our prefix length.
+        let my_prefix = self.me.key.shared_prefix(key);
+        let my_dist = self.me.key.ring_distance(key);
+        self.known()
+            .into_iter()
+            .filter(|k| k.key.shared_prefix(key) >= my_prefix && k.key.ring_distance(key) < my_dist)
+            .min_by_key(|k| k.key.ring_distance(key))
+    }
+
+    fn route_step(
+        &mut self,
+        target: Key,
+        payload: P,
+        origin: NodeIndex,
+        hops: u32,
+        out: &mut Outbox<OverlayMsg<P>>,
+    ) -> Option<Delivery<P>> {
+        if hops >= MAX_HOPS {
+            out.count("overlay.route_overflow", 1.0);
+            return Some(Delivery { target, payload, origin, hops });
+        }
+        match self.next_hop(target) {
+            None => {
+                out.count("overlay.delivered", 1.0);
+                out.observe("overlay.hops", hops as f64);
+                Some(Delivery { target, payload, origin, hops })
+            }
+            Some(hop) => {
+                out.send(hop.node, OverlayMsg::Route { target, payload, origin, hops: hops + 1 });
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeIndex {
+        NodeIndex(i)
+    }
+
+    fn node(key: u128, idx: u32) -> OverlayNode<u64> {
+        OverlayNode::new(Key(key), n(idx), None, SimDuration::ZERO)
+    }
+
+    #[test]
+    fn singleton_delivers_everything_to_itself() {
+        let mut a = node(0x1000, 0);
+        let mut out = Outbox::new();
+        let d = a.route(Key(0xffff), 7, &mut out);
+        assert!(d.is_some());
+        assert_eq!(d.unwrap().hops, 0);
+        assert!(out.sends().is_empty());
+    }
+
+    #[test]
+    fn routes_toward_numerically_closest_known() {
+        let mut a = node(0, 0);
+        let far = KeyedNode::new(Key(8 << 120), n(1));
+        a.learn(far);
+        let mut out = Outbox::new();
+        // Target right next to the far node: must forward there.
+        let d = a.route(Key(8 << 120 | 5), 1, &mut out);
+        assert!(d.is_none());
+        assert_eq!(out.sends()[0].0, n(1));
+    }
+
+    #[test]
+    fn keeps_local_when_self_is_closest() {
+        let mut a = node(0, 0);
+        a.learn(KeyedNode::new(Key(8 << 120), n(1)));
+        let mut out = Outbox::new();
+        let d = a.route(Key(3), 1, &mut out);
+        assert!(d.is_some(), "self is numerically closest to 3");
+    }
+
+    #[test]
+    fn join_done_triggers_announcements() {
+        let mut joiner: OverlayNode<u64> =
+            OverlayNode::new(Key(0x77), n(5), Some(n(0)), SimDuration::ZERO);
+        let mut out = Outbox::new();
+        joiner.on_start(&mut out);
+        assert!(!joiner.is_joined());
+        let mut out = Outbox::new();
+        joiner.handle(
+            SimTime::ZERO,
+            n(0),
+            OverlayMsg::JoinDone {
+                closest: KeyedNode::new(Key(0x70), n(0)),
+                leaves: vec![KeyedNode::new(Key(0x90), n(1))],
+            },
+            &mut out,
+        );
+        assert!(joiner.is_joined());
+        // Announces to both learned nodes.
+        let targets: Vec<NodeIndex> = out.sends().iter().map(|(t, _, _)| *t).collect();
+        assert!(targets.contains(&n(0)));
+        assert!(targets.contains(&n(1)));
+    }
+
+    #[test]
+    fn join_request_is_forwarded_or_answered() {
+        // Closest node answers with JoinDone.
+        let mut a = node(0x100, 0);
+        let joiner = KeyedNode::new(Key(0x105), n(9));
+        let mut out = Outbox::new();
+        a.handle(SimTime::ZERO, n(9), OverlayMsg::Join { joiner }, &mut out);
+        assert!(out
+            .sends()
+            .iter()
+            .any(|(t, m, _)| *t == n(9) && matches!(m, OverlayMsg::JoinDone { .. })));
+        // A node that knows someone closer forwards the join.
+        let mut b = node(0, 1);
+        b.learn(KeyedNode::new(Key(0x100), n(0)));
+        let joiner2 = KeyedNode::new(Key(0x101), n(8));
+        let mut out = Outbox::new();
+        b.handle(SimTime::ZERO, n(8), OverlayMsg::Join { joiner: joiner2 }, &mut out);
+        assert!(out
+            .sends()
+            .iter()
+            .any(|(t, m, _)| *t == n(0) && matches!(m, OverlayMsg::Join { .. })));
+    }
+
+    #[test]
+    fn probes_acknowledge_and_detect_death() {
+        let mut a = node(0x100, 0);
+        a.learn(KeyedNode::new(Key(0x110), n(1)));
+        // Probe timer fires four times with no acks: node 1 declared dead.
+        for _ in 0..=PROBE_DEATH {
+            let mut out = Outbox::new();
+            a.on_timer(SimTime::ZERO, timers::PROBE, &mut out);
+        }
+        assert!(a.leaf_members().is_empty());
+        // An ack in between resets the counter.
+        let mut b = node(0x100, 0);
+        b.learn(KeyedNode::new(Key(0x110), n(1)));
+        for _ in 0..10 {
+            let mut out = Outbox::new();
+            b.on_timer(SimTime::ZERO, timers::PROBE, &mut out);
+            b.handle(SimTime::ZERO, n(1), OverlayMsg::ProbeAck { leaves: Vec::new() }, &mut out);
+        }
+        assert_eq!(b.leaf_members().len(), 1);
+    }
+
+    #[test]
+    fn probe_is_answered() {
+        let mut a = node(0x1, 0);
+        let mut out = Outbox::new();
+        a.handle(SimTime::ZERO, n(3), OverlayMsg::Probe, &mut out);
+        assert!(matches!(&out.sends()[0], (to, OverlayMsg::ProbeAck { .. }, _) if *to == n(3)));
+    }
+
+    #[test]
+    fn leaf_set_request_reply_cycle() {
+        let mut a = node(0x1, 0);
+        a.learn(KeyedNode::new(Key(0x2), n(1)));
+        let mut out = Outbox::new();
+        a.handle(SimTime::ZERO, n(5), OverlayMsg::LeafSetRequest, &mut out);
+        let (to, msg, _) = &out.sends()[0];
+        assert_eq!(*to, n(5));
+        match msg {
+            OverlayMsg::LeafSetReply { leaves } => assert_eq!(leaves.len(), 2),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Receiving a reply teaches us the members.
+        let mut b = node(0x9, 2);
+        let mut out = Outbox::new();
+        b.handle(
+            SimTime::ZERO,
+            n(0),
+            OverlayMsg::LeafSetReply { leaves: vec![KeyedNode::new(Key(0x1), n(0))] },
+            &mut out,
+        );
+        assert_eq!(b.leaf_members().len(), 1);
+    }
+
+    #[test]
+    fn hop_overflow_delivers_locally() {
+        let mut a = node(0, 0);
+        a.learn(KeyedNode::new(Key(8 << 120), n(1)));
+        let mut out = Outbox::new();
+        let d = a.route_step(Key(8 << 120), 1, n(0), MAX_HOPS, &mut out);
+        assert!(d.is_some());
+    }
+
+    #[test]
+    fn prefix_routing_uses_table() {
+        let mut a = node(0, 0);
+        // A node sharing no prefix, first digit 0xf.
+        let hop = KeyedNode::new(Key(0xf << 124), n(3));
+        a.learn(hop);
+        // Force leaf set not to cover by targeting far away: with only one
+        // known node the leaf set spans little of the ring... the target
+        // shares the first digit with `hop`.
+        let target = Key(0xf << 124 | 0xabc);
+        assert_eq!(a.next_hop(target), Some(hop));
+    }
+}

@@ -1,0 +1,56 @@
+//! Distributed XML event pipelines (§4.2, Figure 2).
+//!
+//! "Our approach is to implement a distributed contextual matching engine
+//! as XML pipelines, with XML events flowing between pipeline components,
+//! both intra-node and inter-node. ... Each pipeline provides a web
+//! service interface put(event), enabling remote pipeline components to
+//! push events into it. Events may also arise from local devices and
+//! sensors such as GPS and GSM devices, RFID tag readers, weather
+//! sensors, etc. Each hardware device has a wrapper component that makes
+//! it usable as a pipeline component. Other components perform filtering
+//! (e.g. transmitting user-location events only when the distance moved
+//! exceeds a certain threshold), buffering, communication with other
+//! pipelines, and so on."
+//!
+//! * [`Component`] — the `put(event)` interface, plus the standard
+//!   component library ([`standard`]) registered into a bundle
+//!   [`Registry`](gloss_bundle::Registry) so components can be deployed
+//!   dynamically in code bundles,
+//! * [`PipelineGraph`] — an intra-node bus wiring components together,
+//! * [`assembly`] — building graphs from XML pipeline specifications,
+//! * [`wrapper`] — device wrappers: GPS (random-waypoint movement),
+//!   thermometer (diurnal model), RFID gate,
+//! * [`distributed`] — inter-node pipelines over the simulator (the
+//!   latency experiments of **E2**),
+//! * [`runtime`] — a threaded in-process runtime (crossbeam channels; one
+//!   thread per component) demonstrating the same graphs outside the
+//!   simulator.
+//!
+//! # Example
+//!
+//! ```
+//! use gloss_pipeline::{standard::KindFilter, Component, Emit, PipelineGraph};
+//! use gloss_event::{Event, Filter};
+//! use gloss_sim::SimTime;
+//!
+//! let mut graph = PipelineGraph::new();
+//! let f = graph.add(Box::new(KindFilter::new("only-loc", Filter::for_kind("user.location"))));
+//! graph.mark_entry(f);
+//! let out = graph.push(SimTime::ZERO, Event::new("user.location"));
+//! assert_eq!(out.len(), 1);
+//! let out = graph.push(SimTime::ZERO, Event::new("noise"));
+//! assert!(out.is_empty());
+//! ```
+
+pub mod assembly;
+pub mod component;
+pub mod distributed;
+pub mod runtime;
+pub mod standard;
+pub mod wrapper;
+
+pub use assembly::{assemble, AssemblyError};
+pub use component::{Component, Emit, PipelineGraph};
+pub use distributed::{DistributedPipeline, PipelineHost, PipelineMsg};
+pub use runtime::ThreadedPipeline;
+pub use wrapper::{GpsDevice, RfidGate, Thermometer};

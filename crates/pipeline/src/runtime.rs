@@ -1,0 +1,176 @@
+//! A threaded in-process pipeline runtime: the same [`Component`]s that
+//! run under the simulator, executed concurrently with one OS thread per
+//! component and crossbeam channels as the event bus.
+//!
+//! This demonstrates that the component model is runtime-agnostic (the
+//! paper's "interconnection topology is orthogonal to the service
+//! definition and its deployment"). The simulator remains the reference
+//! environment for experiments; this runtime exists for realism and for
+//! embedding pipelines into ordinary applications.
+
+use crate::component::{Component, Emit};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use gloss_event::Event;
+use gloss_sim::SimTime;
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+enum Work {
+    Event(Event),
+    Stop,
+}
+
+/// A running threaded pipeline: a linear chain of components, each on its
+/// own thread.
+#[derive(Debug)]
+pub struct ThreadedPipeline {
+    input: Sender<Work>,
+    outputs: Arc<Mutex<Vec<Event>>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl ThreadedPipeline {
+    /// Spawns a chain of components. Events pushed with
+    /// [`put`](Self::put) flow through every component in order; events
+    /// leaving the last component are collected for
+    /// [`drain_outputs`](Self::drain_outputs).
+    pub fn spawn_chain(components: Vec<Box<dyn Component>>) -> Self {
+        let outputs: Arc<Mutex<Vec<Event>>> = Arc::new(Mutex::new(Vec::new()));
+        let (input, mut upstream): (Sender<Work>, Receiver<Work>) = unbounded();
+        let mut handles = Vec::new();
+        let n = components.len();
+        for (i, mut component) in components.into_iter().enumerate() {
+            let (tx, rx): (Sender<Work>, Receiver<Work>) = unbounded();
+            let sink = outputs.clone();
+            let is_last = i == n - 1;
+            let rx_in = upstream;
+            upstream = rx;
+            handles.push(std::thread::spawn(move || {
+                // Wall-clock microseconds stand in for SimTime here.
+                let epoch = std::time::Instant::now();
+                while let Ok(work) = rx_in.recv() {
+                    match work {
+                        Work::Stop => {
+                            let _ = tx.send(Work::Stop);
+                            break;
+                        }
+                        Work::Event(event) => {
+                            let now =
+                                SimTime::from_micros(epoch.elapsed().as_micros() as u64);
+                            let mut emit = Emit::new();
+                            component.put(now, event, &mut emit);
+                            for ev in emit.drain() {
+                                if is_last {
+                                    sink.lock().push(ev);
+                                } else {
+                                    let _ = tx.send(Work::Event(ev));
+                                }
+                            }
+                        }
+                    }
+                }
+            }));
+        }
+        // Terminal receiver keeps the last channel alive until Stop.
+        let final_rx = upstream;
+        handles.push(std::thread::spawn(move || {
+            while let Ok(work) = final_rx.recv() {
+                if matches!(work, Work::Stop) {
+                    break;
+                }
+            }
+        }));
+        ThreadedPipeline { input, outputs, handles }
+    }
+
+    /// Pushes an event into the head of the chain.
+    pub fn put(&self, event: Event) {
+        let _ = self.input.send(Work::Event(event));
+    }
+
+    /// Stops all component threads and waits for them, returning the
+    /// collected outputs.
+    pub fn shutdown(self) -> Vec<Event> {
+        let _ = self.input.send(Work::Stop);
+        for h in self.handles {
+            let _ = h.join();
+        }
+        let mut guard = self.outputs.lock();
+        std::mem::take(&mut *guard)
+    }
+
+    /// Takes the outputs collected so far without stopping.
+    pub fn drain_outputs(&self) -> Vec<Event> {
+        let mut guard = self.outputs.lock();
+        std::mem::take(&mut *guard)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::standard::{Counter, KindFilter, MovementThreshold};
+    use gloss_event::Filter;
+
+    #[test]
+    fn chain_processes_concurrently() {
+        let pipeline = ThreadedPipeline::spawn_chain(vec![
+            Box::new(KindFilter::new("f", Filter::for_kind("user.location"))),
+            Box::new(MovementThreshold::new("m", 0.05)),
+            Box::new(Counter::new("c")),
+        ]);
+        let loc = |lat: f64| {
+            Event::new("user.location")
+                .with_attr("user", "bob")
+                .with_attr("lat", lat)
+                .with_attr("lon", -2.8)
+        };
+        pipeline.put(loc(56.3400));
+        pipeline.put(loc(56.3401)); // suppressed by movement threshold
+        pipeline.put(loc(56.4400));
+        pipeline.put(Event::new("noise")); // dropped by the filter
+        let outputs = pipeline.shutdown();
+        assert_eq!(outputs.len(), 2);
+        assert!(outputs.iter().all(|e| e.kind() == "user.location"));
+    }
+
+    #[test]
+    fn shutdown_with_no_events_is_clean() {
+        let pipeline = ThreadedPipeline::spawn_chain(vec![Box::new(Counter::new("c"))]);
+        assert!(pipeline.shutdown().is_empty());
+    }
+
+    #[test]
+    fn drain_outputs_without_stopping() {
+        let pipeline = ThreadedPipeline::spawn_chain(vec![Box::new(Counter::new("c"))]);
+        pipeline.put(Event::new("a"));
+        // Wait for the event to traverse the chain.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        loop {
+            let got = pipeline.drain_outputs();
+            if !got.is_empty() {
+                assert_eq!(got[0].kind(), "a");
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "event never arrived");
+            std::thread::yield_now();
+        }
+        pipeline.put(Event::new("b"));
+        let rest = pipeline.shutdown();
+        assert_eq!(rest.len(), 1);
+    }
+
+    #[test]
+    fn high_volume_through_threads() {
+        let pipeline = ThreadedPipeline::spawn_chain(vec![
+            Box::new(Counter::new("a")),
+            Box::new(Counter::new("b")),
+        ]);
+        for i in 0..1_000i64 {
+            pipeline.put(Event::new("tick").with_attr("n", i));
+        }
+        let outputs = pipeline.shutdown();
+        assert_eq!(outputs.len(), 1_000);
+    }
+}

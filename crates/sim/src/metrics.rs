@@ -1,0 +1,272 @@
+//! Counters and histograms for experiment measurement.
+//!
+//! Nodes record observations through [`crate::Outbox`]; harnesses read them
+//! back through [`MetricsRegistry`] and render tables for EXPERIMENTS.md.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A set of recorded samples with percentile queries.
+///
+/// # Example
+///
+/// ```
+/// use gloss_sim::Histogram;
+/// let mut h = Histogram::new();
+/// for v in [1.0, 2.0, 3.0, 4.0] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.summary().count, 4);
+/// assert!((h.summary().mean - 2.5).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Histogram {
+    samples: Vec<f64>,
+}
+
+/// Summary statistics of a [`Histogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean (0 when empty).
+    pub mean: f64,
+    /// Minimum (0 when empty).
+    pub min: f64,
+    /// Median.
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Maximum (0 when empty).
+    pub max: f64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one sample. Non-finite values are ignored.
+    pub fn record(&mut self, value: f64) {
+        if value.is_finite() {
+            self.samples.push(value);
+        }
+    }
+
+    /// Number of samples recorded.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The raw samples, in insertion order.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Merges another histogram's samples into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        self.samples.extend_from_slice(&other.samples);
+    }
+
+    /// The value at quantile `q` in `[0, 1]` (nearest-rank).
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("samples are finite"));
+        let rank = ((q.clamp(0.0, 1.0)) * (sorted.len() - 1) as f64).round() as usize;
+        sorted[rank]
+    }
+
+    /// Computes summary statistics.
+    pub fn summary(&self) -> Summary {
+        if self.samples.is_empty() {
+            return Summary::default();
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("samples are finite"));
+        let count = sorted.len();
+        let mean = sorted.iter().sum::<f64>() / count as f64;
+        let at = |q: f64| sorted[((q * (count - 1) as f64).round() as usize).min(count - 1)];
+        Summary {
+            count,
+            mean,
+            min: sorted[0],
+            p50: at(0.5),
+            p90: at(0.9),
+            p99: at(0.99),
+            max: sorted[count - 1],
+        }
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.3} p50={:.3} p90={:.3} p99={:.3} max={:.3}",
+            self.count, self.mean, self.p50, self.p90, self.p99, self.max
+        )
+    }
+}
+
+/// Named counters and histograms for one simulation run.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Adds `by` to the named counter (creating it at zero).
+    pub fn inc(&mut self, name: &str, by: f64) {
+        *self.counters.entry(name.to_string()).or_insert(0.0) += by;
+    }
+
+    /// Reads a counter; missing counters read as zero.
+    pub fn counter(&self, name: &str) -> f64 {
+        self.counters.get(name).copied().unwrap_or(0.0)
+    }
+
+    /// Records a sample in the named histogram (creating it if needed).
+    pub fn observe(&mut self, name: &str, value: f64) {
+        self.histograms.entry(name.to_string()).or_default().record(value);
+    }
+
+    /// The named histogram, if any samples were recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Summary of the named histogram (default summary when absent).
+    pub fn summary(&self, name: &str) -> Summary {
+        self.histograms.get(name).map(|h| h.summary()).unwrap_or_default()
+    }
+
+    /// All counter names, sorted.
+    pub fn counter_names(&self) -> impl Iterator<Item = &str> {
+        self.counters.keys().map(|s| s.as_str())
+    }
+
+    /// All histogram names, sorted.
+    pub fn histogram_names(&self) -> impl Iterator<Item = &str> {
+        self.histograms.keys().map(|s| s.as_str())
+    }
+
+    /// Merges another registry into this one.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0.0) += v;
+        }
+        for (k, h) in &other.histograms {
+            self.histograms.entry(k.clone()).or_default().merge(h);
+        }
+    }
+
+    /// Renders all metrics as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            out.push_str(&format!("{name:<40} {v}\n"));
+        }
+        for (name, h) in &self.histograms {
+            out.push_str(&format!("{name:<40} {}\n", h.summary()));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_summary_is_zero() {
+        let h = Histogram::new();
+        let s = h.summary();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(h.quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn percentiles_on_known_data() {
+        let mut h = Histogram::new();
+        for v in 1..=100 {
+            h.record(v as f64);
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 100.0);
+        assert!((s.p50 - 51.0).abs() <= 1.0, "p50 {}", s.p50);
+        assert!((s.p90 - 90.0).abs() <= 1.0, "p90 {}", s.p90);
+        assert!((s.p99 - 99.0).abs() <= 1.0, "p99 {}", s.p99);
+    }
+
+    #[test]
+    fn non_finite_samples_ignored() {
+        let mut h = Histogram::new();
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        h.record(1.0);
+        assert_eq!(h.len(), 1);
+    }
+
+    #[test]
+    fn merge_combines_samples() {
+        let mut a = Histogram::new();
+        a.record(1.0);
+        let mut b = Histogram::new();
+        b.record(3.0);
+        a.merge(&b);
+        assert_eq!(a.len(), 2);
+        assert!((a.summary().mean - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn registry_counters() {
+        let mut r = MetricsRegistry::new();
+        r.inc("x", 2.0);
+        r.inc("x", 3.0);
+        assert_eq!(r.counter("x"), 5.0);
+        assert_eq!(r.counter("missing"), 0.0);
+    }
+
+    #[test]
+    fn registry_merge() {
+        let mut a = MetricsRegistry::new();
+        a.inc("c", 1.0);
+        a.observe("h", 1.0);
+        let mut b = MetricsRegistry::new();
+        b.inc("c", 2.0);
+        b.observe("h", 3.0);
+        a.merge(&b);
+        assert_eq!(a.counter("c"), 3.0);
+        assert_eq!(a.summary("h").count, 2);
+    }
+
+    #[test]
+    fn render_contains_names() {
+        let mut r = MetricsRegistry::new();
+        r.inc("alpha", 1.0);
+        r.observe("beta", 2.0);
+        let s = r.render();
+        assert!(s.contains("alpha"));
+        assert!(s.contains("beta"));
+    }
+}

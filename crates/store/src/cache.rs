@@ -1,0 +1,211 @@
+//! Promiscuous caching: a byte-bounded LRU of documents.
+//!
+//! "The more sophisticated P2P systems support promiscuous caching where
+//! data is free to be cached anywhere at any time. This does not affect
+//! the correctness of the system ... and is crucial to the performance of
+//! the system if the fetching of remote data at every access is to be
+//! avoided." (§3)
+
+use crate::document::Document;
+use gloss_overlay::Key;
+use std::collections::HashMap;
+
+/// A least-recently-used document cache bounded by total content bytes.
+#[derive(Debug, Clone)]
+pub struct LruCache {
+    capacity_bytes: usize,
+    used_bytes: usize,
+    entries: HashMap<Key, (Document, u64)>,
+    clock: u64,
+    /// Cache hits observed.
+    pub hits: u64,
+    /// Cache misses observed.
+    pub misses: u64,
+}
+
+impl LruCache {
+    /// Creates a cache bounded to `capacity_bytes` of document content.
+    pub fn new(capacity_bytes: usize) -> Self {
+        LruCache {
+            capacity_bytes,
+            used_bytes: 0,
+            entries: HashMap::new(),
+            clock: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Number of cached documents.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Bytes currently cached.
+    pub fn used_bytes(&self) -> usize {
+        self.used_bytes
+    }
+
+    /// Looks up a document, refreshing its recency and counting hit/miss.
+    pub fn get(&mut self, guid: Key) -> Option<Document> {
+        self.clock += 1;
+        match self.entries.get_mut(&guid) {
+            Some((doc, stamp)) => {
+                *stamp = self.clock;
+                self.hits += 1;
+                Some(doc.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Checks presence without counting or refreshing.
+    pub fn contains(&self, guid: Key) -> bool {
+        self.entries.contains_key(&guid)
+    }
+
+    /// Inserts a document, evicting least-recently-used entries to fit.
+    /// Documents larger than the whole capacity are ignored. Older
+    /// versions never replace newer ones.
+    pub fn insert(&mut self, doc: Document) {
+        if doc.size() > self.capacity_bytes {
+            return;
+        }
+        if let Some((existing, _)) = self.entries.get(&doc.guid) {
+            if existing.version >= doc.version {
+                return;
+            }
+            self.used_bytes -= existing.size();
+            self.entries.remove(&doc.guid);
+        }
+        while self.used_bytes + doc.size() > self.capacity_bytes {
+            let Some((&lru_key, _)) =
+                self.entries.iter().min_by_key(|(_, (_, stamp))| *stamp)
+            else {
+                break;
+            };
+            let (evicted, _) = self.entries.remove(&lru_key).expect("key exists");
+            self.used_bytes -= evicted.size();
+        }
+        self.clock += 1;
+        self.used_bytes += doc.size();
+        self.entries.insert(doc.guid, (doc, self.clock));
+    }
+
+    /// Removes a document (e.g. on explicit invalidation).
+    pub fn remove(&mut self, guid: Key) -> Option<Document> {
+        self.entries.remove(&guid).map(|(doc, _)| {
+            self.used_bytes -= doc.size();
+            doc
+        })
+    }
+
+    /// Empties the cache, keeping the hit/miss counters.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.used_bytes = 0;
+    }
+
+    /// Hit ratio so far (0 when never queried).
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(name: &str, bytes: usize) -> Document {
+        Document::new(name, vec![0u8; bytes])
+    }
+
+    #[test]
+    fn hit_and_miss_counting() {
+        let mut c = LruCache::new(1000);
+        let d = doc("a", 10);
+        assert!(c.get(d.guid).is_none());
+        c.insert(d.clone());
+        assert!(c.get(d.guid).is_some());
+        assert_eq!(c.hits, 1);
+        assert_eq!(c.misses, 1);
+        assert!((c.hit_ratio() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = LruCache::new(30);
+        let (a, b, d) = (doc("a", 10), doc("b", 10), doc("d", 10));
+        c.insert(a.clone());
+        c.insert(b.clone());
+        c.insert(d.clone());
+        // Touch a and d; b is now LRU.
+        c.get(a.guid);
+        c.get(d.guid);
+        c.insert(doc("e", 10));
+        assert!(c.contains(a.guid));
+        assert!(!c.contains(b.guid), "b was least recently used");
+        assert!(c.contains(d.guid));
+        assert!(c.used_bytes() <= 30);
+    }
+
+    #[test]
+    fn oversized_documents_ignored() {
+        let mut c = LruCache::new(10);
+        c.insert(doc("big", 100));
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn newer_version_replaces_older_never_reverse() {
+        let mut c = LruCache::new(1000);
+        let v1 = doc("m", 10);
+        let v2 = v1.updated(vec![1u8; 20]);
+        c.insert(v2.clone());
+        c.insert(v1.clone()); // stale write-back: ignored
+        assert_eq!(c.get(v1.guid).unwrap().version, 2);
+        let v3 = v2.updated(vec![2u8; 5]);
+        c.insert(v3);
+        assert_eq!(c.get(v1.guid).unwrap().version, 3);
+        assert_eq!(c.used_bytes(), 5);
+    }
+
+    #[test]
+    fn remove_and_clear() {
+        let mut c = LruCache::new(100);
+        let d = doc("a", 10);
+        c.insert(d.clone());
+        assert_eq!(c.remove(d.guid).unwrap().guid, d.guid);
+        assert_eq!(c.used_bytes(), 0);
+        c.insert(doc("b", 10));
+        c.clear();
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn eviction_accounts_bytes_exactly() {
+        let mut c = LruCache::new(25);
+        for i in 0..10 {
+            c.insert(doc(&format!("d{i}"), 10));
+            assert!(c.used_bytes() <= 25);
+            assert_eq!(
+                c.used_bytes(),
+                c.len() * 10,
+                "byte accounting must match entry count"
+            );
+        }
+    }
+}

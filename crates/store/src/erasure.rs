@@ -1,0 +1,409 @@
+//! Systematic Reed–Solomon erasure coding over GF(2⁸).
+//!
+//! "The schemes for storing replicated copies of data vary from simple
+//! block copying to erasure-codes which permit data to be reconstituted
+//! from a subset of the servers on which it is stored." (§3)
+//!
+//! An `(m, n)` code splits data into `m` data shards and computes `n - m`
+//! parity shards; **any** `m` of the `n` shards reconstruct the original.
+//! The encoding matrix is a Vandermonde matrix normalised so its top
+//! `m × m` block is the identity (making the code systematic: the first
+//! `m` shards are the plain data).
+
+use std::error::Error;
+use std::fmt;
+
+/// An erasure coding failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ErasureError {
+    /// Parameters out of range (`0 < m <= n <= 255` required).
+    BadParameters {
+        /// Requested data shards.
+        m: usize,
+        /// Requested total shards.
+        n: usize,
+    },
+    /// Fewer than `m` distinct shards supplied to `decode`.
+    NotEnoughShards {
+        /// Shards needed.
+        needed: usize,
+        /// Shards supplied.
+        got: usize,
+    },
+    /// Shards had inconsistent lengths or invalid indices.
+    MalformedShards(String),
+}
+
+impl fmt::Display for ErasureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ErasureError::BadParameters { m, n } => {
+                write!(f, "invalid erasure parameters ({m}, {n})")
+            }
+            ErasureError::NotEnoughShards { needed, got } => {
+                write!(f, "need {needed} shards to reconstruct, got {got}")
+            }
+            ErasureError::MalformedShards(msg) => write!(f, "malformed shards: {msg}"),
+        }
+    }
+}
+
+impl Error for ErasureError {}
+
+// --- GF(2^8) arithmetic with generator polynomial 0x11d ---
+
+const GF_POLY: u16 = 0x11d;
+
+/// Exp/log tables built once per process.
+fn tables() -> &'static ([u8; 512], [u8; 256]) {
+    use std::sync::OnceLock;
+    static TABLES: OnceLock<([u8; 512], [u8; 256])> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut exp = [0u8; 512];
+        let mut log = [0u8; 256];
+        let mut x: u16 = 1;
+        for i in 0..255 {
+            exp[i] = x as u8;
+            log[x as usize] = i as u8;
+            x <<= 1;
+            if x & 0x100 != 0 {
+                x ^= GF_POLY;
+            }
+        }
+        for i in 255..512 {
+            exp[i] = exp[i - 255];
+        }
+        (exp, log)
+    })
+}
+
+fn gf_mul(a: u8, b: u8) -> u8 {
+    if a == 0 || b == 0 {
+        return 0;
+    }
+    let (exp, log) = tables();
+    exp[log[a as usize] as usize + log[b as usize] as usize]
+}
+
+fn gf_inv(a: u8) -> u8 {
+    assert!(a != 0, "inverse of zero");
+    let (exp, log) = tables();
+    exp[255 - log[a as usize] as usize]
+}
+
+fn gf_pow(a: u8, e: usize) -> u8 {
+    if e == 0 {
+        return 1;
+    }
+    if a == 0 {
+        return 0;
+    }
+    let (exp, log) = tables();
+    exp[(log[a as usize] as usize * e) % 255]
+}
+
+/// Inverts an `m × m` matrix over GF(2⁸) (Gauss–Jordan).
+fn invert(matrix: &[Vec<u8>]) -> Option<Vec<Vec<u8>>> {
+    let m = matrix.len();
+    let mut a: Vec<Vec<u8>> = matrix.to_vec();
+    let mut inv: Vec<Vec<u8>> = (0..m)
+        .map(|i| (0..m).map(|j| u8::from(i == j)).collect())
+        .collect();
+    for col in 0..m {
+        // Find a pivot.
+        let pivot = (col..m).find(|&r| a[r][col] != 0)?;
+        a.swap(col, pivot);
+        inv.swap(col, pivot);
+        let scale = gf_inv(a[col][col]);
+        for j in 0..m {
+            a[col][j] = gf_mul(a[col][j], scale);
+            inv[col][j] = gf_mul(inv[col][j], scale);
+        }
+        for r in 0..m {
+            if r != col && a[r][col] != 0 {
+                let factor = a[r][col];
+                for j in 0..m {
+                    a[r][j] ^= gf_mul(factor, a[col][j]);
+                    inv[r][j] ^= gf_mul(factor, inv[col][j]);
+                }
+            }
+        }
+    }
+    Some(inv)
+}
+
+/// Multiplies matrix rows by data columns: `rows` is `r × m`, `shards` is
+/// `m` equal-length slices; returns `r` output shards.
+fn matmul(rows: &[Vec<u8>], shards: &[&[u8]]) -> Vec<Vec<u8>> {
+    let len = shards.first().map_or(0, |s| s.len());
+    rows.iter()
+        .map(|row| {
+            let mut out = vec![0u8; len];
+            for (coef, shard) in row.iter().zip(shards) {
+                if *coef == 0 {
+                    continue;
+                }
+                for (o, &b) in out.iter_mut().zip(shard.iter()) {
+                    *o ^= gf_mul(*coef, b);
+                }
+            }
+            out
+        })
+        .collect()
+}
+
+/// A systematic `(m, n)` Reed–Solomon code.
+///
+/// # Example
+///
+/// ```
+/// use gloss_store::ErasureCode;
+/// let code = ErasureCode::new(4, 7)?; // tolerate any 3 losses
+/// let data = b"the knowledge base of the global matching engine".to_vec();
+/// let shards = code.encode(&data);
+/// // Lose three shards, keep any four:
+/// let kept: Vec<(usize, Vec<u8>)> =
+///     [6, 2, 5, 0].iter().map(|&i| (i, shards[i].clone())).collect();
+/// let restored = code.decode(&kept, data.len())?;
+/// assert_eq!(restored, data);
+/// # Ok::<(), gloss_store::ErasureError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ErasureCode {
+    m: usize,
+    n: usize,
+    /// The full `n × m` encoding matrix (top `m` rows = identity).
+    rows: Vec<Vec<u8>>,
+}
+
+impl ErasureCode {
+    /// Creates an `(m, n)` code: `m` data shards, `n` total.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ErasureError::BadParameters`] unless `0 < m <= n <= 255`.
+    pub fn new(m: usize, n: usize) -> Result<Self, ErasureError> {
+        if m == 0 || n < m || n > 255 {
+            return Err(ErasureError::BadParameters { m, n });
+        }
+        // Vandermonde rows v[i][j] = (i+1)^j, then normalise so the top
+        // m×m block becomes the identity: E = V · (V_top)⁻¹. Every m×m
+        // submatrix of a Vandermonde with distinct points is invertible,
+        // and right-multiplication preserves that property.
+        let v: Vec<Vec<u8>> =
+            (0..n).map(|i| (0..m).map(|j| gf_pow((i + 1) as u8, j)).collect()).collect();
+        let top: Vec<Vec<u8>> = v[..m].to_vec();
+        let top_inv = invert(&top).expect("vandermonde top block is invertible");
+        let rows: Vec<Vec<u8>> = (0..n)
+            .map(|i| {
+                (0..m)
+                    .map(|j| {
+                        let mut acc = 0u8;
+                        for (k, inv_row) in top_inv.iter().enumerate() {
+                            acc ^= gf_mul(v[i][k], inv_row[j]);
+                        }
+                        acc
+                    })
+                    .collect()
+            })
+            .collect();
+        Ok(ErasureCode { m, n, rows })
+    }
+
+    /// Data shards per object.
+    pub fn data_shards(&self) -> usize {
+        self.m
+    }
+
+    /// Total shards per object.
+    pub fn total_shards(&self) -> usize {
+        self.n
+    }
+
+    /// Storage overhead factor `n / m` (1.0 = no redundancy).
+    pub fn overhead(&self) -> f64 {
+        self.n as f64 / self.m as f64
+    }
+
+    /// Splits `data` into `n` shards (the first `m` carry the data, padded
+    /// to equal length; the rest are parity).
+    pub fn encode(&self, data: &[u8]) -> Vec<Vec<u8>> {
+        let shard_len = data.len().div_ceil(self.m).max(1);
+        let mut padded = data.to_vec();
+        padded.resize(shard_len * self.m, 0);
+        let data_shards: Vec<&[u8]> = padded.chunks(shard_len).collect();
+        matmul(&self.rows, &data_shards)
+    }
+
+    /// Reconstructs the original `len` bytes from any `m` shards, given as
+    /// `(shard_index, bytes)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ErasureError`] if fewer than `m` distinct valid shards
+    /// are provided or the shards are inconsistent.
+    pub fn decode(&self, shards: &[(usize, Vec<u8>)], len: usize) -> Result<Vec<u8>, ErasureError> {
+        // Collect up to m distinct, valid shards.
+        let mut chosen: Vec<(usize, &[u8])> = Vec::new();
+        for (idx, bytes) in shards {
+            if *idx >= self.n {
+                return Err(ErasureError::MalformedShards(format!("index {idx} out of range")));
+            }
+            if chosen.iter().any(|(i, _)| i == idx) {
+                continue;
+            }
+            if let Some((_, first)) = chosen.first() {
+                if first.len() != bytes.len() {
+                    return Err(ErasureError::MalformedShards("unequal shard lengths".into()));
+                }
+            }
+            chosen.push((*idx, bytes.as_slice()));
+            if chosen.len() == self.m {
+                break;
+            }
+        }
+        if chosen.len() < self.m {
+            return Err(ErasureError::NotEnoughShards { needed: self.m, got: chosen.len() });
+        }
+        let sub: Vec<Vec<u8>> = chosen.iter().map(|(i, _)| self.rows[*i].clone()).collect();
+        let inv = invert(&sub).ok_or_else(|| {
+            ErasureError::MalformedShards("singular decode matrix (duplicate rows?)".into())
+        })?;
+        let shard_refs: Vec<&[u8]> = chosen.iter().map(|(_, s)| *s).collect();
+        let data_shards = matmul(&inv, &shard_refs);
+        let mut out = Vec::with_capacity(len);
+        for s in data_shards {
+            out.extend_from_slice(&s);
+        }
+        out.truncate(len);
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gf_field_properties() {
+        // Multiplicative identity and inverses.
+        for a in 1..=255u8 {
+            assert_eq!(gf_mul(a, 1), a);
+            assert_eq!(gf_mul(a, gf_inv(a)), 1, "a={a}");
+        }
+        // Commutativity spot checks.
+        assert_eq!(gf_mul(7, 19), gf_mul(19, 7));
+        // Distributivity over XOR (addition in GF(2^8)).
+        for (a, b, c) in [(3u8, 100u8, 200u8), (255, 254, 1)] {
+            assert_eq!(gf_mul(a, b ^ c), gf_mul(a, b) ^ gf_mul(a, c));
+        }
+    }
+
+    #[test]
+    fn encode_is_systematic() {
+        let code = ErasureCode::new(3, 5).unwrap();
+        let data = b"abcdefghi".to_vec(); // 9 bytes = 3 shards of 3
+        let shards = code.encode(&data);
+        assert_eq!(shards.len(), 5);
+        assert_eq!(shards[0], b"abc");
+        assert_eq!(shards[1], b"def");
+        assert_eq!(shards[2], b"ghi");
+    }
+
+    #[test]
+    fn reconstruct_from_any_m_subset() {
+        let code = ErasureCode::new(3, 6).unwrap();
+        let data: Vec<u8> = (0..100u8).collect();
+        let shards = code.encode(&data);
+        // Try every 3-subset of 6 shards.
+        for a in 0..6 {
+            for b in (a + 1)..6 {
+                for c in (b + 1)..6 {
+                    let kept = vec![
+                        (a, shards[a].clone()),
+                        (b, shards[b].clone()),
+                        (c, shards[c].clone()),
+                    ];
+                    let out = code.decode(&kept, data.len()).unwrap();
+                    assert_eq!(out, data, "subset ({a},{b},{c})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unpadded_lengths_round_trip() {
+        let code = ErasureCode::new(4, 7).unwrap();
+        for len in [0usize, 1, 3, 4, 5, 64, 1000, 1001] {
+            let data: Vec<u8> = (0..len).map(|i| (i * 31 % 251) as u8).collect();
+            let shards = code.encode(&data);
+            let kept: Vec<(usize, Vec<u8>)> =
+                (3..7).map(|i| (i, shards[i].clone())).collect();
+            assert_eq!(code.decode(&kept, len).unwrap(), data, "len {len}");
+        }
+    }
+
+    #[test]
+    fn too_few_shards_fails() {
+        let code = ErasureCode::new(3, 5).unwrap();
+        let shards = code.encode(b"hello world");
+        let kept = vec![(0, shards[0].clone()), (1, shards[1].clone())];
+        assert!(matches!(
+            code.decode(&kept, 11),
+            Err(ErasureError::NotEnoughShards { needed: 3, got: 2 })
+        ));
+    }
+
+    #[test]
+    fn duplicate_shards_do_not_count_twice() {
+        let code = ErasureCode::new(2, 4).unwrap();
+        let shards = code.encode(b"data!");
+        let kept = vec![
+            (1, shards[1].clone()),
+            (1, shards[1].clone()),
+            (1, shards[1].clone()),
+        ];
+        assert!(code.decode(&kept, 5).is_err());
+        let ok = vec![(1, shards[1].clone()), (1, shards[1].clone()), (3, shards[3].clone())];
+        assert_eq!(code.decode(&ok, 5).unwrap(), b"data!");
+    }
+
+    #[test]
+    fn malformed_inputs_rejected() {
+        let code = ErasureCode::new(2, 3).unwrap();
+        let shards = code.encode(b"xy");
+        assert!(matches!(
+            code.decode(&[(9, shards[0].clone()), (1, shards[1].clone())], 2),
+            Err(ErasureError::MalformedShards(_))
+        ));
+        assert!(matches!(
+            code.decode(&[(0, vec![1, 2, 3]), (1, vec![1])], 2),
+            Err(ErasureError::MalformedShards(_))
+        ));
+    }
+
+    #[test]
+    fn parameter_validation() {
+        assert!(ErasureCode::new(0, 5).is_err());
+        assert!(ErasureCode::new(5, 4).is_err());
+        assert!(ErasureCode::new(4, 256).is_err());
+        assert!(ErasureCode::new(1, 1).is_ok());
+        assert!(ErasureCode::new(255, 255).is_ok());
+    }
+
+    #[test]
+    fn replication_is_the_m1_special_case() {
+        // (1, k) erasure coding is k-way replication.
+        let code = ErasureCode::new(1, 3).unwrap();
+        let shards = code.encode(b"copy");
+        assert_eq!(shards[0], b"copy");
+        assert_eq!(shards[1], b"copy");
+        assert_eq!(shards[2], b"copy");
+        assert_eq!(code.overhead(), 3.0);
+    }
+
+    #[test]
+    fn overhead_factor() {
+        assert!((ErasureCode::new(4, 6).unwrap().overhead() - 1.5).abs() < 1e-12);
+    }
+}

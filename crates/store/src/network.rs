@@ -1,0 +1,442 @@
+//! Simulation harness for the storage layer: insert/lookup workloads,
+//! cache experiments, healing under churn, and erasure-coded storage.
+
+use crate::document::Document;
+use crate::erasure::{ErasureCode, ErasureError};
+use crate::placement::NodeSite;
+use crate::store_node::{LookupOutcome, StoreConfig, StoreMsg, StoreNode, StorePayload};
+use gloss_overlay::{Key, OverlayMsg, OverlayNode};
+use gloss_sim::{Input, Node, NodeIndex, Outbox, SimDuration, SimRng, SimTime, Topology, World};
+use std::collections::BTreeMap;
+
+/// Convenient alias: the outcome of one lookup.
+pub type LookupResult = LookupOutcome;
+
+/// The world node wrapping a [`StoreNode`].
+#[derive(Debug)]
+pub struct StoreWorldNode {
+    /// The storage state machine.
+    pub store: StoreNode,
+}
+
+impl Node for StoreWorldNode {
+    type Msg = StoreMsg;
+
+    fn handle(&mut self, now: SimTime, input: Input<StoreMsg>, out: &mut Outbox<StoreMsg>) {
+        match input {
+            Input::Start => self.store.on_start(out),
+            Input::Timer { tag } => self.store.on_timer(now, tag, out),
+            Input::Msg { from, msg } => self.store.handle(now, from, msg, out),
+        }
+    }
+}
+
+/// A storage network over the overlay, on a simulated wide-area topology.
+///
+/// See the [crate docs](crate) for an example.
+#[derive(Debug)]
+pub struct StoreNetwork {
+    world: World<StoreWorldNode>,
+    next_req: u64,
+    req_origin: BTreeMap<u64, NodeIndex>,
+    rng: SimRng,
+}
+
+impl StoreNetwork {
+    /// Builds `n` storage nodes over a fresh overlay, scattered across six
+    /// world regions.
+    pub fn build(n: usize, cfg: StoreConfig, seed: u64) -> Self {
+        let topology = Topology::random(
+            n,
+            &["scotland", "england", "europe", "us-east", "us-west", "australia"],
+            seed,
+        );
+        Self::build_on(topology, cfg, seed)
+    }
+
+    /// Builds the storage network over an explicit topology.
+    pub fn build_on(topology: Topology, cfg: StoreConfig, seed: u64) -> Self {
+        let n = topology.len();
+        let mut rng = SimRng::new(seed).fork("store-net");
+        let directory: Vec<NodeSite> = topology
+            .iter()
+            .map(|info| NodeSite {
+                node: info.index,
+                geo: info.geo,
+                region: info.region.clone(),
+            })
+            .collect();
+        let mut nodes = Vec::with_capacity(n);
+        for i in 0..n {
+            let idx = NodeIndex(i as u32);
+            let key = Key::hash_of(format!("store-node-{i}-{seed}").as_bytes());
+            let (bootstrap, delay) = if i == 0 {
+                (None, SimDuration::ZERO)
+            } else {
+                let b = NodeIndex(rng.index(i) as u32);
+                (Some(b), SimDuration::from_millis(200) * i as u64)
+            };
+            let overlay: OverlayNode<StorePayload> = OverlayNode::new(key, idx, bootstrap, delay)
+                .with_probe_interval(SimDuration::from_secs(5));
+            let store = StoreNode::new(idx, overlay, cfg.clone(), directory.clone());
+            nodes.push(StoreWorldNode { store });
+        }
+        let world = World::new(topology, seed, nodes);
+        StoreNetwork { world, next_req: 0, req_origin: BTreeMap::new(), rng }
+    }
+
+    /// Runs the simulation long enough for all joins to complete.
+    pub fn settle(&mut self) {
+        let n = self.world.topology().len() as u64;
+        self.run_for(SimDuration::from_millis(200) * n + SimDuration::from_secs(60));
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.world.topology().len()
+    }
+
+    /// Whether the network is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A uniformly random node.
+    pub fn random_node(&mut self) -> NodeIndex {
+        NodeIndex(self.rng.index(self.len()) as u32)
+    }
+
+    /// A random node in the given region, if any.
+    pub fn random_node_in(&mut self, region: &str) -> Option<NodeIndex> {
+        let nodes: Vec<NodeIndex> =
+            self.world.topology().in_region(region).map(|i| i.index).collect();
+        self.rng.choose(&nodes).copied()
+    }
+
+    /// Advances the simulation.
+    pub fn run_for(&mut self, d: SimDuration) {
+        self.world.run_for(d);
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.world.now()
+    }
+
+    /// The underlying world.
+    pub fn world(&self) -> &World<StoreWorldNode> {
+        &self.world
+    }
+
+    /// Mutable world access (failure injection etc.).
+    pub fn world_mut(&mut self) -> &mut World<StoreWorldNode> {
+        &mut self.world
+    }
+
+    /// Inserts a document from `node`.
+    pub fn insert(&mut self, node: NodeIndex, mut doc: Document) {
+        doc.stamp(self.world.now());
+        let guid = doc.guid;
+        self.world.inject(
+            node,
+            node,
+            StoreMsg::Overlay(OverlayMsg::Route {
+                target: guid,
+                payload: StorePayload::Insert { doc },
+                origin: node,
+                hops: 0,
+            }),
+        );
+    }
+
+    /// Looks up `guid` from `node`; returns the request id.
+    pub fn lookup(&mut self, node: NodeIndex, guid: Key) -> u64 {
+        self.next_req += 1;
+        let id = self.next_req;
+        self.req_origin.insert(id, node);
+        let now = self.world.now();
+        self.world.inject(
+            node,
+            node,
+            StoreMsg::Overlay(OverlayMsg::Route {
+                target: guid,
+                payload: StorePayload::Lookup {
+                    guid,
+                    reply_to: node,
+                    req_id: id,
+                    issued_at: now,
+                    path: Vec::new(),
+                },
+                origin: node,
+                hops: 0,
+            }),
+        );
+        id
+    }
+
+    /// The outcome of a lookup, if concluded.
+    pub fn result(&self, req_id: u64) -> Option<&LookupResult> {
+        let origin = self.req_origin.get(&req_id)?;
+        self.world.node(*origin).store.outcomes.get(&req_id)
+    }
+
+    /// How many *alive* nodes durably hold `guid`.
+    pub fn replica_count(&self, guid: Key) -> usize {
+        (0..self.len() as u32)
+            .map(NodeIndex)
+            .filter(|&i| self.world.is_alive(i) && self.world.node(i).store.holds(guid))
+            .count()
+    }
+
+    /// How many nodes hold `guid` in cache.
+    pub fn cache_count(&self, guid: Key) -> usize {
+        (0..self.len() as u32)
+            .map(NodeIndex)
+            .filter(|&i| self.world.node(i).store.has_cached(guid))
+            .count()
+    }
+
+    /// Crashes a node.
+    pub fn crash(&mut self, node: NodeIndex) {
+        self.world.crash(node);
+    }
+
+    /// Inserts `content` as `(m, n)` erasure-coded shards named
+    /// `name#shard{i}`; returns the shard GUIDs in index order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ErasureError`] for invalid `(m, n)`.
+    pub fn insert_erasure(
+        &mut self,
+        node: NodeIndex,
+        name: &str,
+        content: &[u8],
+        m: usize,
+        n: usize,
+    ) -> Result<Vec<Key>, ErasureError> {
+        let code = ErasureCode::new(m, n)?;
+        let shards = code.encode(content);
+        let mut guids = Vec::with_capacity(n);
+        for (i, shard) in shards.into_iter().enumerate() {
+            let doc = Document::new(format!("{name}#shard{i}"), shard);
+            guids.push(doc.guid);
+            self.insert(node, doc);
+        }
+        Ok(guids)
+    }
+
+    /// Fetches and reconstructs an erasure-coded object by issuing
+    /// lookups for all shards; call after [`run_for`](Self::run_for) has
+    /// let the lookups conclude, passing the ids returned here.
+    pub fn lookup_erasure(&mut self, node: NodeIndex, shard_guids: &[Key]) -> Vec<u64> {
+        shard_guids.iter().map(|g| self.lookup(node, *g)).collect()
+    }
+
+    /// Attempts reconstruction from the concluded shard lookups.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ErasureError::NotEnoughShards`] when too few shards were
+    /// retrievable.
+    pub fn reconstruct(
+        &self,
+        req_ids: &[u64],
+        m: usize,
+        n: usize,
+        len: usize,
+    ) -> Result<Vec<u8>, ErasureError> {
+        let code = ErasureCode::new(m, n)?;
+        let mut shards = Vec::new();
+        for (i, id) in req_ids.iter().enumerate() {
+            if let Some(r) = self.result(*id) {
+                if let Some(doc) = &r.doc {
+                    shards.push((i, doc.content.to_vec()));
+                }
+            }
+        }
+        code.decode(&shards, len)
+    }
+
+    /// Mean lookup latency in milliseconds (from the world histogram).
+    pub fn mean_lookup_ms(&self) -> f64 {
+        self.world.metrics().summary("store.lookup_ms").mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn settled(n: usize, cfg: StoreConfig, seed: u64) -> StoreNetwork {
+        let mut net = StoreNetwork::build(n, cfg, seed);
+        net.settle();
+        net
+    }
+
+    #[test]
+    fn insert_then_lookup_from_elsewhere() {
+        let mut net = settled(16, StoreConfig::default(), 11);
+        let writer = NodeIndex(2);
+        let reader = NodeIndex(13);
+        let doc = Document::new("menu", b"pistachio, vanilla".to_vec());
+        net.insert(writer, doc.clone());
+        net.run_for(SimDuration::from_secs(30));
+        assert!(net.replica_count(doc.guid) >= 1);
+        let id = net.lookup(reader, doc.guid);
+        net.run_for(SimDuration::from_secs(30));
+        let r = net.result(id).expect("lookup concluded");
+        assert_eq!(r.doc.as_ref().unwrap().content, doc.content);
+    }
+
+    #[test]
+    fn replication_reaches_k_nodes() {
+        let cfg = StoreConfig { replicas: 3, ..Default::default() };
+        let mut net = settled(16, cfg, 12);
+        let doc = Document::new("replicated-doc", vec![7u8; 64]);
+        net.insert(NodeIndex(0), doc.clone());
+        net.run_for(SimDuration::from_secs(60));
+        assert!(
+            net.replica_count(doc.guid) >= 3,
+            "got {} replicas",
+            net.replica_count(doc.guid)
+        );
+    }
+
+    #[test]
+    fn missing_guid_concludes_not_found() {
+        let mut net = settled(12, StoreConfig::default(), 13);
+        let id = net.lookup(NodeIndex(3), Key::hash_of_str("never-inserted"));
+        net.run_for(SimDuration::from_secs(30));
+        let r = net.result(id).expect("concluded");
+        assert!(r.doc.is_none());
+    }
+
+    #[test]
+    fn repeated_reads_hit_cache_and_get_faster() {
+        let mut net = settled(20, StoreConfig::default(), 14);
+        let doc = Document::new("hot-doc", vec![1u8; 256]);
+        net.insert(NodeIndex(0), doc.clone());
+        net.run_for(SimDuration::from_secs(30));
+        let reader = NodeIndex(19);
+        let first = net.lookup(reader, doc.guid);
+        net.run_for(SimDuration::from_secs(30));
+        let first_latency = net.result(first).unwrap().latency;
+        let second = net.lookup(reader, doc.guid);
+        net.run_for(SimDuration::from_secs(30));
+        let r2 = net.result(second).unwrap();
+        assert!(r2.from_cache || r2.latency < first_latency);
+        assert!(
+            r2.latency < first_latency,
+            "cached read {:?} not faster than first {:?}",
+            r2.latency,
+            first_latency
+        );
+    }
+
+    #[test]
+    fn healing_restores_replica_count_after_crash() {
+        let cfg = StoreConfig {
+            replicas: 3,
+            heal_interval: SimDuration::from_secs(10),
+            ..Default::default()
+        };
+        let mut net = settled(16, cfg, 15);
+        let doc = Document::new("precious", vec![9u8; 128]);
+        net.insert(NodeIndex(1), doc.clone());
+        net.run_for(SimDuration::from_secs(40));
+        let before = net.replica_count(doc.guid);
+        assert!(before >= 3);
+        // Crash one replica holder.
+        let holder = (0..net.len() as u32)
+            .map(NodeIndex)
+            .find(|&i| net.world().node(i).store.holds(doc.guid))
+            .unwrap();
+        net.crash(holder);
+        assert!(net.replica_count(doc.guid) < before);
+        // Probes detect the death (~20 s), heal runs every 10 s.
+        net.run_for(SimDuration::from_secs(120));
+        assert!(
+            net.replica_count(doc.guid) >= 3,
+            "healed back to {} replicas",
+            net.replica_count(doc.guid)
+        );
+    }
+
+    #[test]
+    fn erasure_round_trip_with_node_loss() {
+        let cfg = StoreConfig { replicas: 1, ..Default::default() };
+        let mut net = settled(20, cfg, 16);
+        let content: Vec<u8> = (0..500u32).map(|i| (i % 251) as u8).collect();
+        let guids = net.insert_erasure(NodeIndex(0), "big-object", &content, 4, 8).unwrap();
+        net.run_for(SimDuration::from_secs(30));
+        // Crash three arbitrary nodes; any 4 of 8 shards suffice.
+        for i in [3u32, 7, 11] {
+            net.crash(NodeIndex(i));
+        }
+        net.run_for(SimDuration::from_secs(60));
+        let reader = NodeIndex(19);
+        let ids = net.lookup_erasure(reader, &guids);
+        net.run_for(SimDuration::from_secs(60));
+        let restored = net.reconstruct(&ids, 4, 8, content.len()).unwrap();
+        assert_eq!(restored, content);
+    }
+
+    #[test]
+    fn backup_policy_creates_remote_replica() {
+        let cfg = StoreConfig {
+            replicas: 1,
+            backup_policy_min_km: Some(5_000.0),
+            ..Default::default()
+        };
+        let mut net = settled(18, cfg, 17);
+        let doc = Document::new("backup-me", vec![5u8; 64]);
+        net.insert(NodeIndex(0), doc.clone());
+        net.run_for(SimDuration::from_secs(60));
+        // Find holders and check at least two are far apart.
+        let holders: Vec<NodeIndex> = (0..net.len() as u32)
+            .map(NodeIndex)
+            .filter(|&i| net.world().node(i).store.holds(doc.guid))
+            .collect();
+        assert!(holders.len() >= 2, "backup replica created");
+        let far = holders.iter().any(|&a| {
+            holders.iter().any(|&b| {
+                net.world()
+                    .topology()
+                    .node(a)
+                    .geo
+                    .distance_km(net.world().topology().node(b).geo)
+                    >= 5_000.0
+            })
+        });
+        assert!(far, "some pair of holders is geographically remote");
+    }
+
+    #[test]
+    fn latency_policy_pulls_data_toward_readers() {
+        let cfg = StoreConfig {
+            replicas: 1,
+            cache_enabled: false, // isolate the policy effect from caching
+            latency_policy_threshold: Some(3),
+            ..Default::default()
+        };
+        let mut net = settled(18, cfg, 18);
+        let doc = Document::new("personal-data", vec![2u8; 64]);
+        net.insert(NodeIndex(0), doc.clone());
+        net.run_for(SimDuration::from_secs(30));
+        let reader = net.random_node_in("australia").unwrap();
+        // Read repeatedly from Australia.
+        let mut latencies = Vec::new();
+        for _ in 0..6 {
+            let id = net.lookup(reader, doc.guid);
+            net.run_for(SimDuration::from_secs(20));
+            latencies.push(net.result(id).unwrap().latency);
+        }
+        let first = latencies.first().unwrap();
+        let last = latencies.last().unwrap();
+        assert!(
+            last < first,
+            "policy should cut read latency: first {first}, last {last}"
+        );
+    }
+}

@@ -1,0 +1,304 @@
+//! Data placement policies (§4.6).
+//!
+//! "Data placement monitors will observe meta-data arising from
+//! distributed probes and gauges. Periodically they will initiate data
+//! replication, the details of when and where depending on the placement
+//! policies currently in operation."
+//!
+//! Two policies from the paper:
+//!
+//! * [`LatencyReductionPolicy`] — "seek to replicate progressively more of
+//!   a user's personal data at storage units geographically close to the
+//!   user's current location, the longer that the user remained at that
+//!   location";
+//! * [`BackupPolicy`] — "seek to replicate data on a geographically remote
+//!   storage unit as soon as possible after it was created".
+
+use gloss_overlay::Key;
+use gloss_sim::{GeoPoint, NodeIndex, SimTime};
+use std::collections::BTreeMap;
+
+/// A lightweight directory entry describing a storage node (distributed
+/// dynamically by the deployment layer; static within one experiment).
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeSite {
+    /// The node.
+    pub node: NodeIndex,
+    /// Where it is.
+    pub geo: GeoPoint,
+    /// Its region name.
+    pub region: String,
+}
+
+/// An action requested by a placement policy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlacementAction {
+    /// Push a replica of `guid` to `target`.
+    ReplicateTo {
+        /// The document.
+        guid: Key,
+        /// The node that should hold a copy.
+        target: NodeIndex,
+    },
+}
+
+/// A placement policy reacting to access and creation metadata.
+///
+/// Policies run at the node holding the primary copy; the storage layer
+/// executes the returned actions as replica pushes.
+pub trait PlacementPolicy: std::fmt::Debug {
+    /// Called when `reader` (at `site`) fetched `guid`.
+    fn on_access(
+        &mut self,
+        guid: Key,
+        site: &NodeSite,
+        now: SimTime,
+        directory: &[NodeSite],
+        holders: &[NodeIndex],
+    ) -> Vec<PlacementAction>;
+
+    /// Called when `guid` is first stored at a primary located at `site`.
+    fn on_create(
+        &mut self,
+        guid: Key,
+        site: &NodeSite,
+        now: SimTime,
+        directory: &[NodeSite],
+        holders: &[NodeIndex],
+    ) -> Vec<PlacementAction>;
+}
+
+/// Replicates a document toward a locality once it has been read from
+/// there `threshold` times — "replicate progressively more of a user's
+/// personal data at storage units geographically close to the user's
+/// current location, the longer that the user remained at that location".
+#[derive(Debug, Clone)]
+pub struct LatencyReductionPolicy {
+    threshold: u64,
+    /// A holder within this distance of the reader counts as "close";
+    /// no further replica is made.
+    near_km: f64,
+    counts: BTreeMap<(Key, String), u64>,
+}
+
+impl LatencyReductionPolicy {
+    /// Creates a policy that replicates after `threshold` accesses from
+    /// the same region, unless a copy already sits within 50 km of the
+    /// reader.
+    pub fn new(threshold: u64) -> Self {
+        LatencyReductionPolicy { threshold: threshold.max(1), near_km: 50.0, counts: BTreeMap::new() }
+    }
+
+    /// Adjusts the "close enough" radius.
+    pub fn with_near_km(mut self, near_km: f64) -> Self {
+        self.near_km = near_km;
+        self
+    }
+}
+
+impl PlacementPolicy for LatencyReductionPolicy {
+    fn on_access(
+        &mut self,
+        guid: Key,
+        site: &NodeSite,
+        _now: SimTime,
+        directory: &[NodeSite],
+        holders: &[NodeIndex],
+    ) -> Vec<PlacementAction> {
+        let count = self.counts.entry((guid, site.region.clone())).or_insert(0);
+        *count += 1;
+        if *count != self.threshold {
+            return Vec::new();
+        }
+        // Already a copy geographically close to the reader?
+        let close_already = directory
+            .iter()
+            .filter(|s| holders.contains(&s.node))
+            .any(|s| s.geo.distance_km(site.geo) <= self.near_km);
+        if close_already {
+            return Vec::new();
+        }
+        // Replicate to the node nearest the reader (often the reader's
+        // own storage unit).
+        directory
+            .iter()
+            .min_by(|a, b| {
+                a.geo
+                    .distance_km(site.geo)
+                    .partial_cmp(&b.geo.distance_km(site.geo))
+                    .expect("finite distances")
+            })
+            .map(|s| vec![PlacementAction::ReplicateTo { guid, target: s.node }])
+            .unwrap_or_default()
+    }
+
+    fn on_create(
+        &mut self,
+        _guid: Key,
+        _site: &NodeSite,
+        _now: SimTime,
+        _directory: &[NodeSite],
+        _holders: &[NodeIndex],
+    ) -> Vec<PlacementAction> {
+        Vec::new()
+    }
+}
+
+/// Pushes a replica to a geographically remote node (≥ `min_km` away)
+/// immediately on creation.
+#[derive(Debug, Clone)]
+pub struct BackupPolicy {
+    min_km: f64,
+}
+
+impl BackupPolicy {
+    /// Creates a backup policy requiring at least `min_km` of separation.
+    pub fn new(min_km: f64) -> Self {
+        BackupPolicy { min_km }
+    }
+}
+
+impl PlacementPolicy for BackupPolicy {
+    fn on_access(
+        &mut self,
+        _guid: Key,
+        _site: &NodeSite,
+        _now: SimTime,
+        _directory: &[NodeSite],
+        _holders: &[NodeIndex],
+    ) -> Vec<PlacementAction> {
+        Vec::new()
+    }
+
+    fn on_create(
+        &mut self,
+        guid: Key,
+        site: &NodeSite,
+        _now: SimTime,
+        directory: &[NodeSite],
+        holders: &[NodeIndex],
+    ) -> Vec<PlacementAction> {
+        // Is any existing holder already remote enough?
+        let holder_sites: Vec<&NodeSite> =
+            directory.iter().filter(|s| holders.contains(&s.node)).collect();
+        if holder_sites.iter().any(|s| s.geo.distance_km(site.geo) >= self.min_km) {
+            return Vec::new();
+        }
+        // Choose the closest node that satisfies the distance bound, so
+        // the backup is remote but not needlessly far.
+        directory
+            .iter()
+            .filter(|s| s.geo.distance_km(site.geo) >= self.min_km)
+            .min_by(|a, b| {
+                a.geo
+                    .distance_km(site.geo)
+                    .partial_cmp(&b.geo.distance_km(site.geo))
+                    .expect("finite distances")
+            })
+            .map(|s| vec![PlacementAction::ReplicateTo { guid, target: s.node }])
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn site(node: u32, region: &str, lat: f64, lon: f64) -> NodeSite {
+        NodeSite { node: NodeIndex(node), geo: GeoPoint::new(lat, lon), region: region.into() }
+    }
+
+    fn directory() -> Vec<NodeSite> {
+        vec![
+            site(0, "scotland", 56.3, -3.0),
+            site(1, "scotland", 56.0, -3.5),
+            site(2, "australia", -33.9, 151.2),
+            site(3, "australia", -37.8, 145.0),
+        ]
+    }
+
+    #[test]
+    fn latency_policy_replicates_after_threshold() {
+        let mut p = LatencyReductionPolicy::new(3);
+        let guid = Key::hash_of_str("doc");
+        let dir = directory();
+        let reader = &dir[2]; // australia
+        let holders = [NodeIndex(0)];
+        let now = SimTime::ZERO;
+        assert!(p.on_access(guid, reader, now, &dir, &holders).is_empty());
+        assert!(p.on_access(guid, reader, now, &dir, &holders).is_empty());
+        let actions = p.on_access(guid, reader, now, &dir, &holders);
+        assert_eq!(
+            actions,
+            vec![PlacementAction::ReplicateTo { guid, target: NodeIndex(2) }],
+            "third access from australia triggers a replica there"
+        );
+        // Only fires once at the threshold crossing.
+        assert!(p.on_access(guid, reader, now, &dir, &holders).is_empty());
+    }
+
+    #[test]
+    fn latency_policy_skips_if_a_copy_is_already_close() {
+        let mut p = LatencyReductionPolicy::new(1);
+        let guid = Key::hash_of_str("doc");
+        let dir = directory();
+        // The reader itself already holds a copy: nothing to do.
+        let holders = [NodeIndex(2)];
+        let actions = p.on_access(guid, &dir[2], SimTime::ZERO, &dir, &holders);
+        assert!(actions.is_empty());
+        // A copy in the same *region* but 700 km away is not close enough.
+        let mut p = LatencyReductionPolicy::new(1);
+        let holders = [NodeIndex(3)]; // melbourne vs sydney reader
+        let actions = p.on_access(guid, &dir[2], SimTime::ZERO, &dir, &holders);
+        assert_eq!(actions.len(), 1);
+    }
+
+    #[test]
+    fn latency_policy_counts_regions_independently() {
+        let mut p = LatencyReductionPolicy::new(2);
+        let guid = Key::hash_of_str("doc");
+        let dir = directory();
+        let holders = [NodeIndex(0)];
+        assert!(p.on_access(guid, &dir[2], SimTime::ZERO, &dir, &holders).is_empty());
+        // One access from scotland does not advance australia's count.
+        assert!(p.on_access(guid, &dir[1], SimTime::ZERO, &dir, &holders).is_empty());
+        let actions = p.on_access(guid, &dir[2], SimTime::ZERO, &dir, &holders);
+        assert_eq!(actions.len(), 1);
+    }
+
+    #[test]
+    fn backup_policy_picks_remote_node_on_create() {
+        let mut p = BackupPolicy::new(5000.0);
+        let guid = Key::hash_of_str("doc");
+        let dir = directory();
+        let primary = &dir[0]; // scotland
+        let actions = p.on_create(guid, primary, SimTime::ZERO, &dir, &[NodeIndex(0)]);
+        assert_eq!(actions.len(), 1);
+        match &actions[0] {
+            PlacementAction::ReplicateTo { target, .. } => {
+                assert!(
+                    *target == NodeIndex(2) || *target == NodeIndex(3),
+                    "backup must be in australia, got {target}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn backup_policy_satisfied_by_existing_remote_holder() {
+        let mut p = BackupPolicy::new(5000.0);
+        let guid = Key::hash_of_str("doc");
+        let dir = directory();
+        let actions =
+            p.on_create(guid, &dir[0], SimTime::ZERO, &dir, &[NodeIndex(0), NodeIndex(2)]);
+        assert!(actions.is_empty());
+    }
+
+    #[test]
+    fn backup_policy_no_candidate_is_noop() {
+        let mut p = BackupPolicy::new(50_000.0); // farther than any point on earth
+        let guid = Key::hash_of_str("doc");
+        let dir = directory();
+        assert!(p.on_create(guid, &dir[0], SimTime::ZERO, &dir, &[NodeIndex(0)]).is_empty());
+    }
+}

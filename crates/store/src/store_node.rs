@@ -1,0 +1,795 @@
+//! The storelet: a storage node embedding an overlay node, implementing
+//! PAST-style replication, promiscuous caching, self-healing, and the
+//! placement policies.
+
+use crate::cache::LruCache;
+use crate::document::Document;
+use crate::placement::{
+    BackupPolicy, LatencyReductionPolicy, NodeSite, PlacementAction, PlacementPolicy,
+};
+use gloss_overlay::{Key, OverlayMsg, OverlayNode};
+use gloss_sim::{NodeIndex, Outbox, SimDuration, SimTime};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Timer tags private to the storage layer (overlay tags pass through).
+pub mod timers {
+    /// Periodic replica audit (self-healing).
+    pub const HEAL: u64 = 0x20;
+}
+
+/// Payloads routed through the overlay.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StorePayload {
+    /// Store a document at the nodes responsible for its GUID.
+    Insert {
+        /// The document.
+        doc: Document,
+    },
+    /// Find a document; the holder replies directly to `reply_to`.
+    Lookup {
+        /// The GUID sought.
+        guid: Key,
+        /// Where to send the reply.
+        reply_to: NodeIndex,
+        /// Correlation id (assigned by the requester).
+        req_id: u64,
+        /// When the request was issued (for latency measurement).
+        issued_at: SimTime,
+        /// Nodes the request has passed through (promiscuous caching
+        /// pushes copies back along this path).
+        path: Vec<NodeIndex>,
+    },
+}
+
+/// Messages of the storage layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StoreMsg {
+    /// Overlay protocol traffic (join, routing, probes) carrying
+    /// [`StorePayload`]s.
+    Overlay(OverlayMsg<StorePayload>),
+    /// Push a durable replica (idempotent; receivers keep the highest
+    /// version).
+    ReplicaPut {
+        /// The document.
+        doc: Document,
+    },
+    /// Push a cached copy (promiscuous caching; evictable).
+    CachePush {
+        /// The document.
+        doc: Document,
+    },
+    /// Audit: does the receiver hold a replica of `guid` at `version`?
+    HaveReplica {
+        /// The GUID audited.
+        guid: Key,
+        /// The auditor's version.
+        version: u64,
+    },
+    /// Audit answer; `false` triggers a [`StoreMsg::ReplicaPut`].
+    HaveReplicaAck {
+        /// The GUID audited.
+        guid: Key,
+        /// Whether the responder holds it (at `version` or newer).
+        have: bool,
+    },
+    /// Successful lookup reply, sent directly to the requester.
+    FetchReply {
+        /// Correlation id.
+        req_id: u64,
+        /// The document found.
+        doc: Document,
+        /// When the lookup was issued.
+        issued_at: SimTime,
+        /// Whether it was served from a cache (vs a durable replica).
+        from_cache: bool,
+        /// Overlay hops the request travelled before being served.
+        hops: u32,
+    },
+    /// The responsible node does not hold the document.
+    NotFound {
+        /// Correlation id.
+        req_id: u64,
+        /// The GUID sought.
+        guid: Key,
+        /// When the lookup was issued.
+        issued_at: SimTime,
+    },
+}
+
+/// The outcome of a lookup, recorded at the requesting node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LookupOutcome {
+    /// The GUID sought.
+    pub guid: Key,
+    /// The document, if found.
+    pub doc: Option<Document>,
+    /// Request-to-reply latency.
+    pub latency: SimDuration,
+    /// Whether a cache served it.
+    pub from_cache: bool,
+    /// Overlay hops travelled by the request.
+    pub hops: u32,
+}
+
+/// Storage layer configuration.
+#[derive(Debug, Clone)]
+pub struct StoreConfig {
+    /// Replication factor `k` (primary + `k − 1` replicas).
+    pub replicas: usize,
+    /// Enable promiscuous caching.
+    pub cache_enabled: bool,
+    /// Per-node cache capacity in bytes.
+    pub cache_capacity: usize,
+    /// How often each node audits the documents it is primary for.
+    pub heal_interval: SimDuration,
+    /// Latency-reduction policy: replicate into a region after this many
+    /// reads from it (`None` = off).
+    pub latency_policy_threshold: Option<u64>,
+    /// Backup policy: minimum distance (km) for the creation-time remote
+    /// replica (`None` = off).
+    pub backup_policy_min_km: Option<f64>,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            replicas: 3,
+            cache_enabled: true,
+            cache_capacity: 1 << 20,
+            heal_interval: SimDuration::from_secs(30),
+            latency_policy_threshold: None,
+            backup_policy_min_km: None,
+        }
+    }
+}
+
+/// A storage node (storelet) embedding an overlay node.
+#[derive(Debug)]
+pub struct StoreNode {
+    me: NodeIndex,
+    overlay: OverlayNode<StorePayload>,
+    cfg: StoreConfig,
+    store: BTreeMap<Key, Document>,
+    cache: LruCache,
+    directory: Vec<NodeSite>,
+    latency_policy: Option<LatencyReductionPolicy>,
+    backup_policy: Option<BackupPolicy>,
+    /// Nodes we have pushed policy replicas of each doc to.
+    policy_holders: BTreeMap<Key, BTreeSet<NodeIndex>>,
+    /// Outcomes of lookups issued from this node, by request id.
+    pub outcomes: BTreeMap<u64, LookupOutcome>,
+}
+
+impl StoreNode {
+    /// Creates a storage node wrapping `overlay`, with `directory`
+    /// describing all nodes' locations (used by placement policies).
+    pub fn new(
+        me: NodeIndex,
+        overlay: OverlayNode<StorePayload>,
+        cfg: StoreConfig,
+        directory: Vec<NodeSite>,
+    ) -> Self {
+        let cache = LruCache::new(cfg.cache_capacity);
+        let latency_policy = cfg.latency_policy_threshold.map(LatencyReductionPolicy::new);
+        let backup_policy = cfg.backup_policy_min_km.map(BackupPolicy::new);
+        StoreNode {
+            me,
+            overlay,
+            cfg,
+            store: BTreeMap::new(),
+            cache,
+            directory,
+            latency_policy,
+            backup_policy,
+            policy_holders: BTreeMap::new(),
+            outcomes: BTreeMap::new(),
+        }
+    }
+
+    /// This node's index.
+    pub fn index(&self) -> NodeIndex {
+        self.me
+    }
+
+    /// The embedded overlay node.
+    pub fn overlay(&self) -> &OverlayNode<StorePayload> {
+        &self.overlay
+    }
+
+    /// Whether this node durably stores `guid`.
+    pub fn holds(&self, guid: Key) -> bool {
+        self.store.contains_key(&guid)
+    }
+
+    /// Whether this node has `guid` cached.
+    pub fn has_cached(&self, guid: Key) -> bool {
+        self.cache.contains(guid)
+    }
+
+    /// Number of durably stored documents.
+    pub fn stored_count(&self) -> usize {
+        self.store.len()
+    }
+
+    /// Cache statistics: (hits, misses).
+    pub fn cache_stats(&self) -> (u64, u64) {
+        (self.cache.hits, self.cache.misses)
+    }
+
+    /// Cold start: reset overlay state and arm the heal timer.
+    pub fn on_start(&mut self, out: &mut Outbox<StoreMsg>) {
+        let mut oout = Outbox::new();
+        self.overlay.on_start(&mut oout);
+        oout.transfer_into(out, StoreMsg::Overlay);
+        out.timer(self.cfg.heal_interval, timers::HEAL);
+    }
+
+    /// Timer dispatch (overlay tags pass through; `HEAL` audits replicas).
+    pub fn on_timer(&mut self, now: SimTime, tag: u64, out: &mut Outbox<StoreMsg>) {
+        if tag == timers::HEAL {
+            self.heal(out);
+            out.timer(self.cfg.heal_interval, timers::HEAL);
+        } else {
+            let mut oout = Outbox::new();
+            self.overlay.on_timer(now, tag, &mut oout);
+            oout.transfer_into(out, StoreMsg::Overlay);
+        }
+    }
+
+    /// Whether this node believes it is the primary for `guid` (closest
+    /// among itself and its leaf set).
+    pub fn is_primary_for(&self, guid: Key) -> bool {
+        let my_d = self.overlay.id().key.ring_distance(guid);
+        self.overlay
+            .leaf_members()
+            .iter()
+            .all(|m| m.key.ring_distance(guid) >= my_d)
+    }
+
+    /// The `k − 1` leaf-set members numerically closest to `guid` (the
+    /// desired replica holders besides the primary).
+    fn replica_targets(&self, guid: Key) -> Vec<NodeIndex> {
+        let mut members = self.overlay.leaf_members();
+        members.sort_by_key(|m| m.key.ring_distance(guid));
+        members
+            .into_iter()
+            .take(self.cfg.replicas.saturating_sub(1))
+            .map(|m| m.node)
+            .collect()
+    }
+
+    fn heal(&mut self, out: &mut Outbox<StoreMsg>) {
+        let guids: Vec<(Key, u64)> = self
+            .store
+            .iter()
+            .filter(|(g, _)| self.is_primary_for(**g))
+            .map(|(g, d)| (*g, d.version))
+            .collect();
+        for (guid, version) in guids {
+            for target in self.replica_targets(guid) {
+                out.send(target, StoreMsg::HaveReplica { guid, version });
+            }
+        }
+    }
+
+    fn site_of(&self, node: NodeIndex) -> Option<&NodeSite> {
+        self.directory.iter().find(|s| s.node == node)
+    }
+
+    fn run_placement_actions(&mut self, actions: Vec<PlacementAction>, out: &mut Outbox<StoreMsg>) {
+        for action in actions {
+            match action {
+                PlacementAction::ReplicateTo { guid, target } => {
+                    if let Some(doc) = self.store.get(&guid).cloned() {
+                        self.policy_holders.entry(guid).or_default().insert(target);
+                        out.count("store.policy_replicas", 1.0);
+                        if target == self.me {
+                            continue;
+                        }
+                        out.send(target, StoreMsg::ReplicaPut { doc });
+                    }
+                }
+            }
+        }
+    }
+
+    /// Stores a document durably, keeping the newest version. Returns
+    /// whether the write changed state.
+    fn put_local(&mut self, doc: Document) -> bool {
+        match self.store.get(&doc.guid) {
+            Some(existing) if existing.version >= doc.version => false,
+            _ => {
+                self.store.insert(doc.guid, doc);
+                true
+            }
+        }
+    }
+
+    /// A local copy from durable store or (if enabled) cache:
+    /// `(doc, from_cache)`.
+    fn local_copy(&mut self, guid: Key) -> Option<(Document, bool)> {
+        if let Some(doc) = self.store.get(&guid) {
+            return Some((doc.clone(), false));
+        }
+        if self.cfg.cache_enabled {
+            if let Some(doc) = self.cache.get(guid) {
+                return Some((doc, true));
+            }
+        }
+        None
+    }
+
+    /// Handles one message.
+    pub fn handle(
+        &mut self,
+        now: SimTime,
+        from: NodeIndex,
+        msg: StoreMsg,
+        out: &mut Outbox<StoreMsg>,
+    ) {
+        match msg {
+            StoreMsg::Overlay(omsg) => self.handle_overlay(now, from, omsg, out),
+            StoreMsg::ReplicaPut { doc } => {
+                if self.put_local(doc) {
+                    out.count("store.replica_puts", 1.0);
+                }
+            }
+            StoreMsg::CachePush { doc } => {
+                if self.cfg.cache_enabled {
+                    self.cache.insert(doc);
+                }
+            }
+            StoreMsg::HaveReplica { guid, version } => {
+                let have = self.store.get(&guid).is_some_and(|d| d.version >= version);
+                out.send(from, StoreMsg::HaveReplicaAck { guid, have });
+            }
+            StoreMsg::HaveReplicaAck { guid, have } => {
+                if !have {
+                    if let Some(doc) = self.store.get(&guid).cloned() {
+                        out.count("store.heal_puts", 1.0);
+                        out.send(from, StoreMsg::ReplicaPut { doc });
+                    }
+                }
+            }
+            StoreMsg::FetchReply { req_id, doc, issued_at, from_cache, hops } => {
+                out.count("store.lookups_ok", 1.0);
+                out.observe("store.lookup_ms", now.since(issued_at).as_secs_f64() * 1e3);
+                out.observe("store.lookup_hops", hops as f64);
+                if from_cache {
+                    out.count("store.cache_served", 1.0);
+                }
+                // The requester caches what it fetched (promiscuous).
+                if self.cfg.cache_enabled {
+                    self.cache.insert(doc.clone());
+                }
+                self.outcomes.insert(
+                    req_id,
+                    LookupOutcome {
+                        guid: doc.guid,
+                        doc: Some(doc),
+                        latency: now.since(issued_at),
+                        from_cache,
+                        hops,
+                    },
+                );
+            }
+            StoreMsg::NotFound { req_id, guid, issued_at } => {
+                out.count("store.lookups_missing", 1.0);
+                self.outcomes.insert(
+                    req_id,
+                    LookupOutcome {
+                        guid,
+                        doc: None,
+                        latency: now.since(issued_at),
+                        from_cache: false,
+                        hops: 0,
+                    },
+                );
+            }
+        }
+    }
+
+    fn handle_overlay(
+        &mut self,
+        now: SimTime,
+        from: NodeIndex,
+        mut omsg: OverlayMsg<StorePayload>,
+        out: &mut Outbox<StoreMsg>,
+    ) {
+        // Intercept lookups: any node along the route holding a copy
+        // answers immediately (promiscuous caching's latency win).
+        if let OverlayMsg::Route { payload: StorePayload::Lookup { .. }, .. } = &omsg {
+            if let OverlayMsg::Route {
+                payload: StorePayload::Lookup { guid, reply_to, req_id, issued_at, path },
+                hops,
+                ..
+            } = &mut omsg
+            {
+                if let Some((doc, from_cache)) = self.local_copy(*guid) {
+                    out.send(
+                        *reply_to,
+                        StoreMsg::FetchReply {
+                            req_id: *req_id,
+                            doc: doc.clone(),
+                            issued_at: *issued_at,
+                            from_cache,
+                            hops: *hops,
+                        },
+                    );
+                    // Cache along the path walked so far.
+                    if self.cfg.cache_enabled {
+                        for n in path.iter().filter(|n| **n != self.me) {
+                            out.send(*n, StoreMsg::CachePush { doc: doc.clone() });
+                        }
+                    }
+                    self.after_serve(*guid, *reply_to, now, out);
+                    return;
+                }
+                path.push(self.me);
+            }
+        }
+
+        let mut oout = Outbox::new();
+        let deliveries = self.overlay.handle(now, from, omsg, &mut oout);
+        oout.transfer_into(out, StoreMsg::Overlay);
+
+        for d in deliveries {
+            match d.payload {
+                StorePayload::Insert { doc } => {
+                    let guid = doc.guid;
+                    out.count("store.inserts_rooted", 1.0);
+                    self.put_local(doc.clone());
+                    for target in self.replica_targets(guid) {
+                        out.send(target, StoreMsg::ReplicaPut { doc: doc.clone() });
+                    }
+                    // Backup policy: remote replica as soon as created.
+                    if self.backup_policy.is_some() {
+                        if let Some(site) = self.site_of(self.me).cloned() {
+                            let mut holders: Vec<NodeIndex> = self.replica_targets(guid);
+                            holders.push(self.me);
+                            let policy = self.backup_policy.as_mut().expect("checked above");
+                            let actions =
+                                policy.on_create(guid, &site, now, &self.directory, &holders);
+                            self.run_placement_actions(actions, out);
+                        }
+                    }
+                }
+                StorePayload::Lookup { guid, reply_to, req_id, issued_at, .. } => {
+                    // Delivered at the responsible node and nothing local:
+                    // the document does not exist.
+                    match self.local_copy(guid) {
+                        Some((doc, from_cache)) => {
+                            out.send(
+                                reply_to,
+                                StoreMsg::FetchReply {
+                                    req_id,
+                                    doc,
+                                    issued_at,
+                                    from_cache,
+                                    hops: d.hops,
+                                },
+                            );
+                            self.after_serve(guid, reply_to, now, out);
+                        }
+                        None => {
+                            out.send(reply_to, StoreMsg::NotFound { req_id, guid, issued_at });
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Post-serve hook: run the latency-reduction policy.
+    fn after_serve(&mut self, guid: Key, reader: NodeIndex, now: SimTime, out: &mut Outbox<StoreMsg>) {
+        if self.latency_policy.is_none() {
+            return;
+        }
+        let Some(reader_site) = self.site_of(reader).cloned() else {
+            return;
+        };
+        let mut holders: Vec<NodeIndex> =
+            self.policy_holders.get(&guid).map(|s| s.iter().copied().collect()).unwrap_or_default();
+        holders.push(self.me);
+        let actions = self
+            .latency_policy
+            .as_mut()
+            .expect("checked above")
+            .on_access(guid, &reader_site, now, &self.directory, &holders);
+        self.run_placement_actions(actions, out);
+    }
+
+    /// Originates an insert from this node (used by the harness).
+    pub fn insert(&mut self, doc: Document, out: &mut Outbox<StoreMsg>) {
+        let guid = doc.guid;
+        let mut oout = Outbox::new();
+        let delivered = self.overlay.route(guid, StorePayload::Insert { doc }, &mut oout);
+        oout.transfer_into(out, StoreMsg::Overlay);
+        if let Some(d) = delivered {
+            // We are the root ourselves.
+            if let StorePayload::Insert { doc } = d.payload {
+                let guid = doc.guid;
+                self.put_local(doc.clone());
+                for target in self.replica_targets(guid) {
+                    out.send(target, StoreMsg::ReplicaPut { doc: doc.clone() });
+                }
+            }
+        }
+    }
+
+    /// Originates a lookup from this node; the outcome lands in
+    /// [`outcomes`](Self::outcomes) keyed by `req_id`.
+    pub fn lookup(&mut self, guid: Key, req_id: u64, now: SimTime, out: &mut Outbox<StoreMsg>) {
+        // Local copy? Serve instantly.
+        if let Some((doc, from_cache)) = self.local_copy(guid) {
+            out.count("store.lookups_ok", 1.0);
+            out.count("store.lookups_local", 1.0);
+            out.observe("store.lookup_ms", 0.0);
+            out.observe("store.lookup_hops", 0.0);
+            if from_cache {
+                out.count("store.cache_served", 1.0);
+            }
+            self.outcomes.insert(
+                req_id,
+                LookupOutcome {
+                    guid,
+                    doc: Some(doc),
+                    latency: SimDuration::ZERO,
+                    from_cache,
+                    hops: 0,
+                },
+            );
+            return;
+        }
+        let payload = StorePayload::Lookup {
+            guid,
+            reply_to: self.me,
+            req_id,
+            issued_at: now,
+            path: vec![self.me],
+        };
+        let mut oout = Outbox::new();
+        let delivered = self.overlay.route(guid, payload, &mut oout);
+        oout.transfer_into(out, StoreMsg::Overlay);
+        if delivered.is_some() {
+            // We are the responsible node and have no copy.
+            out.count("store.lookups_missing", 1.0);
+            self.outcomes.insert(
+                req_id,
+                LookupOutcome {
+                    guid,
+                    doc: None,
+                    latency: SimDuration::ZERO,
+                    from_cache: false,
+                    hops: 0,
+                },
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gloss_overlay::KeyedNode;
+
+    fn n(i: u32) -> NodeIndex {
+        NodeIndex(i)
+    }
+
+    fn store_node(key: u128, idx: u32, cfg: StoreConfig) -> StoreNode {
+        let overlay = OverlayNode::new(Key(key), n(idx), None, SimDuration::ZERO);
+        StoreNode::new(n(idx), overlay, cfg, Vec::new())
+    }
+
+    fn doc(name: &str) -> Document {
+        Document::new(name, format!("content of {name}").into_bytes())
+    }
+
+    #[test]
+    fn singleton_insert_then_lookup_locally() {
+        let mut s = store_node(0x100, 0, StoreConfig::default());
+        let d = doc("menu");
+        let mut out = Outbox::new();
+        s.insert(d.clone(), &mut out);
+        assert!(s.holds(d.guid));
+        let mut out = Outbox::new();
+        s.lookup(d.guid, 1, SimTime::ZERO, &mut out);
+        let o = &s.outcomes[&1];
+        assert_eq!(o.doc.as_ref().unwrap().content, d.content);
+        assert!(!o.from_cache);
+        assert_eq!(o.latency, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn missing_document_reports_not_found() {
+        let mut s = store_node(0x100, 0, StoreConfig::default());
+        let mut out = Outbox::new();
+        s.lookup(Key::hash_of_str("ghost"), 9, SimTime::ZERO, &mut out);
+        assert!(s.outcomes[&9].doc.is_none());
+    }
+
+    #[test]
+    fn insert_replicates_to_leaf_targets() {
+        let mut s = store_node(0x100, 0, StoreConfig { replicas: 3, ..Default::default() });
+        // Teach the node two leaf neighbours.
+        s.overlay.learn(KeyedNode::new(Key(0x110), n(1)));
+        s.overlay.learn(KeyedNode::new(Key(0x120), n(2)));
+        let d = doc("replicated");
+        let mut out = Outbox::new();
+        s.insert(d.clone(), &mut out);
+        let puts: Vec<NodeIndex> = out
+            .sends()
+            .iter()
+            .filter(|(_, m, _)| matches!(m, StoreMsg::ReplicaPut { .. }))
+            .map(|(t, _, _)| *t)
+            .collect();
+        assert_eq!(puts.len(), 2, "k-1 replica pushes");
+        assert!(puts.contains(&n(1)));
+        assert!(puts.contains(&n(2)));
+    }
+
+    #[test]
+    fn replica_put_keeps_newest_version() {
+        let mut s = store_node(0x100, 0, StoreConfig::default());
+        let v1 = doc("versioned");
+        let v2 = v1.updated(b"newer".to_vec());
+        let mut out = Outbox::new();
+        s.handle(SimTime::ZERO, n(5), StoreMsg::ReplicaPut { doc: v2.clone() }, &mut out);
+        s.handle(SimTime::ZERO, n(5), StoreMsg::ReplicaPut { doc: v1 }, &mut out);
+        let mut out = Outbox::new();
+        s.lookup(v2.guid, 1, SimTime::ZERO, &mut out);
+        assert_eq!(s.outcomes[&1].doc.as_ref().unwrap().version, 2);
+    }
+
+    #[test]
+    fn cache_push_serves_later_lookups() {
+        let mut s = store_node(0x100, 0, StoreConfig::default());
+        let d = doc("cached");
+        let mut out = Outbox::new();
+        s.handle(SimTime::ZERO, n(5), StoreMsg::CachePush { doc: d.clone() }, &mut out);
+        assert!(s.has_cached(d.guid));
+        let mut out = Outbox::new();
+        s.lookup(d.guid, 2, SimTime::ZERO, &mut out);
+        assert!(s.outcomes[&2].from_cache);
+    }
+
+    #[test]
+    fn cache_disabled_ignores_pushes() {
+        let cfg = StoreConfig { cache_enabled: false, ..Default::default() };
+        let mut s = store_node(0x100, 0, cfg);
+        let d = doc("cached");
+        let mut out = Outbox::new();
+        s.handle(SimTime::ZERO, n(5), StoreMsg::CachePush { doc: d.clone() }, &mut out);
+        assert!(!s.has_cached(d.guid));
+    }
+
+    #[test]
+    fn lookup_interception_serves_en_route() {
+        let mut s = store_node(0x100, 0, StoreConfig::default());
+        let d = doc("popular");
+        let mut out = Outbox::new();
+        s.handle(SimTime::ZERO, n(5), StoreMsg::CachePush { doc: d.clone() }, &mut out);
+        // A lookup routed through this node gets answered here.
+        let lookup = StoreMsg::Overlay(OverlayMsg::Route {
+            target: d.guid,
+            payload: StorePayload::Lookup {
+                guid: d.guid,
+                reply_to: n(9),
+                req_id: 4,
+                issued_at: SimTime::ZERO,
+                path: vec![n(9), n(7)],
+            },
+            origin: n(9),
+            hops: 2,
+        });
+        let mut out = Outbox::new();
+        s.handle(SimTime::from_millis(10), n(7), lookup, &mut out);
+        let reply = out
+            .sends()
+            .iter()
+            .find(|(t, m, _)| *t == n(9) && matches!(m, StoreMsg::FetchReply { .. }));
+        assert!(reply.is_some(), "served from the intermediate cache");
+        // Path nodes get cache pushes (n9 and n7).
+        let pushes = out
+            .sends()
+            .iter()
+            .filter(|(_, m, _)| matches!(m, StoreMsg::CachePush { .. }))
+            .count();
+        assert_eq!(pushes, 2);
+    }
+
+    #[test]
+    fn heal_audits_and_repairs() {
+        let mut s = store_node(0x100, 0, StoreConfig { replicas: 2, ..Default::default() });
+        s.overlay.learn(KeyedNode::new(Key(0x110), n(1)));
+        let d = doc("healme");
+        let mut out = Outbox::new();
+        s.insert(d.clone(), &mut out);
+        // Heal timer: audit goes to the replica target.
+        let mut out = Outbox::new();
+        s.on_timer(SimTime::from_secs(30), timers::HEAL, &mut out);
+        let audits: Vec<NodeIndex> = out
+            .sends()
+            .iter()
+            .filter(|(_, m, _)| matches!(m, StoreMsg::HaveReplica { .. }))
+            .map(|(t, _, _)| *t)
+            .collect();
+        assert_eq!(audits, vec![n(1)]);
+        // Negative ack triggers a repair put.
+        let mut out = Outbox::new();
+        s.handle(
+            SimTime::from_secs(31),
+            n(1),
+            StoreMsg::HaveReplicaAck { guid: d.guid, have: false },
+            &mut out,
+        );
+        assert!(out
+            .sends()
+            .iter()
+            .any(|(t, m, _)| *t == n(1) && matches!(m, StoreMsg::ReplicaPut { .. })));
+        // Positive ack does not.
+        let mut out = Outbox::new();
+        s.handle(
+            SimTime::from_secs(32),
+            n(1),
+            StoreMsg::HaveReplicaAck { guid: d.guid, have: true },
+            &mut out,
+        );
+        assert!(out.sends().is_empty());
+    }
+
+    #[test]
+    fn have_replica_answers_by_version() {
+        let mut s = store_node(0x100, 0, StoreConfig::default());
+        let d = doc("audited");
+        let mut out = Outbox::new();
+        s.handle(SimTime::ZERO, n(5), StoreMsg::ReplicaPut { doc: d.clone() }, &mut out);
+        let mut out = Outbox::new();
+        s.handle(
+            SimTime::ZERO,
+            n(2),
+            StoreMsg::HaveReplica { guid: d.guid, version: 1 },
+            &mut out,
+        );
+        assert!(matches!(
+            out.sends()[0].1,
+            StoreMsg::HaveReplicaAck { have: true, .. }
+        ));
+        // A newer version elsewhere means we do not "have" it.
+        let mut out = Outbox::new();
+        s.handle(
+            SimTime::ZERO,
+            n(2),
+            StoreMsg::HaveReplica { guid: d.guid, version: 2 },
+            &mut out,
+        );
+        assert!(matches!(
+            out.sends()[0].1,
+            StoreMsg::HaveReplicaAck { have: false, .. }
+        ));
+    }
+
+    #[test]
+    fn fetch_reply_records_outcome_and_caches() {
+        let mut s = store_node(0x100, 0, StoreConfig::default());
+        let d = doc("fetched");
+        let mut out = Outbox::new();
+        s.handle(
+            SimTime::from_millis(150),
+            n(3),
+            StoreMsg::FetchReply {
+                req_id: 11,
+                doc: d.clone(),
+                issued_at: SimTime::from_millis(100),
+                from_cache: false,
+                hops: 3,
+            },
+            &mut out,
+        );
+        let o = &s.outcomes[&11];
+        assert_eq!(o.latency, SimDuration::from_millis(50));
+        assert_eq!(o.hops, 3);
+        assert!(s.has_cached(d.guid), "requester caches what it fetched");
+    }
+}

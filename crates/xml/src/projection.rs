@@ -1,0 +1,718 @@
+//! Type projection: binding program-side record types to XML data.
+//!
+//! The paper (§3) adopts *type projection* — "the type is taken from the
+//! program context and matched against the data" — because it "handles
+//! partial data model specifications ... structured 'islands' whose
+//! structure is known a priori" inside documents whose overall structure is
+//! not tightly specified. A [`ProjSpec`] names exactly the fields a
+//! matchlet needs; everything else in the document is ignored, so new event
+//! producers can extend formats without breaking deployed consumers.
+//!
+//! # Example
+//!
+//! ```
+//! use gloss_xml::{parse, project, FieldType, ProjSpec};
+//!
+//! let spec = ProjSpec::new("location")
+//!     .field("user", "user/@id", FieldType::Str)
+//!     .field("lat", "pos/@lat", FieldType::Float)
+//!     .optional_field("floor", "pos/@floor", FieldType::Int);
+//!
+//! // The document carries extra structure the spec knows nothing about.
+//! let doc = parse(r#"<event><user id="bob"/><extra><x/></extra><pos lat="56.3" lon="-2.8"/></event>"#)?;
+//! let rec = project(&doc, &spec)?;
+//! assert_eq!(rec.str("user"), Some("bob"));
+//! assert_eq!(rec.float("lat"), Some(56.3));
+//! assert_eq!(rec.int("floor"), None); // optional, absent
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use crate::document::Element;
+use crate::path::{Path, PathError};
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+/// A value produced by projection.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A string.
+    Str(String),
+    /// A 64-bit integer.
+    Int(i64),
+    /// A 64-bit float.
+    Float(f64),
+    /// A boolean (`true`/`false`/`1`/`0` in the data).
+    Bool(bool),
+    /// A nested record.
+    Record(Record),
+    /// A homogeneous list.
+    List(Vec<Value>),
+}
+
+impl Value {
+    /// The string inside, if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The integer inside, if this is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The float inside; integers widen.
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(f) => Some(*f),
+            Value::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// The boolean inside, if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The record inside, if this is a `Record`.
+    pub fn as_record(&self) -> Option<&Record> {
+        match self {
+            Value::Record(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The list inside, if this is a `List`.
+    pub fn as_list(&self) -> Option<&[Value]> {
+        match self {
+            Value::List(l) => Some(l),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Record(r) => write!(f, "{r}"),
+            Value::List(l) => {
+                write!(f, "[")?;
+                for (i, v) in l.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "]")
+            }
+        }
+    }
+}
+
+/// The result of projecting a spec onto a document: named fields.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Record {
+    fields: BTreeMap<String, Value>,
+}
+
+impl Record {
+    /// Creates an empty record.
+    pub fn new() -> Self {
+        Record::default()
+    }
+
+    /// Inserts a field.
+    pub fn insert(&mut self, name: impl Into<String>, value: Value) {
+        self.fields.insert(name.into(), value);
+    }
+
+    /// The raw value of `name`, if present.
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        self.fields.get(name)
+    }
+
+    /// String field accessor.
+    pub fn str(&self, name: &str) -> Option<&str> {
+        self.get(name).and_then(Value::as_str)
+    }
+
+    /// Integer field accessor.
+    pub fn int(&self, name: &str) -> Option<i64> {
+        self.get(name).and_then(Value::as_int)
+    }
+
+    /// Float field accessor (integers widen).
+    pub fn float(&self, name: &str) -> Option<f64> {
+        self.get(name).and_then(Value::as_float)
+    }
+
+    /// Boolean field accessor.
+    pub fn bool(&self, name: &str) -> Option<bool> {
+        self.get(name).and_then(Value::as_bool)
+    }
+
+    /// Nested record accessor.
+    pub fn record(&self, name: &str) -> Option<&Record> {
+        self.get(name).and_then(Value::as_record)
+    }
+
+    /// List accessor.
+    pub fn list(&self, name: &str) -> Option<&[Value]> {
+        self.get(name).and_then(Value::as_list)
+    }
+
+    /// Number of fields.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Whether the record has no fields.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Iterates over fields in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Value)> {
+        self.fields.iter().map(|(k, v)| (k.as_str(), v))
+    }
+}
+
+impl fmt::Display for Record {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (k, v)) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{k}: {v}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// The expected type of a projected field.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldType {
+    /// Bind the matched text as a string.
+    Str,
+    /// Parse the matched text as an integer.
+    Int,
+    /// Parse the matched text as a float.
+    Float,
+    /// Parse the matched text as a boolean.
+    Bool,
+    /// Project a nested spec onto the first matched element.
+    Record(ProjSpec),
+    /// Collect *all* matches, each projected with the inner type.
+    List(Box<FieldType>),
+}
+
+impl FieldType {
+    fn type_name(&self) -> &'static str {
+        match self {
+            FieldType::Str => "str",
+            FieldType::Int => "int",
+            FieldType::Float => "float",
+            FieldType::Bool => "bool",
+            FieldType::Record(_) => "record",
+            FieldType::List(_) => "list",
+        }
+    }
+}
+
+/// One field of a [`ProjSpec`]: a name, a path into the data, a type, and
+/// whether the field must be present.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FieldSpec {
+    /// The field name in the resulting [`Record`].
+    pub name: String,
+    /// Where in the document the value lives.
+    pub path: Path,
+    /// The expected type.
+    pub ty: FieldType,
+    /// Whether projection fails if the path matches nothing.
+    pub required: bool,
+}
+
+/// A projection specification: the program-side record type, expressed as
+/// named, typed paths into the data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProjSpec {
+    name: String,
+    fields: Vec<FieldSpec>,
+}
+
+/// A projection failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProjError {
+    /// A required field's path matched nothing.
+    Missing {
+        /// The spec name.
+        spec: String,
+        /// The field name.
+        field: String,
+    },
+    /// A matched value could not be coerced to the declared type.
+    TypeMismatch {
+        /// The spec name.
+        spec: String,
+        /// The field name.
+        field: String,
+        /// The declared type.
+        expected: &'static str,
+        /// The text that failed to parse.
+        text: String,
+    },
+    /// A path expression inside a spec failed to compile (only reachable
+    /// when specs are deserialised from XML).
+    BadPath(PathError),
+}
+
+impl fmt::Display for ProjError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProjError::Missing { spec, field } => {
+                write!(f, "projection `{spec}`: required field `{field}` not found")
+            }
+            ProjError::TypeMismatch { spec, field, expected, text } => write!(
+                f,
+                "projection `{spec}`: field `{field}` expected {expected}, got `{text}`"
+            ),
+            ProjError::BadPath(e) => write!(f, "projection spec: {e}"),
+        }
+    }
+}
+
+impl Error for ProjError {}
+
+impl From<PathError> for ProjError {
+    fn from(e: PathError) -> Self {
+        ProjError::BadPath(e)
+    }
+}
+
+impl ProjSpec {
+    /// Creates an empty spec with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        ProjSpec { name: name.into(), fields: Vec::new() }
+    }
+
+    /// The spec name (used in error messages).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The fields of the spec.
+    pub fn fields(&self) -> &[FieldSpec] {
+        &self.fields
+    }
+
+    /// Adds a required field.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `path` does not parse; specs are typically written as
+    /// literals, so this is a programming error. Use
+    /// [`try_field`](Self::try_field) for dynamic paths.
+    pub fn field(self, name: &str, path: &str, ty: FieldType) -> Self {
+        self.try_field(name, path, ty, true).expect("invalid path literal in spec")
+    }
+
+    /// Adds an optional field (absent fields are simply omitted).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `path` does not parse (see [`field`](Self::field)).
+    pub fn optional_field(self, name: &str, path: &str, ty: FieldType) -> Self {
+        self.try_field(name, path, ty, false).expect("invalid path literal in spec")
+    }
+
+    /// Adds a field with a dynamically supplied path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProjError::BadPath`] if the path fails to compile.
+    pub fn try_field(
+        mut self,
+        name: &str,
+        path: &str,
+        ty: FieldType,
+        required: bool,
+    ) -> Result<Self, ProjError> {
+        let path = Path::parse(path)?;
+        self.fields.push(FieldSpec { name: name.to_string(), path, ty, required });
+        Ok(self)
+    }
+
+    /// Projects this spec onto `doc`. See [`project`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProjError`] when a required field is absent or a value
+    /// cannot be coerced.
+    pub fn project(&self, doc: &Element) -> Result<Record, ProjError> {
+        let mut rec = Record::new();
+        for field in &self.fields {
+            match self.project_field(field, doc)? {
+                Some(v) => rec.insert(field.name.clone(), v),
+                None => {
+                    if field.required {
+                        return Err(ProjError::Missing {
+                            spec: self.name.clone(),
+                            field: field.name.clone(),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(rec)
+    }
+
+    fn project_field(&self, field: &FieldSpec, doc: &Element) -> Result<Option<Value>, ProjError> {
+        match &field.ty {
+            FieldType::List(inner) => {
+                let values = match inner.as_ref() {
+                    FieldType::Record(spec) => field
+                        .path
+                        .select(doc)
+                        .into_iter()
+                        .map(|el| spec.project(el).map(Value::Record))
+                        .collect::<Result<Vec<_>, _>>()?,
+                    scalar => field
+                        .path
+                        .select_text(doc)
+                        .into_iter()
+                        .map(|t| self.coerce(&field.name, scalar, &t))
+                        .collect::<Result<Vec<_>, _>>()?,
+                };
+                // A list with zero matches is a present-but-empty value;
+                // `required` does not force at least one element.
+                Ok(Some(Value::List(values)))
+            }
+            FieldType::Record(spec) => match field.path.select_first(doc) {
+                Some(el) => Ok(Some(Value::Record(spec.project(el)?))),
+                None => Ok(None),
+            },
+            scalar => match field.path.select_text_first(doc) {
+                Some(text) => Ok(Some(self.coerce(&field.name, scalar, &text)?)),
+                None => Ok(None),
+            },
+        }
+    }
+
+    fn coerce(&self, field: &str, ty: &FieldType, text: &str) -> Result<Value, ProjError> {
+        let mismatch = || ProjError::TypeMismatch {
+            spec: self.name.clone(),
+            field: field.to_string(),
+            expected: ty.type_name(),
+            text: text.to_string(),
+        };
+        match ty {
+            FieldType::Str => Ok(Value::Str(text.to_string())),
+            FieldType::Int => text.trim().parse::<i64>().map(Value::Int).map_err(|_| mismatch()),
+            FieldType::Float => {
+                text.trim().parse::<f64>().map(Value::Float).map_err(|_| mismatch())
+            }
+            FieldType::Bool => match text.trim() {
+                "true" | "1" => Ok(Value::Bool(true)),
+                "false" | "0" => Ok(Value::Bool(false)),
+                _ => Err(mismatch()),
+            },
+            FieldType::Record(_) | FieldType::List(_) => {
+                unreachable!("containers handled in project_field")
+            }
+        }
+    }
+
+    /// Serialises the spec to XML, so projection types can travel inside
+    /// code bundles (§4.3).
+    pub fn to_xml(&self) -> Element {
+        let mut el = Element::new("projection").with_attr("name", &self.name);
+        for f in &self.fields {
+            el.push(Self::field_to_xml(f));
+        }
+        el
+    }
+
+    fn field_to_xml(f: &FieldSpec) -> Element {
+        let mut el = Element::new("field")
+            .with_attr("name", &f.name)
+            .with_attr("path", f.path.to_string())
+            .with_attr("required", if f.required { "true" } else { "false" });
+        el.push(Self::type_to_xml(&f.ty));
+        el
+    }
+
+    fn type_to_xml(ty: &FieldType) -> Element {
+        match ty {
+            FieldType::Str => Element::new("str"),
+            FieldType::Int => Element::new("int"),
+            FieldType::Float => Element::new("float"),
+            FieldType::Bool => Element::new("bool"),
+            FieldType::Record(spec) => {
+                let mut el = Element::new("record").with_attr("name", spec.name());
+                for f in &spec.fields {
+                    el.push(Self::field_to_xml(f));
+                }
+                el
+            }
+            FieldType::List(inner) => {
+                let mut el = Element::new("list");
+                el.push(Self::type_to_xml(inner));
+                el
+            }
+        }
+    }
+
+    /// Deserialises a spec previously produced by [`to_xml`](Self::to_xml).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProjError::BadPath`] for malformed paths; malformed
+    /// structure yields a `Missing` error naming the offending piece.
+    pub fn from_xml(el: &Element) -> Result<ProjSpec, ProjError> {
+        let name = el.attr("name").unwrap_or("anonymous").to_string();
+        let mut spec = ProjSpec::new(name);
+        for f in el.children_named("field") {
+            let fname = f.attr("name").ok_or_else(|| ProjError::Missing {
+                spec: spec.name.clone(),
+                field: "field/@name".into(),
+            })?;
+            let fpath = f.attr("path").ok_or_else(|| ProjError::Missing {
+                spec: spec.name.clone(),
+                field: format!("{fname}/@path"),
+            })?;
+            let required = f.attr("required") != Some("false");
+            let ty = f
+                .children()
+                .next()
+                .map(Self::type_from_xml)
+                .transpose()?
+                .unwrap_or(FieldType::Str);
+            spec = spec.try_field(fname, fpath, ty, required)?;
+        }
+        Ok(spec)
+    }
+
+    fn type_from_xml(el: &Element) -> Result<FieldType, ProjError> {
+        Ok(match el.name() {
+            "int" => FieldType::Int,
+            "float" => FieldType::Float,
+            "bool" => FieldType::Bool,
+            "record" => FieldType::Record(ProjSpec::from_xml(el)?),
+            "list" => {
+                let inner = el
+                    .children()
+                    .next()
+                    .map(Self::type_from_xml)
+                    .transpose()?
+                    .unwrap_or(FieldType::Str);
+                FieldType::List(Box::new(inner))
+            }
+            _ => FieldType::Str,
+        })
+    }
+}
+
+/// Projects `spec` onto `doc`, producing a [`Record`].
+///
+/// Free-function form of [`ProjSpec::project`]; see the
+/// [module docs](self) for an example.
+///
+/// # Errors
+///
+/// Returns [`ProjError`] when a required field is absent or a value cannot
+/// be coerced to its declared type.
+pub fn project(doc: &Element, spec: &ProjSpec) -> Result<Record, ProjError> {
+    spec.project(doc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn location_doc() -> Element {
+        parse(
+            r#"<event kind="location" seq="9">
+                 <user id="bob"/>
+                 <pos lat="56.34" lon="-2.80" indoor="false"/>
+                 <unmodelled><junk deep="yes"/></unmodelled>
+                 <tags><tag>a</tag><tag>b</tag></tags>
+               </event>"#,
+        )
+        .unwrap()
+    }
+
+    fn location_spec() -> ProjSpec {
+        ProjSpec::new("location")
+            .field("user", "user/@id", FieldType::Str)
+            .field("lat", "pos/@lat", FieldType::Float)
+            .field("lon", "pos/@lon", FieldType::Float)
+            .field("indoor", "pos/@indoor", FieldType::Bool)
+            .field("seq", "@seq", FieldType::Int)
+            .optional_field("floor", "pos/@floor", FieldType::Int)
+            .field("tags", "tags/tag/text()", FieldType::List(Box::new(FieldType::Str)))
+    }
+
+    #[test]
+    fn full_projection() {
+        let rec = project(&location_doc(), &location_spec()).unwrap();
+        assert_eq!(rec.str("user"), Some("bob"));
+        assert!((rec.float("lat").unwrap() - 56.34).abs() < 1e-9);
+        assert_eq!(rec.bool("indoor"), Some(false));
+        assert_eq!(rec.int("seq"), Some(9));
+        assert_eq!(rec.int("floor"), None);
+        let tags: Vec<&str> =
+            rec.list("tags").unwrap().iter().filter_map(Value::as_str).collect();
+        assert_eq!(tags, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn ignores_unmodelled_islands() {
+        // The spec knows nothing about <unmodelled>; projection succeeds.
+        let rec = project(&location_doc(), &location_spec()).unwrap();
+        assert!(rec.get("unmodelled").is_none());
+    }
+
+    #[test]
+    fn missing_required_field_fails() {
+        let spec = ProjSpec::new("s").field("x", "absent/@x", FieldType::Str);
+        let err = project(&location_doc(), &spec).unwrap_err();
+        assert!(matches!(err, ProjError::Missing { ref field, .. } if field == "x"));
+    }
+
+    #[test]
+    fn type_mismatch_reports_text() {
+        let spec = ProjSpec::new("s").field("n", "user/@id", FieldType::Int);
+        let err = project(&location_doc(), &spec).unwrap_err();
+        match err {
+            ProjError::TypeMismatch { expected, text, .. } => {
+                assert_eq!(expected, "int");
+                assert_eq!(text, "bob");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bool_coercions() {
+        let doc = parse(r#"<a t="1" f="0" y="true" n="false" bad="yep"/>"#).unwrap();
+        let spec = ProjSpec::new("b")
+            .field("t", "@t", FieldType::Bool)
+            .field("f", "@f", FieldType::Bool)
+            .field("y", "@y", FieldType::Bool)
+            .field("n", "@n", FieldType::Bool);
+        let rec = project(&doc, &spec).unwrap();
+        assert_eq!(rec.bool("t"), Some(true));
+        assert_eq!(rec.bool("f"), Some(false));
+        assert_eq!(rec.bool("y"), Some(true));
+        assert_eq!(rec.bool("n"), Some(false));
+        let bad = ProjSpec::new("b").field("x", "@bad", FieldType::Bool);
+        assert!(project(&doc, &bad).is_err());
+    }
+
+    #[test]
+    fn nested_record_projection() {
+        let spec = ProjSpec::new("outer").field(
+            "pos",
+            "pos",
+            FieldType::Record(
+                ProjSpec::new("pos")
+                    .field("lat", "@lat", FieldType::Float)
+                    .field("lon", "@lon", FieldType::Float),
+            ),
+        );
+        let rec = project(&location_doc(), &spec).unwrap();
+        let pos = rec.record("pos").unwrap();
+        assert!((pos.float("lon").unwrap() + 2.80).abs() < 1e-9);
+    }
+
+    #[test]
+    fn list_of_records() {
+        let doc = parse(
+            r#"<m><r s="gps" v="1"/><r s="temp" v="2"/></m>"#,
+        )
+        .unwrap();
+        let spec = ProjSpec::new("m").field(
+            "rs",
+            "r",
+            FieldType::List(Box::new(FieldType::Record(
+                ProjSpec::new("r")
+                    .field("s", "@s", FieldType::Str)
+                    .field("v", "@v", FieldType::Int),
+            ))),
+        );
+        let rec = project(&doc, &spec).unwrap();
+        let rs = rec.list("rs").unwrap();
+        assert_eq!(rs.len(), 2);
+        assert_eq!(rs[1].as_record().unwrap().int("v"), Some(2));
+    }
+
+    #[test]
+    fn empty_list_is_ok_even_when_required() {
+        let spec =
+            ProjSpec::new("s").field("xs", "nothing/x", FieldType::List(Box::new(FieldType::Int)));
+        let rec = project(&location_doc(), &spec).unwrap();
+        assert_eq!(rec.list("xs").unwrap().len(), 0);
+    }
+
+    #[test]
+    fn spec_xml_round_trip() {
+        let spec = location_spec();
+        let xml = spec.to_xml();
+        let back = ProjSpec::from_xml(&xml).unwrap();
+        assert_eq!(back, spec);
+        // And the round-tripped spec still projects.
+        let rec = project(&location_doc(), &back).unwrap();
+        assert_eq!(rec.str("user"), Some("bob"));
+    }
+
+    #[test]
+    fn spec_xml_round_trip_nested() {
+        let spec = ProjSpec::new("outer").field(
+            "items",
+            "items/item",
+            FieldType::List(Box::new(FieldType::Record(
+                ProjSpec::new("item").field("id", "@id", FieldType::Int),
+            ))),
+        );
+        let back = ProjSpec::from_xml(&spec.to_xml()).unwrap();
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn from_xml_rejects_nameless_field() {
+        let el = parse(r#"<projection name="p"><field path="a"/></projection>"#).unwrap();
+        assert!(ProjSpec::from_xml(&el).is_err());
+    }
+
+    #[test]
+    fn record_display() {
+        let rec = project(&location_doc(), &location_spec()).unwrap();
+        let s = rec.to_string();
+        assert!(s.contains("user: bob"), "{s}");
+    }
+
+    #[test]
+    fn value_accessors() {
+        assert_eq!(Value::Int(4).as_float(), Some(4.0));
+        assert_eq!(Value::Str("x".into()).as_int(), None);
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert!(Value::List(vec![]).as_list().unwrap().is_empty());
+    }
+}

@@ -1,0 +1,64 @@
+//! Discovery matchlets (§5): "In order to deal with unknown events, a
+//! mechanism is needed within the event distribution mechanism for
+//! routing unknown event types to discovery matchlets. These look for
+//! code capable of matching these new events in the storage architecture
+//! and deploy this code onto the network."
+//!
+//! Run with: `cargo run --example discovery`
+
+use gloss::core::{ActiveArchitecture, ArchConfig};
+use gloss::event::{Event, Filter};
+use gloss::sim::{NodeIndex, SimDuration};
+
+fn main() {
+    let mut arch = ActiveArchitecture::build(ArchConfig {
+        nodes: 8,
+        seed: 5,
+        ..Default::default()
+    });
+    arch.settle();
+
+    // A vendor publishes handler code for a brand-new sensor type into
+    // the storage architecture — no node runs it yet.
+    arch.register_handler_code(
+        NodeIndex(1),
+        "air.quality",
+        r#"
+        rule smog {
+            on a: event air.quality(street: ?s, aqi: ?aqi)
+            where ?aqi > 100
+            within 1 m
+            emit smog_warning(street: ?s, aqi: ?aqi)
+        }
+        "#,
+    );
+    arch.run_for(SimDuration::from_secs(30));
+    arch.subscribe_ui(NodeIndex(2), Filter::for_kind("smog_warning"));
+    arch.run_for(SimDuration::from_secs(10));
+
+    // A new sensor starts emitting an event kind nothing handles.
+    println!("publishing unknown kind `air.quality`...");
+    arch.publish(
+        NodeIndex(6),
+        Event::new("air.quality").with_attr("street", "South Street").with_attr("aqi", 140i64),
+    );
+    arch.run_for(SimDuration::from_secs(60));
+
+    let cs = arch.node(NodeIndex(0)).coordinator_state.as_ref().unwrap();
+    println!("discovered kinds: {:?}", cs.discovered);
+    println!("handler hosts: {:?}", arch.hosts_of("discovered:air.quality"));
+    assert!(cs.discovered.contains(&"air.quality".to_string()));
+
+    // The next readings are matched by the freshly deployed matchlet.
+    arch.publish(
+        NodeIndex(6),
+        Event::new("air.quality").with_attr("street", "South Street").with_attr("aqi", 155i64),
+    );
+    arch.run_for(SimDuration::from_secs(30));
+    let ui = &arch.node(NodeIndex(2)).ui_received;
+    println!("{} smog warning(s) delivered after discovery:", ui.len());
+    for w in ui {
+        println!("  {w}");
+    }
+    assert!(!ui.is_empty(), "post-discovery events must be matched");
+}

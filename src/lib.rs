@@ -1,0 +1,19 @@
+//! Umbrella crate for the Gloss reproduction of *Active Architecture for
+//! Pervasive Contextual Services* (MPAC 2003).
+//!
+//! Re-exports every layer of the architecture under one roof and hosts the
+//! runnable examples (`examples/`) and cross-crate integration tests
+//! (`tests/`). Start with [`core`] — [`core::ActiveArchitecture`] assembles
+//! the full stack — or run `cargo run --example quickstart`.
+
+pub use gloss_bundle as bundle;
+pub use gloss_core as core;
+pub use gloss_deploy as deploy;
+pub use gloss_event as event;
+pub use gloss_knowledge as knowledge;
+pub use gloss_matchlet as matchlet;
+pub use gloss_overlay as overlay;
+pub use gloss_pipeline as pipeline;
+pub use gloss_sim as sim;
+pub use gloss_store as store;
+pub use gloss_xml as xml;

@@ -1,0 +1,148 @@
+//! Cross-crate integration tests: the full stack working together.
+
+use gloss::core::{ActiveArchitecture, ArchConfig, ServiceSpec};
+use gloss::event::{Event, Filter};
+use gloss::knowledge::{Fact, FactSource, Term};
+use gloss::sim::{NodeIndex, SimDuration};
+
+fn arch(nodes: usize, seed: u64) -> ActiveArchitecture {
+    let mut a = ActiveArchitecture::build(ArchConfig { nodes, seed, ..Default::default() });
+    a.settle();
+    a
+}
+
+#[test]
+fn full_stack_sense_match_deliver() {
+    let mut a = arch(8, 1001);
+    let spec = ServiceSpec::new(
+        "integration",
+        r#"
+        rule pair {
+            on x: event sensor.a(v: ?a)
+            on y: event sensor.b(v: ?b)
+            where ?a + ?b = 10
+            within 2 m
+            emit pair_found(a: ?a, b: ?b)
+        }
+        "#,
+        vec![(None, 2)],
+    )
+    .unwrap();
+    a.deploy_service(spec);
+    a.run_for(SimDuration::from_secs(60));
+    a.subscribe_ui(NodeIndex(7), Filter::for_kind("pair_found"));
+    a.run_for(SimDuration::from_secs(20));
+
+    // Two halves of the correlation arrive at different nodes.
+    a.publish(NodeIndex(2), Event::new("sensor.a").with_attr("v", 4i64));
+    a.run_for(SimDuration::from_secs(10));
+    a.publish(NodeIndex(5), Event::new("sensor.b").with_attr("v", 6i64));
+    a.run_for(SimDuration::from_secs(30));
+
+    let ui = &a.node(NodeIndex(7)).ui_received;
+    assert!(!ui.is_empty(), "correlated event must reach the UI");
+    assert_eq!(ui[0].num_attr("a"), Some(4.0));
+    assert_eq!(ui[0].num_attr("b"), Some(6.0));
+}
+
+#[test]
+fn knowledge_travels_through_the_p2p_store() {
+    let mut a = arch(8, 1002);
+    // Seed at node 1, consume from a service hosted elsewhere.
+    a.seed_knowledge(
+        NodeIndex(1),
+        "shop-42",
+        &[
+            Fact::new("shop-42", "sells", Term::str("coffee")),
+            Fact::new("shop-42", "rating", Term::Int(5)),
+        ],
+    );
+    a.run_for(SimDuration::from_secs(30));
+    let spec = ServiceSpec::new(
+        "kb-service",
+        r#"
+        rule rated {
+            on q: event query.shop(name: ?n)
+            where fact(?n, rating, ?r) and ?r >= 4
+            within 1 m
+            emit good_shop(name: ?n, rating: ?r)
+        }
+        "#,
+        vec![(None, 2)],
+    )
+    .unwrap();
+    a.deploy_service(spec);
+    a.run_for(SimDuration::from_secs(60));
+    a.prefetch_subject_everywhere("shop-42");
+    a.run_for(SimDuration::from_secs(30));
+    a.subscribe_ui(NodeIndex(3), Filter::for_kind("good_shop"));
+    a.run_for(SimDuration::from_secs(10));
+    a.publish(NodeIndex(6), Event::new("query.shop").with_attr("name", "shop-42"));
+    a.run_for(SimDuration::from_secs(30));
+    let ui = &a.node(NodeIndex(3)).ui_received;
+    assert!(!ui.is_empty());
+    assert_eq!(ui[0].num_attr("rating"), Some(5.0));
+}
+
+#[test]
+fn knowledge_updates_propagate_as_new_versions() {
+    let mut a = arch(6, 1003);
+    a.seed_knowledge(
+        NodeIndex(1),
+        "bob",
+        &[Fact::new("bob", "likes", Term::str("ice cream"))],
+    );
+    a.run_for(SimDuration::from_secs(30));
+    a.prefetch_subject(NodeIndex(4), "bob");
+    a.run_for(SimDuration::from_secs(30));
+    assert_eq!(a.node(NodeIndex(4)).kb.query(Some("bob"), None).count(), 1);
+
+    // The profile changes; re-seeding writes a newer document version.
+    a.seed_knowledge(
+        NodeIndex(1),
+        "bob",
+        &[
+            Fact::new("bob", "likes", Term::str("ice cream")),
+            Fact::new("bob", "likes", Term::str("golf")),
+        ],
+    );
+    a.run_for(SimDuration::from_secs(30));
+    a.prefetch_subject(NodeIndex(4), "bob");
+    a.run_for(SimDuration::from_secs(30));
+    assert_eq!(
+        a.node(NodeIndex(4)).kb.query(Some("bob"), Some("likes")).count(),
+        2,
+        "refetch picks up the updated profile"
+    );
+}
+
+#[test]
+fn architecture_survives_worker_loss_end_to_end() {
+    let mut a = arch(8, 1004);
+    let spec = ServiceSpec::new(
+        "resilient",
+        r#"rule echo { on p: event probe(n: ?n) emit echo(n: ?n) }"#,
+        vec![(None, 2)],
+    )
+    .unwrap();
+    a.deploy_service(spec);
+    a.run_for(SimDuration::from_secs(60));
+    a.subscribe_ui(NodeIndex(7), Filter::for_kind("echo"));
+    a.run_for(SimDuration::from_secs(20));
+
+    // Verify the service works, then kill both hosts.
+    a.publish(NodeIndex(3), Event::new("probe").with_attr("n", 1i64));
+    a.run_for(SimDuration::from_secs(20));
+    let before = a.node(NodeIndex(7)).ui_received.len();
+    assert!(before >= 1);
+    for h in a.hosts_of("matchlet:resilient") {
+        a.world_mut().crash(h);
+    }
+    a.run_for(SimDuration::from_secs(180)); // detect + redeploy
+    assert_eq!(a.satisfaction(), 1.0);
+
+    a.publish(NodeIndex(3), Event::new("probe").with_attr("n", 2i64));
+    a.run_for(SimDuration::from_secs(30));
+    let after = a.node(NodeIndex(7)).ui_received.len();
+    assert!(after > before, "service answers again after repair");
+}
