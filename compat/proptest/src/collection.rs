@@ -1,0 +1,11 @@
+//! Collection strategies.
+
+use crate::strategy::{Strategy, VecStrategy};
+use std::ops::Range;
+
+/// Generates `Vec`s whose length is drawn from `size` and whose elements
+/// come from `element`.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    assert!(size.start < size.end, "empty size range for collection::vec");
+    VecStrategy { element, size }
+}

@@ -1,0 +1,290 @@
+//! Generation of strings matching a small regex subset.
+//!
+//! Supported syntax — exactly what this workspace's property tests use,
+//! plus the obvious neighbours:
+//!
+//! * literal characters and `\`-escapes (`\.`, `\\`, …)
+//! * character classes `[a-z0-9 -~]` (ranges and singletons, no negation)
+//! * `.` (any printable ASCII character)
+//! * groups `( … )` with alternation `a|b`
+//! * quantifiers `{n}`, `{m,n}`, `?`, `*` (capped at 8), `+` (capped at 8)
+//!
+//! Anything else panics loudly — better a failed test naming the
+//! unsupported pattern than silently wrong generation.
+
+use crate::TestRng;
+
+#[derive(Debug, Clone)]
+enum Node {
+    Literal(char),
+    /// Inclusive character ranges; a singleton is `(c, c)`.
+    Class(Vec<(char, char)>),
+    /// Any printable ASCII character (`.`).
+    Dot,
+    /// Alternatives, each a concatenation.
+    Group(Vec<Vec<Node>>),
+    /// `node{min,max}` with `max` inclusive.
+    Repeat(Box<Node>, u32, u32),
+}
+
+struct Parser<'a> {
+    pattern: &'a str,
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+}
+
+impl<'a> Parser<'a> {
+    fn new(pattern: &'a str) -> Self {
+        Parser { pattern, chars: pattern.chars().peekable() }
+    }
+
+    fn fail(&self, what: &str) -> ! {
+        panic!("unsupported regex strategy {:?}: {what}", self.pattern)
+    }
+
+    /// alternation := concat ('|' concat)*
+    fn parse_alternation(&mut self) -> Vec<Vec<Node>> {
+        let mut alternatives = vec![self.parse_concat()];
+        while self.chars.peek() == Some(&'|') {
+            self.chars.next();
+            alternatives.push(self.parse_concat());
+        }
+        alternatives
+    }
+
+    /// concat := (atom quantifier?)*
+    fn parse_concat(&mut self) -> Vec<Node> {
+        let mut nodes = Vec::new();
+        while let Some(&c) = self.chars.peek() {
+            if c == ')' || c == '|' {
+                break;
+            }
+            let atom = self.parse_atom();
+            nodes.push(self.parse_quantifier(atom));
+        }
+        nodes
+    }
+
+    fn parse_atom(&mut self) -> Node {
+        match self.chars.next() {
+            Some('\\') => match self.chars.next() {
+                Some(
+                    c @ ('.' | '\\' | '[' | ']' | '(' | ')' | '{' | '}' | '?' | '*' | '+' | '|'
+                    | '-'),
+                ) => Node::Literal(c),
+                Some('n') => Node::Literal('\n'),
+                Some('t') => Node::Literal('\t'),
+                Some(c) => self.fail(&format!("escape \\{c}")),
+                None => self.fail("dangling escape"),
+            },
+            Some('[') => self.parse_class(),
+            Some('(') => {
+                let alternatives = self.parse_alternation();
+                if self.chars.next() != Some(')') {
+                    self.fail("unclosed group");
+                }
+                Node::Group(alternatives)
+            }
+            Some('.') => Node::Dot,
+            Some(c @ ('{' | '}' | '?' | '*' | '+' | ']')) => {
+                self.fail(&format!("metacharacter {c} in atom position"))
+            }
+            Some(c) => Node::Literal(c),
+            None => self.fail("empty atom"),
+        }
+    }
+
+    fn parse_class(&mut self) -> Node {
+        let mut ranges = Vec::new();
+        loop {
+            let lo = match self.chars.next() {
+                Some(']') => {
+                    if ranges.is_empty() {
+                        self.fail("empty character class");
+                    }
+                    return Node::Class(ranges);
+                }
+                Some('\\') => self.chars.next().unwrap_or_else(|| self.fail("dangling escape")),
+                Some('^') if ranges.is_empty() => self.fail("negated class"),
+                Some(c) => c,
+                None => self.fail("unclosed character class"),
+            };
+            if self.chars.peek() == Some(&'-') {
+                self.chars.next();
+                match self.chars.peek() {
+                    // Trailing '-' is a literal, e.g. `[a-]`.
+                    Some(&']') | None => {
+                        ranges.push((lo, lo));
+                        ranges.push(('-', '-'));
+                    }
+                    Some(_) => {
+                        let hi = self.chars.next().unwrap();
+                        if hi < lo {
+                            self.fail(&format!("inverted range {lo}-{hi}"));
+                        }
+                        ranges.push((lo, hi));
+                    }
+                }
+            } else {
+                ranges.push((lo, lo));
+            }
+        }
+    }
+
+    fn parse_quantifier(&mut self, atom: Node) -> Node {
+        match self.chars.peek() {
+            Some('?') => {
+                self.chars.next();
+                Node::Repeat(Box::new(atom), 0, 1)
+            }
+            Some('*') => {
+                self.chars.next();
+                Node::Repeat(Box::new(atom), 0, 8)
+            }
+            Some('+') => {
+                self.chars.next();
+                Node::Repeat(Box::new(atom), 1, 8)
+            }
+            Some('{') => {
+                self.chars.next();
+                let mut min = String::new();
+                while matches!(self.chars.peek(), Some(c) if c.is_ascii_digit()) {
+                    min.push(self.chars.next().unwrap());
+                }
+                let min: u32 = min.parse().unwrap_or_else(|_| self.fail("bad repetition count"));
+                let max = match self.chars.next() {
+                    Some('}') => min,
+                    Some(',') => {
+                        let mut max = String::new();
+                        while matches!(self.chars.peek(), Some(c) if c.is_ascii_digit()) {
+                            max.push(self.chars.next().unwrap());
+                        }
+                        if self.chars.next() != Some('}') {
+                            self.fail("unclosed repetition");
+                        }
+                        max.parse().unwrap_or_else(|_| self.fail("open-ended repetition"))
+                    }
+                    _ => self.fail("unclosed repetition"),
+                };
+                if max < min {
+                    self.fail("inverted repetition bounds");
+                }
+                Node::Repeat(Box::new(atom), min, max)
+            }
+            _ => atom,
+        }
+    }
+}
+
+fn emit(node: &Node, rng: &mut TestRng, out: &mut String) {
+    match node {
+        Node::Literal(c) => out.push(*c),
+        Node::Dot => out.push((0x20u8 + rng.below(0x5f) as u8) as char),
+        Node::Class(ranges) => {
+            // Weight by range width so `[ -~]` is uniform over its span.
+            let total: u64 = ranges.iter().map(|(lo, hi)| (*hi as u64 - *lo as u64) + 1).sum();
+            let mut pick = rng.below(total);
+            for (lo, hi) in ranges {
+                let width = (*hi as u64 - *lo as u64) + 1;
+                if pick < width {
+                    out.push(char::from_u32(*lo as u32 + pick as u32).expect("valid char"));
+                    return;
+                }
+                pick -= width;
+            }
+            unreachable!("pick within total");
+        }
+        Node::Group(alternatives) => {
+            let alt = &alternatives[rng.below(alternatives.len() as u64) as usize];
+            for n in alt {
+                emit(n, rng, out);
+            }
+        }
+        Node::Repeat(inner, min, max) => {
+            let count = *min + rng.below((*max - *min + 1) as u64) as u32;
+            for _ in 0..count {
+                emit(inner, rng, out);
+            }
+        }
+    }
+}
+
+/// Generates one string matching `pattern`.
+pub fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
+    let mut parser = Parser::new(pattern);
+    let alternatives = parser.parse_alternation();
+    if parser.chars.next().is_some() {
+        parser.fail("trailing input (unbalanced ')' ?)");
+    }
+    let mut out = String::new();
+    emit(&Node::Group(alternatives), rng, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::generate_matching;
+    use crate::TestRng;
+
+    fn rng() -> TestRng {
+        TestRng::for_case("string::tests", 0)
+    }
+
+    #[test]
+    fn classes_and_counts() {
+        let mut rng = rng();
+        for case in 0..200u64 {
+            let mut rng_case = TestRng::for_case("classes", case);
+            let s = generate_matching("[a-c]{0,3}", &mut rng_case);
+            assert!(s.len() <= 3, "{s:?}");
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)), "{s:?}");
+            let t = generate_matching("[a-z]{1,6}", &mut rng);
+            assert!((1..=6).contains(&t.len()), "{t:?}");
+        }
+    }
+
+    #[test]
+    fn printable_span_class() {
+        for case in 0..200u64 {
+            let mut rng = TestRng::for_case("span", case);
+            let s = generate_matching("[ -~]{1,16}", &mut rng);
+            assert!((1..=16).contains(&s.len()));
+            assert!(s.bytes().all(|b| (0x20..=0x7e).contains(&b)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn optional_group_with_escape() {
+        let mut saw_long = false;
+        let mut saw_short = false;
+        for case in 0..200u64 {
+            let mut rng = TestRng::for_case("group", case);
+            let s = generate_matching("[a-z]{1,6}(\\.[a-z]{1,6})?", &mut rng);
+            if let Some((head, tail)) = s.split_once('.') {
+                saw_long = true;
+                assert!((1..=6).contains(&head.len()), "{s:?}");
+                assert!((1..=6).contains(&tail.len()), "{s:?}");
+            } else {
+                saw_short = true;
+                assert!((1..=6).contains(&s.len()), "{s:?}");
+            }
+        }
+        assert!(saw_long && saw_short, "both group arms should occur");
+    }
+
+    #[test]
+    fn alternation_and_exact_counts() {
+        for case in 0..50u64 {
+            let mut rng = TestRng::for_case("alt", case);
+            let s = generate_matching("(ab|cd){2}", &mut rng);
+            assert_eq!(s.len(), 4);
+            assert!(s.as_bytes().chunks(2).all(|c| c == b"ab" || c == b"cd"), "{s:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported regex strategy")]
+    fn negated_class_is_rejected() {
+        let mut rng = rng();
+        generate_matching("[^a]", &mut rng);
+    }
+}

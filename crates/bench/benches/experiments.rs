@@ -4,7 +4,9 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use gloss_event::{Architecture, Event, Filter, Op, PubSubConfig, PubSubNetwork};
-use gloss_knowledge::{Fact, InMemoryFacts, LexicalMatcher, Ontology, ServiceDescription, Term, TextMatcher};
+use gloss_knowledge::{
+    Fact, InMemoryFacts, LexicalMatcher, Ontology, ServiceDescription, Term, TextMatcher,
+};
 use gloss_matchlet::MatchletEngine;
 use gloss_overlay::{Key, OverlayNetwork};
 use gloss_sim::{NodeIndex, SimDuration, SimTime};
@@ -64,11 +66,9 @@ fn e2_pipeline_push(c: &mut Criterion) {
 fn e3_bundle_roundtrip(c: &mut Criterion) {
     use gloss_bundle::{AuthKey, Bundle};
     let key = AuthKey::new("ops", b"secret");
-    let bundle = Bundle::matchlet(
-        "bench",
-        r#"rule r { on a: event k(x: ?x) where ?x > 1 emit o(x: ?x) }"#,
-    )
-    .issued_by("ops");
+    let bundle =
+        Bundle::matchlet("bench", r#"rule r { on a: event k(x: ?x) where ?x > 1 emit o(x: ?x) }"#)
+            .issued_by("ops");
     c.bench_function("e3_bundle_seal", |b| b.iter(|| bundle.to_packet(&key)));
     let packet = bundle.to_packet(&key);
     c.bench_function("e3_bundle_verify", |b| {
@@ -181,16 +181,21 @@ fn c6_binding(c: &mut Criterion) {
         r#"<event seq="9"><user id="bob"/><pos lat="56.34" lon="-2.80"/><extra><x/></extra></event>"#,
     )
     .unwrap();
-    let spec = ProjSpec::new("loc")
-        .field("user", "user/@id", FieldType::Str)
-        .field("lat", "pos/@lat", FieldType::Float);
+    let spec = ProjSpec::new("loc").field("user", "user/@id", FieldType::Str).field(
+        "lat",
+        "pos/@lat",
+        FieldType::Float,
+    );
     c.bench_function("c6_project", |b| b.iter(|| spec.project(&doc).unwrap()));
-    let plain = parse(r#"<event seq="9"><user id="bob"/><pos lat="56.34" lon="-2.80"/></event>"#)
-        .unwrap();
+    let plain =
+        parse(r#"<event seq="9"><user id="bob"/><pos lat="56.34" lon="-2.80"/></event>"#).unwrap();
     let schema = Schema::infer(&[&plain]).unwrap();
     c.bench_function("c6_schema_bind", |b| b.iter(|| schema.bind(&plain).unwrap()));
     c.bench_function("c6_xml_parse", |b| {
-        b.iter(|| parse(r#"<event seq="9"><user id="bob"/><pos lat="56.34" lon="-2.80"/></event>"#).unwrap())
+        b.iter(|| {
+            parse(r#"<event seq="9"><user id="bob"/><pos lat="56.34" lon="-2.80"/></event>"#)
+                .unwrap()
+        })
     });
 }
 
@@ -254,9 +259,7 @@ fn c9_retrieval(c: &mut Criterion) {
     c.bench_function("c9_lexical_retrieve", |b| {
         b.iter(|| lexical.retrieve("offers", "ice cream", &corpus))
     });
-    c.bench_function("c9_text_retrieve", |b| {
-        b.iter(|| TextMatcher.retrieve("ice cream", &corpus))
-    });
+    c.bench_function("c9_text_retrieve", |b| b.iter(|| TextMatcher.retrieve("ice cream", &corpus)));
 }
 
 /// C10: erasure encode/decode of a 16 KiB object.
@@ -266,9 +269,7 @@ fn c10_erasure(c: &mut Criterion) {
     c.bench_function("c10_encode_16k_4of8", |b| b.iter(|| code.encode(&data)));
     let shards = code.encode(&data);
     let kept: Vec<(usize, Vec<u8>)> = (4..8).map(|i| (i, shards[i].clone())).collect();
-    c.bench_function("c10_decode_16k_4of8", |b| {
-        b.iter(|| code.decode(&kept, data.len()).unwrap())
-    });
+    c.bench_function("c10_decode_16k_4of8", |b| b.iter(|| code.decode(&kept, data.len()).unwrap()));
 }
 
 criterion_group! {

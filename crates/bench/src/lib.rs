@@ -4,9 +4,7 @@
 //! EXPERIMENTS.md; the Criterion benches under `benches/` measure the
 //! per-operation costs behind each experiment.
 
-use gloss_core::{
-    ActiveArchitecture, ArchConfig, IceCreamScenario, PopulationWorkload,
-};
+use gloss_core::{ActiveArchitecture, ArchConfig, IceCreamScenario, PopulationWorkload};
 use gloss_deploy::{Constraint, DeploymentPlane};
 use gloss_event::{Architecture, Event, Filter, PubSubConfig, PubSubNetwork};
 use gloss_knowledge::{
@@ -163,10 +161,7 @@ pub fn e3_deployment() -> String {
             f(rollout),
         ]);
     }
-    table(
-        &["instances", "satisfied %", "bundles sent", "installs", "rollout s"],
-        &rows,
-    )
+    table(&["instances", "satisfied %", "bundles sent", "installs", "rollout s"], &rows)
 }
 
 /// C1: centralized vs hierarchical vs acyclic-peer event routing load.
@@ -191,10 +186,7 @@ pub fn c1_event_routing() -> String {
             net.run_for(SimDuration::from_secs(5));
             for round in 0..5 {
                 for &c in &clients {
-                    net.publish(
-                        c,
-                        Event::new("k").with_attr("shard", ((c.0 + round) % 4) as i64),
-                    );
+                    net.publish(c, Event::new("k").with_attr("shard", ((c.0 + round) % 4) as i64));
                 }
                 net.run_for(SimDuration::from_secs(5));
             }
@@ -202,10 +194,7 @@ pub fn c1_event_routing() -> String {
         }
         rows.push(cells);
     }
-    table(
-        &["brokers", "clients", "central max load", "hier max load", "peer max load"],
-        &rows,
-    )
+    table(&["brokers", "clients", "central max load", "hier max load", "peer max load"], &rows)
 }
 
 /// C2: deterministic Plaxton routing vs a Freenet-like walk.
@@ -229,8 +218,8 @@ pub fn c2_overlay_routing() -> String {
                 outcomes.get(id).is_some_and(|o| o.delivered_at == net.closest_alive(*t))
             })
             .count();
-        let mean_hops = outcomes.values().map(|o| o.hops as f64).sum::<f64>()
-            / outcomes.len().max(1) as f64;
+        let mean_hops =
+            outcomes.values().map(|o| o.hops as f64).sum::<f64>() / outcomes.len().max(1) as f64;
 
         // Freenet-like baseline with the same population.
         let mut fnet = FreenetNetwork::build(n, 5, 24, 41);
@@ -251,7 +240,14 @@ pub fn c2_overlay_routing() -> String {
         ]);
     }
     table(
-        &["nodes", "plaxton delivered", "correct dest", "mean hops", "log16 N", "freenet success %"],
+        &[
+            "nodes",
+            "plaxton delivered",
+            "correct dest",
+            "mean hops",
+            "log16 N",
+            "freenet success %",
+        ],
         &rows,
     )
 }
@@ -292,10 +288,7 @@ pub fn c3_caching() -> String {
         ]);
     }
     let mut out = String::from("Promiscuous caching (Zipf reads over 30 docs, 24 nodes):\n");
-    out.push_str(&table(
-        &["cache", "mean read ms", "p99 ms", "cache-served", "local hits"],
-        &rows,
-    ));
+    out.push_str(&table(&["cache", "mean read ms", "p99 ms", "cache-served", "local hits"], &rows));
 
     // Healing: crash a replica holder, watch the count recover.
     let cfg = StoreConfig {
@@ -357,7 +350,13 @@ pub fn c4_evolution() -> String {
         ]);
     }
     table(
-        &["simultaneous crashes", "final satisfied %", "failures detected", "mean repair s", "max repair s"],
+        &[
+            "simultaneous crashes",
+            "final satisfied %",
+            "failures detected",
+            "mean repair s",
+            "max repair s",
+        ],
         &rows,
     )
 }
@@ -382,9 +381,8 @@ pub fn c5_placement() -> String {
         for _ in 0..6 {
             let id = net.lookup(reader, doc.guid);
             net.run_for(SimDuration::from_secs(20));
-            latencies.push(
-                net.result(id).map(|r| r.latency.as_secs_f64() * 1e3).unwrap_or(f64::NAN),
-            );
+            latencies
+                .push(net.result(id).map(|r| r.latency.as_secs_f64() * 1e3).unwrap_or(f64::NAN));
         }
         latencies
     };
@@ -392,11 +390,7 @@ pub fn c5_placement() -> String {
     let with = run_reads(Some(3));
     let mut rows = Vec::new();
     for i in 0..6 {
-        rows.push(vec![
-            (i + 1).to_string(),
-            f(without[i]),
-            f(with[i]),
-        ]);
+        rows.push(vec![(i + 1).to_string(), f(without[i]), f(with[i])]);
     }
     let mut out = String::from(
         "Latency-reduction policy (read #N from Australia, primary in Scotland, threshold 3):\n",
@@ -404,11 +398,8 @@ pub fn c5_placement() -> String {
     out.push_str(&table(&["read #", "policy off ms", "policy on ms"], &rows));
 
     // Backup policy: time to a geographically remote replica.
-    let cfg = StoreConfig {
-        replicas: 1,
-        backup_policy_min_km: Some(5_000.0),
-        ..Default::default()
-    };
+    let cfg =
+        StoreConfig { replicas: 1, backup_policy_min_km: Some(5_000.0), ..Default::default() };
     let mut net = StoreNetwork::build(18, cfg, 72);
     net.settle();
     let doc = Document::new("fresh-data", vec![3u8; 64]);
@@ -512,13 +503,7 @@ pub fn c6_projection() -> String {
     ] {
         let (ns_reg, ok_reg) = time_per_doc(func, &regular);
         let (ns_evo, ok_evo) = time_per_doc(func, &evolved);
-        rows.push(vec![
-            name.to_string(),
-            f(ns_reg),
-            f(ok_reg),
-            f(ns_evo),
-            f(ok_evo),
-        ]);
+        rows.push(vec![name.to_string(), f(ns_reg), f(ok_reg), f(ns_evo), f(ok_evo)]);
     }
     table(
         &["binding strategy", "regular ns/doc", "regular ok %", "evolved ns/doc", "evolved ok %"],
@@ -566,15 +551,13 @@ pub fn c7_scenario() -> String {
             (latency_s < 300.0).to_string(),
         ]);
     }
-    table(
-        &["noise ev/s", "total events", "suggestions", "latency s", "within 5 min window"],
-        &rows,
-    )
+    table(&["noise ev/s", "total events", "suggestions", "latency s", "within 5 min window"], &rows)
 }
 
 /// C8: discovery of handlers for unknown event kinds.
 pub fn c8_discovery() -> String {
-    let mut arch = ActiveArchitecture::build(ArchConfig { nodes: 8, seed: 91, ..Default::default() });
+    let mut arch =
+        ActiveArchitecture::build(ArchConfig { nodes: 8, seed: 91, ..Default::default() });
     arch.settle();
     arch.register_handler_code(
         NodeIndex(1),
@@ -655,7 +638,12 @@ pub fn c9_description_match() -> String {
     );
     let rows = vec![
         vec!["text".into(), f(text.precision), f(text.recall), f(text.f1())],
-        vec!["lexical (faceted+ontology)".into(), f(lexical.precision), f(lexical.recall), f(lexical.f1())],
+        vec![
+            "lexical (faceted+ontology)".into(),
+            f(lexical.precision),
+            f(lexical.recall),
+            f(lexical.f1()),
+        ],
         vec!["specification".into(), f(spec.precision), f(spec.recall), f(spec.f1())],
     ];
     table(&["strategy", "precision", "recall", "F1"], &rows)
@@ -682,8 +670,7 @@ pub fn c10_erasure() -> String {
         let start = std::time::Instant::now();
         let shards = code.encode(&object);
         let enc_us = start.elapsed().as_micros();
-        let kept: Vec<(usize, Vec<u8>)> =
-            (n - m..n).map(|i| (i, shards[i].clone())).collect();
+        let kept: Vec<(usize, Vec<u8>)> = (n - m..n).map(|i| (i, shards[i].clone())).collect();
         let start = std::time::Instant::now();
         let restored = code.decode(&kept, object.len()).expect("decodes");
         let dec_us = start.elapsed().as_micros();
@@ -698,7 +685,14 @@ pub fn c10_erasure() -> String {
         ]);
     }
     table(
-        &["(m,n)", "storage overhead", "tolerated losses", "availability % @ p=0.2", "encode us (64 KiB)", "decode us"],
+        &[
+            "(m,n)",
+            "storage overhead",
+            "tolerated losses",
+            "availability % @ p=0.2",
+            "encode us (64 KiB)",
+            "decode us",
+        ],
         &rows,
     )
 }

@@ -103,10 +103,9 @@ impl fmt::Display for BundleError {
             BundleError::UnknownComponentKind(k) => {
                 write!(f, "component kind `{k}` is not registered")
             }
-            BundleError::StaleVersion { name, installed, offered } => write!(
-                f,
-                "bundle `{name}` v{offered} is not newer than installed v{installed}"
-            ),
+            BundleError::StaleVersion { name, installed, offered } => {
+                write!(f, "bundle `{name}` v{offered} is not newer than installed v{installed}")
+            }
         }
     }
 }
@@ -178,7 +177,9 @@ impl Bundle {
                 body.push(Element::new("matchlet").with_text(source.clone()));
             }
             Code::Component { kind, config } => {
-                body.push(Element::new("component").with_attr("kind", kind).with_child(config.clone()));
+                body.push(
+                    Element::new("component").with_attr("kind", kind).with_child(config.clone()),
+                );
             }
         }
         for (name, value) in &self.data {
@@ -216,9 +217,8 @@ impl Bundle {
             .map_err(|_| BundleError::Malformed("bad digest attribute".into()))?;
         let tag = u128::from_str_radix(root.attr("tag").unwrap_or(""), 16)
             .map_err(|_| BundleError::Malformed("bad tag attribute".into()))?;
-        let body = root
-            .child("body")
-            .ok_or_else(|| BundleError::Malformed("missing <body>".into()))?;
+        let body =
+            root.child("body").ok_or_else(|| BundleError::Malformed("missing <body>".into()))?;
         let manifest = Manifest {
             name: body
                 .attr("name")
@@ -328,10 +328,7 @@ mod tests {
     fn tampered_body_fails_integrity() {
         let packet = sample().to_packet(&key());
         let tampered = packet.replace("version=\"3\"", "version=\"4\"");
-        assert_eq!(
-            Bundle::from_packet(&tampered, &key()),
-            Err(BundleError::IntegrityFailure)
-        );
+        assert_eq!(Bundle::from_packet(&tampered, &key()), Err(BundleError::IntegrityFailure));
     }
 
     #[test]
@@ -366,10 +363,7 @@ mod tests {
                     .with_attr("issuer", "i"),
             )
             .to_xml();
-        assert!(matches!(
-            Bundle::from_packet(&no_code, &key()),
-            Err(BundleError::Malformed(_))
-        ));
+        assert!(matches!(Bundle::from_packet(&no_code, &key()), Err(BundleError::Malformed(_))));
     }
 
     #[test]

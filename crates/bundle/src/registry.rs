@@ -12,9 +12,12 @@ use gloss_xml::Element;
 use std::collections::BTreeMap;
 use std::fmt;
 
+/// A factory closure producing `T` from XML configuration.
+type Factory<T> = Box<dyn Fn(&Element) -> Result<T, String> + Send + Sync>;
+
 /// A registry of factories producing `T` from XML configuration.
 pub struct Registry<T> {
-    factories: BTreeMap<String, Box<dyn Fn(&Element) -> Result<T, String> + Send + Sync>>,
+    factories: BTreeMap<String, Factory<T>>,
 }
 
 impl<T> fmt::Debug for Registry<T> {

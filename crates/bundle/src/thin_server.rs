@@ -91,12 +91,7 @@ impl ThinServer {
     }
 
     /// Offers an event to the hosted matchlets.
-    pub fn match_event(
-        &mut self,
-        now: SimTime,
-        event: &Event,
-        kb: &dyn FactSource,
-    ) -> Vec<Event> {
+    pub fn match_event(&mut self, now: SimTime, event: &Event, kb: &dyn FactSource) -> Vec<Event> {
         self.engine.on_event(now, event, kb)
     }
 
@@ -252,7 +247,8 @@ mod tests {
     use gloss_knowledge::InMemoryFacts;
     use gloss_xml::parse;
 
-    const RULE: &str = r#"rule hot { on w: event weather(c: ?c) where ?c > 18.0 emit alert(c: ?c) }"#;
+    const RULE: &str =
+        r#"rule hot { on w: event weather(c: ?c) where ?c > 18.0 emit alert(c: ?c) }"#;
 
     fn key() -> AuthKey {
         AuthKey::new("tenant", b"k1")
@@ -302,10 +298,7 @@ mod tests {
         let forged = Bundle::matchlet("hot-alert", RULE)
             .issued_by("tenant")
             .to_packet(&AuthKey::new("tenant", b"stolen-name"));
-        assert!(matches!(
-            s.receive_packet(&forged),
-            Err(BundleError::AuthenticationFailure(_))
-        ));
+        assert!(matches!(s.receive_packet(&forged), Err(BundleError::AuthenticationFailure(_))));
     }
 
     #[test]
@@ -381,13 +374,10 @@ mod tests {
     #[test]
     fn component_bundles_queue_requests() {
         let mut s = ready_server();
-        let packet = Bundle::component(
-            "thresh",
-            "filter.threshold",
-            parse(r#"<cfg min="50"/>"#).unwrap(),
-        )
-        .issued_by("tenant")
-        .to_packet(&key());
+        let packet =
+            Bundle::component("thresh", "filter.threshold", parse(r#"<cfg min="50"/>"#).unwrap())
+                .issued_by("tenant")
+                .to_packet(&key());
         let report = s.receive_packet(&packet).unwrap();
         assert_eq!(report.component_kind.as_deref(), Some("filter.threshold"));
         let reqs = s.take_component_requests();

@@ -8,11 +8,11 @@ use gloss_bundle::AuthKey;
 use gloss_deploy::NodeResources;
 use gloss_event::{Broker, BrokerTopology, Event, Filter};
 use gloss_knowledge::{DistributedKnowledge, Fact};
+use gloss_overlay::OverlayMsg;
 use gloss_overlay::{Key, OverlayNode};
 use gloss_sim::{NodeIndex, SimDuration, SimRng, SimTime, Topology, World};
-use gloss_store::{Document, StoreConfig, StoreMsg, StoreNode, StorePayload};
 use gloss_store::placement::NodeSite;
-use gloss_overlay::OverlayMsg;
+use gloss_store::{Document, StoreConfig, StoreMsg, StoreNode, StorePayload};
 
 /// Configuration for an [`ActiveArchitecture`].
 #[derive(Debug, Clone)]
@@ -39,12 +39,7 @@ impl Default for ArchConfig {
             store: StoreConfig::default(),
             heartbeat: SimDuration::from_secs(10),
             monitor_deadline: SimDuration::from_secs(30),
-            regions: vec![
-                "scotland".into(),
-                "england".into(),
-                "europe".into(),
-                "australia".into(),
-            ],
+            regions: vec!["scotland".into(), "england".into(), "europe".into(), "australia".into()],
         }
     }
 }
@@ -87,20 +82,14 @@ impl ActiveArchitecture {
 
         let directory: Vec<NodeSite> = topology
             .iter()
-            .map(|info| NodeSite {
-                node: info.index,
-                geo: info.geo,
-                region: info.region.clone(),
-            })
+            .map(|info| NodeSite { node: info.index, geo: info.geo, region: info.region.clone() })
             .collect();
 
         let mut nodes = Vec::with_capacity(cfg.nodes);
         for info in topology.iter() {
             let i = info.index.as_usize();
-            let broker = Broker::new(
-                info.index,
-                BrokerTopology::Peer { neighbors: neighbors[i].clone() },
-            );
+            let broker =
+                Broker::new(info.index, BrokerTopology::Peer { neighbors: neighbors[i].clone() });
             let overlay_key = Key::hash_of(format!("gloss-node-{i}-{}", cfg.seed).as_bytes());
             let (bootstrap, delay) = if i == 0 {
                 (None, SimDuration::ZERO)
@@ -110,8 +99,7 @@ impl ActiveArchitecture {
             let overlay: OverlayNode<StorePayload> =
                 OverlayNode::new(overlay_key, info.index, bootstrap, delay)
                     .with_probe_interval(SimDuration::from_secs(5));
-            let store =
-                StoreNode::new(info.index, overlay, cfg.store.clone(), directory.clone());
+            let store = StoreNode::new(info.index, overlay, cfg.store.clone(), directory.clone());
             let resources = NodeResources {
                 node: info.index,
                 region: info.region.clone(),
@@ -308,11 +296,7 @@ mod tests {
     use gloss_knowledge::{FactSource, Term};
 
     fn arch(nodes: usize, seed: u64) -> ActiveArchitecture {
-        let mut a = ActiveArchitecture::build(ArchConfig {
-            nodes,
-            seed,
-            ..Default::default()
-        });
+        let mut a = ActiveArchitecture::build(ArchConfig { nodes, seed, ..Default::default() });
         a.settle();
         a
     }
@@ -344,10 +328,7 @@ mod tests {
         // matchlets through pub/sub and comes back as an alert.
         a.subscribe_ui(NodeIndex(1), Filter::for_kind("alert"));
         a.run_for(SimDuration::from_secs(30));
-        a.publish(
-            NodeIndex(5),
-            Event::new("weather.reading").with_attr("celsius", 21.0),
-        );
+        a.publish(NodeIndex(5), Event::new("weather.reading").with_attr("celsius", 21.0));
         a.run_for(SimDuration::from_secs(30));
         assert!(a.total_synthesized() >= 1, "matchlet fired");
         assert!(

@@ -171,7 +171,13 @@ impl GlossNode {
         self.coordinator_state.is_some()
     }
 
-    fn broker_do(&mut self, now: SimTime, from: NodeIndex, msg: BrokerMsg, out: &mut Outbox<GlossMsg>) {
+    fn broker_do(
+        &mut self,
+        now: SimTime,
+        from: NodeIndex,
+        msg: BrokerMsg,
+        out: &mut Outbox<GlossMsg>,
+    ) {
         let mut bout = Outbox::new();
         self.broker.handle(now, from, msg, &mut bout);
         bout.transfer_into(out, GlossMsg::PubSub);
@@ -252,7 +258,13 @@ impl GlossNode {
 
     /// Feeds a store-plane message to the storelet, then runs the
     /// knowledge/discovery ingestion hooks.
-    fn store_do(&mut self, now: SimTime, from: NodeIndex, msg: StoreMsg, out: &mut Outbox<GlossMsg>) {
+    fn store_do(
+        &mut self,
+        now: SimTime,
+        from: NodeIndex,
+        msg: StoreMsg,
+        out: &mut Outbox<GlossMsg>,
+    ) {
         let landed_doc: Option<Document> = match &msg {
             StoreMsg::ReplicaPut { doc } | StoreMsg::CachePush { doc } => Some(doc.clone()),
             StoreMsg::FetchReply { doc, .. } => Some(doc.clone()),
@@ -452,9 +464,7 @@ impl Node for GlossNode {
                     self.ui_filters.push(filter.clone());
                     self.subscribe_filter(now, filter, out);
                 }
-                GlossMsg::PrefetchSubject(subject) => {
-                    self.prefetch_subject(now, &subject, out)
-                }
+                GlossMsg::PrefetchSubject(subject) => self.prefetch_subject(now, &subject, out),
                 GlossMsg::Bundle { instance, packet } => {
                     match self.server.receive_packet(&packet) {
                         Ok(_) => {
@@ -494,10 +504,8 @@ impl Node for GlossNode {
                     let mut fetch: Option<(u64, Key)> = None;
                     if let Some(cs) = self.coordinator_state.as_mut() {
                         // Skip kinds already covered by a registered service.
-                        let covered = cs
-                            .services
-                            .values()
-                            .any(|s| s.input_kinds.iter().any(|k| k == &kind));
+                        let covered =
+                            cs.services.values().any(|s| s.input_kinds.iter().any(|k| k == &kind));
                         let entry = cs.discovery_pending.entry(kind.clone()).or_default();
                         let first_report = entry.is_empty();
                         entry.insert(from);

@@ -49,11 +49,8 @@ impl IceCreamScenario {
     /// Janetta's and the rest of St Andrews), deploys the service, and
     /// settles.
     pub fn setup(seed: u64) -> Self {
-        let mut arch = ActiveArchitecture::build(ArchConfig {
-            nodes: 8,
-            seed,
-            ..Default::default()
-        });
+        let mut arch =
+            ActiveArchitecture::build(ArchConfig { nodes: 8, seed, ..Default::default() });
         arch.settle();
 
         // Knowledge: profiles and the GIS directory.
@@ -203,15 +200,12 @@ impl PopulationWorkload {
                         .with_attr("on_foot", true),
                 );
                 scheduled += 1;
-                t = t + self.report_every;
+                t += self.report_every;
             }
         }
 
         // Weather per street.
-        for (i, street) in ["South Street", "Market Street", "North Street"]
-            .iter()
-            .enumerate()
-        {
+        for (i, street) in ["South Street", "Market Street", "North Street"].iter().enumerate() {
             let node = NodeIndex((i as u32 + 1) % n);
             let mut t = base + SimDuration::from_millis(rng.range(0, 5_000));
             while t < base + self.duration {
@@ -224,7 +218,7 @@ impl PopulationWorkload {
                         .with_attr("celsius", c),
                 );
                 scheduled += 1;
-                t = t + self.weather_every;
+                t += self.weather_every;
             }
         }
 
@@ -232,9 +226,8 @@ impl PopulationWorkload {
         let noise_events = (self.noise_rate * self.duration.as_secs_f64()) as usize;
         for _ in 0..noise_events {
             let node = NodeIndex(rng.range(0, n as u64) as u32);
-            let t = base + SimDuration::from_secs_f64(
-                rng.float_range(0.0, self.duration.as_secs_f64()),
-            );
+            let t = base
+                + SimDuration::from_secs_f64(rng.float_range(0.0, self.duration.as_secs_f64()));
             arch.publish_at(
                 t,
                 node,
@@ -281,10 +274,7 @@ mod tests {
         // The correlation window is five minutes; run it out.
         s.arch.run_for(SimDuration::from_secs(360));
         let suggestions = s.suggestions();
-        assert!(
-            !suggestions.is_empty(),
-            "the scenario must produce at least one suggestion"
-        );
+        assert!(!suggestions.is_empty(), "the scenario must produce at least one suggestion");
         let sg = suggestions[0];
         assert_eq!(sg.str_attr("user"), Some("bob"));
         assert_eq!(sg.str_attr("friend"), Some("anna"));
@@ -361,11 +351,8 @@ mod tests {
 
     #[test]
     fn population_workload_schedules_the_expected_volume() {
-        let mut arch = ActiveArchitecture::build(ArchConfig {
-            nodes: 6,
-            seed: 9,
-            ..Default::default()
-        });
+        let mut arch =
+            ActiveArchitecture::build(ArchConfig { nodes: 6, seed: 9, ..Default::default() });
         arch.settle();
         let w = PopulationWorkload {
             users: 5,

@@ -118,16 +118,15 @@ pub fn parse_service(src: &str) -> Result<ServiceSpec, ServiceError> {
     let mut cursor = body;
     while let Some(idx) = cursor.find("deploy").or_else(|| cursor.find("rules")) {
         let clause = &cursor[idx..];
-        if clause.starts_with("deploy") {
+        if let Some(rest) = clause.strip_prefix("deploy") {
             // deploy at least N [in "region"]
-            let tail = clause["deploy".len()..].trim_start();
+            let tail = rest.trim_start();
             let tail = tail
                 .strip_prefix("at least")
                 .ok_or_else(|| fail("expected `deploy at least <n> [in \"region\"]`"))?
                 .trim_start();
             let num_end = tail.find(|c: char| !c.is_ascii_digit()).unwrap_or(tail.len());
-            let min: usize =
-                tail[..num_end].parse().map_err(|_| fail("bad instance count"))?;
+            let min: usize = tail[..num_end].parse().map_err(|_| fail("bad instance count"))?;
             let after = tail[num_end..].trim_start();
             let region = if let Some(r) = after.strip_prefix("in") {
                 let r = r.trim_start();
@@ -205,10 +204,7 @@ mod tests {
     fn parses_full_service() {
         let s = parse_service(SRC).unwrap();
         assert_eq!(s.name, "ice_cream");
-        assert_eq!(
-            s.placements,
-            vec![(Some("scotland".to_string()), 2), (None, 1)]
-        );
+        assert_eq!(s.placements, vec![(Some("scotland".to_string()), 2), (None, 1)]);
         assert_eq!(s.input_kinds, vec!["weather.reading", "user.location"]);
         assert_eq!(s.component_kind(), "matchlet:ice_cream");
         assert_eq!(s.constraints().len(), 2);

@@ -118,9 +118,9 @@ impl Constraint {
                 let have = deployment
                     .instances_of(component)
                     .filter(|(_, node)| {
-                        resources.get(node).is_some_and(|r| {
-                            region.as_deref().is_none_or(|want| r.region == want)
-                        })
+                        resources
+                            .get(node)
+                            .is_some_and(|r| region.as_deref().is_none_or(|want| r.region == want))
                     })
                     .count();
                 (have < *min).then(|| Violation {
@@ -141,20 +141,12 @@ impl Constraint {
                 }
                 (seen.len() < *regions).then(|| Violation {
                     constraint: self.clone(),
-                    detail: format!(
-                        "{component} spans {}/{} regions",
-                        seen.len(),
-                        regions
-                    ),
+                    detail: format!("{component} spans {}/{} regions", seen.len(), regions),
                     deficit: regions - seen.len(),
                 })
             }
             Constraint::Capacity { max } => {
-                let worst = resources
-                    .keys()
-                    .map(|n| deployment.count_on(*n))
-                    .max()
-                    .unwrap_or(0);
+                let worst = resources.keys().map(|n| deployment.count_on(*n)).max().unwrap_or(0);
                 (worst > *max).then(|| Violation {
                     constraint: self.clone(),
                     detail: format!("a node hosts {worst} > {max} components"),
@@ -204,9 +196,7 @@ mod tests {
 
     fn resources() -> BTreeMap<NodeIndex, NodeResources> {
         let mut m = BTreeMap::new();
-        for (i, region) in
-            [(0u32, "scotland"), (1, "scotland"), (2, "england"), (3, "australia")]
-        {
+        for (i, region) in [(0u32, "scotland"), (1, "scotland"), (2, "england"), (3, "australia")] {
             m.insert(
                 NodeIndex(i),
                 NodeResources {

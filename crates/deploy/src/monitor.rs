@@ -113,10 +113,7 @@ mod tests {
     fn graceful_withdrawal_needs_no_detection() {
         let mut m = MonitorEngine::new(SimDuration::from_secs(30));
         m.on_event(SimTime::from_secs(0), &advert(1));
-        m.on_event(
-            SimTime::from_secs(5),
-            &NodeResources::withdraw_event(NodeIndex(1)),
-        );
+        m.on_event(SimTime::from_secs(5), &NodeResources::withdraw_event(NodeIndex(1)));
         assert!(!m.is_alive(NodeIndex(1)));
         assert!(m.sweep(SimTime::from_secs(100)).is_empty());
         assert_eq!(m.failures_detected, 0, "withdrawals are not failures");

@@ -8,9 +8,7 @@ use crate::evolution::{Action, EvolutionEngine};
 use crate::monitor::MonitorEngine;
 use crate::resource::NodeResources;
 use gloss_bundle::{AuthKey, Bundle, Capability, ThinServer};
-use gloss_sim::{
-    Input, Node, NodeIndex, Outbox, SimDuration, SimTime, Topology, World,
-};
+use gloss_sim::{Input, Node, NodeIndex, Outbox, SimDuration, SimTime, Topology, World};
 use gloss_xml::Element;
 
 /// Messages on the deployment plane. (In the full architecture these ride
@@ -72,11 +70,17 @@ impl Node for PlaneNode {
         match self {
             PlaneNode::Worker { server, resources, coordinator, heartbeat } => match input {
                 Input::Start => {
-                    out.send(*coordinator, DeployMsg::Advertise(resources.to_event().to_xml().to_xml()));
+                    out.send(
+                        *coordinator,
+                        DeployMsg::Advertise(resources.to_event().to_xml().to_xml()),
+                    );
                     out.timer(*heartbeat, HEARTBEAT_TIMER);
                 }
                 Input::Timer { tag: HEARTBEAT_TIMER } => {
-                    out.send(*coordinator, DeployMsg::Advertise(resources.to_event().to_xml().to_xml()));
+                    out.send(
+                        *coordinator,
+                        DeployMsg::Advertise(resources.to_event().to_xml().to_xml()),
+                    );
                     out.timer(*heartbeat, HEARTBEAT_TIMER);
                 }
                 Input::Timer { .. } => {}
@@ -124,12 +128,8 @@ impl Node for PlaneNode {
                 }
                 for (instance, action) in actions {
                     if let Action::Deploy { kind, node } = action {
-                        let bundle = Bundle::component(
-                            instance.clone(),
-                            kind,
-                            Element::new("cfg"),
-                        )
-                        .issued_by(key.issuer());
+                        let bundle = Bundle::component(instance.clone(), kind, Element::new("cfg"))
+                            .issued_by(key.issuer());
                         let packet = bundle.to_packet(key);
                         out.count("deploy.bundles_sent", 1.0);
                         out.send(node, DeployMsg::Bundle { instance, packet });
@@ -150,11 +150,7 @@ impl DeploymentPlane {
     /// Builds a plane with `workers` worker nodes and the given
     /// constraints.
     pub fn build(workers: usize, constraints: Vec<Constraint>, seed: u64) -> Self {
-        let topology = Topology::random(
-            workers + 1,
-            &["scotland", "england", "europe"],
-            seed,
-        );
+        let topology = Topology::random(workers + 1, &["scotland", "england", "europe"], seed);
         let key = AuthKey::new("evolution", b"deploy-plane-secret");
         let mut nodes: Vec<PlaneNode> = Vec::with_capacity(workers + 1);
         nodes.push(PlaneNode::Coordinator {
@@ -254,8 +250,7 @@ mod tests {
         assert_eq!(plane.evolution().satisfaction(), 1.0);
         assert_eq!(plane.evolution().deployment().instances_of("matcher").count(), 3);
         // Bundles really installed on thin servers.
-        let total_installed: usize =
-            (1..10).map(|i| plane.installed_on(NodeIndex(i))).sum();
+        let total_installed: usize = (1..10).map(|i| plane.installed_on(NodeIndex(i))).sum();
         assert_eq!(total_installed, 5);
     }
 
@@ -265,24 +260,14 @@ mod tests {
         let mut plane = DeploymentPlane::build(8, constraints, 2);
         plane.run_for(SimDuration::from_secs(120));
         assert_eq!(plane.evolution().satisfaction(), 1.0);
-        let victim = plane
-            .evolution()
-            .deployment()
-            .instances_of("replicator")
-            .next()
-            .unwrap()
-            .1;
+        let victim = plane.evolution().deployment().instances_of("replicator").next().unwrap().1;
         plane.crash(victim);
         // Heartbeat stops; monitor deadline 30 s + sweep 10 s + bundle RTT.
         plane.run_for(SimDuration::from_secs(120));
         assert_eq!(plane.evolution().satisfaction(), 1.0, "constraint repaired");
         assert!(plane.monitor().failures_detected >= 1);
         assert!(
-            plane
-                .evolution()
-                .deployment()
-                .instances_of("replicator")
-                .all(|(_, n)| n != victim),
+            plane.evolution().deployment().instances_of("replicator").all(|(_, n)| n != victim),
             "replacement avoids the dead node"
         );
         let repair = plane.world().metrics().summary("deploy.repair_ms");
@@ -307,10 +292,8 @@ mod tests {
     fn impossible_constraints_stay_violated_without_thrash() {
         // Demand more regional instances than the region has nodes (with
         // a capacity cap preventing stacking).
-        let constraints = vec![
-            Constraint::Capacity { max: 1 },
-            Constraint::count("big", Some("scotland"), 50),
-        ];
+        let constraints =
+            vec![Constraint::Capacity { max: 1 }, Constraint::count("big", Some("scotland"), 50)];
         let mut plane = DeploymentPlane::build(6, constraints, 4);
         plane.run_for(SimDuration::from_secs(120));
         assert!(plane.evolution().satisfaction() < 1.0);

@@ -52,11 +52,8 @@ pub fn plan_repairs(
                 let holding: Vec<NodeIndex> =
                     deployment.instances_of(component).map(|(_, n)| n).collect();
                 let candidates = eligible(&load, region.as_deref());
-                let fresh: Vec<NodeIndex> = candidates
-                    .iter()
-                    .copied()
-                    .filter(|n| !holding.contains(n))
-                    .collect();
+                let fresh: Vec<NodeIndex> =
+                    candidates.iter().copied().filter(|n| !holding.contains(n)).collect();
                 let pool = if fresh.len() >= v.deficit { fresh } else { candidates };
                 for node in pool.into_iter().take(v.deficit) {
                     *load.entry(node).or_insert(0) += 1;
@@ -155,10 +152,7 @@ mod tests {
     #[test]
     fn capacity_limits_candidates() {
         let res = resources(&[(0, "scotland"), (1, "scotland")]);
-        let constraints = vec![
-            Constraint::Capacity { max: 1 },
-            Constraint::count("repl", None, 3),
-        ];
+        let constraints = vec![Constraint::Capacity { max: 1 }, Constraint::count("repl", None, 3)];
         let mut d = Deployment::new();
         d.place("busy", "other", NodeIndex(0));
         let actions = plan_repairs(&constraints, &d, &res);

@@ -3,9 +3,9 @@
 //! gating, and notification forwarding over hierarchical or acyclic-peer
 //! broker topologies.
 
-use crate::filter::{Advertisement, Subscription};
 #[cfg(test)]
 use crate::filter::Filter;
+use crate::filter::{Advertisement, Subscription};
 use crate::notification::Event;
 use gloss_sim::{NodeIndex, Outbox, SimTime};
 use std::collections::{BTreeMap, BTreeSet};
@@ -180,12 +180,8 @@ impl Broker {
             }
             BrokerMsg::Detach => {
                 self.clients.remove(&from);
-                let ids: Vec<SubId> = self
-                    .subs
-                    .iter()
-                    .filter(|e| e.iface == from)
-                    .map(|e| e.sub.id)
-                    .collect();
+                let ids: Vec<SubId> =
+                    self.subs.iter().filter(|e| e.iface == from).map(|e| e.sub.id).collect();
                 for id in ids {
                     self.unsubscribe(id, out);
                 }
@@ -218,12 +214,8 @@ impl Broker {
             }
             BrokerMsg::FetchBuffer { client } => {
                 let events = self.proxies.remove(&client).unwrap_or_default();
-                let subs: Vec<Subscription> = self
-                    .subs
-                    .iter()
-                    .filter(|e| e.iface == client)
-                    .map(|e| e.sub.clone())
-                    .collect();
+                let subs: Vec<Subscription> =
+                    self.subs.iter().filter(|e| e.iface == client).map(|e| e.sub.clone()).collect();
                 self.clients.remove(&client);
                 for s in &subs {
                     self.unsubscribe(s.id, out);
@@ -364,10 +356,8 @@ impl Broker {
                     if n == from {
                         continue;
                     }
-                    let wanted = self
-                        .subs
-                        .iter()
-                        .any(|e| e.iface == n && e.sub.filter.matches(&event));
+                    let wanted =
+                        self.subs.iter().any(|e| e.iface == n && e.sub.filter.matches(&event));
                     if wanted {
                         self.notifications_forwarded += 1;
                         out.send(n, BrokerMsg::Notify(event.clone()));
@@ -386,10 +376,8 @@ impl Broker {
                     if c == from {
                         continue;
                     }
-                    let wanted = self
-                        .subs
-                        .iter()
-                        .any(|e| e.iface == c && e.sub.filter.matches(&event));
+                    let wanted =
+                        self.subs.iter().any(|e| e.iface == c && e.sub.filter.matches(&event));
                     if wanted {
                         self.notifications_forwarded += 1;
                         out.send(c, BrokerMsg::Notify(event.clone()));
@@ -477,7 +465,12 @@ mod tests {
         let mut b = peer_broker();
         let mut out = Outbox::new();
         // Neighbour 1 subscribed to kind k.
-        b.handle(SimTime::ZERO, n(1), BrokerMsg::Subscribe(sub(1, Filter::for_kind("k"))), &mut out);
+        b.handle(
+            SimTime::ZERO,
+            n(1),
+            BrokerMsg::Subscribe(sub(1, Filter::for_kind("k"))),
+            &mut out,
+        );
         // Client 10 publishes a matching event.
         let mut out = Outbox::new();
         b.handle(SimTime::ZERO, n(10), BrokerMsg::Publish(Event::new("k")), &mut out);
@@ -521,7 +514,12 @@ mod tests {
     fn unsubscribe_stops_forwarding_and_reinstates_covered() {
         let mut b = peer_broker();
         let mut out = Outbox::new();
-        b.handle(SimTime::ZERO, n(10), BrokerMsg::Subscribe(sub(1, Filter::for_kind("k"))), &mut out);
+        b.handle(
+            SimTime::ZERO,
+            n(10),
+            BrokerMsg::Subscribe(sub(1, Filter::for_kind("k"))),
+            &mut out,
+        );
         b.handle(
             SimTime::ZERO,
             n(10),
@@ -534,8 +532,7 @@ mod tests {
         let to1 = sent_to(&out, n(1));
         assert!(to1.iter().any(|m| matches!(m, BrokerMsg::Unsubscribe(1))));
         assert!(
-            to1.iter()
-                .any(|m| matches!(m, BrokerMsg::Subscribe(s) if s.id == 2)),
+            to1.iter().any(|m| matches!(m, BrokerMsg::Subscribe(s) if s.id == 2)),
             "previously covered sub must be re-forwarded"
         );
         // Events no longer delivered to 10 after full unsubscribe of 2.
@@ -578,7 +575,12 @@ mod tests {
             BrokerTopology::Hierarchical { parent: None, children: vec![n(1), n(2)] },
         );
         let mut out = Outbox::new();
-        b.handle(SimTime::ZERO, n(1), BrokerMsg::Subscribe(sub(1, Filter::for_kind("k"))), &mut out);
+        b.handle(
+            SimTime::ZERO,
+            n(1),
+            BrokerMsg::Subscribe(sub(1, Filter::for_kind("k"))),
+            &mut out,
+        );
         let mut out = Outbox::new();
         b.handle(SimTime::ZERO, n(2), BrokerMsg::Notify(Event::new("k")), &mut out);
         assert_eq!(sent_to(&out, n(1)).len(), 1);
@@ -600,12 +602,22 @@ mod tests {
         assert_eq!(sent_to(&out, n(2)).len(), 1);
         // A subscription for kind k goes toward 1 only.
         let mut out = Outbox::new();
-        b.handle(SimTime::ZERO, n(10), BrokerMsg::Subscribe(sub(1, Filter::for_kind("k"))), &mut out);
+        b.handle(
+            SimTime::ZERO,
+            n(10),
+            BrokerMsg::Subscribe(sub(1, Filter::for_kind("k"))),
+            &mut out,
+        );
         assert_eq!(sent_to(&out, n(1)).len(), 1);
         assert!(sent_to(&out, n(2)).is_empty(), "no advertisement from 2");
         // A subscription for an unadvertised kind goes nowhere.
         let mut out = Outbox::new();
-        b.handle(SimTime::ZERO, n(10), BrokerMsg::Subscribe(sub(2, Filter::for_kind("z"))), &mut out);
+        b.handle(
+            SimTime::ZERO,
+            n(10),
+            BrokerMsg::Subscribe(sub(2, Filter::for_kind("z"))),
+            &mut out,
+        );
         assert!(out.sends().is_empty());
     }
 
@@ -633,7 +645,12 @@ mod tests {
     fn move_out_buffers_then_handoff_drains() {
         let mut b = peer_broker();
         let mut out = Outbox::new();
-        b.handle(SimTime::ZERO, n(10), BrokerMsg::Subscribe(sub(1, Filter::for_kind("k"))), &mut out);
+        b.handle(
+            SimTime::ZERO,
+            n(10),
+            BrokerMsg::Subscribe(sub(1, Filter::for_kind("k"))),
+            &mut out,
+        );
         b.handle(SimTime::ZERO, n(10), BrokerMsg::MoveOut, &mut out);
         assert!(b.has_proxy_for(n(10)));
         // Events arriving while away are buffered, not sent.

@@ -52,10 +52,8 @@ impl CentralServer {
                 self.clients.remove(&from);
                 self.subs.retain(|(_, c)| *c != from);
             }
-            BrokerMsg::Subscribe(sub) => {
-                if !self.subs.iter().any(|(s, _)| s.id == sub.id) {
-                    self.subs.push((sub, from));
-                }
+            BrokerMsg::Subscribe(sub) if !self.subs.iter().any(|(s, _)| s.id == sub.id) => {
+                self.subs.push((sub, from));
             }
             BrokerMsg::Unsubscribe(id) => {
                 self.subs.retain(|(s, _)| s.id != id);

@@ -162,13 +162,11 @@ impl Constraint {
                     _ => false,
                 }
             }
-            (Op::Ne, Op::Gt) | (Op::Ne, Op::Ge) => {
-                match cmp(&self.value, &other.value) {
-                    Some(Less) => true,
-                    Some(Equal) => other.op == Op::Gt,
-                    _ => false,
-                }
-            }
+            (Op::Ne, Op::Gt) | (Op::Ne, Op::Ge) => match cmp(&self.value, &other.value) {
+                Some(Less) => true,
+                Some(Equal) => other.op == Op::Gt,
+                _ => false,
+            },
             // prefix p1 covers prefix p2 when p2 extends p1; covers = v2
             // when v2 starts with p1.
             (Op::Prefix, Op::Prefix) | (Op::Prefix, Op::Eq) => {
@@ -220,21 +218,17 @@ impl Constraint {
                 matches!(cmp(&self.value, &other.value), Some(Greater | Equal))
             }
             (Op::Ge, Op::Le) => cmp(&self.value, &other.value) == Some(Greater),
-            (Op::Eq, Op::Lt) | (Op::Eq, Op::Le) => {
-                match cmp(&self.value, &other.value) {
-                    Some(Greater) => true,
-                    Some(Equal) => other.op == Op::Lt,
-                    _ => false,
-                }
-            }
+            (Op::Eq, Op::Lt) | (Op::Eq, Op::Le) => match cmp(&self.value, &other.value) {
+                Some(Greater) => true,
+                Some(Equal) => other.op == Op::Lt,
+                _ => false,
+            },
             (Op::Lt, Op::Eq) | (Op::Le, Op::Eq) => other.disjoint(self),
-            (Op::Eq, Op::Gt) | (Op::Eq, Op::Ge) => {
-                match cmp(&self.value, &other.value) {
-                    Some(Less) => true,
-                    Some(Equal) => other.op == Op::Gt,
-                    _ => false,
-                }
-            }
+            (Op::Eq, Op::Gt) | (Op::Eq, Op::Ge) => match cmp(&self.value, &other.value) {
+                Some(Less) => true,
+                Some(Equal) => other.op == Op::Gt,
+                _ => false,
+            },
             (Op::Gt, Op::Eq) | (Op::Ge, Op::Eq) => other.disjoint(self),
             (Op::Prefix, Op::Prefix) => match (self.value.as_str(), other.value.as_str()) {
                 (Some(a), Some(b)) => !a.starts_with(b) && !b.starts_with(a),
@@ -344,9 +338,7 @@ impl Filter {
         }
         // Every constraint of self must be implied by some constraint of
         // other (conjunction semantics).
-        self.constraints
-            .iter()
-            .all(|c1| other.constraints.iter().any(|c2| c1.covers(c2)))
+        self.constraints.iter().all(|c1| other.constraints.iter().any(|c2| c1.covers(c2)))
     }
 
     /// Sound disjointness: `true` only if no event can match both filters.
@@ -356,9 +348,7 @@ impl Filter {
                 return true;
             }
         }
-        self.constraints
-            .iter()
-            .any(|c1| other.constraints.iter().any(|c2| c1.disjoint(c2)))
+        self.constraints.iter().any(|c1| other.constraints.iter().any(|c2| c1.disjoint(c2)))
     }
 
     /// Whether the filters might both match some event (the negation of
@@ -519,9 +509,8 @@ mod tests {
     #[test]
     fn filter_covering_conjunctions() {
         let broad = Filter::for_kind("k").with_constraint("x", Op::Gt, 0i64);
-        let narrow = Filter::for_kind("k")
-            .with_constraint("x", Op::Gt, 5i64)
-            .with_eq("user", "bob");
+        let narrow =
+            Filter::for_kind("k").with_constraint("x", Op::Gt, 5i64).with_eq("user", "bob");
         assert!(broad.covers(&narrow));
         assert!(!narrow.covers(&broad));
         // Kindless covers kinded, not vice versa.
@@ -582,9 +571,7 @@ mod tests {
         };
         assert!(adv.relevant_to(&Filter::for_kind("weather.reading")));
         assert!(!adv.relevant_to(&Filter::for_kind("user.location")));
-        assert!(!adv.relevant_to(
-            &Filter::for_kind("weather.reading").with_eq("city", "dundee")
-        ));
+        assert!(!adv.relevant_to(&Filter::for_kind("weather.reading").with_eq("city", "dundee")));
     }
 
     #[test]

@@ -332,9 +332,12 @@ impl PubSubNetwork {
         let old = self.client(client).access;
         self.world.inject(client, old, BrokerMsg::MoveOut);
         let reconnect_at = self.world.now() + offline_for;
-        self.world.inject_at(reconnect_at, client, new_broker, BrokerMsg::MoveIn {
-            old_broker: old,
-        });
+        self.world.inject_at(
+            reconnect_at,
+            client,
+            new_broker,
+            BrokerMsg::MoveIn { old_broker: old },
+        );
         self.client_mut(client).access = new_broker;
     }
 

@@ -108,8 +108,7 @@ impl DistributedKnowledge {
             let mut fact = Fact::new(&subject, predicate, object);
             fact.valid_from =
                 fe.attr("from_us").and_then(|s| s.parse().ok()).map(SimTime::from_micros);
-            fact.valid_to =
-                fe.attr("to_us").and_then(|s| s.parse().ok()).map(SimTime::from_micros);
+            fact.valid_to = fe.attr("to_us").and_then(|s| s.parse().ok()).map(SimTime::from_micros);
             out.push(fact);
         }
         out
@@ -150,7 +149,7 @@ mod tests {
 
     #[test]
     fn xml_round_trip_all_term_types() {
-        let facts = vec![
+        let facts = [
             Fact::new("bob", "likes", Term::str("ice cream")),
             Fact::new("bob", "age", Term::Int(34)),
             Fact::new("bob", "height_m", Term::Float(1.82)),
@@ -194,7 +193,7 @@ mod tests {
         net.settle();
         let writer = DistributedKnowledge::new(NodeIndex(1));
         let reader = DistributedKnowledge::new(NodeIndex(9));
-        let facts = vec![
+        let facts = [
             Fact::new("janettas", "sells", Term::str("ice cream")),
             Fact::new("janettas", "closes_at", Term::Int(1020)),
         ];

@@ -286,9 +286,7 @@ impl FactSource for InMemoryFacts {
             (Some(s), Some(p)) => {
                 // The smaller index wins; subject lists are usually short.
                 let idx = self.by_subject.get(s).cloned().unwrap_or_default();
-                Box::new(
-                    idx.into_iter().map(|i| &self.facts[i]).filter(move |f| f.predicate == p),
-                )
+                Box::new(idx.into_iter().map(|i| &self.facts[i]).filter(move |f| f.predicate == p))
             }
             (Some(s), None) => {
                 let idx = self.by_subject.get(s).cloned().unwrap_or_default();
@@ -333,9 +331,7 @@ mod tests {
     #[test]
     fn validity_intervals() {
         let kb = kb();
-        let at = |s| {
-            kb.query_at(Some("bob"), Some("on_holiday"), SimTime::from_secs(s)).count()
-        };
+        let at = |s| kb.query_at(Some("bob"), Some("on_holiday"), SimTime::from_secs(s)).count();
         assert_eq!(at(50), 0);
         assert_eq!(at(100), 1);
         assert_eq!(at(199), 1);

@@ -26,13 +26,7 @@ pub struct Place {
 impl Place {
     /// Creates a place with no categories or hours.
     pub fn new(name: impl Into<String>, geo: GeoPoint, street: impl Into<String>) -> Self {
-        Place {
-            name: name.into(),
-            geo,
-            street: street.into(),
-            categories: Vec::new(),
-            hours: None,
-        }
+        Place { name: name.into(), geo, street: street.into(), categories: Vec::new(), hours: None }
     }
 
     /// Adds a category.
@@ -244,14 +238,10 @@ mod tests {
     fn to_facts_covers_all_aspects() {
         let d = PlaceDirectory::st_andrews();
         let facts = d.to_facts();
-        assert!(facts
-            .iter()
-            .any(|f| f.subject == "Janetta's"
-                && f.predicate == "sells"
-                && f.object.as_str() == Some("ice cream")));
-        assert!(facts
-            .iter()
-            .any(|f| f.subject == "Janetta's" && f.predicate == "closes_at"));
+        assert!(facts.iter().any(|f| f.subject == "Janetta's"
+            && f.predicate == "sells"
+            && f.object.as_str() == Some("ice cream")));
+        assert!(facts.iter().any(|f| f.subject == "Janetta's" && f.predicate == "closes_at"));
         assert!(facts.iter().any(|f| f.predicate == "located_at"));
     }
 }

@@ -165,11 +165,7 @@ impl TextMatcher {
     /// non-trivial token with the query.
     pub fn retrieve(&self, query: &str, corpus: &[ServiceDescription]) -> BTreeSet<String> {
         let q = tokens(query);
-        corpus
-            .iter()
-            .filter(|d| !q.is_disjoint(&tokens(&d.text)))
-            .map(|d| d.name.clone())
-            .collect()
+        corpus.iter().filter(|d| !q.is_disjoint(&tokens(&d.text))).map(|d| d.name.clone()).collect()
     }
 }
 
@@ -197,9 +193,7 @@ impl LexicalMatcher {
         corpus
             .iter()
             .filter(|d| {
-                d.facets
-                    .get(facet)
-                    .is_some_and(|ts| ts.iter().any(|t| self.ontology.is_a(t, term)))
+                d.facets.get(facet).is_some_and(|ts| ts.iter().any(|t| self.ontology.is_a(t, term)))
             })
             .map(|d| d.name.clone())
             .collect()
@@ -333,10 +327,12 @@ mod tests {
         let relevant: BTreeSet<String> =
             ["janettas", "icy-vans"].iter().map(|s| s.to_string()).collect();
         let m = LexicalMatcher::new(Ontology::food_and_context());
-        let lexical = RetrievalScores::compute(&m.retrieve("offers", "ice cream", &corpus()), &relevant);
+        let lexical =
+            RetrievalScores::compute(&m.retrieve("offers", "ice cream", &corpus()), &relevant);
         assert_eq!(lexical.precision, 1.0);
         assert_eq!(lexical.recall, 1.0);
-        let text = RetrievalScores::compute(&TextMatcher.retrieve("ice cream", &corpus()), &relevant);
+        let text =
+            RetrievalScores::compute(&TextMatcher.retrieve("ice cream", &corpus()), &relevant);
         assert!(text.precision < 1.0, "text matcher retrieves junk");
         assert!(text.recall < 1.0, "text matcher misses the gelato shop");
         assert!(lexical.f1() > text.f1());

@@ -66,10 +66,9 @@ impl UserProfile {
             facts.push(Fact::new(&self.name, "knows", Term::str(other)));
         }
         for (at, place) in &self.history {
-            facts.push(Fact::new(&self.name, "visited", Term::str(place)).valid_between(
-                *at,
-                SimTime::MAX,
-            ));
+            facts.push(
+                Fact::new(&self.name, "visited", Term::str(place)).valid_between(*at, SimTime::MAX),
+            );
         }
         facts
     }
@@ -156,7 +155,9 @@ mod tests {
 
     #[test]
     fn hot_depends_on_nationality() {
-        assert!(hot_threshold_celsius(Some("scottish")) < hot_threshold_celsius(Some("australian")));
+        assert!(
+            hot_threshold_celsius(Some("scottish")) < hot_threshold_celsius(Some("australian"))
+        );
         assert!(20.0 >= hot_threshold_celsius(Some("scottish")), "20C is hot for Bob");
         assert!(20.0 < hot_threshold_celsius(None), "20C is not hot by default");
     }

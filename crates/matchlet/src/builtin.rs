@@ -12,10 +12,8 @@ use gloss_sim::{GeoPoint, SimTime};
 ///
 /// Returns [`EvalError::UnknownFunction`] or [`EvalError::BadArguments`].
 pub fn call(name: &str, args: &[Term], now: SimTime) -> Result<Term, EvalError> {
-    let bad = || EvalError::BadArguments {
-        function: name.to_string(),
-        detail: format!("{args:?}"),
-    };
+    let bad =
+        || EvalError::BadArguments { function: name.to_string(), detail: format!("{args:?}") };
     match name {
         // --- spatial ---
         "geo" => match args {
@@ -94,15 +92,11 @@ pub fn call(name: &str, args: &[Term], now: SimTime) -> Result<Term, EvalError> 
             _ => Err(bad()),
         },
         "min" => match args {
-            [a, b] => Ok(Term::Float(
-                a.as_f64().ok_or_else(bad)?.min(b.as_f64().ok_or_else(bad)?),
-            )),
+            [a, b] => Ok(Term::Float(a.as_f64().ok_or_else(bad)?.min(b.as_f64().ok_or_else(bad)?))),
             _ => Err(bad()),
         },
         "max" => match args {
-            [a, b] => Ok(Term::Float(
-                a.as_f64().ok_or_else(bad)?.max(b.as_f64().ok_or_else(bad)?),
-            )),
+            [a, b] => Ok(Term::Float(a.as_f64().ok_or_else(bad)?.max(b.as_f64().ok_or_else(bad)?))),
             _ => Err(bad()),
         },
         other => Err(EvalError::UnknownFunction(other.to_string())),
@@ -125,7 +119,10 @@ mod tests {
         let d = call("distance_km", &[g.clone(), h], t0()).unwrap();
         let km = d.as_f64().unwrap();
         assert!(km > 0.9 && km < 1.4, "1 degree lat ~ 1.1 km here: {km}");
-        assert!((call("lat", &[g.clone()], t0()).unwrap().as_f64().unwrap() - 56.34).abs() < 1e-9);
+        assert!(
+            (call("lat", std::slice::from_ref(&g), t0()).unwrap().as_f64().unwrap() - 56.34).abs()
+                < 1e-9
+        );
         let w = call("walk_minutes", &[g.clone(), g], t0()).unwrap();
         assert_eq!(w.as_f64(), Some(0.0));
     }
@@ -134,10 +131,7 @@ mod tests {
     fn temporal_builtins() {
         let now = SimTime::from_secs(10 * 3600 + 30 * 60); // 10:30
         assert_eq!(call("now", &[], now).unwrap(), Term::Time(now));
-        assert_eq!(
-            call("minutes_of_day", &[], now).unwrap(),
-            Term::Int(10 * 60 + 30)
-        );
+        assert_eq!(call("minutes_of_day", &[], now).unwrap(), Term::Int(10 * 60 + 30));
         let d = call(
             "seconds_between",
             &[Term::Time(SimTime::from_secs(5)), Term::Time(SimTime::from_secs(12))],
@@ -173,22 +167,13 @@ mod tests {
     #[test]
     fn numeric_builtins() {
         assert_eq!(call("abs", &[Term::Float(-2.5)], t0()).unwrap(), Term::Float(2.5));
-        assert_eq!(
-            call("min", &[Term::Int(3), Term::Int(5)], t0()).unwrap(),
-            Term::Float(3.0)
-        );
-        assert_eq!(
-            call("max", &[Term::Int(3), Term::Int(5)], t0()).unwrap(),
-            Term::Float(5.0)
-        );
+        assert_eq!(call("min", &[Term::Int(3), Term::Int(5)], t0()).unwrap(), Term::Float(3.0));
+        assert_eq!(call("max", &[Term::Int(3), Term::Int(5)], t0()).unwrap(), Term::Float(5.0));
     }
 
     #[test]
     fn errors() {
-        assert!(matches!(
-            call("warp_speed", &[], t0()),
-            Err(EvalError::UnknownFunction(_))
-        ));
+        assert!(matches!(call("warp_speed", &[], t0()), Err(EvalError::UnknownFunction(_))));
         assert!(matches!(
             call("geo", &[Term::str("x")], t0()),
             Err(EvalError::BadArguments { .. })

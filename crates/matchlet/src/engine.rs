@@ -129,9 +129,7 @@ impl MatchletEngine {
 
     /// Whether any rule listens for the given event kind.
     pub fn handles_kind(&self, kind: &str) -> bool {
-        self.rules
-            .iter()
-            .any(|r| r.rule.patterns.iter().any(|p| p.kind == kind))
+        self.rules.iter().any(|r| r.rule.patterns.iter().any(|p| p.kind == kind))
     }
 
     /// Offers an event to every rule; returns the synthesised events.
@@ -156,8 +154,7 @@ impl MatchletEngine {
             let pattern_count = self.rules[rule_idx].rule.patterns.len();
             let mut matched: Vec<(usize, Bindings)> = Vec::new();
             for p in 0..pattern_count {
-                if let Some(b) =
-                    Self::match_pattern(&self.rules[rule_idx].rule.patterns[p], event)
+                if let Some(b) = Self::match_pattern(&self.rules[rule_idx].rule.patterns[p], event)
                 {
                     matched.push((p, b));
                 }
@@ -174,10 +171,7 @@ impl MatchletEngine {
     }
 
     /// Matches one pattern against an event, producing bindings.
-    fn match_pattern(
-        pattern: &crate::ast::EventPattern,
-        event: &Event,
-    ) -> Option<Bindings> {
+    fn match_pattern(pattern: &crate::ast::EventPattern, event: &Event) -> Option<Bindings> {
         if pattern.kind != event.kind() {
             return None;
         }

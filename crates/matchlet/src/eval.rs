@@ -67,23 +67,19 @@ pub fn eval(
 ) -> Result<Term, EvalError> {
     match expr {
         Expr::Lit(t) => Ok(t.clone()),
-        Expr::Var(v) => {
-            env.get(v).cloned().ok_or_else(|| EvalError::UnboundVariable(v.clone()))
-        }
+        Expr::Var(v) => env.get(v).cloned().ok_or_else(|| EvalError::UnboundVariable(v.clone())),
         Expr::Not(inner) => {
             let t = eval(inner, env, kb, now)?;
-            let b = t.as_bool().ok_or_else(|| EvalError::TypeError {
-                op: "not".into(),
-                detail: t.to_string(),
-            })?;
+            let b = t
+                .as_bool()
+                .ok_or_else(|| EvalError::TypeError { op: "not".into(), detail: t.to_string() })?;
             Ok(Term::Bool(!b))
         }
         Expr::Neg(inner) => {
             let t = eval(inner, env, kb, now)?;
-            let n = t.as_f64().ok_or_else(|| EvalError::TypeError {
-                op: "-".into(),
-                detail: t.to_string(),
-            })?;
+            let n = t
+                .as_f64()
+                .ok_or_else(|| EvalError::TypeError { op: "-".into(), detail: t.to_string() })?;
             Ok(if matches!(t, Term::Int(_)) { Term::Int(-(n as i64)) } else { Term::Float(-n) })
         }
         Expr::Binary(op, l, r) => {
@@ -98,13 +94,10 @@ pub fn eval(
                     return Ok(Term::Bool(lb));
                 }
                 let rv = eval(r, env, kb, now)?;
-                return rv
-                    .as_bool()
-                    .map(Term::Bool)
-                    .ok_or_else(|| EvalError::TypeError {
-                        op: op.to_string(),
-                        detail: rv.to_string(),
-                    });
+                return rv.as_bool().map(Term::Bool).ok_or_else(|| EvalError::TypeError {
+                    op: op.to_string(),
+                    detail: rv.to_string(),
+                });
             }
             let lv = eval(l, env, kb, now)?;
             let rv = eval(r, env, kb, now)?;
@@ -167,10 +160,7 @@ fn is_builtin(name: &str) -> bool {
 
 fn apply_binop(op: BinOp, l: &Term, r: &Term) -> Result<Term, EvalError> {
     use BinOp::*;
-    let type_err = || EvalError::TypeError {
-        op: op.to_string(),
-        detail: format!("{l} {op} {r}"),
-    };
+    let type_err = || EvalError::TypeError { op: op.to_string(), detail: format!("{l} {op} {r}") };
     match op {
         Eq => Ok(Term::Bool(l.eq_term(r))),
         Ne => Ok(Term::Bool(!l.eq_term(r))),
@@ -178,7 +168,8 @@ fn apply_binop(op: BinOp, l: &Term, r: &Term) -> Result<Term, EvalError> {
             let ord = match (l, r) {
                 (Term::Str(a), Term::Str(b)) => a.cmp(b),
                 _ => {
-                    let (a, b) = (l.as_f64().ok_or_else(type_err)?, r.as_f64().ok_or_else(type_err)?);
+                    let (a, b) =
+                        (l.as_f64().ok_or_else(type_err)?, r.as_f64().ok_or_else(type_err)?);
                     a.partial_cmp(&b).ok_or_else(type_err)?
                 }
             };
@@ -270,10 +261,8 @@ pub fn solve(
                 _ => None,
             };
             let mut errors = 0;
-            let facts: Vec<_> = kb
-                .query_at(subject_hint.as_deref(), Some(predicate), now)
-                .cloned()
-                .collect();
+            let facts: Vec<_> =
+                kb.query_at(subject_hint.as_deref(), Some(predicate), now).cloned().collect();
             for fact in facts {
                 let mut child = env.clone();
                 if !unify(subject, &Term::Str(fact.subject.clone()), &mut child) {

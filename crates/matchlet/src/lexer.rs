@@ -149,9 +149,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                 while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '.') {
                     // Don't swallow a dot that isn't followed by a digit
                     // (e.g. `1..2` never occurs, but `kind.` might).
-                    if chars[i] == '.'
-                        && !(i + 1 < chars.len() && chars[i + 1].is_ascii_digit())
-                    {
+                    if chars[i] == '.' && !(i + 1 < chars.len() && chars[i + 1].is_ascii_digit()) {
                         break;
                     }
                     s.push(chars[i]);
@@ -171,9 +169,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                 {
                     // A dot is part of a dotted kind name only when
                     // followed by a letter.
-                    if chars[i] == '.'
-                        && !(i + 1 < chars.len() && chars[i + 1].is_alphabetic())
-                    {
+                    if chars[i] == '.' && !(i + 1 < chars.len() && chars[i + 1].is_alphabetic()) {
                         break;
                     }
                     s.push(chars[i]);

@@ -458,12 +458,8 @@ mod tests {
 
     #[test]
     fn duration_units() {
-        for (src, secs) in
-            [("500 ms", 0.5), ("30 s", 30.0), ("5 m", 300.0), ("2 h", 7200.0)]
-        {
-            let rule = format!(
-                "rule r {{ on a: event k() within {src} emit out() }}"
-            );
+        for (src, secs) in [("500 ms", 0.5), ("30 s", 30.0), ("5 m", 300.0), ("2 h", 7200.0)] {
+            let rule = format!("rule r {{ on a: event k() within {src} emit out() }}");
             let rules = parse_rules(&rule).unwrap();
             assert_eq!(rules[0].window, SimDuration::from_secs_f64(secs), "{src}");
         }

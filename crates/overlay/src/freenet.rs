@@ -74,10 +74,7 @@ impl Node for FreenetNode {
                     let origin = walk.visited.first().copied().unwrap_or(self.me.node);
                     out.send(
                         origin,
-                        FreenetMsg::Found {
-                            id: walk.id,
-                            hops: walk.visited.len() as u32,
-                        },
+                        FreenetMsg::Found { id: walk.id, hops: walk.visited.len() as u32 },
                     );
                     return;
                 }
@@ -94,11 +91,8 @@ impl Node for FreenetNode {
                 // Greedy: unvisited neighbour closest to the target;
                 // otherwise a random unvisited neighbour (the walk is not
                 // guaranteed to make progress — that is the point).
-                let mut candidates: Vec<&KeyedNode> = self
-                    .neighbors
-                    .iter()
-                    .filter(|n| !walk.visited.contains(&n.node))
-                    .collect();
+                let mut candidates: Vec<&KeyedNode> =
+                    self.neighbors.iter().filter(|n| !walk.visited.contains(&n.node)).collect();
                 if candidates.is_empty() {
                     let origin = walk.visited.first().copied().unwrap_or(self.me.node);
                     out.count("freenet.dead_end", 1.0);
@@ -254,10 +248,7 @@ mod tests {
         };
         let small = rate(8);
         let large = rate(256);
-        assert!(
-            small > large,
-            "expected degradation: small {small} vs large {large}"
-        );
+        assert!(small > large, "expected degradation: small {small} vs large {large}");
         assert!(large < 0.9, "large networks should miss sometimes: {large}");
     }
 

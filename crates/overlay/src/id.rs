@@ -156,7 +156,7 @@ mod tests {
 
     #[test]
     fn display_is_short_hex() {
-        let k = Key(0xdeadbeef_0000_0000_0000_0000_0000_0000);
+        let k = Key(0xdead_beef_0000_0000_0000_0000_0000_0000);
         assert_eq!(k.to_string(), "deadbeef..");
         assert_eq!(format!("{k:x}").len(), 32);
     }

@@ -192,13 +192,11 @@ impl<P> OverlayNode<P> {
     /// Handles a timer fire for one of [`timers`]' tags.
     pub fn on_timer(&mut self, _now: SimTime, tag: u64, out: &mut Outbox<OverlayMsg<P>>) {
         match tag {
-            timers::JOIN => {
-                if !self.joined {
-                    if let Some(b) = self.bootstrap {
-                        out.send(b, OverlayMsg::Join { joiner: self.me });
-                        // Retry until JoinDone arrives.
-                        out.timer(self.probe_interval * 4, timers::JOIN);
-                    }
+            timers::JOIN if !self.joined => {
+                if let Some(b) = self.bootstrap {
+                    out.send(b, OverlayMsg::Join { joiner: self.me });
+                    // Retry until JoinDone arrives.
+                    out.timer(self.probe_interval * 4, timers::JOIN);
                 }
             }
             timers::PROBE => {

@@ -112,7 +112,7 @@ impl LeafSet {
     ///
     /// Panics if `l` is zero or odd.
     pub fn new(owner: Key, l: usize) -> Self {
-        assert!(l >= 2 && l % 2 == 0, "leaf set size must be even and positive");
+        assert!(l >= 2 && l.is_multiple_of(2), "leaf set size must be even and positive");
         LeafSet { owner, half: l / 2, cw: Vec::new(), ccw: Vec::new() }
     }
 

@@ -72,13 +72,9 @@ pub fn assemble(
     let mut ids: BTreeMap<String, usize> = BTreeMap::new();
 
     for c in spec.children_named("component") {
-        let id = c
-            .attr("id")
-            .ok_or_else(|| AssemblyError::MissingAttribute("id".into()))?
-            .to_string();
-        let kind = c
-            .attr("kind")
-            .ok_or_else(|| AssemblyError::MissingAttribute("kind".into()))?;
+        let id =
+            c.attr("id").ok_or_else(|| AssemblyError::MissingAttribute("id".into()))?.to_string();
+        let kind = c.attr("kind").ok_or_else(|| AssemblyError::MissingAttribute("kind".into()))?;
         if ids.contains_key(&id) {
             return Err(AssemblyError::DuplicateId(id));
         }
@@ -93,12 +89,9 @@ pub fn assemble(
     }
 
     for l in spec.children_named("link") {
-        let from = l
-            .attr("from")
-            .ok_or_else(|| AssemblyError::MissingAttribute("link/@from".into()))?;
-        let to = l
-            .attr("to")
-            .ok_or_else(|| AssemblyError::MissingAttribute("link/@to".into()))?;
+        let from =
+            l.attr("from").ok_or_else(|| AssemblyError::MissingAttribute("link/@from".into()))?;
+        let to = l.attr("to").ok_or_else(|| AssemblyError::MissingAttribute("link/@to".into()))?;
         let fi = *ids.get(from).ok_or_else(|| AssemblyError::UnknownId(from.to_string()))?;
         let ti = *ids.get(to).ok_or_else(|| AssemblyError::UnknownId(to.to_string()))?;
         graph.connect(fi, ti);
@@ -106,9 +99,7 @@ pub fn assemble(
 
     let mut any_entry = false;
     for e in spec.children_named("entry") {
-        let id = e
-            .attr("id")
-            .ok_or_else(|| AssemblyError::MissingAttribute("entry/@id".into()))?;
+        let id = e.attr("id").ok_or_else(|| AssemblyError::MissingAttribute("entry/@id".into()))?;
         let idx = *ids.get(id).ok_or_else(|| AssemblyError::UnknownId(id.to_string()))?;
         graph.mark_entry(idx);
         any_entry = true;
@@ -164,11 +155,20 @@ mod tests {
         let reg = registry();
         let cases = [
             (r#"<p><component kind="counter"/><entry id="x"/></p>"#, "missing id"),
-            (r#"<p><component id="a" kind="counter"/><component id="a" kind="counter"/><entry id="a"/></p>"#, "duplicate"),
+            (
+                r#"<p><component id="a" kind="counter"/><component id="a" kind="counter"/><entry id="a"/></p>"#,
+                "duplicate",
+            ),
             (r#"<p><component id="a" kind="warp.drive"/><entry id="a"/></p>"#, "unknown kind"),
-            (r#"<p><component id="a" kind="counter"/><link from="a" to="zz"/><entry id="a"/></p>"#, "unknown id"),
+            (
+                r#"<p><component id="a" kind="counter"/><link from="a" to="zz"/><entry id="a"/></p>"#,
+                "unknown id",
+            ),
             (r#"<p><component id="a" kind="counter"/></p>"#, "no entries"),
-            (r#"<p><component id="a" kind="filter.movement"><cfg/></component><entry id="a"/></p>"#, "bad config"),
+            (
+                r#"<p><component id="a" kind="filter.movement"><cfg/></component><entry id="a"/></p>"#,
+                "bad config",
+            ),
         ];
         for (src, what) in cases {
             let spec = parse(src).unwrap();

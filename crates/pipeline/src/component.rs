@@ -118,9 +118,8 @@ impl PipelineGraph {
     /// leave the graph.
     pub fn push(&mut self, now: SimTime, event: Event) -> Vec<Event> {
         let entries = self.entries.clone();
-        let mut queue: Vec<(usize, Event)> =
-            entries.iter().map(|&i| (i, event.clone())).collect();
-        self.run_queue(now, queue.drain(..).collect())
+        let queue: Vec<(usize, Event)> = entries.iter().map(|&i| (i, event.clone())).collect();
+        self.run_queue(now, queue)
     }
 
     /// Pushes an event into one specific component.

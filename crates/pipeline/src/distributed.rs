@@ -87,15 +87,13 @@ impl Node for PipelineHost {
                 out.timer(self.tick_every, TICK_TIMER);
             }
             Input::Timer { .. } => {}
-            Input::Msg { msg: PipelineMsg::Put(xml), .. } => {
-                match Event::from_xml_text(&xml) {
-                    Ok(event) => {
-                        let produced = self.graph.push(now, event);
-                        self.dispatch(now, produced, out);
-                    }
-                    Err(_) => out.count("pipeline.malformed_events", 1.0),
+            Input::Msg { msg: PipelineMsg::Put(xml), .. } => match Event::from_xml_text(&xml) {
+                Ok(event) => {
+                    let produced = self.graph.push(now, event);
+                    self.dispatch(now, produced, out);
                 }
-            }
+                Err(_) => out.count("pipeline.malformed_events", 1.0),
+            },
         }
     }
 }
@@ -159,10 +157,7 @@ impl DistributedPipeline {
     /// Pushes an event into a node's pipeline (stamping provenance).
     pub fn put(&mut self, node: NodeIndex, mut event: Event) {
         self.seq += 1;
-        event.stamp(
-            gloss_event::EventId { origin: node, seq: self.seq },
-            self.world.now(),
-        );
+        event.stamp(gloss_event::EventId { origin: node, seq: self.seq }, self.world.now());
         self.world.inject(node, node, PipelineMsg::Put(event.to_xml().to_xml()));
     }
 

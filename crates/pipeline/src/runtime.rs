@@ -56,8 +56,7 @@ impl ThreadedPipeline {
                             break;
                         }
                         Work::Event(event) => {
-                            let now =
-                                SimTime::from_micros(epoch.elapsed().as_micros() as u64);
+                            let now = SimTime::from_micros(epoch.elapsed().as_micros() as u64);
                             let mut emit = Emit::new();
                             component.put(now, event, &mut emit);
                             for ev in emit.drain() {

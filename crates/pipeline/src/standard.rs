@@ -95,7 +95,13 @@ pub struct Buffer {
 impl Buffer {
     /// Creates a buffer flushing at `capacity` events or `max_age`.
     pub fn new(name: impl Into<String>, capacity: usize, max_age: SimDuration) -> Self {
-        Buffer { name: name.into(), capacity: capacity.max(1), max_age, held: Vec::new(), oldest: None }
+        Buffer {
+            name: name.into(),
+            capacity: capacity.max(1),
+            max_age,
+            held: Vec::new(),
+            oldest: None,
+        }
     }
 
     /// Events currently held.
@@ -286,17 +292,14 @@ pub fn register_standard(registry: &mut Registry<Box<dyn Component>>) {
         Ok(Box::new(MovementThreshold::new("movement", min_km)) as Box<dyn Component>)
     });
     registry.register("buffer", |cfg| {
-        let capacity: usize =
-            cfg.attr("capacity").and_then(|s| s.parse().ok()).unwrap_or(16);
-        let max_age_ms: u64 =
-            cfg.attr("max_age_ms").and_then(|s| s.parse().ok()).unwrap_or(1_000);
+        let capacity: usize = cfg.attr("capacity").and_then(|s| s.parse().ok()).unwrap_or(16);
+        let max_age_ms: u64 = cfg.attr("max_age_ms").and_then(|s| s.parse().ok()).unwrap_or(1_000);
         Ok(Box::new(Buffer::new("buffer", capacity, SimDuration::from_millis(max_age_ms)))
             as Box<dyn Component>)
     });
     registry.register("throttle", |cfg| {
         let key = cfg.attr("key").unwrap_or("user").to_string();
-        let period_ms: u64 =
-            cfg.attr("period_ms").and_then(|s| s.parse().ok()).unwrap_or(1_000);
+        let period_ms: u64 = cfg.attr("period_ms").and_then(|s| s.parse().ok()).unwrap_or(1_000);
         Ok(Box::new(Throttle::new("throttle", key, SimDuration::from_millis(period_ms)))
             as Box<dyn Component>)
     });
@@ -312,7 +315,8 @@ pub fn register_standard(registry: &mut Registry<Box<dyn Component>>) {
         }
         Ok(Box::new(r) as Box<dyn Component>)
     });
-    registry.register("counter", |_cfg| Ok(Box::new(Counter::new("counter")) as Box<dyn Component>));
+    registry
+        .register("counter", |_cfg| Ok(Box::new(Counter::new("counter")) as Box<dyn Component>));
 }
 
 /// Builds a filter component from a full content-based filter spec given

@@ -197,9 +197,7 @@ impl RfidGate {
     /// Produces a read event for `tag`.
     pub fn read(&mut self, tag: &str) -> Event {
         self.reads += 1;
-        Event::new("rfid.read")
-            .with_attr("gate", self.gate.as_str())
-            .with_attr("tag", tag)
+        Event::new("rfid.read").with_attr("gate", self.gate.as_str()).with_attr("tag", tag)
     }
 }
 
@@ -295,11 +293,7 @@ mod tests {
         assert_eq!(e.str_attr("gate"), Some("library-door"));
         assert_eq!(g.reads, 1);
         let mut out = Emit::new();
-        g.put(
-            SimTime::ZERO,
-            Event::new("tag.seen").with_attr("tag", "tag-7"),
-            &mut out,
-        );
+        g.put(SimTime::ZERO, Event::new("tag.seen").with_attr("tag", "tag-7"), &mut out);
         let events = out.drain();
         assert_eq!(events[0].kind(), "rfid.read");
         assert_eq!(events[0].str_attr("tag"), Some("tag-7"));

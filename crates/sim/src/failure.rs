@@ -73,7 +73,7 @@ impl ChurnModel {
             let mut rng = rng.fork_indexed("churn", node.0 as u64);
             let mut t = SimTime::ZERO;
             loop {
-                t = t + rng.exp_duration(self.mtbf);
+                t += rng.exp_duration(self.mtbf);
                 if t >= horizon {
                     break;
                 }
@@ -83,7 +83,7 @@ impl ChurnModel {
                     ChurnKind::Crash
                 };
                 events.push(ChurnEvent { at: t, node, kind });
-                t = t + rng.exp_duration(self.mttr);
+                t += rng.exp_duration(self.mttr);
                 if t >= horizon {
                     break;
                 }

@@ -18,10 +18,15 @@ use rand::{Rng, SeedableRng};
 /// let mut a = SimRng::new(42);
 /// let mut b = SimRng::new(42);
 /// assert_eq!(a.range(0, 1000), b.range(0, 1000));
-/// // Forks with different labels are independent streams.
+/// // Forks with the same label replay the same stream…
 /// let mut fa = a.fork("overlay");
-/// let mut fb = b.fork("store");
-/// let _ = (fa.range(0, 10), fb.range(0, 10));
+/// let mut fb = b.fork("overlay");
+/// assert_eq!(fa.range(0, 1000), fb.range(0, 1000));
+/// // …and forks with different labels are independent streams.
+/// let mut fc = a.fork("store");
+/// let overlay: Vec<u64> = (0..8).map(|_| fa.range(0, 1 << 30)).collect();
+/// let store: Vec<u64> = (0..8).map(|_| fc.range(0, 1 << 30)).collect();
+/// assert_ne!(overlay, store);
 /// ```
 #[derive(Debug, Clone)]
 pub struct SimRng {

@@ -87,8 +87,7 @@ impl LruCache {
             self.entries.remove(&doc.guid);
         }
         while self.used_bytes + doc.size() > self.capacity_bytes {
-            let Some((&lru_key, _)) =
-                self.entries.iter().min_by_key(|(_, (_, stamp))| *stamp)
+            let Some((&lru_key, _)) = self.entries.iter().min_by_key(|(_, (_, stamp))| *stamp)
             else {
                 break;
             };
@@ -201,11 +200,7 @@ mod tests {
         for i in 0..10 {
             c.insert(doc(&format!("d{i}"), 10));
             assert!(c.used_bytes() <= 25);
-            assert_eq!(
-                c.used_bytes(),
-                c.len() * 10,
-                "byte accounting must match entry count"
-            );
+            assert_eq!(c.used_bytes(), c.len() * 10, "byte accounting must match entry count");
         }
     }
 }

@@ -62,8 +62,8 @@ fn tables() -> &'static ([u8; 512], [u8; 256]) {
         let mut exp = [0u8; 512];
         let mut log = [0u8; 256];
         let mut x: u16 = 1;
-        for i in 0..255 {
-            exp[i] = x as u8;
+        for (i, e) in exp.iter_mut().enumerate().take(255) {
+            *e = x as u8;
             log[x as usize] = i as u8;
             x <<= 1;
             if x & 0x100 != 0 {
@@ -106,9 +106,8 @@ fn gf_pow(a: u8, e: usize) -> u8 {
 fn invert(matrix: &[Vec<u8>]) -> Option<Vec<Vec<u8>>> {
     let m = matrix.len();
     let mut a: Vec<Vec<u8>> = matrix.to_vec();
-    let mut inv: Vec<Vec<u8>> = (0..m)
-        .map(|i| (0..m).map(|j| u8::from(i == j)).collect())
-        .collect();
+    let mut inv: Vec<Vec<u8>> =
+        (0..m).map(|i| (0..m).map(|j| u8::from(i == j)).collect()).collect();
     for col in 0..m {
         // Find a pivot.
         let pivot = (col..m).find(|&r| a[r][col] != 0)?;
@@ -337,8 +336,7 @@ mod tests {
         for len in [0usize, 1, 3, 4, 5, 64, 1000, 1001] {
             let data: Vec<u8> = (0..len).map(|i| (i * 31 % 251) as u8).collect();
             let shards = code.encode(&data);
-            let kept: Vec<(usize, Vec<u8>)> =
-                (3..7).map(|i| (i, shards[i].clone())).collect();
+            let kept: Vec<(usize, Vec<u8>)> = (3..7).map(|i| (i, shards[i].clone())).collect();
             assert_eq!(code.decode(&kept, len).unwrap(), data, "len {len}");
         }
     }
@@ -358,11 +356,7 @@ mod tests {
     fn duplicate_shards_do_not_count_twice() {
         let code = ErasureCode::new(2, 4).unwrap();
         let shards = code.encode(b"data!");
-        let kept = vec![
-            (1, shards[1].clone()),
-            (1, shards[1].clone()),
-            (1, shards[1].clone()),
-        ];
+        let kept = vec![(1, shards[1].clone()), (1, shards[1].clone()), (1, shards[1].clone())];
         assert!(code.decode(&kept, 5).is_err());
         let ok = vec![(1, shards[1].clone()), (1, shards[1].clone()), (3, shards[3].clone())];
         assert_eq!(code.decode(&ok, 5).unwrap(), b"data!");

@@ -60,11 +60,7 @@ impl StoreNetwork {
         let mut rng = SimRng::new(seed).fork("store-net");
         let directory: Vec<NodeSite> = topology
             .iter()
-            .map(|info| NodeSite {
-                node: info.index,
-                geo: info.geo,
-                region: info.region.clone(),
-            })
+            .map(|info| NodeSite { node: info.index, geo: info.geo, region: info.region.clone() })
             .collect();
         let mut nodes = Vec::with_capacity(n);
         for i in 0..n {
@@ -296,11 +292,7 @@ mod tests {
         let doc = Document::new("replicated-doc", vec![7u8; 64]);
         net.insert(NodeIndex(0), doc.clone());
         net.run_for(SimDuration::from_secs(60));
-        assert!(
-            net.replica_count(doc.guid) >= 3,
-            "got {} replicas",
-            net.replica_count(doc.guid)
-        );
+        assert!(net.replica_count(doc.guid) >= 3, "got {} replicas", net.replica_count(doc.guid));
     }
 
     #[test]
@@ -384,11 +376,8 @@ mod tests {
 
     #[test]
     fn backup_policy_creates_remote_replica() {
-        let cfg = StoreConfig {
-            replicas: 1,
-            backup_policy_min_km: Some(5_000.0),
-            ..Default::default()
-        };
+        let cfg =
+            StoreConfig { replicas: 1, backup_policy_min_km: Some(5_000.0), ..Default::default() };
         let mut net = settled(18, cfg, 17);
         let doc = Document::new("backup-me", vec![5u8; 64]);
         net.insert(NodeIndex(0), doc.clone());
@@ -401,11 +390,7 @@ mod tests {
         assert!(holders.len() >= 2, "backup replica created");
         let far = holders.iter().any(|&a| {
             holders.iter().any(|&b| {
-                net.world()
-                    .topology()
-                    .node(a)
-                    .geo
-                    .distance_km(net.world().topology().node(b).geo)
+                net.world().topology().node(a).geo.distance_km(net.world().topology().node(b).geo)
                     >= 5_000.0
             })
         });
@@ -434,9 +419,6 @@ mod tests {
         }
         let first = latencies.first().unwrap();
         let last = latencies.last().unwrap();
-        assert!(
-            last < first,
-            "policy should cut read latency: first {first}, last {last}"
-        );
+        assert!(last < first, "policy should cut read latency: first {first}, last {last}");
     }
 }

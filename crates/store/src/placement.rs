@@ -86,7 +86,11 @@ impl LatencyReductionPolicy {
     /// the same region, unless a copy already sits within 50 km of the
     /// reader.
     pub fn new(threshold: u64) -> Self {
-        LatencyReductionPolicy { threshold: threshold.max(1), near_km: 50.0, counts: BTreeMap::new() }
+        LatencyReductionPolicy {
+            threshold: threshold.max(1),
+            near_km: 50.0,
+            counts: BTreeMap::new(),
+        }
     }
 
     /// Adjusts the "close enough" radius.

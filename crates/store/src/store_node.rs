@@ -240,10 +240,7 @@ impl StoreNode {
     /// among itself and its leaf set).
     pub fn is_primary_for(&self, guid: Key) -> bool {
         let my_d = self.overlay.id().key.ring_distance(guid);
-        self.overlay
-            .leaf_members()
-            .iter()
-            .all(|m| m.key.ring_distance(guid) >= my_d)
+        self.overlay.leaf_members().iter().all(|m| m.key.ring_distance(guid) >= my_d)
     }
 
     /// The `k − 1` leaf-set members numerically closest to `guid` (the
@@ -251,11 +248,7 @@ impl StoreNode {
     fn replica_targets(&self, guid: Key) -> Vec<NodeIndex> {
         let mut members = self.overlay.leaf_members();
         members.sort_by_key(|m| m.key.ring_distance(guid));
-        members
-            .into_iter()
-            .take(self.cfg.replicas.saturating_sub(1))
-            .map(|m| m.node)
-            .collect()
+        members.into_iter().take(self.cfg.replicas.saturating_sub(1)).map(|m| m.node).collect()
     }
 
     fn heal(&mut self, out: &mut Outbox<StoreMsg>) {
@@ -481,7 +474,13 @@ impl StoreNode {
     }
 
     /// Post-serve hook: run the latency-reduction policy.
-    fn after_serve(&mut self, guid: Key, reader: NodeIndex, now: SimTime, out: &mut Outbox<StoreMsg>) {
+    fn after_serve(
+        &mut self,
+        guid: Key,
+        reader: NodeIndex,
+        now: SimTime,
+        out: &mut Outbox<StoreMsg>,
+    ) {
         if self.latency_policy.is_none() {
             return;
         }
@@ -491,11 +490,13 @@ impl StoreNode {
         let mut holders: Vec<NodeIndex> =
             self.policy_holders.get(&guid).map(|s| s.iter().copied().collect()).unwrap_or_default();
         holders.push(self.me);
-        let actions = self
-            .latency_policy
-            .as_mut()
-            .expect("checked above")
-            .on_access(guid, &reader_site, now, &self.directory, &holders);
+        let actions = self.latency_policy.as_mut().expect("checked above").on_access(
+            guid,
+            &reader_site,
+            now,
+            &self.directory,
+            &holders,
+        );
         self.run_placement_actions(actions, out);
     }
 
@@ -691,11 +692,8 @@ mod tests {
             .find(|(t, m, _)| *t == n(9) && matches!(m, StoreMsg::FetchReply { .. }));
         assert!(reply.is_some(), "served from the intermediate cache");
         // Path nodes get cache pushes (n9 and n7).
-        let pushes = out
-            .sends()
-            .iter()
-            .filter(|(_, m, _)| matches!(m, StoreMsg::CachePush { .. }))
-            .count();
+        let pushes =
+            out.sends().iter().filter(|(_, m, _)| matches!(m, StoreMsg::CachePush { .. })).count();
         assert_eq!(pushes, 2);
     }
 
@@ -746,28 +744,12 @@ mod tests {
         let mut out = Outbox::new();
         s.handle(SimTime::ZERO, n(5), StoreMsg::ReplicaPut { doc: d.clone() }, &mut out);
         let mut out = Outbox::new();
-        s.handle(
-            SimTime::ZERO,
-            n(2),
-            StoreMsg::HaveReplica { guid: d.guid, version: 1 },
-            &mut out,
-        );
-        assert!(matches!(
-            out.sends()[0].1,
-            StoreMsg::HaveReplicaAck { have: true, .. }
-        ));
+        s.handle(SimTime::ZERO, n(2), StoreMsg::HaveReplica { guid: d.guid, version: 1 }, &mut out);
+        assert!(matches!(out.sends()[0].1, StoreMsg::HaveReplicaAck { have: true, .. }));
         // A newer version elsewhere means we do not "have" it.
         let mut out = Outbox::new();
-        s.handle(
-            SimTime::ZERO,
-            n(2),
-            StoreMsg::HaveReplica { guid: d.guid, version: 2 },
-            &mut out,
-        );
-        assert!(matches!(
-            out.sends()[0].1,
-            StoreMsg::HaveReplicaAck { have: false, .. }
-        ));
+        s.handle(SimTime::ZERO, n(2), StoreMsg::HaveReplica { guid: d.guid, version: 2 }, &mut out);
+        assert!(matches!(out.sends()[0].1, StoreMsg::HaveReplicaAck { have: false, .. }));
     }
 
     #[test]

@@ -283,7 +283,9 @@ impl<'a> Parser<'a> {
                 self.expect("</")?;
                 let close = self.name()?;
                 if close != name {
-                    return Err(self.err(format!("mismatched close tag `{close}`, open was `{name}`")));
+                    return Err(
+                        self.err(format!("mismatched close tag `{close}`, open was `{name}`"))
+                    );
                 }
                 self.skip_ws();
                 self.expect(">")?;

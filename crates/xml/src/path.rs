@@ -135,11 +135,7 @@ impl Path {
                 terminal = Some(Terminal::Text);
                 break;
             }
-            let test = if p.eat("*") {
-                NameTest::Any
-            } else {
-                NameTest::Named(p.name()?)
-            };
+            let test = if p.eat("*") { NameTest::Any } else { NameTest::Named(p.name()?) };
             let mut preds = Vec::new();
             while p.peek() == Some(b'[') {
                 preds.push(p.predicate()?);
@@ -173,10 +169,9 @@ impl Path {
             for ctx in current {
                 // Candidates matching the name test, in document order.
                 let mut candidates: Vec<&'a Element> = match step.axis {
-                    Axis::Child => ctx
-                        .children()
-                        .filter(|c| Self::test_matches(&step.test, c))
-                        .collect(),
+                    Axis::Child => {
+                        ctx.children().filter(|c| Self::test_matches(&step.test, c)).collect()
+                    }
                     Axis::Descendant => DescendantsOrdered::new(ctx)
                         .filter(|d| Self::test_matches(&step.test, d))
                         .collect(),
@@ -211,11 +206,9 @@ impl Path {
     pub fn select_text(&self, context: &Element) -> Vec<String> {
         let owners = self.select(context);
         match &self.terminal {
-            Some(Terminal::Attr(name)) => owners
-                .iter()
-                .filter_map(|e| e.attr(name))
-                .map(str::to_string)
-                .collect(),
+            Some(Terminal::Attr(name)) => {
+                owners.iter().filter_map(|e| e.attr(name)).map(str::to_string).collect()
+            }
             Some(Terminal::Text) | None => owners.iter().map(|e| e.text()).collect(),
         }
     }
@@ -301,7 +294,8 @@ impl<'a> PathParser<'a> {
 
     fn name(&mut self) -> Result<String, PathError> {
         let start = self.pos;
-        while matches!(self.peek(), Some(b) if b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-' | b'.' | b':')) {
+        while matches!(self.peek(), Some(b) if b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-' | b'.' | b':'))
+        {
             self.bump();
         }
         if self.pos == start {
@@ -410,10 +404,7 @@ mod tests {
     #[test]
     fn text_terminal() {
         let d = doc();
-        assert_eq!(
-            Path::parse("user/role/text()").unwrap().select_text(&d),
-            vec!["tourist"]
-        );
+        assert_eq!(Path::parse("user/role/text()").unwrap().select_text(&d), vec!["tourist"]);
     }
 
     #[test]
@@ -433,10 +424,7 @@ mod tests {
     #[test]
     fn position_predicate() {
         let d = doc();
-        assert_eq!(
-            Path::parse("readings/r[2]/text()").unwrap().select_text(&d),
-            vec!["2"]
-        );
+        assert_eq!(Path::parse("readings/r[2]/text()").unwrap().select_text(&d), vec!["2"]);
     }
 
     #[test]
@@ -444,9 +432,7 @@ mod tests {
         let d = doc();
         // Second *gps* reading, not second reading overall.
         assert_eq!(
-            Path::parse(r#"readings/r[@sensor="gps"][2]/text()"#)
-                .unwrap()
-                .select_text(&d),
+            Path::parse(r#"readings/r[@sensor="gps"][2]/text()"#).unwrap().select_text(&d),
             vec!["3"]
         );
     }
@@ -491,10 +477,7 @@ mod tests {
     #[test]
     fn element_result_yields_text() {
         let d = doc();
-        assert_eq!(
-            Path::parse("user/role").unwrap().select_text(&d),
-            vec!["tourist"]
-        );
+        assert_eq!(Path::parse("user/role").unwrap().select_text(&d), vec!["tourist"]);
     }
 
     #[test]

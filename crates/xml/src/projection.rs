@@ -288,10 +288,9 @@ impl fmt::Display for ProjError {
             ProjError::Missing { spec, field } => {
                 write!(f, "projection `{spec}`: required field `{field}` not found")
             }
-            ProjError::TypeMismatch { spec, field, expected, text } => write!(
-                f,
-                "projection `{spec}`: field `{field}` expected {expected}, got `{text}`"
-            ),
+            ProjError::TypeMismatch { spec, field, expected, text } => {
+                write!(f, "projection `{spec}`: field `{field}` expected {expected}, got `{text}`")
+            }
             ProjError::BadPath(e) => write!(f, "projection spec: {e}"),
         }
     }
@@ -497,12 +496,8 @@ impl ProjSpec {
                 field: format!("{fname}/@path"),
             })?;
             let required = f.attr("required") != Some("false");
-            let ty = f
-                .children()
-                .next()
-                .map(Self::type_from_xml)
-                .transpose()?
-                .unwrap_or(FieldType::Str);
+            let ty =
+                f.children().next().map(Self::type_from_xml).transpose()?.unwrap_or(FieldType::Str);
             spec = spec.try_field(fname, fpath, ty, required)?;
         }
         Ok(spec)
@@ -577,8 +572,7 @@ mod tests {
         assert_eq!(rec.bool("indoor"), Some(false));
         assert_eq!(rec.int("seq"), Some(9));
         assert_eq!(rec.int("floor"), None);
-        let tags: Vec<&str> =
-            rec.list("tags").unwrap().iter().filter_map(Value::as_str).collect();
+        let tags: Vec<&str> = rec.list("tags").unwrap().iter().filter_map(Value::as_str).collect();
         assert_eq!(tags, vec!["a", "b"]);
     }
 
@@ -631,11 +625,11 @@ mod tests {
         let spec = ProjSpec::new("outer").field(
             "pos",
             "pos",
-            FieldType::Record(
-                ProjSpec::new("pos")
-                    .field("lat", "@lat", FieldType::Float)
-                    .field("lon", "@lon", FieldType::Float),
-            ),
+            FieldType::Record(ProjSpec::new("pos").field("lat", "@lat", FieldType::Float).field(
+                "lon",
+                "@lon",
+                FieldType::Float,
+            )),
         );
         let rec = project(&location_doc(), &spec).unwrap();
         let pos = rec.record("pos").unwrap();
@@ -644,17 +638,16 @@ mod tests {
 
     #[test]
     fn list_of_records() {
-        let doc = parse(
-            r#"<m><r s="gps" v="1"/><r s="temp" v="2"/></m>"#,
-        )
-        .unwrap();
+        let doc = parse(r#"<m><r s="gps" v="1"/><r s="temp" v="2"/></m>"#).unwrap();
         let spec = ProjSpec::new("m").field(
             "rs",
             "r",
             FieldType::List(Box::new(FieldType::Record(
-                ProjSpec::new("r")
-                    .field("s", "@s", FieldType::Str)
-                    .field("v", "@v", FieldType::Int),
+                ProjSpec::new("r").field("s", "@s", FieldType::Str).field(
+                    "v",
+                    "@v",
+                    FieldType::Int,
+                ),
             ))),
         );
         let rec = project(&doc, &spec).unwrap();
@@ -687,9 +680,11 @@ mod tests {
         let spec = ProjSpec::new("outer").field(
             "items",
             "items/item",
-            FieldType::List(Box::new(FieldType::Record(
-                ProjSpec::new("item").field("id", "@id", FieldType::Int),
-            ))),
+            FieldType::List(Box::new(FieldType::Record(ProjSpec::new("item").field(
+                "id",
+                "@id",
+                FieldType::Int,
+            )))),
         );
         let back = ProjSpec::from_xml(&spec.to_xml()).unwrap();
         assert_eq!(back, spec);

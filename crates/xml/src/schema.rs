@@ -420,15 +420,9 @@ mod tests {
         let refs: Vec<&Element> = docs.iter().collect();
         let schema = Schema::infer(&refs).unwrap();
         let extra_attr = parse(r#"<ev seq="7" new="1"><u id="z"/></ev>"#).unwrap();
-        assert!(matches!(
-            schema.validate(&extra_attr),
-            Err(SchemaError::UnknownAttr { .. })
-        ));
+        assert!(matches!(schema.validate(&extra_attr), Err(SchemaError::UnknownAttr { .. })));
         let extra_child = parse(r#"<ev seq="7"><u id="z"/><brand_new/></ev>"#).unwrap();
-        assert!(matches!(
-            schema.validate(&extra_child),
-            Err(SchemaError::UnknownChild { .. })
-        ));
+        assert!(matches!(schema.validate(&extra_child), Err(SchemaError::UnknownChild { .. })));
     }
 
     #[test]
@@ -471,8 +465,11 @@ mod tests {
         let evolved = parse(r#"<ev seq="7"><u id="z"/><r v="1"/><weather t="20"/></ev>"#).unwrap();
         assert!(schema.bind(&evolved).is_err());
         // Projection of the known island still works.
-        let spec = crate::projection::ProjSpec::new("p")
-            .field("id", "u/@id", crate::projection::FieldType::Str);
+        let spec = crate::projection::ProjSpec::new("p").field(
+            "id",
+            "u/@id",
+            crate::projection::FieldType::Str,
+        );
         assert!(crate::projection::project(&evolved, &spec).is_ok());
     }
 

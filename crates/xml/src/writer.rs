@@ -178,9 +178,6 @@ mod tests {
         );
         let reparsed = parse(e.to_pretty_xml().trim()).unwrap();
         // Text content of leaves survives; structural whitespace differs.
-        assert_eq!(
-            reparsed.child("user").unwrap().child("likes").unwrap().text(),
-            "ice cream"
-        );
+        assert_eq!(reparsed.child("user").unwrap().child("likes").unwrap().text(), "ice cream");
     }
 }

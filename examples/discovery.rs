@@ -11,11 +11,8 @@ use gloss::event::{Event, Filter};
 use gloss::sim::{NodeIndex, SimDuration};
 
 fn main() {
-    let mut arch = ActiveArchitecture::build(ArchConfig {
-        nodes: 8,
-        seed: 5,
-        ..Default::default()
-    });
+    let mut arch =
+        ActiveArchitecture::build(ArchConfig { nodes: 8, seed: 5, ..Default::default() });
     arch.settle();
 
     // A vendor publishes handler code for a brand-new sensor type into

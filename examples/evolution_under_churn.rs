@@ -10,11 +10,8 @@ use gloss::core::{ActiveArchitecture, ArchConfig, ServiceSpec};
 use gloss::sim::{NodeIndex, SimDuration};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut arch = ActiveArchitecture::build(ArchConfig {
-        nodes: 10,
-        seed: 99,
-        ..Default::default()
-    });
+    let mut arch =
+        ActiveArchitecture::build(ArchConfig { nodes: 10, seed: 99, ..Default::default() });
     arch.settle();
 
     let spec = ServiceSpec::new(

@@ -29,11 +29,8 @@ const RULES: &str = r#"
 "#;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut arch = ActiveArchitecture::build(ArchConfig {
-        nodes: 10,
-        seed: 7,
-        ..Default::default()
-    });
+    let mut arch =
+        ActiveArchitecture::build(ArchConfig { nodes: 10, seed: 7, ..Default::default() });
     arch.settle();
 
     // Anna (back home) recommended the Harbour Grill in Sydney months ago.
@@ -48,20 +45,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "Harbour Grill",
         &[Fact::new("Harbour Grill", "located_at", Term::Geo(harbour_grill))],
     );
-    arch.seed_knowledge(
-        NodeIndex(2),
-        "bob",
-        &[Fact::new("bob", "knows", Term::str("anna"))],
-    );
+    arch.seed_knowledge(NodeIndex(2), "bob", &[Fact::new("bob", "knows", Term::str("anna"))]);
     arch.run_for(SimDuration::from_secs(30));
 
     // The service runs wherever the evolution engine places it — require
     // an instance in Australia, near Bob.
-    let spec = ServiceSpec::new(
-        "recommendations",
-        RULES,
-        vec![(Some("australia".into()), 1), (None, 2)],
-    )?;
+    let spec =
+        ServiceSpec::new("recommendations", RULES, vec![(Some("australia".into()), 1), (None, 2)])?;
     arch.deploy_service(spec);
     arch.run_for(SimDuration::from_secs(60));
     println!(

@@ -54,11 +54,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for ev in &arch.node(NodeIndex(3)).ui_received {
         println!("UI received: {ev}");
     }
-    println!(
-        "sensed {} events, synthesised {}",
-        arch.total_sensed(),
-        arch.total_synthesized()
-    );
+    println!("sensed {} events, synthesised {}", arch.total_sensed(), arch.total_synthesized());
     assert!(!arch.node(NodeIndex(3)).ui_received.is_empty(), "alert must arrive");
     Ok(())
 }

@@ -79,7 +79,7 @@ fn matchlets_consume_store_backed_facts() {
     let mut net = StoreNetwork::build(10, StoreConfig::default(), 2001);
     net.settle();
     let writer = DistributedKnowledge::new(NodeIndex(0));
-    let facts = vec![Fact::new("anna", "vip", Term::Bool(true))];
+    let facts = [Fact::new("anna", "vip", Term::Bool(true))];
     let refs: Vec<&Fact> = facts.iter().collect();
     writer.put_subject(&mut net, "anna", &refs);
     net.run_for(SimDuration::from_secs(30));
@@ -101,11 +101,8 @@ fn matchlets_consume_store_backed_facts() {
         "#,
     )
     .unwrap();
-    let out = engine.on_event(
-        SimTime::ZERO,
-        &Event::new("user.location").with_attr("user", "anna"),
-        &kb,
-    );
+    let out =
+        engine.on_event(SimTime::ZERO, &Event::new("user.location").with_attr("user", "anna"), &kb);
     assert_eq!(out.len(), 1);
     let none = engine.on_event(
         SimTime::from_secs(1),
@@ -138,13 +135,10 @@ fn bundle_data_objects_feed_local_code() {
     server.trust(key.clone());
     server.grant("ops", Capability::DeployMatchlet);
     server.grant("ops", Capability::StoreAccess);
-    let packet = Bundle::matchlet(
-        "with-config",
-        r#"rule r { on a: event k() emit out() }"#,
-    )
-    .issued_by("ops")
-    .with_data("config/thresholds", parse(r#"<t hot="18.0" cold="5.0"/>"#).unwrap())
-    .to_packet(&key);
+    let packet = Bundle::matchlet("with-config", r#"rule r { on a: event k() emit out() }"#)
+        .issued_by("ops")
+        .with_data("config/thresholds", parse(r#"<t hot="18.0" cold="5.0"/>"#).unwrap())
+        .to_packet(&key);
     server.receive_packet(&packet).unwrap();
     let cfg = server.object("config/thresholds").unwrap();
     assert_eq!(cfg.attr("hot"), Some("18.0"));

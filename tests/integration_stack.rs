@@ -87,11 +87,7 @@ fn knowledge_travels_through_the_p2p_store() {
 #[test]
 fn knowledge_updates_propagate_as_new_versions() {
     let mut a = arch(6, 1003);
-    a.seed_knowledge(
-        NodeIndex(1),
-        "bob",
-        &[Fact::new("bob", "likes", Term::str("ice cream"))],
-    );
+    a.seed_knowledge(NodeIndex(1), "bob", &[Fact::new("bob", "likes", Term::str("ice cream"))]);
     a.run_for(SimDuration::from_secs(30));
     a.prefetch_subject(NodeIndex(4), "bob");
     a.run_for(SimDuration::from_secs(30));
