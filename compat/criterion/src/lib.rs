@@ -6,8 +6,20 @@
 //! criterion's statistical machinery it times a calibrated batch of
 //! iterations with `Instant` and prints one mean-per-iteration line per
 //! benchmark — enough to compare hot paths between commits.
+//!
+//! Extras over plain printing:
+//!
+//! - positional CLI arguments (after `cargo bench ... --`) are substring
+//!   filters: only matching benchmarks run;
+//! - `CRITERION_JSON=<path>` appends one JSON line per benchmark
+//!   (`{"name": ..., "mean_ns": ..., "iters": ...}`), which
+//!   `scripts/bench_record.sh` assembles into a committed report;
+//! - `GLOSS_BENCH_SMOKE=1` clamps measurement to a few milliseconds per
+//!   benchmark so CI can *execute* every bench without paying for
+//!   stable numbers.
 
 use std::fmt;
+use std::io::Write as _;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
@@ -101,6 +113,12 @@ pub struct Criterion {
     measurement_time: Duration,
     warm_up_time: Duration,
     sample_size: usize,
+    /// Substring filters from the CLI; empty means run everything.
+    filters: Vec<String>,
+    /// Append one JSON line per benchmark here, when set.
+    json_path: Option<String>,
+    /// Clamp budgets so benches only prove they execute.
+    smoke: bool,
 }
 
 impl Default for Criterion {
@@ -109,11 +127,26 @@ impl Default for Criterion {
             measurement_time: Duration::from_millis(200),
             warm_up_time: Duration::from_millis(20),
             sample_size: 10,
+            filters: Vec::new(),
+            json_path: std::env::var("CRITERION_JSON").ok(),
+            smoke: std::env::var("GLOSS_BENCH_SMOKE").is_ok_and(|v| v != "0"),
         }
     }
 }
 
 impl Criterion {
+    /// Adopts positional CLI arguments as benchmark name filters
+    /// (mirroring real criterion's `configure_from_args`). Called by
+    /// `criterion_main!`-driven groups — NOT by `default()`, so
+    /// constructing a `Criterion` inside a test binary never picks up
+    /// libtest's filter arguments. Flag-style arguments (`-…`) are
+    /// ignored; a value following a flag is treated as a filter, so
+    /// prefer `cargo bench -- <substring>` without extra flags.
+    pub fn configure_from_args(mut self) -> Self {
+        self.filters = std::env::args().skip(1).filter(|a| !a.starts_with('-')).collect();
+        self
+    }
+
     pub fn sample_size(mut self, n: usize) -> Self {
         self.sample_size = n.max(1);
         self
@@ -134,14 +167,25 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher<'_>),
     {
+        if !self.filters.is_empty() && !self.filters.iter().any(|flt| name.contains(flt.as_str())) {
+            return self;
+        }
         // Spread the measurement budget over the configured samples so a
         // `measurement_time` tuned for real criterion keeps total runtime
         // in the same ballpark here.
         let per_sample = self.measurement_time / self.sample_size as u32;
+        let (measurement_time, warm_up_time) = if self.smoke {
+            (Duration::from_millis(2), Duration::ZERO)
+        } else {
+            (
+                per_sample.max(Duration::from_millis(5)),
+                self.warm_up_time.min(Duration::from_millis(50)),
+            )
+        };
         let unit = ();
         let mut bencher = Bencher {
-            measurement_time: per_sample.max(Duration::from_millis(5)),
-            warm_up_time: self.warm_up_time.min(Duration::from_millis(50)),
+            measurement_time,
+            warm_up_time,
             elapsed: Duration::ZERO,
             iterations: 0,
             _criterion: &unit,
@@ -157,6 +201,20 @@ impl Criterion {
             format_nanos(nanos),
             bencher.iterations
         );
+        if let Some(path) = &self.json_path {
+            let line = format!(
+                "{{\"name\": \"{name}\", \"mean_ns\": {nanos:.1}, \"iters\": {}}}",
+                bencher.iterations
+            );
+            let appended = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+                .and_then(|mut file| writeln!(file, "{line}"));
+            if let Err(e) = appended {
+                eprintln!("criterion: cannot append to {path}: {e}");
+            }
+        }
         self
     }
 
@@ -195,6 +253,7 @@ macro_rules! criterion_group {
     (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
         pub fn $name() {
             let mut criterion: $crate::Criterion = $config;
+            criterion = criterion.configure_from_args();
             $(
                 $target(&mut criterion);
             )+

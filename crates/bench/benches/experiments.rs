@@ -200,7 +200,15 @@ fn c6_binding(c: &mut Criterion) {
 }
 
 /// C7: the multi-pattern join (two buffered streams + facts).
+///
+/// Time advances `window / DEPTH` per iteration, so after the pre-fill
+/// each pattern's buffer holds a constant ~`DEPTH` partial matches and
+/// every iteration does the same amount of join work. (The seed version
+/// let the buffers grow with the iteration count, which made the mean
+/// depend on how many iterations the harness happened to run.)
 fn c7_join(c: &mut Criterion) {
+    const DEPTH: u64 = 64;
+    const WINDOW_MS: u64 = 5 * 60 * 1000;
     let mut kb = InMemoryFacts::new();
     kb.add(Fact::new("bob", "likes", Term::str("ice cream")));
     kb.add(Fact::new("bob", "nationality", Term::str("scottish")));
@@ -219,12 +227,74 @@ fn c7_join(c: &mut Criterion) {
     .unwrap();
     let weather = Event::new("weather.reading").with_attr("celsius", 20.0);
     let loc = Event::new("user.location").with_attr("user", "bob");
+    let step = WINDOW_MS / DEPTH;
     let mut t = 0u64;
-    c.bench_function("c7_two_pattern_join", |b| {
+    let tick = |engine: &mut MatchletEngine, t: &mut u64| {
+        *t += step;
+        engine.on_event(SimTime::from_millis(*t), &weather, &kb);
+        engine.on_event(SimTime::from_millis(*t + 1), &loc, &kb)
+    };
+    for _ in 0..DEPTH {
+        tick(&mut engine, &mut t);
+    }
+    c.bench_function("c7_two_pattern_join", |b| b.iter(|| tick(&mut engine, &mut t)));
+}
+
+/// S1: per-event cost as *unrelated* rules pile up. The kind index keeps
+/// the engine from touching rules that cannot match, so 10× more rules
+/// must cost roughly the same per event.
+fn s1_rule_scaling(c: &mut Criterion) {
+    let kb = InMemoryFacts::new();
+    for &rules in &[20usize, 200] {
+        let mut src = String::new();
+        for i in 0..rules {
+            src += &format!(
+                "rule r{i} {{ on a: event kind{i}(x: ?x) where ?x > 1 emit out{i}(x: ?x) }}\n"
+            );
+        }
+        let mut engine = MatchletEngine::compile(&src).unwrap();
+        let ev = Event::new("kind7").with_attr("x", 5i64);
+        let mut t = 0u64;
+        c.bench_function(&format!("s1_on_event_{rules}_rules"), |b| {
+            b.iter(|| {
+                t += 1;
+                engine.on_event(SimTime::from_micros(t), &ev, &kb)
+            })
+        });
+    }
+}
+
+/// S2: a selective two-pattern join over a deep buffer (512 buffered
+/// events across 128 users): the hash join visits only the ~4 compatible
+/// entries instead of scanning all 512.
+fn s2_join_deep_buffer(c: &mut Criterion) {
+    let kb = InMemoryFacts::new();
+    let mut engine = MatchletEngine::compile(
+        r#"
+        rule same_user {
+            on a: event enter(user: ?u, n: ?n)
+            on b: event exit(user: ?u)
+            within 1 h
+            emit visit(user: ?u, n: ?n)
+        }
+        "#,
+    )
+    .unwrap();
+    for i in 0..512u64 {
+        let ev = Event::new("enter")
+            .with_attr("user", format!("user{}", i % 128))
+            .with_attr("n", i as i64);
+        engine.on_event(SimTime::from_millis(i), &ev, &kb);
+    }
+    let exits: Vec<Event> =
+        (0..128).map(|i| Event::new("exit").with_attr("user", format!("user{i}"))).collect();
+    let mut i = 0usize;
+    let mut t = 600u64;
+    c.bench_function("s2_join_512_deep_buffer", |b| {
         b.iter(|| {
-            t += 2;
-            engine.on_event(SimTime::from_millis(t), &weather, &kb);
-            engine.on_event(SimTime::from_millis(t + 1), &loc, &kb)
+            i += 1;
+            t += 1;
+            engine.on_event(SimTime::from_millis(t), &exits[i % 128], &kb)
         })
     });
 }
@@ -277,6 +347,7 @@ criterion_group! {
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
     targets = e1_matching, e2_pipeline_push, e3_bundle_roundtrip, c1_filter_ops,
               c1_publish_through_network, c2_overlay_route, c3_cache_ops, c4_solver,
-              c6_binding, c7_join, c8_store_lookup, c9_retrieval, c10_erasure
+              c6_binding, c7_join, c8_store_lookup, c9_retrieval, c10_erasure,
+              s1_rule_scaling, s2_join_deep_buffer
 }
 criterion_main!(experiments);

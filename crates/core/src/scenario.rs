@@ -252,7 +252,7 @@ impl PopulationWorkload {
                     "nationality",
                     Term::str(*rng.choose(&nationalities).expect("non-empty")),
                 ),
-                Fact::new(&name, "knows", Term::str(&friend)),
+                Fact::new(&name, "knows", Term::str(friend.as_str())),
             ];
             // A third of the population shares Bob's taste.
             if u % 3 == 0 {

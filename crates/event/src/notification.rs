@@ -5,6 +5,7 @@ use gloss_sim::{NodeIndex, SimTime};
 use gloss_xml::{Element, ParseError};
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// Globally unique event identifier: publishing node + per-node sequence.
 ///
@@ -30,6 +31,12 @@ impl fmt::Display for EventId {
 /// [`Event::from_xml`] provide that wire form, used by the pipeline layer
 /// and by inter-node links.
 ///
+/// Attributes and payload are `Arc`-backed with copy-on-write mutation:
+/// cloning an event (which brokers do once per neighbour/subscriber on
+/// every routing hop) bumps two reference counts instead of deep-copying
+/// the attribute map, and [`Event::set_attr`] clones the map only when it
+/// is actually shared.
+///
 /// # Example
 ///
 /// ```
@@ -40,19 +47,41 @@ impl fmt::Display for EventId {
 /// assert_eq!(e.kind(), "weather.reading");
 /// assert_eq!(e.attr("celsius").and_then(|v| v.as_number()), Some(20.0));
 /// ```
-#[derive(Debug, Clone, PartialEq, Default)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Event {
-    kind: String,
-    attrs: BTreeMap<String, AttrValue>,
-    payload: Option<Element>,
+    kind: Arc<str>,
+    attrs: Arc<BTreeMap<Arc<str>, AttrValue>>,
+    payload: Option<Arc<Element>>,
     id: EventId,
     published_at: SimTime,
 }
 
+/// All attribute-less events share one empty map, so creating an event
+/// costs no map allocation until the first `set_attr`.
+fn empty_attrs() -> Arc<BTreeMap<Arc<str>, AttrValue>> {
+    use std::sync::OnceLock;
+    static EMPTY: OnceLock<Arc<BTreeMap<Arc<str>, AttrValue>>> = OnceLock::new();
+    EMPTY.get_or_init(|| Arc::new(BTreeMap::new())).clone()
+}
+
+impl Default for Event {
+    fn default() -> Self {
+        Event::new("")
+    }
+}
+
 impl Event {
-    /// Creates an event of the given kind with no attributes.
-    pub fn new(kind: impl Into<String>) -> Self {
-        Event { kind: kind.into(), ..Default::default() }
+    /// Creates an event of the given kind with no attributes. Passing an
+    /// `Arc<str>` kind (e.g. one cached by a rule engine) is
+    /// allocation-free.
+    pub fn new(kind: impl Into<Arc<str>>) -> Self {
+        Event {
+            kind: kind.into(),
+            attrs: empty_attrs(),
+            payload: None,
+            id: EventId::default(),
+            published_at: SimTime::default(),
+        }
     }
 
     /// The event kind (e.g. `"user.location"`).
@@ -99,7 +128,7 @@ impl Event {
 
     /// All attributes in name order.
     pub fn attrs(&self) -> impl Iterator<Item = (&str, &AttrValue)> {
-        self.attrs.iter().map(|(k, v)| (k.as_str(), v))
+        self.attrs.iter().map(|(k, v)| (k.as_ref(), v))
     }
 
     /// Number of attributes.
@@ -107,45 +136,47 @@ impl Event {
         self.attrs.len()
     }
 
-    /// Sets an attribute.
-    pub fn set_attr(&mut self, name: impl Into<String>, value: impl Into<AttrValue>) {
-        self.attrs.insert(name.into(), value.into());
+    /// Sets an attribute (copy-on-write: clones the attribute map only
+    /// if it is shared with another event). Passing `Arc<str>` for the
+    /// name is allocation-free.
+    pub fn set_attr(&mut self, name: impl Into<Arc<str>>, value: impl Into<AttrValue>) {
+        Arc::make_mut(&mut self.attrs).insert(name.into(), value.into());
     }
 
     /// Builder form of [`set_attr`](Self::set_attr).
-    pub fn with_attr(mut self, name: impl Into<String>, value: impl Into<AttrValue>) -> Self {
+    pub fn with_attr(mut self, name: impl Into<Arc<str>>, value: impl Into<AttrValue>) -> Self {
         self.set_attr(name, value);
         self
     }
 
     /// The structured payload, if any.
     pub fn payload(&self) -> Option<&Element> {
-        self.payload.as_ref()
+        self.payload.as_deref()
     }
 
     /// Attaches a structured payload.
     pub fn with_payload(mut self, payload: Element) -> Self {
-        self.payload = Some(payload);
+        self.payload = Some(Arc::new(payload));
         self
     }
 
     /// Serialises to the XML wire form.
     pub fn to_xml(&self) -> Element {
         let mut el = Element::new("event")
-            .with_attr("kind", &self.kind)
+            .with_attr("kind", self.kind.as_ref())
             .with_attr("origin", self.id.origin.0.to_string())
             .with_attr("seq", self.id.seq.to_string())
             .with_attr("at", self.published_at.as_micros().to_string());
-        for (name, value) in &self.attrs {
+        for (name, value) in self.attrs.iter() {
             el.push(
                 Element::new("attr")
-                    .with_attr("name", name)
+                    .with_attr("name", name.as_ref())
                     .with_attr("type", value.type_name())
                     .with_text(value.to_text()),
             );
         }
         if let Some(p) = &self.payload {
-            el.push(Element::new("payload").with_child(p.clone()));
+            el.push(Element::new("payload").with_child(Element::clone(p)));
         }
         el
     }
@@ -162,15 +193,16 @@ impl Event {
         let at = el.attr("at").and_then(|s| s.parse().ok()).unwrap_or(0);
         ev.id = EventId { origin: NodeIndex(origin), seq };
         ev.published_at = SimTime::from_micros(at);
+        let attrs = Arc::make_mut(&mut ev.attrs);
         for a in el.children_named("attr") {
             if let (Some(name), Some(ty)) = (a.attr("name"), a.attr("type")) {
                 if let Some(v) = AttrValue::from_text(ty, &a.text()) {
-                    ev.attrs.insert(name.to_string(), v);
+                    attrs.insert(name.into(), v);
                 }
             }
         }
         if let Some(p) = el.child("payload").and_then(|p| p.children().next()) {
-            ev.payload = Some(p.clone());
+            ev.payload = Some(Arc::new(p.clone()));
         }
         ev
     }
@@ -269,6 +301,21 @@ mod tests {
         let e = Event::from_xml(&el);
         assert_eq!(e.id(), EventId::default());
         assert_eq!(e.published_at(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn clone_is_shallow_and_set_attr_copies_on_write() {
+        let original = sample();
+        let mut cloned = original.clone();
+        assert_eq!(cloned, original);
+        // Mutating the clone must not leak into the original.
+        cloned.set_attr("user", "anna");
+        assert_eq!(cloned.str_attr("user"), Some("anna"));
+        assert_eq!(original.str_attr("user"), Some("bob"));
+        // An unshared event mutates in place (no second map).
+        let mut solo = Event::new("x").with_attr("a", 1i64);
+        solo.set_attr("b", 2i64);
+        assert_eq!(solo.attr_count(), 2);
     }
 
     #[test]

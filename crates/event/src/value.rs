@@ -2,16 +2,20 @@
 
 use std::cmp::Ordering;
 use std::fmt;
+use std::sync::Arc;
 
 /// The value of an event attribute.
 ///
 /// Comparisons between `Int` and `Float` are numeric; all other cross-type
 /// comparisons are undefined (constraints on mismatched types simply fail
 /// to match, they do not error).
+///
+/// Strings are `Arc<str>` so values clone by reference-count bump on the
+/// broker routing and matching hot paths.
 #[derive(Debug, Clone, PartialEq)]
 pub enum AttrValue {
     /// A string.
-    Str(String),
+    Str(Arc<str>),
     /// A 64-bit integer.
     Int(i64),
     /// A 64-bit float.
@@ -80,7 +84,7 @@ impl AttrValue {
     /// [`AttrValue::from_text`] given the [`type_name`](Self::type_name).
     pub fn to_text(&self) -> String {
         match self {
-            AttrValue::Str(s) => s.clone(),
+            AttrValue::Str(s) => s.to_string(),
             AttrValue::Int(i) => i.to_string(),
             AttrValue::Float(f) => {
                 // Preserve float-ness through the round trip.
@@ -99,7 +103,7 @@ impl AttrValue {
     /// Returns `None` for unknown types or unparseable text.
     pub fn from_text(type_name: &str, text: &str) -> Option<AttrValue> {
         match type_name {
-            "str" => Some(AttrValue::Str(text.to_string())),
+            "str" => Some(AttrValue::Str(text.into())),
             "int" => text.trim().parse().ok().map(AttrValue::Int),
             "float" => text.trim().parse().ok().map(AttrValue::Float),
             "bool" => match text.trim() {
@@ -125,12 +129,18 @@ impl fmt::Display for AttrValue {
 
 impl From<&str> for AttrValue {
     fn from(s: &str) -> Self {
-        AttrValue::Str(s.to_string())
+        AttrValue::Str(s.into())
     }
 }
 
 impl From<String> for AttrValue {
     fn from(s: String) -> Self {
+        AttrValue::Str(s.into())
+    }
+}
+
+impl From<Arc<str>> for AttrValue {
+    fn from(s: Arc<str>) -> Self {
         AttrValue::Str(s)
     }
 }

@@ -51,7 +51,7 @@ impl DistributedKnowledge {
                 Term::Time(t) => {
                     fe.set_attr("us", t.as_micros().to_string());
                 }
-                Term::Str(s) => fe.push(Element::new("value").with_text(s)),
+                Term::Str(s) => fe.push(Element::new("value").with_text(s.as_ref())),
                 Term::Int(i) => fe.push(Element::new("value").with_text(i.to_string())),
                 Term::Float(x) => fe.push(Element::new("value").with_text(x.to_string())),
                 Term::Bool(b) => fe.push(Element::new("value").with_text(b.to_string())),
@@ -78,7 +78,7 @@ impl DistributedKnowledge {
             };
             let value_text = fe.child("value").map(|v| v.text()).unwrap_or_default();
             let object = match fe.attr("type") {
-                Some("str") => Term::Str(value_text),
+                Some("str") => Term::Str(value_text.into()),
                 Some("int") => match value_text.parse() {
                     Ok(v) => Term::Int(v),
                     Err(_) => continue,

@@ -1,15 +1,21 @@
 //! Facts: subject/predicate/object triples with validity intervals.
 
+use gloss_sim::FnvHashMap;
 use gloss_sim::{GeoPoint, SimTime};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// A knowledge-base value (also the runtime value type of the matchlet
 /// language).
+///
+/// Strings are `Arc<str>` so cloning a term — which matching does for
+/// every binding it materialises — is a reference-count bump, never a
+/// heap copy.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Term {
     /// A string.
-    Str(String),
+    Str(Arc<str>),
     /// An integer.
     Int(i64),
     /// A float.
@@ -24,7 +30,7 @@ pub enum Term {
 
 impl Term {
     /// Convenience string constructor.
-    pub fn str(s: impl Into<String>) -> Term {
+    pub fn str(s: impl Into<Arc<str>>) -> Term {
         Term::Str(s.into())
     }
 
@@ -107,12 +113,12 @@ impl fmt::Display for Term {
 
 impl From<&str> for Term {
     fn from(s: &str) -> Term {
-        Term::Str(s.to_string())
+        Term::Str(s.into())
     }
 }
 impl From<String> for Term {
     fn from(s: String) -> Term {
-        Term::Str(s)
+        Term::Str(s.into())
     }
 }
 impl From<i64> for Term {
@@ -207,14 +213,30 @@ pub trait FactSource {
     ) -> Box<dyn Iterator<Item = &'a Fact> + 'a> {
         Box::new(self.query(subject, predicate).filter(move |f| f.valid_at(t)))
     }
+
+    /// Calls `f` for every fact valid at `t` with the given subject
+    /// and/or predicate. This is the matcher's inner loop; implementors
+    /// with indexed storage can override it to avoid boxing an iterator
+    /// per query.
+    fn for_each_at(
+        &self,
+        subject: Option<&str>,
+        predicate: Option<&str>,
+        t: SimTime,
+        f: &mut dyn FnMut(&Fact),
+    ) {
+        for fact in self.query_at(subject, predicate, t) {
+            f(fact);
+        }
+    }
 }
 
 /// An indexed in-memory fact store.
 #[derive(Debug, Clone, Default)]
 pub struct InMemoryFacts {
     facts: Vec<Fact>,
-    by_predicate: HashMap<String, Vec<usize>>,
-    by_subject: HashMap<String, Vec<usize>>,
+    by_predicate: FnvHashMap<String, Vec<usize>>,
+    by_subject: FnvHashMap<String, Vec<usize>>,
 }
 
 impl InMemoryFacts {
@@ -276,27 +298,70 @@ impl InMemoryFacts {
     }
 }
 
+impl InMemoryFacts {
+    /// The index positions matching a subject/predicate query (the
+    /// smaller index wins; subject lists are usually short), or `None`
+    /// for an unconstrained query. The flag reports whether candidates
+    /// still need the predicate checked (only the subject-indexed arm
+    /// does; the predicate index already guarantees it).
+    fn candidate_indices(
+        &self,
+        subject: Option<&str>,
+        predicate: Option<&str>,
+    ) -> Option<(&[usize], bool)> {
+        static EMPTY: &[usize] = &[];
+        match (subject, predicate) {
+            (Some(s), _) => {
+                let idx = self.by_subject.get(s).map_or(EMPTY, Vec::as_slice);
+                Some((idx, predicate.is_some()))
+            }
+            (None, Some(p)) => Some((self.by_predicate.get(p).map_or(EMPTY, Vec::as_slice), false)),
+            (None, None) => None,
+        }
+    }
+}
+
 impl FactSource for InMemoryFacts {
     fn query<'a>(
         &'a self,
         subject: Option<&'a str>,
         predicate: Option<&'a str>,
     ) -> Box<dyn Iterator<Item = &'a Fact> + 'a> {
-        match (subject, predicate) {
-            (Some(s), Some(p)) => {
-                // The smaller index wins; subject lists are usually short.
-                let idx = self.by_subject.get(s).cloned().unwrap_or_default();
-                Box::new(idx.into_iter().map(|i| &self.facts[i]).filter(move |f| f.predicate == p))
+        match self.candidate_indices(subject, predicate) {
+            Some((idx, check_predicate)) => {
+                Box::new(idx.iter().map(|&i| &self.facts[i]).filter(move |f| {
+                    !check_predicate || predicate.is_none_or(|p| f.predicate == p)
+                }))
             }
-            (Some(s), None) => {
-                let idx = self.by_subject.get(s).cloned().unwrap_or_default();
-                Box::new(idx.into_iter().map(|i| &self.facts[i]))
+            None => Box::new(self.facts.iter()),
+        }
+    }
+
+    fn for_each_at(
+        &self,
+        subject: Option<&str>,
+        predicate: Option<&str>,
+        t: SimTime,
+        f: &mut dyn FnMut(&Fact),
+    ) {
+        match self.candidate_indices(subject, predicate) {
+            Some((idx, check_predicate)) => {
+                for &i in idx {
+                    let fact = &self.facts[i];
+                    if (!check_predicate || predicate.is_none_or(|p| fact.predicate == p))
+                        && fact.valid_at(t)
+                    {
+                        f(fact);
+                    }
+                }
             }
-            (None, Some(p)) => {
-                let idx = self.by_predicate.get(p).cloned().unwrap_or_default();
-                Box::new(idx.into_iter().map(|i| &self.facts[i]))
+            None => {
+                for fact in &self.facts {
+                    if fact.valid_at(t) {
+                        f(fact);
+                    }
+                }
             }
-            (None, None) => Box::new(self.facts.iter()),
         }
     }
 }

@@ -61,10 +61,10 @@ impl Place {
     pub fn to_facts(&self) -> Vec<Fact> {
         let mut facts = vec![
             Fact::new(&self.name, "located_at", Term::Geo(self.geo)),
-            Fact::new(&self.name, "on_street", Term::str(&self.street)),
+            Fact::new(&self.name, "on_street", Term::str(self.street.as_str())),
         ];
         for c in &self.categories {
-            facts.push(Fact::new(&self.name, "sells", Term::str(c)));
+            facts.push(Fact::new(&self.name, "sells", Term::str(c.as_str())));
         }
         if let Some((open, close)) = self.hours {
             facts.push(Fact::new(&self.name, "opens_at", Term::Int(open as i64)));

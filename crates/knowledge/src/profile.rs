@@ -57,17 +57,18 @@ impl UserProfile {
     pub fn to_facts(&self) -> Vec<Fact> {
         let mut facts = Vec::new();
         for item in &self.likes {
-            facts.push(Fact::new(&self.name, "likes", Term::str(item)));
+            facts.push(Fact::new(&self.name, "likes", Term::str(item.as_str())));
         }
         for (k, v) in &self.traits {
             facts.push(Fact::new(&self.name, k, v.clone()));
         }
         for other in &self.knows {
-            facts.push(Fact::new(&self.name, "knows", Term::str(other)));
+            facts.push(Fact::new(&self.name, "knows", Term::str(other.as_str())));
         }
         for (at, place) in &self.history {
             facts.push(
-                Fact::new(&self.name, "visited", Term::str(place)).valid_between(*at, SimTime::MAX),
+                Fact::new(&self.name, "visited", Term::str(place.as_str()))
+                    .valid_between(*at, SimTime::MAX),
             );
         }
         facts

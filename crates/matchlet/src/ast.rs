@@ -1,5 +1,6 @@
 //! The matchlet language abstract syntax.
 
+use crate::symbol::Symbol;
 use gloss_knowledge::Term;
 use gloss_sim::SimDuration;
 use std::fmt;
@@ -8,8 +9,8 @@ use std::fmt;
 /// wildcard.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Pat {
-    /// `?name` — binds (or unifies with) a variable.
-    Var(String),
+    /// `?name` — binds (or unifies with) a variable (interned).
+    Var(Symbol),
     /// A literal the value must equal.
     Lit(Term),
     /// `_` — matches anything, binds nothing.
@@ -80,8 +81,8 @@ impl fmt::Display for BinOp {
 pub enum Expr {
     /// A literal value.
     Lit(Term),
-    /// A variable reference (`?x`).
-    Var(String),
+    /// A variable reference (`?x`, interned).
+    Var(Symbol),
     /// A builtin function call.
     Call(String, Vec<Expr>),
     /// A binary operation.
@@ -179,13 +180,13 @@ pub fn expr_to_goals(expr: Expr) -> Vec<Goal> {
             let pred_expr = it.next().expect("3 args");
             let object = expr_to_pat(it.next().expect("3 args"));
             let predicate = match pred_expr {
-                Expr::Lit(Term::Str(s)) => s,
+                Expr::Lit(Term::Str(s)) => s.as_ref().to_owned(),
                 // Bare identifiers parse as zero-arg calls ("atoms").
                 Expr::Call(name, args) if args.is_empty() => name,
                 Expr::Var(v) => {
                     // A variable predicate is not supported; treat as a
                     // literal name for robustness.
-                    v
+                    v.as_str().to_string()
                 }
                 other => {
                     return vec![Goal::Cond(Expr::Call(
@@ -207,7 +208,7 @@ fn expr_to_pat(e: Expr) -> Pat {
         Expr::Lit(t) => Pat::Lit(t),
         // Identifiers in fact positions parse as zero-arg calls; treat
         // their names as string literals ("bare atoms").
-        Expr::Call(name, args) if args.is_empty() => Pat::Lit(Term::Str(name)),
+        Expr::Call(name, args) if args.is_empty() => Pat::Lit(Term::Str(name.into())),
         _ => Pat::Wild,
     }
 }

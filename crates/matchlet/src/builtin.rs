@@ -75,15 +75,15 @@ pub fn call(name: &str, args: &[Term], now: SimTime) -> Result<Term, EvalError> 
         },
         // --- strings ---
         "lower" => match args {
-            [Term::Str(s)] => Ok(Term::Str(s.to_lowercase())),
+            [Term::Str(s)] => Ok(Term::Str(s.to_lowercase().into())),
             _ => Err(bad()),
         },
         "contains" => match args {
-            [Term::Str(h), Term::Str(n)] => Ok(Term::Bool(h.contains(n.as_str()))),
+            [Term::Str(h), Term::Str(n)] => Ok(Term::Bool(h.contains(n.as_ref() as &str))),
             _ => Err(bad()),
         },
         "concat" => match args {
-            [Term::Str(a), Term::Str(b)] => Ok(Term::Str(format!("{a}{b}"))),
+            [Term::Str(a), Term::Str(b)] => Ok(Term::Str(format!("{a}{b}").into())),
             _ => Err(bad()),
         },
         // --- numeric ---

@@ -1,29 +1,112 @@
 //! The matchlet engine: windowed multi-event joins driving rule firing.
+//!
+//! The hot path is indexed and allocation-lean:
+//!
+//! - a **kind index** maps event kinds to the `(rule, pattern)` pairs
+//!   that listen for them, so an event never touches a rule that cannot
+//!   match it (and [`MatchletEngine::handles_kind`] is O(1));
+//! - pattern fields are **precompiled** (attribute name vs. parsed XPath
+//!   projection), so matching never re-parses keys;
+//! - multi-pattern joins use a **hash join** keyed on the variables the
+//!   patterns share, falling back to a nested loop only for tiny buffers
+//!   or variable-disjoint (cartesian) joins;
+//! - bindings are flat `(Symbol, Term)` vectors ([`Bindings`]), so
+//!   environments clone in one allocation and compare keys by integer.
 
-use crate::ast::Rule;
-use crate::eval::{eval, solve, unify, Bindings};
+use crate::ast::{EventPattern, Pat, Rule};
+use crate::eval::{eval, solve_mut, unify, Bindings};
 use crate::parser::{parse_rules, MatchletError};
+use crate::symbol::Symbol;
 use gloss_event::{AttrValue, Event};
 use gloss_knowledge::{FactSource, Term};
+use gloss_sim::FnvHashMap;
 use gloss_sim::SimTime;
 use gloss_xml::Path;
 use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// How one pattern field reads its value from an event, precompiled so
+/// the per-event path never inspects or parses field keys.
+#[derive(Debug, Clone)]
+enum FieldAccess {
+    /// A typed attribute, by name.
+    Attr(String),
+    /// An XPath type projection into the XML payload (§3).
+    Payload(Path),
+    /// A projection key that failed to parse: matches nothing.
+    Invalid,
+}
+
+#[derive(Debug, Clone)]
+struct CompiledField {
+    access: FieldAccess,
+    pat: Pat,
+}
+
+/// A precompiled event pattern: field accessors plus the variables the
+/// pattern binds (sorted, for set intersection during joins).
+#[derive(Debug, Clone)]
+struct CompiledPattern {
+    fields: Vec<CompiledField>,
+    vars: Vec<Symbol>,
+}
+
+impl CompiledPattern {
+    fn new(pattern: &EventPattern) -> Self {
+        let fields = pattern
+            .fields
+            .iter()
+            .map(|(key, pat)| {
+                let access = if key.contains('/') || key.starts_with('@') {
+                    match Path::parse(key) {
+                        Ok(path) => FieldAccess::Payload(path),
+                        Err(_) => FieldAccess::Invalid,
+                    }
+                } else {
+                    FieldAccess::Attr(key.clone())
+                };
+                CompiledField { access, pat: pat.clone() }
+            })
+            .collect::<Vec<_>>();
+        let mut vars: Vec<Symbol> = fields
+            .iter()
+            .filter_map(|f| match f.pat {
+                Pat::Var(v) => Some(v),
+                _ => None,
+            })
+            .collect();
+        vars.sort_unstable();
+        vars.dedup();
+        CompiledPattern { fields, vars }
+    }
+}
 
 /// A rule plus its per-pattern event buffers.
 #[derive(Debug, Clone)]
 pub struct CompiledRule {
     /// The rule.
     pub rule: Rule,
+    /// Precompiled patterns, parallel to `rule.patterns`.
+    compiled: Vec<CompiledPattern>,
     /// Per-pattern buffers of `(arrival time, bindings)`.
     buffers: Vec<VecDeque<(SimTime, Bindings)>>,
+    /// The emit kind, shared so every synthesised event clones a
+    /// refcount instead of the string.
+    emit_kind: Arc<str>,
+    /// Emit field names, parallel to `rule.emit.fields`, shared the same
+    /// way.
+    emit_keys: Vec<Arc<str>>,
     /// How many times the rule has fired.
     pub fired: u64,
 }
 
 impl CompiledRule {
     fn new(rule: Rule) -> Self {
+        let compiled = rule.patterns.iter().map(CompiledPattern::new).collect();
         let buffers = vec![VecDeque::new(); rule.patterns.len()];
-        CompiledRule { rule, buffers, fired: 0 }
+        let emit_kind = Arc::from(rule.emit.kind.as_str());
+        let emit_keys = rule.emit.fields.iter().map(|(k, _)| Arc::from(k.as_str())).collect();
+        CompiledRule { rule, compiled, buffers, emit_kind, emit_keys, fired: 0 }
     }
 
     fn evict_before(&mut self, cutoff: SimTime) {
@@ -69,9 +152,11 @@ impl EngineStats {
 #[derive(Debug, Clone, Default)]
 pub struct MatchletEngine {
     rules: Vec<CompiledRule>,
+    /// Event kind → `(rule index, pattern index)` pairs listening for it,
+    /// in rule order. Rebuilt on rule addition/removal.
+    kind_index: FnvHashMap<String, Vec<(u32, u32)>>,
     /// Engine statistics.
     pub stats: EngineStats,
-    emit_seq: u64,
 }
 
 impl MatchletEngine {
@@ -107,6 +192,10 @@ impl MatchletEngine {
 
     /// Adds one already-parsed rule.
     pub fn add_rule(&mut self, rule: Rule) {
+        let ri = self.rules.len() as u32;
+        for (pi, pattern) in rule.patterns.iter().enumerate() {
+            self.kind_index.entry(pattern.kind.clone()).or_default().push((ri, pi as u32));
+        }
         self.rules.push(CompiledRule::new(rule));
     }
 
@@ -114,7 +203,23 @@ impl MatchletEngine {
     pub fn remove_rule(&mut self, name: &str) -> bool {
         let before = self.rules.len();
         self.rules.retain(|r| r.rule.name != name);
-        before != self.rules.len()
+        if before == self.rules.len() {
+            return false;
+        }
+        self.rebuild_kind_index();
+        true
+    }
+
+    fn rebuild_kind_index(&mut self) {
+        self.kind_index.clear();
+        for (ri, compiled) in self.rules.iter().enumerate() {
+            for (pi, pattern) in compiled.rule.patterns.iter().enumerate() {
+                self.kind_index
+                    .entry(pattern.kind.clone())
+                    .or_default()
+                    .push((ri as u32, pi as u32));
+            }
+        }
     }
 
     /// The hosted rule names.
@@ -127,12 +232,15 @@ impl MatchletEngine {
         &self.rules
     }
 
-    /// Whether any rule listens for the given event kind.
+    /// Whether any rule listens for the given event kind (one index
+    /// lookup; hosting layers call this per event).
     pub fn handles_kind(&self, kind: &str) -> bool {
-        self.rules.iter().any(|r| r.rule.patterns.iter().any(|p| p.kind == kind))
+        self.kind_index.contains_key(kind)
     }
 
-    /// Offers an event to every rule; returns the synthesised events.
+    /// Offers an event to the rules listening for its kind; returns the
+    /// synthesised events. Rules without a pattern on the event's kind
+    /// are never touched.
     ///
     /// Joining semantics: the new event is fixed at each pattern position
     /// it matches and joined against the *buffered* partial matches of
@@ -142,135 +250,306 @@ impl MatchletEngine {
     pub fn on_event(&mut self, now: SimTime, event: &Event, kb: &dyn FactSource) -> Vec<Event> {
         self.stats.events_in += 1;
         let mut out = Vec::new();
-        for rule_idx in 0..self.rules.len() {
-            let window = self.rules[rule_idx].rule.window;
+        let Some(entries) = self.kind_index.get(event.kind()) else {
+            return out;
+        };
+        // Entries are grouped by rule (rule order, then pattern order).
+        let mut i = 0;
+        while i < entries.len() {
+            let ri = entries[i].0 as usize;
+            let mut j = i;
+            while j < entries.len() && entries[j].0 as usize == ri {
+                j += 1;
+            }
+            let pattern_entries = &entries[i..j];
+            i = j;
+
+            let rule = &mut self.rules[ri];
+            let window = rule.rule.window;
             let cutoff = if now.as_micros() > window.as_micros() {
                 SimTime::from_micros(now.as_micros() - window.as_micros())
             } else {
                 SimTime::ZERO
             };
-            self.rules[rule_idx].evict_before(cutoff);
+            rule.evict_before(cutoff);
 
-            let pattern_count = self.rules[rule_idx].rule.patterns.len();
             let mut matched: Vec<(usize, Bindings)> = Vec::new();
-            for p in 0..pattern_count {
-                if let Some(b) = Self::match_pattern(&self.rules[rule_idx].rule.patterns[p], event)
-                {
+            for &(_, pi) in pattern_entries {
+                let p = pi as usize;
+                if let Some(b) = match_compiled(&rule.compiled[p], event) {
                     matched.push((p, b));
                 }
             }
-            for (p, bindings) in &matched {
-                self.join_and_fire(rule_idx, *p, bindings.clone(), now, kb, &mut out);
+            if matched.is_empty() {
+                continue;
             }
-            for (p, bindings) in matched {
-                self.rules[rule_idx].buffers[p].push_back((now, bindings));
+
+            // Single-pattern rules have no join partner, so their buffers
+            // are never read: fire directly and skip buffering entirely.
+            let single = self.rules[ri].rule.patterns.len() == 1;
+            let rule = &self.rules[ri];
+            let mut fired = 0u64;
+            let mut errors = 0u64;
+            if single {
+                for (p, bindings) in matched {
+                    join_and_fire(rule, p, bindings, now, kb, &mut out, &mut fired, &mut errors);
+                }
+                self.stats.eval_errors += errors;
+                self.rules[ri].fired += fired;
+            } else {
+                for (p, bindings) in &matched {
+                    join_and_fire(
+                        rule,
+                        *p,
+                        bindings.clone(),
+                        now,
+                        kb,
+                        &mut out,
+                        &mut fired,
+                        &mut errors,
+                    );
+                }
+                self.stats.eval_errors += errors;
+                let rule = &mut self.rules[ri];
+                rule.fired += fired;
+                for (p, bindings) in matched {
+                    rule.buffers[p].push_back((now, bindings));
+                }
             }
         }
         self.stats.events_out += out.len() as u64;
         out
     }
+}
 
-    /// Matches one pattern against an event, producing bindings.
-    fn match_pattern(pattern: &crate::ast::EventPattern, event: &Event) -> Option<Bindings> {
-        if pattern.kind != event.kind() {
-            return None;
-        }
-        let mut env = Bindings::new();
-        for (key, pat) in &pattern.fields {
-            let value = if key.contains('/') || key.starts_with('@') {
-                // Type projection into the XML payload (§3).
+/// Matches one precompiled pattern against an event, producing bindings.
+/// The kind has already been matched by the engine's kind index.
+fn match_compiled(pattern: &CompiledPattern, event: &Event) -> Option<Bindings> {
+    let mut env = Bindings::new();
+    for field in &pattern.fields {
+        let value = match &field.access {
+            FieldAccess::Attr(name) => attr_to_term(event.attr(name)?),
+            FieldAccess::Payload(path) => {
                 let payload = event.payload()?;
-                let path = Path::parse(key).ok()?;
                 let text = path.select_text_first(payload)?;
                 text_to_term(&text)
+            }
+            FieldAccess::Invalid => return None,
+        };
+        if !unify(&field.pat, &value, &mut env) {
+            return None;
+        }
+    }
+    Some(env)
+}
+
+/// Joins below this buffer size use the nested loop: building a hash
+/// table costs more than scanning a handful of entries.
+const HASH_JOIN_MIN_BUFFER: usize = 8;
+
+/// Joins the fixed bindings against the other patterns' buffers and
+/// fires the rule's goals/emit for every complete join environment.
+///
+/// Patterns sharing variables with the environment are joined through a
+/// hash table keyed on a fingerprint of the shared variables' values, so
+/// only compatible buffer entries are visited; fingerprint collisions are
+/// harmless because `merge` re-verifies every shared binding.
+#[allow(clippy::too_many_arguments)]
+fn join_and_fire(
+    rule: &CompiledRule,
+    fixed_pattern: usize,
+    fixed_bindings: Bindings,
+    now: SimTime,
+    kb: &dyn FactSource,
+    out: &mut Vec<Event>,
+    fired: &mut u64,
+    errors: &mut u64,
+) {
+    if rule.compiled.len() == 1 {
+        // No join partners: solve straight over the pattern's bindings.
+        fire(rule, fixed_bindings, kb, now, out, fired, errors);
+        return;
+    }
+    let mut envs = vec![fixed_bindings];
+    // Variables bound so far (sorted): fixed pattern first, then each
+    // joined pattern's in turn.
+    let mut bound: Vec<Symbol> = rule.compiled[fixed_pattern].vars.clone();
+    let stages = rule.compiled.len() - 1;
+    let mut stage = 0;
+    for (p, cp) in rule.compiled.iter().enumerate() {
+        if p == fixed_pattern {
+            continue;
+        }
+        stage += 1;
+        let buffer = &rule.buffers[p];
+        if buffer.is_empty() {
+            return;
+        }
+        let join_vars: Vec<Symbol> =
+            cp.vars.iter().copied().filter(|v| bound.binary_search(v).is_ok()).collect();
+
+        // On the last stage, fire each merged environment directly
+        // instead of materialising one more `envs` vector.
+        let last = stage == stages;
+        let mut next = Vec::with_capacity(if last { 0 } else { envs.len() });
+        let mut sink = |child: Bindings, out: &mut Vec<Event>| {
+            if last {
+                fire(rule, child, kb, now, out, fired, errors);
             } else {
-                attr_to_term(event.attr(key)?)
-            };
-            if !unify(pat, &value, &mut env) {
+                next.push(child);
+            }
+        };
+        // Try the hash path in one pass over the buffer; `join_key`
+        // returns `None` for values whose fingerprint would not be
+        // faithful to `eq_term` (non-integral numerics), in which case
+        // the whole stage falls back to the nested loop.
+        let mut hashed = false;
+        if !join_vars.is_empty() && buffer.len() >= HASH_JOIN_MIN_BUFFER {
+            let mut table: FnvHashMap<u64, Vec<usize>> =
+                FnvHashMap::with_capacity_and_hasher(buffer.len(), Default::default());
+            let mut exact = true;
+            for (idx, (_, buffered)) in buffer.iter().enumerate() {
+                match join_key(buffered, &join_vars) {
+                    Some(key) => table.entry(key).or_default().push(idx),
+                    None => {
+                        exact = false;
+                        break;
+                    }
+                }
+            }
+            if exact {
+                hashed = true;
+                for env in &envs {
+                    match join_key(env, &join_vars) {
+                        Some(key) => {
+                            if let Some(bucket) = table.get(&key) {
+                                for &idx in bucket {
+                                    let (_, buffered) = &buffer[idx];
+                                    if let Some(child) = env.merged(buffered) {
+                                        sink(child, out);
+                                    }
+                                }
+                            }
+                        }
+                        // This probe's key is not exactly hashable:
+                        // scan the buffer for just this environment.
+                        None => {
+                            for (_, buffered) in buffer {
+                                if let Some(child) = env.merged(buffered) {
+                                    sink(child, out);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if !hashed {
+            for env in &envs {
+                for (_, buffered) in buffer {
+                    if let Some(child) = env.merged(buffered) {
+                        sink(child, out);
+                    }
+                }
+            }
+        }
+        if last {
+            return;
+        }
+        envs = next;
+        if envs.is_empty() {
+            return;
+        }
+        for v in &cp.vars {
+            if let Err(pos) = bound.binary_search(v) {
+                bound.insert(pos, *v);
+            }
+        }
+    }
+}
+
+/// Solves the rule's where-goals over one join environment and emits one
+/// event per solution, directly from the solution callback (no cloning
+/// of goals, emit, solutions, or the environment itself).
+fn fire(
+    rule: &CompiledRule,
+    mut env: Bindings,
+    kb: &dyn FactSource,
+    now: SimTime,
+    out: &mut Vec<Event>,
+    fired: &mut u64,
+    errors: &mut u64,
+) {
+    let mut local_fired = 0u64;
+    let mut emit_errors = 0u64;
+    let solve_errors = solve_mut(&rule.rule.goals, &mut env, kb, now, &mut |solution| {
+        let mut ev = Event::new(rule.emit_kind.clone());
+        for (key, (_, expr)) in rule.emit_keys.iter().zip(&rule.rule.emit.fields) {
+            match eval(expr, solution, kb, now) {
+                Ok(term) => ev.set_attr(key.clone(), term_to_attr(&term)),
+                Err(_) => {
+                    emit_errors += 1;
+                    return;
+                }
+            }
+        }
+        local_fired += 1;
+        out.push(ev);
+    });
+    *fired += local_fired;
+    *errors += solve_errors + emit_errors;
+}
+
+/// Fingerprints the join variables' values in `env` into a hash key, or
+/// `None` when the key cannot be hashed faithfully to
+/// [`Term::eq_term`] and the join must use the nested loop instead.
+///
+/// Numeric terms (`Int`/`Float`/`Time`) hash their `f64` value, so
+/// `Int(3)` and `Float(3.0)` land in the same bucket — but only
+/// *integral* values within `f64`'s exact range qualify: two integral
+/// values within eq_term's 1e-12 epsilon are bitwise equal, while
+/// non-integral or huge numerics can compare eq_term-equal with
+/// different bits and would make buckets diverge from nested-loop
+/// semantics. Unbound variables also yield `None` (cannot happen for a
+/// pattern's own buffered bindings). Non-numeric terms compare
+/// structurally and always hash faithfully.
+fn join_key(env: &Bindings, join_vars: &[Symbol]) -> Option<u64> {
+    use std::hash::Hasher as _;
+    // IEEE 754 zero has two bit patterns (+0.0 / -0.0) that compare
+    // equal; hash them identically.
+    fn norm_bits(f: f64) -> u64 {
+        (if f == 0.0 { 0.0 } else { f }).to_bits()
+    }
+    let mut h = gloss_sim::FnvHasher::default();
+    for &v in join_vars {
+        let term = env.get_sym(v)?;
+        if let Some(f) = term.as_f64() {
+            if f.fract() != 0.0 || f.abs() >= 9.0e15 {
                 return None;
             }
+            h.write_u8(1);
+            h.write_u64(norm_bits(f));
+        } else {
+            match term {
+                Term::Str(s) => {
+                    h.write_u8(2);
+                    h.write(s.as_bytes());
+                }
+                Term::Bool(b) => {
+                    h.write_u8(3);
+                    h.write_u8(*b as u8);
+                }
+                Term::Geo(g) => {
+                    h.write_u8(4);
+                    h.write_u64(norm_bits(g.lat));
+                    h.write_u64(norm_bits(g.lon));
+                }
+                // Int/Float/Time are numeric and handled above.
+                _ => h.write_u8(5),
+            }
         }
-        Some(env)
     }
-
-    fn join_and_fire(
-        &mut self,
-        rule_idx: usize,
-        fixed_pattern: usize,
-        fixed_bindings: Bindings,
-        now: SimTime,
-        kb: &dyn FactSource,
-        out: &mut Vec<Event>,
-    ) {
-        // Collect join environments across the other patterns' buffers.
-        let pattern_count = self.rules[rule_idx].rule.patterns.len();
-        let mut envs = vec![fixed_bindings];
-        for p in 0..pattern_count {
-            if p == fixed_pattern {
-                continue;
-            }
-            let mut next = Vec::new();
-            for env in &envs {
-                for (_, buffered) in &self.rules[rule_idx].buffers[p] {
-                    // Unify the buffered bindings into the environment.
-                    let mut child = env.clone();
-                    let mut compatible = true;
-                    for (k, v) in buffered {
-                        match child.get(k) {
-                            Some(existing) if !existing.eq_term(v) => {
-                                compatible = false;
-                                break;
-                            }
-                            Some(_) => {}
-                            None => {
-                                child.insert(k.clone(), v.clone());
-                            }
-                        }
-                    }
-                    if compatible {
-                        next.push(child);
-                    }
-                }
-            }
-            envs = next;
-            if envs.is_empty() {
-                return;
-            }
-        }
-
-        // Solve the where-goals for every join environment and emit.
-        let goals = self.rules[rule_idx].rule.goals.clone();
-        let emit = self.rules[rule_idx].rule.emit.clone();
-        let mut fired = 0u64;
-        let mut errors = 0u64;
-        for env in envs {
-            let mut solutions: Vec<Bindings> = Vec::new();
-            errors += solve(&goals, &env, kb, now, &mut |solution| {
-                solutions.push(solution.clone());
-            });
-            for solution in solutions {
-                let mut ev = Event::new(&emit.kind);
-                let mut ok = true;
-                for (field, expr) in &emit.fields {
-                    match eval(expr, &solution, kb, now) {
-                        Ok(term) => ev.set_attr(field, term_to_attr(&term)),
-                        Err(_) => {
-                            errors += 1;
-                            ok = false;
-                            break;
-                        }
-                    }
-                }
-                if ok {
-                    self.emit_seq += 1;
-                    fired += 1;
-                    out.push(ev);
-                }
-            }
-        }
-        self.rules[rule_idx].fired += fired;
-        self.stats.eval_errors += errors;
-    }
+    Some(h.finish())
 }
 
 /// Converts an event attribute to a matchlet term.
@@ -290,7 +569,7 @@ pub fn term_to_attr(term: &Term) -> AttrValue {
         Term::Int(i) => AttrValue::Int(*i),
         Term::Float(f) => AttrValue::Float(*f),
         Term::Bool(b) => AttrValue::Bool(*b),
-        Term::Geo(g) => AttrValue::Str(format!("{},{}", g.lat, g.lon)),
+        Term::Geo(g) => AttrValue::Str(format!("{},{}", g.lat, g.lon).into()),
         Term::Time(t) => AttrValue::Int(t.as_micros() as i64),
     }
 }
@@ -307,7 +586,7 @@ fn text_to_term(text: &str) -> Term {
     match t {
         "true" => Term::Bool(true),
         "false" => Term::Bool(false),
-        _ => Term::Str(text.to_string()),
+        _ => Term::str(text),
     }
 }
 
@@ -472,7 +751,28 @@ mod tests {
         assert_eq!(e.on_event(t(0), &Event::new("ping"), &kb()).len(), 1);
         assert!(e.remove_rule("r"));
         assert!(!e.remove_rule("r"));
+        assert!(!e.handles_kind("ping"));
         assert_eq!(e.on_event(t(1), &Event::new("ping"), &kb()).len(), 0);
+    }
+
+    #[test]
+    fn kind_index_tracks_rule_indices_after_removal() {
+        let mut e = MatchletEngine::new();
+        e.add_rules(
+            r#"
+            rule one { on a: event x() emit ox() }
+            rule two { on a: event y() emit oy() }
+            rule three { on a: event y() emit oz() }
+            "#,
+        )
+        .unwrap();
+        // Removing `one` shifts the indices of `two` and `three`.
+        assert!(e.remove_rule("one"));
+        assert!(!e.handles_kind("x"));
+        let out = e.on_event(t(0), &Event::new("y"), &kb());
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].kind(), "oy");
+        assert_eq!(out[1].kind(), "oz");
     }
 
     #[test]
@@ -505,6 +805,98 @@ mod tests {
         assert!(out.is_empty(), "different users do not join");
         let out = e.on_event(t(6), &Event::new("exit").with_attr("user", "bob"), &kb());
         assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn hash_join_matches_nested_loop_on_deep_buffers() {
+        // Buffer well past HASH_JOIN_MIN_BUFFER so the hash path runs,
+        // with only a few compatible entries.
+        let src = r#"
+            rule same_user {
+                on a: event enter(user: ?u, n: ?n)
+                on b: event exit(user: ?u)
+                within 10m
+                emit visit(user: ?u, n: ?n)
+            }
+        "#;
+        let mut e = MatchletEngine::compile(src).unwrap();
+        for i in 0..40i64 {
+            let user = format!("user{}", i % 10);
+            e.on_event(
+                t(i as u64),
+                &Event::new("enter").with_attr("user", user).with_attr("n", i),
+                &kb(),
+            );
+        }
+        // user3 entered 4 times (i = 3, 13, 23, 33).
+        let out = e.on_event(t(50), &Event::new("exit").with_attr("user", "user3"), &kb());
+        assert_eq!(out.len(), 4);
+        let ns: Vec<f64> = out.iter().map(|ev| ev.num_attr("n").unwrap()).collect();
+        assert_eq!(ns, vec![3.0, 13.0, 23.0, 33.0], "buffer order is preserved");
+    }
+
+    #[test]
+    fn numeric_join_keys_cross_int_float() {
+        // Int(3) in the buffer must hash-join with Float(3.0) probes,
+        // mirroring eq_term's numeric equality.
+        let src = r#"
+            rule num {
+                on a: event ia(v: ?v)
+                on b: event fb(v: ?v)
+                within 10m
+                emit both(v: ?v)
+            }
+        "#;
+        let mut e = MatchletEngine::compile(src).unwrap();
+        for i in 0..20i64 {
+            e.on_event(t(i as u64), &Event::new("ia").with_attr("v", i), &kb());
+        }
+        let out = e.on_event(t(30), &Event::new("fb").with_attr("v", 7.0), &kb());
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].num_attr("v"), Some(7.0));
+    }
+
+    #[test]
+    fn epsilon_equal_floats_join_even_with_deep_buffers() {
+        // 0.1 + 0.2 != 0.3 bitwise but eq_term-equal; the join must not
+        // lose the pair once the buffer is deep enough for the hash
+        // path, so non-integral floats fall back to the nested loop.
+        let src = r#"
+            rule f {
+                on a: event x(v: ?v)
+                on b: event y(v: ?v)
+                within 10m
+                emit z(v: ?v)
+            }
+        "#;
+        let mut e = MatchletEngine::compile(src).unwrap();
+        for i in 0..20u64 {
+            let v = if i == 5 { 0.1 + 0.2 } else { i as f64 + 0.5 };
+            e.on_event(t(i), &Event::new("x").with_attr("v", v), &kb());
+        }
+        let out = e.on_event(t(30), &Event::new("y").with_attr("v", 0.3), &kb());
+        assert_eq!(out.len(), 1, "epsilon-equal pair must join");
+    }
+
+    #[test]
+    fn negative_zero_joins_with_positive_zero_at_depth() {
+        // -0.0 and 0.0 are eq_term-equal with different bit patterns;
+        // the hash path must bucket them together.
+        let src = r#"
+            rule f {
+                on a: event x(v: ?v)
+                on b: event y(v: ?v)
+                within 10m
+                emit z(v: ?v)
+            }
+        "#;
+        let mut e = MatchletEngine::compile(src).unwrap();
+        for i in 0..20u64 {
+            let v = if i == 5 { -0.0 } else { (i as f64) + 1.0 };
+            e.on_event(t(i), &Event::new("x").with_attr("v", v), &kb());
+        }
+        let out = e.on_event(t(30), &Event::new("y").with_attr("v", 0.0), &kb());
+        assert_eq!(out.len(), 1, "-0.0 buffered entry must join a +0.0 probe");
     }
 
     #[test]

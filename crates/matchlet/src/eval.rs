@@ -3,14 +3,133 @@
 
 use crate::ast::{BinOp, Expr, Goal, Pat};
 use crate::builtin;
+use crate::symbol::Symbol;
 use gloss_knowledge::{FactSource, Term};
 use gloss_sim::SimTime;
-use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
+use std::ops::Index;
 
-/// Variable bindings accumulated during matching.
-pub type Bindings = BTreeMap<String, Term>;
+/// Variable bindings accumulated during matching: a flat vector of
+/// `(Symbol, Term)` pairs.
+///
+/// Environments are tiny (a handful of variables), so linear scans beat
+/// tree or hash lookups, and cloning is a single allocation instead of a
+/// node-per-entry `BTreeMap` rebuild. Keys are interned [`Symbol`]s, so
+/// clones never copy variable names.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Bindings {
+    entries: Vec<(Symbol, Term)>,
+}
+
+impl Bindings {
+    /// Creates an empty environment.
+    pub fn new() -> Self {
+        Bindings::default()
+    }
+
+    /// Number of bound variables.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing is bound.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The value bound to `name`, if any.
+    pub fn get(&self, name: &str) -> Option<&Term> {
+        let sym = Symbol::lookup(name)?;
+        self.get_sym(sym)
+    }
+
+    /// The value bound to an interned symbol, if any.
+    pub fn get_sym(&self, sym: Symbol) -> Option<&Term> {
+        self.entries.iter().find(|(s, _)| *s == sym).map(|(_, t)| t)
+    }
+
+    /// Whether `name` is bound.
+    pub fn contains_key(&self, name: &str) -> bool {
+        self.get(name).is_some()
+    }
+
+    /// Binds `name` to `value`, replacing any existing binding.
+    pub fn insert(&mut self, name: impl Into<Symbol>, value: Term) {
+        self.insert_sym(name.into(), value);
+    }
+
+    /// Binds an interned symbol to `value`, replacing any existing
+    /// binding.
+    pub fn insert_sym(&mut self, sym: Symbol, value: Term) {
+        match self.entries.iter_mut().find(|(s, _)| *s == sym) {
+            Some((_, t)) => *t = value,
+            None => self.entries.push((sym, value)),
+        }
+    }
+
+    /// Iterates over `(symbol, value)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (Symbol, &Term)> + '_ {
+        self.entries.iter().map(|(s, t)| (*s, t))
+    }
+
+    /// Drops all bindings after the first `len` (the solver's
+    /// backtracking undo: bindings are append-only within a frame).
+    fn truncate(&mut self, len: usize) {
+        self.entries.truncate(len);
+    }
+
+    /// Joins two environments: `None` if any shared variable disagrees
+    /// (under [`Term::eq_term`]), otherwise a new environment holding
+    /// this one's bindings extended with `other`'s. The conflict check
+    /// runs before any allocation, and the result is built in a single
+    /// exactly-sized allocation.
+    pub fn merged(&self, other: &Bindings) -> Option<Bindings> {
+        for (k, v) in &other.entries {
+            if let Some(existing) = self.get_sym(*k) {
+                if !existing.eq_term(v) {
+                    return None;
+                }
+            }
+        }
+        let mut entries = Vec::with_capacity(self.entries.len() + other.entries.len());
+        entries.extend(self.entries.iter().cloned());
+        for (k, v) in &other.entries {
+            if !entries.iter().any(|(s, _)| s == k) {
+                entries.push((*k, v.clone()));
+            }
+        }
+        Some(Bindings { entries })
+    }
+}
+
+impl Index<&str> for Bindings {
+    type Output = Term;
+
+    fn index(&self, name: &str) -> &Term {
+        self.get(name).unwrap_or_else(|| panic!("unbound variable ?{name}"))
+    }
+}
+
+impl FromIterator<(String, Term)> for Bindings {
+    fn from_iter<I: IntoIterator<Item = (String, Term)>>(iter: I) -> Self {
+        let mut b = Bindings::new();
+        for (k, v) in iter {
+            b.insert(k, v);
+        }
+        b
+    }
+}
+
+impl FromIterator<(Symbol, Term)> for Bindings {
+    fn from_iter<I: IntoIterator<Item = (Symbol, Term)>>(iter: I) -> Self {
+        let mut b = Bindings::new();
+        for (k, v) in iter {
+            b.insert_sym(k, v);
+        }
+        b
+    }
+}
 
 /// An evaluation failure.
 #[derive(Debug, Clone, PartialEq)]
@@ -67,7 +186,10 @@ pub fn eval(
 ) -> Result<Term, EvalError> {
     match expr {
         Expr::Lit(t) => Ok(t.clone()),
-        Expr::Var(v) => env.get(v).cloned().ok_or_else(|| EvalError::UnboundVariable(v.clone())),
+        Expr::Var(v) => env
+            .get_sym(*v)
+            .cloned()
+            .ok_or_else(|| EvalError::UnboundVariable(v.as_str().to_string())),
         Expr::Not(inner) => {
             let t = eval(inner, env, kb, now)?;
             let b = t
@@ -121,12 +243,21 @@ pub fn eval(
         Expr::Call(name, args) if args.is_empty() && !env.is_empty() && env.contains_key(name) => {
             // A bare atom that happens to shadow a variable name never
             // occurs in practice; keep atoms as strings.
-            Ok(Term::Str(name.clone()))
+            Ok(Term::str(name.as_str()))
         }
         Expr::Call(name, args) => {
             if args.is_empty() && !is_builtin(name) {
                 // Bare atom.
-                return Ok(Term::Str(name.clone()));
+                return Ok(Term::str(name.as_str()));
+            }
+            // Builtins take at most three arguments; evaluate into a
+            // stack buffer so calls never touch the allocator.
+            if args.len() <= 3 {
+                let mut buf = [Term::Bool(false), Term::Bool(false), Term::Bool(false)];
+                for (i, a) in args.iter().enumerate() {
+                    buf[i] = eval(a, env, kb, now)?;
+                }
+                return builtin::call(name, &buf[..args.len()], now);
             }
             let mut vals = Vec::with_capacity(args.len());
             for a in args {
@@ -182,7 +313,7 @@ fn apply_binop(op: BinOp, l: &Term, r: &Term) -> Result<Term, EvalError> {
             Ok(Term::Bool(b))
         }
         Add => match (l, r) {
-            (Term::Str(a), Term::Str(b)) => Ok(Term::Str(format!("{a}{b}"))),
+            (Term::Str(a), Term::Str(b)) => Ok(Term::Str(format!("{a}{b}").into())),
             (Term::Int(a), Term::Int(b)) => Ok(Term::Int(a + b)),
             _ => {
                 let (a, b) = (l.as_f64().ok_or_else(type_err)?, r.as_f64().ok_or_else(type_err)?);
@@ -218,10 +349,26 @@ pub fn unify(pat: &Pat, value: &Term, env: &mut Bindings) -> bool {
     match pat {
         Pat::Wild => true,
         Pat::Lit(expected) => expected.eq_term(value),
-        Pat::Var(name) => match env.get(name) {
+        Pat::Var(name) => match env.get_sym(*name) {
             Some(bound) => bound.eq_term(value),
             None => {
-                env.insert(name.clone(), value.clone());
+                env.insert_sym(*name, value.clone());
+                true
+            }
+        },
+    }
+}
+
+/// Unifies a pattern against a string value without materialising a
+/// `Term` unless the pattern actually binds (the fact-subject fast path).
+fn unify_str(pat: &Pat, value: &str, env: &mut Bindings) -> bool {
+    match pat {
+        Pat::Wild => true,
+        Pat::Lit(expected) => matches!(expected, Term::Str(s) if s.as_ref() == value),
+        Pat::Var(name) => match env.get_sym(*name) {
+            Some(bound) => bound.as_str() == Some(value),
+            None => {
+                env.insert_sym(*name, Term::str(value));
                 true
             }
         },
@@ -231,6 +378,10 @@ pub fn unify(pat: &Pat, value: &Term, env: &mut Bindings) -> bool {
 /// Solves a conjunction of goals left to right, invoking `on_solution`
 /// for every complete solution. `fact` goals backtrack over the knowledge
 /// base; condition goals filter.
+///
+/// Backtracking works by truncating a single scratch environment back to
+/// its pre-goal length (bindings are append-only within a frame), so
+/// enumerating a fact goal allocates nothing per candidate fact.
 ///
 /// Evaluation errors in conditions prune that branch (treated as
 /// non-matches) but are counted by the caller via the returned error
@@ -243,36 +394,58 @@ pub fn solve(
     now: SimTime,
     on_solution: &mut dyn FnMut(&Bindings),
 ) -> u64 {
+    let mut scratch = env.clone();
+    solve_mut(goals, &mut scratch, kb, now, on_solution)
+}
+
+/// [`solve`] over an owned environment: callers that are done with `env`
+/// avoid the defensive clone. `env` is restored to its original length
+/// before returning, but intermediate bindings may have been appended
+/// and truncated in place.
+pub fn solve_mut(
+    goals: &[Goal],
+    env: &mut Bindings,
+    kb: &dyn FactSource,
+    now: SimTime,
+    on_solution: &mut dyn FnMut(&Bindings),
+) -> u64 {
     match goals.split_first() {
         None => {
             on_solution(env);
             0
         }
         Some((Goal::Cond(expr), rest)) => match eval(expr, env, kb, now) {
-            Ok(Term::Bool(true)) => solve(rest, env, kb, now, on_solution),
+            Ok(Term::Bool(true)) => solve_mut(rest, env, kb, now, on_solution),
             Ok(_) => 0,
             Err(_) => 1,
         },
         Some((Goal::Fact { subject, predicate, object }, rest)) => {
-            // Use any already-bound subject to narrow the query.
-            let subject_hint: Option<String> = match subject {
+            // Use any already-bound subject to narrow the query. The hint
+            // is an `Arc` clone (a refcount bump) so the fact enumeration
+            // does not pin a borrow of the environment we mutate while
+            // backtracking.
+            let subject_hint: Option<std::sync::Arc<str>> = match subject {
                 Pat::Lit(Term::Str(s)) => Some(s.clone()),
-                Pat::Var(v) => env.get(v).and_then(|t| t.as_str().map(str::to_string)),
+                Pat::Var(v) => match env.get_sym(*v) {
+                    Some(Term::Str(s)) => Some(s.clone()),
+                    _ => None,
+                },
                 _ => None,
             };
+            let mark = env.len();
             let mut errors = 0;
-            let facts: Vec<_> =
-                kb.query_at(subject_hint.as_deref(), Some(predicate), now).cloned().collect();
-            for fact in facts {
-                let mut child = env.clone();
-                if !unify(subject, &Term::Str(fact.subject.clone()), &mut child) {
-                    continue;
+            kb.for_each_at(subject_hint.as_deref(), Some(predicate), now, &mut |fact| {
+                if !unify_str(subject, &fact.subject, env) {
+                    env.truncate(mark);
+                    return;
                 }
-                if !unify(object, &fact.object, &mut child) {
-                    continue;
+                if !unify(object, &fact.object, env) {
+                    env.truncate(mark);
+                    return;
                 }
-                errors += solve(rest, &child, kb, now, on_solution);
-            }
+                errors += solve_mut(rest, env, kb, now, on_solution);
+                env.truncate(mark);
+            });
             errors
         }
     }
@@ -374,6 +547,19 @@ mod tests {
         assert!(unify(&Pat::Wild, &Term::str("anything"), &mut env));
         assert!(unify(&Pat::Lit(Term::str("a")), &Term::str("a"), &mut env));
         assert!(!unify(&Pat::Lit(Term::str("a")), &Term::str("b"), &mut env));
+    }
+
+    #[test]
+    fn bindings_insert_replaces_and_iterates() {
+        let mut b = Bindings::new();
+        b.insert("x", Term::Int(1));
+        b.insert("y", Term::Int(2));
+        b.insert("x", Term::Int(3));
+        assert_eq!(b.len(), 2);
+        assert_eq!(b["x"], Term::Int(3));
+        let syms: Vec<Symbol> = b.iter().map(|(s, _)| s).collect();
+        assert_eq!(syms, vec![Symbol::intern("x"), Symbol::intern("y")]);
+        assert!(!b.contains_key("z"));
     }
 
     #[test]

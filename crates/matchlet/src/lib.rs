@@ -71,8 +71,10 @@ pub mod engine;
 pub mod eval;
 pub mod lexer;
 pub mod parser;
+pub mod symbol;
 
 pub use ast::{EmitSpec, EventPattern, Expr, Goal, Pat, Rule};
 pub use engine::{CompiledRule, EngineStats, MatchletEngine};
 pub use eval::{Bindings, EvalError};
 pub use parser::{parse_rules, MatchletError};
+pub use symbol::Symbol;

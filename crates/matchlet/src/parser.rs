@@ -190,7 +190,7 @@ impl Parser {
         match self.peek().kind.clone() {
             TokenKind::Var(v) => {
                 self.bump();
-                Ok(Pat::Var(v))
+                Ok(Pat::Var(v.into()))
             }
             TokenKind::Ident(s) if s == "_" => {
                 self.bump();
@@ -206,7 +206,7 @@ impl Parser {
             }
             TokenKind::Str(s) => {
                 self.bump();
-                Ok(Pat::Lit(Term::Str(s)))
+                Ok(Pat::Lit(Term::Str(s.into())))
             }
             TokenKind::Num(n) => {
                 self.bump();
@@ -364,11 +364,11 @@ impl Parser {
             }
             TokenKind::Str(s) => {
                 self.bump();
-                Ok(Expr::Lit(Term::Str(s)))
+                Ok(Expr::Lit(Term::Str(s.into())))
             }
             TokenKind::Var(v) => {
                 self.bump();
-                Ok(Expr::Var(v))
+                Ok(Expr::Var(v.into()))
             }
             TokenKind::Punct("(") => {
                 self.bump();

@@ -1,0 +1,115 @@
+//! Interned symbols for matchlet variable names.
+//!
+//! Variable names appear in every binding set the engine materialises
+//! while joining, so they are interned once (at parse time) into a
+//! process-wide table and carried as a copyable [`Symbol`] afterwards.
+//! This turns binding keys from heap `String`s into `u32`s: cloning an
+//! environment no longer clones names, and key comparison is an integer
+//! compare instead of a string compare.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Mutex, OnceLock};
+
+/// An interned name: a dense index into the process-wide symbol table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Symbol(u32);
+
+struct Interner {
+    /// Leaked so [`Symbol::as_str`] can hand out `&'static str` without
+    /// holding the lock. Bounded by the number of distinct names ever
+    /// parsed, which is bounded by rule source text.
+    names: Vec<&'static str>,
+    by_name: HashMap<&'static str, u32>,
+}
+
+fn interner() -> &'static Mutex<Interner> {
+    static INTERNER: OnceLock<Mutex<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| Mutex::new(Interner { names: Vec::new(), by_name: HashMap::new() }))
+}
+
+impl Symbol {
+    /// Interns `name`, returning its symbol (allocating a table entry on
+    /// first sight).
+    pub fn intern(name: &str) -> Symbol {
+        let mut table = interner().lock().expect("symbol table poisoned");
+        if let Some(&i) = table.by_name.get(name) {
+            return Symbol(i);
+        }
+        let i = u32::try_from(table.names.len()).expect("symbol table overflow");
+        let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
+        table.names.push(leaked);
+        table.by_name.insert(leaked, i);
+        Symbol(i)
+    }
+
+    /// Looks `name` up without interning it; `None` if it was never
+    /// interned (and therefore cannot be bound anywhere).
+    pub fn lookup(name: &str) -> Option<Symbol> {
+        interner().lock().expect("symbol table poisoned").by_name.get(name).copied().map(Symbol)
+    }
+
+    /// The interned text.
+    pub fn as_str(self) -> &'static str {
+        interner().lock().expect("symbol table poisoned").names[self.0 as usize]
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(name: &str) -> Symbol {
+        Symbol::intern(name)
+    }
+}
+
+impl From<String> for Symbol {
+    fn from(name: String) -> Symbol {
+        Symbol::intern(&name)
+    }
+}
+
+impl PartialEq<str> for Symbol {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == other
+    }
+}
+
+impl PartialEq<&str> for Symbol {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == *other
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let a = Symbol::intern("alpha");
+        let b = Symbol::intern("alpha");
+        assert_eq!(a, b);
+        assert_eq!(a.as_str(), "alpha");
+        assert_ne!(Symbol::intern("beta"), a);
+    }
+
+    #[test]
+    fn lookup_does_not_intern() {
+        assert_eq!(Symbol::lookup("never-seen-name-xyzzy"), None);
+        let s = Symbol::intern("seen-once");
+        assert_eq!(Symbol::lookup("seen-once"), Some(s));
+    }
+
+    #[test]
+    fn string_comparison() {
+        let s = Symbol::intern("gamma");
+        assert!(s == *"gamma");
+        assert!(s == "gamma");
+        assert_eq!(s.to_string(), "gamma");
+    }
+}

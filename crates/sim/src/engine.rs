@@ -11,6 +11,7 @@ use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
 use crate::topology::{NodeIndex, Topology};
 use crate::trace::Tracer;
+use std::borrow::Cow;
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap};
 
@@ -39,13 +40,17 @@ pub enum Input<M> {
 
 /// Collects the effects of one node activation: sends, timers, trace and
 /// metric observations.
+///
+/// Metric and trace names are `Cow<'static, str>`: the common case — a
+/// string literal — is recorded without allocating, keeping per-event
+/// accounting off the allocator in the simulator's hot loop.
 #[derive(Debug)]
 pub struct Outbox<M> {
     pub(crate) sends: Vec<(NodeIndex, M, SimDuration)>,
     pub(crate) timers: Vec<(SimDuration, u64)>,
-    pub(crate) counts: Vec<(String, f64)>,
-    pub(crate) observations: Vec<(String, f64)>,
-    pub(crate) traces: Vec<(String, String)>,
+    pub(crate) counts: Vec<(Cow<'static, str>, f64)>,
+    pub(crate) observations: Vec<(Cow<'static, str>, f64)>,
+    pub(crate) traces: Vec<(Cow<'static, str>, String)>,
 }
 
 impl<M> Default for Outbox<M> {
@@ -84,18 +89,18 @@ impl<M> Outbox<M> {
     }
 
     /// Increments the named world counter by `by`.
-    pub fn count(&mut self, name: &str, by: f64) {
-        self.counts.push((name.to_string(), by));
+    pub fn count(&mut self, name: impl Into<Cow<'static, str>>, by: f64) {
+        self.counts.push((name.into(), by));
     }
 
     /// Records a sample in the named world histogram.
-    pub fn observe(&mut self, name: &str, value: f64) {
-        self.observations.push((name.to_string(), value));
+    pub fn observe(&mut self, name: impl Into<Cow<'static, str>>, value: f64) {
+        self.observations.push((name.into(), value));
     }
 
     /// Records a trace event (kept only when the world's tracer is enabled).
-    pub fn trace(&mut self, kind: &str, detail: impl Into<String>) {
-        self.traces.push((kind.to_string(), detail.into()));
+    pub fn trace(&mut self, kind: impl Into<Cow<'static, str>>, detail: impl Into<String>) {
+        self.traces.push((kind.into(), detail.into()));
     }
 
     /// The messages queued so far, for tests that drive state machines

@@ -44,6 +44,7 @@
 
 pub mod engine;
 pub mod failure;
+pub mod hash;
 pub mod metrics;
 pub mod rng;
 pub mod time;
@@ -52,6 +53,7 @@ pub mod trace;
 
 pub use engine::{Input, Node, Outbox, World};
 pub use failure::{ChurnEvent, ChurnKind, ChurnModel};
+pub use hash::{FnvBuildHasher, FnvHashMap, FnvHasher};
 pub use metrics::{Histogram, MetricsRegistry, Summary};
 pub use rng::{SimRng, Zipf};
 pub use time::{SimDuration, SimTime};

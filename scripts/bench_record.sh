@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Runs the criterion bench suite and records per-benchmark means as one
+# JSON document (the format committed as BENCH_pr2.json).
+#
+# Usage:
+#   scripts/bench_record.sh [output.json] [bench-name-filter...]
+#
+# Examples:
+#   scripts/bench_record.sh                     # all benches -> bench_results.json
+#   scripts/bench_record.sh out.json e1_ c7_    # only e1_* and c7_* benches
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-bench_results.json}"
+shift $(( $# > 0 ? 1 : 0 ))
+
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+CRITERION_JSON="$tmp" cargo bench --bench experiments -- "$@"
+
+if [ ! -s "$tmp" ]; then
+    echo "no benchmark results produced (bad filter?)" >&2
+    exit 1
+fi
+
+{
+    echo '{'
+    echo "  \"git\": \"$(git rev-parse --short HEAD 2>/dev/null || echo unknown)\","
+    echo "  \"date\": \"$(date -u +%Y-%m-%dT%H:%M:%SZ)\","
+    echo '  "results": ['
+    sed '$!s/$/,/' "$tmp" | sed 's/^/    /'
+    echo '  ]'
+    echo '}'
+} > "$out"
+
+echo "wrote $out ($(grep -c mean_ns "$out") benchmarks)"

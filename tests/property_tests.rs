@@ -27,7 +27,7 @@ fn arb_value() -> impl Strategy<Value = AttrValue> {
         (-50i64..50).prop_map(AttrValue::Int),
         (-50i64..50).prop_map(|i| AttrValue::Float(i as f64 / 2.0)),
         any::<bool>().prop_map(AttrValue::Bool),
-        "[a-c]{0,3}".prop_map(AttrValue::Str),
+        "[a-c]{0,3}".prop_map(AttrValue::from),
     ]
 }
 
