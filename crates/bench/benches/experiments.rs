@@ -299,6 +299,84 @@ fn s2_join_deep_buffer(c: &mut Criterion) {
     });
 }
 
+/// S3: the sharded event plane at scale — wall time for a full overlay
+/// build + settle (staggered joins, announce storm, probe steady state).
+/// This is the number the bucketed scheduler + batched delivery + probe
+/// suppression rework is measured by (BENCH_pr3.json).
+fn s3_overlay_scaling(c: &mut Criterion) {
+    let smoke = std::env::var("GLOSS_BENCH_SMOKE").is_ok_and(|v| v != "0");
+    let sizes: &[usize] = if smoke { &[512] } else { &[256, 1024] };
+    for &n in sizes {
+        c.bench_function(&format!("s3_overlay_settle_{n}"), |b| {
+            b.iter(|| {
+                let mut net = OverlayNetwork::build(n, 42);
+                net.run_for(SimDuration::from_millis(200) * n as u64 + SimDuration::from_secs(60));
+                assert!(net.joined_fraction() > 0.99, "overlay failed to settle");
+                net.world().metrics().counter("sim.messages_delivered")
+            })
+        });
+    }
+}
+
+/// S4: churn-heavy steady state — one crash/recover episode over a settled
+/// overlay (an eighth of the nodes fail, detection + repair runs, they
+/// return). Exercises the link-state purge and the control barriers.
+fn s4_churn_episode(c: &mut Criterion) {
+    let smoke = std::env::var("GLOSS_BENCH_SMOKE").is_ok_and(|v| v != "0");
+    let n: usize = if smoke { 32 } else { 96 };
+    let mut net = OverlayNetwork::build(n, 77);
+    net.run_for(SimDuration::from_millis(200) * n as u64 + SimDuration::from_secs(60));
+    let mut round = 0u32;
+    c.bench_function("s4_churn_episode", |b| {
+        b.iter(|| {
+            round += 1;
+            for k in 0..(n / 8) {
+                let victim = NodeIndex((1 + ((round as usize * 7 + k * 3) % (n - 1))) as u32);
+                net.world_mut().crash(victim);
+            }
+            net.run_for(SimDuration::from_secs(30));
+            for k in 0..(n / 8) {
+                let victim = NodeIndex((1 + ((round as usize * 7 + k * 3) % (n - 1))) as u32);
+                net.world_mut().recover(victim);
+            }
+            net.run_for(SimDuration::from_secs(30));
+            net.world().metrics().counter("sim.crashes")
+        })
+    });
+}
+
+/// S5: mobility-heavy event plane — a client roams to another broker while
+/// publishers keep the bus busy; the proxy buffers, hands off, replays.
+fn s5_mobility_roam(c: &mut Criterion) {
+    let mut net = PubSubNetwork::build(PubSubConfig {
+        architecture: Architecture::AcyclicPeer,
+        brokers: 6,
+        clients_per_broker: 3,
+        seed: 17,
+        ..PubSubConfig::default()
+    });
+    let clients = net.clients().to_vec();
+    let brokers = net.brokers().to_vec();
+    for &cl in &clients {
+        net.subscribe(cl, Filter::for_kind("m"));
+    }
+    net.run_for(SimDuration::from_secs(5));
+    let mut i = 0usize;
+    c.bench_function("s5_mobility_roam", |b| {
+        b.iter(|| {
+            i += 1;
+            let mover = clients[i % clients.len()];
+            let target = brokers[i % brokers.len()];
+            net.move_client(mover, target, SimDuration::from_secs(2));
+            for k in 0..4 {
+                net.publish(clients[(i + k + 1) % clients.len()], Event::new("m"));
+            }
+            net.run_for(SimDuration::from_secs(5));
+            net.total_delivered()
+        })
+    });
+}
+
 /// C8: store lookup issue + conclusion (the discovery fetch path).
 fn c8_store_lookup(c: &mut Criterion) {
     let mut net = StoreNetwork::build(12, StoreConfig::default(), 9);
@@ -348,6 +426,7 @@ criterion_group! {
     targets = e1_matching, e2_pipeline_push, e3_bundle_roundtrip, c1_filter_ops,
               c1_publish_through_network, c2_overlay_route, c3_cache_ops, c4_solver,
               c6_binding, c7_join, c8_store_lookup, c9_retrieval, c10_erasure,
-              s1_rule_scaling, s2_join_deep_buffer
+              s1_rule_scaling, s2_join_deep_buffer, s3_overlay_scaling,
+              s4_churn_episode, s5_mobility_roam
 }
 criterion_main!(experiments);

@@ -697,6 +697,187 @@ pub fn c10_erasure() -> String {
     )
 }
 
+/// S3: node-count scaling of the simulation event plane — wall-clock and
+/// throughput for a full overlay build + settle at 64–1024 nodes (2048 with
+/// `GLOSS_SCALE_MAX=2048`).
+pub fn s3_scaling() -> String {
+    let smoke = std::env::var("GLOSS_BENCH_SMOKE").is_ok_and(|v| v != "0");
+    let mut sizes: Vec<usize> = if smoke { vec![64, 128] } else { vec![64, 256, 512, 1024] };
+    if let Ok(v) = std::env::var("GLOSS_SCALE_MAX") {
+        if let Ok(extra) = v.parse::<usize>() {
+            if !smoke && extra > 1024 {
+                sizes.push(extra);
+            }
+        }
+    }
+    let mut rows = Vec::new();
+    for n in sizes {
+        let start = std::time::Instant::now();
+        let mut net = OverlayNetwork::build(n, 42);
+        let horizon = SimDuration::from_millis(200) * n as u64 + SimDuration::from_secs(60);
+        net.run_for(horizon);
+        let wall = start.elapsed().as_secs_f64();
+        let m = net.world().metrics();
+        let delivered = m.counter("sim.messages_delivered");
+        rows.push(vec![
+            n.to_string(),
+            net.world().region_count().to_string(),
+            f(net.joined_fraction() * 100.0),
+            f(horizon.as_secs_f64()),
+            f(wall * 1e3),
+            f(delivered),
+            f(delivered / wall / 1e6),
+        ]);
+    }
+    table(&["nodes", "regions", "joined %", "sim s", "wall ms", "messages", "Mmsg/s wall"], &rows)
+}
+
+/// C11: churn-heavy overlay — sustained crash/recover churn while routing
+/// keeps running; measures routing health and failure detection under
+/// membership change.
+pub fn c11_churn_heavy() -> String {
+    use gloss_sim::{ChurnKind, ChurnModel, SimTime};
+    let mut rows = Vec::new();
+    for (mtbf_s, mttr_s) in [(240u64, 30u64), (120, 20), (60, 15)] {
+        let n = 48usize;
+        let mut net = OverlayNetwork::build(n, 43);
+        net.run_for(SimDuration::from_millis(200) * n as u64 + SimDuration::from_secs(60));
+        // Churn every node but the bootstrap for five minutes.
+        let horizon = SimDuration::from_secs(300);
+        let nodes: Vec<NodeIndex> = (1..n as u32).map(NodeIndex).collect();
+        let model = ChurnModel::new(SimDuration::from_secs(mtbf_s), SimDuration::from_secs(mttr_s));
+        let mut rng = SimRng::new(43).fork("c11");
+        let base = net.now();
+        let events = model.generate(&nodes, SimTime::ZERO + horizon, &mut rng);
+        let mut churn_count = 0usize;
+        for e in &events {
+            let at = base + e.at.since(SimTime::ZERO);
+            match e.kind {
+                ChurnKind::Crash | ChurnKind::GracefulLeave => {
+                    net.world_mut().crash_at(at, e.node);
+                    churn_count += 1;
+                }
+                ChurnKind::Recover => net.world_mut().recover_at(at, e.node),
+            }
+        }
+        // Route batches every 30 s while the churn plays out.
+        let mut ids = Vec::new();
+        for round in 0..10 {
+            for i in 0..8 {
+                let mut from = net.random_node();
+                while !net.world().is_alive(from) {
+                    from = net.random_node();
+                }
+                let target = Key::hash_of(format!("churn-{round}-{i}").as_bytes());
+                ids.push((net.route_from(from, target), target));
+            }
+            net.run_for(SimDuration::from_secs(30));
+        }
+        net.run_for(SimDuration::from_secs(60));
+        let outcomes = net.outcomes();
+        let delivered = ids.iter().filter(|(id, _)| outcomes.contains_key(id)).count();
+        let correct = ids
+            .iter()
+            .filter(|(id, t)| {
+                outcomes.get(id).is_some_and(|o| o.delivered_at == net.closest_alive(*t))
+            })
+            .count();
+        let m = net.world().metrics();
+        rows.push(vec![
+            format!("{mtbf_s}/{mttr_s}"),
+            churn_count.to_string(),
+            format!("{delivered}/{}", ids.len()),
+            f(correct as f64 / ids.len().max(1) as f64 * 100.0),
+            f(m.counter("overlay.failures_detected")),
+            f(m.counter("sim.recoveries")),
+            f(net.joined_fraction() * 100.0),
+        ]);
+    }
+    table(
+        &[
+            "mtbf/mttr s",
+            "failures",
+            "routes delivered",
+            "at closest-alive %",
+            "detections",
+            "re-starts",
+            "final joined %",
+        ],
+        &rows,
+    )
+}
+
+/// C12: mobility-heavy event plane — clients roam between brokers under a
+/// steady publish load; measures broker handoff under sustained membership
+/// change (move-out proxying, buffered replay, duplicate/false-positive
+/// rates).
+pub fn c12_mobility_heavy() -> String {
+    let mut rows = Vec::new();
+    for move_every_s in [60u64, 20, 5] {
+        let mut net = PubSubNetwork::build(PubSubConfig {
+            architecture: Architecture::AcyclicPeer,
+            brokers: 8,
+            clients_per_broker: 3,
+            seed: 23,
+            ..PubSubConfig::default()
+        });
+        let clients = net.clients().to_vec();
+        let brokers = net.brokers().to_vec();
+        for &c in &clients {
+            net.subscribe(c, Filter::for_kind("m"));
+        }
+        net.run_for(SimDuration::from_secs(5));
+        let mut rng = SimRng::new(23).fork("c12");
+        let total_secs = 240u64;
+        let mut moves = 0u64;
+        let mut t = 0u64;
+        while t < total_secs {
+            let step = move_every_s.min(total_secs - t);
+            // Publish from two random clients each second of the step.
+            for _ in 0..step {
+                for _ in 0..2 {
+                    let p = clients[rng.index(clients.len())];
+                    net.publish(p, Event::new("m"));
+                }
+                net.run_for(SimDuration::from_secs(1));
+            }
+            t += step;
+            if t < total_secs {
+                let mover = clients[rng.index(clients.len())];
+                let target = brokers[rng.index(brokers.len())];
+                net.move_client(mover, target, SimDuration::from_secs(2));
+                moves += 1;
+            }
+        }
+        net.run_for(SimDuration::from_secs(30));
+        let m = net.world().metrics();
+        let lat = m.summary("pubsub.delivery_ms");
+        rows.push(vec![
+            move_every_s.to_string(),
+            moves.to_string(),
+            f(m.counter("pubsub.delivered")),
+            f(m.counter("pubsub.handoff_events")),
+            f(m.counter("pubsub.duplicates")),
+            f(m.counter("pubsub.false_deliveries")),
+            f(lat.p50),
+            f(lat.p99),
+        ]);
+    }
+    table(
+        &[
+            "move every s",
+            "moves",
+            "delivered",
+            "handoff replays",
+            "dups",
+            "false",
+            "p50 ms",
+            "p99 ms",
+        ],
+        &rows,
+    )
+}
+
 /// Runs one experiment by id, returning its rendered output.
 pub fn run_experiment(id: &str) -> Option<(String, String)> {
     let (title, body) = match id {
@@ -713,11 +894,16 @@ pub fn run_experiment(id: &str) -> Option<(String, String)> {
         "c8" => ("C8: discovery matchlets for unknown kinds", c8_discovery()),
         "c9" => ("C9: description matching strategies", c9_description_match()),
         "c10" => ("C10: erasure coding vs replication", c10_erasure()),
+        "c11" => ("C11: overlay routing under churn-heavy membership", c11_churn_heavy()),
+        "c12" => ("C12: broker handoff under mobility-heavy clients", c12_mobility_heavy()),
+        "s3" => ("S3: event-plane scaling, 64-1024 nodes", s3_scaling()),
         _ => return None,
     };
     Some((title.to_string(), body))
 }
 
 /// All experiment ids in order.
-pub const ALL_EXPERIMENTS: &[&str] =
-    &["e1", "e2", "e3", "c1", "c2", "c3", "c4", "c5", "c6", "c7", "c8", "c9", "c10"];
+pub const ALL_EXPERIMENTS: &[&str] = &[
+    "e1", "e2", "e3", "c1", "c2", "c3", "c4", "c5", "c6", "c7", "c8", "c9", "c10", "c11", "c12",
+    "s3",
+];

@@ -7,7 +7,7 @@ use gloss_deploy::{EvolutionEngine, MonitorEngine, NodeResources};
 use gloss_event::{Broker, BrokerMsg, Event, EventId, Filter, Subscription};
 use gloss_knowledge::{DistributedKnowledge, InMemoryFacts};
 use gloss_overlay::Key;
-use gloss_sim::{Input, Node, NodeIndex, Outbox, SimDuration, SimTime};
+use gloss_sim::{Batch, Input, Node, NodeIndex, Outbox, SimDuration, SimTime};
 use gloss_store::{Document, StoreMsg, StoreNode};
 use gloss_xml::Element;
 use std::collections::{BTreeMap, BTreeSet};
@@ -446,88 +446,106 @@ impl Node for GlossNode {
         match input {
             Input::Start => self.on_start(now, out),
             Input::Timer { tag } => self.on_timer(now, tag, out),
-            Input::Msg { from, msg } => match msg {
-                GlossMsg::PubSub(bmsg) => {
-                    // A Notify from ourselves is the broker delivering to
-                    // its local client (this node); everything else is
-                    // broker-plane traffic.
-                    match bmsg {
-                        BrokerMsg::Notify(event) if from == self.me => {
-                            self.deliver_to_client(now, event, out)
-                        }
-                        other => self.broker_do(now, from, other, out),
+            Input::Msg { from, msg } => self.on_msg(now, from, msg, out),
+        }
+    }
+
+    /// Batched delivery: broker fan-out and matchlet-bound event streams
+    /// arriving at one instant dispatch in one call (the enclosing world
+    /// applies their effects as a single activation).
+    fn on_batch(
+        &mut self,
+        now: SimTime,
+        batch: &mut Batch<'_, GlossMsg>,
+        out: &mut Outbox<GlossMsg>,
+    ) {
+        if batch.len() > 1 {
+            out.count("gloss.batched_events", batch.len() as f64);
+        }
+        for (from, msg) in batch {
+            self.on_msg(now, from, msg, out);
+        }
+    }
+}
+
+impl GlossNode {
+    fn on_msg(&mut self, now: SimTime, from: NodeIndex, msg: GlossMsg, out: &mut Outbox<GlossMsg>) {
+        match msg {
+            GlossMsg::PubSub(bmsg) => {
+                // A Notify from ourselves is the broker delivering to
+                // its local client (this node); everything else is
+                // broker-plane traffic.
+                match bmsg {
+                    BrokerMsg::Notify(event) if from == self.me => {
+                        self.deliver_to_client(now, event, out)
+                    }
+                    other => self.broker_do(now, from, other, out),
+                }
+            }
+            GlossMsg::Store(smsg) => self.store_do(now, from, smsg, out),
+            GlossMsg::Sensor(event) => self.handle_sensor(now, event, out),
+            GlossMsg::UiSubscribe(filter) => {
+                self.ui_filters.push(filter.clone());
+                self.subscribe_filter(now, filter, out);
+            }
+            GlossMsg::PrefetchSubject(subject) => self.prefetch_subject(now, &subject, out),
+            GlossMsg::Bundle { instance, packet } => match self.server.receive_packet(&packet) {
+                Ok(_) => {
+                    out.count("gloss.installs", 1.0);
+                    let kinds: Vec<String> = self
+                        .server
+                        .engine()
+                        .rules()
+                        .iter()
+                        .flat_map(|r| r.rule.patterns.iter().map(|p| p.kind.clone()))
+                        .collect();
+                    for k in kinds {
+                        self.subscribe_kind(now, &k, out);
+                    }
+                    if !instance.is_empty() {
+                        out.send(from, GlossMsg::Installed { instance });
                     }
                 }
-                GlossMsg::Store(smsg) => self.store_do(now, from, smsg, out),
-                GlossMsg::Sensor(event) => self.handle_sensor(now, event, out),
-                GlossMsg::UiSubscribe(filter) => {
-                    self.ui_filters.push(filter.clone());
-                    self.subscribe_filter(now, filter, out);
-                }
-                GlossMsg::PrefetchSubject(subject) => self.prefetch_subject(now, &subject, out),
-                GlossMsg::Bundle { instance, packet } => {
-                    match self.server.receive_packet(&packet) {
-                        Ok(_) => {
-                            out.count("gloss.installs", 1.0);
-                            let kinds: Vec<String> = self
-                                .server
-                                .engine()
-                                .rules()
-                                .iter()
-                                .flat_map(|r| r.rule.patterns.iter().map(|p| p.kind.clone()))
-                                .collect();
-                            for k in kinds {
-                                self.subscribe_kind(now, &k, out);
-                            }
-                            if !instance.is_empty() {
-                                out.send(from, GlossMsg::Installed { instance });
-                            }
-                        }
-                        Err(_) => out.count("gloss.install_failures", 1.0),
-                    }
-                }
-                GlossMsg::Installed { instance } => {
-                    if let Some(cs) = self.coordinator_state.as_mut() {
-                        cs.evolution.confirm_deploy(now, &instance);
-                        if cs.evolution.violations().is_empty() {
-                            if let Some(&(v_at, r_at)) = cs.evolution.repair_episodes.last() {
-                                out.observe(
-                                    "gloss.repair_ms",
-                                    r_at.since(v_at).as_secs_f64() * 1e3,
-                                );
-                            }
-                        }
-                    }
-                }
-                GlossMsg::UnknownKind { kind } => {
-                    let me = self.me;
-                    let mut fetch: Option<(u64, Key)> = None;
-                    if let Some(cs) = self.coordinator_state.as_mut() {
-                        // Skip kinds already covered by a registered service.
-                        let covered =
-                            cs.services.values().any(|s| s.input_kinds.iter().any(|k| k == &kind));
-                        let entry = cs.discovery_pending.entry(kind.clone()).or_default();
-                        let first_report = entry.is_empty();
-                        entry.insert(from);
-                        if !covered && first_report {
-                            cs.next_req += 1;
-                            let req = (1 << 52) | cs.next_req;
-                            cs.handler_reqs.insert(req, kind.clone());
-                            let guid = Key::hash_of_str(&format!("code/{kind}"));
-                            fetch = Some((req, guid));
-                        }
-                    }
-                    let _ = me;
-                    if let Some((req, guid)) = fetch {
-                        out.count("gloss.discovery_lookups", 1.0);
-                        let mut sout = Outbox::new();
-                        self.store.lookup(guid, req, now, &mut sout);
-                        sout.transfer_into(out, GlossMsg::Store);
-                        // A locally satisfied lookup concludes immediately.
-                        self.conclude_discovery_fetch(now, req, out);
-                    }
-                }
+                Err(_) => out.count("gloss.install_failures", 1.0),
             },
+            GlossMsg::Installed { instance } => {
+                if let Some(cs) = self.coordinator_state.as_mut() {
+                    cs.evolution.confirm_deploy(now, &instance);
+                    if cs.evolution.violations().is_empty() {
+                        if let Some(&(v_at, r_at)) = cs.evolution.repair_episodes.last() {
+                            out.observe("gloss.repair_ms", r_at.since(v_at).as_secs_f64() * 1e3);
+                        }
+                    }
+                }
+            }
+            GlossMsg::UnknownKind { kind } => {
+                let me = self.me;
+                let mut fetch: Option<(u64, Key)> = None;
+                if let Some(cs) = self.coordinator_state.as_mut() {
+                    // Skip kinds already covered by a registered service.
+                    let covered =
+                        cs.services.values().any(|s| s.input_kinds.iter().any(|k| k == &kind));
+                    let entry = cs.discovery_pending.entry(kind.clone()).or_default();
+                    let first_report = entry.is_empty();
+                    entry.insert(from);
+                    if !covered && first_report {
+                        cs.next_req += 1;
+                        let req = (1 << 52) | cs.next_req;
+                        cs.handler_reqs.insert(req, kind.clone());
+                        let guid = Key::hash_of_str(&format!("code/{kind}"));
+                        fetch = Some((req, guid));
+                    }
+                }
+                let _ = me;
+                if let Some((req, guid)) = fetch {
+                    out.count("gloss.discovery_lookups", 1.0);
+                    let mut sout = Outbox::new();
+                    self.store.lookup(guid, req, now, &mut sout);
+                    sout.transfer_into(out, GlossMsg::Store);
+                    // A locally satisfied lookup concludes immediately.
+                    self.conclude_discovery_fetch(now, req, out);
+                }
+            }
         }
     }
 }

@@ -6,7 +6,7 @@ use crate::broker::{Broker, BrokerMsg, BrokerTopology, SubId};
 use crate::centralized::CentralServer;
 use crate::filter::{Advertisement, Filter, Subscription};
 use crate::notification::{Event, EventId};
-use gloss_sim::{Input, Node, NodeIndex, Outbox, SimDuration, SimTime, Topology, World};
+use gloss_sim::{Batch, Input, Node, NodeIndex, Outbox, SimDuration, SimTime, Topology, World};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// What a node in the pub/sub world is.
@@ -62,6 +62,25 @@ pub struct PubSubNode {
     pub role: Role,
 }
 
+impl ClientApi {
+    fn ingest(&mut self, now: SimTime, msg: BrokerMsg, out: &mut Outbox<BrokerMsg>) {
+        if let BrokerMsg::Notify(event) = msg {
+            let latency_ms = now.since(event.published_at()).as_secs_f64() * 1e3;
+            out.observe("pubsub.delivery_ms", latency_ms);
+            out.count("pubsub.delivered", 1.0);
+            if !self.seen.insert(event.id()) {
+                self.duplicates += 1;
+                out.count("pubsub.duplicates", 1.0);
+            }
+            if !self.subs.iter().any(|s| s.filter.matches(&event)) {
+                self.false_deliveries += 1;
+                out.count("pubsub.false_deliveries", 1.0);
+            }
+            self.received.push(event);
+        }
+    }
+}
+
 impl Node for PubSubNode {
     type Msg = BrokerMsg;
 
@@ -72,20 +91,33 @@ impl Node for PubSubNode {
         match &mut self.role {
             Role::Broker(b) => b.handle(now, from, msg, out),
             Role::Central(c) => c.handle(now, from, msg, out),
+            Role::Client(c) => c.ingest(now, msg, out),
+        }
+    }
+
+    /// Batched delivery: a broker fan-out flushed over one connection (or
+    /// a mobility handoff replay) arrives as one batch; matching the role
+    /// once per batch instead of per message amortises dispatch.
+    fn on_batch(
+        &mut self,
+        now: SimTime,
+        batch: &mut Batch<'_, BrokerMsg>,
+        out: &mut Outbox<BrokerMsg>,
+    ) {
+        match &mut self.role {
+            Role::Broker(b) => {
+                for (from, msg) in batch {
+                    b.handle(now, from, msg, out);
+                }
+            }
+            Role::Central(c) => {
+                for (from, msg) in batch {
+                    c.handle(now, from, msg, out);
+                }
+            }
             Role::Client(c) => {
-                if let BrokerMsg::Notify(event) = msg {
-                    let latency_ms = now.since(event.published_at()).as_secs_f64() * 1e3;
-                    out.observe("pubsub.delivery_ms", latency_ms);
-                    out.count("pubsub.delivered", 1.0);
-                    if !c.seen.insert(event.id()) {
-                        c.duplicates += 1;
-                        out.count("pubsub.duplicates", 1.0);
-                    }
-                    if !c.subs.iter().any(|s| s.filter.matches(&event)) {
-                        c.false_deliveries += 1;
-                        out.count("pubsub.false_deliveries", 1.0);
-                    }
-                    c.received.push(event);
+                for (_, msg) in batch {
+                    c.ingest(now, msg, out);
                 }
             }
         }

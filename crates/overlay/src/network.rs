@@ -3,7 +3,9 @@
 
 use crate::id::{Key, KeyedNode};
 use crate::node::{Delivery, OverlayMsg, OverlayNode};
-use gloss_sim::{Input, Node, NodeIndex, Outbox, SimDuration, SimRng, SimTime, Topology, World};
+use gloss_sim::{
+    Batch, Input, Node, NodeIndex, Outbox, SimDuration, SimRng, SimTime, Topology, World,
+};
 use std::collections::BTreeMap;
 
 /// The world node: an overlay node plus its delivered payloads.
@@ -26,6 +28,20 @@ impl Node for OverlayWorldNode {
                 let delivered = self.overlay.handle(now, from, msg, out);
                 self.delivered.extend(delivered);
             }
+        }
+    }
+
+    fn on_batch(
+        &mut self,
+        now: SimTime,
+        batch: &mut Batch<'_, Self::Msg>,
+        out: &mut Outbox<Self::Msg>,
+    ) {
+        // Same-instant arrivals dispatch straight into the protocol state
+        // machine, skipping the per-message input match.
+        for (from, msg) in batch {
+            let delivered = self.overlay.handle(now, from, msg, out);
+            self.delivered.extend(delivered);
         }
     }
 }

@@ -4,8 +4,8 @@
 
 use crate::id::{Key, KeyedNode};
 use crate::table::{LeafSet, RoutingTable};
-use gloss_sim::{NodeIndex, Outbox, SimDuration, SimTime};
-use std::collections::BTreeMap;
+use gloss_sim::{FnvHashMap, NodeIndex, Outbox, SimDuration, SimTime};
+use std::sync::Arc;
 
 /// Timer tags used by the overlay (the embedding layer must route timer
 /// fires with these tags back into [`OverlayNode::on_timer`]).
@@ -35,7 +35,7 @@ pub enum OverlayMsg<P> {
         /// The closest node itself.
         closest: KeyedNode,
         /// Its leaf set, which seeds the joiner's.
-        leaves: Vec<KeyedNode>,
+        leaves: Arc<[KeyedNode]>,
     },
     /// A (re)joined node introduces itself to everyone it knows.
     Announce {
@@ -62,17 +62,21 @@ pub enum OverlayMsg<P> {
     /// Leaf-set heartbeat.
     Probe,
     /// Heartbeat acknowledgement, carrying the responder's leaf set so
-    /// ring-neighbour knowledge converges continuously (gossip).
+    /// ring-neighbour knowledge converges continuously (gossip). The list
+    /// is shared (`Arc`): responding costs a pointer clone, not a copy.
     ProbeAck {
         /// The responder's current leaf members.
-        leaves: Vec<KeyedNode>,
+        leaves: Arc<[KeyedNode]>,
+        /// Content digest of `leaves`; receivers skip re-learning a list
+        /// they already absorbed from this neighbour.
+        digest: u64,
     },
     /// Ask a neighbour for its leaf set (repair after a failure).
     LeafSetRequest,
     /// Leaf set contents.
     LeafSetReply {
         /// The members.
-        leaves: Vec<KeyedNode>,
+        leaves: Arc<[KeyedNode]>,
     },
 }
 
@@ -106,7 +110,26 @@ pub struct OverlayNode<P> {
     bootstrap: Option<NodeIndex>,
     join_delay: SimDuration,
     probe_interval: SimDuration,
-    outstanding_probes: BTreeMap<NodeIndex, u32>,
+    /// Missed-probe counters aligned index-for-index with `known_cache`
+    /// (rebuilt together); the per-heartbeat probe loop walks both arrays
+    /// with no map lookups. `u32::MAX` marks "acked since last probe".
+    probe_counters: Vec<u32>,
+    /// Nodes heard from (probe or ack) since the counters were last
+    /// walked. Fresh evidence both clears the missed counter and
+    /// suppresses this round's probe to that node — any contact proves
+    /// liveness, so symmetric heartbeat pairs collapse to one probe/ack
+    /// exchange per interval (SWIM-style suppression), at the cost of at
+    /// most one extra heartbeat interval of detection latency for a node
+    /// that dies right after making contact.
+    acked_since: FnvHashMap<u32, ()>,
+    /// Cached `known()` result; rebuilt only after the routing state
+    /// changes (the probe loop reads it every heartbeat).
+    known_cache: Vec<KeyedNode>,
+    known_dirty: bool,
+    /// Digest of the last leaf-set gossip learned per neighbour: at steady
+    /// state every ack repeats the same list, and re-learning it is the
+    /// hottest no-op in large settled overlays.
+    acked_gossip: FnvHashMap<u32, u64>,
     _payload: std::marker::PhantomData<P>,
 }
 
@@ -131,7 +154,11 @@ impl<P> OverlayNode<P> {
             bootstrap,
             join_delay,
             probe_interval: SimDuration::from_secs(5),
-            outstanding_probes: BTreeMap::new(),
+            probe_counters: Vec::new(),
+            acked_since: FnvHashMap::default(),
+            known_cache: Vec::new(),
+            known_dirty: false,
+            acked_gossip: FnvHashMap::default(),
             _payload: std::marker::PhantomData,
         }
     }
@@ -154,7 +181,7 @@ impl<P> OverlayNode<P> {
 
     /// The current leaf set members.
     pub fn leaf_members(&self) -> Vec<KeyedNode> {
-        self.leaves.members()
+        self.leaves.members().to_vec()
     }
 
     /// Every node this node knows about.
@@ -162,17 +189,39 @@ impl<P> OverlayNode<P> {
         let mut all = self.table.entries();
         for m in self.leaves.members() {
             if !all.iter().any(|e| e.key == m.key) {
-                all.push(m);
+                all.push(*m);
             }
         }
         all
     }
 
+    /// The cached `known()` set, rebuilt only after routing-state changes.
+    /// The missed-probe counters move with it (keyed rebuild).
+    fn known_refreshed(&mut self) -> &[KeyedNode] {
+        if self.known_dirty {
+            let old: FnvHashMap<u32, u32> = self
+                .known_cache
+                .iter()
+                .zip(&self.probe_counters)
+                .map(|(k, c)| (k.node.0, *c))
+                .collect();
+            self.known_cache = self.known();
+            self.probe_counters =
+                self.known_cache.iter().map(|k| old.get(&k.node.0).copied().unwrap_or(0)).collect();
+            self.known_dirty = false;
+        }
+        &self.known_cache
+    }
+
+    fn reset_probe_counter(&mut self, from: NodeIndex) {
+        self.acked_since.insert(from.0, ());
+    }
+
     /// Incorporates a discovered node into the routing state.
     pub fn learn(&mut self, node: KeyedNode) {
         if node.key != self.me.key {
-            self.table.offer(node);
-            self.leaves.offer(node);
+            let changed = self.table.offer(node) | self.leaves.offer(node);
+            self.known_dirty |= changed;
         }
     }
 
@@ -181,7 +230,11 @@ impl<P> OverlayNode<P> {
     pub fn on_start(&mut self, out: &mut Outbox<OverlayMsg<P>>) {
         self.table = RoutingTable::new(self.me.key);
         self.leaves = LeafSet::new(self.me.key, 8);
-        self.outstanding_probes.clear();
+        self.probe_counters.clear();
+        self.acked_since.clear();
+        self.known_cache.clear();
+        self.known_dirty = false;
+        self.acked_gossip.clear();
         self.joined = self.bootstrap.is_none();
         if self.bootstrap.is_some() {
             out.timer(self.join_delay, timers::JOIN);
@@ -203,16 +256,25 @@ impl<P> OverlayNode<P> {
                 // Probe everything we know (leaves *and* routing table):
                 // stale table entries would otherwise silently eat routed
                 // messages after a crash.
+                self.known_refreshed();
                 let mut dead: Vec<NodeIndex> = Vec::new();
-                for m in self.known() {
-                    let missed = self.outstanding_probes.entry(m.node).or_insert(0);
-                    if *missed >= PROBE_DEATH {
-                        dead.push(m.node);
+                let drain_acks = !self.acked_since.is_empty();
+                for i in 0..self.known_cache.len() {
+                    let target = self.known_cache[i].node;
+                    if drain_acks && self.acked_since.remove(&target.0).is_some() {
+                        // Heard from this node since the last heartbeat:
+                        // it is alive, skip this round's probe.
+                        self.probe_counters[i] = 0;
+                        continue;
+                    }
+                    if self.probe_counters[i] >= PROBE_DEATH {
+                        dead.push(target);
                     } else {
-                        *missed += 1;
-                        out.send(m.node, OverlayMsg::Probe);
+                        self.probe_counters[i] += 1;
+                        out.send(target, OverlayMsg::Probe);
                     }
                 }
+                self.acked_since.clear();
                 for d in dead {
                     self.handle_failure(d, out);
                 }
@@ -223,9 +285,10 @@ impl<P> OverlayNode<P> {
     }
 
     fn handle_failure(&mut self, node: NodeIndex, out: &mut Outbox<OverlayMsg<P>>) {
-        self.outstanding_probes.remove(&node);
+        self.acked_since.remove(&node.0);
         let in_leaves = self.leaves.remove_node(node);
-        self.table.remove_node(node);
+        let in_table = self.table.remove_node(node) > 0;
+        self.known_dirty |= in_leaves || in_table;
         out.count("overlay.failures_detected", 1.0);
         if in_leaves {
             // Repair the leaf set from the survivors.
@@ -259,7 +322,7 @@ impl<P> OverlayNode<P> {
                             joiner.node,
                             OverlayMsg::JoinDone {
                                 closest: self.me,
-                                leaves: self.leaves.members(),
+                                leaves: self.leaves.members_shared(),
                             },
                         );
                     }
@@ -275,7 +338,7 @@ impl<P> OverlayNode<P> {
             }
             OverlayMsg::JoinDone { closest, leaves } => {
                 self.learn(closest);
-                for l in leaves {
+                for l in leaves.iter().copied() {
                     self.learn(l);
                 }
                 if !self.joined {
@@ -300,24 +363,38 @@ impl<P> OverlayNode<P> {
                 self.route_step(target, payload, origin, hops, out).into_iter().collect()
             }
             OverlayMsg::Probe => {
-                out.send(from, OverlayMsg::ProbeAck { leaves: self.leaves.members() });
+                // An incoming probe is itself liveness evidence.
+                self.reset_probe_counter(from);
+                out.send(
+                    from,
+                    OverlayMsg::ProbeAck {
+                        leaves: self.leaves.members_shared(),
+                        digest: self.leaves.digest(),
+                    },
+                );
                 Vec::new()
             }
-            OverlayMsg::ProbeAck { leaves } => {
-                self.outstanding_probes.insert(from, 0);
-                for l in leaves {
-                    self.learn(l);
+            OverlayMsg::ProbeAck { leaves, digest } => {
+                self.reset_probe_counter(from);
+                // Skip re-learning gossip we already absorbed from this
+                // neighbour (learning is idempotent, so this is purely an
+                // optimisation).
+                if self.acked_gossip.get(&from.0) != Some(&digest) {
+                    self.acked_gossip.insert(from.0, digest);
+                    for l in leaves.iter().copied() {
+                        self.learn(l);
+                    }
                 }
                 Vec::new()
             }
             OverlayMsg::LeafSetRequest => {
-                let mut leaves = self.leaves.members();
+                let mut leaves = self.leaves.members().to_vec();
                 leaves.push(self.me);
-                out.send(from, OverlayMsg::LeafSetReply { leaves });
+                out.send(from, OverlayMsg::LeafSetReply { leaves: leaves.into() });
                 Vec::new()
             }
             OverlayMsg::LeafSetReply { leaves } => {
-                for l in leaves {
+                for l in leaves.iter().copied() {
                     self.learn(l);
                 }
                 Vec::new()
@@ -353,11 +430,14 @@ impl<P> OverlayNode<P> {
             return Some(hop);
         }
         // Rare case: no entry; take any known node strictly closer with at
-        // least our prefix length.
+        // least our prefix length. (Iterates the raw state directly: a
+        // duplicate between table and leaves cannot change the minimum.)
         let my_prefix = self.me.key.shared_prefix(key);
         let my_dist = self.me.key.ring_distance(key);
-        self.known()
+        self.table
+            .entries()
             .into_iter()
+            .chain(self.leaves.members().iter().copied())
             .filter(|k| k.key.shared_prefix(key) >= my_prefix && k.key.ring_distance(key) < my_dist)
             .min_by_key(|k| k.key.ring_distance(key))
     }
@@ -444,7 +524,7 @@ mod tests {
             n(0),
             OverlayMsg::JoinDone {
                 closest: KeyedNode::new(Key(0x70), n(0)),
-                leaves: vec![KeyedNode::new(Key(0x90), n(1))],
+                leaves: vec![KeyedNode::new(Key(0x90), n(1))].into(),
             },
             &mut out,
         );
@@ -494,7 +574,12 @@ mod tests {
         for _ in 0..10 {
             let mut out = Outbox::new();
             b.on_timer(SimTime::ZERO, timers::PROBE, &mut out);
-            b.handle(SimTime::ZERO, n(1), OverlayMsg::ProbeAck { leaves: Vec::new() }, &mut out);
+            b.handle(
+                SimTime::ZERO,
+                n(1),
+                OverlayMsg::ProbeAck { leaves: Vec::new().into(), digest: 0 },
+                &mut out,
+            );
         }
         assert_eq!(b.leaf_members().len(), 1);
     }
@@ -525,7 +610,7 @@ mod tests {
         b.handle(
             SimTime::ZERO,
             n(0),
-            OverlayMsg::LeafSetReply { leaves: vec![KeyedNode::new(Key(0x1), n(0))] },
+            OverlayMsg::LeafSetReply { leaves: vec![KeyedNode::new(Key(0x1), n(0))].into() },
             &mut out,
         );
         assert_eq!(b.leaf_members().len(), 1);

@@ -2,6 +2,23 @@
 
 use crate::id::{Key, KeyedNode, DIGITS};
 use gloss_sim::NodeIndex;
+use std::sync::Arc;
+
+/// FNV-1a digest of a membership list (content identity for gossip
+/// deduplication).
+pub fn digest_of(members: &[KeyedNode]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |v: u64| {
+        h ^= v;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    };
+    for m in members {
+        mix(m.key.0 as u64);
+        mix((m.key.0 >> 64) as u64);
+        mix(m.node.0 as u64);
+    }
+    h
+}
 
 /// The prefix routing table: `DIGITS` rows × 16 columns. Row `r` holds
 /// nodes sharing an `r`-digit prefix with the owner and differing at digit
@@ -97,12 +114,19 @@ impl RoutingTable {
 /// The leaf set: the `l/2` nearest keys clockwise and anticlockwise of the
 /// owner on the ring. Used for the final hops of routing and for replica
 /// placement in the storage layer.
+///
+/// The deduplicated member list is cached and rebuilt only when the set
+/// changes: probes read it once per heartbeat per neighbour, which made
+/// the recompute-per-call version the hottest allocation site in
+/// 1k-node overlay runs.
 #[derive(Debug, Clone)]
 pub struct LeafSet {
     owner: Key,
     half: usize,
     cw: Vec<KeyedNode>,  // sorted by clockwise distance from owner
     ccw: Vec<KeyedNode>, // sorted by anticlockwise distance from owner
+    members: Arc<[KeyedNode]>,
+    digest: u64,
 }
 
 impl LeafSet {
@@ -113,7 +137,14 @@ impl LeafSet {
     /// Panics if `l` is zero or odd.
     pub fn new(owner: Key, l: usize) -> Self {
         assert!(l >= 2 && l.is_multiple_of(2), "leaf set size must be even and positive");
-        LeafSet { owner, half: l / 2, cw: Vec::new(), ccw: Vec::new() }
+        LeafSet {
+            owner,
+            half: l / 2,
+            cw: Vec::new(),
+            ccw: Vec::new(),
+            members: Arc::new([]),
+            digest: digest_of(&[]),
+        }
     }
 
     /// Offers a node; returns `true` if the leaf set changed.
@@ -130,7 +161,21 @@ impl LeafSet {
         changed |= Self::insert_side(&mut self.ccw, self.half, candidate, |k| {
             k.clockwise_distance(self.owner)
         });
+        if changed {
+            self.rebuild_members();
+        }
         changed
+    }
+
+    fn rebuild_members(&mut self) {
+        let mut all = self.cw.clone();
+        for e in &self.ccw {
+            if !self.cw.iter().any(|x| x.key == e.key) {
+                all.push(*e);
+            }
+        }
+        self.digest = digest_of(&all);
+        self.members = all.into();
     }
 
     fn insert_side(
@@ -155,18 +200,28 @@ impl LeafSet {
         let before = self.cw.len() + self.ccw.len();
         self.cw.retain(|e| e.node != node);
         self.ccw.retain(|e| e.node != node);
-        before != self.cw.len() + self.ccw.len()
+        let removed = before != self.cw.len() + self.ccw.len();
+        if removed {
+            self.rebuild_members();
+        }
+        removed
     }
 
-    /// All members (deduplicated).
-    pub fn members(&self) -> Vec<KeyedNode> {
-        let mut all = self.cw.clone();
-        for e in &self.ccw {
-            if !all.iter().any(|x| x.key == e.key) {
-                all.push(*e);
-            }
-        }
-        all
+    /// All members (deduplicated), nearest-clockwise first.
+    pub fn members(&self) -> &[KeyedNode] {
+        &self.members
+    }
+
+    /// The member list behind a cheap shared handle (messages carrying a
+    /// leaf set clone the `Arc`, not the list).
+    pub fn members_shared(&self) -> Arc<[KeyedNode]> {
+        Arc::clone(&self.members)
+    }
+
+    /// A content digest of the member list, maintained on change. Gossip
+    /// receivers compare digests to skip re-learning an unchanged list.
+    pub fn digest(&self) -> u64 {
+        self.digest
     }
 
     /// Whether `key` falls within the span covered by the leaf set (i.e.
@@ -191,10 +246,10 @@ impl LeafSet {
     pub fn closest(&self, key: Key, owner_as: KeyedNode) -> KeyedNode {
         let mut best = owner_as;
         let mut best_d = self.owner.ring_distance(key);
-        for e in self.members() {
+        for e in self.members.iter() {
             let d = e.key.ring_distance(key);
             if d < best_d {
-                best = e;
+                best = *e;
                 best_d = d;
             }
         }
@@ -203,7 +258,7 @@ impl LeafSet {
 
     /// Number of members.
     pub fn len(&self) -> usize {
-        self.members().len()
+        self.members.len()
     }
 
     /// Whether the leaf set is empty.

@@ -5,8 +5,43 @@
 //! sends, timers, and measurements into an [`Outbox`]. This makes every
 //! protocol in the workspace unit-testable without a simulator and keeps
 //! whole-system runs deterministic.
+//!
+//! # Scheduler architecture
+//!
+//! The event plane is sharded and bucketed for 1k–4k-node workloads:
+//!
+//! - **Regions.** Nodes partition into regions (derived from the topology's
+//!   region names); each region owns its own calendar queue. Cross-region
+//!   sends travel through a per-region *boundary exchange* that is flushed
+//!   when the world advances to the next lockstep time slice. The slice
+//!   width is a conservative lookahead (the latency model's cross-node
+//!   floor), so a message sent in one slice can never be due inside the
+//!   same slice — the seam that later lets regions run on threads.
+//! - **Calendar queues.** Each region's queue is a timer-wheel of
+//!   fixed-width buckets over the near future plus an overflow heap for
+//!   far-future entries (long timers), replacing one global `BinaryHeap`.
+//!   Pushes and pops into the wheel are O(1) amortised.
+//! - **Canonical event keys.** Every entry carries an [`EvKey`] that is a
+//!   pure function of *what* the event is (link + per-link sequence, node +
+//!   per-node timer sequence, harness call order) rather than of global
+//!   push order. Processing events in key order therefore yields the same
+//!   schedule at any region count and any bucket width: same seed, same
+//!   trace. The `engine_equivalence` integration test checks this against
+//!   a single-heap transcription of the seed scheduler.
+//! - **Per-link state.** A flat FNV map per sender caches the jitter-free
+//!   latency of each link (the haversine distance is computed once, not per
+//!   message), carries the link's deterministic jitter/loss stream, and
+//!   enforces FIFO ordering (links model TCP/web-service connections).
+//!   Link state is purged when either endpoint crashes, so churn-heavy
+//!   runs do not grow memory without bound.
+//! - **Batched delivery.** Messages sent over one link by one activation
+//!   share a sampled latency and land at the same instant; all messages
+//!   arriving at one node at the same instant are handed over as a single
+//!   [`Node::on_batch`] call (default: per-message fallback), letting
+//!   broker fan-out and matchlet dispatch amortise per-event overhead.
 
-use crate::metrics::MetricsRegistry;
+use crate::hash::{splitmix64, splitmix_unit, FnvHashMap};
+use crate::metrics::{CounterId, MetricsRegistry};
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
 use crate::topology::{NodeIndex, Topology};
@@ -114,9 +149,29 @@ impl<M> Outbox<M> {
         &self.timers
     }
 
+    /// The counter increments recorded so far.
+    pub fn counts(&self) -> &[(Cow<'static, str>, f64)] {
+        &self.counts
+    }
+
+    /// The histogram observations recorded so far.
+    pub fn observations(&self) -> &[(Cow<'static, str>, f64)] {
+        &self.observations
+    }
+
+    /// The trace events recorded so far.
+    pub fn traces(&self) -> &[(Cow<'static, str>, String)] {
+        &self.traces
+    }
+
     /// Removes and returns all queued sends.
     pub fn take_sends(&mut self) -> Vec<(NodeIndex, M, SimDuration)> {
         std::mem::take(&mut self.sends)
+    }
+
+    /// Removes and returns all queued timers.
+    pub fn take_timers(&mut self) -> Vec<(SimDuration, u64)> {
+        std::mem::take(&mut self.timers)
     }
 
     /// Moves every effect into `dest`, converting each message with `f`.
@@ -136,6 +191,30 @@ impl<M> Outbox<M> {
     }
 }
 
+/// All messages arriving at one node at one instant, drained in canonical
+/// delivery order (per-link FIFO order is preserved).
+///
+/// Handed to [`Node::on_batch`]; any messages left undrained when the
+/// handler returns are discarded.
+#[derive(Debug)]
+pub struct Batch<'a, M> {
+    inner: std::vec::Drain<'a, (NodeIndex, M)>,
+}
+
+impl<M> Iterator for Batch<'_, M> {
+    type Item = (NodeIndex, M);
+
+    fn next(&mut self) -> Option<(NodeIndex, M)> {
+        self.inner.next()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.inner.size_hint()
+    }
+}
+
+impl<M> ExactSizeIterator for Batch<'_, M> {}
+
 /// A sans-IO node state machine driven by a [`World`].
 pub trait Node {
     /// The message type exchanged between nodes of this world.
@@ -143,26 +222,69 @@ pub trait Node {
 
     /// Handles one input, writing any effects to `out`.
     fn handle(&mut self, now: SimTime, input: Input<Self::Msg>, out: &mut Outbox<Self::Msg>);
+
+    /// Handles every message arriving at this node at the same instant.
+    ///
+    /// The engine groups same-instant deliveries (e.g. a broker's fan-out
+    /// flushed over one connection) into one call so implementations can
+    /// amortise per-event overhead. The default forwards each message to
+    /// [`handle`](Node::handle), so state machines that don't care about
+    /// batching need not implement it.
+    fn on_batch(
+        &mut self,
+        now: SimTime,
+        batch: &mut Batch<'_, Self::Msg>,
+        out: &mut Outbox<Self::Msg>,
+    ) {
+        for (from, msg) in batch {
+            self.handle(now, Input::Msg { from, msg }, out);
+        }
+    }
+}
+
+/// Event classes, ordered at equal timestamps: control (crash/recover)
+/// first, then timers, then link deliveries, then harness injections.
+const CLASS_CTRL: u8 = 0;
+const CLASS_TIMER: u8 = 1;
+const CLASS_LINK: u8 = 2;
+const CLASS_HARNESS: u8 = 3;
+
+/// Canonical event key: a total order over pending events that is a pure
+/// function of what the event *is*, not of scheduler internals.
+///
+/// - control events: `a` = harness call sequence;
+/// - timers: `a` = node, `b` = that node's timer sequence;
+/// - link deliveries: `a` = `(to << 32) | from` (destination-major, so
+///   same-instant deliveries to one node are contiguous and batch), `b` =
+///   the link's message sequence;
+/// - harness injections: `a` = harness call sequence.
+///
+/// Because each component is derived from deterministic per-node /
+/// per-link / per-harness-call counters, the induced order — and therefore
+/// the trace — is identical at any region count and bucket width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct EvKey {
+    at: SimTime,
+    class: u8,
+    a: u64,
+    b: u64,
 }
 
 #[derive(Debug)]
 enum EntryKind<M> {
     Deliver { from: NodeIndex, to: NodeIndex, msg: M },
     Timer { node: NodeIndex, tag: u64 },
-    Crash { node: NodeIndex },
-    Recover { node: NodeIndex },
 }
 
 #[derive(Debug)]
 struct Entry<M> {
-    at: SimTime,
-    seq: u64,
+    key: EvKey,
     kind: EntryKind<M>,
 }
 
 impl<M> PartialEq for Entry<M> {
     fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+        self.key == other.key
     }
 }
 impl<M> Eq for Entry<M> {}
@@ -173,35 +295,279 @@ impl<M> PartialOrd for Entry<M> {
 }
 impl<M> Ord for Entry<M> {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
+        self.key.cmp(&other.key)
     }
 }
 
-/// The simulation driver: a topology, one state machine per node, and a
-/// time-ordered event queue.
+/// A crash or recovery scheduled by the harness. Held outside the region
+/// queues: control events change global state (aliveness, link purges), so
+/// they act as barriers between lockstep slices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct CtrlEntry {
+    key: EvKey,
+    node: NodeIndex,
+    recover: bool,
+}
+
+/// A calendar queue: a timer-wheel of `width`-microsecond buckets covering
+/// the near future, an `active` heap ordering the current bucket, and an
+/// overflow heap for entries beyond the wheel horizon (long timers).
 ///
-/// See the [crate docs](crate) for a complete example.
+/// Pop order is exactly ascending [`EvKey`] order: the wheel partitions by
+/// time, the active heap orders within the current bucket, and same-`at`
+/// entries always land in the same bucket.
+#[derive(Debug)]
+struct CalendarQueue<M> {
+    /// The current bucket's entries, sorted descending by key (pop from
+    /// the end); a sorted vec beats a heap here because one bucket holds
+    /// few entries and stragglers are rare.
+    active: Vec<Entry<M>>,
+    buckets: Vec<Vec<Entry<M>>>,
+    /// log2 of the bucket width in µs (widths round up to a power of two
+    /// so the per-push bucket math is a shift, not a division).
+    shift: u32,
+    /// `buckets.len() - 1`; the count is a power of two.
+    mask: usize,
+    /// Start time (µs) of the bucket at `cursor`; a multiple of the width.
+    wheel_start: u64,
+    cursor: usize,
+    in_buckets: usize,
+    overflow: BinaryHeap<Reverse<Entry<M>>>,
+    len: usize,
+}
+
+impl<M> CalendarQueue<M> {
+    fn new(width: u64, buckets: usize) -> Self {
+        let shift = width.max(1).next_power_of_two().trailing_zeros();
+        let buckets = buckets.max(2).next_power_of_two();
+        CalendarQueue {
+            active: Vec::new(),
+            buckets: (0..buckets).map(|_| Vec::new()).collect(),
+            shift,
+            mask: buckets - 1,
+            wheel_start: 0,
+            cursor: 0,
+            in_buckets: 0,
+            overflow: BinaryHeap::new(),
+            len: 0,
+        }
+    }
+
+    #[inline]
+    fn width(&self) -> u64 {
+        1 << self.shift
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn horizon(&self) -> u64 {
+        self.wheel_start.saturating_add(self.width() * self.buckets.len() as u64)
+    }
+
+    fn push(&mut self, e: Entry<M>) {
+        let t = e.key.at.as_micros();
+        self.len += 1;
+        if t < self.wheel_start + self.width() {
+            self.insert_active(e);
+        } else if t < self.horizon() {
+            let idx = (t >> self.shift) as usize & self.mask;
+            self.buckets[idx].push(e);
+            self.in_buckets += 1;
+        } else {
+            self.overflow.push(Reverse(e));
+        }
+    }
+
+    /// Inserts a straggler into the sorted active vec (descending order).
+    fn insert_active(&mut self, e: Entry<M>) {
+        let pos = self.active.partition_point(|x| x.key > e.key);
+        self.active.insert(pos, e);
+    }
+
+    /// Advances the wheel until the queue's minimum entry (if any) sits on
+    /// top of `active`.
+    fn settle(&mut self) {
+        while self.active.is_empty() && self.len > 0 {
+            if self.in_buckets == 0 {
+                // Nothing in the wheel: jump straight to the earliest
+                // overflow entry instead of sweeping empty buckets.
+                let t = self.overflow.peek().expect("len > 0").0.key.at.as_micros();
+                self.wheel_start = t & !(self.width() - 1);
+            } else {
+                self.wheel_start += self.width();
+            }
+            self.cursor = (self.wheel_start >> self.shift) as usize & self.mask;
+            self.refill_from_overflow();
+            // Drain in place: bucket capacity persists across wheel laps.
+            let (buckets, active) = (&mut self.buckets, &mut self.active);
+            let spilled = &mut buckets[self.cursor];
+            self.in_buckets -= spilled.len();
+            active.append(spilled);
+            active.sort_unstable_by_key(|e| Reverse(e.key));
+        }
+    }
+
+    /// Moves overflow entries that the advancing horizon now covers into
+    /// their wheel bucket (or straight into `active`).
+    fn refill_from_overflow(&mut self) {
+        let horizon = self.horizon();
+        while let Some(Reverse(e)) = self.overflow.peek() {
+            if e.key.at.as_micros() >= horizon {
+                break;
+            }
+            let Reverse(e) = self.overflow.pop().expect("peeked");
+            let t = e.key.at.as_micros();
+            if t < self.wheel_start + self.width() {
+                self.insert_active(e);
+            } else {
+                let idx = (t >> self.shift) as usize & self.mask;
+                self.buckets[idx].push(e);
+                self.in_buckets += 1;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Option<&Entry<M>> {
+        self.settle();
+        self.active.last()
+    }
+
+    fn pop(&mut self) -> Option<Entry<M>> {
+        self.settle();
+        let e = self.active.pop()?;
+        self.len -= 1;
+        Some(e)
+    }
+}
+
+/// Per-link connection state: FIFO ordering, the cached jitter-free
+/// latency, and the link's private jitter/loss randomness stream.
+///
+/// Keyed by destination in a per-sender FNV map, and purged when either
+/// endpoint crashes (connections reset; memory is reclaimed).
+#[derive(Debug, Clone, Copy)]
+struct LinkState {
+    /// Scheduled delivery time (µs) of the last message on this link.
+    last_at: u64,
+    /// Cached jitter-free latency (µs); the haversine runs once per link.
+    nominal: u64,
+    /// The latency (µs) sampled for the current activation's flush.
+    jittered: u64,
+    /// Activation id that sampled `jittered`; messages flushed by one
+    /// activation over one link share a latency (one TCP segment train).
+    last_apply: u64,
+    /// splitmix64 state: an order-independent per-link randomness stream.
+    rng: u64,
+    /// Messages scheduled on this link (canonical tie-break component).
+    seq: u64,
+}
+
+/// The per-link randomness stream seed: a pure function of the world seed
+/// and the link endpoints, so a link draws the same jitter/loss sequence
+/// regardless of how activity on other links interleaves. Public so
+/// scheduler-equivalence tests can transcribe the engine's sampling.
+pub fn link_stream_seed(world_seed: u64, from: NodeIndex, to: NodeIndex) -> u64 {
+    let pack = ((from.0 as u64) << 32) | to.0 as u64;
+    let mut s = world_seed ^ pack.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    splitmix64(&mut s)
+}
+
+/// Pre-registered hot-counter handles (array adds, not map lookups).
+#[derive(Debug, Clone, Copy)]
+struct EngineCounters {
+    sent: CounterId,
+    delivered: CounterId,
+    dropped_dead: CounterId,
+    lost: CounterId,
+    bad_destination: CounterId,
+    batches: CounterId,
+    batched: CounterId,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum NextSrc {
+    Ctrl,
+    Region(usize),
+}
+
+/// The simulation driver: a topology, one state machine per node, and
+/// per-region bucketed event queues merged in canonical key order.
+///
+/// See the [crate docs](crate) for a complete example and the
+/// [module docs](self) for the scheduler architecture.
 #[derive(Debug)]
 pub struct World<N: Node> {
     topology: Topology,
     nodes: Vec<N>,
     alive: Vec<bool>,
-    queue: BinaryHeap<Reverse<Entry<N::Msg>>>,
-    seq: u64,
+    /// Region (shard) of each node, derived from topology region names.
+    region_of: Vec<u32>,
+    regions: Vec<CalendarQueue<N::Msg>>,
+    /// Crash/recover events (global barriers).
+    ctrl: BinaryHeap<Reverse<CtrlEntry>>,
+    /// Cached head key per region (kept in sync by push/pop); the
+    /// per-event merge scans this flat array instead of peeking queues.
+    heads: Vec<Option<EvKey>>,
+    /// Boundary exchange: cross-region messages buffered per destination
+    /// region, flushed when the world advances to the next time slice.
+    exchange: Vec<Vec<Entry<N::Msg>>>,
+    exchange_len: usize,
+    /// Lockstep slice width (µs): a conservative lookahead no larger than
+    /// the minimum cross-node latency, so cross-region messages are never
+    /// due inside the slice that sent them.
+    slice_width: u64,
+    /// End (µs, exclusive) of the slice currently being processed.
+    window_end: u64,
+    /// Whether the latency model permits a safe multi-region lookahead.
+    can_shard: bool,
+    /// Cached latency-model jitter fraction.
+    jitter: f64,
+    /// Per-sender link state, purged on crash.
+    links: Vec<FnvHashMap<u32, LinkState>>,
+    /// Per-node timer sequence numbers (canonical tie-break component).
+    timer_seq: Vec<u64>,
+    /// Orders harness calls (injects, crashes, recoveries).
+    harness_seq: u64,
+    /// Activation counter; groups one activation's sends per link.
+    apply_seq: u64,
+    seed: u64,
     now: SimTime,
     rng: SimRng,
     loss: f64,
     metrics: MetricsRegistry,
+    ids: EngineCounters,
     tracer: Tracer,
     started: bool,
-    /// Per-link FIFO ordering: links model TCP/web-service connections, so
-    /// two messages from A to B never reorder. Maps (from, to) to the last
-    /// scheduled delivery time on that link.
-    fifo: BTreeMap<(u32, u32), SimTime>,
+    /// Reusable same-instant delivery buffer.
+    batch: Vec<(NodeIndex, N::Msg)>,
+    /// Canonical key of the entry currently being processed (trace merge).
+    cur_key: EvKey,
+    /// Trace records buffered during a bulk slice drain, merged back into
+    /// canonical key order at the slice boundary.
+    trace_buf: Vec<(EvKey, NodeIndex, Cow<'static, str>, String)>,
+    /// Whether traces are being buffered (bulk drain with tracing on).
+    bulk_tracing: bool,
+    /// Reusable activation outbox (capacity persists across activations).
+    scratch: Outbox<N::Msg>,
+    bucket_width: u64,
+    bucket_count: usize,
 }
+
+/// Default wheel geometry: 256 buckets of 1024 µs cover ~262 ms of near
+/// future; longer timers take the overflow heap. Buckets are coarse on
+/// purpose: the wheel advance (one bucket at a time) must stay cheap on
+/// sparse stretches, and the sorted active vec holding one bucket's
+/// entries stays small either way.
+const DEFAULT_BUCKET_WIDTH: u64 = 1024;
+const DEFAULT_BUCKET_COUNT: usize = 256;
 
 impl<N: Node> World<N> {
     /// Creates a world over `topology` with one state machine per node.
+    ///
+    /// Nodes are sharded into one region per distinct topology region name
+    /// (use [`set_region_count`](Self::set_region_count) to override).
     ///
     /// # Panics
     ///
@@ -209,20 +575,134 @@ impl<N: Node> World<N> {
     pub fn new(topology: Topology, seed: u64, nodes: Vec<N>) -> Self {
         assert_eq!(topology.len(), nodes.len(), "one state machine per topology node");
         let alive = vec![true; nodes.len()];
-        World {
+        let n = nodes.len();
+        let (slice_width, can_shard) = lookahead(&topology);
+        let jitter = topology.latency_model().jitter;
+        let mut metrics = MetricsRegistry::new();
+        let ids = EngineCounters {
+            sent: metrics.register_counter("sim.messages_sent"),
+            delivered: metrics.register_counter("sim.messages_delivered"),
+            dropped_dead: metrics.register_counter("sim.messages_dropped_dead"),
+            lost: metrics.register_counter("sim.messages_lost"),
+            bad_destination: metrics.register_counter("sim.bad_destination"),
+            batches: metrics.register_counter("sim.batches"),
+            batched: metrics.register_counter("sim.batched_messages"),
+        };
+        let mut world = World {
             topology,
             alive,
             nodes,
-            queue: BinaryHeap::new(),
-            seq: 0,
+            region_of: vec![0; n],
+            regions: Vec::new(),
+            ctrl: BinaryHeap::new(),
+            heads: Vec::new(),
+            exchange: Vec::new(),
+            exchange_len: 0,
+            slice_width,
+            window_end: slice_width,
+            can_shard,
+            jitter,
+            links: (0..n).map(|_| FnvHashMap::default()).collect(),
+            timer_seq: vec![0; n],
+            harness_seq: 0,
+            apply_seq: 0,
+            seed,
             now: SimTime::ZERO,
             rng: SimRng::new(seed).fork("world"),
             loss: 0.0,
-            metrics: MetricsRegistry::new(),
+            metrics,
+            ids,
             tracer: Tracer::disabled(),
             started: false,
-            fifo: BTreeMap::new(),
+            batch: Vec::new(),
+            cur_key: EvKey { at: SimTime::ZERO, class: 0, a: 0, b: 0 },
+            trace_buf: Vec::new(),
+            bulk_tracing: false,
+            scratch: Outbox::new(),
+            bucket_width: DEFAULT_BUCKET_WIDTH,
+            bucket_count: DEFAULT_BUCKET_COUNT,
+        };
+        world.partition(usize::MAX);
+        world
+    }
+
+    /// (Re)partitions nodes into at most `want` regions and rebuilds the
+    /// empty region queues.
+    fn partition(&mut self, want: usize) {
+        debug_assert_eq!(self.pending_regions(), 0, "repartition requires empty queues");
+        let mut names: Vec<&str> = self.topology.iter().map(|i| i.region.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        let limit = if self.can_shard { names.len() } else { 1 };
+        let count = want.clamp(1, limit.max(1));
+        let shard: BTreeMap<&str, u32> =
+            names.iter().enumerate().map(|(i, n)| (*n, (i % count) as u32)).collect();
+        for (i, info) in self.topology.iter().enumerate() {
+            self.region_of[i] = shard[info.region.as_str()];
         }
+        self.regions =
+            (0..count).map(|_| CalendarQueue::new(self.bucket_width, self.bucket_count)).collect();
+        self.heads = vec![None; count];
+        self.exchange = (0..count).map(|_| Vec::new()).collect();
+        self.exchange_len = 0;
+    }
+
+    fn pending_regions(&self) -> usize {
+        self.regions.iter().map(CalendarQueue::len).sum::<usize>() + self.exchange_len
+    }
+
+    /// Sets the number of region shards (clamped to the number of distinct
+    /// topology region names). The schedule is region-count invariant:
+    /// traces are byte-identical at any setting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the world has started or events are pending.
+    pub fn set_region_count(&mut self, count: usize) {
+        assert!(!self.started && self.pending() == 0, "set_region_count before starting the world");
+        self.partition(count.max(1));
+    }
+
+    /// Sets the calendar-queue geometry (bucket width in µs, bucket
+    /// count). The schedule is bucket-width invariant: traces are
+    /// byte-identical at any setting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the world has started or events are pending.
+    pub fn set_wheel_geometry(&mut self, width_micros: u64, buckets: usize) {
+        assert!(
+            !self.started && self.pending() == 0,
+            "set_wheel_geometry before starting the world"
+        );
+        self.bucket_width = width_micros.max(1);
+        self.bucket_count = buckets.max(2);
+        let count = self.regions.len();
+        self.regions =
+            (0..count).map(|_| CalendarQueue::new(self.bucket_width, self.bucket_count)).collect();
+        self.heads = vec![None; count];
+    }
+
+    /// Number of region shards.
+    pub fn region_count(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// The region shard a node belongs to.
+    pub fn region_of(&self, node: NodeIndex) -> usize {
+        self.region_of[node.as_usize()] as usize
+    }
+
+    /// The lockstep slice width in microseconds (the cross-region
+    /// lookahead; the seam for future threaded execution).
+    pub fn slice_micros(&self) -> u64 {
+        self.slice_width
+    }
+
+    /// Live per-link connection-state entries (bounded by churn purging;
+    /// see the link-state leak regression test).
+    pub fn link_state_count(&self) -> usize {
+        self.links.iter().map(FnvHashMap::len).sum()
     }
 
     /// Current simulated time.
@@ -286,12 +766,6 @@ impl<N: Node> World<N> {
         self.rng.fork(label)
     }
 
-    fn push(&mut self, at: SimTime, kind: EntryKind<N::Msg>) {
-        let seq = self.seq;
-        self.seq += 1;
-        self.queue.push(Reverse(Entry { at, seq, kind }));
-    }
-
     /// Delivers `Start` to every alive node at the current time. Called
     /// implicitly by the run methods if not called explicitly.
     pub fn start_all(&mut self) {
@@ -306,11 +780,32 @@ impl<N: Node> World<N> {
         }
     }
 
+    /// Pushes into a region queue, keeping the head cache in sync.
+    fn region_push(&mut self, region: usize, entry: Entry<N::Msg>) {
+        if self.heads[region].is_none_or(|h| entry.key < h) {
+            self.heads[region] = Some(entry.key);
+        }
+        self.regions[region].push(entry);
+    }
+
+    fn refresh_head(&mut self, region: usize) {
+        self.heads[region] = self.regions[region].peek().map(|x| x.key);
+    }
+
+    fn push_harness_deliver(&mut self, at: SimTime, from: NodeIndex, to: NodeIndex, msg: N::Msg) {
+        self.harness_seq += 1;
+        let key = EvKey { at, class: CLASS_HARNESS, a: self.harness_seq, b: 0 };
+        let region = self.region_of[to.as_usize()] as usize;
+        // Harness injections go straight into the destination queue: they
+        // happen between run calls, never inside a slice.
+        self.region_push(region, Entry { key, kind: EntryKind::Deliver { from, to, msg } });
+    }
+
     /// Injects a message from `from` to `to`, subject to normal latency.
     pub fn inject(&mut self, from: NodeIndex, to: NodeIndex, msg: N::Msg) {
         let latency = self.topology.sample_latency(from, to, &mut self.rng);
         let at = self.now + latency;
-        self.push(at, EntryKind::Deliver { from, to, msg });
+        self.push_harness_deliver(at, from, to, msg);
     }
 
     /// Schedules a message to arrive at `to` at the absolute time `at`.
@@ -322,27 +817,36 @@ impl<N: Node> World<N> {
     /// Panics if `at` is in the past.
     pub fn inject_at(&mut self, at: SimTime, from: NodeIndex, to: NodeIndex, msg: N::Msg) {
         assert!(at >= self.now, "cannot schedule into the past");
-        self.push(at, EntryKind::Deliver { from, to, msg });
+        self.push_harness_deliver(at, from, to, msg);
     }
 
     /// Schedules a crash of `node` at time `at`. In-flight messages already
     /// addressed to it are dropped on delivery; its timers are discarded.
     pub fn crash_at(&mut self, at: SimTime, node: NodeIndex) {
         assert!(at >= self.now, "cannot schedule into the past");
-        self.push(at, EntryKind::Crash { node });
+        self.harness_seq += 1;
+        let key = EvKey { at, class: CLASS_CTRL, a: self.harness_seq, b: 0 };
+        self.ctrl.push(Reverse(CtrlEntry { key, node, recover: false }));
     }
 
     /// Schedules a recovery of `node` at time `at`; the node receives
     /// [`Input::Start`] when it recovers.
     pub fn recover_at(&mut self, at: SimTime, node: NodeIndex) {
         assert!(at >= self.now, "cannot schedule into the past");
-        self.push(at, EntryKind::Recover { node });
+        self.harness_seq += 1;
+        let key = EvKey { at, class: CLASS_CTRL, a: self.harness_seq, b: 0 };
+        self.ctrl.push(Reverse(CtrlEntry { key, node, recover: true }));
     }
 
-    /// Crashes `node` immediately.
+    /// Crashes `node` immediately, resetting its link connection state
+    /// (both outbound and inbound entries are reclaimed).
     pub fn crash(&mut self, node: NodeIndex) {
         self.alive[node.as_usize()] = false;
         self.metrics.inc("sim.crashes", 1.0);
+        self.links[node.as_usize()].clear();
+        for senders in &mut self.links {
+            senders.remove(&node.0);
+        }
     }
 
     /// Recovers `node` immediately, delivering [`Input::Start`].
@@ -355,88 +859,385 @@ impl<N: Node> World<N> {
     }
 
     fn activate(&mut self, index: NodeIndex, input: Input<N::Msg>) {
-        let mut out = Outbox::new();
+        self.apply_seq += 1;
         let now = self.now;
-        self.nodes[index.as_usize()].handle(now, input, &mut out);
-        self.apply(index, out);
+        let (nodes, scratch) = (&mut self.nodes, &mut self.scratch);
+        nodes[index.as_usize()].handle(now, input, scratch);
+        self.apply_effects(index);
     }
 
-    fn apply(&mut self, from: NodeIndex, out: Outbox<N::Msg>) {
-        for (to, msg, extra) in out.sends {
-            if to.as_usize() >= self.nodes.len() {
-                self.metrics.inc("sim.bad_destination", 1.0);
-                continue;
+    fn activate_batch(&mut self, to: NodeIndex) {
+        self.apply_seq += 1;
+        let now = self.now;
+        let (nodes, scratch, buf) = (&mut self.nodes, &mut self.scratch, &mut self.batch);
+        let mut batch = Batch { inner: buf.drain(..) };
+        nodes[to.as_usize()].on_batch(now, &mut batch, scratch);
+        drop(batch);
+        self.apply_effects(to);
+    }
+
+    /// Drains the scratch outbox of one activation into the schedule,
+    /// preserving the outbox's capacity for the next activation.
+    fn apply_effects(&mut self, from: NodeIndex) {
+        if !self.scratch.sends.is_empty() {
+            let mut sends = std::mem::take(&mut self.scratch.sends);
+            for (to, msg, extra) in sends.drain(..) {
+                self.dispatch_send(from, to, msg, extra);
             }
-            if self.loss > 0.0 && to != from && self.rng.chance(self.loss) {
-                self.metrics.inc("sim.messages_lost", 1.0);
-                continue;
+            self.scratch.sends = sends;
+        }
+        if !self.scratch.timers.is_empty() {
+            let mut timers = std::mem::take(&mut self.scratch.timers);
+            for (delay, tag) in timers.drain(..) {
+                self.push_timer(from, delay, tag);
             }
-            let latency = self.topology.sample_latency(from, to, &mut self.rng);
-            let mut at = self.now + latency + extra;
-            // Enforce per-link FIFO: links are connection-oriented (the
-            // architecture's web-service interfaces run over TCP).
-            let key = (from.0, to.0);
-            if let Some(&last) = self.fifo.get(&key) {
-                if at <= last {
-                    at = last + SimDuration::from_micros(1);
+            self.scratch.timers = timers;
+        }
+        if !self.scratch.counts.is_empty() {
+            for (name, by) in self.scratch.counts.drain(..) {
+                self.metrics.inc(&name, by);
+            }
+        }
+        if !self.scratch.observations.is_empty() {
+            for (name, value) in self.scratch.observations.drain(..) {
+                self.metrics.observe(&name, value);
+            }
+        }
+        if !self.scratch.traces.is_empty() {
+            if self.bulk_tracing {
+                for (kind, detail) in self.scratch.traces.drain(..) {
+                    self.trace_buf.push((self.cur_key, from, kind, detail));
+                }
+            } else {
+                for (kind, detail) in self.scratch.traces.drain(..) {
+                    self.tracer.record(self.now, from, &kind, detail);
                 }
             }
-            self.fifo.insert(key, at);
-            self.metrics.inc("sim.messages_sent", 1.0);
-            self.push(at, EntryKind::Deliver { from, to, msg });
-        }
-        for (delay, tag) in out.timers {
-            self.push(self.now + delay, EntryKind::Timer { node: from, tag });
-        }
-        for (name, by) in out.counts {
-            self.metrics.inc(&name, by);
-        }
-        for (name, value) in out.observations {
-            self.metrics.observe(&name, value);
-        }
-        for (kind, detail) in out.traces {
-            self.tracer.record(self.now, from, &kind, detail);
         }
     }
 
-    /// Processes the next queued entry, if any. Returns `false` when the
-    /// queue is empty.
+    /// Merges slice-buffered traces back into canonical key order (regions
+    /// drain one after another inside a slice, but the recorded trace must
+    /// be independent of the region count).
+    fn flush_trace_buf(&mut self) {
+        if self.trace_buf.is_empty() {
+            return;
+        }
+        let mut buf = std::mem::take(&mut self.trace_buf);
+        buf.sort_by_key(|r| r.0);
+        for (key, node, kind, detail) in buf.drain(..) {
+            self.tracer.record(key.at, node, &kind, detail);
+        }
+        self.trace_buf = buf;
+    }
+
+    fn push_timer(&mut self, node: NodeIndex, delay: SimDuration, tag: u64) {
+        let seq = &mut self.timer_seq[node.as_usize()];
+        *seq += 1;
+        let key = EvKey { at: self.now + delay, class: CLASS_TIMER, a: node.0 as u64, b: *seq };
+        let region = self.region_of[node.as_usize()] as usize;
+        self.region_push(region, Entry { key, kind: EntryKind::Timer { node, tag } });
+    }
+
+    fn dispatch_send(&mut self, from: NodeIndex, to: NodeIndex, msg: N::Msg, extra: SimDuration) {
+        if to.as_usize() >= self.nodes.len() {
+            self.metrics.add(self.ids.bad_destination, 1.0);
+            return;
+        }
+        let sender = from.as_usize();
+        let jitter = self.jitter;
+        let (links, topology, seed) = (&mut self.links, &self.topology, self.seed);
+        let ls = links[sender].entry(to.0).or_insert_with(|| {
+            let nominal = topology.nominal_latency(from, to).as_micros();
+            LinkState {
+                last_at: 0,
+                nominal,
+                jittered: nominal,
+                last_apply: 0,
+                rng: link_stream_seed(seed, from, to),
+                seq: 0,
+            }
+        });
+        if ls.last_apply != self.apply_seq {
+            // First message of this activation on this link: sample the
+            // connection's latency once; the rest of the flush shares it.
+            ls.last_apply = self.apply_seq;
+            ls.jittered = if to == from || jitter <= 0.0 {
+                ls.nominal
+            } else {
+                let factor = 1.0 - jitter + 2.0 * jitter * splitmix_unit(&mut ls.rng);
+                (ls.nominal as f64 * factor).round() as u64
+            };
+        }
+        if self.loss > 0.0 && to != from && splitmix_unit(&mut ls.rng) < self.loss {
+            self.metrics.add(self.ids.lost, 1.0);
+            return;
+        }
+        // Per-link FIFO: links are connection-oriented (the architecture's
+        // web-service interfaces run over TCP); equal times are allowed
+        // and preserve send order via the link sequence number.
+        let mut at = self.now.as_micros() + ls.jittered + extra.as_micros();
+        if at < ls.last_at {
+            at = ls.last_at;
+        }
+        ls.last_at = at;
+        ls.seq += 1;
+        let key = EvKey {
+            at: SimTime::from_micros(at),
+            class: CLASS_LINK,
+            a: ((to.0 as u64) << 32) | from.0 as u64,
+            b: ls.seq,
+        };
+        self.metrics.add(self.ids.sent, 1.0);
+        let entry = Entry { key, kind: EntryKind::Deliver { from, to, msg } };
+        let (rf, rt) = (self.region_of[sender] as usize, self.region_of[to.as_usize()] as usize);
+        if rf == rt || self.window_end == u64::MAX {
+            // Same region — or the degenerate unbounded window, where the
+            // exchange's slice-boundary flush cannot order it correctly.
+            self.region_push(rt, entry);
+        } else {
+            debug_assert!(
+                at >= self.window_end,
+                "cross-region message due inside its own slice: at={at} window_end={} now={}",
+                self.window_end,
+                self.now.as_micros()
+            );
+            self.exchange[rt].push(entry);
+            self.exchange_len += 1;
+        }
+    }
+
+    /// Flushes the boundary exchange into the destination region queues
+    /// (the slice-boundary handover; with threaded regions this is the
+    /// only synchronisation point).
+    fn flush_exchange(&mut self) {
+        for r in 0..self.exchange.len() {
+            // Pop order within the buffer is irrelevant: the queue orders
+            // by key.
+            while let Some(e) = self.exchange[r].pop() {
+                self.region_push(r, e);
+            }
+        }
+        self.exchange_len = 0;
+    }
+
+    /// Whether the lockstep window currently covers time `t` (µs).
+    fn window_contains(&self, t: u64) -> bool {
+        t < self.window_end
+            && (self.window_end == u64::MAX || t >= self.window_end - self.slice_width)
+    }
+
+    /// Moves the window to the slice containing time `t` (µs). This jumps
+    /// forward over empty slices, and also back: a run can stop
+    /// mid-stretch and harness activity (injects between run calls) may
+    /// then schedule work before the speculatively advanced window.
+    /// Exchange entries are always due at or after the window that
+    /// buffered them, so retreating is safe.
+    fn move_window(&mut self, t: u64) {
+        let aligned = (t / self.slice_width).saturating_add(1).saturating_mul(self.slice_width);
+        // Alignment overflow (pathological far-future event): fall back to
+        // one unbounded window.
+        self.window_end = if aligned <= t { u64::MAX } else { aligned };
+    }
+
+    /// The minimal pending key over the control heap and all region heads.
+    fn scan_min(&self) -> Option<(EvKey, NextSrc)> {
+        let mut best: Option<(EvKey, NextSrc)> = self.ctrl.peek().map(|r| (r.0.key, NextSrc::Ctrl));
+        for (r, head) in self.heads.iter().enumerate() {
+            if let Some(k) = head {
+                if best.is_none_or(|(bk, _)| *k < bk) {
+                    best = Some((*k, NextSrc::Region(r)));
+                }
+            }
+        }
+        best
+    }
+
+    /// Positions the scheduler on the next canonical event: flushes the
+    /// exchange and moves the lockstep window as needed, then returns the
+    /// minimal key over the control heap and all region queues.
+    fn position_next(&mut self) -> Option<(EvKey, NextSrc)> {
+        loop {
+            let Some((k, src)) = self.scan_min() else {
+                if self.exchange_len > 0 {
+                    self.flush_exchange();
+                    continue;
+                }
+                return None;
+            };
+            if self.window_contains(k.at.as_micros()) {
+                return Some((k, src));
+            }
+            if self.exchange_len > 0 {
+                self.flush_exchange();
+                continue;
+            }
+            self.move_window(k.at.as_micros());
+        }
+    }
+
+    /// Processes the next queued event — a crash/recovery, a timer, or a
+    /// same-instant delivery batch. Returns `false` when the queue is
+    /// empty.
     pub fn step(&mut self) -> bool {
         self.start_all();
-        let Some(Reverse(entry)) = self.queue.pop() else {
+        let Some((key, src)) = self.position_next() else {
             return false;
         };
-        debug_assert!(entry.at >= self.now, "time went backwards");
-        self.now = entry.at;
-        match entry.kind {
-            EntryKind::Deliver { from, to, msg } => {
-                if self.alive[to.as_usize()] {
-                    self.metrics.inc("sim.messages_delivered", 1.0);
-                    self.activate(to, Input::Msg { from, msg });
+        self.step_at(key, src);
+        true
+    }
+
+    /// Processes the event `position_next` selected.
+    fn step_at(&mut self, key: EvKey, src: NextSrc) {
+        debug_assert!(key.at >= self.now, "time went backwards");
+        match src {
+            NextSrc::Ctrl => {
+                self.now = key.at;
+                let Reverse(ctrl) = self.ctrl.pop().expect("peeked");
+                if ctrl.recover {
+                    self.recover(ctrl.node);
                 } else {
-                    self.metrics.inc("sim.messages_dropped_dead", 1.0);
+                    self.crash(ctrl.node);
                 }
             }
+            NextSrc::Region(r) => self.process_entry(r),
+        }
+    }
+
+    /// Drains region `r` up to and including `stop_at`, stopping early at
+    /// a control barrier. The head cache is synced once at the end, not
+    /// per pop.
+    fn drain_region(&mut self, r: usize, stop_at: SimTime, barrier: Option<EvKey>) {
+        while let Some(head) = self.regions[r].peek().map(|e| e.key) {
+            if head.at > stop_at || barrier.is_some_and(|b| head > b) {
+                break;
+            }
+            self.process_entry_unsynced(r);
+        }
+        self.refresh_head(r);
+    }
+
+    /// Pops and handles the head entry of region `r` — a timer or a
+    /// same-instant delivery batch. Sets `now` to the entry's time (within
+    /// a bulk slice drain, `now` is monotone per region, not globally).
+    fn process_entry(&mut self, r: usize) {
+        self.process_entry_unsynced(r);
+        self.refresh_head(r);
+    }
+
+    /// Like [`process_entry`](Self::process_entry) but leaves the head
+    /// cache stale (bulk drains sync it once per segment).
+    fn process_entry_unsynced(&mut self, r: usize) {
+        let entry = self.regions[r].pop().expect("peeked");
+        let key = entry.key;
+        self.now = key.at;
+        self.cur_key = key;
+        match entry.kind {
             EntryKind::Timer { node, tag } => {
                 if self.alive[node.as_usize()] {
                     self.activate(node, Input::Timer { tag });
                 }
             }
-            EntryKind::Crash { node } => self.crash(node),
-            EntryKind::Recover { node } => self.recover(node),
+            EntryKind::Deliver { from, to, msg } => {
+                debug_assert!(self.batch.is_empty());
+                self.batch.push((from, msg));
+                // Gather the rest of the same-instant batch for `to`.
+                // Only link deliveries batch: their destination-major keys
+                // make same-instant arrivals at one node contiguous in the
+                // global key order (harness injections are keyed by call
+                // order and deliver singly).
+                while let Some(next) = self.regions[r].peek() {
+                    let h = next.key;
+                    if h.at != key.at || h.class != CLASS_LINK || (h.a >> 32) as u32 != to.0 {
+                        break;
+                    }
+                    let popped = self.regions[r].pop().expect("peeked");
+                    let EntryKind::Deliver { from, msg, .. } = popped.kind else {
+                        unreachable!("class-checked Deliver above");
+                    };
+                    self.batch.push((from, msg));
+                }
+                let n = self.batch.len() as f64;
+                if self.alive[to.as_usize()] {
+                    self.metrics.add(self.ids.delivered, n);
+                    if self.batch.len() > 1 {
+                        self.metrics.add(self.ids.batches, 1.0);
+                        self.metrics.add(self.ids.batched, n);
+                    }
+                    self.activate_batch(to);
+                } else {
+                    self.metrics.add(self.ids.dropped_dead, n);
+                    self.batch.clear();
+                }
+            }
         }
-        true
     }
 
     /// Runs until the queue is empty or simulated time reaches `t`.
     /// Afterwards `now() == t` unless the queue emptied earlier.
+    ///
+    /// Runs slice by slice: each region drains its own queue for the
+    /// current lockstep window (regions are causally independent within a
+    /// window, so per-node schedules are exactly the canonical ones),
+    /// crash/recover events act as barriers inside the window, and the
+    /// boundary exchange is flushed between windows. With tracing on,
+    /// trace records are merged back into canonical key order at each
+    /// boundary, so the trace is byte-identical at any region count.
     pub fn run_until(&mut self, t: SimTime) {
         self.start_all();
-        while let Some(Reverse(entry)) = self.queue.peek() {
-            if entry.at > t {
+        let tracing = self.tracer.is_enabled();
+        loop {
+            let min = self.scan_min();
+            // The visible minimum is only authoritative when it lies in
+            // the current window: the exchange may hold earlier entries
+            // otherwise, so flush before trusting (or breaking on) it.
+            let in_window = min.is_some_and(|(k, _)| self.window_contains(k.at.as_micros()));
+            if !in_window && self.exchange_len > 0 {
+                self.flush_exchange();
+                continue;
+            }
+            let Some((k, _)) = min else {
+                break;
+            };
+            if k.at > t {
                 break;
             }
-            self.step();
+            if !in_window {
+                self.move_window(k.at.as_micros());
+                continue;
+            }
+            // Drain this window region by region, pausing at control
+            // barriers (which touch global state: aliveness, link purges).
+            self.bulk_tracing = tracing;
+            loop {
+                let barrier = self.ctrl.peek().map(|c| c.0.key);
+                let stop_at = if self.window_end == u64::MAX {
+                    t
+                } else {
+                    t.min(SimTime::from_micros(self.window_end - 1))
+                };
+                for r in 0..self.regions.len() {
+                    self.drain_region(r, stop_at, barrier);
+                }
+                match barrier {
+                    Some(b) if b.at <= t && self.window_contains(b.at.as_micros()) => {
+                        self.bulk_tracing = false;
+                        self.flush_trace_buf();
+                        let Reverse(ctrl) = self.ctrl.pop().expect("peeked");
+                        self.now = b.at;
+                        if ctrl.recover {
+                            self.recover(ctrl.node);
+                        } else {
+                            self.crash(ctrl.node);
+                        }
+                        self.bulk_tracing = tracing;
+                    }
+                    _ => break,
+                }
+            }
+            self.bulk_tracing = false;
+            self.flush_trace_buf();
         }
         if self.now < t {
             self.now = t;
@@ -453,23 +1254,51 @@ impl<N: Node> World<N> {
     /// at which the system went quiescent (or `limit`).
     pub fn run_to_quiescence(&mut self, limit: SimTime) -> SimTime {
         self.start_all();
-        while self.now <= limit {
-            if !self.step() {
-                return self.now;
-            }
-            if let Some(Reverse(e)) = self.queue.peek() {
-                if e.at > limit {
-                    break;
+        let mut first = true;
+        loop {
+            let Some((key, src)) = self.position_next() else {
+                // Mirrors the seed scheduler: the returned settle time
+                // (and `now`) never exceed the limit, even when the final
+                // processed event lay beyond it.
+                if self.now > limit {
+                    self.now = limit;
+                    return limit;
                 }
+                return self.now;
+            };
+            // Mirrors the seed scheduler: the first pending event is
+            // processed even when it lies beyond the limit.
+            if !first && key.at > limit {
+                break;
             }
+            first = false;
+            self.step_at(key, src);
         }
         self.now = limit;
         limit
     }
 
-    /// Number of entries waiting in the queue.
+    /// Number of entries waiting across all queues (control events, region
+    /// queues, and the boundary exchange).
     pub fn pending(&self) -> usize {
-        self.queue.len()
+        self.ctrl.len() + self.pending_regions()
+    }
+}
+
+/// Computes the lockstep slice width from the latency model: the minimum
+/// cross-node latency (base minus full jitter), floored. The jittered
+/// latency of any message is at least this floor (`round(nominal * f)` with
+/// `nominal >= base` and `f >= 1 - jitter`), so a slice of exactly the
+/// floor guarantees no cross-region message is due inside its own slice.
+/// Returns `(width, can_shard)`; models without a positive latency floor
+/// cannot shard safely and run as a single region.
+fn lookahead(topology: &Topology) -> (u64, bool) {
+    let lm = topology.latency_model();
+    let floor = (lm.base.as_micros() as f64 * (1.0 - lm.jitter)).floor() as u64;
+    if floor < 2 {
+        (1, false)
+    } else {
+        (floor, true)
     }
 }
 
@@ -486,12 +1315,14 @@ mod tests {
         pongs: u32,
         timer_fires: u32,
         periodic: bool,
+        batch_sizes: Vec<usize>,
     }
 
     #[derive(Debug, Clone)]
     enum M {
         Ping,
         Pong,
+        Burst(u32),
     }
 
     impl Node for TestNode {
@@ -510,11 +1341,23 @@ mod tests {
                     out.count("pings", 1.0);
                 }
                 Input::Msg { msg: M::Pong, .. } => self.pongs += 1,
+                Input::Msg { from, msg: M::Burst(n) } => {
+                    for _ in 0..n {
+                        out.send(from, M::Pong);
+                    }
+                }
                 Input::Timer { tag: 1 } => {
                     self.timer_fires += 1;
                     out.timer(SimDuration::from_millis(100), 1);
                 }
                 Input::Timer { .. } => {}
+            }
+        }
+
+        fn on_batch(&mut self, now: SimTime, batch: &mut Batch<'_, M>, out: &mut Outbox<M>) {
+            self.batch_sizes.push(batch.len());
+            for (from, msg) in batch {
+                self.handle(now, Input::Msg { from, msg }, out);
             }
         }
     }
@@ -636,5 +1479,72 @@ mod tests {
         let mut w = world(1);
         w.run_until(SimTime::from_secs(1));
         w.inject_at(SimTime::from_millis(1), NodeIndex(0), NodeIndex(0), M::Ping);
+    }
+
+    #[test]
+    fn crash_purges_link_state_both_directions() {
+        // Regression: the seed engine kept per-link FIFO entries forever,
+        // so long churn runs grew memory without bound.
+        let mut w = world(3);
+        w.inject(NodeIndex(0), NodeIndex(1), M::Ping); // 1 replies to 0
+        w.inject(NodeIndex(1), NodeIndex(2), M::Ping); // 2 replies to 1
+        w.inject(NodeIndex(2), NodeIndex(0), M::Ping); // 0 replies to 2
+        w.run_until(SimTime::from_secs(1));
+        // Replies created links 1->0, 2->1, 0->2.
+        assert_eq!(w.link_state_count(), 3);
+        w.crash(NodeIndex(1));
+        // Both 1's outbound state and every inbound entry to 1 are gone.
+        assert_eq!(w.link_state_count(), 1);
+        w.crash(NodeIndex(0));
+        w.crash(NodeIndex(2));
+        assert_eq!(w.link_state_count(), 0);
+    }
+
+    #[test]
+    fn same_activation_fanout_arrives_as_one_batch() {
+        // A burst of sends from one activation over one link shares a
+        // latency sample, lands at one instant, and is handed over as one
+        // on_batch call.
+        let mut w = world(2);
+        w.inject(NodeIndex(1), NodeIndex(0), M::Burst(5));
+        w.run_until(SimTime::from_secs(1));
+        assert_eq!(w.node(NodeIndex(1)).pongs, 5);
+        assert!(
+            w.node(NodeIndex(1)).batch_sizes.contains(&5),
+            "burst replies batch: {:?}",
+            w.node(NodeIndex(1)).batch_sizes
+        );
+        assert_eq!(w.metrics().counter("sim.batched_messages"), 5.0);
+    }
+
+    #[test]
+    fn region_count_and_wheel_geometry_do_not_change_outcomes() {
+        let run = |regions: usize, width: u64, buckets: usize| {
+            let t = Topology::random(8, &["scotland", "us-east", "asia", "brazil"], 5);
+            let nodes = (0..8).map(|_| TestNode::default()).collect();
+            let mut w = World::new(t, 5, nodes);
+            w.set_region_count(regions);
+            w.set_wheel_geometry(width, buckets);
+            for i in 0..8u32 {
+                w.inject(NodeIndex(i), NodeIndex((i + 1) % 8), M::Ping);
+            }
+            w.run_until(SimTime::from_secs(2));
+            let pongs: Vec<u32> = w.nodes().map(|n| n.pongs).collect();
+            (pongs, w.metrics().counter("sim.messages_sent"), w.now())
+        };
+        let baseline = run(1, DEFAULT_BUCKET_WIDTH, DEFAULT_BUCKET_COUNT);
+        assert_eq!(baseline, run(2, DEFAULT_BUCKET_WIDTH, DEFAULT_BUCKET_COUNT));
+        assert_eq!(baseline, run(4, 64, 32));
+        assert_eq!(baseline, run(4, 10_000, 8));
+    }
+
+    #[test]
+    fn multi_region_world_shards_by_topology_region() {
+        let t = Topology::random(8, &["scotland", "us-east"], 5);
+        let nodes = (0..8).map(|_| TestNode::default()).collect::<Vec<_>>();
+        let w = World::new(t, 5, nodes);
+        assert_eq!(w.region_count(), 2);
+        assert_ne!(w.region_of(NodeIndex(0)), w.region_of(NodeIndex(1)));
+        assert!(w.slice_micros() > 0);
     }
 }

@@ -39,6 +39,28 @@ pub type FnvBuildHasher = BuildHasherDefault<FnvHasher>;
 /// A `HashMap` keyed with FNV-1a.
 pub type FnvHashMap<K, V> = HashMap<K, V, FnvBuildHasher>;
 
+/// One step of the splitmix64 sequence: advances `state` and returns the
+/// next output.
+///
+/// The engine gives every network link its own splitmix64 stream for
+/// jitter and loss sampling: the stream a link draws from depends only on
+/// the world seed and the link's endpoints, never on how activity on other
+/// links interleaves — the property that makes the sharded scheduler's
+/// traces region-count invariant. Public so scheduler-equivalence tests
+/// can transcribe the sampling exactly.
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A uniform `f64` in `[0, 1)` drawn from a splitmix64 stream.
+pub fn splitmix_unit(state: &mut u64) -> f64 {
+    (splitmix64(state) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -51,6 +73,27 @@ mod tests {
         assert_eq!(m.get("alpha"), Some(&1));
         assert_eq!(m.get("beta"), Some(&2));
         assert_eq!(m.get("gamma"), None);
+    }
+
+    #[test]
+    fn splitmix_streams_are_deterministic_and_distinct() {
+        let mut a = 7u64;
+        let mut b = 7u64;
+        let mut c = 8u64;
+        let sa: Vec<u64> = (0..8).map(|_| splitmix64(&mut a)).collect();
+        let sb: Vec<u64> = (0..8).map(|_| splitmix64(&mut b)).collect();
+        let sc: Vec<u64> = (0..8).map(|_| splitmix64(&mut c)).collect();
+        assert_eq!(sa, sb);
+        assert_ne!(sa, sc);
+    }
+
+    #[test]
+    fn splitmix_unit_in_range() {
+        let mut s = 1234u64;
+        for _ in 0..1000 {
+            let u = splitmix_unit(&mut s);
+            assert!((0.0..1.0).contains(&u), "unit sample {u}");
+        }
     }
 
     #[test]

@@ -3,16 +3,35 @@
 //! (MPAC 2003).
 //!
 //! The paper assumes a wide-area deployment over heterogeneous nodes. This
-//! crate provides the synthetic equivalent: a single-threaded, seeded,
-//! discrete-event simulator with a geography-derived latency model, node
-//! failure injection, and measurement utilities. Every protocol in the
-//! workspace (pub/sub brokers, overlay routing, storage, deployment) is
-//! written as a sans-IO state machine driven by [`World`], which owns time
-//! and message delivery.
+//! crate provides the synthetic equivalent: a seeded discrete-event
+//! simulator with a geography-derived latency model, node failure
+//! injection, and measurement utilities. Every protocol in the workspace
+//! (pub/sub brokers, overlay routing, storage, deployment) is written as a
+//! sans-IO state machine driven by [`World`], which owns time and message
+//! delivery.
 //!
-//! Determinism: a fixed seed yields an identical event trace. Ties in the
-//! event queue are broken by insertion sequence number, and all randomness
-//! flows from [`SimRng`] forks.
+//! The event plane is built for 1k–4k-node workloads (see the
+//! [engine docs](engine) for the full architecture):
+//!
+//! - nodes shard into **regions** (one per topology region name by
+//!   default), each owning a **bucketed calendar queue** (timer-wheel +
+//!   overflow heap) instead of one global binary heap;
+//! - cross-region messages cross a **boundary exchange** flushed at
+//!   lockstep time-slice boundaries — the seam for future threaded
+//!   execution;
+//! - per-link state (FNV-keyed, purged on crash) caches geographic
+//!   latency and carries an order-independent jitter/loss stream;
+//! - same-instant arrivals at one node are handed over as a **batch**
+//!   ([`Node::on_batch`]), amortising per-event dispatch above the engine.
+//!
+//! Determinism: a fixed seed yields an identical event trace — regardless
+//! of region count or bucket width. Events are processed in canonical key
+//! order (a pure function of link/timer/harness sequence numbers, not of
+//! scheduler internals), and all randomness flows from [`SimRng`] forks or
+//! per-link splitmix64 streams. The `engine_equivalence` integration test
+//! checks the sharded scheduler against a single-heap transcription; the
+//! `region_determinism` test checks byte-identical traces across region
+//! counts.
 //!
 //! # Example
 //!
@@ -51,10 +70,10 @@ pub mod time;
 pub mod topology;
 pub mod trace;
 
-pub use engine::{Input, Node, Outbox, World};
+pub use engine::{link_stream_seed, Batch, Input, Node, Outbox, World};
 pub use failure::{ChurnEvent, ChurnKind, ChurnModel};
-pub use hash::{FnvBuildHasher, FnvHashMap, FnvHasher};
-pub use metrics::{Histogram, MetricsRegistry, Summary};
+pub use hash::{splitmix64, splitmix_unit, FnvBuildHasher, FnvHashMap, FnvHasher};
+pub use metrics::{CounterId, Histogram, MetricsRegistry, Summary};
 pub use rng::{SimRng, Zipf};
 pub use time::{SimDuration, SimTime};
 pub use topology::{GeoPoint, LatencyModel, NodeIndex, NodeInfo, Topology};

@@ -119,11 +119,19 @@ impl fmt::Display for Summary {
     }
 }
 
+/// A handle to a pre-registered hot counter: incrementing through the
+/// handle is an array add, with no per-event name lookup or allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterId(usize);
+
 /// Named counters and histograms for one simulation run.
 #[derive(Debug, Clone, Default)]
 pub struct MetricsRegistry {
     counters: BTreeMap<String, f64>,
     histograms: BTreeMap<String, Histogram>,
+    /// Hot counters addressed by [`CounterId`]; the simulator's inner loop
+    /// increments these once or more per message.
+    fast: Vec<(String, f64)>,
 }
 
 impl MetricsRegistry {
@@ -132,19 +140,49 @@ impl MetricsRegistry {
         MetricsRegistry::default()
     }
 
+    /// Registers (or finds) a hot counter and returns its handle.
+    /// Registration is idempotent per name.
+    pub fn register_counter(&mut self, name: &str) -> CounterId {
+        if let Some(pos) = self.fast.iter().position(|(n, _)| n == name) {
+            return CounterId(pos);
+        }
+        // Fold in any value accumulated before registration.
+        let seeded = self.counters.remove(name).unwrap_or(0.0);
+        self.fast.push((name.to_string(), seeded));
+        CounterId(self.fast.len() - 1)
+    }
+
+    /// Adds `by` to a pre-registered hot counter.
+    pub fn add(&mut self, id: CounterId, by: f64) {
+        self.fast[id.0].1 += by;
+    }
+
     /// Adds `by` to the named counter (creating it at zero).
     pub fn inc(&mut self, name: &str, by: f64) {
-        *self.counters.entry(name.to_string()).or_insert(0.0) += by;
+        if let Some(slot) = self.fast.iter_mut().find(|(n, _)| n == name) {
+            slot.1 += by;
+        } else if let Some(v) = self.counters.get_mut(name) {
+            *v += by;
+        } else {
+            self.counters.insert(name.to_string(), by);
+        }
     }
 
     /// Reads a counter; missing counters read as zero.
     pub fn counter(&self, name: &str) -> f64 {
+        if let Some((_, v)) = self.fast.iter().find(|(n, _)| n == name) {
+            return *v;
+        }
         self.counters.get(name).copied().unwrap_or(0.0)
     }
 
     /// Records a sample in the named histogram (creating it if needed).
     pub fn observe(&mut self, name: &str, value: f64) {
-        self.histograms.entry(name.to_string()).or_default().record(value);
+        if let Some(h) = self.histograms.get_mut(name) {
+            h.record(value);
+        } else {
+            self.histograms.entry(name.to_string()).or_default().record(value);
+        }
     }
 
     /// The named histogram, if any samples were recorded.
@@ -159,7 +197,14 @@ impl MetricsRegistry {
 
     /// All counter names, sorted.
     pub fn counter_names(&self) -> impl Iterator<Item = &str> {
-        self.counters.keys().map(|s| s.as_str())
+        let mut names: Vec<&str> = self
+            .counters
+            .keys()
+            .map(String::as_str)
+            .chain(self.fast.iter().map(|(n, _)| n.as_str()))
+            .collect();
+        names.sort_unstable();
+        names.into_iter()
     }
 
     /// All histogram names, sorted.
@@ -170,7 +215,10 @@ impl MetricsRegistry {
     /// Merges another registry into this one.
     pub fn merge(&mut self, other: &MetricsRegistry) {
         for (k, v) in &other.counters {
-            *self.counters.entry(k.clone()).or_insert(0.0) += v;
+            self.inc(k, *v);
+        }
+        for (k, v) in &other.fast {
+            self.inc(k, *v);
         }
         for (k, h) in &other.histograms {
             self.histograms.entry(k.clone()).or_default().merge(h);
@@ -180,7 +228,12 @@ impl MetricsRegistry {
     /// Renders all metrics as an aligned text table.
     pub fn render(&self) -> String {
         let mut out = String::new();
-        for (name, v) in &self.counters {
+        let mut counters: BTreeMap<&str, f64> =
+            self.counters.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+        for (k, v) in &self.fast {
+            *counters.entry(k.as_str()).or_insert(0.0) += v;
+        }
+        for (name, v) in counters {
             out.push_str(&format!("{name:<40} {v}\n"));
         }
         for (name, h) in &self.histograms {
@@ -245,6 +298,22 @@ mod tests {
         r.inc("x", 3.0);
         assert_eq!(r.counter("x"), 5.0);
         assert_eq!(r.counter("missing"), 0.0);
+    }
+
+    #[test]
+    fn registered_counters_share_the_namespace() {
+        let mut r = MetricsRegistry::new();
+        // Values accumulated before registration carry over.
+        r.inc("hot", 2.0);
+        let id = r.register_counter("hot");
+        r.add(id, 3.0);
+        // And the slow path keeps hitting the same cell afterwards.
+        r.inc("hot", 1.0);
+        assert_eq!(r.counter("hot"), 6.0);
+        // Registration is idempotent.
+        assert_eq!(r.register_counter("hot"), id);
+        assert!(r.counter_names().any(|n| n == "hot"));
+        assert!(r.render().contains("hot"));
     }
 
     #[test]

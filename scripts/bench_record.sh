@@ -1,17 +1,25 @@
 #!/usr/bin/env bash
 # Runs the criterion bench suite and records per-benchmark means as one
-# JSON document (the format committed as BENCH_pr2.json).
+# JSON document (the format committed as BENCH_pr2.json / BENCH_pr3.json).
 #
 # Usage:
 #   scripts/bench_record.sh [output.json] [bench-name-filter...]
 #
 # Examples:
-#   scripts/bench_record.sh                     # all benches -> bench_results.json
-#   scripts/bench_record.sh out.json e1_ c7_    # only e1_* and c7_* benches
+#   scripts/bench_record.sh                          # all benches -> BENCH_pr3.json
+#   scripts/bench_record.sh out.json e1_ c7_         # only e1_* and c7_* benches
+#   scripts/bench_record.sh BENCH_pr3.json s3_ s4_ s5_ c1_filter
+#                                                    # the PR 3 scale/churn/mobility set
+#
+# The committed BENCH_pr3.json interleaves this script's output for the
+# seed commit (in a git worktree, with this bench file copied in) and the
+# current tree, same machine, back to back; c1_filter_match is the
+# untouched control that proves the machine noise is matched.
+# GLOSS_BENCH_SMOKE=1 passes through to the harness for quick smoke runs.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-bench_results.json}"
+out="${1:-BENCH_pr3.json}"
 shift $(( $# > 0 ? 1 : 0 ))
 
 tmp="$(mktemp)"
