@@ -3,6 +3,7 @@
 //! the full tables).
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use gloss_bench::THREAD_COLUMNS;
 use gloss_event::{Architecture, Event, Filter, Op, PubSubConfig, PubSubNetwork};
 use gloss_knowledge::{
     Fact, InMemoryFacts, LexicalMatcher, Ontology, ServiceDescription, Term, TextMatcher,
@@ -140,6 +141,54 @@ fn c3_cache_ops(c: &mut Criterion) {
                     let _ = cache.get(d.guid);
                 }
                 cache
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+/// C3 (churn): eviction-heavy insert stream — 4096 inserts through a
+/// cache holding ~32 entries, so nearly every insert evicts. The
+/// intrusive-list LRU makes each eviction O(1); the seed cache's
+/// `min_by_key` scan made this workload quadratic.
+fn c3_cache_churn(c: &mut Criterion) {
+    use gloss_store::LruCache;
+    let docs: Vec<Document> =
+        (0..4096).map(|i| Document::new(format!("churn{i}"), vec![0u8; 512])).collect();
+    c.bench_function("c3_cache_churn_4096", |b| {
+        b.iter_batched(
+            || LruCache::new(16 * 1024),
+            |mut cache| {
+                for d in &docs {
+                    cache.insert(d.clone());
+                }
+                cache
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+/// M1: summary polling over a large histogram — the per-slice pattern of
+/// measurement harnesses. The cached sorted view makes repeated polls
+/// O(1); the seed version cloned and re-sorted all samples per call.
+fn m1_histogram_polling(c: &mut Criterion) {
+    use gloss_sim::Histogram;
+    let mut h = Histogram::new();
+    let mut x = 1u64;
+    for _ in 0..65_536 {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        h.record((x >> 11) as f64 / (1u64 << 53) as f64);
+    }
+    c.bench_function("m1_histogram_summary_poll_64k", |b| b.iter(|| h.summary()));
+    // Steady-state invalidation cost: the clone resets the histogram per
+    // batch so the sample count never drifts with iteration count.
+    c.bench_function("m1_histogram_record_then_poll", |b| {
+        b.iter_batched(
+            || h.clone(),
+            |mut fresh| {
+                fresh.record(0.5);
+                fresh.summary()
             },
             BatchSize::SmallInput,
         )
@@ -300,81 +349,118 @@ fn s2_join_deep_buffer(c: &mut Criterion) {
 }
 
 /// S3: the sharded event plane at scale — wall time for a full overlay
-/// build + settle (staggered joins, announce storm, probe steady state).
-/// This is the number the bucketed scheduler + batched delivery + probe
-/// suppression rework is measured by (BENCH_pr3.json).
+/// build + settle (staggered joins, announce storm, probe steady state),
+/// at 1 and 4 worker threads. `GLOSS_SCALE_MAX=2048` adds the 2048-node
+/// row (the BENCH_pr4.json headline). Thread count never changes the
+/// message counts — only wall time.
 fn s3_overlay_scaling(c: &mut Criterion) {
     let smoke = std::env::var("GLOSS_BENCH_SMOKE").is_ok_and(|v| v != "0");
-    let sizes: &[usize] = if smoke { &[512] } else { &[256, 1024] };
-    for &n in sizes {
-        c.bench_function(&format!("s3_overlay_settle_{n}"), |b| {
-            b.iter(|| {
-                let mut net = OverlayNetwork::build(n, 42);
-                net.run_for(SimDuration::from_millis(200) * n as u64 + SimDuration::from_secs(60));
-                assert!(net.joined_fraction() > 0.99, "overlay failed to settle");
-                net.world().metrics().counter("sim.messages_delivered")
-            })
-        });
+    let mut sizes: Vec<usize> = if smoke { vec![512] } else { vec![256, 1024] };
+    if let Ok(v) = std::env::var("GLOSS_SCALE_MAX") {
+        if let Ok(extra) = v.parse::<usize>() {
+            if !smoke && extra > 1024 {
+                sizes.push(extra);
+            }
+        }
+    }
+    for &n in &sizes {
+        for &threads in THREAD_COLUMNS {
+            // The t1 name stays bare for comparability with BENCH_pr3.json.
+            let name = if threads == 1 {
+                format!("s3_overlay_settle_{n}")
+            } else {
+                format!("s3_overlay_settle_{n}_t{threads}")
+            };
+            c.bench_function(&name, |b| {
+                b.iter(|| {
+                    let mut net = OverlayNetwork::build(n, 42);
+                    net.world_mut().set_threads(threads);
+                    net.run_for(
+                        SimDuration::from_millis(200) * n as u64 + SimDuration::from_secs(60),
+                    );
+                    assert!(net.joined_fraction() > 0.99, "overlay failed to settle");
+                    net.world().metrics().counter("sim.messages_delivered")
+                })
+            });
+        }
     }
 }
 
 /// S4: churn-heavy steady state — one crash/recover episode over a settled
 /// overlay (an eighth of the nodes fail, detection + repair runs, they
-/// return). Exercises the link-state purge and the control barriers.
+/// return), at 1 and 4 worker threads. Exercises the link-state purge and
+/// the control barriers (each crash/recover ends a threaded segment).
 fn s4_churn_episode(c: &mut Criterion) {
     let smoke = std::env::var("GLOSS_BENCH_SMOKE").is_ok_and(|v| v != "0");
     let n: usize = if smoke { 32 } else { 96 };
-    let mut net = OverlayNetwork::build(n, 77);
-    net.run_for(SimDuration::from_millis(200) * n as u64 + SimDuration::from_secs(60));
-    let mut round = 0u32;
-    c.bench_function("s4_churn_episode", |b| {
-        b.iter(|| {
-            round += 1;
-            for k in 0..(n / 8) {
-                let victim = NodeIndex((1 + ((round as usize * 7 + k * 3) % (n - 1))) as u32);
-                net.world_mut().crash(victim);
-            }
-            net.run_for(SimDuration::from_secs(30));
-            for k in 0..(n / 8) {
-                let victim = NodeIndex((1 + ((round as usize * 7 + k * 3) % (n - 1))) as u32);
-                net.world_mut().recover(victim);
-            }
-            net.run_for(SimDuration::from_secs(30));
-            net.world().metrics().counter("sim.crashes")
-        })
-    });
+    for &threads in THREAD_COLUMNS {
+        let mut net = OverlayNetwork::build(n, 77);
+        net.world_mut().set_threads(threads);
+        net.run_for(SimDuration::from_millis(200) * n as u64 + SimDuration::from_secs(60));
+        let mut round = 0u32;
+        let name = if threads == 1 {
+            "s4_churn_episode".to_string()
+        } else {
+            format!("s4_churn_episode_t{threads}")
+        };
+        c.bench_function(&name, |b| {
+            b.iter(|| {
+                round += 1;
+                for k in 0..(n / 8) {
+                    let victim = NodeIndex((1 + ((round as usize * 7 + k * 3) % (n - 1))) as u32);
+                    net.world_mut().crash(victim);
+                }
+                net.run_for(SimDuration::from_secs(30));
+                for k in 0..(n / 8) {
+                    let victim = NodeIndex((1 + ((round as usize * 7 + k * 3) % (n - 1))) as u32);
+                    net.world_mut().recover(victim);
+                }
+                net.run_for(SimDuration::from_secs(30));
+                net.world().metrics().counter("sim.crashes")
+            })
+        });
+    }
 }
 
 /// S5: mobility-heavy event plane — a client roams to another broker while
 /// publishers keep the bus busy; the proxy buffers, hands off, replays.
+/// Runs at 1 and 4 worker threads.
 fn s5_mobility_roam(c: &mut Criterion) {
-    let mut net = PubSubNetwork::build(PubSubConfig {
-        architecture: Architecture::AcyclicPeer,
-        brokers: 6,
-        clients_per_broker: 3,
-        seed: 17,
-        ..PubSubConfig::default()
-    });
-    let clients = net.clients().to_vec();
-    let brokers = net.brokers().to_vec();
-    for &cl in &clients {
-        net.subscribe(cl, Filter::for_kind("m"));
+    for &threads in THREAD_COLUMNS {
+        let mut net = PubSubNetwork::build(PubSubConfig {
+            architecture: Architecture::AcyclicPeer,
+            brokers: 6,
+            clients_per_broker: 3,
+            seed: 17,
+            ..PubSubConfig::default()
+        });
+        net.world_mut().set_threads(threads);
+        let clients = net.clients().to_vec();
+        let brokers = net.brokers().to_vec();
+        for &cl in &clients {
+            net.subscribe(cl, Filter::for_kind("m"));
+        }
+        net.run_for(SimDuration::from_secs(5));
+        let mut i = 0usize;
+        let name = if threads == 1 {
+            "s5_mobility_roam".to_string()
+        } else {
+            format!("s5_mobility_roam_t{threads}")
+        };
+        c.bench_function(&name, |b| {
+            b.iter(|| {
+                i += 1;
+                let mover = clients[i % clients.len()];
+                let target = brokers[i % brokers.len()];
+                net.move_client(mover, target, SimDuration::from_secs(2));
+                for k in 0..4 {
+                    net.publish(clients[(i + k + 1) % clients.len()], Event::new("m"));
+                }
+                net.run_for(SimDuration::from_secs(5));
+                net.total_delivered()
+            })
+        });
     }
-    net.run_for(SimDuration::from_secs(5));
-    let mut i = 0usize;
-    c.bench_function("s5_mobility_roam", |b| {
-        b.iter(|| {
-            i += 1;
-            let mover = clients[i % clients.len()];
-            let target = brokers[i % brokers.len()];
-            net.move_client(mover, target, SimDuration::from_secs(2));
-            for k in 0..4 {
-                net.publish(clients[(i + k + 1) % clients.len()], Event::new("m"));
-            }
-            net.run_for(SimDuration::from_secs(5));
-            net.total_delivered()
-        })
-    });
 }
 
 /// C8: store lookup issue + conclusion (the discovery fetch path).
@@ -424,9 +510,9 @@ criterion_group! {
     name = experiments;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
     targets = e1_matching, e2_pipeline_push, e3_bundle_roundtrip, c1_filter_ops,
-              c1_publish_through_network, c2_overlay_route, c3_cache_ops, c4_solver,
-              c6_binding, c7_join, c8_store_lookup, c9_retrieval, c10_erasure,
-              s1_rule_scaling, s2_join_deep_buffer, s3_overlay_scaling,
+              c1_publish_through_network, c2_overlay_route, c3_cache_ops, c3_cache_churn,
+              c4_solver, c6_binding, c7_join, c8_store_lookup, c9_retrieval, c10_erasure,
+              m1_histogram_polling, s1_rule_scaling, s2_join_deep_buffer, s3_overlay_scaling,
               s4_churn_episode, s5_mobility_roam
 }
 criterion_main!(experiments);

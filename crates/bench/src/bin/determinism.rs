@@ -1,0 +1,123 @@
+//! Determinism cross-check and threaded scale smoke for CI.
+//!
+//! Runs a seeded multi-region workload at the thread count given by
+//! `GLOSS_SIM_THREADS` and prints a digest of everything observable —
+//! the full trace, per-node schedules, engine counters, and the settle
+//! time. Running it twice (threads=1 and threads=4) and diffing the
+//! output proves the worker pool is schedule-preserving.
+//!
+//! Usage:
+//!   determinism [--nodes N] [--seed S] [--overlay]
+//!
+//! Default mode is a chattering multi-region protocol with loss and a
+//! crash/recover schedule (traces enabled; the digest covers the trace
+//! bytes). `--overlay` instead builds and settles an N-node overlay
+//! network — no tracing, counters-only digest — which doubles as the
+//! wall-clock scale smoke. Wall time goes to stderr so stdout is
+//! diff-stable across runs.
+
+use gloss_overlay::OverlayNetwork;
+use gloss_sim::testkit::Chatter;
+use gloss_sim::{NodeIndex, SimDuration, SimRng, SimTime, Topology, World};
+
+/// FNV-1a over a byte stream.
+fn fnv(digest: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *digest ^= b as u64;
+        *digest = digest.wrapping_mul(0x100_0000_01b3);
+    }
+}
+
+fn chatter_digest(nodes: usize, seed: u64) {
+    let regions =
+        &["scotland", "england", "europe", "us-east", "us-west", "brazil", "australia", "asia"];
+    let topology = Topology::random(nodes, regions, seed);
+    let machines: Vec<Chatter> = (0..nodes)
+        .map(|i| Chatter::new(i as u32, nodes as u32, seed ^ (i as u64) << 9, 8))
+        .collect();
+    let mut w = World::new(topology, seed, machines);
+    w.enable_tracing(1 << 22);
+    w.set_loss(0.1);
+    let mut rng = SimRng::new(seed).fork("digest-churn");
+    for k in 0..nodes as u64 / 16 {
+        let victim = NodeIndex(rng.index(nodes) as u32);
+        let at = SimTime::from_millis(10 + 13 * k);
+        w.crash_at(at, victim);
+        w.recover_at(at + SimDuration::from_millis(20), victim);
+    }
+    w.run_until(SimTime::from_millis(30));
+    for _ in 0..nodes / 4 {
+        let a = NodeIndex(rng.index(nodes) as u32);
+        let b = NodeIndex(rng.index(nodes) as u32);
+        w.inject(a, b, 8);
+    }
+    // Push the whole crash/recover schedule and the event bulk through
+    // `run_until` — the only path the worker pool runs on —
+    // before the sequential per-event quiescence tail.
+    w.run_until(SimTime::from_millis(400));
+    let settle = w.run_to_quiescence(SimTime::from_secs(60));
+    let mut digest = 0xcbf2_9ce4_8422_2325u64;
+    fnv(&mut digest, w.tracer().render().as_bytes());
+    for n in w.nodes() {
+        fnv(&mut digest, n.log.join("\n").as_bytes());
+    }
+    let m = w.metrics();
+    for name in ["chatter.msgs", "sim.messages_sent", "sim.messages_lost", "sim.crashes"] {
+        fnv(&mut digest, format!("{name}={}", m.counter(name)).as_bytes());
+    }
+    println!(
+        "mode=chatter nodes={nodes} seed={seed} trace_events={} settle={settle} digest={digest:016x}",
+        w.tracer().events().len()
+    );
+}
+
+fn overlay_digest(nodes: usize, seed: u64) {
+    let mut net = OverlayNetwork::build(nodes, seed);
+    net.run_for(SimDuration::from_millis(200) * nodes as u64 + SimDuration::from_secs(60));
+    assert!(net.joined_fraction() > 0.99, "overlay failed to settle");
+    let m = net.world().metrics();
+    let mut digest = 0xcbf2_9ce4_8422_2325u64;
+    for name in [
+        "sim.messages_sent",
+        "sim.messages_delivered",
+        "sim.messages_lost",
+        "sim.batches",
+        "sim.batched_messages",
+    ] {
+        fnv(&mut digest, format!("{name}={}", m.counter(name)).as_bytes());
+    }
+    println!(
+        "mode=overlay nodes={nodes} seed={seed} joined={:.4} delivered={} digest={digest:016x}",
+        net.joined_fraction(),
+        m.counter("sim.messages_delivered")
+    );
+}
+
+fn main() {
+    let mut nodes = 192usize;
+    let mut seed = 4242u64;
+    let mut overlay = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--nodes" => nodes = args.next().and_then(|v| v.parse().ok()).expect("--nodes N"),
+            "--seed" => seed = args.next().and_then(|v| v.parse().ok()).expect("--seed S"),
+            "--overlay" => overlay = true,
+            other => {
+                eprintln!("unknown argument `{other}`");
+                std::process::exit(2);
+            }
+        }
+    }
+    let start = std::time::Instant::now();
+    if overlay {
+        overlay_digest(nodes, seed);
+    } else {
+        chatter_digest(nodes, seed);
+    }
+    eprintln!(
+        "threads={} wall={:.3}s",
+        std::env::var("GLOSS_SIM_THREADS").unwrap_or_else(|_| "1".into()),
+        start.elapsed().as_secs_f64()
+    );
+}

@@ -8,16 +8,29 @@
 //!
 //! # Scheduler architecture
 //!
-//! The event plane is sharded and bucketed for 1k–4k-node workloads:
+//! The event plane is sharded, bucketed, and (optionally) threaded for
+//! 1k–4k-node workloads:
 //!
 //! - **Regions.** Nodes partition into regions (derived from the topology's
-//!   region names); each region owns its own calendar queue. Cross-region
-//!   sends travel through a per-region *boundary exchange* that is flushed
+//!   region names); each region is a [`Shard`] owning its own calendar
+//!   queue, its nodes' state machines, their per-link connection state, and
+//!   buffers for every side effect (sends, counters, traces). Cross-region
+//!   sends travel through per-region *outgoing* buffers that are flushed
 //!   when the world advances to the next lockstep time slice. The slice
-//!   width is a conservative lookahead (the latency model's cross-node
+//!   width is a conservative lookahead (the latency model's cross-region
 //!   floor), so a message sent in one slice can never be due inside the
-//!   same slice — the seam that later lets regions run on threads.
-//! - **Calendar queues.** Each region's queue is a timer-wheel of
+//!   same slice.
+//! - **Worker threads.** Because a shard owns everything its drain mutates,
+//!   `run_until` can hand disjoint `&mut Shard` borrows to scoped worker
+//!   threads and drain all regions of a slice concurrently
+//!   (`GLOSS_SIM_THREADS` / [`World::set_threads`]; default 1 keeps the
+//!   sequential path). Workers synchronise at slice barriers with a spin
+//!   barrier, exchange cross-region messages through per-shard mailboxes,
+//!   and the slice leader advances the lockstep window. Counters and trace
+//!   records accumulate shard-locally and merge back in canonical shard /
+//!   key order at segment boundaries, so the schedule, the trace, and all
+//!   counters are **byte-identical at any thread count**.
+//! - **Calendar queues.** Each shard's queue is a timer-wheel of
 //!   fixed-width buckets over the near future plus an overflow heap for
 //!   far-future entries (long timers), replacing one global `BinaryHeap`.
 //!   Pushes and pops into the wheel are O(1) amortised.
@@ -25,9 +38,11 @@
 //!   pure function of *what* the event is (link + per-link sequence, node +
 //!   per-node timer sequence, harness call order) rather than of global
 //!   push order. Processing events in key order therefore yields the same
-//!   schedule at any region count and any bucket width: same seed, same
-//!   trace. The `engine_equivalence` integration test checks this against
-//!   a single-heap transcription of the seed scheduler.
+//!   schedule at any region count, bucket width, or thread count: same
+//!   seed, same trace. The `engine_equivalence` integration test checks
+//!   this against a single-heap transcription of the seed scheduler; the
+//!   `region_determinism` test checks byte-identical traces across region
+//!   counts and thread counts.
 //! - **Per-link state.** A flat FNV map per sender caches the jitter-free
 //!   latency of each link (the haversine distance is computed once, not per
 //!   message), carries the link's deterministic jitter/loss stream, and
@@ -44,11 +59,13 @@ use crate::hash::{splitmix64, splitmix_unit, FnvHashMap};
 use crate::metrics::{CounterId, MetricsRegistry};
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
-use crate::topology::{NodeIndex, Topology};
+use crate::topology::{GeoPoint, NodeIndex, Topology};
 use crate::trace::Tracer;
 use std::borrow::Cow;
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// An input delivered to a node by the engine.
 #[derive(Debug, Clone)]
@@ -216,9 +233,16 @@ impl<M> Iterator for Batch<'_, M> {
 impl<M> ExactSizeIterator for Batch<'_, M> {}
 
 /// A sans-IO node state machine driven by a [`World`].
-pub trait Node {
+///
+/// `Node: Send` (with `Msg: Send`) is a deliberate engine-wide bound: the
+/// world drains each region's slice on a scoped worker thread when
+/// `GLOSS_SIM_THREADS` (or [`World::set_threads`]) asks for it, which moves
+/// `&mut` access to node state machines across threads. State machines are
+/// plain data in this workspace, so the bound is free; it exists to keep
+/// non-`Send` interior (e.g. `Rc`) from creeping into protocol state.
+pub trait Node: Send {
     /// The message type exchanged between nodes of this world.
-    type Msg;
+    type Msg: Send;
 
     /// Handles one input, writing any effects to `out`.
     fn handle(&mut self, now: SimTime, input: Input<Self::Msg>, out: &mut Outbox<Self::Msg>);
@@ -261,7 +285,8 @@ const CLASS_HARNESS: u8 = 3;
 ///
 /// Because each component is derived from deterministic per-node /
 /// per-link / per-harness-call counters, the induced order — and therefore
-/// the trace — is identical at any region count and bucket width.
+/// the trace — is identical at any region count, bucket width, and thread
+/// count.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 struct EvKey {
     at: SimTime,
@@ -457,6 +482,9 @@ struct LinkState {
     jittered: u64,
     /// Activation id that sampled `jittered`; messages flushed by one
     /// activation over one link share a latency (one TCP segment train).
+    /// Activation ids are shard-local: a link belongs to its sender, a
+    /// sender to exactly one shard, so the stamp only ever meets its own
+    /// shard's strictly-increasing counter.
     last_apply: u64,
     /// splitmix64 state: an order-independent per-link randomness stream.
     rng: u64,
@@ -474,16 +502,487 @@ pub fn link_stream_seed(world_seed: u64, from: NodeIndex, to: NodeIndex) -> u64 
     splitmix64(&mut s)
 }
 
-/// Pre-registered hot-counter handles (array adds, not map lookups).
+/// Slots of the pre-registered hot engine counters, accumulated per shard
+/// as plain array adds and merged into the registry at segment boundaries.
+const EC_SENT: usize = 0;
+const EC_DELIVERED: usize = 1;
+const EC_DROPPED_DEAD: usize = 2;
+const EC_LOST: usize = 3;
+const EC_BAD_DESTINATION: usize = 4;
+const EC_BATCHES: usize = 5;
+const EC_BATCHED: usize = 6;
+const ENGINE_COUNTERS: usize = 7;
+
+/// Registry handles for the hot engine counters, in slot order.
 #[derive(Debug, Clone, Copy)]
 struct EngineCounters {
-    sent: CounterId,
-    delivered: CounterId,
-    dropped_dead: CounterId,
-    lost: CounterId,
-    bad_destination: CounterId,
-    batches: CounterId,
-    batched: CounterId,
+    ids: [CounterId; ENGINE_COUNTERS],
+}
+
+/// Where a node lives: its region shard and its slot within that shard.
+#[derive(Debug, Clone, Copy)]
+struct Place {
+    region: u32,
+    slot: u32,
+}
+
+/// Engine state that is immutable while shards drain: worker threads share
+/// it by reference. Aliveness and loss are only mutated by the main thread
+/// between slices (control events are barriers).
+#[derive(Debug)]
+struct Shared {
+    topology: Topology,
+    /// Region shard and shard-local slot of each node.
+    place: Vec<Place>,
+    alive: Vec<bool>,
+    seed: u64,
+    loss: f64,
+    /// Cached latency-model jitter fraction.
+    jitter: f64,
+    /// Lockstep slice width (µs): a conservative lookahead no larger than
+    /// the minimum cross-shard latency, so cross-region messages are never
+    /// due inside the slice that sent them.
+    slice_width: u64,
+    /// Whether the latency model permits a safe multi-region lookahead.
+    can_shard: bool,
+    /// Whether node trace records are being collected.
+    tracing: bool,
+}
+
+/// One region of the world: the calendar queue plus everything a drain of
+/// that region mutates. Shards are disjoint, so a slice can drain all of
+/// them concurrently on scoped worker threads.
+struct Shard<N: Node> {
+    queue: CalendarQueue<N::Msg>,
+    /// Cached head key of `queue` (kept in sync by push/drain).
+    head: Option<EvKey>,
+    /// This shard's node state machines, in ascending global index order.
+    nodes: Vec<N>,
+    /// Per-sender link state, by shard-local slot; purged on crash.
+    links: Vec<FnvHashMap<u32, LinkState>>,
+    /// Per-node timer sequence numbers (canonical tie-break component).
+    timer_seq: Vec<u64>,
+    /// Shard-local activation counter; groups one activation's sends per
+    /// link for latency sharing.
+    apply_seq: u64,
+    /// The shard's current time: the key time of the entry being processed
+    /// (monotone within the shard; shards advance independently inside a
+    /// slice).
+    now: SimTime,
+    /// Canonical key of the entry currently being processed (trace merge).
+    cur_key: EvKey,
+    /// Reusable same-instant delivery buffer.
+    batch: Vec<(NodeIndex, N::Msg)>,
+    /// Reusable activation outbox (capacity persists across activations).
+    scratch: Outbox<N::Msg>,
+    /// Cross-shard sends buffered per destination shard, flushed at slice
+    /// boundaries (the boundary exchange).
+    outgoing: Vec<Vec<Entry<N::Msg>>>,
+    outgoing_len: usize,
+    /// Hot engine counter partial sums (integer-valued adds, so partial
+    /// summation is exact), merged in shard order at segment boundaries.
+    engine: [f64; ENGINE_COUNTERS],
+    /// Node-emitted counter increments, pre-summed per name (bounded by
+    /// the distinct-name count, not the event count) and replayed in
+    /// shard order, names sorted, on merge.
+    counts: FnvHashMap<Cow<'static, str>, f64>,
+    /// Node-emitted histogram samples, replayed in shard order on merge.
+    observations: Vec<(Cow<'static, str>, f64)>,
+    /// Trace records keyed canonically, merged across shards on flush.
+    /// Shard-local processing is key-ascending, so this buffer is sorted.
+    trace_buf: Vec<(EvKey, NodeIndex, Cow<'static, str>, String)>,
+}
+
+/// Pushes into a shard's queue, keeping the cached head in sync.
+fn shard_push<N: Node>(shard: &mut Shard<N>, entry: Entry<N::Msg>) {
+    if shard.head.is_none_or(|h| entry.key < h) {
+        shard.head = Some(entry.key);
+    }
+    shard.queue.push(entry);
+}
+
+/// Drains shard entries up to and including `stop_at`, stopping early at a
+/// control barrier, then refreshes the cached head.
+fn drain_shard<N: Node>(
+    shard: &mut Shard<N>,
+    sh: &Shared,
+    stop_at: SimTime,
+    barrier: Option<EvKey>,
+    window_end: u64,
+) {
+    while let Some(head) = shard.queue.peek().map(|e| e.key) {
+        if head.at > stop_at || barrier.is_some_and(|b| head > b) {
+            break;
+        }
+        process_entry(shard, sh, window_end);
+    }
+    shard.head = shard.queue.peek().map(|e| e.key);
+}
+
+/// Pops and handles the head entry of a shard — a timer or a same-instant
+/// delivery batch. Sets the shard's `now` to the entry's time.
+fn process_entry<N: Node>(shard: &mut Shard<N>, sh: &Shared, window_end: u64) {
+    let entry = shard.queue.pop().expect("non-empty");
+    let key = entry.key;
+    shard.now = key.at;
+    shard.cur_key = key;
+    match entry.kind {
+        EntryKind::Timer { node, tag } => {
+            if sh.alive[node.as_usize()] {
+                activate(shard, sh, window_end, node, Input::Timer { tag });
+            }
+        }
+        EntryKind::Deliver { from, to, msg } => {
+            debug_assert!(shard.batch.is_empty());
+            shard.batch.push((from, msg));
+            // Gather the rest of the same-instant batch for `to`. Only
+            // link deliveries batch: their destination-major keys make
+            // same-instant arrivals at one node contiguous in the key
+            // order (harness injections are keyed by call order and
+            // deliver singly).
+            while let Some(next) = shard.queue.peek() {
+                let h = next.key;
+                if h.at != key.at || h.class != CLASS_LINK || (h.a >> 32) as u32 != to.0 {
+                    break;
+                }
+                let popped = shard.queue.pop().expect("peeked");
+                let EntryKind::Deliver { from, msg, .. } = popped.kind else {
+                    unreachable!("class-checked Deliver above");
+                };
+                shard.batch.push((from, msg));
+            }
+            let n = shard.batch.len() as f64;
+            if sh.alive[to.as_usize()] {
+                shard.engine[EC_DELIVERED] += n;
+                if shard.batch.len() > 1 {
+                    shard.engine[EC_BATCHES] += 1.0;
+                    shard.engine[EC_BATCHED] += n;
+                }
+                activate_batch(shard, sh, window_end, to);
+            } else {
+                shard.engine[EC_DROPPED_DEAD] += n;
+                shard.batch.clear();
+            }
+        }
+    }
+}
+
+/// Runs one node activation for a single input.
+fn activate<N: Node>(
+    shard: &mut Shard<N>,
+    sh: &Shared,
+    window_end: u64,
+    index: NodeIndex,
+    input: Input<N::Msg>,
+) {
+    shard.apply_seq += 1;
+    let slot = sh.place[index.as_usize()].slot as usize;
+    let now = shard.now;
+    let (nodes, scratch) = (&mut shard.nodes, &mut shard.scratch);
+    nodes[slot].handle(now, input, scratch);
+    apply_effects(shard, sh, window_end, index);
+}
+
+/// Runs one node activation for a same-instant delivery batch.
+fn activate_batch<N: Node>(shard: &mut Shard<N>, sh: &Shared, window_end: u64, to: NodeIndex) {
+    shard.apply_seq += 1;
+    let slot = sh.place[to.as_usize()].slot as usize;
+    let now = shard.now;
+    let (nodes, scratch, buf) = (&mut shard.nodes, &mut shard.scratch, &mut shard.batch);
+    let mut batch = Batch { inner: buf.drain(..) };
+    nodes[slot].on_batch(now, &mut batch, scratch);
+    drop(batch);
+    apply_effects(shard, sh, window_end, to);
+}
+
+/// Drains the scratch outbox of one activation into the schedule and the
+/// shard's effect buffers, preserving the outbox's capacity.
+fn apply_effects<N: Node>(shard: &mut Shard<N>, sh: &Shared, window_end: u64, from: NodeIndex) {
+    if !shard.scratch.sends.is_empty() {
+        let mut sends = std::mem::take(&mut shard.scratch.sends);
+        for (to, msg, extra) in sends.drain(..) {
+            dispatch_send(shard, sh, window_end, from, to, msg, extra);
+        }
+        shard.scratch.sends = sends;
+    }
+    if !shard.scratch.timers.is_empty() {
+        let mut timers = std::mem::take(&mut shard.scratch.timers);
+        for (delay, tag) in timers.drain(..) {
+            push_timer(shard, sh, from, delay, tag);
+        }
+        shard.scratch.timers = timers;
+    }
+    if !shard.scratch.counts.is_empty() {
+        let (scratch, counts) = (&mut shard.scratch, &mut shard.counts);
+        for (name, by) in scratch.counts.drain(..) {
+            *counts.entry(name).or_insert(0.0) += by;
+        }
+    }
+    if !shard.scratch.observations.is_empty() {
+        let (scratch, observations) = (&mut shard.scratch, &mut shard.observations);
+        observations.append(&mut scratch.observations);
+    }
+    if !shard.scratch.traces.is_empty() {
+        if sh.tracing {
+            let key = shard.cur_key;
+            let (scratch, trace_buf) = (&mut shard.scratch, &mut shard.trace_buf);
+            for (kind, detail) in scratch.traces.drain(..) {
+                trace_buf.push((key, from, kind, detail));
+            }
+        } else {
+            shard.scratch.traces.clear();
+        }
+    }
+}
+
+/// Schedules a timer for a node of this shard.
+fn push_timer<N: Node>(
+    shard: &mut Shard<N>,
+    sh: &Shared,
+    node: NodeIndex,
+    delay: SimDuration,
+    tag: u64,
+) {
+    let slot = sh.place[node.as_usize()].slot as usize;
+    shard.timer_seq[slot] += 1;
+    let key = EvKey {
+        at: shard.now + delay,
+        class: CLASS_TIMER,
+        a: node.0 as u64,
+        b: shard.timer_seq[slot],
+    };
+    shard_push(shard, Entry { key, kind: EntryKind::Timer { node, tag } });
+}
+
+/// Schedules one send: latency sampling (shared per activation and link),
+/// loss, FIFO clamping, and routing into the shard's own queue or its
+/// outgoing cross-shard buffer.
+fn dispatch_send<N: Node>(
+    shard: &mut Shard<N>,
+    sh: &Shared,
+    window_end: u64,
+    from: NodeIndex,
+    to: NodeIndex,
+    msg: N::Msg,
+    extra: SimDuration,
+) {
+    if to.as_usize() >= sh.place.len() {
+        shard.engine[EC_BAD_DESTINATION] += 1.0;
+        return;
+    }
+    let sslot = sh.place[from.as_usize()].slot as usize;
+    let (topology, seed) = (&sh.topology, sh.seed);
+    let ls = shard.links[sslot].entry(to.0).or_insert_with(|| {
+        let nominal = topology.nominal_latency(from, to).as_micros();
+        LinkState {
+            last_at: 0,
+            nominal,
+            jittered: nominal,
+            last_apply: 0,
+            rng: link_stream_seed(seed, from, to),
+            seq: 0,
+        }
+    });
+    if ls.last_apply != shard.apply_seq {
+        // First message of this activation on this link: sample the
+        // connection's latency once; the rest of the flush shares it.
+        ls.last_apply = shard.apply_seq;
+        ls.jittered = if to == from || sh.jitter <= 0.0 {
+            ls.nominal
+        } else {
+            let factor = 1.0 - sh.jitter + 2.0 * sh.jitter * splitmix_unit(&mut ls.rng);
+            (ls.nominal as f64 * factor).round() as u64
+        };
+    }
+    if sh.loss > 0.0 && to != from && splitmix_unit(&mut ls.rng) < sh.loss {
+        shard.engine[EC_LOST] += 1.0;
+        return;
+    }
+    // Per-link FIFO: links are connection-oriented (the architecture's
+    // web-service interfaces run over TCP); equal times are allowed
+    // and preserve send order via the link sequence number.
+    let mut at = shard.now.as_micros() + ls.jittered + extra.as_micros();
+    if at < ls.last_at {
+        at = ls.last_at;
+    }
+    ls.last_at = at;
+    ls.seq += 1;
+    let key = EvKey {
+        at: SimTime::from_micros(at),
+        class: CLASS_LINK,
+        a: ((to.0 as u64) << 32) | from.0 as u64,
+        b: ls.seq,
+    };
+    shard.engine[EC_SENT] += 1.0;
+    let entry = Entry { key, kind: EntryKind::Deliver { from, to, msg } };
+    let rt = sh.place[to.as_usize()].region as usize;
+    if rt == sh.place[from.as_usize()].region as usize {
+        shard_push(shard, entry);
+    } else {
+        // Cross-shard: buffer for the boundary exchange. With a bounded
+        // window the lookahead guarantees the message is not due inside
+        // the slice that sent it; the degenerate unbounded window is
+        // handled by the sequential outer loop re-flushing between passes.
+        debug_assert!(
+            window_end == u64::MAX || at >= window_end,
+            "cross-region message due inside its own slice: at={at} window_end={window_end}"
+        );
+        shard.outgoing[rt].push(entry);
+        shard.outgoing_len += 1;
+    }
+}
+
+/// A reusable generation-counting spin barrier. The last thread to arrive
+/// runs the slice-leader work, then releases the others. Spins briefly and
+/// falls back to `yield_now` so oversubscribed hosts (CI, single-core
+/// containers) stay live.
+struct SyncPoint {
+    arrived: AtomicUsize,
+    gen: AtomicU64,
+    /// Set when a worker unwinds: spinners panic out instead of waiting
+    /// forever for an arrival that can never come.
+    poisoned: AtomicBool,
+    n: usize,
+}
+
+impl SyncPoint {
+    fn new(n: usize) -> Self {
+        SyncPoint {
+            arrived: AtomicUsize::new(0),
+            gen: AtomicU64::new(0),
+            poisoned: AtomicBool::new(false),
+            n,
+        }
+    }
+
+    fn poison(&self) {
+        self.poisoned.store(true, Ordering::Release);
+    }
+
+    fn wait(&self, leader_work: impl FnOnce()) {
+        let gen = self.gen.load(Ordering::Acquire);
+        if self.arrived.fetch_add(1, Ordering::AcqRel) + 1 == self.n {
+            leader_work();
+            self.arrived.store(0, Ordering::Release);
+            self.gen.fetch_add(1, Ordering::Release);
+        } else {
+            let mut spins = 0u32;
+            while self.gen.load(Ordering::Acquire) == gen {
+                if self.poisoned.load(Ordering::Acquire) {
+                    panic!("a simulation worker panicked; aborting the threaded segment");
+                }
+                spins += 1;
+                if spins < 128 {
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+}
+
+/// Poisons the barrier if its worker unwinds (a node handler panicked),
+/// so sibling workers abort instead of spinning forever and the scope can
+/// propagate the original panic.
+struct PoisonGuard<'a>(&'a SyncPoint);
+
+impl Drop for PoisonGuard<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.0.poison();
+        }
+    }
+}
+
+/// Per-segment coordination state shared by the slice workers.
+struct Coord<M> {
+    /// End (µs, exclusive) of the slice currently being drained.
+    window: AtomicU64,
+    /// Set by the slice leader when the segment is over (control event
+    /// due, target time reached, queues empty, or window overflow).
+    stop: AtomicBool,
+    sync: SyncPoint,
+    /// Per-worker minimum pending event time after each slice.
+    mins: Vec<AtomicU64>,
+    /// Per-shard mailboxes for cross-shard sends, drained by the owning
+    /// worker at the next slice boundary.
+    mailboxes: Vec<Mutex<Vec<Entry<M>>>>,
+    slice: u64,
+    t_us: u64,
+    /// Time of the next control event (`u64::MAX` when none). Ties go to
+    /// the control event: its key class sorts first.
+    ctrl_at: u64,
+}
+
+impl<M> Coord<M> {
+    /// Slice-leader work: compute the global minimum pending time and
+    /// either advance the lockstep window or end the segment.
+    fn advance(&self) {
+        let m = self.mins.iter().map(|a| a.load(Ordering::Acquire)).min().unwrap_or(u64::MAX);
+        if m == u64::MAX || m > self.t_us || self.ctrl_at <= m {
+            self.stop.store(true, Ordering::Release);
+            return;
+        }
+        let aligned = (m / self.slice).saturating_add(1).saturating_mul(self.slice);
+        if aligned <= m || aligned == u64::MAX {
+            // Alignment overflow (saturation lands on the unbounded-window
+            // sentinel): fall back to the sequential degenerate path.
+            self.stop.store(true, Ordering::Release);
+        } else {
+            self.window.store(aligned, Ordering::Release);
+        }
+    }
+}
+
+/// The loop one worker runs for a threaded segment: drain own shards for
+/// the current slice, flush cross-shard sends into mailboxes, synchronise,
+/// deliver own mailboxes, publish the local minimum, synchronise again
+/// while the leader advances the window.
+fn worker_loop<N: Node>(
+    wid: usize,
+    mut chunk: Vec<(usize, &mut Shard<N>)>,
+    sh: &Shared,
+    coord: &Coord<N::Msg>,
+    ctrl_key: Option<EvKey>,
+) {
+    let _guard = PoisonGuard(&coord.sync);
+    loop {
+        let window_end = coord.window.load(Ordering::Acquire);
+        let stop_at = SimTime::from_micros(coord.t_us.min(window_end - 1));
+        for (_, shard) in chunk.iter_mut() {
+            if shard.head.is_some_and(|h| h.at <= stop_at && ctrl_key.is_none_or(|b| h <= b)) {
+                drain_shard(shard, sh, stop_at, ctrl_key, window_end);
+            }
+            if shard.outgoing_len > 0 {
+                for (dst, buf) in shard.outgoing.iter_mut().enumerate() {
+                    if !buf.is_empty() {
+                        coord.mailboxes[dst].lock().expect("worker panicked").append(buf);
+                    }
+                }
+                shard.outgoing_len = 0;
+            }
+        }
+        // Barrier 1: all cross-shard sends of this slice are in mailboxes.
+        coord.sync.wait(|| {});
+        let mut local_min = u64::MAX;
+        for (r, shard) in chunk.iter_mut() {
+            let mut mb = coord.mailboxes[*r].lock().expect("worker panicked");
+            for e in mb.drain(..) {
+                shard_push(shard, e);
+            }
+            drop(mb);
+            if let Some(h) = shard.head {
+                local_min = local_min.min(h.at.as_micros());
+            }
+        }
+        coord.mins[wid].store(local_min, Ordering::Release);
+        // Barrier 2: the last arriver advances the window (or stops).
+        coord.sync.wait(|| coord.advance());
+        if coord.stop.load(Ordering::Acquire) {
+            return;
+        }
+    }
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -492,67 +991,69 @@ enum NextSrc {
     Region(usize),
 }
 
+/// Parses a `GLOSS_SIM_THREADS`-style value; anything unset, unparsable,
+/// or below 1 means 1 (the sequential path).
+fn threads_from_env(value: Option<&str>) -> usize {
+    value.and_then(|v| v.trim().parse::<usize>().ok()).filter(|&n| n >= 1).unwrap_or(1)
+}
+
+/// Computes the base lockstep slice width from the latency model: the
+/// minimum cross-node latency (base minus full jitter), floored. The
+/// jittered latency of any message is at least this floor
+/// (`round(nominal * f)` with `nominal >= base` and `f >= 1 - jitter`), so a
+/// slice of exactly the floor guarantees no cross-region message is due
+/// inside its own slice. Returns `(width, can_shard)`; models without a
+/// positive latency floor cannot shard safely and run as a single region.
+fn lookahead(topology: &Topology) -> (u64, bool) {
+    let lm = topology.latency_model();
+    let floor = (lm.base.as_micros() as f64 * (1.0 - lm.jitter)).floor() as u64;
+    if floor < 2 {
+        (1, false)
+    } else {
+        (floor, true)
+    }
+}
+
 /// The simulation driver: a topology, one state machine per node, and
-/// per-region bucketed event queues merged in canonical key order.
+/// per-region bucketed event queues merged in canonical key order —
+/// drained sequentially or on scoped worker threads.
 ///
 /// See the [crate docs](crate) for a complete example and the
 /// [module docs](self) for the scheduler architecture.
-#[derive(Debug)]
 pub struct World<N: Node> {
-    topology: Topology,
-    nodes: Vec<N>,
-    alive: Vec<bool>,
-    /// Region (shard) of each node, derived from topology region names.
-    region_of: Vec<u32>,
-    regions: Vec<CalendarQueue<N::Msg>>,
+    shared: Shared,
+    shards: Vec<Shard<N>>,
     /// Crash/recover events (global barriers).
     ctrl: BinaryHeap<Reverse<CtrlEntry>>,
-    /// Cached head key per region (kept in sync by push/pop); the
-    /// per-event merge scans this flat array instead of peeking queues.
-    heads: Vec<Option<EvKey>>,
-    /// Boundary exchange: cross-region messages buffered per destination
-    /// region, flushed when the world advances to the next time slice.
-    exchange: Vec<Vec<Entry<N::Msg>>>,
-    exchange_len: usize,
-    /// Lockstep slice width (µs): a conservative lookahead no larger than
-    /// the minimum cross-node latency, so cross-region messages are never
-    /// due inside the slice that sent them.
-    slice_width: u64,
-    /// End (µs, exclusive) of the slice currently being processed.
-    window_end: u64,
-    /// Whether the latency model permits a safe multi-region lookahead.
-    can_shard: bool,
-    /// Cached latency-model jitter fraction.
-    jitter: f64,
-    /// Per-sender link state, purged on crash.
-    links: Vec<FnvHashMap<u32, LinkState>>,
-    /// Per-node timer sequence numbers (canonical tie-break component).
-    timer_seq: Vec<u64>,
     /// Orders harness calls (injects, crashes, recoveries).
     harness_seq: u64,
-    /// Activation counter; groups one activation's sends per link.
-    apply_seq: u64,
-    seed: u64,
+    /// End (µs, exclusive) of the slice currently being processed.
+    window_end: u64,
     now: SimTime,
     rng: SimRng,
-    loss: f64,
     metrics: MetricsRegistry,
     ids: EngineCounters,
     tracer: Tracer,
     started: bool,
-    /// Reusable same-instant delivery buffer.
-    batch: Vec<(NodeIndex, N::Msg)>,
-    /// Canonical key of the entry currently being processed (trace merge).
-    cur_key: EvKey,
-    /// Trace records buffered during a bulk slice drain, merged back into
-    /// canonical key order at the slice boundary.
-    trace_buf: Vec<(EvKey, NodeIndex, Cow<'static, str>, String)>,
-    /// Whether traces are being buffered (bulk drain with tracing on).
-    bulk_tracing: bool,
-    /// Reusable activation outbox (capacity persists across activations).
-    scratch: Outbox<N::Msg>,
+    /// Requested worker thread count (effective = min with shard count).
+    threads: usize,
     bucket_width: u64,
     bucket_count: usize,
+    /// Scratch for merging per-shard trace buffers in key order.
+    trace_merge: Vec<(EvKey, NodeIndex, Cow<'static, str>, String)>,
+}
+
+impl<N: Node> std::fmt::Debug for World<N> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("World")
+            .field("nodes", &self.shared.place.len())
+            .field("regions", &self.shards.len())
+            .field("threads", &self.threads)
+            .field("now", &self.now)
+            .field("pending", &self.pending())
+            .field("slice_micros", &self.shared.slice_width)
+            .finish_non_exhaustive()
+    }
 }
 
 /// Default wheel geometry: 256 buckets of 1024 µs cover ~262 ms of near
@@ -567,88 +1068,165 @@ impl<N: Node> World<N> {
     /// Creates a world over `topology` with one state machine per node.
     ///
     /// Nodes are sharded into one region per distinct topology region name
-    /// (use [`set_region_count`](Self::set_region_count) to override).
+    /// (use [`set_region_count`](Self::set_region_count) to override), and
+    /// the worker thread count defaults to `GLOSS_SIM_THREADS` (default 1,
+    /// the sequential path; see [`set_threads`](Self::set_threads)).
     ///
     /// # Panics
     ///
     /// Panics if `nodes.len()` differs from the topology size.
     pub fn new(topology: Topology, seed: u64, nodes: Vec<N>) -> Self {
         assert_eq!(topology.len(), nodes.len(), "one state machine per topology node");
-        let alive = vec![true; nodes.len()];
         let n = nodes.len();
         let (slice_width, can_shard) = lookahead(&topology);
         let jitter = topology.latency_model().jitter;
         let mut metrics = MetricsRegistry::new();
         let ids = EngineCounters {
-            sent: metrics.register_counter("sim.messages_sent"),
-            delivered: metrics.register_counter("sim.messages_delivered"),
-            dropped_dead: metrics.register_counter("sim.messages_dropped_dead"),
-            lost: metrics.register_counter("sim.messages_lost"),
-            bad_destination: metrics.register_counter("sim.bad_destination"),
-            batches: metrics.register_counter("sim.batches"),
-            batched: metrics.register_counter("sim.batched_messages"),
+            ids: [
+                metrics.register_counter("sim.messages_sent"),
+                metrics.register_counter("sim.messages_delivered"),
+                metrics.register_counter("sim.messages_dropped_dead"),
+                metrics.register_counter("sim.messages_lost"),
+                metrics.register_counter("sim.bad_destination"),
+                metrics.register_counter("sim.batches"),
+                metrics.register_counter("sim.batched_messages"),
+            ],
         };
         let mut world = World {
-            topology,
-            alive,
-            nodes,
-            region_of: vec![0; n],
-            regions: Vec::new(),
+            shared: Shared {
+                topology,
+                place: vec![Place { region: 0, slot: 0 }; n],
+                alive: vec![true; n],
+                seed,
+                loss: 0.0,
+                jitter,
+                slice_width,
+                can_shard,
+                tracing: false,
+            },
+            shards: Vec::new(),
             ctrl: BinaryHeap::new(),
-            heads: Vec::new(),
-            exchange: Vec::new(),
-            exchange_len: 0,
-            slice_width,
-            window_end: slice_width,
-            can_shard,
-            jitter,
-            links: (0..n).map(|_| FnvHashMap::default()).collect(),
-            timer_seq: vec![0; n],
             harness_seq: 0,
-            apply_seq: 0,
-            seed,
+            window_end: slice_width,
             now: SimTime::ZERO,
             rng: SimRng::new(seed).fork("world"),
-            loss: 0.0,
             metrics,
             ids,
             tracer: Tracer::disabled(),
             started: false,
-            batch: Vec::new(),
-            cur_key: EvKey { at: SimTime::ZERO, class: 0, a: 0, b: 0 },
-            trace_buf: Vec::new(),
-            bulk_tracing: false,
-            scratch: Outbox::new(),
+            threads: threads_from_env(std::env::var("GLOSS_SIM_THREADS").ok().as_deref()),
             bucket_width: DEFAULT_BUCKET_WIDTH,
             bucket_count: DEFAULT_BUCKET_COUNT,
+            trace_merge: Vec::new(),
         };
-        world.partition(usize::MAX);
+        world.distribute(nodes, usize::MAX);
         world
     }
 
-    /// (Re)partitions nodes into at most `want` regions and rebuilds the
-    /// empty region queues.
-    fn partition(&mut self, want: usize) {
-        debug_assert_eq!(self.pending_regions(), 0, "repartition requires empty queues");
-        let mut names: Vec<&str> = self.topology.iter().map(|i| i.region.as_str()).collect();
+    /// (Re)partitions nodes into at most `want` region shards, rebuilding
+    /// the shard structures and refining the lockstep lookahead.
+    fn distribute(&mut self, nodes: Vec<N>, want: usize) {
+        debug_assert_eq!(
+            self.shards.iter().map(|s| s.queue.len() + s.outgoing_len).sum::<usize>(),
+            0,
+            "repartition requires empty queues"
+        );
+        let mut names: Vec<&str> = self.shared.topology.iter().map(|i| i.region.as_str()).collect();
         names.sort_unstable();
         names.dedup();
-        let limit = if self.can_shard { names.len() } else { 1 };
+        let limit = if self.shared.can_shard { names.len() } else { 1 };
         let count = want.clamp(1, limit.max(1));
-        let shard: BTreeMap<&str, u32> =
-            names.iter().enumerate().map(|(i, n)| (*n, (i % count) as u32)).collect();
-        for (i, info) in self.topology.iter().enumerate() {
-            self.region_of[i] = shard[info.region.as_str()];
+        let shard_of: BTreeMap<&str, u32> =
+            names.iter().enumerate().map(|(i, nm)| (*nm, (i % count) as u32)).collect();
+        let regions: Vec<u32> =
+            self.shared.topology.iter().map(|info| shard_of[info.region.as_str()]).collect();
+        let mut slots = vec![0u32; count];
+        for (i, &region) in regions.iter().enumerate() {
+            let r = region as usize;
+            self.shared.place[i] = Place { region, slot: slots[r] };
+            slots[r] += 1;
         }
-        self.regions =
-            (0..count).map(|_| CalendarQueue::new(self.bucket_width, self.bucket_count)).collect();
-        self.heads = vec![None; count];
-        self.exchange = (0..count).map(|_| Vec::new()).collect();
-        self.exchange_len = 0;
+        self.shards = (0..count)
+            .map(|r| Shard {
+                queue: CalendarQueue::new(self.bucket_width, self.bucket_count),
+                head: None,
+                nodes: Vec::with_capacity(slots[r] as usize),
+                links: (0..slots[r]).map(|_| FnvHashMap::default()).collect(),
+                timer_seq: vec![0; slots[r] as usize],
+                apply_seq: 0,
+                now: self.now,
+                cur_key: EvKey { at: SimTime::ZERO, class: 0, a: 0, b: 0 },
+                batch: Vec::new(),
+                scratch: Outbox::new(),
+                outgoing: (0..count).map(|_| Vec::new()).collect(),
+                outgoing_len: 0,
+                engine: [0.0; ENGINE_COUNTERS],
+                counts: FnvHashMap::default(),
+                observations: Vec::new(),
+                trace_buf: Vec::new(),
+            })
+            .collect();
+        for (i, node) in nodes.into_iter().enumerate() {
+            // Ascending global index per shard == ascending slot order.
+            self.shards[regions[i] as usize].nodes.push(node);
+        }
+        self.refine_slice_width();
+        if !self.started {
+            self.window_end = self.shared.slice_width;
+        }
     }
 
-    fn pending_regions(&self) -> usize {
-        self.regions.iter().map(CalendarQueue::len).sum::<usize>() + self.exchange_len
+    /// Widens the lockstep slice beyond the base latency floor using a
+    /// cheap spherical lower bound on the minimum cross-shard distance
+    /// (per-shard centre + radius, triangle inequality). Wider slices mean
+    /// fewer barriers; any safe lower bound preserves the lookahead
+    /// invariant, and the slice width never affects the schedule.
+    fn refine_slice_width(&mut self) {
+        let (base_width, can_shard) = lookahead(&self.shared.topology);
+        self.shared.can_shard = can_shard;
+        let mut width = base_width;
+        let lm = self.shared.topology.latency_model();
+        if can_shard && self.shards.len() > 1 && lm.per_km_micros > 0.0 {
+            let count = self.shards.len();
+            let mut centre: Vec<Option<GeoPoint>> = vec![None; count];
+            let mut radius = vec![0.0f64; count];
+            for info in self.shared.topology.iter() {
+                let r = self.shared.place[info.index.as_usize()].region as usize;
+                match centre[r] {
+                    None => centre[r] = Some(info.geo),
+                    Some(c) => radius[r] = radius[r].max(c.distance_km(info.geo)),
+                }
+            }
+            let mut min_km = f64::INFINITY;
+            for a in 0..count {
+                for b in a + 1..count {
+                    if let (Some(ca), Some(cb)) = (centre[a], centre[b]) {
+                        min_km = min_km.min((ca.distance_km(cb) - radius[a] - radius[b]).max(0.0));
+                    }
+                }
+            }
+            if min_km.is_finite() && min_km > 0.0 {
+                let floor = ((lm.base.as_micros() as f64 + min_km * lm.per_km_micros)
+                    * (1.0 - lm.jitter))
+                    .floor() as u64;
+                // -2 µs covers sub-µs rounding in `nominal` and the
+                // round-to-nearest of the jitter sample.
+                width = width.max(floor.saturating_sub(2)).max(base_width);
+            }
+        }
+        self.shared.slice_width = width.max(1);
+    }
+
+    /// Pulls every node state machine back out in global index order.
+    fn take_nodes(&mut self) -> Vec<N> {
+        let n = self.shared.place.len();
+        let mut per_shard: Vec<std::vec::IntoIter<N>> =
+            self.shards.iter_mut().map(|s| std::mem::take(&mut s.nodes).into_iter()).collect();
+        (0..n)
+            .map(|i| {
+                per_shard[self.shared.place[i].region as usize].next().expect("one node per slot")
+            })
+            .collect()
     }
 
     /// Sets the number of region shards (clamped to the number of distinct
@@ -660,7 +1238,8 @@ impl<N: Node> World<N> {
     /// Panics if the world has started or events are pending.
     pub fn set_region_count(&mut self, count: usize) {
         assert!(!self.started && self.pending() == 0, "set_region_count before starting the world");
-        self.partition(count.max(1));
+        let nodes = self.take_nodes();
+        self.distribute(nodes, count.max(1));
     }
 
     /// Sets the calendar-queue geometry (bucket width in µs, bucket
@@ -677,32 +1256,46 @@ impl<N: Node> World<N> {
         );
         self.bucket_width = width_micros.max(1);
         self.bucket_count = buckets.max(2);
-        let count = self.regions.len();
-        self.regions =
-            (0..count).map(|_| CalendarQueue::new(self.bucket_width, self.bucket_count)).collect();
-        self.heads = vec![None; count];
+        for shard in &mut self.shards {
+            shard.queue = CalendarQueue::new(self.bucket_width, self.bucket_count);
+            shard.head = None;
+        }
+    }
+
+    /// Sets the worker thread count for bulk runs (`run_until`). The
+    /// effective count is capped at the region count; 1 (the default, or
+    /// via `GLOSS_SIM_THREADS`) keeps the sequential path. Thread count
+    /// never changes outcomes — traces, counters, and schedules are
+    /// byte-identical at any setting — only wall-clock time.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+    }
+
+    /// The configured worker thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// Number of region shards.
     pub fn region_count(&self) -> usize {
-        self.regions.len()
+        self.shards.len()
     }
 
     /// The region shard a node belongs to.
     pub fn region_of(&self, node: NodeIndex) -> usize {
-        self.region_of[node.as_usize()] as usize
+        self.shared.place[node.as_usize()].region as usize
     }
 
     /// The lockstep slice width in microseconds (the cross-region
-    /// lookahead; the seam for future threaded execution).
+    /// lookahead; the synchronisation quantum of threaded execution).
     pub fn slice_micros(&self) -> u64 {
-        self.slice_width
+        self.shared.slice_width
     }
 
     /// Live per-link connection-state entries (bounded by churn purging;
     /// see the link-state leak regression test).
     pub fn link_state_count(&self) -> usize {
-        self.links.iter().map(FnvHashMap::len).sum()
+        self.shards.iter().map(|s| s.links.iter().map(FnvHashMap::len).sum::<usize>()).sum()
     }
 
     /// Current simulated time.
@@ -712,38 +1305,41 @@ impl<N: Node> World<N> {
 
     /// The physical topology.
     pub fn topology(&self) -> &Topology {
-        &self.topology
+        &self.shared.topology
     }
 
     /// Immutable access to a node's state machine.
     pub fn node(&self, index: NodeIndex) -> &N {
-        &self.nodes[index.as_usize()]
+        let p = self.shared.place[index.as_usize()];
+        &self.shards[p.region as usize].nodes[p.slot as usize]
     }
 
     /// Mutable access to a node's state machine (for test setup and for
     /// client APIs layered above the world).
     pub fn node_mut(&mut self, index: NodeIndex) -> &mut N {
-        &mut self.nodes[index.as_usize()]
+        let p = self.shared.place[index.as_usize()];
+        &mut self.shards[p.region as usize].nodes[p.slot as usize]
     }
 
-    /// Iterates over all node state machines.
+    /// Iterates over all node state machines in global index order.
     pub fn nodes(&self) -> impl Iterator<Item = &N> {
-        self.nodes.iter()
+        self.shared.place.iter().map(|p| &self.shards[p.region as usize].nodes[p.slot as usize])
     }
 
     /// Whether `node` is currently alive.
     pub fn is_alive(&self, node: NodeIndex) -> bool {
-        self.alive[node.as_usize()]
+        self.shared.alive[node.as_usize()]
     }
 
     /// Sets the independent per-message loss probability (ignores loopback).
     pub fn set_loss(&mut self, p: f64) {
-        self.loss = p.clamp(0.0, 1.0);
+        self.shared.loss = p.clamp(0.0, 1.0);
     }
 
     /// Enables trace collection (with a maximum retained event count).
     pub fn enable_tracing(&mut self, cap: usize) {
         self.tracer = Tracer::enabled(cap);
+        self.shared.tracing = true;
     }
 
     /// The collected trace.
@@ -773,37 +1369,44 @@ impl<N: Node> World<N> {
             return;
         }
         self.started = true;
-        for i in 0..self.nodes.len() {
-            if self.alive[i] {
-                self.activate(NodeIndex(i as u32), Input::Start);
+        for i in 0..self.shared.place.len() {
+            if self.shared.alive[i] {
+                self.activate_now(NodeIndex(i as u32), Input::Start);
             }
         }
     }
 
-    /// Pushes into a region queue, keeping the head cache in sync.
-    fn region_push(&mut self, region: usize, entry: Entry<N::Msg>) {
-        if self.heads[region].is_none_or(|h| entry.key < h) {
-            self.heads[region] = Some(entry.key);
+    /// Runs one main-thread activation (start, recovery) at the world's
+    /// current time and merges its effects immediately, mirroring the
+    /// pre-shard engine's direct application order.
+    fn activate_now(&mut self, node: NodeIndex, input: Input<N::Msg>) {
+        let r = self.shared.place[node.as_usize()].region as usize;
+        let window_end = self.window_end;
+        let now = self.now;
+        {
+            let (shards, shared) = (&mut self.shards, &self.shared);
+            let shard = &mut shards[r];
+            shard.now = now;
+            // Synthetic key: only `.at` is observable (trace timestamps);
+            // single-activation merges preserve emission order.
+            shard.cur_key = EvKey { at: now, class: CLASS_CTRL, a: u64::MAX, b: 0 };
+            activate(shard, shared, window_end, node, input);
         }
-        self.regions[region].push(entry);
-    }
-
-    fn refresh_head(&mut self, region: usize) {
-        self.heads[region] = self.regions[region].peek().map(|x| x.key);
+        self.merge_shard(r);
     }
 
     fn push_harness_deliver(&mut self, at: SimTime, from: NodeIndex, to: NodeIndex, msg: N::Msg) {
         self.harness_seq += 1;
         let key = EvKey { at, class: CLASS_HARNESS, a: self.harness_seq, b: 0 };
-        let region = self.region_of[to.as_usize()] as usize;
+        let r = self.shared.place[to.as_usize()].region as usize;
         // Harness injections go straight into the destination queue: they
         // happen between run calls, never inside a slice.
-        self.region_push(region, Entry { key, kind: EntryKind::Deliver { from, to, msg } });
+        shard_push(&mut self.shards[r], Entry { key, kind: EntryKind::Deliver { from, to, msg } });
     }
 
     /// Injects a message from `from` to `to`, subject to normal latency.
     pub fn inject(&mut self, from: NodeIndex, to: NodeIndex, msg: N::Msg) {
-        let latency = self.topology.sample_latency(from, to, &mut self.rng);
+        let latency = self.shared.topology.sample_latency(from, to, &mut self.rng);
         let at = self.now + latency;
         self.push_harness_deliver(at, from, to, msg);
     }
@@ -841,212 +1444,136 @@ impl<N: Node> World<N> {
     /// Crashes `node` immediately, resetting its link connection state
     /// (both outbound and inbound entries are reclaimed).
     pub fn crash(&mut self, node: NodeIndex) {
-        self.alive[node.as_usize()] = false;
+        self.shared.alive[node.as_usize()] = false;
         self.metrics.inc("sim.crashes", 1.0);
-        self.links[node.as_usize()].clear();
-        for senders in &mut self.links {
-            senders.remove(&node.0);
+        let p = self.shared.place[node.as_usize()];
+        self.shards[p.region as usize].links[p.slot as usize].clear();
+        for shard in &mut self.shards {
+            for senders in &mut shard.links {
+                senders.remove(&node.0);
+            }
         }
     }
 
     /// Recovers `node` immediately, delivering [`Input::Start`].
     pub fn recover(&mut self, node: NodeIndex) {
-        if !self.alive[node.as_usize()] {
-            self.alive[node.as_usize()] = true;
+        if !self.shared.alive[node.as_usize()] {
+            self.shared.alive[node.as_usize()] = true;
             self.metrics.inc("sim.recoveries", 1.0);
-            self.activate(node, Input::Start);
+            self.activate_now(node, Input::Start);
         }
     }
 
-    fn activate(&mut self, index: NodeIndex, input: Input<N::Msg>) {
-        self.apply_seq += 1;
-        let now = self.now;
-        let (nodes, scratch) = (&mut self.nodes, &mut self.scratch);
-        nodes[index.as_usize()].handle(now, input, scratch);
-        self.apply_effects(index);
-    }
-
-    fn activate_batch(&mut self, to: NodeIndex) {
-        self.apply_seq += 1;
-        let now = self.now;
-        let (nodes, scratch, buf) = (&mut self.nodes, &mut self.scratch, &mut self.batch);
-        let mut batch = Batch { inner: buf.drain(..) };
-        nodes[to.as_usize()].on_batch(now, &mut batch, scratch);
-        drop(batch);
-        self.apply_effects(to);
-    }
-
-    /// Drains the scratch outbox of one activation into the schedule,
-    /// preserving the outbox's capacity for the next activation.
-    fn apply_effects(&mut self, from: NodeIndex) {
-        if !self.scratch.sends.is_empty() {
-            let mut sends = std::mem::take(&mut self.scratch.sends);
-            for (to, msg, extra) in sends.drain(..) {
-                self.dispatch_send(from, to, msg, extra);
+    /// Merges one shard's counter partials into the registry.
+    fn merge_counters(&mut self, r: usize) {
+        let shard = &mut self.shards[r];
+        for (slot, id) in self.ids.ids.iter().enumerate() {
+            let v = shard.engine[slot];
+            if v != 0.0 {
+                self.metrics.add(*id, v);
+                shard.engine[slot] = 0.0;
             }
-            self.scratch.sends = sends;
         }
-        if !self.scratch.timers.is_empty() {
-            let mut timers = std::mem::take(&mut self.scratch.timers);
-            for (delay, tag) in timers.drain(..) {
-                self.push_timer(from, delay, tag);
-            }
-            self.scratch.timers = timers;
-        }
-        if !self.scratch.counts.is_empty() {
-            for (name, by) in self.scratch.counts.drain(..) {
+        if !shard.counts.is_empty() {
+            let mut counts: Vec<(Cow<'static, str>, f64)> = shard.counts.drain().collect();
+            counts.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+            for (name, by) in counts {
                 self.metrics.inc(&name, by);
             }
         }
-        if !self.scratch.observations.is_empty() {
-            for (name, value) in self.scratch.observations.drain(..) {
-                self.metrics.observe(&name, value);
+        for (name, v) in shard.observations.drain(..) {
+            self.metrics.observe(&name, v);
+        }
+    }
+
+    /// Merges one shard's buffered effects (per-event path: the shard's
+    /// trace buffer is already in canonical order).
+    fn merge_shard(&mut self, r: usize) {
+        self.merge_counters(r);
+        let shard = &mut self.shards[r];
+        if !shard.trace_buf.is_empty() {
+            for (key, node, kind, detail) in shard.trace_buf.drain(..) {
+                self.tracer.record(key.at, node, &kind, detail);
             }
         }
-        if !self.scratch.traces.is_empty() {
-            if self.bulk_tracing {
-                for (kind, detail) in self.scratch.traces.drain(..) {
-                    self.trace_buf.push((self.cur_key, from, kind, detail));
+    }
+
+    /// Merges every shard's buffered effects in shard order, interleaving
+    /// trace records back into canonical key order (segment boundaries are
+    /// time-monotone, so per-segment flushes concatenate correctly).
+    fn merge_all(&mut self) {
+        for r in 0..self.shards.len() {
+            self.merge_counters(r);
+        }
+        let total: usize = self.shards.iter().map(|s| s.trace_buf.len()).sum();
+        if total > 0 {
+            let mut buf = std::mem::take(&mut self.trace_merge);
+            buf.reserve(total);
+            for shard in &mut self.shards {
+                buf.append(&mut shard.trace_buf);
+            }
+            // Stable: same-key records (one activation) keep emission
+            // order; keys are globally unique across shards.
+            buf.sort_by_key(|r| r.0);
+            for (key, node, kind, detail) in buf.drain(..) {
+                self.tracer.record(key.at, node, &kind, detail);
+            }
+            self.trace_merge = buf;
+        }
+    }
+
+    /// Moves every shard's buffered cross-shard entries into destination
+    /// queues (the slice-boundary handover of the sequential path).
+    fn flush_outgoing(&mut self) {
+        if self.shards.iter().all(|s| s.outgoing_len == 0) {
+            return;
+        }
+        let count = self.shards.len();
+        for src in 0..count {
+            if self.shards[src].outgoing_len == 0 {
+                continue;
+            }
+            for dst in 0..count {
+                if self.shards[src].outgoing[dst].is_empty() {
+                    continue;
                 }
-            } else {
-                for (kind, detail) in self.scratch.traces.drain(..) {
-                    self.tracer.record(self.now, from, &kind, detail);
+                let mut buf = std::mem::take(&mut self.shards[src].outgoing[dst]);
+                for e in buf.drain(..) {
+                    shard_push(&mut self.shards[dst], e);
                 }
+                self.shards[src].outgoing[dst] = buf;
             }
+            self.shards[src].outgoing_len = 0;
         }
-    }
-
-    /// Merges slice-buffered traces back into canonical key order (regions
-    /// drain one after another inside a slice, but the recorded trace must
-    /// be independent of the region count).
-    fn flush_trace_buf(&mut self) {
-        if self.trace_buf.is_empty() {
-            return;
-        }
-        let mut buf = std::mem::take(&mut self.trace_buf);
-        buf.sort_by_key(|r| r.0);
-        for (key, node, kind, detail) in buf.drain(..) {
-            self.tracer.record(key.at, node, &kind, detail);
-        }
-        self.trace_buf = buf;
-    }
-
-    fn push_timer(&mut self, node: NodeIndex, delay: SimDuration, tag: u64) {
-        let seq = &mut self.timer_seq[node.as_usize()];
-        *seq += 1;
-        let key = EvKey { at: self.now + delay, class: CLASS_TIMER, a: node.0 as u64, b: *seq };
-        let region = self.region_of[node.as_usize()] as usize;
-        self.region_push(region, Entry { key, kind: EntryKind::Timer { node, tag } });
-    }
-
-    fn dispatch_send(&mut self, from: NodeIndex, to: NodeIndex, msg: N::Msg, extra: SimDuration) {
-        if to.as_usize() >= self.nodes.len() {
-            self.metrics.add(self.ids.bad_destination, 1.0);
-            return;
-        }
-        let sender = from.as_usize();
-        let jitter = self.jitter;
-        let (links, topology, seed) = (&mut self.links, &self.topology, self.seed);
-        let ls = links[sender].entry(to.0).or_insert_with(|| {
-            let nominal = topology.nominal_latency(from, to).as_micros();
-            LinkState {
-                last_at: 0,
-                nominal,
-                jittered: nominal,
-                last_apply: 0,
-                rng: link_stream_seed(seed, from, to),
-                seq: 0,
-            }
-        });
-        if ls.last_apply != self.apply_seq {
-            // First message of this activation on this link: sample the
-            // connection's latency once; the rest of the flush shares it.
-            ls.last_apply = self.apply_seq;
-            ls.jittered = if to == from || jitter <= 0.0 {
-                ls.nominal
-            } else {
-                let factor = 1.0 - jitter + 2.0 * jitter * splitmix_unit(&mut ls.rng);
-                (ls.nominal as f64 * factor).round() as u64
-            };
-        }
-        if self.loss > 0.0 && to != from && splitmix_unit(&mut ls.rng) < self.loss {
-            self.metrics.add(self.ids.lost, 1.0);
-            return;
-        }
-        // Per-link FIFO: links are connection-oriented (the architecture's
-        // web-service interfaces run over TCP); equal times are allowed
-        // and preserve send order via the link sequence number.
-        let mut at = self.now.as_micros() + ls.jittered + extra.as_micros();
-        if at < ls.last_at {
-            at = ls.last_at;
-        }
-        ls.last_at = at;
-        ls.seq += 1;
-        let key = EvKey {
-            at: SimTime::from_micros(at),
-            class: CLASS_LINK,
-            a: ((to.0 as u64) << 32) | from.0 as u64,
-            b: ls.seq,
-        };
-        self.metrics.add(self.ids.sent, 1.0);
-        let entry = Entry { key, kind: EntryKind::Deliver { from, to, msg } };
-        let (rf, rt) = (self.region_of[sender] as usize, self.region_of[to.as_usize()] as usize);
-        if rf == rt || self.window_end == u64::MAX {
-            // Same region — or the degenerate unbounded window, where the
-            // exchange's slice-boundary flush cannot order it correctly.
-            self.region_push(rt, entry);
-        } else {
-            debug_assert!(
-                at >= self.window_end,
-                "cross-region message due inside its own slice: at={at} window_end={} now={}",
-                self.window_end,
-                self.now.as_micros()
-            );
-            self.exchange[rt].push(entry);
-            self.exchange_len += 1;
-        }
-    }
-
-    /// Flushes the boundary exchange into the destination region queues
-    /// (the slice-boundary handover; with threaded regions this is the
-    /// only synchronisation point).
-    fn flush_exchange(&mut self) {
-        for r in 0..self.exchange.len() {
-            // Pop order within the buffer is irrelevant: the queue orders
-            // by key.
-            while let Some(e) = self.exchange[r].pop() {
-                self.region_push(r, e);
-            }
-        }
-        self.exchange_len = 0;
     }
 
     /// Whether the lockstep window currently covers time `t` (µs).
     fn window_contains(&self, t: u64) -> bool {
         t < self.window_end
-            && (self.window_end == u64::MAX || t >= self.window_end - self.slice_width)
+            && (self.window_end == u64::MAX || t >= self.window_end - self.shared.slice_width)
     }
 
     /// Moves the window to the slice containing time `t` (µs). This jumps
     /// forward over empty slices, and also back: a run can stop
     /// mid-stretch and harness activity (injects between run calls) may
     /// then schedule work before the speculatively advanced window.
-    /// Exchange entries are always due at or after the window that
+    /// Outgoing entries are always due at or after the window that
     /// buffered them, so retreating is safe.
     fn move_window(&mut self, t: u64) {
-        let aligned = (t / self.slice_width).saturating_add(1).saturating_mul(self.slice_width);
+        let w = self.shared.slice_width;
+        let aligned = (t / w).saturating_add(1).saturating_mul(w);
         // Alignment overflow (pathological far-future event): fall back to
         // one unbounded window.
         self.window_end = if aligned <= t { u64::MAX } else { aligned };
     }
 
-    /// The minimal pending key over the control heap and all region heads.
+    /// The minimal pending key over the control heap and all shard heads.
     fn scan_min(&self) -> Option<(EvKey, NextSrc)> {
         let mut best: Option<(EvKey, NextSrc)> = self.ctrl.peek().map(|r| (r.0.key, NextSrc::Ctrl));
-        for (r, head) in self.heads.iter().enumerate() {
-            if let Some(k) = head {
-                if best.is_none_or(|(bk, _)| *k < bk) {
-                    best = Some((*k, NextSrc::Region(r)));
+        for (r, shard) in self.shards.iter().enumerate() {
+            if let Some(k) = shard.head {
+                if best.is_none_or(|(bk, _)| k < bk) {
+                    best = Some((k, NextSrc::Region(r)));
                 }
             }
         }
@@ -1054,13 +1581,20 @@ impl<N: Node> World<N> {
     }
 
     /// Positions the scheduler on the next canonical event: flushes the
-    /// exchange and moves the lockstep window as needed, then returns the
-    /// minimal key over the control heap and all region queues.
+    /// boundary exchange and moves the lockstep window as needed, then
+    /// returns the minimal key over the control heap and all shard queues.
     fn position_next(&mut self) -> Option<(EvKey, NextSrc)> {
         loop {
+            if self.window_end == u64::MAX && self.shards.iter().any(|s| s.outgoing_len > 0) {
+                // Unbounded window: there are no further slice boundaries
+                // to flush at, so buffered cross-shard sends must become
+                // visible before the minimum is trusted (the pre-shard
+                // engine direct-pushed these).
+                self.flush_outgoing();
+            }
             let Some((k, src)) = self.scan_min() else {
-                if self.exchange_len > 0 {
-                    self.flush_exchange();
+                if self.shards.iter().any(|s| s.outgoing_len > 0) {
+                    self.flush_outgoing();
                     continue;
                 }
                 return None;
@@ -1068,8 +1602,8 @@ impl<N: Node> World<N> {
             if self.window_contains(k.at.as_micros()) {
                 return Some((k, src));
             }
-            if self.exchange_len > 0 {
-                self.flush_exchange();
+            if self.shards.iter().any(|s| s.outgoing_len > 0) {
+                self.flush_outgoing();
                 continue;
             }
             self.move_window(k.at.as_micros());
@@ -1091,9 +1625,9 @@ impl<N: Node> World<N> {
     /// Processes the event `position_next` selected.
     fn step_at(&mut self, key: EvKey, src: NextSrc) {
         debug_assert!(key.at >= self.now, "time went backwards");
+        self.now = key.at;
         match src {
             NextSrc::Ctrl => {
-                self.now = key.at;
                 let Reverse(ctrl) = self.ctrl.pop().expect("peeked");
                 if ctrl.recover {
                     self.recover(ctrl.node);
@@ -1101,75 +1635,15 @@ impl<N: Node> World<N> {
                     self.crash(ctrl.node);
                 }
             }
-            NextSrc::Region(r) => self.process_entry(r),
-        }
-    }
-
-    /// Drains region `r` up to and including `stop_at`, stopping early at
-    /// a control barrier. The head cache is synced once at the end, not
-    /// per pop.
-    fn drain_region(&mut self, r: usize, stop_at: SimTime, barrier: Option<EvKey>) {
-        while let Some(head) = self.regions[r].peek().map(|e| e.key) {
-            if head.at > stop_at || barrier.is_some_and(|b| head > b) {
-                break;
-            }
-            self.process_entry_unsynced(r);
-        }
-        self.refresh_head(r);
-    }
-
-    /// Pops and handles the head entry of region `r` — a timer or a
-    /// same-instant delivery batch. Sets `now` to the entry's time (within
-    /// a bulk slice drain, `now` is monotone per region, not globally).
-    fn process_entry(&mut self, r: usize) {
-        self.process_entry_unsynced(r);
-        self.refresh_head(r);
-    }
-
-    /// Like [`process_entry`](Self::process_entry) but leaves the head
-    /// cache stale (bulk drains sync it once per segment).
-    fn process_entry_unsynced(&mut self, r: usize) {
-        let entry = self.regions[r].pop().expect("peeked");
-        let key = entry.key;
-        self.now = key.at;
-        self.cur_key = key;
-        match entry.kind {
-            EntryKind::Timer { node, tag } => {
-                if self.alive[node.as_usize()] {
-                    self.activate(node, Input::Timer { tag });
+            NextSrc::Region(r) => {
+                let window_end = self.window_end;
+                {
+                    let (shards, shared) = (&mut self.shards, &self.shared);
+                    let shard = &mut shards[r];
+                    process_entry(shard, shared, window_end);
+                    shard.head = shard.queue.peek().map(|e| e.key);
                 }
-            }
-            EntryKind::Deliver { from, to, msg } => {
-                debug_assert!(self.batch.is_empty());
-                self.batch.push((from, msg));
-                // Gather the rest of the same-instant batch for `to`.
-                // Only link deliveries batch: their destination-major keys
-                // make same-instant arrivals at one node contiguous in the
-                // global key order (harness injections are keyed by call
-                // order and deliver singly).
-                while let Some(next) = self.regions[r].peek() {
-                    let h = next.key;
-                    if h.at != key.at || h.class != CLASS_LINK || (h.a >> 32) as u32 != to.0 {
-                        break;
-                    }
-                    let popped = self.regions[r].pop().expect("peeked");
-                    let EntryKind::Deliver { from, msg, .. } = popped.kind else {
-                        unreachable!("class-checked Deliver above");
-                    };
-                    self.batch.push((from, msg));
-                }
-                let n = self.batch.len() as f64;
-                if self.alive[to.as_usize()] {
-                    self.metrics.add(self.ids.delivered, n);
-                    if self.batch.len() > 1 {
-                        self.metrics.add(self.ids.batches, 1.0);
-                        self.metrics.add(self.ids.batched, n);
-                    }
-                    self.activate_batch(to);
-                } else {
-                    self.metrics.add(self.ids.dropped_dead, n);
-                    self.batch.clear();
-                }
+                self.merge_shard(r);
             }
         }
     }
@@ -1177,71 +1651,130 @@ impl<N: Node> World<N> {
     /// Runs until the queue is empty or simulated time reaches `t`.
     /// Afterwards `now() == t` unless the queue emptied earlier.
     ///
-    /// Runs slice by slice: each region drains its own queue for the
-    /// current lockstep window (regions are causally independent within a
-    /// window, so per-node schedules are exactly the canonical ones),
-    /// crash/recover events act as barriers inside the window, and the
-    /// boundary exchange is flushed between windows. With tracing on,
-    /// trace records are merged back into canonical key order at each
-    /// boundary, so the trace is byte-identical at any region count.
+    /// Runs slice by slice in *segments* (stretches free of control
+    /// events): each region drains its own queue for the current lockstep
+    /// window — sequentially, or concurrently on scoped worker threads
+    /// when [`set_threads`](Self::set_threads) / `GLOSS_SIM_THREADS` asks
+    /// for more than one — crash/recover events act as barriers between
+    /// segments, and the boundary exchange is flushed between windows.
+    /// With tracing on, trace records are merged back into canonical key
+    /// order at each segment boundary, so the trace is byte-identical at
+    /// any region count and any thread count.
     pub fn run_until(&mut self, t: SimTime) {
         self.start_all();
-        let tracing = self.tracer.is_enabled();
         loop {
-            let min = self.scan_min();
-            // The visible minimum is only authoritative when it lies in
-            // the current window: the exchange may hold earlier entries
-            // otherwise, so flush before trusting (or breaking on) it.
-            let in_window = min.is_some_and(|(k, _)| self.window_contains(k.at.as_micros()));
-            if !in_window && self.exchange_len > 0 {
-                self.flush_exchange();
-                continue;
-            }
-            let Some((k, _)) = min else {
+            self.flush_outgoing();
+            let Some((k, src)) = self.scan_min() else {
                 break;
             };
             if k.at > t {
                 break;
             }
-            if !in_window {
-                self.move_window(k.at.as_micros());
+            if let NextSrc::Ctrl = src {
+                // Everything ordered before the control event has been
+                // processed (it is the global minimum): apply it through
+                // the one authoritative control path.
+                self.step_at(k, src);
                 continue;
             }
-            // Drain this window region by region, pausing at control
-            // barriers (which touch global state: aliveness, link purges).
-            self.bulk_tracing = tracing;
-            loop {
-                let barrier = self.ctrl.peek().map(|c| c.0.key);
-                let stop_at = if self.window_end == u64::MAX {
-                    t
-                } else {
-                    t.min(SimTime::from_micros(self.window_end - 1))
-                };
-                for r in 0..self.regions.len() {
-                    self.drain_region(r, stop_at, barrier);
-                }
-                match barrier {
-                    Some(b) if b.at <= t && self.window_contains(b.at.as_micros()) => {
-                        self.bulk_tracing = false;
-                        self.flush_trace_buf();
-                        let Reverse(ctrl) = self.ctrl.pop().expect("peeked");
-                        self.now = b.at;
-                        if ctrl.recover {
-                            self.recover(ctrl.node);
-                        } else {
-                            self.crash(ctrl.node);
-                        }
-                        self.bulk_tracing = tracing;
-                    }
-                    _ => break,
-                }
+            if !self.window_contains(k.at.as_micros()) {
+                self.move_window(k.at.as_micros());
             }
-            self.bulk_tracing = false;
-            self.flush_trace_buf();
+            if self.window_end == u64::MAX {
+                // Degenerate unbounded window (alignment overflow): drain
+                // everything due up to `t` honouring control barriers;
+                // cross-shard traffic flushes between outer-loop passes.
+                let barrier = self.ctrl.peek().map(|c| c.0.key);
+                for r in 0..self.shards.len() {
+                    let (shards, shared) = (&mut self.shards, &self.shared);
+                    drain_shard(&mut shards[r], shared, t, barrier, u64::MAX);
+                    // Flush after every shard: with no further slice
+                    // boundaries, later-drained shards must see earlier
+                    // shards' sends in this same pass (the pre-shard
+                    // engine direct-pushed these).
+                    self.flush_outgoing();
+                }
+                self.merge_all();
+                continue;
+            }
+            let workers = self.threads.min(self.shards.len());
+            if workers > 1 {
+                self.run_segment_threaded(t, workers);
+            } else {
+                self.run_segment_sequential(t);
+            }
+            self.merge_all();
         }
         if self.now < t {
             self.now = t;
         }
+    }
+
+    /// Drains whole windows on the main thread until a control event comes
+    /// due, `t` is reached, the queues empty, or the window degenerates.
+    fn run_segment_sequential(&mut self, t: SimTime) {
+        loop {
+            self.flush_outgoing();
+            let Some((k, src)) = self.scan_min() else {
+                return;
+            };
+            if k.at > t || matches!(src, NextSrc::Ctrl) {
+                return;
+            }
+            if !self.window_contains(k.at.as_micros()) {
+                self.move_window(k.at.as_micros());
+                if self.window_end == u64::MAX {
+                    return;
+                }
+            }
+            let barrier = self.ctrl.peek().map(|c| c.0.key);
+            let stop_at = SimTime::from_micros(t.as_micros().min(self.window_end - 1));
+            let window_end = self.window_end;
+            let (shards, shared) = (&mut self.shards, &self.shared);
+            for shard in shards.iter_mut() {
+                // The cached head gates the drain: idle shards skip the
+                // queue peek + refresh entirely.
+                if shard.head.is_some_and(|h| h.at <= stop_at && barrier.is_none_or(|b| h <= b)) {
+                    drain_shard(shard, shared, stop_at, barrier, window_end);
+                }
+            }
+        }
+    }
+
+    /// Drains whole windows with one scoped worker thread pool: shards are
+    /// distributed round-robin over `workers` threads (the calling thread
+    /// is worker 0), which synchronise per slice and exchange cross-shard
+    /// messages through mailboxes. Ends on the same conditions as the
+    /// sequential segment; per-shard work and merge order are identical,
+    /// so outcomes are byte-identical.
+    fn run_segment_threaded(&mut self, t: SimTime, workers: usize) {
+        let ctrl_key = self.ctrl.peek().map(|c| c.0.key);
+        let coord = Coord {
+            window: AtomicU64::new(self.window_end),
+            stop: AtomicBool::new(false),
+            sync: SyncPoint::new(workers),
+            mins: (0..workers).map(|_| AtomicU64::new(u64::MAX)).collect(),
+            mailboxes: (0..self.shards.len()).map(|_| Mutex::new(Vec::new())).collect(),
+            slice: self.shared.slice_width,
+            t_us: t.as_micros(),
+            ctrl_at: ctrl_key.map_or(u64::MAX, |k| k.at.as_micros()),
+        };
+        let shared = &self.shared;
+        let mut chunks: Vec<Vec<(usize, &mut Shard<N>)>> =
+            (0..workers).map(|_| Vec::new()).collect();
+        for (r, shard) in self.shards.iter_mut().enumerate() {
+            chunks[r % workers].push((r, shard));
+        }
+        std::thread::scope(|s| {
+            let coord = &coord;
+            let mut chunks = chunks.into_iter();
+            let own = chunks.next().expect("workers >= 1");
+            for (wid, chunk) in chunks.enumerate() {
+                s.spawn(move || worker_loop(wid + 1, chunk, shared, coord, ctrl_key));
+            }
+            worker_loop(0, own, shared, coord, ctrl_key);
+        });
+        self.window_end = coord.window.load(Ordering::Acquire);
     }
 
     /// Runs for an additional duration `d` of simulated time.
@@ -1278,27 +1811,10 @@ impl<N: Node> World<N> {
         limit
     }
 
-    /// Number of entries waiting across all queues (control events, region
+    /// Number of entries waiting across all queues (control events, shard
     /// queues, and the boundary exchange).
     pub fn pending(&self) -> usize {
-        self.ctrl.len() + self.pending_regions()
-    }
-}
-
-/// Computes the lockstep slice width from the latency model: the minimum
-/// cross-node latency (base minus full jitter), floored. The jittered
-/// latency of any message is at least this floor (`round(nominal * f)` with
-/// `nominal >= base` and `f >= 1 - jitter`), so a slice of exactly the
-/// floor guarantees no cross-region message is due inside its own slice.
-/// Returns `(width, can_shard)`; models without a positive latency floor
-/// cannot shard safely and run as a single region.
-fn lookahead(topology: &Topology) -> (u64, bool) {
-    let lm = topology.latency_model();
-    let floor = (lm.base.as_micros() as f64 * (1.0 - lm.jitter)).floor() as u64;
-    if floor < 2 {
-        (1, false)
-    } else {
-        (floor, true)
+        self.ctrl.len() + self.shards.iter().map(|s| s.queue.len() + s.outgoing_len).sum::<usize>()
     }
 }
 
@@ -1546,5 +2062,82 @@ mod tests {
         assert_eq!(w.region_count(), 2);
         assert_ne!(w.region_of(NodeIndex(0)), w.region_of(NodeIndex(1)));
         assert!(w.slice_micros() > 0);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_outcomes() {
+        let run = |threads: usize| {
+            let t = Topology::random(12, &["scotland", "us-east", "asia", "brazil"], 9);
+            let nodes = (0..12).map(|_| TestNode::default()).collect();
+            let mut w = World::new(t, 9, nodes);
+            w.set_threads(threads);
+            w.set_loss(0.2);
+            for i in 0..12u32 {
+                w.inject(NodeIndex(i), NodeIndex((i + 5) % 12), M::Ping);
+                w.inject(NodeIndex(i), NodeIndex((i + 7) % 12), M::Burst(3));
+            }
+            w.crash_at(SimTime::from_millis(8), NodeIndex(3));
+            w.recover_at(SimTime::from_millis(40), NodeIndex(3));
+            w.run_until(SimTime::from_secs(2));
+            let pongs: Vec<u32> = w.nodes().map(|n| n.pongs).collect();
+            let m = w.metrics();
+            (
+                pongs,
+                m.counter("sim.messages_sent"),
+                m.counter("sim.messages_lost"),
+                m.counter("sim.messages_delivered"),
+                w.now(),
+            )
+        };
+        let baseline = run(1);
+        assert_eq!(baseline, run(2));
+        assert_eq!(baseline, run(4));
+        // Requests beyond the shard count cap at the shard count.
+        assert_eq!(baseline, run(64));
+    }
+
+    #[test]
+    fn slice_width_refinement_never_narrows_the_base_floor() {
+        let t = Topology::random(16, &["scotland", "brazil"], 3);
+        let lm = t.latency_model();
+        let base_floor = (lm.base.as_micros() as f64 * (1.0 - lm.jitter)).floor() as u64;
+        let nodes = (0..16).map(|_| TestNode::default()).collect::<Vec<_>>();
+        let w = World::new(t, 3, nodes);
+        // Distant region pair: the refined cross-shard lookahead widens
+        // the slice well past the base floor.
+        assert!(w.slice_micros() > base_floor, "refined {} <= base {base_floor}", w.slice_micros());
+    }
+
+    #[test]
+    fn threads_env_parsing() {
+        assert_eq!(threads_from_env(None), 1);
+        assert_eq!(threads_from_env(Some("")), 1);
+        assert_eq!(threads_from_env(Some("0")), 1);
+        assert_eq!(threads_from_env(Some("nope")), 1);
+        assert_eq!(threads_from_env(Some("4")), 4);
+        assert_eq!(threads_from_env(Some(" 2 ")), 2);
+    }
+
+    #[test]
+    fn sync_point_smoke() {
+        let sp = SyncPoint::new(4);
+        let hits = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                s.spawn(|| {
+                    for _ in 0..100 {
+                        sp.wait(|| {
+                            hits.fetch_add(1, Ordering::Relaxed);
+                        });
+                    }
+                });
+            }
+            for _ in 0..100 {
+                sp.wait(|| {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 100, "one leader per barrier round");
     }
 }

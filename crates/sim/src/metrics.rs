@@ -5,8 +5,16 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::OnceLock;
 
 /// A set of recorded samples with percentile queries.
+///
+/// Quantile queries sort the samples once into a cached view that is
+/// invalidated by [`record`](Histogram::record)/[`merge`](Histogram::merge);
+/// harnesses that poll [`summary`](Histogram::summary) per slice pay the
+/// sort only when new samples arrived, not per call. (The seed version
+/// cloned and re-sorted the full sample vector on every call — quadratic
+/// under per-slice polling.)
 ///
 /// # Example
 ///
@@ -22,6 +30,10 @@ use std::fmt;
 #[derive(Debug, Clone, Default)]
 pub struct Histogram {
     samples: Vec<f64>,
+    /// Memoised ascending sample view + summary, cleared by the `&mut`
+    /// mutation paths (`OnceLock` keeps the type `Sync`: queries stay
+    /// `&self` and shareable across threads).
+    cache: OnceLock<(Vec<f64>, Summary)>,
 }
 
 /// Summary statistics of a [`Histogram`].
@@ -53,6 +65,7 @@ impl Histogram {
     pub fn record(&mut self, value: f64) {
         if value.is_finite() {
             self.samples.push(value);
+            self.cache.take();
         }
     }
 
@@ -73,7 +86,32 @@ impl Histogram {
 
     /// Merges another histogram's samples into this one.
     pub fn merge(&mut self, other: &Histogram) {
-        self.samples.extend_from_slice(&other.samples);
+        if !other.samples.is_empty() {
+            self.samples.extend_from_slice(&other.samples);
+            self.cache.take();
+        }
+    }
+
+    /// The ascending sample view + summary, (re)built if samples arrived
+    /// since the last query.
+    fn cached(&self) -> &(Vec<f64>, Summary) {
+        self.cache.get_or_init(|| {
+            let mut sorted = self.samples.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).expect("samples are finite"));
+            let count = sorted.len();
+            let mean = sorted.iter().sum::<f64>() / count as f64;
+            let at = |q: f64| sorted[((q * (count - 1) as f64).round() as usize).min(count - 1)];
+            let summary = Summary {
+                count,
+                mean,
+                min: sorted[0],
+                p50: at(0.5),
+                p90: at(0.9),
+                p99: at(0.99),
+                max: sorted[count - 1],
+            };
+            (sorted, summary)
+        })
     }
 
     /// The value at quantile `q` in `[0, 1]` (nearest-rank).
@@ -81,31 +119,22 @@ impl Histogram {
         if self.samples.is_empty() {
             return 0.0;
         }
-        let mut sorted = self.samples.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("samples are finite"));
+        let (sorted, _) = self.cached();
         let rank = ((q.clamp(0.0, 1.0)) * (sorted.len() - 1) as f64).round() as usize;
         sorted[rank]
     }
 
     /// Computes summary statistics.
+    ///
+    /// All statistics (including the mean, summed over the ascending
+    /// view) are functions of the sample *multiset*, so summaries are
+    /// identical regardless of recording order — which is what lets the
+    /// threaded simulator merge shard observations region-by-region.
     pub fn summary(&self) -> Summary {
         if self.samples.is_empty() {
             return Summary::default();
         }
-        let mut sorted = self.samples.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("samples are finite"));
-        let count = sorted.len();
-        let mean = sorted.iter().sum::<f64>() / count as f64;
-        let at = |q: f64| sorted[((q * (count - 1) as f64).round() as usize).min(count - 1)];
-        Summary {
-            count,
-            mean,
-            min: sorted[0],
-            p50: at(0.5),
-            p90: at(0.9),
-            p99: at(0.99),
-            max: sorted[count - 1],
-        }
+        self.cached().1
     }
 }
 
@@ -278,6 +307,51 @@ mod tests {
         h.record(f64::INFINITY);
         h.record(1.0);
         assert_eq!(h.len(), 1);
+    }
+
+    #[test]
+    fn repeated_summaries_are_identical_and_track_invalidation() {
+        let mut h = Histogram::new();
+        for v in [5.0, 1.0, 9.0, 3.0, 7.0] {
+            h.record(v);
+        }
+        // Polling without new samples returns the exact same summary
+        // (served from the cached sorted view).
+        let first = h.summary();
+        for _ in 0..100 {
+            assert_eq!(h.summary(), first);
+            assert_eq!(h.quantile(0.5), first.p50);
+        }
+        // Interleaved records invalidate the cache: every summary must
+        // match a freshly-built histogram over the same samples.
+        for v in [2.0, 8.0, 0.5, 4.0] {
+            h.record(v);
+            let mut fresh = Histogram::new();
+            for &s in h.samples() {
+                fresh.record(s);
+            }
+            assert_eq!(h.summary(), fresh.summary());
+            assert_eq!(h.quantile(0.9), fresh.quantile(0.9));
+        }
+        // Merge invalidates too.
+        let mut other = Histogram::new();
+        other.record(100.0);
+        h.merge(&other);
+        assert_eq!(h.summary().max, 100.0);
+    }
+
+    #[test]
+    fn summary_is_recording_order_independent() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let vals = [0.1, 2.7, 1e-3, 55.0, 3.3, 0.2, 8.8];
+        for &v in &vals {
+            a.record(v);
+        }
+        for &v in vals.iter().rev() {
+            b.record(v);
+        }
+        assert_eq!(a.summary(), b.summary());
     }
 
     #[test]

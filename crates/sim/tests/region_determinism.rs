@@ -1,79 +1,33 @@
 //! Cross-region determinism: a world over a 4-region topology produces
 //! byte-identical traces, identical per-node schedules, identical engine
 //! counters, and an identical settle time at region counts 1, 2, and 4 —
-//! and at any wheel geometry. The schedule is a function of the seed, not
-//! of how the event plane is sharded or bucketed.
+//! at any wheel geometry, and at any worker thread count. The schedule is
+//! a function of the seed, not of how the event plane is sharded,
+//! bucketed, or threaded.
 
-use gloss_sim::{
-    splitmix64, Input, Node, NodeIndex, Outbox, SimDuration, SimRng, SimTime, Topology, World,
-};
-
-/// A chattering protocol: periodic timers fan messages out to pseudo-random
-/// peers; receivers relay with bounded hops and log every input.
-#[derive(Debug)]
-struct Chatter {
-    id: u32,
-    n: u32,
-    decisions: u64,
-    rounds: u32,
-    log: Vec<String>,
-}
-
-impl Node for Chatter {
-    type Msg = u64;
-
-    fn handle(&mut self, now: SimTime, input: Input<u64>, out: &mut Outbox<u64>) {
-        match input {
-            Input::Start => {
-                out.trace("start", format!("n{}", self.id));
-                out.timer(SimDuration::from_millis(2 + (self.id as u64 % 5)), 0);
-            }
-            Input::Timer { tag } => {
-                out.trace("tick", format!("n{} t{tag}", self.id));
-                let r = splitmix64(&mut self.decisions);
-                for i in 0..1 + (r % 3) {
-                    let peer = ((r >> (8 * i)) % self.n as u64) as u32;
-                    out.send(NodeIndex(peer), (r % 1009) * 4);
-                }
-                if self.rounds > 0 {
-                    self.rounds -= 1;
-                    out.timer(SimDuration::from_millis(4 + r % 9), tag + 1);
-                }
-            }
-            Input::Msg { from, msg } => {
-                self.log.push(format!("{now} {msg} {from}"));
-                out.trace("recv", format!("n{} {msg} from {from}", self.id));
-                out.count("chatter.msgs", 1.0);
-                let hops = msg % 4;
-                if hops < 2 {
-                    let r = splitmix64(&mut self.decisions);
-                    out.send(NodeIndex((r % self.n as u64) as u32), (msg & !3) + hops + 1);
-                }
-            }
-        }
-    }
-}
+use gloss_sim::testkit::Chatter;
+use gloss_sim::{NodeIndex, SimDuration, SimRng, SimTime, Topology, World};
+use proptest::prelude::*;
 
 type Outcome = (String, Vec<String>, f64, u64, u64, SimTime);
 
 /// Runs the same seeded scenario (a 4-region topology with churn) at the
 /// given region count and wheel geometry.
 fn run(regions: usize, width: u64, buckets: usize) -> Outcome {
+    run_threaded(regions, width, buckets, 1)
+}
+
+/// Like [`run`], additionally setting the worker thread count.
+fn run_threaded(regions: usize, width: u64, buckets: usize, threads: usize) -> Outcome {
     const N: usize = 24;
     const SEED: u64 = 9107;
     let topology = Topology::random(N, &["scotland", "us-east", "brazil", "asia"], SEED);
-    let nodes: Vec<Chatter> = (0..N)
-        .map(|i| Chatter {
-            id: i as u32,
-            n: N as u32,
-            decisions: 0xc0ffee ^ (i as u64) << 9,
-            rounds: 6,
-            log: Vec::new(),
-        })
-        .collect();
+    let nodes: Vec<Chatter> =
+        (0..N).map(|i| Chatter::new(i as u32, N as u32, 0xc0ffee ^ (i as u64) << 9, 6)).collect();
     let mut w = World::new(topology, SEED, nodes);
     w.set_region_count(regions);
     w.set_wheel_geometry(width, buckets);
+    w.set_threads(threads);
     w.enable_tracing(1 << 20);
     w.set_loss(0.15);
     // Churn across the run, including nodes in different shards.
@@ -126,11 +80,118 @@ fn wheel_geometry_does_not_change_the_schedule() {
 }
 
 #[test]
+fn thread_counts_1_2_4_yield_byte_identical_traces() {
+    let baseline = run_threaded(4, 1024, 256, 1);
+    let two = run_threaded(4, 1024, 256, 2);
+    let four = run_threaded(4, 1024, 256, 4);
+    assert_eq!(baseline.0, two.0, "trace differs at 2 threads");
+    assert_eq!(baseline.0, four.0, "trace differs at 4 threads");
+    assert_eq!(baseline, two, "outcome differs at 2 threads");
+    assert_eq!(baseline, four, "outcome differs at 4 threads");
+    assert!(!baseline.0.is_empty(), "trace actually recorded something");
+}
+
+// ---------------------------------------------------------------------------
+// Threaded parity as a property (same harness style as engine_equivalence):
+// random topologies, loss rates, crash/recover schedules, and mid-run
+// injections must produce byte-identical traces, per-node schedules,
+// counters, and settle times at worker thread counts 1, 2, and 4.
+// ---------------------------------------------------------------------------
+
+const REGION_POOL: &[&str] =
+    &["scotland", "england", "europe", "us-east", "us-west", "brazil", "australia", "asia"];
+
+#[derive(Debug, Clone)]
+struct Scenario {
+    seed: u64,
+    nodes: usize,
+    region_names: usize,
+    loss_pct: u64,
+    injects: u64,
+    crashes: u64,
+    rounds: u32,
+}
+
+fn scripted_run(s: &Scenario, threads: usize) -> Outcome {
+    let regions: Vec<&str> = REGION_POOL[..s.region_names].to_vec();
+    let topology = Topology::random(s.nodes, &regions, s.seed);
+    let nodes: Vec<Chatter> = (0..s.nodes)
+        .map(|i| Chatter::new(i as u32, s.nodes as u32, s.seed ^ (i as u64) << 13, s.rounds))
+        .collect();
+    let mut w = World::new(topology, s.seed, nodes);
+    w.set_threads(threads);
+    w.enable_tracing(1 << 20);
+    w.set_loss(s.loss_pct as f64 / 100.0);
+    let mut rng = SimRng::new(s.seed).fork("parity-script");
+    for _ in 0..s.crashes {
+        let victim = NodeIndex(rng.index(s.nodes) as u32);
+        let at = SimTime::from_millis(5 + rng.range(0, 120));
+        w.crash_at(at, victim);
+        w.recover_at(at + SimDuration::from_millis(10 + rng.range(0, 60)), victim);
+    }
+    for _ in 0..s.injects {
+        let a = NodeIndex(rng.index(s.nodes) as u32);
+        let b = NodeIndex(rng.index(s.nodes) as u32);
+        w.inject(a, b, rng.range(0, 80) * 8);
+    }
+    // Run in phases with mid-run harness activity: segments must resume
+    // correctly after the lockstep window retreats.
+    w.run_until(SimTime::from_millis(40));
+    for _ in 0..s.injects / 2 {
+        let a = NodeIndex(rng.index(s.nodes) as u32);
+        let b = NodeIndex(rng.index(s.nodes) as u32);
+        w.inject(a, b, rng.range(0, 60) * 8);
+    }
+    w.run_until(SimTime::from_millis(400));
+    let settle = w.run_to_quiescence(SimTime::from_secs(30));
+    let logs: Vec<String> = w.nodes().map(|n| n.log.join("\n")).collect();
+    let m = w.metrics();
+    (
+        w.tracer().render(),
+        logs,
+        m.counter("chatter.msgs"),
+        m.counter("sim.messages_sent") as u64,
+        m.counter("sim.messages_lost") as u64,
+        settle,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn threaded_runs_match_sequential(
+        seed in 0u64..1_000_000,
+        nodes in 4usize..28,
+        region_names in 2usize..7,
+        loss_pct in 0u64..3, // scaled below to 0%, 35%, 70%
+        injects in 0u64..10,
+        crashes in 0u64..5,
+        rounds in 1u32..8,
+    ) {
+        let s = Scenario {
+            seed,
+            nodes,
+            region_names,
+            loss_pct: loss_pct * 35,
+            injects,
+            crashes,
+            rounds,
+        };
+        let sequential = scripted_run(&s, 1);
+        for threads in [2usize, 4] {
+            let threaded = scripted_run(&s, threads);
+            prop_assert_eq!(&sequential.0, &threaded.0, "trace diverged at {} threads: {:?}", threads, &s);
+            prop_assert_eq!(&sequential.1, &threaded.1, "per-node schedules diverged at {} threads: {:?}", threads, &s);
+            prop_assert_eq!(&sequential, &threaded, "outcome diverged at {} threads: {:?}", threads, &s);
+        }
+    }
+}
+
+#[test]
 fn worlds_actually_shard() {
     let topology = Topology::random(8, &["scotland", "us-east", "brazil", "asia"], 3);
-    let nodes = (0..8)
-        .map(|i| Chatter { id: i, n: 8, decisions: i as u64, rounds: 0, log: Vec::new() })
-        .collect();
+    let nodes = (0..8).map(|i| Chatter::new(i, 8, i as u64, 0)).collect();
     let w: World<Chatter> = World::new(topology, 3, nodes);
     // Defaults to one region per distinct topology region name.
     assert_eq!(w.region_count(), 4);
