@@ -43,6 +43,107 @@ fn e1_matching(c: &mut Criterion) {
     });
 }
 
+/// E4: the delta-driven matching core under steady fact-join load.
+///
+/// A rule whose goals enumerate an *unbound* subject over a 200-user
+/// knowledge base: every firing must either re-solve the join over all
+/// 200 `likes` facts (a from-scratch engine) or replay memoised
+/// solutions (the incremental engine). `steady` never mutates facts;
+/// `churn` removes and re-adds one (non-matching) user's facts every 16
+/// events, exercising delta repair and memo invalidation. Written
+/// against APIs that exist in earlier engines too, so the same file
+/// benches the before/after columns of BENCH_pr5.json.
+fn e4_delta_matching(c: &mut Criterion) {
+    const RULE: &str = r#"
+        rule rare_flavor {
+            on t: event tick(seq: ?s)
+            where fact(?u, likes, "haggis ripple") and fact(?u, nationality, ?nat)
+            within 1 m
+            emit fan(user: ?u, nat: ?nat)
+        }
+    "#;
+    let build_kb = || {
+        let mut kb = InMemoryFacts::new();
+        for i in 0..200 {
+            let flavor = if i % 100 == 3 { "haggis ripple" } else { "vanilla" };
+            kb.add(Fact::new(format!("user{i}"), "likes", Term::str(flavor)));
+            kb.add(Fact::new(format!("user{i}"), "nationality", Term::str("scottish")));
+        }
+        kb
+    };
+    {
+        let kb = build_kb();
+        let mut engine = MatchletEngine::compile(RULE).unwrap();
+        let ev = Event::new("tick").with_attr("seq", 1i64);
+        let mut t = 0u64;
+        c.bench_function("e4_fact_join_steady_200", |b| {
+            b.iter(|| {
+                t += 1;
+                engine.on_event(SimTime::from_micros(t), &ev, &kb)
+            })
+        });
+    }
+    {
+        let mut kb = build_kb();
+        let mut engine = MatchletEngine::compile(RULE).unwrap();
+        let ev = Event::new("tick").with_attr("seq", 1i64);
+        let mut t = 0u64;
+        c.bench_function("e4_fact_join_churn_200", |b| {
+            b.iter(|| {
+                t += 1;
+                if t.is_multiple_of(16) {
+                    // Churn an even-indexed user (the matching users are
+                    // 3 and 103), so the solution set stays stationary.
+                    let u = format!("user{}", ((t / 16) * 2) % 200);
+                    kb.remove_subject(&u);
+                    kb.add(Fact::new(u.clone(), "likes", Term::str("vanilla")));
+                    kb.add(Fact::new(u, "nationality", Term::str("scottish")));
+                }
+                engine.on_event(SimTime::from_micros(t), &ev, &kb)
+            })
+        });
+    }
+}
+
+/// C13: adversarial subscription churn — rules added/removed at a high
+/// rate while events stream, the worst case for rule add/remove
+/// invalidation (kind-index rebuilds, index coverage, memo lifecycle).
+fn c13_rule_churn(c: &mut Criterion) {
+    let mut kb = InMemoryFacts::new();
+    for i in 0..100 {
+        let flavor = if i % 10 == 0 { "ice cream" } else { "tea" };
+        kb.add(Fact::new(format!("user{i}"), "likes", Term::str(flavor)));
+    }
+    let rule_src = |gen: u64| {
+        format!(
+            "rule churn{gen} {{ on t: event tick(seq: ?s) where fact(?u, likes, \"ice cream\") within 1 m emit hit{gen}(user: ?u) }}"
+        )
+    };
+    // A resident population of 8 rules; each iteration retires the
+    // oldest, installs a fresh one, and fires 4 events.
+    let mut engine = MatchletEngine::new();
+    let mut gen = 0u64;
+    for _ in 0..8 {
+        engine.add_rules(&rule_src(gen)).unwrap();
+        gen += 1;
+    }
+    let ev = Event::new("tick").with_attr("seq", 1i64);
+    let mut t = 0u64;
+    c.bench_function("c13_rule_churn_8_resident", |b| {
+        b.iter(|| {
+            engine.remove_rule(&format!("churn{}", gen - 8));
+            engine.add_rules(&rule_src(gen)).unwrap();
+            gen += 1;
+            let mut fired = 0usize;
+            for _ in 0..4 {
+                t += 1;
+                fired += engine.on_event(SimTime::from_micros(t), &ev, &kb).len();
+            }
+            fired
+        })
+    });
+}
+
 /// E2: pushing one event through an assembled pipeline graph.
 fn e2_pipeline_push(c: &mut Criterion) {
     use gloss_pipeline::standard::{Counter, KindFilter, MovementThreshold};
@@ -509,10 +610,10 @@ fn c10_erasure(c: &mut Criterion) {
 criterion_group! {
     name = experiments;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = e1_matching, e2_pipeline_push, e3_bundle_roundtrip, c1_filter_ops,
-              c1_publish_through_network, c2_overlay_route, c3_cache_ops, c3_cache_churn,
-              c4_solver, c6_binding, c7_join, c8_store_lookup, c9_retrieval, c10_erasure,
-              m1_histogram_polling, s1_rule_scaling, s2_join_deep_buffer, s3_overlay_scaling,
-              s4_churn_episode, s5_mobility_roam
+    targets = e1_matching, e4_delta_matching, e2_pipeline_push, e3_bundle_roundtrip,
+              c1_filter_ops, c1_publish_through_network, c2_overlay_route, c3_cache_ops,
+              c3_cache_churn, c4_solver, c6_binding, c7_join, c8_store_lookup, c9_retrieval,
+              c10_erasure, c13_rule_churn, m1_histogram_polling, s1_rule_scaling,
+              s2_join_deep_buffer, s3_overlay_scaling, s4_churn_episode, s5_mobility_roam
 }
 criterion_main!(experiments);

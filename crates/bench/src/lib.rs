@@ -8,8 +8,10 @@ use gloss_core::{ActiveArchitecture, ArchConfig, IceCreamScenario, PopulationWor
 use gloss_deploy::{Constraint, DeploymentPlane};
 use gloss_event::{Architecture, Event, Filter, PubSubConfig, PubSubNetwork};
 use gloss_knowledge::{
-    LexicalMatcher, Ontology, RetrievalScores, ServiceDescription, SpecMatcher, TextMatcher,
+    Fact, InMemoryFacts, LexicalMatcher, Ontology, RetrievalScores, ServiceDescription,
+    SpecMatcher, Term, TextMatcher,
 };
+use gloss_matchlet::MatchletEngine;
 use gloss_overlay::{FreenetNetwork, Key, OverlayNetwork};
 use gloss_pipeline::{standard::Counter, DistributedPipeline, PipelineGraph};
 use gloss_sim::{NodeIndex, SimDuration, SimRng, Zipf};
@@ -894,6 +896,72 @@ pub fn c12_mobility_heavy() -> String {
     )
 }
 
+/// C13: adversarial subscription churn — matchlet rules are added and
+/// removed at a high rate while the contextual facts churn underneath:
+/// the worst case for the incremental matching core's add/remove
+/// invalidation (kind-index rebuilds, alpha coverage, beta memo
+/// lifecycle). Eight rules stay resident; every N events the oldest is
+/// retired and a fresh one installed, and every 8 events one user's
+/// facts are removed and re-seeded (flavour preserved, so the workload
+/// is stationary). Reports wall-clock throughput and memo behaviour per
+/// churn rate.
+pub fn c13_subscription_churn() -> String {
+    use gloss_sim::SimTime;
+    let rule_src = |g: usize| {
+        format!(
+            "rule churn{g} {{ on t: event tick(seq: ?s) where fact(?u, likes, \"ice cream\") and fact(?u, nationality, ?nat) within 1 m emit hit{g}(user: ?u) }}"
+        )
+    };
+    let flavor = |i: usize| if i.is_multiple_of(20) { "ice cream" } else { "tea" };
+    let mut rows = Vec::new();
+    for rule_churn_every in [64usize, 16, 4] {
+        let mut kb = InMemoryFacts::new();
+        for i in 0..200 {
+            kb.add(Fact::new(format!("user{i}"), "likes", Term::str(flavor(i))));
+            kb.add(Fact::new(format!("user{i}"), "nationality", Term::str("scottish")));
+        }
+        let mut engine = MatchletEngine::new();
+        let mut gen = 0usize;
+        for _ in 0..8 {
+            engine.add_rules(&rule_src(gen)).expect("churn rule compiles");
+            gen += 1;
+        }
+        let events = 20_000usize;
+        let ev = Event::new("tick").with_attr("seq", 1i64);
+        let start = std::time::Instant::now();
+        for t in 1..=events {
+            if t % rule_churn_every == 0 {
+                engine.remove_rule(&format!("churn{}", gen - 8));
+                engine.add_rules(&rule_src(gen)).expect("churn rule compiles");
+                gen += 1;
+            }
+            if t % 8 == 0 {
+                let i = (t / 8) % 200;
+                let u = format!("user{i}");
+                kb.remove_subject(&u);
+                kb.add(Fact::new(u.clone(), "likes", Term::str(flavor(i))));
+                kb.add(Fact::new(u, "nationality", Term::str("scottish")));
+            }
+            engine.on_event(SimTime::from_micros(t as u64), &ev, &kb);
+        }
+        let wall = start.elapsed().as_secs_f64();
+        let s = engine.stats;
+        let hit_rate = s.memo_hits as f64 / (s.memo_hits + s.memo_misses).max(1) as f64 * 100.0;
+        rows.push(vec![
+            rule_churn_every.to_string(),
+            (events / rule_churn_every).to_string(),
+            f(wall * 1e3),
+            f(events as f64 / wall / 1e3),
+            f(hit_rate),
+            s.events_out.to_string(),
+        ]);
+    }
+    table(
+        &["rule churn every", "rule churns", "wall ms", "k events/s", "memo hit %", "events out"],
+        &rows,
+    )
+}
+
 /// Runs one experiment by id, returning its rendered output.
 pub fn run_experiment(id: &str) -> Option<(String, String)> {
     let (title, body) = match id {
@@ -912,6 +980,7 @@ pub fn run_experiment(id: &str) -> Option<(String, String)> {
         "c10" => ("C10: erasure coding vs replication", c10_erasure()),
         "c11" => ("C11: overlay routing under churn-heavy membership", c11_churn_heavy()),
         "c12" => ("C12: broker handoff under mobility-heavy clients", c12_mobility_heavy()),
+        "c13" => ("C13: adversarial subscription churn (rules + facts)", c13_subscription_churn()),
         "s3" => ("S3: event-plane scaling, 64-1024 nodes at 1 and 4 threads", s3_scaling()),
         _ => return None,
     };
@@ -921,5 +990,5 @@ pub fn run_experiment(id: &str) -> Option<(String, String)> {
 /// All experiment ids in order.
 pub const ALL_EXPERIMENTS: &[&str] = &[
     "e1", "e2", "e3", "c1", "c2", "c3", "c4", "c5", "c6", "c7", "c8", "c9", "c10", "c11", "c12",
-    "s3",
+    "c13", "s3",
 ];

@@ -354,6 +354,61 @@ mod tests {
     }
 
     #[test]
+    fn knowledge_updates_flow_through_the_delta_matching_path() {
+        let mut a = arch(6, 16);
+        let spec = ServiceSpec::new(
+            "fans",
+            r#"rule fans { on w: event weather.reading(celsius: ?c) where fact(?u, likes, "ice cream") and ?c >= 18.0 emit fan_alert(user: ?u) }"#,
+            vec![(None, 2)],
+        )
+        .unwrap();
+        a.deploy_service(spec);
+        a.run_for(SimDuration::from_secs(60));
+        a.seed_knowledge(
+            NodeIndex(2),
+            "bob",
+            &[Fact::new("bob", "likes", gloss_knowledge::Term::str("ice cream"))],
+        );
+        a.run_for(SimDuration::from_secs(30));
+        a.prefetch_subject_everywhere("bob");
+        a.run_for(SimDuration::from_secs(30));
+        a.subscribe_ui(NodeIndex(1), Filter::for_kind("fan_alert"));
+        a.run_for(SimDuration::from_secs(10));
+        for _ in 0..3 {
+            a.publish(NodeIndex(5), Event::new("weather.reading").with_attr("celsius", 21.0));
+            a.run_for(SimDuration::from_secs(20));
+        }
+        assert!(!a.node(NodeIndex(1)).ui_received.is_empty(), "bob suggested");
+        // Both deployed instances share their node's one engine; repeat
+        // events are served from the memoised goal solve, observable in
+        // the per-node stats and the world metric.
+        let hosts = a.hosts_of("matchlet:fans");
+        assert!(
+            hosts.iter().any(|&h| a.node(h).server.engine().stats.memo_hits > 0),
+            "repeat events hit the shared index"
+        );
+        assert!(a.world().metrics().counter("gloss.match_memo_hits") > 0.0);
+        // Re-seeding bob's profile flows retract+insert deltas through
+        // ingest; the memoised result must not go stale.
+        a.seed_knowledge(
+            NodeIndex(2),
+            "bob",
+            &[Fact::new("bob", "likes", gloss_knowledge::Term::str("tea"))],
+        );
+        a.run_for(SimDuration::from_secs(30));
+        a.prefetch_subject_everywhere("bob");
+        a.run_for(SimDuration::from_secs(30));
+        let alerts_before = a.node(NodeIndex(1)).ui_received.len();
+        a.publish(NodeIndex(5), Event::new("weather.reading").with_attr("celsius", 21.0));
+        a.run_for(SimDuration::from_secs(30));
+        assert_eq!(
+            a.node(NodeIndex(1)).ui_received.len(),
+            alerts_before,
+            "updated facts stop the suggestion"
+        );
+    }
+
+    #[test]
     fn node_failure_repairs_service_placement() {
         let mut a = arch(7, 14);
         let spec = ServiceSpec::new(

@@ -116,6 +116,11 @@ pub struct GlossNode {
     pub coordinator_state: Option<CoordinatorState>,
     /// Subjects whose kb documents have been ingested locally.
     pub known_subjects: BTreeSet<String>,
+    /// Ingested kb document version per subject: re-deliveries of an
+    /// unchanged document (cache pushes, replica re-sends) are skipped
+    /// so they do not churn the fact store's delta feed — and with it
+    /// the matching engine's memoised solutions — for nothing.
+    kb_doc_versions: BTreeMap<String, u64>,
 }
 
 impl GlossNode {
@@ -158,6 +163,7 @@ impl GlossNode {
             emitted: 0,
             coordinator_state,
             known_subjects: BTreeSet::new(),
+            kb_doc_versions: BTreeMap::new(),
         }
     }
 
@@ -220,8 +226,16 @@ impl GlossNode {
             }
             return;
         }
-        // Matchlets.
+        // Matchlets. All bundles installed on this node share the
+        // server's one engine, so its alpha/beta indexes are repaired
+        // once per knowledge update however many matchlets are deployed;
+        // memo hits are surfaced as a world metric.
+        let memo_before = self.server.engine().stats.memo_hits;
         let outputs = self.server.match_event(now, &event, &self.kb);
+        let memo_hits = self.server.engine().stats.memo_hits - memo_before;
+        if memo_hits > 0 {
+            out.count("gloss.match_memo_hits", memo_hits as f64);
+        }
         for synthesized in outputs {
             self.emitted += 1;
             out.count("gloss.synthesized", 1.0);
@@ -294,6 +308,14 @@ impl GlossNode {
         let Some(subject) = doc.name.strip_prefix("kb/") else {
             return;
         };
+        // A version we already hold is a no-op re-delivery (the version
+        // is the document's content identity at the storage layer):
+        // re-ingesting it would only spray retract+insert deltas that
+        // invalidate the matching engine's memos for nothing.
+        if self.kb_doc_versions.get(subject).is_some_and(|v| *v >= doc.version) {
+            out.count("gloss.kb_reingest_skipped", 1.0);
+            return;
+        }
         let Ok(text) = std::str::from_utf8(&doc.content) else {
             return;
         };
@@ -304,6 +326,7 @@ impl GlossNode {
         self.kb.remove_subject(subject);
         self.kb.extend(facts);
         self.known_subjects.insert(subject.to_string());
+        self.kb_doc_versions.insert(subject.to_string(), doc.version);
         out.count("gloss.kb_ingested", 1.0);
     }
 

@@ -1,9 +1,11 @@
-//! Facts: subject/predicate/object triples with validity intervals.
+//! Facts: subject/predicate/object triples with validity intervals, with
+//! an insert/retract change feed for incremental consumers.
 
 use gloss_sim::FnvHashMap;
 use gloss_sim::{GeoPoint, SimTime};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// A knowledge-base value (also the runtime value type of the matchlet
@@ -194,6 +196,37 @@ impl fmt::Display for Fact {
     }
 }
 
+/// One entry in a fact store's change feed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FactDelta {
+    /// The fact was added.
+    Insert(Fact),
+    /// The fact was removed.
+    Retract(Fact),
+}
+
+impl FactDelta {
+    /// The fact the delta concerns.
+    pub fn fact(&self) -> &Fact {
+        match self {
+            FactDelta::Insert(f) | FactDelta::Retract(f) => f,
+        }
+    }
+}
+
+/// Identity of a fact store's mutation state: a per-instance source id
+/// plus a monotonically increasing epoch (one tick per insert/retract).
+/// Consumers compare versions to tell "the same store, advanced" (replay
+/// deltas) from "a different store entirely" (rebuild).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FactsVersion {
+    /// Unique per store instance; clones get fresh ids, so two stores
+    /// never alias each other's epochs.
+    pub source: u64,
+    /// Mutation count of this instance.
+    pub epoch: u64,
+}
+
 /// Read access to a fact collection, as used by the matchlet engine.
 pub trait FactSource {
     /// Facts with the given subject and/or predicate (either may be left
@@ -229,14 +262,75 @@ pub trait FactSource {
             f(fact);
         }
     }
+
+    /// The store's mutation version, when it maintains a change feed.
+    /// `None` (the default) means the source has no incremental support
+    /// and consumers must re-read on every use.
+    fn version(&self) -> Option<FactsVersion> {
+        None
+    }
+
+    /// Replays every delta applied after `epoch`, in application order.
+    /// Returns `false` when the span is unavailable (no feed, or the log
+    /// has been truncated past `epoch`), in which case the consumer must
+    /// rebuild from a full read instead.
+    fn for_each_delta_since(&self, _epoch: u64, _f: &mut dyn FnMut(&FactDelta)) -> bool {
+        false
+    }
 }
 
-/// An indexed in-memory fact store.
-#[derive(Debug, Clone, Default)]
+/// How many deltas the in-memory store keeps for replay before a
+/// consumer that fell this far behind is told to rebuild instead.
+const DELTA_LOG_CAP: usize = 4096;
+
+fn fresh_source_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+/// An indexed in-memory fact store with a bounded insert/retract delta
+/// log (the change feed incremental matchers repair their indexes from).
+#[derive(Debug)]
 pub struct InMemoryFacts {
     facts: Vec<Fact>,
     by_predicate: FnvHashMap<String, Vec<usize>>,
     by_subject: FnvHashMap<String, Vec<usize>>,
+    source: u64,
+    epoch: u64,
+    /// Deltas for epochs `log_base + 1 ..= epoch`, oldest first.
+    log: VecDeque<FactDelta>,
+    log_base: u64,
+}
+
+impl Default for InMemoryFacts {
+    fn default() -> Self {
+        InMemoryFacts {
+            facts: Vec::new(),
+            by_predicate: FnvHashMap::default(),
+            by_subject: FnvHashMap::default(),
+            source: fresh_source_id(),
+            epoch: 0,
+            log: VecDeque::new(),
+            log_base: 0,
+        }
+    }
+}
+
+impl Clone for InMemoryFacts {
+    /// Clones the contents under a *fresh* source id (so a consumer
+    /// synced to the original never mistakes the clone's epochs for a
+    /// continuation). The delta log is not carried over.
+    fn clone(&self) -> Self {
+        InMemoryFacts {
+            facts: self.facts.clone(),
+            by_predicate: self.by_predicate.clone(),
+            by_subject: self.by_subject.clone(),
+            source: fresh_source_id(),
+            epoch: self.epoch,
+            log: VecDeque::new(),
+            log_base: self.epoch,
+        }
+    }
 }
 
 impl InMemoryFacts {
@@ -245,12 +339,27 @@ impl InMemoryFacts {
         InMemoryFacts::default()
     }
 
+    /// The store's mutation count.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    fn record(&mut self, delta: FactDelta) {
+        self.epoch += 1;
+        self.log.push_back(delta);
+        while self.log.len() > DELTA_LOG_CAP {
+            self.log.pop_front();
+            self.log_base += 1;
+        }
+    }
+
     /// Adds a fact.
     pub fn add(&mut self, fact: Fact) {
         let i = self.facts.len();
         self.by_predicate.entry(fact.predicate.clone()).or_default().push(i);
         self.by_subject.entry(fact.subject.clone()).or_default().push(i);
-        self.facts.push(fact);
+        self.facts.push(fact.clone());
+        self.record(FactDelta::Insert(fact));
     }
 
     /// Adds many facts.
@@ -273,19 +382,66 @@ impl InMemoryFacts {
     /// Removes all facts about a subject (profile update), returning how
     /// many were removed.
     pub fn remove_subject(&mut self, subject: &str) -> usize {
-        let before = self.facts.len();
-        self.facts.retain(|f| f.subject != subject);
-        self.reindex();
-        before - self.facts.len()
+        self.retract_where(|f| f.subject == subject)
     }
 
-    fn reindex(&mut self) {
-        self.by_predicate.clear();
-        self.by_subject.clear();
+    /// Removes every fact whose subject, predicate, and object all match
+    /// (object by structural equality; validity bounds are *not*
+    /// compared, so windowed variants of the triple go too), returning
+    /// how many were removed. The targeted counterpart of
+    /// [`remove_subject`](Self::remove_subject) for fact churn.
+    pub fn retract(&mut self, subject: &str, predicate: &str, object: &Term) -> usize {
+        self.retract_where(|f| {
+            f.subject == subject && f.predicate == predicate && f.object == *object
+        })
+    }
+
+    fn retract_where(&mut self, mut gone: impl FnMut(&Fact) -> bool) -> usize {
+        // Collect the doomed positions first (ascending by construction),
+        // then splice both indexes in place: surviving entries shift down
+        // by the number of removals below them. This keeps a retract at
+        // O(index entries) pointer work instead of rebuilding both maps
+        // with a String clone per fact — the store-side cost that would
+        // otherwise dominate the delta path churn exists to make cheap.
+        let mut removed_at: Vec<usize> = Vec::new();
+        let mut removed: Vec<Fact> = Vec::new();
         for (i, f) in self.facts.iter().enumerate() {
-            self.by_predicate.entry(f.predicate.clone()).or_default().push(i);
-            self.by_subject.entry(f.subject.clone()).or_default().push(i);
+            if gone(f) {
+                removed_at.push(i);
+                removed.push(f.clone());
+            }
         }
+        if removed_at.is_empty() {
+            return 0;
+        }
+        let mut i = 0;
+        let mut r = 0;
+        self.facts.retain(|_| {
+            let dead = r < removed_at.len() && removed_at[r] == i;
+            if dead {
+                r += 1;
+            }
+            i += 1;
+            !dead
+        });
+        let splice = |map: &mut FnvHashMap<String, Vec<usize>>| {
+            map.retain(|_, positions| {
+                positions.retain_mut(|pos| match removed_at.binary_search(pos) {
+                    Ok(_) => false,
+                    Err(below) => {
+                        *pos -= below;
+                        true
+                    }
+                });
+                !positions.is_empty()
+            });
+        };
+        splice(&mut self.by_predicate);
+        splice(&mut self.by_subject);
+        for f in removed {
+            self.record(FactDelta::Retract(f));
+        }
+        removed_at.len()
     }
 
     /// All facts, grouped by subject (for distribution into the store).
@@ -364,6 +520,20 @@ impl FactSource for InMemoryFacts {
             }
         }
     }
+
+    fn version(&self) -> Option<FactsVersion> {
+        Some(FactsVersion { source: self.source, epoch: self.epoch })
+    }
+
+    fn for_each_delta_since(&self, epoch: u64, f: &mut dyn FnMut(&FactDelta)) -> bool {
+        if epoch < self.log_base || epoch > self.epoch {
+            return false;
+        }
+        for d in self.log.iter().skip((epoch - self.log_base) as usize) {
+            f(d);
+        }
+        true
+    }
 }
 
 #[cfg(test)]
@@ -437,5 +607,93 @@ mod tests {
         assert_eq!(Term::str("a").to_string(), "\"a\"");
         assert_eq!(Term::Int(4).to_string(), "4");
         assert_eq!(Fact::new("a", "b", Term::Int(1)).to_string(), "a b 1");
+    }
+
+    #[test]
+    fn delta_feed_replays_mutations_in_order() {
+        let mut kb = InMemoryFacts::new();
+        let v0 = kb.version().unwrap();
+        assert_eq!(v0.epoch, 0);
+        kb.add(Fact::new("bob", "likes", Term::str("ice cream")));
+        kb.add(Fact::new("bob", "likes", Term::str("golf")));
+        assert_eq!(kb.retract("bob", "likes", &Term::str("golf")), 1);
+        assert_eq!(kb.version().unwrap().epoch, 3);
+        let mut seen = Vec::new();
+        assert!(kb.for_each_delta_since(0, &mut |d| seen.push(d.clone())));
+        assert_eq!(seen.len(), 3);
+        assert!(matches!(&seen[0], FactDelta::Insert(f) if f.object.as_str() == Some("ice cream")));
+        assert!(matches!(&seen[2], FactDelta::Retract(f) if f.object.as_str() == Some("golf")));
+        // Mid-stream replay only sees the tail.
+        let mut tail = Vec::new();
+        assert!(kb.for_each_delta_since(2, &mut |d| tail.push(d.clone())));
+        assert_eq!(tail.len(), 1);
+        // A future epoch is unavailable.
+        assert!(!kb.for_each_delta_since(99, &mut |_| {}));
+    }
+
+    #[test]
+    fn remove_subject_emits_one_retract_per_fact() {
+        let mut kb = kb();
+        let e = kb.epoch();
+        assert_eq!(kb.remove_subject("bob"), 4);
+        let mut retracts = 0;
+        assert!(kb.for_each_delta_since(e, &mut |d| {
+            assert!(matches!(d, FactDelta::Retract(f) if f.subject == "bob"));
+            retracts += 1;
+        }));
+        assert_eq!(retracts, 4);
+        // Retracting nothing does not advance the epoch.
+        assert_eq!(kb.retract("zoe", "likes", &Term::str("x")), 0);
+        assert_eq!(kb.epoch(), e + 4);
+    }
+
+    #[test]
+    fn targeted_retract_splices_indexes() {
+        let mut kb = InMemoryFacts::new();
+        kb.add(Fact::new("a", "p", Term::Int(1)));
+        kb.add(Fact::new("b", "p", Term::Int(2)));
+        kb.add(Fact::new("a", "q", Term::Int(3)));
+        kb.add(Fact::new("c", "p", Term::Int(4)));
+        assert_eq!(kb.retract("b", "p", &Term::Int(2)), 1);
+        // Shifted survivors still resolve through both indexes.
+        assert_eq!(kb.query(Some("a"), Some("q")).next().unwrap().object, Term::Int(3));
+        assert_eq!(kb.query(None, Some("p")).count(), 2);
+        assert_eq!(kb.query(Some("c"), None).count(), 1);
+        // Subsequent adds land on correct positions after the splice.
+        kb.add(Fact::new("d", "p", Term::Int(5)));
+        assert_eq!(kb.query(None, Some("p")).count(), 3);
+        assert_eq!(kb.query(Some("d"), Some("p")).count(), 1);
+        // Validity bounds are not part of the match: the windowed
+        // variant of the triple is retracted along with the plain one.
+        kb.add(
+            Fact::new("d", "p", Term::Int(5))
+                .valid_between(SimTime::from_secs(1), SimTime::from_secs(2)),
+        );
+        assert_eq!(kb.retract("d", "p", &Term::Int(5)), 2);
+        assert_eq!(kb.query(Some("d"), None).count(), 0);
+    }
+
+    #[test]
+    fn clones_get_a_fresh_source_id_and_empty_log() {
+        let mut kb = InMemoryFacts::new();
+        kb.add(Fact::new("bob", "likes", Term::str("ice cream")));
+        let twin = kb.clone();
+        assert_ne!(kb.version().unwrap().source, twin.version().unwrap().source);
+        // The clone's history is unavailable: consumers must rebuild.
+        assert!(!twin.for_each_delta_since(0, &mut |_| {}));
+        assert_eq!(twin.len(), 1);
+    }
+
+    #[test]
+    fn overflowing_log_reports_truncation() {
+        let mut kb = InMemoryFacts::new();
+        for i in 0..(super::DELTA_LOG_CAP + 10) {
+            kb.add(Fact::new(format!("s{i}"), "p", Term::Int(i as i64)));
+        }
+        assert!(!kb.for_each_delta_since(0, &mut |_| {}), "oldest span truncated");
+        let recent = kb.epoch() - 5;
+        let mut n = 0;
+        assert!(kb.for_each_delta_since(recent, &mut |_| n += 1));
+        assert_eq!(n, 5);
     }
 }

@@ -7,7 +7,11 @@
 //! semi-structured data". This crate provides the synthetic equivalent:
 //!
 //! * [`Fact`]s — subject/predicate/object triples with optional validity
-//!   intervals, behind the [`FactSource`] query trait used by matchlets,
+//!   intervals, behind the [`FactSource`] query trait used by matchlets.
+//!   [`InMemoryFacts`] additionally keeps an insert/retract change feed
+//!   ([`FactDelta`] + [`FactsVersion`] epochs) that incremental consumers
+//!   — the matchlet engine's alpha/beta memories — repair their indexes
+//!   from instead of re-reading the store,
 //! * [`gis`] — a spatial directory (places, streets, opening hours,
 //!   haversine geometry) including the St Andrews scene of the paper's
 //!   ice-cream scenario,
@@ -40,7 +44,7 @@ pub mod ontology;
 pub mod profile;
 
 pub use distributed::DistributedKnowledge;
-pub use fact::{Fact, FactSource, InMemoryFacts, Term};
+pub use fact::{Fact, FactDelta, FactSource, FactsVersion, InMemoryFacts, Term};
 pub use gis::{Place, PlaceDirectory};
 pub use ontology::{
     LexicalMatcher, Ontology, RetrievalScores, ServiceDescription, SpecMatcher, TextMatcher,

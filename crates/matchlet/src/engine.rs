@@ -1,6 +1,7 @@
 //! The matchlet engine: windowed multi-event joins driving rule firing.
 //!
-//! The hot path is indexed and allocation-lean:
+//! The hot path is indexed, allocation-lean, and — when the knowledge
+//! plane exposes a change feed — *delta-driven* (Rete-style):
 //!
 //! - a **kind index** maps event kinds to the `(rule, pattern)` pairs
 //!   that listen for them, so an event never touches a rule that cannot
@@ -11,14 +12,32 @@
 //!   patterns share, falling back to a nested loop only for tiny buffers
 //!   or variable-disjoint (cartesian) joins;
 //! - bindings are flat `(Symbol, Term)` vectors ([`Bindings`]), so
-//!   environments clone in one allocation and compare keys by integer.
+//!   environments clone in one allocation and compare keys by integer;
+//! - **alpha memories** index, per predicate a rule's goals read, the
+//!   live facts of that predicate bucketed by an FNV fingerprint of the
+//!   subject. They are *repaired* from the knowledge plane's
+//!   insert/retract deltas ([`FactDelta`]) instead of rebuilt, and track
+//!   the validity-window boundaries of their facts;
+//! - **beta memories** memoise, per rule, the solutions of the rule's
+//!   `where`-goal chain keyed by an exact fingerprint of the bindings the
+//!   goals read. A solution set is reused until a delta touches one of
+//!   the rule's predicates or a fact validity boundary is crossed — so in
+//!   the steady state (facts churning slowly under event traffic, the
+//!   architecture's dominant regime) `on_event` probes two hash tables
+//!   instead of re-solving joins over the knowledge base.
+//!
+//! Rules whose conditions read dynamic state the memo cannot see — a
+//! `fact(...)` call *inside* an expression, or the clock builtins `now` /
+//! `minutes_of_day` — are solved from scratch every firing, exactly as
+//! before. Equivalence with from-scratch re-solving is property-tested in
+//! `tests/engine_equivalence.rs`.
 
-use crate::ast::{EventPattern, Pat, Rule};
+use crate::ast::{EventPattern, Expr, Goal, Pat, Rule};
 use crate::eval::{eval, solve_mut, unify, Bindings};
 use crate::parser::{parse_rules, MatchletError};
 use crate::symbol::Symbol;
 use gloss_event::{AttrValue, Event};
-use gloss_knowledge::{FactSource, Term};
+use gloss_knowledge::{Fact, FactDelta, FactSource, FactsVersion, Term};
 use gloss_sim::FnvHashMap;
 use gloss_sim::SimTime;
 use gloss_xml::Path;
@@ -81,6 +100,371 @@ impl CompiledPattern {
     }
 }
 
+// --- alpha memories: the engine-side fact index --------------------------
+
+/// FNV-1a of a string (the subject-bucket fingerprint).
+fn fnv_str(s: &str) -> u64 {
+    gloss_sim::fnv1a(s.as_bytes())
+}
+
+/// The live facts of one predicate, in knowledge-base insertion order
+/// (a tombstoned slab, so retractions never reorder survivors), bucketed
+/// by subject fingerprint for the solver's subject-hinted probes.
+#[derive(Debug, Clone, Default)]
+struct AlphaMemory {
+    /// Facts in insertion order; `None` = retracted.
+    facts: Vec<Option<Fact>>,
+    /// Subject fingerprint → slab indices, ascending (insertion order).
+    by_subject: FnvHashMap<u64, Vec<u32>>,
+    /// Validity-window boundaries (µs) of the indexed facts, sorted. A
+    /// retracted fact's boundaries linger until the next compaction —
+    /// safe either way: a stale boundary can only force a spurious memo
+    /// recompute, never a stale hit.
+    boundaries: Vec<u64>,
+    /// Engine change stamp of the last mutation (memo invalidation).
+    last_change: u64,
+    /// Live (non-tombstoned) fact count.
+    live: usize,
+}
+
+impl AlphaMemory {
+    fn add_boundaries(&mut self, fact: &Fact) {
+        for b in [fact.valid_from, fact.valid_to].into_iter().flatten() {
+            let m = b.as_micros();
+            if let Err(pos) = self.boundaries.binary_search(&m) {
+                self.boundaries.insert(pos, m);
+            }
+        }
+    }
+
+    fn insert(&mut self, fact: Fact) {
+        self.add_boundaries(&fact);
+        let id = self.facts.len() as u32;
+        self.by_subject.entry(fnv_str(&fact.subject)).or_default().push(id);
+        self.facts.push(Some(fact));
+        self.live += 1;
+    }
+
+    /// Removes the first live fact matching `fact` bit-exactly (among
+    /// equal facts the choice is observationally irrelevant). Bit-exact
+    /// rather than derived `PartialEq`: a retract delta carries a clone
+    /// of the removed fact, and `NaN != NaN` under `==` would leave a
+    /// NaN-valued fact stranded in the index forever.
+    fn retract(&mut self, fact: &Fact) {
+        let Some(ids) = self.by_subject.get(&fnv_str(&fact.subject)) else {
+            return;
+        };
+        for &id in ids {
+            let slot = &mut self.facts[id as usize];
+            if slot.as_ref().is_some_and(|f| fact_exact_eq(f, fact)) {
+                *slot = None;
+                self.live -= 1;
+                self.maybe_compact();
+                return;
+            }
+        }
+    }
+
+    fn maybe_compact(&mut self) {
+        if self.facts.len() < 64 || self.live * 2 >= self.facts.len() {
+            return;
+        }
+        let old = std::mem::take(&mut self.facts);
+        self.by_subject.clear();
+        // Boundaries rebuild from the survivors in the same pass: safe,
+        // because every retraction bumps this memory's change stamp, so
+        // memo entries that consulted the old boundary set are already
+        // condemned before their next probe.
+        self.boundaries.clear();
+        for fact in old.into_iter().flatten() {
+            self.add_boundaries(&fact);
+            let id = self.facts.len() as u32;
+            self.by_subject.entry(fnv_str(&fact.subject)).or_default().push(id);
+            self.facts.push(Some(fact));
+        }
+    }
+
+    /// Whether no validity boundary lies in `(lo, hi]` (µs): a solution
+    /// computed at `lo` is still fact-for-fact identical at `hi`.
+    fn quiet_between(&self, lo: u64, hi: u64) -> bool {
+        let i = self.boundaries.partition_point(|&x| x <= lo);
+        self.boundaries.get(i).is_none_or(|&x| x > hi)
+    }
+
+    /// Enumerates facts valid at `t`, mirroring the knowledge base's own
+    /// iteration order exactly (insertion order within the predicate).
+    fn for_each_at(&self, subject: Option<&str>, t: SimTime, f: &mut dyn FnMut(&Fact)) {
+        match subject {
+            Some(s) => {
+                let Some(ids) = self.by_subject.get(&fnv_str(s)) else {
+                    return;
+                };
+                for &id in ids {
+                    if let Some(fact) = &self.facts[id as usize] {
+                        if fact.subject == s && fact.valid_at(t) {
+                            f(fact);
+                        }
+                    }
+                }
+            }
+            None => {
+                for fact in self.facts.iter().flatten() {
+                    if fact.valid_at(t) {
+                        f(fact);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A [`FactSource`] view over the alpha memories: memo-miss re-solves
+/// enumerate facts from here instead of the raw knowledge base. Only ever
+/// probed with the static predicates of memoised rules, all of which are
+/// indexed.
+struct AlphaView<'v> {
+    alphas: &'v FnvHashMap<String, AlphaMemory>,
+}
+
+impl FactSource for AlphaView<'_> {
+    fn query<'a>(
+        &'a self,
+        subject: Option<&'a str>,
+        predicate: Option<&'a str>,
+    ) -> Box<dyn Iterator<Item = &'a Fact> + 'a> {
+        let Some(mem) = predicate.and_then(|p| self.alphas.get(p)) else {
+            return Box::new(std::iter::empty());
+        };
+        match subject {
+            Some(s) => {
+                let ids: &[u32] = mem.by_subject.get(&fnv_str(s)).map_or(&[], Vec::as_slice);
+                Box::new(
+                    ids.iter()
+                        .filter_map(|&id| mem.facts[id as usize].as_ref())
+                        .filter(move |f| f.subject == s),
+                )
+            }
+            None => Box::new(mem.facts.iter().flatten()),
+        }
+    }
+
+    fn for_each_at(
+        &self,
+        subject: Option<&str>,
+        predicate: Option<&str>,
+        t: SimTime,
+        f: &mut dyn FnMut(&Fact),
+    ) {
+        if let Some(mem) = predicate.and_then(|p| self.alphas.get(p)) {
+            mem.for_each_at(subject, t, f);
+        }
+    }
+}
+
+// --- beta memories: memoised goal solutions ------------------------------
+
+/// Hard cap on distinct memo keys per rule; past it the table resets (a
+/// backstop against unbounded key cardinality, not a tuning knob).
+const MEMO_KEYS_MAX: usize = 1024;
+
+/// How a rule's `where` goals are solved.
+#[derive(Debug, Clone)]
+enum SolvePlan {
+    /// Goals read only static-predicate facts and pure builtins: their
+    /// solutions are memoised against the alpha memories.
+    Memo {
+        /// The (static) predicates the goals enumerate.
+        predicates: Vec<String>,
+        /// Every variable the goals mention, sorted: the projection of an
+        /// input environment onto these determines the solve outcome.
+        input_vars: Vec<Symbol>,
+    },
+    /// Goals read dynamic state (`fact(...)` inside an expression, or a
+    /// clock builtin) — or read no facts at all, making memoisation pure
+    /// overhead: re-solved from scratch every firing.
+    Direct,
+}
+
+fn expr_reads_dynamic_state(expr: &Expr) -> bool {
+    match expr {
+        Expr::Lit(_) | Expr::Var(_) => false,
+        Expr::Call(name, args) => {
+            crate::builtin::reads_dynamic_state(name) || args.iter().any(expr_reads_dynamic_state)
+        }
+        Expr::Binary(_, l, r) => expr_reads_dynamic_state(l) || expr_reads_dynamic_state(r),
+        Expr::Not(e) | Expr::Neg(e) => expr_reads_dynamic_state(e),
+    }
+}
+
+fn collect_expr_vars(expr: &Expr, vars: &mut Vec<Symbol>) {
+    match expr {
+        Expr::Lit(_) => {}
+        Expr::Var(v) => vars.push(*v),
+        Expr::Call(_, args) => args.iter().for_each(|a| collect_expr_vars(a, vars)),
+        Expr::Binary(_, l, r) => {
+            collect_expr_vars(l, vars);
+            collect_expr_vars(r, vars);
+        }
+        Expr::Not(e) | Expr::Neg(e) => collect_expr_vars(e, vars),
+    }
+}
+
+fn plan_for(rule: &Rule) -> SolvePlan {
+    let mut predicates: Vec<String> = Vec::new();
+    let mut vars: Vec<Symbol> = Vec::new();
+    for goal in &rule.goals {
+        match goal {
+            Goal::Fact { subject, predicate, object } => {
+                if !predicates.iter().any(|p| p == predicate) {
+                    predicates.push(predicate.clone());
+                }
+                for pat in [subject, object] {
+                    if let Pat::Var(v) = pat {
+                        vars.push(*v);
+                    }
+                }
+            }
+            Goal::Cond(expr) => {
+                if expr_reads_dynamic_state(expr) {
+                    return SolvePlan::Direct;
+                }
+                collect_expr_vars(expr, &mut vars);
+            }
+        }
+    }
+    if predicates.is_empty() {
+        return SolvePlan::Direct;
+    }
+    vars.sort_unstable();
+    vars.dedup();
+    SolvePlan::Memo { predicates, input_vars: vars }
+}
+
+/// One memoised solve: the exact goal-input projection it was computed
+/// for, when, and the binding suffixes each solution appended.
+#[derive(Debug, Clone)]
+struct MemoEntry {
+    /// Values of the plan's `input_vars` in the input environment
+    /// (`None` = unbound), compared *exactly* — variant- and
+    /// bit-sensitive, because e.g. `Int(3)` and `Float(3.0)` are
+    /// `eq_term`-equal yet divide differently.
+    key: Vec<Option<Term>>,
+    computed_at: SimTime,
+    /// Per solution, the bindings the solve appended beyond the input
+    /// environment, in solve order.
+    solutions: Vec<Vec<(Symbol, Term)>>,
+    /// Condition-evaluation errors the solve produced (replayed into the
+    /// engine stats so memoisation never hides misconfigured rules).
+    solve_errors: u64,
+}
+
+#[derive(Debug, Clone, Default)]
+struct RuleMemo {
+    table: FnvHashMap<u64, Vec<MemoEntry>>,
+    /// Alpha change stamp the table is valid against.
+    stamp: u64,
+}
+
+/// Bit-exact fact equality (the alpha retract match: the delta carries a
+/// clone of the removed fact, so every field matches bitwise).
+fn fact_exact_eq(a: &Fact, b: &Fact) -> bool {
+    a.subject == b.subject
+        && a.predicate == b.predicate
+        && term_exact_eq(&a.object, &b.object)
+        && a.valid_from == b.valid_from
+        && a.valid_to == b.valid_to
+}
+
+/// Exact (variant- and bit-sensitive) term equality for memo keys.
+fn term_exact_eq(a: &Term, b: &Term) -> bool {
+    match (a, b) {
+        (Term::Str(x), Term::Str(y)) => x == y,
+        (Term::Int(x), Term::Int(y)) => x == y,
+        (Term::Float(x), Term::Float(y)) => x.to_bits() == y.to_bits(),
+        (Term::Bool(x), Term::Bool(y)) => x == y,
+        (Term::Geo(x), Term::Geo(y)) => {
+            x.lat.to_bits() == y.lat.to_bits() && x.lon.to_bits() == y.lon.to_bits()
+        }
+        (Term::Time(x), Term::Time(y)) => x == y,
+        _ => false,
+    }
+}
+
+fn keys_exact_eq(a: &[Option<Term>], b: &[Option<Term>]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(x, y)| match (x, y) {
+            (None, None) => true,
+            (Some(x), Some(y)) => term_exact_eq(x, y),
+            _ => false,
+        })
+}
+
+fn key_fingerprint(key: &[Option<Term>]) -> u64 {
+    use std::hash::Hasher as _;
+    let mut h = gloss_sim::FnvHasher::default();
+    for slot in key {
+        match slot {
+            None => h.write_u8(0),
+            Some(Term::Str(s)) => {
+                h.write_u8(1);
+                h.write(s.as_bytes());
+                h.write_u8(0xff);
+            }
+            Some(Term::Int(i)) => {
+                h.write_u8(2);
+                h.write_u64(*i as u64);
+            }
+            Some(Term::Float(f)) => {
+                h.write_u8(3);
+                h.write_u64(f.to_bits());
+            }
+            Some(Term::Bool(b)) => {
+                h.write_u8(4);
+                h.write_u8(*b as u8);
+            }
+            Some(Term::Geo(g)) => {
+                h.write_u8(5);
+                h.write_u64(g.lat.to_bits());
+                h.write_u64(g.lon.to_bits());
+            }
+            Some(Term::Time(t)) => {
+                h.write_u8(6);
+                h.write_u64(t.as_micros());
+            }
+        }
+    }
+    h.finish()
+}
+
+/// Whether, for every predicate in `predicates`, no validity boundary
+/// lies strictly between the two instants (so a solution computed at one
+/// is fact-for-fact identical at the other).
+fn boundaries_quiet(
+    alphas: &FnvHashMap<String, AlphaMemory>,
+    predicates: &[String],
+    a: SimTime,
+    b: SimTime,
+) -> bool {
+    if a == b {
+        return true;
+    }
+    let (lo, hi) =
+        if a < b { (a.as_micros(), b.as_micros()) } else { (b.as_micros(), a.as_micros()) };
+    predicates.iter().all(|p| alphas.get(p).is_none_or(|m| m.quiet_between(lo, hi)))
+}
+
+/// The memoisation context of one rule while an event fires it: the
+/// rule's beta memory (taken out of the rule for the duration), the
+/// shared alpha memories, and the plan's static metadata.
+struct MemoCtx<'a> {
+    memo: &'a mut RuleMemo,
+    alphas: &'a FnvHashMap<String, AlphaMemory>,
+    predicates: &'a [String],
+    input_vars: &'a [Symbol],
+    hits: u64,
+    misses: u64,
+}
+
 /// A rule plus its per-pattern event buffers.
 #[derive(Debug, Clone)]
 pub struct CompiledRule {
@@ -96,6 +480,10 @@ pub struct CompiledRule {
     /// Emit field names, parallel to `rule.emit.fields`, shared the same
     /// way.
     emit_keys: Vec<Arc<str>>,
+    /// How the goals are solved (memoised vs from scratch).
+    plan: SolvePlan,
+    /// Memoised goal solutions (empty for `Direct` rules).
+    memo: RuleMemo,
     /// How many times the rule has fired.
     pub fired: u64,
 }
@@ -106,7 +494,17 @@ impl CompiledRule {
         let buffers = vec![VecDeque::new(); rule.patterns.len()];
         let emit_kind = Arc::from(rule.emit.kind.as_str());
         let emit_keys = rule.emit.fields.iter().map(|(k, _)| Arc::from(k.as_str())).collect();
-        CompiledRule { rule, compiled, buffers, emit_kind, emit_keys, fired: 0 }
+        let plan = plan_for(&rule);
+        CompiledRule {
+            rule,
+            compiled,
+            buffers,
+            emit_kind,
+            emit_keys,
+            plan,
+            memo: RuleMemo::default(),
+            fired: 0,
+        }
     }
 
     fn evict_before(&mut self, cutoff: SimTime) {
@@ -133,6 +531,10 @@ pub struct EngineStats {
     pub events_out: u64,
     /// Where-clause evaluation errors (branches pruned).
     pub eval_errors: u64,
+    /// Firings served from a memoised goal solve.
+    pub memo_hits: u64,
+    /// Firings that had to re-solve their goals (and memoised the result).
+    pub memo_misses: u64,
 }
 
 impl EngineStats {
@@ -148,6 +550,11 @@ impl EngineStats {
 
 /// A matchlet engine hosting compiled rules.
 ///
+/// All hosted rules — however they were deployed — share one alpha index
+/// and one change-feed cursor per engine, so a node running many
+/// matchlets repairs its fact view once per knowledge update, not once
+/// per rule.
+///
 /// See the [crate docs](crate) for the language and an example.
 #[derive(Debug, Clone, Default)]
 pub struct MatchletEngine {
@@ -155,6 +562,21 @@ pub struct MatchletEngine {
     /// Event kind → `(rule index, pattern index)` pairs listening for it,
     /// in rule order. Rebuilt on rule addition/removal.
     kind_index: FnvHashMap<String, Vec<(u32, u32)>>,
+    /// Predicate → alpha memory, shared by every memoised rule.
+    alphas: FnvHashMap<String, AlphaMemory>,
+    /// The knowledge-base version the alpha memories reflect (`None` =
+    /// not synced / source has no change feed).
+    synced: Option<FactsVersion>,
+    /// Bumped whenever alpha contents change; compared against each
+    /// rule's memo stamp for invalidation.
+    change_stamp: u64,
+    /// Rule set changed since the last sync: alpha coverage must be
+    /// re-checked against the rules' plans.
+    plans_dirty: bool,
+    /// How many hosted rules have a memoisable plan; when zero, the
+    /// per-event sync is skipped entirely (direct-only engines pay
+    /// nothing for the delta machinery).
+    memo_rules: usize,
     /// Engine statistics.
     pub stats: EngineStats,
 }
@@ -190,16 +612,24 @@ impl MatchletEngine {
         Ok(())
     }
 
-    /// Adds one already-parsed rule.
+    /// Adds one already-parsed rule. Any predicate its goals read that is
+    /// not yet alpha-indexed gets indexed at the next event.
     pub fn add_rule(&mut self, rule: Rule) {
         let ri = self.rules.len() as u32;
         for (pi, pattern) in rule.patterns.iter().enumerate() {
             self.kind_index.entry(pattern.kind.clone()).or_default().push((ri, pi as u32));
         }
-        self.rules.push(CompiledRule::new(rule));
+        let compiled = CompiledRule::new(rule);
+        if matches!(compiled.plan, SolvePlan::Memo { .. }) {
+            self.memo_rules += 1;
+        }
+        self.rules.push(compiled);
+        self.plans_dirty = true;
     }
 
-    /// Removes a rule by name; returns whether it existed.
+    /// Removes a rule by name; returns whether it existed. Its beta
+    /// memory goes with it, and alpha memories no rule reads any more are
+    /// dropped (so unrelated fact churn stops costing index repairs).
     pub fn remove_rule(&mut self, name: &str) -> bool {
         let before = self.rules.len();
         self.rules.retain(|r| r.rule.name != name);
@@ -207,6 +637,16 @@ impl MatchletEngine {
             return false;
         }
         self.rebuild_kind_index();
+        let rules = &self.rules;
+        self.alphas.retain(|pred, _| {
+            rules.iter().any(|r| match &r.plan {
+                SolvePlan::Memo { predicates, .. } => predicates.iter().any(|p| p == pred),
+                SolvePlan::Direct => false,
+            })
+        });
+        self.memo_rules =
+            self.rules.iter().filter(|r| matches!(r.plan, SolvePlan::Memo { .. })).count();
+        self.plans_dirty = true;
         true
     }
 
@@ -232,6 +672,12 @@ impl MatchletEngine {
         &self.rules
     }
 
+    /// How many predicates are currently alpha-indexed (rules sharing a
+    /// predicate share the memory).
+    pub fn indexed_predicates(&self) -> usize {
+        self.alphas.len()
+    }
+
     /// Whether any rule listens for the given event kind (one index
     /// lookup; hosting layers call this per event).
     pub fn handles_kind(&self, kind: &str) -> bool {
@@ -250,9 +696,21 @@ impl MatchletEngine {
     pub fn on_event(&mut self, now: SimTime, event: &Event, kb: &dyn FactSource) -> Vec<Event> {
         self.stats.events_in += 1;
         let mut out = Vec::new();
-        let Some(entries) = self.kind_index.get(event.kind()) else {
+        let MatchletEngine {
+            rules,
+            kind_index,
+            alphas,
+            synced,
+            change_stamp,
+            plans_dirty,
+            memo_rules,
+            stats,
+        } = self;
+        let Some(entries) = kind_index.get(event.kind()) else {
             return out;
         };
+        let delta_active =
+            *memo_rules > 0 && sync(alphas, synced, change_stamp, plans_dirty, rules, kb);
         // Entries are grouped by rule (rule order, then pattern order).
         let mut i = 0;
         while i < entries.len() {
@@ -264,7 +722,7 @@ impl MatchletEngine {
             let pattern_entries = &entries[i..j];
             i = j;
 
-            let rule = &mut self.rules[ri];
+            let rule = &mut rules[ri];
             let window = rule.rule.window;
             let cutoff = if now.as_micros() > window.as_micros() {
                 SimTime::from_micros(now.as_micros() - window.as_micros())
@@ -286,40 +744,159 @@ impl MatchletEngine {
 
             // Single-pattern rules have no join partner, so their buffers
             // are never read: fire directly and skip buffering entirely.
-            let single = self.rules[ri].rule.patterns.len() == 1;
-            let rule = &self.rules[ri];
+            let single = rule.rule.patterns.len() == 1;
+            let memoised = delta_active && matches!(rule.plan, SolvePlan::Memo { .. });
+            // Take the beta memory out so solving can borrow the rule
+            // immutably while appending memo entries.
+            let mut memo =
+                if memoised { std::mem::take(&mut rule.memo) } else { RuleMemo::default() };
+            let rule = &rules[ri];
+            let mut memoctx = match &rule.plan {
+                SolvePlan::Memo { predicates, input_vars } if memoised => {
+                    // Invalidate on any delta that touched a predicate
+                    // this rule's goals read (and only then).
+                    let newest = predicates
+                        .iter()
+                        .filter_map(|p| alphas.get(p))
+                        .map(|a| a.last_change)
+                        .max()
+                        .unwrap_or(0);
+                    if newest > memo.stamp {
+                        memo.table.clear();
+                        memo.stamp = newest;
+                    }
+                    Some(MemoCtx {
+                        memo: &mut memo,
+                        alphas,
+                        predicates,
+                        input_vars,
+                        hits: 0,
+                        misses: 0,
+                    })
+                }
+                _ => None,
+            };
+
             let mut fired = 0u64;
             let mut errors = 0u64;
             if single {
-                for (p, bindings) in matched {
-                    join_and_fire(rule, p, bindings, now, kb, &mut out, &mut fired, &mut errors);
+                // Drain (moves the bindings): single-pattern rules never
+                // buffer, so nothing downstream reads `matched`.
+                for (_, bindings) in matched.drain(..) {
+                    fire(rule, &mut memoctx, bindings, kb, now, &mut out, &mut fired, &mut errors);
                 }
-                self.stats.eval_errors += errors;
-                self.rules[ri].fired += fired;
             } else {
                 for (p, bindings) in &matched {
                     join_and_fire(
                         rule,
                         *p,
                         bindings.clone(),
-                        now,
+                        &mut memoctx,
                         kb,
+                        now,
                         &mut out,
                         &mut fired,
                         &mut errors,
                     );
                 }
-                self.stats.eval_errors += errors;
-                let rule = &mut self.rules[ri];
-                rule.fired += fired;
+            }
+            stats.eval_errors += errors;
+            if let Some(ctx) = memoctx.take() {
+                stats.memo_hits += ctx.hits;
+                stats.memo_misses += ctx.misses;
+            }
+            let rule = &mut rules[ri];
+            if memoised {
+                rule.memo = memo;
+            }
+            rule.fired += fired;
+            if !single {
                 for (p, bindings) in matched {
                     rule.buffers[p].push_back((now, bindings));
                 }
             }
         }
-        self.stats.events_out += out.len() as u64;
+        stats.events_out += out.len() as u64;
         out
     }
+}
+
+/// Brings the alpha memories up to date with `kb`'s change feed (a free
+/// function over the engine's destructured fields, so `on_event` can
+/// hold its kind-index borrow across the call). Returns whether
+/// memoisation is usable for this event (`false` when the source has no
+/// feed, in which case every rule solves directly).
+fn sync(
+    alphas: &mut FnvHashMap<String, AlphaMemory>,
+    synced: &mut Option<FactsVersion>,
+    change_stamp: &mut u64,
+    plans_dirty: &mut bool,
+    rules: &[CompiledRule],
+    kb: &dyn FactSource,
+) -> bool {
+    let Some(v) = kb.version() else {
+        if synced.is_some() {
+            // The source cannot tell us what changed: drop the indexes
+            // and run direct until a delta-capable source comes back.
+            *synced = None;
+            alphas.clear();
+            *change_stamp += 1;
+        }
+        return false;
+    };
+    let up_to_date = match *synced {
+        Some(s) if s.source == v.source => {
+            if v.epoch == s.epoch {
+                true
+            } else {
+                // Repair the alpha memories from the delta span.
+                *change_stamp += 1;
+                let stamp = *change_stamp;
+                kb.for_each_delta_since(s.epoch, &mut |d| {
+                    let (fact, insert) = match d {
+                        FactDelta::Insert(f) => (f, true),
+                        FactDelta::Retract(f) => (f, false),
+                    };
+                    if let Some(mem) = alphas.get_mut(fact.predicate.as_str()) {
+                        mem.last_change = stamp;
+                        if insert {
+                            mem.insert(fact.clone());
+                        } else {
+                            mem.retract(fact);
+                        }
+                    }
+                })
+            }
+        }
+        _ => false,
+    };
+    if !up_to_date {
+        // A different store, or the feed was truncated past our cursor:
+        // rebuild from a full read.
+        *change_stamp += 1;
+        alphas.clear();
+        *plans_dirty = true;
+    }
+    if *plans_dirty {
+        let stamp = *change_stamp;
+        for rule in rules {
+            let SolvePlan::Memo { predicates, .. } = &rule.plan else {
+                continue;
+            };
+            for p in predicates {
+                if !alphas.contains_key(p.as_str()) {
+                    let mut mem = AlphaMemory { last_change: stamp, ..Default::default() };
+                    for fact in kb.query(None, Some(p)) {
+                        mem.insert(fact.clone());
+                    }
+                    alphas.insert(p.clone(), mem);
+                }
+            }
+        }
+        *plans_dirty = false;
+    }
+    *synced = Some(v);
+    true
 }
 
 /// Matches one precompiled pattern against an event, producing bindings.
@@ -359,15 +936,16 @@ fn join_and_fire(
     rule: &CompiledRule,
     fixed_pattern: usize,
     fixed_bindings: Bindings,
-    now: SimTime,
+    memo: &mut Option<MemoCtx<'_>>,
     kb: &dyn FactSource,
+    now: SimTime,
     out: &mut Vec<Event>,
     fired: &mut u64,
     errors: &mut u64,
 ) {
     if rule.compiled.len() == 1 {
         // No join partners: solve straight over the pattern's bindings.
-        fire(rule, fixed_bindings, kb, now, out, fired, errors);
+        fire(rule, memo, fixed_bindings, kb, now, out, fired, errors);
         return;
     }
     let mut envs = vec![fixed_bindings];
@@ -392,9 +970,9 @@ fn join_and_fire(
         // instead of materialising one more `envs` vector.
         let last = stage == stages;
         let mut next = Vec::with_capacity(if last { 0 } else { envs.len() });
-        let mut sink = |child: Bindings, out: &mut Vec<Event>| {
+        let mut sink = |child: Bindings, out: &mut Vec<Event>, memo: &mut Option<MemoCtx<'_>>| {
             if last {
-                fire(rule, child, kb, now, out, fired, errors);
+                fire(rule, memo, child, kb, now, out, fired, errors);
             } else {
                 next.push(child);
             }
@@ -426,7 +1004,7 @@ fn join_and_fire(
                                 for &idx in bucket {
                                     let (_, buffered) = &buffer[idx];
                                     if let Some(child) = env.merged(buffered) {
-                                        sink(child, out);
+                                        sink(child, out, memo);
                                     }
                                 }
                             }
@@ -436,7 +1014,7 @@ fn join_and_fire(
                         None => {
                             for (_, buffered) in buffer {
                                 if let Some(child) = env.merged(buffered) {
-                                    sink(child, out);
+                                    sink(child, out, memo);
                                 }
                             }
                         }
@@ -448,7 +1026,7 @@ fn join_and_fire(
             for env in &envs {
                 for (_, buffered) in buffer {
                     if let Some(child) = env.merged(buffered) {
-                        sink(child, out);
+                        sink(child, out, memo);
                     }
                 }
             }
@@ -468,11 +1046,46 @@ fn join_and_fire(
     }
 }
 
+/// Evaluates the emit spec over one solution and pushes the synthesised
+/// event (shared by the fresh-solve and memo-replay paths).
+#[inline]
+fn emit_one(
+    rule: &CompiledRule,
+    solution: &Bindings,
+    kb: &dyn FactSource,
+    now: SimTime,
+    out: &mut Vec<Event>,
+    fired: &mut u64,
+    emit_errors: &mut u64,
+) {
+    let mut ev = Event::new(rule.emit_kind.clone());
+    for (key, (_, expr)) in rule.emit_keys.iter().zip(&rule.rule.emit.fields) {
+        match eval(expr, solution, kb, now) {
+            Ok(term) => ev.set_attr(key.clone(), term_to_attr(&term)),
+            Err(_) => {
+                *emit_errors += 1;
+                return;
+            }
+        }
+    }
+    *fired += 1;
+    out.push(ev);
+}
+
 /// Solves the rule's where-goals over one join environment and emits one
-/// event per solution, directly from the solution callback (no cloning
-/// of goals, emit, solutions, or the environment itself).
+/// event per solution.
+///
+/// With a [`MemoCtx`] (delta-driven mode): the goal solve is served from
+/// the rule's beta memory when an entry with the same exact goal-input
+/// projection is present and no validity boundary of the rule's
+/// predicates was crossed since it was computed; otherwise the goals are
+/// re-solved against the alpha memories and the solution suffixes are
+/// memoised. Emit expressions are always evaluated fresh (they may read
+/// the clock or the raw knowledge base).
+#[allow(clippy::too_many_arguments)]
 fn fire(
     rule: &CompiledRule,
+    memo: &mut Option<MemoCtx<'_>>,
     mut env: Bindings,
     kb: &dyn FactSource,
     now: SimTime,
@@ -480,24 +1093,64 @@ fn fire(
     fired: &mut u64,
     errors: &mut u64,
 ) {
+    let Some(ctx) = memo.as_mut() else {
+        // Direct path: re-solve from scratch against the knowledge base.
+        let mut local_fired = 0u64;
+        let mut emit_errors = 0u64;
+        let solve_errors = solve_mut(&rule.rule.goals, &mut env, kb, now, &mut |solution| {
+            emit_one(rule, solution, kb, now, out, &mut local_fired, &mut emit_errors);
+        });
+        *fired += local_fired;
+        *errors += solve_errors + emit_errors;
+        return;
+    };
+
+    let key: Vec<Option<Term>> = ctx.input_vars.iter().map(|v| env.get_sym(*v).cloned()).collect();
+    let h = key_fingerprint(&key);
+    let hit = ctx.memo.table.get(&h).and_then(|bucket| {
+        bucket.iter().position(|e| {
+            keys_exact_eq(&e.key, &key)
+                && boundaries_quiet(ctx.alphas, ctx.predicates, e.computed_at, now)
+        })
+    });
+    if let Some(idx) = hit {
+        ctx.hits += 1;
+        let entry = &ctx.memo.table[&h][idx];
+        *errors += entry.solve_errors;
+        let mark = env.len();
+        let mut local_fired = 0u64;
+        let mut emit_errors = 0u64;
+        for suffix in &entry.solutions {
+            for (sym, term) in suffix {
+                env.push_raw(*sym, term.clone());
+            }
+            emit_one(rule, &env, kb, now, out, &mut local_fired, &mut emit_errors);
+            env.truncate(mark);
+        }
+        *fired += local_fired;
+        *errors += emit_errors;
+        return;
+    }
+
+    ctx.misses += 1;
+    let view = AlphaView { alphas: ctx.alphas };
+    let mark = env.len();
+    let mut solutions: Vec<Vec<(Symbol, Term)>> = Vec::new();
     let mut local_fired = 0u64;
     let mut emit_errors = 0u64;
-    let solve_errors = solve_mut(&rule.rule.goals, &mut env, kb, now, &mut |solution| {
-        let mut ev = Event::new(rule.emit_kind.clone());
-        for (key, (_, expr)) in rule.emit_keys.iter().zip(&rule.rule.emit.fields) {
-            match eval(expr, solution, kb, now) {
-                Ok(term) => ev.set_attr(key.clone(), term_to_attr(&term)),
-                Err(_) => {
-                    emit_errors += 1;
-                    return;
-                }
-            }
-        }
-        local_fired += 1;
-        out.push(ev);
+    let solve_errors = solve_mut(&rule.rule.goals, &mut env, &view, now, &mut |solution| {
+        solutions.push(solution.raw_entries()[mark..].to_vec());
+        emit_one(rule, solution, kb, now, out, &mut local_fired, &mut emit_errors);
     });
     *fired += local_fired;
     *errors += solve_errors + emit_errors;
+    if ctx.memo.table.len() >= MEMO_KEYS_MAX {
+        ctx.memo.table.clear();
+    }
+    let bucket = ctx.memo.table.entry(h).or_default();
+    // A boundary-stale entry for this key may linger; replace it.
+    bucket.retain(|e| !keys_exact_eq(&e.key, &key));
+    bucket.push(MemoEntry { key, computed_at: now, solutions, solve_errors });
 }
 
 /// Fingerprints the join variables' values in `env` into a hash key, or
@@ -906,5 +1559,257 @@ mod tests {
         let out = e.on_event(t(0), &Event::new("k"), &kb());
         assert!(out.is_empty());
         assert_eq!(e.stats.eval_errors, 1);
+    }
+
+    // --- delta-driven matching ------------------------------------------
+
+    const FACT_RULE: &str = r#"
+        rule suggest {
+            on w: event weather(celsius: ?c)
+            where fact(?u, likes, "ice cream") and fact(?u, nationality, ?nat)
+            where ?c >= hot_threshold(?nat)
+            within 1m
+            emit suggest(user: ?u)
+        }
+    "#;
+
+    #[test]
+    fn repeated_events_hit_the_memo() {
+        let kb = kb();
+        let mut e = MatchletEngine::compile(FACT_RULE).unwrap();
+        let ev = Event::new("weather").with_attr("celsius", 20.0);
+        for i in 0..10 {
+            let out = e.on_event(t(i), &ev, &kb);
+            assert_eq!(out.len(), 1, "bob suggested every event");
+        }
+        assert_eq!(e.stats.memo_misses, 1, "one fresh solve");
+        assert_eq!(e.stats.memo_hits, 9, "then replays");
+        assert_eq!(e.indexed_predicates(), 2, "likes + nationality");
+    }
+
+    #[test]
+    fn fact_churn_invalidates_and_repairs_incrementally() {
+        let mut kb = kb();
+        let mut e = MatchletEngine::compile(FACT_RULE).unwrap();
+        let ev = Event::new("weather").with_attr("celsius", 35.0);
+        assert_eq!(e.on_event(t(0), &ev, &kb).len(), 2, "bob and anna");
+        assert_eq!(e.on_event(t(1), &ev, &kb).len(), 2);
+        // Anna stops liking ice cream: the delta must reach the memo.
+        assert_eq!(kb.retract("anna", "likes", &Term::str("ice cream")), 1);
+        assert_eq!(e.on_event(t(2), &ev, &kb).len(), 1, "only bob now");
+        // A new fan appears mid-stream.
+        kb.add(Fact::new("zoe", "likes", Term::str("ice cream")));
+        kb.add(Fact::new("zoe", "nationality", Term::str("scottish")));
+        let out = e.on_event(t(3), &ev, &kb);
+        assert_eq!(out.len(), 2, "bob and zoe");
+        assert_eq!(out[1].str_attr("user"), Some("zoe"));
+        // Steady state again: served from the memo.
+        let hits = e.stats.memo_hits;
+        e.on_event(t(4), &ev, &kb);
+        assert!(e.stats.memo_hits > hits);
+    }
+
+    #[test]
+    fn unrelated_predicate_churn_keeps_memos_valid() {
+        let mut kb = kb();
+        let mut e = MatchletEngine::compile(FACT_RULE).unwrap();
+        let ev = Event::new("weather").with_attr("celsius", 20.0);
+        e.on_event(t(0), &ev, &kb);
+        let misses = e.stats.memo_misses;
+        // Churn on a predicate the rule never reads.
+        for i in 0..5 {
+            kb.add(Fact::new("bob", "visited", Term::Int(i)));
+            e.on_event(t(1 + i as u64), &ev, &kb);
+        }
+        assert_eq!(e.stats.memo_misses, misses, "no re-solve for unrelated churn");
+    }
+
+    #[test]
+    fn validity_windows_expire_out_of_the_memories() {
+        let mut kb = InMemoryFacts::new();
+        kb.add(
+            Fact::new("shop", "open", Term::Bool(true))
+                .valid_between(SimTime::from_secs(100), SimTime::from_secs(200)),
+        );
+        let src = r#"
+            rule visit {
+                on p: event ping()
+                where fact(?s, open, true)
+                within 1m
+                emit go(shop: ?s)
+            }
+        "#;
+        let mut e = MatchletEngine::compile(src).unwrap();
+        let ping = Event::new("ping");
+        assert!(e.on_event(t(50), &ping, &kb).is_empty(), "not open yet");
+        assert_eq!(e.on_event(t(150), &ping, &kb).len(), 1, "open");
+        assert_eq!(e.on_event(t(160), &ping, &kb).len(), 1, "memo hit inside window");
+        assert!(e.on_event(t(250), &ping, &kb).is_empty(), "expired out of the memo");
+        assert!(e.stats.memo_hits >= 1);
+    }
+
+    #[test]
+    fn rule_churn_invalidation_is_clean() {
+        let mut kb = kb();
+        let mut e = MatchletEngine::compile(FACT_RULE).unwrap();
+        let ev = Event::new("weather").with_attr("celsius", 20.0);
+        assert_eq!(e.on_event(t(0), &ev, &kb).len(), 1);
+        // A second rule sharing one predicate: the alpha memory is shared.
+        e.add_rules(
+            r#"rule fans { on q: event query() where fact(?u, likes, "ice cream") emit fan(user: ?u) }"#,
+        )
+        .unwrap();
+        assert_eq!(e.on_event(t(1), &Event::new("query"), &kb).len(), 2);
+        assert_eq!(e.indexed_predicates(), 2, "likes shared, nationality");
+        // Removing the first rule drops its predicate when unused.
+        assert!(e.remove_rule("suggest"));
+        assert_eq!(e.indexed_predicates(), 1, "nationality dropped, likes kept");
+        kb.add(Fact::new("zoe", "likes", Term::str("ice cream")));
+        assert_eq!(e.on_event(t(2), &Event::new("query"), &kb).len(), 3);
+        assert!(e.remove_rule("fans"));
+        assert_eq!(e.indexed_predicates(), 0);
+    }
+
+    #[test]
+    fn clock_reading_rules_stay_on_the_direct_path() {
+        let mut kb = InMemoryFacts::new();
+        kb.add(Fact::new("shop", "closes_at", Term::Int(17 * 60)));
+        let src = r#"
+            rule open_now {
+                on p: event ping()
+                where fact(?s, closes_at, ?c)
+                where minutes_of_day() < ?c
+                within 1m
+                emit go(shop: ?s)
+            }
+        "#;
+        let mut e = MatchletEngine::compile(src).unwrap();
+        // 10:00: open. 18:00: closed. Memoisation must not freeze the
+        // clock — the rule reads `minutes_of_day()`.
+        assert_eq!(e.on_event(SimTime::from_secs(10 * 3600), &Event::new("ping"), &kb).len(), 1);
+        assert_eq!(
+            e.on_event(SimTime::from_secs(10 * 3600 + 1), &Event::new("ping"), &kb).len(),
+            1
+        );
+        assert!(e.on_event(SimTime::from_secs(18 * 3600), &Event::new("ping"), &kb).is_empty());
+        assert_eq!(e.stats.memo_hits + e.stats.memo_misses, 0, "never memoised");
+    }
+
+    #[test]
+    fn sources_without_a_change_feed_disable_memoisation() {
+        /// A [`FactSource`] that hides its change feed.
+        struct Opaque<'a>(&'a InMemoryFacts);
+        impl FactSource for Opaque<'_> {
+            fn query<'b>(
+                &'b self,
+                subject: Option<&'b str>,
+                predicate: Option<&'b str>,
+            ) -> Box<dyn Iterator<Item = &'b Fact> + 'b> {
+                self.0.query(subject, predicate)
+            }
+        }
+        let kb = kb();
+        let mut e = MatchletEngine::compile(FACT_RULE).unwrap();
+        let ev = Event::new("weather").with_attr("celsius", 20.0);
+        assert_eq!(e.on_event(t(0), &ev, &Opaque(&kb)).len(), 1);
+        assert_eq!(e.on_event(t(1), &ev, &Opaque(&kb)).len(), 1);
+        assert_eq!(e.stats.memo_hits + e.stats.memo_misses, 0);
+        assert_eq!(e.indexed_predicates(), 0);
+        // Handing it a delta-capable source switches memoisation on.
+        assert_eq!(e.on_event(t(2), &ev, &kb).len(), 1);
+        assert_eq!(e.stats.memo_misses, 1);
+    }
+
+    #[test]
+    fn memo_respects_join_provided_bindings() {
+        // The goal reads ?u which arrives bound from the event: distinct
+        // users must not share a memo entry.
+        let src = r#"
+            rule likes_what {
+                on l: event seen(user: ?u)
+                where fact(?u, likes, ?what)
+                within 1m
+                emit pref(user: ?u, what: ?what)
+            }
+        "#;
+        let kb = kb();
+        let mut e = MatchletEngine::compile(src).unwrap();
+        let see = |u: &str| Event::new("seen").with_attr("user", u);
+        assert_eq!(e.on_event(t(0), &see("bob"), &kb).len(), 1);
+        assert_eq!(e.on_event(t(1), &see("anna"), &kb).len(), 1);
+        let out = e.on_event(t(2), &see("bob"), &kb);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].str_attr("user"), Some("bob"));
+        assert_eq!(e.stats.memo_misses, 2, "one per distinct user");
+        assert_eq!(e.stats.memo_hits, 1);
+    }
+
+    #[test]
+    fn nan_objects_retract_cleanly_from_the_alpha_index() {
+        // NaN != NaN under PartialEq; the alpha retract must match the
+        // delta's fact bit-exactly or the index diverges from the kb.
+        let mut kb = InMemoryFacts::new();
+        kb.add(Fact::new("s", "score", Term::Float(f64::NAN)));
+        let src = r#"rule r { on p: event ping() where fact(?u, score, ?v) emit out(u: ?u) }"#;
+        let mut e = MatchletEngine::compile(src).unwrap();
+        assert_eq!(e.on_event(t(0), &Event::new("ping"), &kb).len(), 1);
+        kb.remove_subject("s");
+        assert!(
+            e.on_event(t(1), &Event::new("ping"), &kb).is_empty(),
+            "retracted NaN fact must leave the alpha index"
+        );
+    }
+
+    #[test]
+    fn alpha_compaction_prunes_tombstones_and_stale_boundaries() {
+        let mut mem = AlphaMemory::default();
+        let windowed = |i: u64| {
+            Fact::new(format!("s{i}"), "p", Term::Int(i as i64))
+                .valid_between(SimTime::from_secs(i), SimTime::from_secs(i + 1000))
+        };
+        for i in 0..100 {
+            mem.insert(windowed(i));
+        }
+        assert_eq!(mem.boundaries.len(), 200);
+        for i in 0..80 {
+            mem.retract(&windowed(i));
+        }
+        assert_eq!(mem.live, 20);
+        // Compaction fired once, at the half-tombstone threshold (100
+        // slots, 49 live): the slab shrank and the 51 retracted facts'
+        // boundaries went with it. Below the 64-slot floor the remaining
+        // tombstones stay, by design.
+        assert_eq!(mem.facts.len(), 49, "slab compacted at the threshold");
+        assert_eq!(mem.boundaries.len(), 98, "compaction pruned stale boundaries");
+        // Survivors still enumerate, in insertion order, by subject.
+        let mut seen = Vec::new();
+        mem.for_each_at(None, SimTime::from_secs(999), &mut |f| seen.push(f.subject.clone()));
+        assert_eq!(seen.len(), 20);
+        assert_eq!(seen[0], "s80");
+        let mut hit = 0;
+        mem.for_each_at(Some("s90"), SimTime::from_secs(999), &mut |_| hit += 1);
+        assert_eq!(hit, 1);
+    }
+
+    #[test]
+    fn memo_does_not_conflate_int_and_float_keys() {
+        // Int(4) and Float(4.0) are eq_term-equal but divide differently;
+        // the memo key must keep them apart.
+        let src = r#"
+            rule halve {
+                on k: event k(v: ?v)
+                where fact(ok, is, true)
+                where ?v / 2 > 1
+                within 1m
+                emit h(half: ?v / 2)
+            }
+        "#;
+        let mut kb = InMemoryFacts::new();
+        kb.add(Fact::new("ok", "is", Term::Bool(true)));
+        let mut e = MatchletEngine::compile(src).unwrap();
+        let out = e.on_event(t(0), &Event::new("k").with_attr("v", 5i64), &kb);
+        assert_eq!(out[0].num_attr("half"), Some(2.0), "integer division");
+        let out = e.on_event(t(1), &Event::new("k").with_attr("v", 5.0), &kb);
+        assert_eq!(out[0].num_attr("half"), Some(2.5), "float division");
     }
 }

@@ -1,13 +1,23 @@
-//! Property test: the indexed, hash-joining engine is
+//! Property tests: the indexed, hash-joining, delta-memoising engine is
 //! semantics-preserving.
 //!
-//! A reference engine below transcribes the seed implementation's
-//! algorithm — scan every rule for every event, evict every buffer every
-//! event, join buffers with a clone-first nested loop — on top of the
-//! shared `unify`/`solve`/`eval` primitives. Random rule sets and event
-//! streams must produce identical outputs (kind + attributes,
-//! order-insensitive), identical per-rule fire behaviour, and identical
-//! error counts from both engines.
+//! Two references:
+//!
+//! 1. A transcription of the seed implementation's algorithm — scan every
+//!    rule for every event, evict every buffer every event, join buffers
+//!    with a clone-first nested loop — on top of the shared
+//!    `unify`/`solve`/`eval` primitives. Random rule sets and event
+//!    streams must produce identical outputs (kind + attributes,
+//!    order-insensitive), identical per-rule fire behaviour, and
+//!    identical error counts.
+//!
+//! 2. The engine *itself*, fed through an opaque `FactSource` wrapper
+//!    that hides the change feed — which forces a from-scratch re-solve
+//!    of every firing. Under random interleavings of fact inserts,
+//!    retracts, rule additions/removals, and events (including facts with
+//!    validity windows), the incremental engine's firings must be
+//!    **byte-identical in order** to the from-scratch twin's, and the
+//!    error/fire counters must agree exactly.
 
 use gloss_event::Event;
 use gloss_knowledge::{Fact, FactSource, InMemoryFacts, Term};
@@ -265,4 +275,219 @@ proptest! {
         let fired: u64 = engine.rules().iter().map(|r| r.fired).sum();
         prop_assert_eq!(engine.stats.events_out, fired);
     }
+}
+
+// --- incremental engine vs from-scratch re-solve -------------------------
+
+/// Hides a store's change feed: an engine fed through this wrapper can
+/// never memoise and re-solves every firing from scratch — the exact
+/// "from-scratch re-solve" semantics the incremental path must preserve.
+struct Opaque<'a>(&'a InMemoryFacts);
+
+impl FactSource for Opaque<'_> {
+    fn query<'b>(
+        &'b self,
+        subject: Option<&'b str>,
+        predicate: Option<&'b str>,
+    ) -> Box<dyn Iterator<Item = &'b Fact> + 'b> {
+        self.0.query(subject, predicate)
+    }
+
+    fn for_each_at(
+        &self,
+        subject: Option<&str>,
+        predicate: Option<&str>,
+        t: SimTime,
+        f: &mut dyn FnMut(&Fact),
+    ) {
+        self.0.for_each_at(subject, predicate, t, f)
+    }
+}
+
+/// Renders events order-sensitively (attribute maps iterate in name
+/// order, so each rendering is canonical; the *sequence* is compared).
+fn rendered(events: &[Event]) -> Vec<String> {
+    events
+        .iter()
+        .map(|e| {
+            let attrs: Vec<String> = e.attrs().map(|(k, v)| format!("{k}={v:?}")).collect();
+            format!("{}({})", e.kind(), attrs.join(","))
+        })
+        .collect()
+}
+
+/// One step of a random knowledge/rule/event interleaving.
+#[derive(Debug, Clone)]
+enum ChurnOp {
+    /// Advance time and offer an event.
+    Event(u64, Event),
+    /// Insert a fact, optionally with a validity window starting at the
+    /// current time plus the first offset and ending plus the second.
+    Insert { subject: String, object: Term, windowed: Option<(u64, u64)> },
+    /// Retract every fact matching `(subject, likes, object)`.
+    Retract { subject: String, object: Term },
+    /// Remove all facts about a subject.
+    RemoveSubject(String),
+    /// Hot-add one rule from source.
+    AddRule(String),
+    /// Remove a rule by name.
+    RemoveRule(usize),
+}
+
+fn arb_subject() -> impl Strategy<Value = String> {
+    prop_oneof![Just("ua"), Just("ub"), Just("uc")].prop_map(String::from)
+}
+
+fn arb_object() -> impl Strategy<Value = Term> {
+    prop_oneof![
+        prop_oneof![Just("ice"), Just("tea")].prop_map(Term::str),
+        (0i64..3).prop_map(Term::Int),
+    ]
+}
+
+/// Rule bodies over the churned predicates: fact enumerations with bound
+/// and unbound subjects, multi-goal chains, and a windowed two-pattern
+/// event join on top (wrapped in `rule aN { ... }` at apply time).
+fn arb_churn_rule_body() -> impl Strategy<Value = String> {
+    let bodies = prop_oneof![
+        Just("on a: event k0(f0: ?v0) where fact(?v0, likes, ?v2)".to_string()),
+        Just("on a: event k1() where fact(?v0, likes, \"ice\")".to_string()),
+        Just("on a: event k0(f0: ?v0) where fact(?v0, likes, ?v2) and fact(?v0, knows, ?v1)".to_string()),
+        Just("on a: event k1(f1: ?v1) on b: event k2(f1: ?v1) where fact(?v0, likes, ?v2) and ?v1 != 1".to_string()),
+        Just("on a: event k2(f0: ?v0, f1: ?v1) where fact(?v0, rank, ?v1)".to_string()),
+    ];
+    (bodies, 10u64..40).prop_map(|(body, win)| format!("{body} within {win} s emit out(u: ?v0)"))
+}
+
+fn arb_op() -> impl Strategy<Value = ChurnOp> {
+    let event = || arb_event().prop_map(|(dt, ev)| ChurnOp::Event(dt, ev));
+    let insert = || {
+        (arb_subject(), arb_object(), (0u64..4), (0u64..10), (10u64..30)).prop_map(
+            |(subject, object, w, from, to)| ChurnOp::Insert {
+                subject,
+                object,
+                windowed: (w == 0).then_some((from, to)),
+            },
+        )
+    };
+    // The vendored proptest has no weighted `prop_oneof!`; duplicate
+    // entries weight events and inserts over the rarer churn ops.
+    prop_oneof![
+        event(),
+        event(),
+        event(),
+        event(),
+        event(),
+        insert(),
+        insert(),
+        (arb_subject(), arb_object())
+            .prop_map(|(subject, object)| ChurnOp::Retract { subject, object }),
+        arb_subject().prop_map(ChurnOp::RemoveSubject),
+        arb_churn_rule_body().prop_map(ChurnOp::AddRule),
+        (0usize..4).prop_map(ChurnOp::RemoveRule),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn incremental_engine_matches_from_scratch_resolve(
+        base_rules in arb_rules(),
+        ops in proptest::collection::vec(arb_op(), 1..48),
+    ) {
+        let rules = parse_rules(&base_rules).expect("generated rules parse");
+        let mut incremental = MatchletEngine::new();
+        let mut scratch = MatchletEngine::new();
+        for rule in rules {
+            incremental.add_rule(rule.clone());
+            scratch.add_rule(rule);
+        }
+        let mut kb = kb();
+        kb.add(Fact::new("ua", "rank", Term::Int(1)));
+        kb.add(Fact::new("ub", "rank", Term::Int(2)));
+        let mut now = SimTime::ZERO;
+        let mut added = 0usize;
+        for op in &ops {
+            match op {
+                ChurnOp::Event(dt, ev) => {
+                    now += gloss_sim::SimDuration::from_secs(*dt);
+                    let got = incremental.on_event(now, ev, &kb);
+                    let expected = scratch.on_event(now, ev, &Opaque(&kb));
+                    prop_assert_eq!(
+                        rendered(&got),
+                        rendered(&expected),
+                        "diverged on event {} at {}",
+                        ev,
+                        now
+                    );
+                }
+                ChurnOp::Insert { subject, object, windowed } => {
+                    let mut fact = Fact::new(subject.clone(), "likes", object.clone());
+                    if let Some((from, to)) = windowed {
+                        fact = fact.valid_between(
+                            now + gloss_sim::SimDuration::from_secs(*from),
+                            now + gloss_sim::SimDuration::from_secs(*to),
+                        );
+                    }
+                    kb.add(fact);
+                }
+                ChurnOp::Retract { subject, object } => {
+                    kb.retract(subject, "likes", object);
+                }
+                ChurnOp::RemoveSubject(subject) => {
+                    kb.remove_subject(subject);
+                }
+                ChurnOp::AddRule(body) => {
+                    // Names cycle over a0..a3 so RemoveRule ops land on
+                    // real rules often (same-name rules are fine: removal
+                    // takes all of them, identically in both engines).
+                    let src = format!("rule a{} {{ {body} }}", added % 4);
+                    let parsed = parse_rules(&src).expect("churn rule parses");
+                    added += 1;
+                    for r in parsed {
+                        incremental.add_rule(r.clone());
+                        scratch.add_rule(r);
+                    }
+                }
+                ChurnOp::RemoveRule(i) => {
+                    let name = format!("a{i}");
+                    prop_assert_eq!(incremental.remove_rule(&name), scratch.remove_rule(&name));
+                }
+            }
+        }
+        prop_assert_eq!(incremental.stats.eval_errors, scratch.stats.eval_errors);
+        prop_assert_eq!(incremental.stats.events_out, scratch.stats.events_out);
+        let fired_inc: Vec<u64> = incremental.rules().iter().map(|r| r.fired).collect();
+        let fired_scr: Vec<u64> = scratch.rules().iter().map(|r| r.fired).collect();
+        prop_assert_eq!(fired_inc, fired_scr);
+    }
+}
+
+/// Validity windows must expire out of the alpha/beta memories: a memo
+/// computed while a windowed fact held must not replay once it lapses,
+/// and one computed before the window opens must not mask the opening.
+#[test]
+fn validity_windows_expire_out_of_alpha_and_beta_memories() {
+    let mut kb = InMemoryFacts::new();
+    kb.add(Fact::new("ua", "likes", Term::str("ice")));
+    kb.add(
+        Fact::new("ub", "likes", Term::str("ice"))
+            .valid_between(SimTime::from_secs(100), SimTime::from_secs(200)),
+    );
+    let src = r#"rule fans { on q: event k1() where fact(?v0, likes, "ice") emit out(u: ?v0) }"#;
+    let mut incremental = MatchletEngine::compile(src).unwrap();
+    let mut scratch = MatchletEngine::compile(src).unwrap();
+    let ev = Event::new("k1");
+    for secs in [0u64, 50, 99, 100, 150, 199, 200, 250, 150, 50] {
+        // (The last two go backwards: replay probes must handle any
+        // computed_at/now ordering.)
+        let now = SimTime::from_secs(secs);
+        let got = rendered(&incremental.on_event(now, &ev, &kb));
+        let expected = rendered(&scratch.on_event(now, &ev, &Opaque(&kb)));
+        assert_eq!(got, expected, "at t={secs}");
+        let inside = (100..200).contains(&secs);
+        assert_eq!(got.len(), if inside { 2 } else { 1 }, "ub only inside the window (t={secs})");
+    }
+    assert!(incremental.stats.memo_hits > 0, "steady spans were memoised");
 }

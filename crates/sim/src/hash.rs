@@ -36,6 +36,14 @@ impl Hasher for FnvHasher {
 /// `BuildHasher` for [`FnvHasher`].
 pub type FnvBuildHasher = BuildHasherDefault<FnvHasher>;
 
+/// FNV-1a of a byte string in one call — the fingerprint the matching
+/// core's alpha indexes bucket fact subjects by.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = FnvHasher::default();
+    h.write(bytes);
+    h.finish()
+}
+
 /// A `HashMap` keyed with FNV-1a.
 pub type FnvHashMap<K, V> = HashMap<K, V, FnvBuildHasher>;
 

@@ -76,7 +76,7 @@ pub mod trace;
 
 pub use engine::{link_stream_seed, Batch, Input, Node, Outbox, World};
 pub use failure::{ChurnEvent, ChurnKind, ChurnModel};
-pub use hash::{splitmix64, splitmix_unit, FnvBuildHasher, FnvHashMap, FnvHasher};
+pub use hash::{fnv1a, splitmix64, splitmix_unit, FnvBuildHasher, FnvHashMap, FnvHasher};
 pub use metrics::{CounterId, Histogram, MetricsRegistry, Summary};
 pub use rng::{SimRng, Zipf};
 pub use time::{SimDuration, SimTime};

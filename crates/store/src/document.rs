@@ -4,6 +4,7 @@ use bytes::Bytes;
 use gloss_overlay::Key;
 use gloss_sim::SimTime;
 use std::fmt;
+use std::sync::Arc;
 
 /// A stored document.
 ///
@@ -16,8 +17,10 @@ use std::fmt;
 pub struct Document {
     /// The overlay key the document lives under.
     pub guid: Key,
-    /// Human-readable name (hashes to `guid`).
-    pub name: String,
+    /// Human-readable name (hashes to `guid`). `Arc<str>` so cloning a
+    /// document — which replication, caching, and lookup replies do on
+    /// the hot path — bumps two refcounts instead of copying heap data.
+    pub name: Arc<str>,
     /// The payload.
     pub content: Bytes,
     /// Monotonic version; replicas keep the highest they have seen.
@@ -32,7 +35,7 @@ impl Document {
         let name = name.into();
         Document {
             guid: Key::hash_of_str(&name),
-            name,
+            name: name.into(),
             content: content.into(),
             version: 1,
             created_at: SimTime::ZERO,

@@ -131,19 +131,82 @@ fn invert(matrix: &[Vec<u8>]) -> Option<Vec<Vec<u8>>> {
     Some(inv)
 }
 
+/// Shard length below which building a 256-entry multiplication table is
+/// not amortised and the plain exp/log path wins.
+const MUL_TABLE_MIN_LEN: usize = 64;
+
+/// The full multiplication row `coef · x` for every byte `x`, built with
+/// 255 table lookups and then amortised over the whole shard: the inner
+/// loop becomes one load per byte instead of two log lookups, an add,
+/// and an exp lookup.
+fn mul_table(coef: u8) -> [u8; 256] {
+    let (exp, log) = tables();
+    let mut t = [0u8; 256];
+    let lc = log[coef as usize] as usize;
+    for (x, slot) in t.iter_mut().enumerate().skip(1) {
+        *slot = exp[lc + log[x] as usize];
+    }
+    t
+}
+
+/// `out ^= src`, eight bytes at a time (the identity-coefficient rows of
+/// the systematic matrix, and any other coefficient-1 term).
+fn xor_assign(out: &mut [u8], src: &[u8]) {
+    let mut o = out.chunks_exact_mut(8);
+    let mut s = src.chunks_exact(8);
+    for (oc, sc) in o.by_ref().zip(s.by_ref()) {
+        let x = u64::from_ne_bytes(oc.try_into().expect("8-byte chunk"))
+            ^ u64::from_ne_bytes(sc.try_into().expect("8-byte chunk"));
+        oc.copy_from_slice(&x.to_ne_bytes());
+    }
+    for (o, &b) in o.into_remainder().iter_mut().zip(s.remainder()) {
+        *o ^= b;
+    }
+}
+
+/// `out[i] ^= table[src[i]]`, unrolled in 8-byte strides so the loads
+/// pipeline (a table lookup per byte is unavoidable without SIMD
+/// gather, but the XOR accumulation needn't serialise on it).
+fn mul_xor(out: &mut [u8], src: &[u8], table: &[u8; 256]) {
+    let o = out.chunks_exact_mut(8);
+    let s = src.chunks_exact(8);
+    let (otail, stail) = (o.len() * 8, s.len() * 8);
+    for (oc, sc) in o.zip(s) {
+        oc[0] ^= table[sc[0] as usize];
+        oc[1] ^= table[sc[1] as usize];
+        oc[2] ^= table[sc[2] as usize];
+        oc[3] ^= table[sc[3] as usize];
+        oc[4] ^= table[sc[4] as usize];
+        oc[5] ^= table[sc[5] as usize];
+        oc[6] ^= table[sc[6] as usize];
+        oc[7] ^= table[sc[7] as usize];
+    }
+    for (o, &b) in out[otail..].iter_mut().zip(&src[stail..]) {
+        *o ^= table[b as usize];
+    }
+}
+
 /// Multiplies matrix rows by data columns: `rows` is `r × m`, `shards` is
 /// `m` equal-length slices; returns `r` output shards.
+///
+/// Each nonzero coefficient's multiplication table is built once per row
+/// use and amortised over the shard length; coefficient 1 (the whole
+/// systematic half of the encode matrix) degenerates to a word-wide XOR.
 fn matmul(rows: &[Vec<u8>], shards: &[&[u8]]) -> Vec<Vec<u8>> {
     let len = shards.first().map_or(0, |s| s.len());
     rows.iter()
         .map(|row| {
             let mut out = vec![0u8; len];
             for (coef, shard) in row.iter().zip(shards) {
-                if *coef == 0 {
-                    continue;
-                }
-                for (o, &b) in out.iter_mut().zip(shard.iter()) {
-                    *o ^= gf_mul(*coef, b);
+                match *coef {
+                    0 => {}
+                    1 => xor_assign(&mut out, shard),
+                    c if len >= MUL_TABLE_MIN_LEN => mul_xor(&mut out, shard, &mul_table(c)),
+                    c => {
+                        for (o, &b) in out.iter_mut().zip(shard.iter()) {
+                            *o ^= gf_mul(c, b);
+                        }
+                    }
                 }
             }
             out
@@ -399,5 +462,34 @@ mod tests {
     #[test]
     fn overhead_factor() {
         assert!((ErasureCode::new(4, 6).unwrap().overhead() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table_path_matches_scalar_multiplies() {
+        // Every coefficient's 256-entry row table must agree with gf_mul,
+        // and mul_xor/xor_assign must agree with the scalar loop on
+        // lengths spanning the 8-byte stride and the table threshold.
+        for coef in 1..=255u8 {
+            let t = mul_table(coef);
+            for x in 0..=255u8 {
+                assert_eq!(t[x as usize], gf_mul(coef, x), "coef {coef} x {x}");
+            }
+        }
+        let src: Vec<u8> = (0..300usize).map(|i| (i * 37 % 256) as u8).collect();
+        for len in [0usize, 1, 7, 8, 9, 63, 64, 65, 300] {
+            for coef in [1u8, 2, 29, 173, 255] {
+                let mut fast = vec![0x5au8; len];
+                let mut slow = fast.clone();
+                if coef == 1 {
+                    xor_assign(&mut fast, &src[..len]);
+                } else {
+                    mul_xor(&mut fast, &src[..len], &mul_table(coef));
+                }
+                for (o, &b) in slow.iter_mut().zip(&src[..len]) {
+                    *o ^= gf_mul(coef, b);
+                }
+                assert_eq!(fast, slow, "coef {coef} len {len}");
+            }
+        }
     }
 }

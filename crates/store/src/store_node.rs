@@ -8,7 +8,7 @@ use crate::placement::{
     BackupPolicy, LatencyReductionPolicy, NodeSite, PlacementAction, PlacementPolicy,
 };
 use gloss_overlay::{Key, OverlayMsg, OverlayNode};
-use gloss_sim::{NodeIndex, Outbox, SimDuration, SimTime};
+use gloss_sim::{FnvHashMap, NodeIndex, Outbox, SimDuration, SimTime};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Timer tags private to the storage layer (overlay tags pass through).
@@ -156,8 +156,9 @@ pub struct StoreNode {
     backup_policy: Option<BackupPolicy>,
     /// Nodes we have pushed policy replicas of each doc to.
     policy_holders: BTreeMap<Key, BTreeSet<NodeIndex>>,
-    /// Outcomes of lookups issued from this node, by request id.
-    pub outcomes: BTreeMap<u64, LookupOutcome>,
+    /// Outcomes of lookups issued from this node, by request id (FNV:
+    /// written once per lookup, probed by the discovery/ingest hooks).
+    pub outcomes: FnvHashMap<u64, LookupOutcome>,
 }
 
 impl StoreNode {
@@ -182,7 +183,7 @@ impl StoreNode {
             latency_policy,
             backup_policy,
             policy_holders: BTreeMap::new(),
-            outcomes: BTreeMap::new(),
+            outcomes: FnvHashMap::default(),
         }
     }
 
@@ -399,22 +400,24 @@ impl StoreNode {
             } = &mut omsg
             {
                 if let Some((doc, from_cache)) = self.local_copy(*guid) {
-                    out.send(
-                        *reply_to,
-                        StoreMsg::FetchReply {
-                            req_id: *req_id,
-                            doc: doc.clone(),
-                            issued_at: *issued_at,
-                            from_cache,
-                            hops: *hops,
-                        },
-                    );
-                    // Cache along the path walked so far.
+                    // Cache along the path walked so far, then move the
+                    // copy into the reply (no clone for the common
+                    // empty-path case).
                     if self.cfg.cache_enabled {
                         for n in path.iter().filter(|n| **n != self.me) {
                             out.send(*n, StoreMsg::CachePush { doc: doc.clone() });
                         }
                     }
+                    out.send(
+                        *reply_to,
+                        StoreMsg::FetchReply {
+                            req_id: *req_id,
+                            doc,
+                            issued_at: *issued_at,
+                            from_cache,
+                            hops: *hops,
+                        },
+                    );
                     self.after_serve(*guid, *reply_to, now, out);
                     return;
                 }
@@ -431,10 +434,10 @@ impl StoreNode {
                 StorePayload::Insert { doc } => {
                     let guid = doc.guid;
                     out.count("store.inserts_rooted", 1.0);
-                    self.put_local(doc.clone());
                     for target in self.replica_targets(guid) {
                         out.send(target, StoreMsg::ReplicaPut { doc: doc.clone() });
                     }
+                    self.put_local(doc);
                     // Backup policy: remote replica as soon as created.
                     if self.backup_policy.is_some() {
                         if let Some(site) = self.site_of(self.me).cloned() {
@@ -510,10 +513,10 @@ impl StoreNode {
             // We are the root ourselves.
             if let StorePayload::Insert { doc } = d.payload {
                 let guid = doc.guid;
-                self.put_local(doc.clone());
                 for target in self.replica_targets(guid) {
                     out.send(target, StoreMsg::ReplicaPut { doc: doc.clone() });
                 }
+                self.put_local(doc);
             }
         }
     }
