@@ -1,0 +1,175 @@
+//! Pass 3: whole-broker covering audit.
+//!
+//! Pairwise [`Filter::covers`] over a node's subscription table: a
+//! subscription covered by another is *redundant* — every event it would
+//! deliver is already delivered — and for overlapping same-kind pairs a
+//! merged cover is proposed (the constraints of one filter that the
+//! other's imply; by construction it covers both). This is the
+//! groundwork for a SIENA-style covering index: the audit findings are
+//! exactly the edges such an index would collapse.
+
+use crate::diag::Report;
+use gloss_event::{Filter, Subscription};
+use gloss_matchlet::Span;
+
+/// One redundant subscription.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Redundant {
+    /// The covered (redundant) subscription id.
+    pub covered: u64,
+    /// The subscription that already delivers everything it would.
+    pub by: u64,
+}
+
+/// A proposed merged cover for two overlapping subscriptions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MergeProposal {
+    /// First subscription id.
+    pub a: u64,
+    /// Second subscription id.
+    pub b: u64,
+    /// A filter covering both (broader than either).
+    pub merged: Filter,
+}
+
+/// The audit result.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CoveringAudit {
+    /// Subscriptions another subscription fully covers.
+    pub redundant: Vec<Redundant>,
+    /// Merged covers for overlapping, mutually-uncovered pairs.
+    pub merges: Vec<MergeProposal>,
+}
+
+/// Audits a subscription table.
+pub fn audit(subs: &[Subscription]) -> CoveringAudit {
+    let mut out = CoveringAudit::default();
+    for (i, a) in subs.iter().enumerate() {
+        for b in &subs[i + 1..] {
+            let a_covers = a.filter.covers(&b.filter);
+            let b_covers = b.filter.covers(&a.filter);
+            match (a_covers, b_covers) {
+                // Equal coverage: keep the earlier, flag the later.
+                (true, true) => out.redundant.push(Redundant { covered: b.id, by: a.id }),
+                (true, false) => out.redundant.push(Redundant { covered: b.id, by: a.id }),
+                (false, true) => out.redundant.push(Redundant { covered: a.id, by: b.id }),
+                (false, false) => {
+                    if let Some(merged) = merge_cover(&a.filter, &b.filter) {
+                        out.merges.push(MergeProposal { a: a.id, b: b.id, merged });
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// A filter covering both `a` and `b`: `a`'s kind (when shared) plus the
+/// constraints of `a` that some constraint of `b` implies. Every
+/// constraint kept is implied by `a` (it is one of `a`'s) and by `b`, so
+/// the result covers both. `None` when the filters target different
+/// kinds or share no implied constraint (the merge would be `[*]`,
+/// coarser than useful).
+pub fn merge_cover(a: &Filter, b: &Filter) -> Option<Filter> {
+    if a.kind() != b.kind() {
+        return None;
+    }
+    let kept: Vec<_> = a
+        .constraints()
+        .iter()
+        .filter(|ca| b.constraints().iter().any(|cb| ca.covers(cb)))
+        .cloned()
+        .collect();
+    if kept.is_empty() {
+        return None;
+    }
+    Some(Filter::from_parts(a.kind().map(str::to_owned), kept))
+}
+
+/// The audit as warnings (for metrics and the CLI).
+pub fn audit_report(subs: &[Subscription]) -> Report {
+    let audit = audit(subs);
+    let mut report = Report::new();
+    let find = |id: u64| subs.iter().find(|s| s.id == id).map(|s| s.filter.to_string());
+    for r in &audit.redundant {
+        report.warn(
+            "redundant-subscription",
+            None,
+            Span::default(),
+            format!(
+                "subscription {} `{}` is covered by subscription {} `{}`",
+                r.covered,
+                find(r.covered).unwrap_or_default(),
+                r.by,
+                find(r.by).unwrap_or_default(),
+            ),
+        );
+    }
+    for m in &audit.merges {
+        report.warn(
+            "merge-candidate",
+            None,
+            Span::default(),
+            format!("subscriptions {} and {} could forward as one cover `{}`", m.a, m.b, m.merged),
+        );
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gloss_event::Op;
+
+    fn sub(id: u64, filter: Filter) -> Subscription {
+        Subscription { id, filter }
+    }
+
+    #[test]
+    fn redundant_pairs_found() {
+        let broad = Filter::for_kind("k").with_constraint("x", Op::Gt, 0i64);
+        let narrow = Filter::for_kind("k").with_constraint("x", Op::Gt, 5i64);
+        let a = audit(&[sub(1, broad.clone()), sub(2, narrow)]);
+        assert_eq!(a.redundant, vec![Redundant { covered: 2, by: 1 }]);
+        // Equal filters: the later one is flagged, once.
+        let a = audit(&[sub(1, broad.clone()), sub(2, broad)]);
+        assert_eq!(a.redundant, vec![Redundant { covered: 2, by: 1 }]);
+    }
+
+    #[test]
+    fn merge_proposal_covers_both() {
+        let a = Filter::for_kind("k").with_constraint("x", Op::Gt, 0i64).with_eq("user", "bob");
+        let b = Filter::for_kind("k").with_constraint("x", Op::Gt, 5i64).with_eq("user", "anna");
+        let out = audit(&[sub(1, a.clone()), sub(2, b.clone())]);
+        assert!(out.redundant.is_empty());
+        assert_eq!(out.merges.len(), 1);
+        let merged = &out.merges[0].merged;
+        assert!(merged.covers(&a), "{merged}");
+        assert!(merged.covers(&b), "{merged}");
+        // The shared `x > 0` survives; the conflicting users do not.
+        assert_eq!(merged.constraints().len(), 1);
+    }
+
+    #[test]
+    fn unrelated_filters_stay_apart() {
+        let a = Filter::for_kind("k1").with_eq("u", "bob");
+        let b = Filter::for_kind("k2").with_eq("u", "bob");
+        let out = audit(&[sub(1, a), sub(2, b)]);
+        assert!(out.redundant.is_empty());
+        assert!(out.merges.is_empty());
+        // Same kind but nothing implied: no merge.
+        let a = Filter::for_kind("k").with_eq("u", "bob");
+        let b = Filter::for_kind("k").with_eq("u", "anna");
+        let out = audit(&[sub(1, a), sub(2, b)]);
+        assert!(out.merges.is_empty());
+    }
+
+    #[test]
+    fn report_renders_both_kinds() {
+        let broad = Filter::for_kind("k").with_constraint("x", Op::Gt, 0i64);
+        let narrow = Filter::for_kind("k").with_constraint("x", Op::Gt, 5i64);
+        let r = audit_report(&[sub(1, broad), sub(2, narrow)]);
+        assert_eq!(r.warning_count(), 1);
+        assert!(r.to_string().contains("covered by subscription 1"), "{r}");
+    }
+}

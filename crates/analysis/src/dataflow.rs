@@ -1,0 +1,254 @@
+//! Pass 1: rule dataflow lint.
+//!
+//! Replays the engine's left-to-right solving order over the AST without
+//! executing anything: event patterns bind first, then `fact` goals bind
+//! their unbound variables, and every other read must hit an existing
+//! binding. A read of a variable nothing binds is an error — at run time
+//! it raises `EvalError::UnboundVariable` on **every** firing, silently
+//! pruning the solution. Bindings nobody reads, duplicate rule names and
+//! duplicated rule bodies are warnings.
+
+use crate::diag::Report;
+use gloss_matchlet::ast::{Expr, Goal, Pat, Rule, Span};
+
+/// Lints a set of rules (one compilation unit / bundle).
+pub fn check_rules(rules: &[Rule]) -> Report {
+    let mut report = Report::new();
+    for rule in rules {
+        check_rule(rule, &mut report);
+    }
+    // Cross-rule: duplicate names shadow each other in the engine's
+    // name-keyed removal; duplicate bodies double every emission.
+    for (i, a) in rules.iter().enumerate() {
+        for b in &rules[i + 1..] {
+            if a.name == b.name {
+                report.error(
+                    "duplicate-rule",
+                    Some(&b.name),
+                    b.spans.rule,
+                    format!("rule `{}` is defined more than once", a.name),
+                );
+            } else if a.patterns == b.patterns
+                && a.goals == b.goals
+                && a.window == b.window
+                && a.emit == b.emit
+            {
+                report.warn(
+                    "duplicate-body",
+                    Some(&b.name),
+                    b.spans.rule,
+                    format!("rule `{}` has the same body as rule `{}`", b.name, a.name),
+                );
+            }
+        }
+    }
+    report
+}
+
+/// One variable binding site, in solve order.
+struct Binder {
+    name: String,
+    span: Span,
+    read: bool,
+}
+
+fn check_rule(rule: &Rule, report: &mut Report) {
+    let mut binders: Vec<Binder> = Vec::new();
+    let bind_or_read = |name: &str, span: Span, binders: &mut Vec<Binder>| {
+        match binders.iter_mut().find(|b| b.name == name) {
+            // A second occurrence is a join constraint: a read.
+            Some(b) => b.read = true,
+            None => binders.push(Binder { name: name.to_string(), span, read: false }),
+        }
+    };
+
+    // Event patterns bind (a repeated variable joins).
+    for (i, p) in rule.patterns.iter().enumerate() {
+        for (_, pat) in &p.fields {
+            if let Pat::Var(v) = pat {
+                bind_or_read(v.as_str(), rule.spans.pattern(i), &mut binders);
+            }
+        }
+    }
+
+    // Goals, left to right: `fact` patterns bind, conditions read.
+    for (i, goal) in rule.goals.iter().enumerate() {
+        let span = rule.spans.goal(i);
+        match goal {
+            Goal::Fact { subject, object, .. } => {
+                for pat in [subject, object] {
+                    if let Pat::Var(v) = pat {
+                        bind_or_read(v.as_str(), span, &mut binders);
+                    }
+                }
+            }
+            Goal::Cond(expr) => {
+                read_vars(expr, span, rule, &mut binders, report);
+            }
+        }
+    }
+
+    // Emit expressions read.
+    for (_, expr) in &rule.emit.fields {
+        read_vars(expr, rule.spans.emit, rule, &mut binders, report);
+    }
+
+    for b in &binders {
+        if !b.read {
+            report.warn(
+                "unused-binding",
+                Some(&rule.name),
+                b.span,
+                format!("`?{}` is bound but never read; use `_` to match without binding", b.name),
+            );
+        }
+    }
+}
+
+/// Marks every variable in `expr` as read; unbound ones are errors.
+fn read_vars(expr: &Expr, span: Span, rule: &Rule, binders: &mut Vec<Binder>, report: &mut Report) {
+    match expr {
+        Expr::Lit(_) => {}
+        Expr::Var(v) => {
+            // `_` only appears in degenerate fact-to-cond rewrites.
+            if v.as_str() == "_" {
+                return;
+            }
+            match binders.iter_mut().find(|b| b.name == v.as_str()) {
+                Some(b) => b.read = true,
+                None => {
+                    report.error(
+                        "unbound-variable",
+                        Some(&rule.name),
+                        span,
+                        format!("`?{v}` is read but never bound by a pattern or `fact` goal"),
+                    );
+                    // Remember it (as read) so one mistake reports once.
+                    binders.push(Binder { name: v.as_str().to_string(), span, read: true });
+                }
+            }
+        }
+        Expr::Call(_, args) => {
+            for a in args {
+                read_vars(a, span, rule, binders, report);
+            }
+        }
+        Expr::Binary(_, l, r) => {
+            read_vars(l, span, rule, binders, report);
+            read_vars(r, span, rule, binders, report);
+        }
+        Expr::Not(inner) | Expr::Neg(inner) => read_vars(inner, span, rule, binders, report),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gloss_matchlet::parse_rules;
+
+    fn lint(src: &str) -> Report {
+        check_rules(&parse_rules(src).unwrap())
+    }
+
+    fn codes(r: &Report) -> Vec<&'static str> {
+        r.diagnostics.iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn clean_rule_is_clean() {
+        let r = lint(
+            r#"rule hot {
+                on w: event weather(c: ?c, street: _)
+                where ?c > 18.0
+                emit alert(c: ?c)
+            }"#,
+        );
+        assert!(r.is_clean(), "{r}");
+    }
+
+    #[test]
+    fn unbound_variable_in_cond_and_emit() {
+        let r = lint(
+            r#"rule bad {
+                on w: event weather(c: ?c)
+                where ?missing > 1
+                emit alert(c: ?c, x: ?ghost)
+            }"#,
+        );
+        assert!(r.has_errors());
+        assert_eq!(codes(&r), vec!["unbound-variable", "unbound-variable"]);
+        assert!(r.to_string().contains("?missing"));
+        assert!(r.to_string().contains("?ghost"));
+        // Spans point at the offending clauses.
+        assert_eq!(r.diagnostics[0].span.line, 3);
+        assert_eq!(r.diagnostics[1].span.line, 4);
+    }
+
+    #[test]
+    fn fact_goals_bind_in_order() {
+        // ?u binds from the pattern, ?nat from the first fact goal, and
+        // both are then readable.
+        let r = lint(
+            r#"rule f {
+                on l: event loc(user: ?u)
+                where fact(?u, nationality, ?nat) and ?nat = "scottish"
+                emit out(user: ?u)
+            }"#,
+        );
+        assert!(r.is_clean(), "{r}");
+        // Reversed order: the condition runs before the fact goal binds.
+        let r = lint(
+            r#"rule f {
+                on l: event loc(user: ?u)
+                where ?nat = "scottish" and fact(?u, nationality, ?nat)
+                emit out(user: ?u)
+            }"#,
+        );
+        assert_eq!(codes(&r), vec!["unbound-variable"]);
+    }
+
+    #[test]
+    fn unused_binding_warns() {
+        let r = lint(
+            r#"rule u {
+                on w: event weather(c: ?c, street: ?street)
+                where ?c > 18.0
+                emit alert(c: ?c)
+            }"#,
+        );
+        assert!(!r.has_errors());
+        assert_eq!(codes(&r), vec!["unused-binding"]);
+        assert!(r.to_string().contains("?street"), "{r}");
+    }
+
+    #[test]
+    fn join_variables_count_as_read() {
+        let r = lint(
+            r#"rule j {
+                on a: event k1(user: ?u)
+                on b: event k2(user: ?u)
+                emit both()
+            }"#,
+        );
+        assert!(r.is_clean(), "{r}");
+    }
+
+    #[test]
+    fn duplicate_names_and_bodies() {
+        let r = lint(
+            r#"
+            rule a { on x: event k(v: ?v) emit out(v: ?v) }
+            rule a { on x: event j() emit other() }
+            "#,
+        );
+        assert_eq!(codes(&r), vec!["duplicate-rule"]);
+        let r = lint(
+            r#"
+            rule a { on x: event k(v: ?v) emit out(v: ?v) }
+            rule b { on x: event k(v: ?v) emit out(v: ?v) }
+            "#,
+        );
+        assert_eq!(codes(&r), vec!["duplicate-body"]);
+        assert!(!r.has_errors());
+    }
+}

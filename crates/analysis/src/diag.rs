@@ -1,0 +1,164 @@
+//! Diagnostics: findings with severities, source positions, and stable
+//! codes, collected into a [`Report`].
+
+use gloss_matchlet::Span;
+use std::fmt;
+
+/// How serious a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Suspicious but deployable (e.g. a binding never read).
+    Warning,
+    /// The artifact is broken and must not be deployed (e.g. an unbound
+    /// variable that would fail on every firing).
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// One finding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// Severity.
+    pub severity: Severity,
+    /// Stable machine-readable code, e.g. `unbound-variable`.
+    pub code: &'static str,
+    /// The rule the finding is about, when applicable.
+    pub rule: Option<String>,
+    /// Source position (all-zero when unknown, e.g. for subscriptions).
+    pub span: Span,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]", self.severity, self.code)?;
+        if self.span.is_known() {
+            write!(f, " at {}", self.span)?;
+        }
+        if let Some(rule) = &self.rule {
+            write!(f, " (rule `{rule}`)")?;
+        }
+        write!(f, ": {}", self.message)
+    }
+}
+
+/// A collection of findings from one or more passes.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Report {
+    /// The findings, in discovery order.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// An empty report.
+    pub fn new() -> Self {
+        Report::default()
+    }
+
+    /// Adds an error.
+    pub fn error(
+        &mut self,
+        code: &'static str,
+        rule: Option<&str>,
+        span: Span,
+        message: impl Into<String>,
+    ) {
+        self.diagnostics.push(Diagnostic {
+            severity: Severity::Error,
+            code,
+            rule: rule.map(str::to_owned),
+            span,
+            message: message.into(),
+        });
+    }
+
+    /// Adds a warning.
+    pub fn warn(
+        &mut self,
+        code: &'static str,
+        rule: Option<&str>,
+        span: Span,
+        message: impl Into<String>,
+    ) {
+        self.diagnostics.push(Diagnostic {
+            severity: Severity::Warning,
+            code,
+            rule: rule.map(str::to_owned),
+            span,
+            message: message.into(),
+        });
+    }
+
+    /// Appends another report's findings.
+    pub fn merge(&mut self, other: Report) {
+        self.diagnostics.extend(other.diagnostics);
+    }
+
+    /// Whether any finding is an error.
+    pub fn has_errors(&self) -> bool {
+        self.diagnostics.iter().any(|d| d.severity == Severity::Error)
+    }
+
+    /// Number of errors.
+    pub fn error_count(&self) -> usize {
+        self.diagnostics.iter().filter(|d| d.severity == Severity::Error).count()
+    }
+
+    /// Number of warnings.
+    pub fn warning_count(&self) -> usize {
+        self.diagnostics.iter().filter(|d| d.severity == Severity::Warning).count()
+    }
+
+    /// Whether nothing was found.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// The error messages only (for compact rejection reasons).
+    pub fn error_summary(&self) -> String {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("; ")
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for d in &self.diagnostics {
+            writeln!(f, "{d}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_counts_and_display() {
+        let mut r = Report::new();
+        assert!(r.is_clean() && !r.has_errors());
+        r.warn("unused-binding", Some("r1"), Span::default(), "?x never read");
+        r.error("unbound-variable", Some("r1"), Span { line: 3, col: 5 }, "?y is not bound");
+        assert!(r.has_errors());
+        assert_eq!((r.error_count(), r.warning_count()), (1, 1));
+        let text = r.to_string();
+        assert!(text.contains("warning[unused-binding] (rule `r1`): ?x never read"), "{text}");
+        assert!(text.contains("error[unbound-variable] at 3:5 (rule `r1`)"), "{text}");
+        assert!(r.error_summary().contains("?y is not bound"));
+        assert!(!r.error_summary().contains("never read"));
+    }
+}

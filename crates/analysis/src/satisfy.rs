@@ -1,0 +1,243 @@
+//! Pass 2b: subscription satisfiability and simplification.
+//!
+//! Per-attribute analysis of a [`Filter`]'s constraint conjunction:
+//! pairwise disjointness (`x < 5 and x > 9`, conflicting `Prefix`/`Eq`,
+//! string-only vs numeric-only operators), interval emptiness across
+//! three or more numeric constraints, and equality witnesses checked
+//! against every other constraint. An unsatisfiable subscription matches
+//! nothing and only bloats routing tables — reject it at deploy time.
+//! `simplify` additionally drops constraints implied by stronger ones.
+
+use crate::diag::Report;
+use gloss_event::{Constraint, Filter, Op};
+use gloss_matchlet::Span;
+
+/// Why a filter can never match, or `None` if no proof was found.
+///
+/// Sound, not complete: `None` does not guarantee satisfiability, but a
+/// `Some` is a proof that no event matches.
+pub fn unsatisfiable(filter: &Filter) -> Option<String> {
+    let cs = filter.constraints();
+    // Pairwise disjointness on the same attribute.
+    for (i, a) in cs.iter().enumerate() {
+        for b in &cs[i + 1..] {
+            if a.disjoint(b) {
+                return Some(format!("`{a}` and `{b}` cannot both hold"));
+            }
+        }
+    }
+    // An equality pins the attribute to one value: every other constraint
+    // on that attribute must accept it.
+    for a in cs.iter().filter(|c| c.op == Op::Eq) {
+        for b in cs.iter().filter(|c| c.attr == a.attr) {
+            if !b.matches_value(&a.value) {
+                return Some(format!("`{a}` pins the value but `{b}` rejects it"));
+            }
+        }
+    }
+    // Numeric interval analysis per attribute: lower/upper bounds from
+    // all comparisons together, plus `!=` holes. Catches three-way
+    // conflicts like `x >= 5 and x <= 5 and x != 5`.
+    let mut attrs: Vec<&str> = cs.iter().map(|c| c.attr.as_str()).collect();
+    attrs.sort_unstable();
+    attrs.dedup();
+    for attr in attrs {
+        if let Some(reason) = empty_numeric_interval(cs, attr) {
+            return Some(reason);
+        }
+    }
+    None
+}
+
+/// Bounds `(value, strict)` folded over every numeric comparison on one
+/// attribute; reports the reason if the interval is empty.
+fn empty_numeric_interval(cs: &[Constraint], attr: &str) -> Option<String> {
+    let mut lo: Option<(f64, bool)> = None;
+    let mut hi: Option<(f64, bool)> = None;
+    let mut holes: Vec<f64> = Vec::new();
+    for c in cs.iter().filter(|c| c.attr == attr) {
+        let Some(v) = c.value.as_number() else { continue };
+        match c.op {
+            Op::Lt => tighten(&mut hi, v, true, f64::lt),
+            Op::Le => tighten(&mut hi, v, false, f64::lt),
+            Op::Gt => tighten(&mut lo, v, true, f64::gt),
+            Op::Ge => tighten(&mut lo, v, false, f64::gt),
+            Op::Eq => {
+                tighten(&mut lo, v, false, f64::gt);
+                tighten(&mut hi, v, false, f64::lt);
+            }
+            Op::Ne => holes.push(v),
+            _ => {}
+        }
+    }
+    let (Some((lo, lo_strict)), Some((hi, hi_strict))) = (lo, hi) else { return None };
+    if lo > hi || (lo == hi && (lo_strict || hi_strict)) {
+        return Some(format!(
+            "numeric constraints on `{attr}` leave an empty interval ({lo} .. {hi})"
+        ));
+    }
+    if lo == hi && holes.contains(&lo) {
+        return Some(format!(
+            "numeric constraints on `{attr}` pin it to {lo}, which `!=` excludes"
+        ));
+    }
+    None
+}
+
+/// Replaces a bound if the new one is tighter (`better` orders values;
+/// equal values keep the strict flag if either is strict).
+fn tighten(
+    slot: &mut Option<(f64, bool)>,
+    v: f64,
+    strict: bool,
+    better: impl Fn(&f64, &f64) -> bool,
+) {
+    *slot = Some(match *slot {
+        None => (v, strict),
+        Some((cur, cur_strict)) => {
+            if better(&v, &cur) {
+                (v, strict)
+            } else if v == cur {
+                (cur, cur_strict || strict)
+            } else {
+                (cur, cur_strict)
+            }
+        }
+    });
+}
+
+/// Drops constraints implied by stronger ones on the same attribute.
+/// Returns the simplified filter and one warning per dropped constraint.
+/// The result matches exactly the same events as the input.
+pub fn simplify(filter: &Filter) -> (Filter, Report) {
+    let cs = filter.constraints();
+    let mut report = Report::new();
+    let mut keep: Vec<bool> = vec![true; cs.len()];
+    for i in 0..cs.len() {
+        for j in 0..cs.len() {
+            if i == j || !keep[i] || !keep[j] {
+                continue;
+            }
+            // `cs[j]` implies `cs[i]`: the broader `cs[i]` is dead weight.
+            // For mutually-covering (equal) pairs keep the earlier one.
+            if cs[i].covers(&cs[j]) && (!cs[j].covers(&cs[i]) || j < i) {
+                keep[i] = false;
+                report.warn(
+                    "redundant-constraint",
+                    None,
+                    Span::default(),
+                    format!("`{}` is implied by `{}` and can be dropped", cs[i], cs[j]),
+                );
+            }
+        }
+    }
+    let kept =
+        cs.iter().zip(&keep).filter(|(_, k)| **k).map(|(c, _)| c.clone()).collect::<Vec<_>>();
+    (Filter::from_parts(filter.kind().map(str::to_owned), kept), report)
+}
+
+/// Full subscription check: unsatisfiability is an error, redundant
+/// constraints are warnings.
+pub fn check_filter(filter: &Filter) -> Report {
+    let mut report = Report::new();
+    if let Some(reason) = unsatisfiable(filter) {
+        report.error(
+            "unsatisfiable-filter",
+            None,
+            Span::default(),
+            format!("filter `{filter}` can never match: {reason}"),
+        );
+        return report;
+    }
+    let (_, simplification) = simplify(filter);
+    report.merge(simplification);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gloss_event::Op;
+
+    #[test]
+    fn empty_numeric_ranges() {
+        let f = Filter::any().with_constraint("x", Op::Lt, 5i64).with_constraint("x", Op::Gt, 9i64);
+        assert!(unsatisfiable(&f).is_some());
+        let f = Filter::any().with_constraint("x", Op::Lt, 5i64).with_constraint("x", Op::Gt, 2i64);
+        assert!(unsatisfiable(&f).is_none());
+        // Boundary: x >= 5 and x <= 5 is exactly {5}.
+        let pin =
+            Filter::any().with_constraint("x", Op::Ge, 5i64).with_constraint("x", Op::Le, 5i64);
+        assert!(unsatisfiable(&pin).is_none());
+        // Three-way: the pin plus != 5 needs the interval analysis.
+        let f = pin.clone().with_constraint("x", Op::Ne, 5i64);
+        assert!(unsatisfiable(&f).is_some(), "{f}");
+        // Strictness matters: x > 5 and x <= 5.
+        let f = Filter::any().with_constraint("x", Op::Gt, 5i64).with_constraint("x", Op::Le, 5i64);
+        assert!(unsatisfiable(&f).is_some());
+    }
+
+    #[test]
+    fn conflicting_string_constraints() {
+        let f =
+            Filter::any().with_constraint("s", Op::Prefix, "north").with_eq("s", "south street");
+        assert!(unsatisfiable(&f).is_some());
+        let f =
+            Filter::any().with_constraint("s", Op::Prefix, "south").with_eq("s", "south street");
+        assert!(unsatisfiable(&f).is_none());
+        // Equality witness checked against every other constraint.
+        let f = Filter::any().with_eq("s", "south street").with_constraint("s", Op::Contains, "x");
+        assert!(unsatisfiable(&f).is_some());
+    }
+
+    #[test]
+    fn cross_type_conflicts() {
+        let f =
+            Filter::any().with_constraint("x", Op::Prefix, "a").with_constraint("x", Op::Gt, 3i64);
+        assert!(unsatisfiable(&f).is_some());
+        let f = Filter::any().with_eq("x", "5").with_constraint("x", Op::Lt, 9i64);
+        assert!(unsatisfiable(&f).is_some(), "string \"5\" never compares to 9");
+    }
+
+    #[test]
+    fn different_attributes_never_conflict() {
+        let f = Filter::any().with_constraint("x", Op::Lt, 5i64).with_constraint("y", Op::Gt, 9i64);
+        assert!(unsatisfiable(&f).is_none());
+    }
+
+    #[test]
+    fn simplify_drops_implied_constraints() {
+        let f = Filter::for_kind("k")
+            .with_constraint("x", Op::Lt, 10i64)
+            .with_constraint("x", Op::Lt, 5i64)
+            .with_constraint("s", Op::Prefix, "st")
+            .with_constraint("s", Op::Prefix, "st andrews");
+        let (simpler, report) = simplify(&f);
+        assert_eq!(simpler.constraints().len(), 2, "{simpler}");
+        assert_eq!(report.warning_count(), 2);
+        assert_eq!(simpler.constraints()[0], Constraint::new("x", Op::Lt, 5i64));
+        assert_eq!(simpler.constraints()[1], Constraint::new("s", Op::Prefix, "st andrews"));
+        // Exact duplicates collapse to one.
+        let f = Filter::any().with_eq("u", "bob").with_eq("u", "bob");
+        let (simpler, _) = simplify(&f);
+        assert_eq!(simpler.constraints().len(), 1);
+        // Nothing to do: unchanged.
+        let f = Filter::any().with_eq("u", "bob").with_constraint("x", Op::Lt, 5i64);
+        let (simpler, report) = simplify(&f);
+        assert_eq!(simpler, f);
+        assert!(report.is_clean());
+    }
+
+    #[test]
+    fn check_filter_severities() {
+        let bad =
+            Filter::any().with_constraint("x", Op::Lt, 5i64).with_constraint("x", Op::Gt, 9i64);
+        assert!(check_filter(&bad).has_errors());
+        let redundant =
+            Filter::any().with_constraint("x", Op::Lt, 5i64).with_constraint("x", Op::Lt, 10i64);
+        let r = check_filter(&redundant);
+        assert!(!r.has_errors());
+        assert_eq!(r.warning_count(), 1);
+        assert!(check_filter(&Filter::for_kind("k")).is_clean());
+    }
+}

@@ -74,6 +74,9 @@ pub enum BundleError {
     },
     /// The matchlet source failed to compile.
     BadMatchlet(String),
+    /// The matchlet compiled but static analysis proved it defective
+    /// (unbound variables, never-true conditions, duplicate rules, ...).
+    RejectedByAnalysis(String),
     /// The component kind is not registered on this server.
     UnknownComponentKind(String),
     /// An installed bundle with the same name has an equal or newer
@@ -100,6 +103,9 @@ impl fmt::Display for BundleError {
                 write!(f, "issuer `{issuer}` lacks capability {missing}")
             }
             BundleError::BadMatchlet(e) => write!(f, "matchlet compile error: {e}"),
+            BundleError::RejectedByAnalysis(e) => {
+                write!(f, "matchlet rejected by static analysis: {e}")
+            }
             BundleError::UnknownComponentKind(k) => {
                 write!(f, "component kind `{k}` is not registered")
             }

@@ -24,6 +24,8 @@ pub struct InstallReport {
     pub objects_stored: usize,
     /// The component kind requested, if the bundle was a component.
     pub component_kind: Option<String>,
+    /// Warning-level static analysis findings (errors reject the bundle).
+    pub lint_warnings: usize,
 }
 
 #[derive(Debug, Clone)]
@@ -172,10 +174,20 @@ impl ThinServer {
         // Validate code before mutating anything.
         let mut rule_names = Vec::new();
         let mut component_kind = None;
+        let mut lint_warnings = 0;
         match &bundle.code {
             Code::Matchlet { source } => {
                 let rules =
                     parse_rules(source).map_err(|e| BundleError::BadMatchlet(e.to_string()))?;
+                // Static analysis gate: error-level findings (unbound
+                // variables, never-true conditions, duplicate rules)
+                // prove the matchlet defective — reject it before it
+                // reaches the engine. Warnings install but are counted.
+                let analysis = gloss_analysis::analyze_rules(&rules);
+                if analysis.has_errors() {
+                    return Err(BundleError::RejectedByAnalysis(analysis.error_summary()));
+                }
+                lint_warnings = analysis.warning_count();
                 rule_names = rules.iter().map(|r| r.name.clone()).collect();
             }
             Code::Component { kind, .. } => {
@@ -215,6 +227,7 @@ impl ThinServer {
             rules_added: rule_names.len(),
             objects_stored: object_names.len(),
             component_kind,
+            lint_warnings,
         };
         self.installed.insert(
             bundle.manifest.name.clone(),
@@ -354,6 +367,53 @@ mod tests {
         assert!(matches!(s.receive_packet(&bad), Err(BundleError::BadMatchlet(_))));
         assert!(s.installed_names().is_empty());
         assert!(s.engine().rule_names().is_empty());
+    }
+
+    #[test]
+    fn analysis_gate_rejects_unbound_emit_variable() {
+        let mut s = ready_server();
+        // Compiles fine, but `?ghost` is read by the emit and bound by
+        // nothing: every firing would raise an eval error at run time.
+        let bad = Bundle::matchlet(
+            "ghost",
+            r#"rule ghost { on w: event weather(c: ?c) emit alert(c: ?c, x: ?ghost) }"#,
+        )
+        .issued_by("tenant")
+        .to_packet(&key());
+        let err = s.receive_packet(&bad).unwrap_err();
+        match err {
+            BundleError::RejectedByAnalysis(reason) => {
+                assert!(reason.contains("?ghost"), "{reason}");
+            }
+            other => panic!("expected analysis rejection, got {other}"),
+        }
+        // Nothing was installed and the rejection was counted.
+        assert!(s.installed_names().is_empty());
+        assert!(s.engine().rule_names().is_empty());
+        assert_eq!(s.rejections, 1);
+    }
+
+    #[test]
+    fn analysis_warnings_install_and_are_counted() {
+        let mut s = ready_server();
+        // `?street` is bound but never read: a warning, not an error.
+        let sloppy = Bundle::matchlet(
+            "sloppy",
+            r#"rule sloppy {
+                on w: event weather(c: ?c, street: ?street)
+                where ?c > 18.0
+                emit alert(c: ?c)
+            }"#,
+        )
+        .issued_by("tenant")
+        .to_packet(&key());
+        let report = s.receive_packet(&sloppy).unwrap();
+        assert_eq!(report.rules_added, 1);
+        assert_eq!(report.lint_warnings, 1);
+        assert_eq!(s.engine().rule_names(), vec!["sloppy"]);
+        // A clean bundle reports zero warnings.
+        let clean = s.receive_packet(&matchlet_packet()).unwrap();
+        assert_eq!(clean.lint_warnings, 0);
     }
 
     #[test]

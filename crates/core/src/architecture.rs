@@ -456,4 +456,26 @@ mod tests {
             "post-discovery events produce alerts"
         );
     }
+
+    #[test]
+    fn unsatisfiable_ui_subscriptions_are_dropped() {
+        use gloss_event::Op;
+        let mut a = arch(4, 21);
+        // `x < 5 and x > 9` can never match: the node drops it instead
+        // of spreading it through the routing tables.
+        let bad = Filter::for_kind("alert").with_constraint("x", Op::Lt, 5i64).with_constraint(
+            "x",
+            Op::Gt,
+            9i64,
+        );
+        a.subscribe_ui(NodeIndex(1), bad);
+        a.run_for(SimDuration::from_secs(5));
+        assert_eq!(a.world().metrics().counter("gloss.subs_rejected"), 1.0);
+        assert!(a.node(NodeIndex(1)).ui_filters.is_empty());
+        // A satisfiable filter on the same attribute registers normally.
+        let good = Filter::for_kind("alert").with_constraint("x", Op::Gt, 5i64);
+        a.subscribe_ui(NodeIndex(1), good);
+        a.run_for(SimDuration::from_secs(5));
+        assert_eq!(a.node(NodeIndex(1)).ui_filters.len(), 1);
+    }
 }

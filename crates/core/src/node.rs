@@ -508,13 +508,22 @@ impl GlossNode {
             GlossMsg::Store(smsg) => self.store_do(now, from, smsg, out),
             GlossMsg::Sensor(event) => self.handle_sensor(now, event, out),
             GlossMsg::UiSubscribe(filter) => {
+                // Deploy-time satisfiability gate: a filter proven to
+                // match nothing would only bloat the routing tables.
+                if gloss_analysis::unsatisfiable(&filter).is_some() {
+                    out.count("gloss.subs_rejected", 1.0);
+                    return;
+                }
                 self.ui_filters.push(filter.clone());
                 self.subscribe_filter(now, filter, out);
             }
             GlossMsg::PrefetchSubject(subject) => self.prefetch_subject(now, &subject, out),
             GlossMsg::Bundle { instance, packet } => match self.server.receive_packet(&packet) {
-                Ok(_) => {
+                Ok(report) => {
                     out.count("gloss.installs", 1.0);
+                    if report.lint_warnings > 0 {
+                        out.count("gloss.lint_warnings", report.lint_warnings as f64);
+                    }
                     let kinds: Vec<String> = self
                         .server
                         .engine()
@@ -528,6 +537,10 @@ impl GlossNode {
                     if !instance.is_empty() {
                         out.send(from, GlossMsg::Installed { instance });
                     }
+                }
+                Err(gloss_bundle::BundleError::RejectedByAnalysis(_)) => {
+                    out.count("gloss.lint_rejected", 1.0);
+                    out.count("gloss.install_failures", 1.0);
                 }
                 Err(_) => out.count("gloss.install_failures", 1.0),
             },

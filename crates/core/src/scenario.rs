@@ -26,23 +26,7 @@ pub struct IceCreamScenario {
 
 /// The matchlet realising the correlation (spatial, temporal and logical
 /// relationships per §1.1).
-pub const ICE_CREAM_RULES: &str = r#"
-    rule ice_cream_meetup {
-        on w: event weather.reading(street: ?street, celsius: ?temp)
-        on b: event user.location(user: ?u, lat: ?lat, lon: ?lon, on_foot: true)
-        on f: event user.location(user: ?v, lat: ?flat, lon: ?flon)
-        where ?u != ?v and fact(?u, knows, ?v)
-        where fact(?u, likes, "ice cream") and fact(?u, nationality, ?nat)
-        where ?temp >= hot_threshold(?nat)
-        where fact(?shop, sells, "ice cream") and fact(?shop, located_at, ?sg)
-        where distance_km(geo(?lat, ?lon), ?sg) < 0.6
-        where distance_km(geo(?flat, ?flon), ?sg) < 1.2
-        where fact(?shop, closes_at, ?close)
-        where minutes_of_day() + walk_minutes(geo(?lat, ?lon), ?sg) < ?close
-        within 5 m
-        emit suggestion(user: ?u, friend: ?v, shop: ?shop, what: "ice cream")
-    }
-"#;
+pub const ICE_CREAM_RULES: &str = include_str!("matchlets/ice_cream.matchlet");
 
 impl IceCreamScenario {
     /// Builds the architecture, seeds the knowledge base (Bob, Anna,

@@ -86,9 +86,16 @@ impl Node for PlaneNode {
                 Input::Timer { .. } => {}
                 Input::Msg { from, msg: DeployMsg::Bundle { instance, packet } } => {
                     match server.receive_packet(&packet) {
-                        Ok(_) => {
+                        Ok(report) => {
                             out.count("deploy.installs", 1.0);
+                            if report.lint_warnings > 0 {
+                                out.count("deploy.lint_warnings", report.lint_warnings as f64);
+                            }
                             out.send(from, DeployMsg::Installed { instance });
+                        }
+                        Err(gloss_bundle::BundleError::RejectedByAnalysis(_)) => {
+                            out.count("deploy.lint_rejected", 1.0);
+                            out.count("deploy.install_failures", 1.0);
                         }
                         Err(_) => out.count("deploy.install_failures", 1.0),
                     }
@@ -300,6 +307,71 @@ mod tests {
         // Every scotland worker hosts exactly one instance (no stacking).
         for i in 1..7 {
             assert!(plane.installed_on(NodeIndex(i)) <= 1);
+        }
+    }
+
+    #[test]
+    fn analysis_gate_rejects_defective_matchlet_bundles() {
+        use gloss_sim::GeoPoint;
+
+        let key = AuthKey::new("evolution", b"deploy-plane-secret");
+        let mut server = ThinServer::new("worker-1");
+        server.trust(key.clone());
+        server.grant("evolution", Capability::DeployMatchlet);
+        let mut worker = PlaneNode::Worker {
+            server,
+            resources: NodeResources {
+                node: NodeIndex(1),
+                region: "scotland".into(),
+                geo: GeoPoint { lat: 56.34, lon: -2.79 },
+                cpu: 1.0,
+                storage: 1 << 20,
+            },
+            coordinator: NodeIndex(0),
+            heartbeat: SimDuration::from_secs(10),
+        };
+        let deliver = |worker: &mut PlaneNode, name: &str, source: &str| {
+            let packet = Bundle::matchlet(name, source).issued_by("evolution").to_packet(&key);
+            let mut out = Outbox::new();
+            worker.handle(
+                SimTime::ZERO,
+                Input::Msg {
+                    from: NodeIndex(0),
+                    msg: DeployMsg::Bundle { instance: name.into(), packet },
+                },
+                &mut out,
+            );
+            out
+        };
+
+        // A matchlet whose emit reads an unbound variable: parses, but
+        // the analysis gate must reject it before installation.
+        let out = deliver(
+            &mut worker,
+            "ghost",
+            r#"rule ghost { on w: event weather(c: ?c) emit alert(c: ?c, x: ?ghost) }"#,
+        );
+        assert!(out.sends().is_empty(), "no install confirmation for a rejected bundle");
+        let counters: Vec<&str> = out.counts().iter().map(|(n, _)| n.as_ref()).collect();
+        assert!(counters.contains(&"deploy.lint_rejected"), "{counters:?}");
+        assert!(counters.contains(&"deploy.install_failures"), "{counters:?}");
+
+        // The clean twin deploys, confirms, and reports no warnings.
+        let out = deliver(
+            &mut worker,
+            "hot",
+            r#"rule hot { on w: event weather(c: ?c) where ?c > 18.0 emit alert(c: ?c) }"#,
+        );
+        assert!(matches!(out.sends(), [(NodeIndex(0), DeployMsg::Installed { .. }, _)]));
+        let counters: Vec<&str> = out.counts().iter().map(|(n, _)| n.as_ref()).collect();
+        assert_eq!(counters, vec!["deploy.installs"]);
+
+        match &worker {
+            PlaneNode::Worker { server, .. } => {
+                assert_eq!(server.installed_names(), vec!["hot"]);
+                assert_eq!(server.engine().rule_names(), vec!["hot"]);
+            }
+            PlaneNode::Coordinator { .. } => unreachable!(),
         }
     }
 }

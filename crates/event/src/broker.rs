@@ -154,6 +154,11 @@ impl Broker {
         self.subs.len()
     }
 
+    /// The stored subscriptions (for audit passes over the table).
+    pub fn subscriptions(&self) -> impl Iterator<Item = &Subscription> {
+        self.subs.iter().map(|e| &e.sub)
+    }
+
     /// The locally attached clients.
     pub fn clients(&self) -> impl Iterator<Item = NodeIndex> + '_ {
         self.clients.iter().copied()

@@ -107,6 +107,37 @@ impl Constraint {
         }
     }
 
+    /// Whether every value satisfying this constraint is a string: the
+    /// string operators require it, and comparisons against a string
+    /// operand only ever match strings (cross-type comparisons are
+    /// undefined and never match).
+    fn string_only(&self) -> bool {
+        match self.op {
+            Op::Prefix | Op::Suffix | Op::Contains => true,
+            Op::Eq | Op::Ne | Op::Lt | Op::Le | Op::Gt | Op::Ge => {
+                matches!(self.value, AttrValue::Str(_))
+            }
+            Op::Exists => false,
+        }
+    }
+
+    /// Whether every value satisfying this constraint is a non-string
+    /// (comparison against a non-string operand).
+    fn nonstring_only(&self) -> bool {
+        match self.op {
+            Op::Eq | Op::Ne | Op::Lt | Op::Le | Op::Gt | Op::Ge => {
+                !matches!(self.value, AttrValue::Str(_))
+            }
+            _ => false,
+        }
+    }
+
+    /// Whether every string value satisfies this constraint (an empty
+    /// pattern matches every string).
+    fn matches_every_string(&self) -> bool {
+        matches!(self.op, Op::Prefix | Op::Suffix | Op::Contains) && self.value.as_str() == Some("")
+    }
+
     /// Sound covering test: `true` only if **every** value satisfying
     /// `other` also satisfies `self` (both on the same attribute).
     ///
@@ -193,6 +224,23 @@ impl Constraint {
                     _ => false,
                 }
             }
+            // x != v covers a string constraint none of whose matches can
+            // equal v (string matches are always comparable to a string v).
+            (Op::Ne, Op::Prefix) => match (self.value.as_str(), other.value.as_str()) {
+                (Some(v), Some(p)) => !v.starts_with(p),
+                _ => false,
+            },
+            (Op::Ne, Op::Suffix) => match (self.value.as_str(), other.value.as_str()) {
+                (Some(v), Some(p)) => !v.ends_with(p),
+                _ => false,
+            },
+            (Op::Ne, Op::Contains) => match (self.value.as_str(), other.value.as_str()) {
+                (Some(v), Some(p)) => !v.contains(p),
+                _ => false,
+            },
+            // An empty string pattern matches every string, so it covers
+            // any constraint only strings can satisfy.
+            _ if self.matches_every_string() && other.string_only() => true,
             _ => false,
         }
     }
@@ -205,6 +253,13 @@ impl Constraint {
         }
         use std::cmp::Ordering::*;
         let cmp = |a: &AttrValue, b: &AttrValue| a.partial_cmp_value(b);
+        // Type split: one side only strings can satisfy, the other only
+        // non-strings — no value satisfies both.
+        if (self.string_only() && other.nonstring_only())
+            || (other.string_only() && self.nonstring_only())
+        {
+            return true;
+        }
         match (self.op, other.op) {
             (Op::Eq, Op::Eq) => {
                 matches!(cmp(&self.value, &other.value), Some(Less | Greater))
@@ -239,6 +294,22 @@ impl Constraint {
                 _ => false,
             },
             (Op::Eq, Op::Prefix) => other.disjoint(self),
+            // Two suffixes conflict unless one extends the other (a string
+            // cannot end in both "dundee rd" and "perth rd").
+            (Op::Suffix, Op::Suffix) => match (self.value.as_str(), other.value.as_str()) {
+                (Some(a), Some(b)) => !a.ends_with(b) && !b.ends_with(a),
+                _ => false,
+            },
+            (Op::Suffix, Op::Eq) => match (self.value.as_str(), other.value.as_str()) {
+                (Some(p), Some(v)) => !v.ends_with(p),
+                _ => false,
+            },
+            (Op::Eq, Op::Suffix) => other.disjoint(self),
+            (Op::Contains, Op::Eq) => match (self.value.as_str(), other.value.as_str()) {
+                (Some(p), Some(v)) => !v.contains(p),
+                _ => false,
+            },
+            (Op::Eq, Op::Contains) => other.disjoint(self),
             _ => false,
         }
     }
@@ -281,6 +352,12 @@ impl Filter {
     /// A filter matching events of one kind.
     pub fn for_kind(kind: impl Into<String>) -> Self {
         Filter { kind: Some(kind.into()), constraints: Vec::new() }
+    }
+
+    /// Reassembles a filter from a kind restriction and constraint list
+    /// (used by analysis passes that rewrite constraint sets).
+    pub fn from_parts(kind: Option<String>, constraints: Vec<Constraint>) -> Self {
+        Filter { kind, constraints }
     }
 
     /// The kind restriction, if any.
@@ -504,6 +581,63 @@ mod tests {
         let contains = Constraint::new("s", Op::Contains, "and");
         assert!(contains.covers(&Constraint::new("s", Op::Prefix, "st andrews")));
         assert!(!contains.covers(&Constraint::new("s", Op::Prefix, "st")));
+    }
+
+    #[test]
+    fn ne_covers_string_ops() {
+        let ne = Constraint::new("s", Op::Ne, "market street");
+        // Everything prefixed "north" differs from "market street".
+        assert!(ne.covers(&Constraint::new("s", Op::Prefix, "north")));
+        assert!(!ne.covers(&Constraint::new("s", Op::Prefix, "market")));
+        assert!(ne.covers(&Constraint::new("s", Op::Suffix, "lane")));
+        assert!(!ne.covers(&Constraint::new("s", Op::Suffix, "street")));
+        assert!(ne.covers(&Constraint::new("s", Op::Contains, "dundee")));
+        assert!(!ne.covers(&Constraint::new("s", Op::Contains, "ket st")));
+        // A non-string operand decides nothing.
+        assert!(!Constraint::new("s", Op::Ne, 5i64).covers(&Constraint::new("s", Op::Prefix, "a")));
+    }
+
+    #[test]
+    fn empty_pattern_covers_string_constraints() {
+        for op in [Op::Prefix, Op::Suffix, Op::Contains] {
+            let any_string = Constraint::new("s", op, "");
+            assert!(any_string.covers(&Constraint::new("s", Op::Prefix, "north")), "{op}");
+            assert!(any_string.covers(&Constraint::new("s", Op::Suffix, "street")), "{op}");
+            assert!(any_string.covers(&Constraint::new("s", Op::Eq, "x")), "{op}");
+            assert!(any_string.covers(&Constraint::new("s", Op::Lt, "m")), "{op}");
+            // Non-strings can satisfy these, so no covering.
+            assert!(!any_string.covers(&Constraint::new("s", Op::Eq, 3i64)), "{op}");
+            assert!(!any_string.covers(&Constraint::new("s", Op::Exists, true)), "{op}");
+        }
+    }
+
+    #[test]
+    fn suffix_and_contains_disjointness() {
+        let suf = Constraint::new("s", Op::Suffix, "street");
+        assert!(suf.disjoint(&Constraint::new("s", Op::Suffix, "lane")));
+        assert!(!suf.disjoint(&Constraint::new("s", Op::Suffix, "market street")));
+        assert!(suf.disjoint(&Constraint::new("s", Op::Eq, "north haugh")));
+        assert!(!suf.disjoint(&Constraint::new("s", Op::Eq, "market street")));
+        assert!(Constraint::new("s", Op::Eq, "north haugh").disjoint(&suf));
+        let con = Constraint::new("s", Op::Contains, "street");
+        assert!(con.disjoint(&Constraint::new("s", Op::Eq, "north haugh")));
+        assert!(!con.disjoint(&Constraint::new("s", Op::Eq, "market street")));
+    }
+
+    #[test]
+    fn cross_type_disjointness() {
+        // Only strings match a prefix; only numbers match `= 5`.
+        let pre = Constraint::new("x", Op::Prefix, "a");
+        assert!(pre.disjoint(&Constraint::new("x", Op::Eq, 5i64)));
+        assert!(Constraint::new("x", Op::Lt, 9i64).disjoint(&Constraint::new("x", Op::Eq, "s")));
+        assert!(Constraint::new("x", Op::Eq, "a").disjoint(&Constraint::new("x", Op::Eq, 1i64)));
+        // Exists spans every type: never disjoint this way.
+        assert!(!pre.disjoint(&Constraint::new("x", Op::Exists, true)));
+        assert!(!Constraint::new("x", Op::Exists, true).disjoint(&Constraint::new(
+            "x",
+            Op::Eq,
+            5i64
+        )));
     }
 
     #[test]

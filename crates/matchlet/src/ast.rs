@@ -5,6 +5,56 @@ use gloss_knowledge::Term;
 use gloss_sim::SimDuration;
 use std::fmt;
 
+/// A 1-based source position. `Span::default()` (line 0) means the
+/// position is unknown — e.g. a rule built programmatically rather than
+/// parsed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Span {
+    /// 1-based line; 0 when unknown.
+    pub line: usize,
+    /// 1-based column; 0 when unknown.
+    pub col: usize,
+}
+
+impl Span {
+    /// True when this span carries a real source position.
+    pub fn is_known(&self) -> bool {
+        self.line > 0
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Source positions for the pieces of a [`Rule`], kept out of the AST
+/// nodes themselves so structural equality ignores layout.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RuleSpans {
+    /// The `rule` keyword.
+    pub rule: Span,
+    /// One span per event pattern (the `on` keyword).
+    pub patterns: Vec<Span>,
+    /// One span per flattened goal (the `where` keyword that produced it).
+    pub goals: Vec<Span>,
+    /// The `emit` keyword.
+    pub emit: Span,
+}
+
+impl RuleSpans {
+    /// Span of pattern `i`, or the rule span when unrecorded.
+    pub fn pattern(&self, i: usize) -> Span {
+        self.patterns.get(i).copied().unwrap_or(self.rule)
+    }
+
+    /// Span of goal `i`, or the rule span when unrecorded.
+    pub fn goal(&self, i: usize) -> Span {
+        self.goals.get(i).copied().unwrap_or(self.rule)
+    }
+}
+
 /// A pattern position: a variable to bind, a literal to require, or a
 /// wildcard.
 #[derive(Debug, Clone, PartialEq)]
@@ -146,6 +196,9 @@ pub struct Rule {
     pub window: SimDuration,
     /// What to emit per solution.
     pub emit: EmitSpec,
+    /// Source positions of the rule's pieces (all-zero when the rule was
+    /// built programmatically).
+    pub spans: RuleSpans,
 }
 
 impl Rule {
@@ -301,6 +354,7 @@ mod tests {
             goals: vec![],
             window: SimDuration::from_secs(60),
             emit: EmitSpec { kind: "out".into(), fields: vec![] },
+            spans: RuleSpans::default(),
         };
         assert_eq!(rule.pattern_variables(), vec!["u", "v"]);
     }

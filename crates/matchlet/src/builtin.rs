@@ -15,6 +15,30 @@ pub fn reads_dynamic_state(name: &str) -> bool {
     matches!(name, "fact" | "now" | "minutes_of_day")
 }
 
+/// Whether `name` is a builtin function (a bare identifier that is not a
+/// builtin evaluates to itself as a string "atom"). Keep in sync with
+/// [`call`].
+pub fn is_builtin(name: &str) -> bool {
+    matches!(
+        name,
+        "geo"
+            | "distance_km"
+            | "lat"
+            | "lon"
+            | "walk_minutes"
+            | "now"
+            | "minutes_of_day"
+            | "seconds_between"
+            | "hot_threshold"
+            | "lower"
+            | "contains"
+            | "concat"
+            | "abs"
+            | "min"
+            | "max"
+    )
+}
+
 /// Evaluates builtin `name` on `args` at time `now`.
 ///
 /// # Errors

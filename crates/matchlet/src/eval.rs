@@ -283,26 +283,7 @@ pub fn eval(
     }
 }
 
-fn is_builtin(name: &str) -> bool {
-    matches!(
-        name,
-        "geo"
-            | "distance_km"
-            | "lat"
-            | "lon"
-            | "walk_minutes"
-            | "now"
-            | "minutes_of_day"
-            | "seconds_between"
-            | "hot_threshold"
-            | "lower"
-            | "contains"
-            | "concat"
-            | "abs"
-            | "min"
-            | "max"
-    )
-}
+use builtin::is_builtin;
 
 fn apply_binop(op: BinOp, l: &Term, r: &Term) -> Result<Term, EvalError> {
     use BinOp::*;

@@ -73,7 +73,7 @@ pub mod lexer;
 pub mod parser;
 pub mod symbol;
 
-pub use ast::{EmitSpec, EventPattern, Expr, Goal, Pat, Rule};
+pub use ast::{BinOp, EmitSpec, EventPattern, Expr, Goal, Pat, Rule, RuleSpans, Span};
 pub use engine::{CompiledRule, EngineStats, MatchletEngine};
 pub use eval::{Bindings, EvalError};
 pub use parser::{parse_rules, MatchletError};

@@ -1,6 +1,6 @@
 //! Recursive-descent parser for the matchlet language.
 
-use crate::ast::{expr_to_goals, BinOp, EmitSpec, EventPattern, Expr, Pat, Rule};
+use crate::ast::{expr_to_goals, BinOp, EmitSpec, EventPattern, Expr, Pat, Rule, RuleSpans, Span};
 use crate::lexer::{lex, LexError, Token, TokenKind};
 use gloss_knowledge::Term;
 use gloss_sim::SimDuration;
@@ -16,11 +16,35 @@ pub struct MatchletError {
     pub col: usize,
     /// The problem.
     pub message: String,
+    /// A rendered source excerpt (the offending line with a caret),
+    /// attached by [`MatchletError::with_source`].
+    pub snippet: Option<String>,
+}
+
+impl MatchletError {
+    /// Attaches a source excerpt — the offending line plus a caret under
+    /// the error column — so the failure is legible without the file.
+    #[must_use]
+    pub fn with_source(mut self, src: &str) -> Self {
+        if self.line == 0 {
+            return self;
+        }
+        if let Some(text) = src.lines().nth(self.line - 1) {
+            let gutter = format!("{:>4} | ", self.line);
+            let pad = " ".repeat(gutter.len() - 2 + self.col.saturating_sub(1));
+            self.snippet = Some(format!("{gutter}{text}\n{pad}^"));
+        }
+        self
+    }
 }
 
 impl fmt::Display for MatchletError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "matchlet error at {}:{}: {}", self.line, self.col, self.message)
+        write!(f, "matchlet error at {}:{}: {}", self.line, self.col, self.message)?;
+        if let Some(snippet) = &self.snippet {
+            write!(f, "\n{snippet}")?;
+        }
+        Ok(())
     }
 }
 
@@ -28,7 +52,7 @@ impl Error for MatchletError {}
 
 impl From<LexError> for MatchletError {
     fn from(e: LexError) -> Self {
-        MatchletError { line: e.line, col: e.col, message: e.message }
+        MatchletError { line: e.line, col: e.col, message: e.message, snippet: None }
     }
 }
 
@@ -38,6 +62,10 @@ impl From<LexError> for MatchletError {
 ///
 /// Returns [`MatchletError`] with the position of the first problem.
 pub fn parse_rules(src: &str) -> Result<Vec<Rule>, MatchletError> {
+    parse_rules_inner(src).map_err(|e| e.with_source(src))
+}
+
+fn parse_rules_inner(src: &str) -> Result<Vec<Rule>, MatchletError> {
     let tokens = lex(src)?;
     let mut p = Parser { tokens, pos: 0 };
     let mut rules = Vec::new();
@@ -69,9 +97,14 @@ impl Parser {
         t
     }
 
+    fn peek_span(&self) -> Span {
+        let t = self.peek();
+        Span { line: t.line, col: t.col }
+    }
+
     fn fail(&self, message: impl Into<String>) -> MatchletError {
         let t = self.peek();
-        MatchletError { line: t.line, col: t.col, message: message.into() }
+        MatchletError { line: t.line, col: t.col, message: message.into(), snippet: None }
     }
 
     fn expect_punct(&mut self, p: &str) -> Result<(), MatchletError> {
@@ -118,6 +151,7 @@ impl Parser {
     }
 
     fn rule(&mut self) -> Result<Rule, MatchletError> {
+        let mut spans = RuleSpans { rule: self.peek_span(), ..RuleSpans::default() };
         self.expect_keyword("rule")?;
         let name = self.ident()?;
         self.expect_punct("{")?;
@@ -129,19 +163,24 @@ impl Parser {
             if self.eat_punct("}") {
                 break;
             }
+            let clause = self.peek_span();
             if self.peek_keyword("on") {
                 self.bump();
                 patterns.push(self.event_pattern()?);
+                spans.patterns.push(clause);
             } else if self.peek_keyword("where") {
                 self.bump();
                 let e = self.expr()?;
-                goals.extend(expr_to_goals(e));
+                let new = expr_to_goals(e);
+                spans.goals.extend(std::iter::repeat_n(clause, new.len()));
+                goals.extend(new);
             } else if self.peek_keyword("within") {
                 self.bump();
                 window = self.duration()?;
             } else if self.peek_keyword("emit") {
                 self.bump();
                 emit = Some(self.emit_spec()?);
+                spans.emit = clause;
             } else {
                 return Err(self.fail("expected `on`, `where`, `within`, `emit` or `}`"));
             }
@@ -150,7 +189,7 @@ impl Parser {
             return Err(self.fail(format!("rule `{name}` has no `on` clause")));
         }
         let emit = emit.ok_or_else(|| self.fail(format!("rule `{name}` has no `emit` clause")))?;
-        Ok(Rule { name, patterns, goals, window, emit })
+        Ok(Rule { name, patterns, goals, window, emit, spans })
     }
 
     fn event_pattern(&mut self) -> Result<EventPattern, MatchletError> {
@@ -542,6 +581,33 @@ mod tests {
         assert!(parse_rules("rule r { on a: event k() within 5 parsec emit o() }").is_err());
         let err = parse_rules("rule r {\n  banana\n}").unwrap_err();
         assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn errors_carry_source_snippets() {
+        let err = parse_rules("rule r {\n  banana\n}").unwrap_err();
+        assert_eq!((err.line, err.col), (2, 3));
+        let snippet = err.snippet.as_deref().expect("snippet attached");
+        assert!(snippet.contains("banana"), "{snippet}");
+        assert!(snippet.lines().nth(1).unwrap().ends_with('^'), "{snippet}");
+        // The caret sits under the offending token.
+        let text = err.to_string();
+        assert!(text.contains("2:3"), "{text}");
+        assert!(text.contains("banana"), "{text}");
+    }
+
+    #[test]
+    fn rules_carry_clause_spans() {
+        let src =
+            "rule r {\n  on a: event k(x: ?x)\n  where ?x > 1 and ?x < 9\n  emit out(x: ?x)\n}";
+        let r = &parse_rules(src).unwrap()[0];
+        assert_eq!(r.spans.rule, Span { line: 1, col: 1 });
+        assert_eq!(r.spans.pattern(0), Span { line: 2, col: 3 });
+        // One `where` producing two goals records the same span twice.
+        assert_eq!(r.goals.len(), 2);
+        assert_eq!(r.spans.goal(0), Span { line: 3, col: 3 });
+        assert_eq!(r.spans.goal(1), Span { line: 3, col: 3 });
+        assert_eq!(r.spans.emit, Span { line: 4, col: 3 });
     }
 
     #[test]

@@ -20,14 +20,7 @@ fn main() {
     arch.register_handler_code(
         NodeIndex(1),
         "air.quality",
-        r#"
-        rule smog {
-            on a: event air.quality(street: ?s, aqi: ?aqi)
-            where ?aqi > 100
-            within 1 m
-            emit smog_warning(street: ?s, aqi: ?aqi)
-        }
-        "#,
+        include_str!("matchlets/smog.matchlet"),
     );
     arch.run_for(SimDuration::from_secs(30));
     arch.subscribe_ui(NodeIndex(2), Filter::for_kind("smog_warning"));

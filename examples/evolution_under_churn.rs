@@ -16,7 +16,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let spec = ServiceSpec::new(
         "replication",
-        r#"rule noop { on a: event replication.probe() emit replication.ack() }"#,
+        include_str!("matchlets/replication_noop.matchlet"),
         vec![(None, 3)],
     )?;
     arch.deploy_service(spec);

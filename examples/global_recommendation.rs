@@ -14,19 +14,7 @@ use gloss::event::{Event, Filter};
 use gloss::knowledge::{Fact, Term};
 use gloss::sim::{GeoPoint, NodeIndex, SimDuration, SimTime};
 
-const RULES: &str = r#"
-    rule past_recommendation {
-        on l: event user.location(user: ?u, lat: ?lat, lon: ?lon)
-        where fact(?u, knows, ?friend)
-        where fact(?friend, recommends, ?place)
-        where fact(?place, located_at, ?g)
-        where distance_km(geo(?lat, ?lon), ?g) < 0.5
-        where minutes_of_day() >= 1080      # after 18:00: dinner time
-        where not fact(?u, has_dinner_plans, true)
-        within 2 m
-        emit recommendation(user: ?u, place: ?place, from: ?friend)
-    }
-"#;
+const RULES: &str = include_str!("matchlets/past_recommendation.matchlet");
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut arch =

@@ -19,14 +19,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    matchlet. The evolution engine picks the hosts and ships bundles.
     let spec = ServiceSpec::new(
         "hot-alert",
-        r#"
-        rule hot {
-            on w: event weather.reading(street: ?s, celsius: ?c)
-            where ?c >= 18.0
-            within 1 m
-            emit alert(street: ?s, celsius: ?c)
-        }
-        "#,
+        include_str!("matchlets/hot_alert.matchlet"),
         vec![(None, 2)],
     )?;
     arch.deploy_service(spec);

@@ -6,6 +6,7 @@
 //! (`tests/`). Start with [`core`] — [`core::ActiveArchitecture`] assembles
 //! the full stack — or run `cargo run --example quickstart`.
 
+pub use gloss_analysis as analysis;
 pub use gloss_bundle as bundle;
 pub use gloss_core as core;
 pub use gloss_deploy as deploy;
