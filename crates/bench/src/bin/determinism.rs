@@ -7,18 +7,22 @@
 //! output proves the worker pool is schedule-preserving.
 //!
 //! Usage:
-//!   determinism [--nodes N] [--seed S] [--overlay]
+//!   determinism [--nodes N] [--seed S] [--overlay | --faults]
 //!
 //! Default mode is a chattering multi-region protocol with loss and a
 //! crash/recover schedule (traces enabled; the digest covers the trace
 //! bytes). `--overlay` instead builds and settles an N-node overlay
 //! network — no tracing, counters-only digest — which doubles as the
-//! wall-clock scale smoke. Wall time goes to stderr so stdout is
-//! diff-stable across runs.
+//! wall-clock scale smoke. `--faults` runs the full robustness plane —
+//! governed overlay, regional partition + heal, byzantine ack-then-drop
+//! peers, crash/recover casualties, and routed traffic — with tracing
+//! on, proving the governor's suspicion scoring, quarantine, re-routing,
+//! and eviction schedule are byte-identical at any thread count. Wall
+//! time goes to stderr so stdout is diff-stable across runs.
 
-use gloss_overlay::OverlayNetwork;
+use gloss_overlay::{GovernorConfig, Key, OverlayNetwork};
 use gloss_sim::testkit::Chatter;
-use gloss_sim::{NodeIndex, SimDuration, SimRng, SimTime, Topology, World};
+use gloss_sim::{ByzBehavior, NodeIndex, SimDuration, SimRng, SimTime, Topology, World};
 
 /// FNV-1a over a byte stream.
 fn fnv(digest: &mut u64, bytes: &[u8]) {
@@ -93,16 +97,80 @@ fn overlay_digest(nodes: usize, seed: u64) {
     );
 }
 
+/// Full robustness plane under one digest: a governed overlay survives a
+/// regional partition with mid-partition casualties and byzantine
+/// ack-then-drop peers while routing perturbed-key traffic throughout.
+/// The digest covers the trace (every suspicion, quarantine, eviction,
+/// and re-route lands there) plus the governor's counters.
+fn faults_digest(nodes: usize, seed: u64) {
+    let mut net = OverlayNetwork::build_with(nodes, seed, Some(GovernorConfig::default()));
+    net.world_mut().enable_tracing(1 << 22);
+    net.run_for(SimDuration::from_millis(200) * nodes as u64 + SimDuration::from_secs(60));
+    assert!(net.joined_fraction() > 0.99, "governed overlay failed to settle");
+    // Three byzantine peers spread across the index space.
+    for i in 0..3u32 {
+        net.set_byzantine(NodeIndex((5 + 11 * i) % nodes as u32), ByzBehavior::AckThenDrop);
+    }
+    // Regional partition with a scheduled heal, plus casualties that
+    // crash behind it and rejoin through the admission governor.
+    let t0 = net.now() + SimDuration::from_secs(1);
+    let heal = t0 + SimDuration::from_secs(20);
+    net.world_mut().partition_regions_at(t0, Some(heal), &["us-east", "us-west", "australia"]);
+    for k in 0..(nodes as u32 / 24).max(2) {
+        let victim = NodeIndex(1 + (7 * k) % (nodes as u32 - 1));
+        net.world_mut().crash_at(t0 + SimDuration::from_secs(2), victim);
+        net.world_mut().recover_at(t0 + SimDuration::from_secs(10), victim);
+    }
+    // Routed traffic across partition, heal, and recovery: perturbed
+    // node keys spread payload over the whole ring (random hashes
+    // cluster under FNV), exercising forwards through suspects.
+    for round in 0..12u64 {
+        for j in (0..nodes as u32).step_by(5) {
+            let target = Key(net.id_of(NodeIndex(j)).key.0 ^ (round as u128 * 131 + j as u128 + 1));
+            let from = net.random_node();
+            net.route_from(from, target);
+        }
+        net.run_for(SimDuration::from_secs(5));
+    }
+    net.run_for(SimDuration::from_secs(30));
+    let mut digest = 0xcbf2_9ce4_8422_2325u64;
+    fnv(&mut digest, net.world().tracer().render().as_bytes());
+    let m = net.world().metrics();
+    for name in [
+        "sim.messages_sent",
+        "sim.messages_delivered",
+        "sim.messages_partitioned",
+        "sim.crashes",
+        "overlay.suspected",
+        "overlay.evictions",
+        "overlay.reroutes",
+        "overlay.refutations",
+        "overlay.join_backoff",
+        "overlay.byz_dropped",
+        "overlay.delivered",
+    ] {
+        fnv(&mut digest, format!("{name}={}", m.counter(name)).as_bytes());
+    }
+    println!(
+        "mode=faults nodes={nodes} seed={seed} trace_events={} evictions={} reroutes={} digest={digest:016x}",
+        net.world().tracer().events().len(),
+        m.counter("overlay.evictions"),
+        m.counter("overlay.reroutes"),
+    );
+}
+
 fn main() {
-    let mut nodes = 192usize;
+    let mut nodes = None;
     let mut seed = 4242u64;
     let mut overlay = false;
+    let mut faults = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--nodes" => nodes = args.next().and_then(|v| v.parse().ok()).expect("--nodes N"),
+            "--nodes" => nodes = Some(args.next().and_then(|v| v.parse().ok()).expect("--nodes N")),
             "--seed" => seed = args.next().and_then(|v| v.parse().ok()).expect("--seed S"),
             "--overlay" => overlay = true,
+            "--faults" => faults = true,
             other => {
                 eprintln!("unknown argument `{other}`");
                 std::process::exit(2);
@@ -110,10 +178,13 @@ fn main() {
         }
     }
     let start = std::time::Instant::now();
-    if overlay {
-        overlay_digest(nodes, seed);
+    if faults {
+        // Smaller default: tracing is on and every route is digested.
+        faults_digest(nodes.unwrap_or(96), seed);
+    } else if overlay {
+        overlay_digest(nodes.unwrap_or(192), seed);
     } else {
-        chatter_digest(nodes, seed);
+        chatter_digest(nodes.unwrap_or(192), seed);
     }
     eprintln!(
         "threads={} wall={:.3}s",

@@ -1,0 +1,102 @@
+//! Fault-injection smoke for CI: a 512-node governed overlay takes a
+//! two-region partition with mid-partition casualties, heals, and must
+//! re-converge — every node re-joined, routes landing at the key-closest
+//! live node — with **zero** evictions at loss 0. The governor's
+//! phi-accrual detector is allowed to suspect and quarantine while the
+//! cut holds, but evicting a healthy node in a lossless world is a bug
+//! this binary exists to catch.
+//!
+//! Usage:
+//!   faultsmoke [--nodes N] [--seed S]
+//!
+//! Exits nonzero (panics) on any violated invariant; prints a one-line
+//! summary on success. Honors `GLOSS_SIM_THREADS` like every other
+//! harness entry point.
+
+use gloss_overlay::{GovernorConfig, Key, OverlayNetwork};
+use gloss_sim::{NodeIndex, SimDuration};
+
+fn main() {
+    let mut nodes = 512usize;
+    let mut seed = 4747u64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--nodes" => nodes = args.next().and_then(|v| v.parse().ok()).expect("--nodes N"),
+            "--seed" => seed = args.next().and_then(|v| v.parse().ok()).expect("--seed S"),
+            other => {
+                eprintln!("unknown argument `{other}`");
+                std::process::exit(2);
+            }
+        }
+    }
+    let start = std::time::Instant::now();
+    let mut net = OverlayNetwork::build_with(nodes, seed, Some(GovernorConfig::default()));
+    net.run_for(SimDuration::from_millis(200) * nodes as u64 + SimDuration::from_secs(60));
+    assert!(net.joined_fraction() > 0.99, "overlay failed to settle before the partition");
+
+    // Cut off two regions (a third of the ring) for 25 seconds, with
+    // casualties that crash behind the cut and must re-join through the
+    // admission governor after the heal.
+    let t0 = net.now() + SimDuration::from_secs(1);
+    let heal = t0 + SimDuration::from_secs(25);
+    net.world_mut().partition_regions_at(t0, Some(heal), &["us-west", "australia"]);
+    let casualties: Vec<NodeIndex> =
+        (1..nodes as u32).map(NodeIndex).filter(|x| x.0 % 6 >= 4).take(16).collect();
+    for &c in &casualties {
+        net.world_mut().crash_at(t0 + SimDuration::from_secs(2), c);
+        net.world_mut().recover_at(t0 + SimDuration::from_secs(10), c);
+    }
+    net.run_for(heal.since(net.now()));
+
+    // Re-convergence: every node (casualties included) back in the ring.
+    let mut elapsed = 0u64;
+    while elapsed < 120 && net.joined_fraction() < 1.0 {
+        net.run_for(SimDuration::from_secs(2));
+        elapsed += 2;
+    }
+    assert!(
+        net.joined_fraction() >= 1.0,
+        "overlay did not re-converge within 120 s of the heal (joined {:.4})",
+        net.joined_fraction()
+    );
+
+    // Routes land at the key-closest live node. Quarantines opened
+    // during the cut are allowed their cooldown + refutation window, so
+    // probe in rounds until a whole batch is correct. Perturbed node
+    // keys spread the probes over the whole ring (random hashes cluster
+    // under FNV).
+    let mut probe_count = 0usize;
+    let mut whole = false;
+    while elapsed < 240 && !whole {
+        let mut batch = Vec::new();
+        for j in (0..nodes as u32).step_by(7) {
+            let target =
+                Key(net.id_of(NodeIndex(j)).key.0 ^ (elapsed as u128 * 131 + j as u128 + 1));
+            let from = net.random_node();
+            batch.push((net.route_from(from, target), target));
+        }
+        probe_count = batch.len();
+        net.run_for(SimDuration::from_secs(5));
+        elapsed += 5;
+        let outcomes = net.outcomes();
+        whole = batch.iter().all(|(id, t)| {
+            outcomes.get(id).is_some_and(|o| o.delivered_at == net.closest_alive(*t))
+        });
+    }
+    assert!(whole, "routes still missing the key-closest live node {elapsed} s after the heal");
+
+    // Zero false evictions: the world is lossless, every silence had a
+    // cause (cut or crash) that ended well inside the eviction horizon.
+    let evictions = net.world().metrics().counter("overlay.evictions");
+    assert_eq!(evictions, 0.0, "evicted a healthy node in a lossless world");
+
+    println!(
+        "faultsmoke ok: nodes={nodes} seed={seed} converged_s={elapsed} probes={probe_count} evictions=0"
+    );
+    eprintln!(
+        "threads={} wall={:.3}s",
+        std::env::var("GLOSS_SIM_THREADS").unwrap_or_else(|_| "1".into()),
+        start.elapsed().as_secs_f64()
+    );
+}

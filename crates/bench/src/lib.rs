@@ -17,7 +17,7 @@ use gloss_pipeline::{standard::Counter, DistributedPipeline, PipelineGraph};
 use gloss_sim::{NodeIndex, SimDuration, SimRng, Zipf};
 use gloss_store::{Document, ErasureCode, StoreConfig, StoreNetwork};
 use gloss_xml::{Element, FieldType, ProjSpec, Schema};
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Write as _;
 
 /// Worker thread counts the scale benches and the report's s3 table run
@@ -958,6 +958,333 @@ pub fn c13_subscription_churn() -> String {
     )
 }
 
+/// C14: regional partition and heal — a 25 s two-way partition isolates
+/// half the overlay; ten minority-side nodes crash and restart
+/// mid-partition, turning the heal into a reconnection stampede. The
+/// governed overlay wins twice: joiners cut off from their bootstraps
+/// retry on the admission plane's short jittered backoff (vs. the
+/// legacy blind fixed interval), so re-joins complete quickly after the
+/// heal; and unreachable peers sit behind open circuits instead of
+/// being purged, so the pre-partition routing state survives the
+/// outage. Reports per-casualty re-join completion time after the heal,
+/// the time to full re-convergence (every node joined *and* a 16-route
+/// probe batch all delivered at the globally closest node), and
+/// eviction counts. Loss is zero and the partition is shorter than the
+/// evict escalation, so any eviction is a false one — the governed row
+/// must show zero.
+pub fn c14_partition_heal() -> String {
+    use gloss_overlay::GovernorConfig;
+    let mut rows = Vec::new();
+    for governed in [true, false] {
+        let n = 48usize;
+        let seed = 47u64;
+        let mut net = OverlayNetwork::build_with(n, seed, governed.then(GovernorConfig::default));
+        net.run_for(SimDuration::from_millis(200) * n as u64 + SimDuration::from_secs(60));
+        let t0 = net.now() + SimDuration::from_secs(1);
+        let heal = t0 + SimDuration::from_secs(25);
+        net.world_mut().partition_regions_at(t0, Some(heal), &["us-east", "us-west", "australia"]);
+        // Ten minority-side casualties: down 2 s into the cut, back 8 s
+        // later. Their re-join attempts go unanswered while the cut holds
+        // (bootstraps across the partition stay silent), so the heal
+        // releases a reconnection stampede: governed joiners are already
+        // retrying on the short jittered backoff cadence, ungoverned ones
+        // sit out the blind fixed retry interval.
+        let casualties: Vec<NodeIndex> =
+            (1..n as u32).map(NodeIndex).filter(|x| x.0 % 6 >= 3).take(10).collect();
+        for &c in &casualties {
+            net.world_mut().crash_at(t0 + SimDuration::from_secs(2), c);
+            net.world_mut().recover_at(t0 + SimDuration::from_secs(10), c);
+        }
+        net.run_for(heal.since(net.now()));
+        // Post-heal: when does each casualty complete its re-join?
+        let mut join_done: BTreeMap<u32, u64> = BTreeMap::new();
+        let mut elapsed = 0u64;
+        while elapsed < 60 && join_done.len() < casualties.len() {
+            net.run_for(SimDuration::from_secs(1));
+            elapsed += 1;
+            for &c in &casualties {
+                if net.world().node(c).overlay.is_joined() {
+                    join_done.entry(c.0).or_insert(elapsed);
+                }
+            }
+        }
+        let joins: Vec<f64> =
+            casualties.iter().map(|c| join_done.get(&c.0).copied().unwrap_or(60) as f64).collect();
+        let mean_join = joins.iter().sum::<f64>() / joins.len() as f64;
+        let max_join = joins.iter().cloned().fold(0.0f64, f64::max);
+        // Then probe every 2 s until the overlay is whole again.
+        let mut reconverged_s: Option<u64> = None;
+        while elapsed < 120 {
+            let mut batch = Vec::new();
+            for i in 0..16 {
+                let mut from = net.random_node();
+                while !net.world().is_alive(from) {
+                    from = net.random_node();
+                }
+                let target = Key::hash_of(format!("c14-{elapsed}-{i}").as_bytes());
+                batch.push((net.route_from(from, target), target));
+            }
+            net.run_for(SimDuration::from_secs(2));
+            elapsed += 2;
+            let outcomes = net.outcomes();
+            let whole = batch.iter().all(|(id, t)| {
+                outcomes.get(id).is_some_and(|o| o.delivered_at == net.closest_alive(*t))
+            });
+            if whole && net.joined_fraction() >= 1.0 {
+                reconverged_s = Some(elapsed);
+                break;
+            }
+        }
+        // Steady-state correctness well after the heal.
+        let mut finals = Vec::new();
+        for i in 0..32 {
+            let mut from = net.random_node();
+            while !net.world().is_alive(from) {
+                from = net.random_node();
+            }
+            let target = Key::hash_of(format!("c14-final-{i}").as_bytes());
+            finals.push((net.route_from(from, target), target));
+        }
+        net.run_for(SimDuration::from_secs(30));
+        let outcomes = net.outcomes();
+        let correct = finals
+            .iter()
+            .filter(|(id, t)| {
+                outcomes.get(id).is_some_and(|o| o.delivered_at == net.closest_alive(*t))
+            })
+            .count();
+        let m = net.world().metrics();
+        rows.push(vec![
+            if governed { "governor" } else { "three-strikes" }.to_string(),
+            f(mean_join),
+            f(max_join),
+            reconverged_s.map_or(">120 (cap)".to_string(), |s| format!("{s}")),
+            f(correct as f64 / finals.len() as f64 * 100.0),
+            f(m.counter("overlay.evictions")),
+            f(m.counter("overlay.failures_detected")),
+            f(net.joined_fraction() * 100.0),
+        ]);
+    }
+    table(
+        &[
+            "detector",
+            "mean rejoin s",
+            "max rejoin s",
+            "re-converge s",
+            "routes correct %",
+            "evictions",
+            "table purges",
+            "joined %",
+        ],
+        &rows,
+    )
+}
+
+/// C15: byzantine ack-then-drop peers — a subset of nodes keeps
+/// answering probes (so naive liveness detection never fires) while
+/// silently swallowing every routed payload handed to them. The
+/// governor's conduct channel (unacked forwards) opens their circuits,
+/// half-open trials fail, and they are evicted network-wide. Reports how
+/// many byzantine peers got evicted, the mean time to first eviction,
+/// honest-node false evictions (must be zero), and the delivery rate for
+/// routes whose true destination is honest once the quarantine settles.
+pub fn c15_byzantine() -> String {
+    use gloss_sim::ByzBehavior;
+    let mut rows = Vec::new();
+    for byz_count in [2usize, 4, 6] {
+        let n = 48usize;
+        let mut net = OverlayNetwork::build(n, 31);
+        net.world_mut().enable_tracing(262_144);
+        net.run_for(SimDuration::from_millis(200) * n as u64 + SimDuration::from_secs(60));
+        let byz: Vec<NodeIndex> = (0..byz_count).map(|i| NodeIndex((5 + 7 * i) as u32)).collect();
+        for &b in &byz {
+            net.set_byzantine(b, ByzBehavior::AckThenDrop);
+        }
+        let start = net.now();
+        // Sustained routing with payload traffic terminating all over the
+        // ring: targets are low-bit perturbations of every node's own key
+        // (FNV keys cluster in a narrow band of the 128-bit space, so
+        // uniformly random targets would concentrate on a handful of
+        // nodes and most peers — byzantine ones included — would never
+        // see a payload).
+        let mut phase_ids = Vec::new();
+        for round in 0..36u128 {
+            for j in 0..n as u32 {
+                let mut from = net.random_node();
+                while !net.world().is_alive(from) || byz.contains(&from) {
+                    from = net.random_node();
+                }
+                let target = Key(net.id_of(NodeIndex(j)).key.0 ^ (round * 48 + j as u128 + 1));
+                if !byz.contains(&net.closest_alive(target)) {
+                    phase_ids.push((net.route_from(from, target), target));
+                } else {
+                    net.route_from(from, target);
+                }
+            }
+            net.run_for(SimDuration::from_secs(5));
+        }
+        let outcomes = net.outcomes();
+        let phase_ok = phase_ids
+            .iter()
+            .filter(|(id, t)| {
+                outcomes.get(id).is_some_and(|o| o.delivered_at == net.closest_alive(*t))
+            })
+            .count();
+        let phase_pct = phase_ok as f64 / phase_ids.len().max(1) as f64 * 100.0;
+        // First eviction time per peer, from the trace.
+        let mut first_evict: BTreeMap<u32, f64> = BTreeMap::new();
+        for ev in net.world().tracer().events() {
+            if ev.kind == "overlay.evict" {
+                if let Ok(peer) = ev.detail.parse::<u32>() {
+                    first_evict.entry(peer).or_insert(ev.at.since(start).as_secs_f64());
+                }
+            }
+        }
+        let evicted: Vec<f64> = byz.iter().filter_map(|b| first_evict.get(&b.0)).copied().collect();
+        let honest_evicted = first_evict.keys().filter(|k| !byz.iter().any(|b| b.0 == **k)).count();
+        let mean_tte = if evicted.is_empty() {
+            f64::NAN
+        } else {
+            evicted.iter().sum::<f64>() / evicted.len() as f64
+        };
+        // Honest delivery once the quarantine settles: routes whose true
+        // closest node is honest must still arrive there.
+        let mut finals = Vec::new();
+        let mut salt = 1000u128;
+        while finals.len() < 100 {
+            let j = (salt % n as u128) as u32;
+            let target = Key(net.id_of(NodeIndex(j)).key.0 ^ salt);
+            salt += 1;
+            if byz.contains(&net.closest_alive(target)) {
+                continue;
+            }
+            let mut from = net.random_node();
+            while !net.world().is_alive(from) || byz.contains(&from) {
+                from = net.random_node();
+            }
+            finals.push((net.route_from(from, target), target));
+        }
+        net.run_for(SimDuration::from_secs(30));
+        let outcomes = net.outcomes();
+        let delivered = finals
+            .iter()
+            .filter(|(id, t)| {
+                outcomes.get(id).is_some_and(|o| o.delivered_at == net.closest_alive(*t))
+            })
+            .count();
+        rows.push(vec![
+            byz_count.to_string(),
+            format!("{}/{byz_count}", evicted.len()),
+            if mean_tte.is_nan() { "-".to_string() } else { f(mean_tte) },
+            honest_evicted.to_string(),
+            f(phase_pct),
+            f(delivered as f64 / finals.len() as f64 * 100.0),
+            f(net.world().metrics().counter("overlay.byz_dropped")),
+        ]);
+    }
+    table(
+        &[
+            "byz nodes",
+            "byz evicted",
+            "mean evict s",
+            "honest evicted",
+            "honest del (phase) %",
+            "honest del (settled) %",
+            "payloads dropped",
+        ],
+        &rows,
+    )
+}
+
+/// C16: broker overload — a sustained publication burst runs well above
+/// the brokers' service rate, with a thin stream of high-priority events
+/// mixed in. Unbounded brokers accept everything (unbounded queueing in a
+/// real deployment); load-shedding brokers shed low-priority
+/// publications at the watermark, keep admitting the high-priority
+/// stream, and reject new subscriptions while overloaded.
+pub fn c16_overload() -> String {
+    use gloss_event::ShedConfig;
+    let mut rows = Vec::new();
+    for bounded in [false, true] {
+        let shed = bounded.then(|| ShedConfig {
+            capacity: 64.0,
+            high_watermark: 32.0,
+            drain_per_sec: 40.0,
+            priority_floor: 4.0,
+            fair_window: SimDuration::from_secs(1),
+            fair_share: 64,
+        });
+        let mut net = PubSubNetwork::build(PubSubConfig {
+            architecture: Architecture::AcyclicPeer,
+            brokers: 4,
+            clients_per_broker: 4,
+            seed: 29,
+            shedding: shed,
+            ..PubSubConfig::default()
+        });
+        let clients = net.clients().to_vec();
+        for &c in &clients {
+            net.subscribe(c, Filter::for_kind("lo"));
+            net.subscribe(c, Filter::for_kind("hi"));
+        }
+        net.run_for(SimDuration::from_secs(5));
+        let mut rng = SimRng::new(29).fork("c16");
+        let (mut sent_lo, mut sent_hi) = (0u64, 0u64);
+        for s in 0..60u64 {
+            // 40 low-priority + 2 high-priority publications per second,
+            // against a 40 msg/s drain rate: persistently overloaded.
+            for _ in 0..40 {
+                let p = clients[rng.index(clients.len())];
+                net.publish(p, Event::new("lo").with_attr("prio", 1i64));
+                sent_lo += 1;
+            }
+            for _ in 0..2 {
+                let p = clients[rng.index(clients.len())];
+                net.publish(p, Event::new("hi").with_attr("prio", 9i64));
+                sent_hi += 1;
+            }
+            if s == 30 {
+                // A subscription arriving mid-overload: bounded brokers
+                // refuse it rather than grow matching state.
+                net.subscribe(clients[0], Filter::for_kind("late"));
+            }
+            net.run_for(SimDuration::from_secs(1));
+        }
+        net.run_for(SimDuration::from_secs(30));
+        let (mut got_lo, mut got_hi) = (0u64, 0u64);
+        for &c in &clients {
+            got_lo += net.client(c).received_of_kind("lo").count() as u64;
+            got_hi += net.client(c).received_of_kind("hi").count() as u64;
+        }
+        let m = net.world().metrics();
+        // A publisher is not notified of its own event, so each event has
+        // `clients - 1` expected deliveries.
+        let expect_lo = sent_lo * (clients.len() as u64 - 1);
+        let expect_hi = sent_hi * (clients.len() as u64 - 1);
+        rows.push(vec![
+            if bounded { "shedding" } else { "unbounded" }.to_string(),
+            f(got_hi as f64 / expect_hi.max(1) as f64 * 100.0),
+            f(got_lo as f64 / expect_lo.max(1) as f64 * 100.0),
+            f(m.counter("pubsub.shed")),
+            f(m.counter("pubsub.subs_rejected")),
+            if bounded { f(m.summary("pubsub.queue_delay_us").p99 / 1e3) } else { "-".to_string() },
+            net.max_broker_load().to_string(),
+        ]);
+    }
+    table(
+        &[
+            "broker",
+            "high-prio delivered %",
+            "low-prio delivered %",
+            "shed",
+            "subs rejected",
+            "queue p99 ms",
+            "max broker msgs",
+        ],
+        &rows,
+    )
+}
+
 /// The generated C13 churn rule for generation `g` (kept lint-clean:
 /// wildcards where nothing reads the binding).
 fn churn_rule_src(g: usize) -> String {
@@ -985,6 +1312,11 @@ pub fn run_experiment(id: &str) -> Option<(String, String)> {
         "c11" => ("C11: overlay routing under churn-heavy membership", c11_churn_heavy()),
         "c12" => ("C12: broker handoff under mobility-heavy clients", c12_mobility_heavy()),
         "c13" => ("C13: adversarial subscription churn (rules + facts)", c13_subscription_churn()),
+        "c14" => {
+            ("C14: regional partition + heal — governor vs three-strikes", c14_partition_heal())
+        }
+        "c15" => ("C15: byzantine ack-then-drop peers — conduct-channel eviction", c15_byzantine()),
+        "c16" => ("C16: broker overload — load shedding vs unbounded ingress", c16_overload()),
         "s3" => ("S3: event-plane scaling, 64-1024 nodes at 1 and 4 threads", s3_scaling()),
         _ => return None,
     };
@@ -994,7 +1326,7 @@ pub fn run_experiment(id: &str) -> Option<(String, String)> {
 /// All experiment ids in order.
 pub const ALL_EXPERIMENTS: &[&str] = &[
     "e1", "e2", "e3", "c1", "c2", "c3", "c4", "c5", "c6", "c7", "c8", "c9", "c10", "c11", "c12",
-    "c13", "s3",
+    "c13", "c14", "c15", "c16", "s3",
 ];
 
 #[cfg(test)]

@@ -98,7 +98,11 @@ impl ActiveArchitecture {
             };
             let overlay: OverlayNode<StorePayload> =
                 OverlayNode::new(overlay_key, info.index, bootstrap, delay)
-                    .with_probe_interval(SimDuration::from_secs(5));
+                    .with_probe_interval(SimDuration::from_secs(5))
+                    .with_governor(
+                        gloss_overlay::GovernorConfig::default(),
+                        cfg.seed ^ ((i as u64) << 17),
+                    );
             let store = StoreNode::new(info.index, overlay, cfg.store.clone(), directory.clone());
             let resources = NodeResources {
                 node: info.index,

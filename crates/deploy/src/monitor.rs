@@ -5,26 +5,50 @@
 //! without warning, in which case the loss may eventually be detected by
 //! other monitoring components, which will publish events on their
 //! behalf." (§4.4)
+//!
+//! Detection is graduated rather than binary: a node silent for half the
+//! deadline is *suspected* first (`resource.suspected`, published once per
+//! episode), and only declared failed (`resource.failed`) when the full
+//! deadline passes. A heartbeat arriving during the suspicion window
+//! refutes it (`resource.refuted`), so the deployment plane can
+//! distinguish slow links from dead nodes instead of thrashing
+//! redeployments.
 
 use crate::resource::NodeResources;
 use gloss_event::Event;
 use gloss_sim::{NodeIndex, SimDuration, SimTime};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Tracks heartbeats (advertisements) and detects silent failures.
 #[derive(Debug, Clone)]
 pub struct MonitorEngine {
     deadline: SimDuration,
+    /// Silence length at which a node becomes suspected (deadline / 2).
+    suspect_after: SimDuration,
     last_seen: BTreeMap<NodeIndex, SimTime>,
+    /// Nodes currently in a suspicion episode.
+    suspected: BTreeSet<NodeIndex>,
     /// Failures detected so far.
     pub failures_detected: u64,
+    /// Suspicion episodes started so far.
+    pub suspicions: u64,
+    /// Suspicion episodes refuted by a late heartbeat.
+    pub refutations: u64,
 }
 
 impl MonitorEngine {
     /// Creates a monitor declaring nodes dead after `deadline` without an
-    /// advertisement.
+    /// advertisement (and suspected after half of it).
     pub fn new(deadline: SimDuration) -> Self {
-        MonitorEngine { deadline, last_seen: BTreeMap::new(), failures_detected: 0 }
+        MonitorEngine {
+            deadline,
+            suspect_after: deadline / 2,
+            last_seen: BTreeMap::new(),
+            suspected: BTreeSet::new(),
+            failures_detected: 0,
+            suspicions: 0,
+            refutations: 0,
+        }
     }
 
     /// Number of nodes currently believed alive.
@@ -37,30 +61,50 @@ impl MonitorEngine {
         self.last_seen.contains_key(&node)
     }
 
+    /// Whether `node` is in a suspicion episode.
+    pub fn is_suspected(&self, node: NodeIndex) -> bool {
+        self.suspected.contains(&node)
+    }
+
     /// Feeds an observed event (advertisement refreshes liveness;
-    /// withdrawal removes the node immediately).
-    pub fn on_event(&mut self, now: SimTime, ev: &Event) {
+    /// withdrawal removes the node immediately). Returns the
+    /// `resource.refuted` event when the advertisement ends a suspicion
+    /// episode.
+    pub fn on_event(&mut self, now: SimTime, ev: &Event) -> Option<Event> {
         if let Some(r) = NodeResources::from_event(ev) {
             self.last_seen.insert(r.node, now);
+            if self.suspected.remove(&r.node) {
+                self.refutations += 1;
+                return Some(NodeResources::refuted_event(r.node));
+            }
         } else if ev.kind() == crate::resource::kinds::WITHDRAW {
             if let Some(node) = NodeResources::departed_node(ev) {
                 self.last_seen.remove(&node);
+                self.suspected.remove(&node);
             }
         }
+        None
     }
 
-    /// Periodic sweep: returns `resource.failed` events for nodes whose
-    /// advertisements stopped (published "on their behalf").
+    /// Periodic sweep: returns `resource.suspected` events for nodes that
+    /// crossed the suspicion window this sweep, and `resource.failed`
+    /// events for nodes whose silence exhausted the deadline (published
+    /// "on their behalf").
     pub fn sweep(&mut self, now: SimTime) -> Vec<Event> {
-        let dead: Vec<NodeIndex> = self
-            .last_seen
-            .iter()
-            .filter(|(_, &t)| now.since(t) > self.deadline)
-            .map(|(&n, _)| n)
-            .collect();
         let mut events = Vec::new();
+        let mut dead: Vec<NodeIndex> = Vec::new();
+        for (&node, &t) in &self.last_seen {
+            let silence = now.since(t);
+            if silence > self.deadline {
+                dead.push(node);
+            } else if silence > self.suspect_after && self.suspected.insert(node) {
+                self.suspicions += 1;
+                events.push(NodeResources::suspected_event(node));
+            }
+        }
         for node in dead {
             self.last_seen.remove(&node);
+            self.suspected.remove(&node);
             self.failures_detected += 1;
             events.push(NodeResources::failed_event(node));
         }
@@ -71,6 +115,7 @@ impl MonitorEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::resource::kinds;
     use gloss_sim::GeoPoint;
 
     fn advert(node: u32) -> Event {
@@ -89,7 +134,9 @@ mod tests {
         let mut m = MonitorEngine::new(SimDuration::from_secs(30));
         m.on_event(SimTime::from_secs(0), &advert(1));
         m.on_event(SimTime::from_secs(20), &advert(1));
-        assert!(m.sweep(SimTime::from_secs(40)).is_empty(), "refreshed at t=20");
+        // 20 s of silence at t=40: suspected (> 15 s) but not failed.
+        let evs = m.sweep(SimTime::from_secs(40));
+        assert!(evs.iter().all(|e| e.kind() != kinds::FAILED), "refreshed at t=20");
         assert!(m.is_alive(NodeIndex(1)));
     }
 
@@ -99,14 +146,16 @@ mod tests {
         m.on_event(SimTime::from_secs(0), &advert(1));
         m.on_event(SimTime::from_secs(0), &advert(2));
         m.on_event(SimTime::from_secs(50), &advert(2));
-        let failed = m.sweep(SimTime::from_secs(60));
+        let evs = m.sweep(SimTime::from_secs(60));
+        let failed: Vec<&Event> = evs.iter().filter(|e| e.kind() == kinds::FAILED).collect();
         assert_eq!(failed.len(), 1);
-        assert_eq!(NodeResources::departed_node(&failed[0]), Some(NodeIndex(1)));
+        assert_eq!(NodeResources::departed_node(failed[0]), Some(NodeIndex(1)));
         assert_eq!(m.failures_detected, 1);
         assert!(!m.is_alive(NodeIndex(1)));
         assert!(m.is_alive(NodeIndex(2)));
         // A failure is reported once.
-        assert!(m.sweep(SimTime::from_secs(90)).len() <= 1);
+        let again = m.sweep(SimTime::from_secs(90));
+        assert!(again.iter().filter(|e| e.kind() == kinds::FAILED).count() <= 1);
     }
 
     #[test]
@@ -117,5 +166,41 @@ mod tests {
         assert!(!m.is_alive(NodeIndex(1)));
         assert!(m.sweep(SimTime::from_secs(100)).is_empty());
         assert_eq!(m.failures_detected, 0, "withdrawals are not failures");
+    }
+
+    #[test]
+    fn suspicion_precedes_failure_and_is_published_once() {
+        let mut m = MonitorEngine::new(SimDuration::from_secs(30));
+        m.on_event(SimTime::from_secs(0), &advert(1));
+        // Past the suspicion window, before the deadline.
+        let evs = m.sweep(SimTime::from_secs(20));
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].kind(), kinds::SUSPECTED);
+        assert!(m.is_suspected(NodeIndex(1)));
+        assert!(m.is_alive(NodeIndex(1)), "suspected is not dead");
+        // Re-sweeping inside the window does not repeat the event.
+        assert!(m.sweep(SimTime::from_secs(25)).is_empty());
+        // Past the deadline: failed, episode over.
+        let evs = m.sweep(SimTime::from_secs(31));
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].kind(), kinds::FAILED);
+        assert!(!m.is_suspected(NodeIndex(1)));
+        assert_eq!(m.suspicions, 1);
+        assert_eq!(m.failures_detected, 1);
+    }
+
+    #[test]
+    fn late_heartbeat_refutes_suspicion() {
+        let mut m = MonitorEngine::new(SimDuration::from_secs(30));
+        m.on_event(SimTime::from_secs(0), &advert(1));
+        m.sweep(SimTime::from_secs(20));
+        assert!(m.is_suspected(NodeIndex(1)));
+        let refutation = m.on_event(SimTime::from_secs(25), &advert(1));
+        assert_eq!(refutation.map(|e| e.kind().to_string()).as_deref(), Some(kinds::REFUTED));
+        assert!(!m.is_suspected(NodeIndex(1)));
+        assert_eq!(m.refutations, 1);
+        // And the node survives the original deadline.
+        assert!(m.sweep(SimTime::from_secs(31)).iter().all(|e| e.kind() != kinds::FAILED));
+        assert_eq!(m.failures_detected, 0);
     }
 }

@@ -107,9 +107,16 @@ impl Node for PlaneNode {
                 match input {
                     Input::Start => out.timer(*sweep_every, SWEEP_TIMER),
                     Input::Timer { tag: SWEEP_TIMER } => {
-                        for failure in monitor.sweep(now) {
-                            out.count("deploy.failures_detected", 1.0);
-                            actions.extend(evolution.on_event(now, &failure));
+                        for ev in monitor.sweep(now) {
+                            if ev.kind() == crate::resource::kinds::SUSPECTED {
+                                // Graduated warning: not yet a failure, so
+                                // no redeploy is triggered.
+                                out.count("deploy.suspected", 1.0);
+                            } else {
+                                out.count("deploy.failures_detected", 1.0);
+                                out.count("deploy.evicted", 1.0);
+                                actions.extend(evolution.on_event(now, &ev));
+                            }
                         }
                         actions.extend(evolution.reconcile(now));
                         out.timer(*sweep_every, SWEEP_TIMER);
@@ -117,7 +124,9 @@ impl Node for PlaneNode {
                     Input::Timer { .. } => {}
                     Input::Msg { msg: DeployMsg::Advertise(xml), .. } => {
                         if let Ok(ev) = gloss_event::Event::from_xml_text(&xml) {
-                            monitor.on_event(now, &ev);
+                            if monitor.on_event(now, &ev).is_some() {
+                                out.count("deploy.refuted", 1.0);
+                            }
                             actions.extend(evolution.on_event(now, &ev));
                         }
                     }
@@ -273,6 +282,11 @@ mod tests {
         plane.run_for(SimDuration::from_secs(120));
         assert_eq!(plane.evolution().satisfaction(), 1.0, "constraint repaired");
         assert!(plane.monitor().failures_detected >= 1);
+        // The failure was graduated: a suspicion episode preceded the
+        // eviction.
+        assert!(plane.monitor().suspicions >= 1);
+        assert!(plane.world().metrics().counter("deploy.suspected") >= 1.0);
+        assert!(plane.world().metrics().counter("deploy.evicted") >= 1.0);
         assert!(
             plane.evolution().deployment().instances_of("replicator").all(|(_, n)| n != victim),
             "replacement avoids the dead node"

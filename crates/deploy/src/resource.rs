@@ -26,6 +26,11 @@ pub mod kinds {
     pub const WITHDRAW: &str = "resource.withdraw";
     /// Published by the monitoring engine on behalf of a silent node.
     pub const FAILED: &str = "resource.failed";
+    /// Monitor-published: a node is half a deadline silent (graduated
+    /// pre-failure warning).
+    pub const SUSPECTED: &str = "resource.suspected";
+    /// Monitor-published: a suspected node's heartbeat resumed.
+    pub const REFUTED: &str = "resource.refuted";
 }
 
 impl NodeResources {
@@ -62,6 +67,16 @@ impl NodeResources {
     /// A failure event for a silent node (monitor-published).
     pub fn failed_event(node: NodeIndex) -> Event {
         Event::new(kinds::FAILED).with_attr("node", node.0 as i64)
+    }
+
+    /// A suspicion event for a half-deadline-silent node.
+    pub fn suspected_event(node: NodeIndex) -> Event {
+        Event::new(kinds::SUSPECTED).with_attr("node", node.0 as i64)
+    }
+
+    /// A refutation event for a suspected node that resumed heartbeats.
+    pub fn refuted_event(node: NodeIndex) -> Event {
+        Event::new(kinds::REFUTED).with_attr("node", node.0 as i64)
     }
 
     /// Extracts the node from a withdraw/failed event.

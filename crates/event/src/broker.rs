@@ -7,7 +7,8 @@
 use crate::filter::Filter;
 use crate::filter::{Advertisement, Subscription};
 use crate::notification::Event;
-use gloss_sim::{NodeIndex, Outbox, SimTime};
+use gloss_governor::{IngressClass, LoadShedder, ShedConfig, ShedDecision};
+use gloss_sim::{NodeIndex, Outbox, SimDuration, SimTime};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Unique subscription identifier (clients derive these from their node
@@ -115,10 +116,26 @@ pub struct Broker {
     use_advertisements: bool,
     /// Mobility proxies: disconnected client → buffered events.
     proxies: BTreeMap<NodeIndex, Vec<Event>>,
+    /// Ingress load shedder (None = unbounded legacy behaviour).
+    shed: Option<LoadShedder>,
     /// Messages handled (load metric for C1).
     pub msgs_handled: u64,
     /// Notifications forwarded to other brokers.
     pub notifications_forwarded: u64,
+}
+
+/// Classifies a broker message for the load shedder. Publications carry
+/// their priority in a `prio` numeric attribute; events without one
+/// default above the priority floor (unmarked traffic is not low
+/// priority).
+fn ingress_class(msg: &BrokerMsg) -> (IngressClass, f64) {
+    match msg {
+        BrokerMsg::Subscribe(_) => (IngressClass::Subscription, 0.0),
+        BrokerMsg::Publish(e) | BrokerMsg::Notify(e) => {
+            (IngressClass::Publication, e.num_attr("prio").unwrap_or(f64::MAX))
+        }
+        _ => (IngressClass::Control, 0.0),
+    }
 }
 
 impl Broker {
@@ -133,6 +150,7 @@ impl Broker {
             advs: Vec::new(),
             use_advertisements: false,
             proxies: BTreeMap::new(),
+            shed: None,
             msgs_handled: 0,
             notifications_forwarded: 0,
         }
@@ -142,6 +160,17 @@ impl Broker {
     pub fn with_advertisements(mut self) -> Self {
         self.use_advertisements = true;
         self
+    }
+
+    /// Bounds this broker's ingress with a watermark load shedder.
+    pub fn with_shedding(mut self, cfg: ShedConfig) -> Self {
+        self.shed = Some(LoadShedder::new(cfg));
+        self
+    }
+
+    /// The ingress shedder, when installed (for harness assertions).
+    pub fn shedder(&self) -> Option<&LoadShedder> {
+        self.shed.as_ref()
     }
 
     /// This broker's node index.
@@ -179,6 +208,24 @@ impl Broker {
         out: &mut Outbox<BrokerMsg>,
     ) {
         self.msgs_handled += 1;
+        if let Some(shed) = &mut self.shed {
+            let (class, priority) = ingress_class(&msg);
+            match shed.offer(now, from.0, class, priority) {
+                ShedDecision::Admit(delay) => {
+                    if delay > SimDuration::ZERO {
+                        out.observe("pubsub.queue_delay_us", delay.as_micros() as f64);
+                    }
+                }
+                ShedDecision::Shed => {
+                    out.count("pubsub.shed", 1.0);
+                    return;
+                }
+                ShedDecision::RejectSubscription => {
+                    out.count("pubsub.subs_rejected", 1.0);
+                    return;
+                }
+            }
+        }
         match msg {
             BrokerMsg::Attach => {
                 self.clients.insert(from);
@@ -701,5 +748,124 @@ mod tests {
         // Buffered event replayed to the client; sub re-registered.
         assert_eq!(sent_to(&out, n(10)).len(), 1);
         assert_eq!(b2.subscription_count(), 1);
+    }
+
+    /// Tight shedding policy for overload tests: selective shedding from
+    /// depth 4, hard bound 8, slow drain.
+    fn tight_shed() -> gloss_governor::ShedConfig {
+        gloss_governor::ShedConfig {
+            capacity: 8.0,
+            high_watermark: 4.0,
+            drain_per_sec: 10.0,
+            priority_floor: 4.0,
+            fair_window: gloss_sim::SimDuration::from_secs(1),
+            fair_share: 1000,
+        }
+    }
+
+    #[test]
+    fn overloaded_broker_sheds_low_priority_publications() {
+        let mut b = peer_broker().with_shedding(tight_shed());
+        let mut out = Outbox::new();
+        b.handle(SimTime::ZERO, n(10), BrokerMsg::Subscribe(sub(1, Filter::any())), &mut out);
+        // Fill past the high watermark with unmarked (high-priority)
+        // publications from distinct sources.
+        let mut out = Outbox::new();
+        for i in 0..6 {
+            b.handle(SimTime::ZERO, n(100 + i), BrokerMsg::Publish(Event::new("k")), &mut out);
+        }
+        assert_eq!(b.shedder().unwrap().shed, 0, "high priority admitted up to capacity");
+        // A low-priority publication is now shed (never delivered) ...
+        let mut out = Outbox::new();
+        let low = Event::new("k").with_attr("prio", 1i64);
+        b.handle(SimTime::ZERO, n(200), BrokerMsg::Publish(low), &mut out);
+        assert!(sent_to(&out, n(10)).is_empty(), "shed event must not be delivered");
+        assert!(out.counts().iter().any(|(k, _)| k == "pubsub.shed"));
+        // ... while a high-priority one still gets through.
+        let mut out = Outbox::new();
+        let high = Event::new("k").with_attr("prio", 9i64);
+        b.handle(SimTime::ZERO, n(201), BrokerMsg::Publish(high), &mut out);
+        assert_eq!(sent_to(&out, n(10)).len(), 1);
+    }
+
+    #[test]
+    fn overloaded_broker_rejects_subscriptions_but_admits_control() {
+        let mut b = peer_broker().with_shedding(tight_shed());
+        let mut out = Outbox::new();
+        b.handle(SimTime::ZERO, n(10), BrokerMsg::Subscribe(sub(1, Filter::any())), &mut out);
+        let mut out = Outbox::new();
+        for i in 0..6 {
+            b.handle(SimTime::ZERO, n(100 + i), BrokerMsg::Publish(Event::new("k")), &mut out);
+        }
+        // New subscriptions are refused under overload.
+        let mut out = Outbox::new();
+        b.handle(SimTime::ZERO, n(11), BrokerMsg::Subscribe(sub(2, Filter::any())), &mut out);
+        assert_eq!(b.subscription_count(), 1, "subscription must be rejected");
+        assert!(out.counts().iter().any(|(k, _)| k == "pubsub.subs_rejected"));
+        // Unsubscribes (load-reducing control) are always admitted.
+        let mut out = Outbox::new();
+        b.handle(SimTime::ZERO, n(10), BrokerMsg::Unsubscribe(1), &mut out);
+        assert_eq!(b.subscription_count(), 0);
+    }
+
+    /// Regression: a client crashing mid-covering-chain must not leave
+    /// orphan subscription entries at the upstream broker. The access
+    /// broker holds a broad forwarded sub and a narrow covered one; on the
+    /// client's detach (how the harness surfaces a client crash) the
+    /// covered sub is transiently re-forwarded upstream by the covering
+    /// repair — the detach must still unwind it.
+    #[test]
+    fn client_crash_mid_covering_chain_leaves_no_orphans_upstream() {
+        let mut a = Broker::new(n(0), BrokerTopology::Peer { neighbors: vec![n(1)] });
+        let mut b = Broker::new(n(1), BrokerTopology::Peer { neighbors: vec![n(0)] });
+
+        // Runs `msg` at its destination and shuttles every resulting
+        // inter-broker message until the pair is quiescent.
+        fn drain(
+            a: &mut Broker,
+            b: &mut Broker,
+            mut q: std::collections::VecDeque<(NodeIndex, NodeIndex, BrokerMsg)>,
+        ) {
+            while let Some((to, from, msg)) = q.pop_front() {
+                let target = if to == NodeIndex(0) { &mut *a } else { &mut *b };
+                let me = target.index();
+                let mut out = Outbox::new();
+                target.handle(SimTime::ZERO, from, msg, &mut out);
+                for (t, m, _) in out.sends() {
+                    if *t == NodeIndex(0) || *t == NodeIndex(1) {
+                        q.push_back((*t, me, m.clone()));
+                    }
+                }
+            }
+        }
+
+        let client = n(10);
+        drain(
+            &mut a,
+            &mut b,
+            [
+                (n(0), client, BrokerMsg::Attach),
+                // Broad sub: forwarded to b.
+                (n(0), client, BrokerMsg::Subscribe(sub(1, Filter::for_kind("k")))),
+                // Narrow sub: covered by the broad one, pruned.
+                (
+                    n(0),
+                    client,
+                    BrokerMsg::Subscribe(sub(2, Filter::for_kind("k").with_eq("u", "x"))),
+                ),
+            ]
+            .into(),
+        );
+        assert_eq!(a.subscription_count(), 2);
+        assert_eq!(b.subscription_count(), 1, "only the broad sub crosses the link");
+
+        // The client crashes; its access broker sees a detach.
+        drain(&mut a, &mut b, [(n(0), client, BrokerMsg::Detach)].into());
+        assert_eq!(a.subscription_count(), 0);
+        assert_eq!(
+            b.subscription_count(),
+            0,
+            "upstream broker kept orphan entries for a dead client"
+        );
     }
 }

@@ -45,6 +45,7 @@ pub mod value;
 pub use broker::{Broker, BrokerMsg, BrokerTopology, SubId};
 pub use centralized::CentralServer;
 pub use filter::{Advertisement, Constraint, Filter, Op, Subscription};
+pub use gloss_governor::{IngressClass, LoadShedder, ShedConfig, ShedDecision};
 pub use network::{Architecture, ClientApi, PubSubConfig, PubSubNetwork, PubSubNode, Role};
 pub use notification::{Event, EventId};
 pub use value::AttrValue;

@@ -150,6 +150,9 @@ pub struct PubSubConfig {
     pub regions: Vec<String>,
     /// Enable advertisement-gated subscription forwarding (peer mode only).
     pub advertisements: bool,
+    /// Bound every broker's ingress with this load-shedding policy
+    /// (`None` = unbounded legacy behaviour).
+    pub shedding: Option<gloss_governor::ShedConfig>,
 }
 
 impl Default for PubSubConfig {
@@ -161,6 +164,7 @@ impl Default for PubSubConfig {
             seed: 1,
             regions: vec!["scotland".into(), "england".into(), "europe".into()],
             advertisements: false,
+            shedding: None,
         }
     }
 }
@@ -236,6 +240,9 @@ impl PubSubNetwork {
                     if cfg.advertisements {
                         b = b.with_advertisements();
                     }
+                    if let Some(shed) = &cfg.shedding {
+                        b = b.with_shedding(shed.clone());
+                    }
                     Role::Broker(b)
                 }
                 Architecture::Hierarchical => {
@@ -244,10 +251,14 @@ impl PubSubNetwork {
                         .copied()
                         .filter(|n| parents[i] != Some(*n))
                         .collect();
-                    Role::Broker(Broker::new(
+                    let mut b = Broker::new(
                         broker_ids[i],
                         BrokerTopology::Hierarchical { parent: parents[i], children },
-                    ))
+                    );
+                    if let Some(shed) = &cfg.shedding {
+                        b = b.with_shedding(shed.clone());
+                    }
+                    Role::Broker(b)
                 }
             };
             nodes.push(PubSubNode { role });
@@ -561,6 +572,46 @@ mod tests {
         net.subscribe(clients[0], Filter::for_kind("k").with_eq("u", "b"));
         settle(&mut net);
         assert!(net.world().metrics().counter("pubsub.subs_pruned") > 0.0);
+    }
+
+    #[test]
+    fn shedding_bounds_broker_ingress_under_burst() {
+        let mut cfg = PubSubConfig {
+            architecture: Architecture::AcyclicPeer,
+            brokers: 2,
+            clients_per_broker: 2,
+            seed: 11,
+            ..PubSubConfig::default()
+        };
+        cfg.shedding = Some(gloss_governor::ShedConfig {
+            capacity: 16.0,
+            high_watermark: 8.0,
+            drain_per_sec: 50.0,
+            priority_floor: 4.0,
+            fair_window: SimDuration::from_secs(1),
+            fair_share: 1000,
+        });
+        let mut net = PubSubNetwork::build(cfg);
+        let clients = net.clients().to_vec();
+        net.subscribe(clients[0], Filter::for_kind("k"));
+        settle(&mut net);
+        // A same-instant burst of low-priority events floods past the
+        // watermark; part of it must be shed, and the network stays live.
+        for i in 0..200u32 {
+            net.publish(
+                clients[3],
+                Event::new("k").with_attr("prio", 1i64).with_attr("i", i as i64),
+            );
+        }
+        settle(&mut net);
+        let shed = net.world().metrics().counter("pubsub.shed");
+        assert!(shed > 0.0, "burst should trip the shedder");
+        let got = net.client(clients[0]).received.len();
+        assert!(got < 200, "some of the burst must be dropped");
+        // High-priority traffic still flows after the overload clears.
+        net.publish(clients[3], Event::new("k").with_attr("prio", 9i64));
+        settle(&mut net);
+        assert!(net.client(clients[0]).received.len() > got);
     }
 
     #[test]

@@ -1,0 +1,255 @@
+//! Join admission control: a token bucket per source prefix plus
+//! exponential backoff with deterministic jitter for rejected requests.
+//!
+//! Rendezvous nodes (bootstraps, nodes adjacent in key space to many
+//! joiners) are the melting point of a reconnection stampede: when a
+//! partition heals, every node that crashed behind it retries its join at
+//! once. The admission governor bounds the rate each node is willing to
+//! serve per source neighbourhood and tells the overflow *when* to come
+//! back, spreading the stampede over time instead of shedding it blindly.
+
+use gloss_sim::{splitmix64, FnvHashMap, NodeIndex, SimDuration, SimTime};
+
+/// Admission policy knobs.
+#[derive(Debug, Clone)]
+pub struct AdmissionConfig {
+    /// Maximum burst of join requests admitted per source prefix.
+    pub burst: f64,
+    /// Sustained admission rate per source prefix (tokens per second).
+    pub refill_per_sec: f64,
+    /// Source addresses are grouped by `node_index >> prefix_shift`, so a
+    /// misbehaving neighbourhood exhausts its own bucket, not everyone's.
+    pub prefix_shift: u32,
+    /// First retry delay pushed back to a rejected joiner.
+    pub base_backoff: SimDuration,
+    /// Backoff ceiling (doubling stops here).
+    pub max_backoff: SimDuration,
+    /// Fraction of the backoff randomised (`0.25` means ±25%), so
+    /// rejected joiners do not re-synchronise into a second stampede.
+    pub jitter: f64,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            burst: 8.0,
+            refill_per_sec: 4.0,
+            prefix_shift: 4,
+            base_backoff: SimDuration::from_millis(500),
+            max_backoff: SimDuration::from_secs(8),
+            jitter: 0.25,
+        }
+    }
+}
+
+/// The governor's verdict on one join request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Serve the request.
+    Admit,
+    /// Reject; the joiner should retry after the given delay.
+    Backoff(SimDuration),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Bucket {
+    tokens: f64,
+    refilled_at: SimTime,
+}
+
+/// Token-bucket join admission with per-source exponential backoff.
+///
+/// Deterministic: jitter draws from a private splitmix64 stream seeded by
+/// the owner, and bucket state advances only on calls carrying simulated
+/// time — identical call sequences yield identical verdicts.
+#[derive(Debug, Clone)]
+pub struct AdmissionGovernor {
+    cfg: AdmissionConfig,
+    buckets: FnvHashMap<u32, Bucket>,
+    /// Consecutive rejections per source prefix (drives the exponent).
+    strikes: FnvHashMap<u32, u32>,
+    rng: u64,
+    /// Requests admitted.
+    pub admitted: u64,
+    /// Requests rejected with a backoff.
+    pub rejected: u64,
+}
+
+impl AdmissionGovernor {
+    /// Creates a governor; `seed` feeds the jitter stream.
+    pub fn new(cfg: AdmissionConfig, seed: u64) -> Self {
+        let mut s = seed ^ 0xad31_5510_9e37_79b9;
+        splitmix64(&mut s);
+        AdmissionGovernor {
+            cfg,
+            buckets: FnvHashMap::default(),
+            strikes: FnvHashMap::default(),
+            rng: s,
+            admitted: 0,
+            rejected: 0,
+        }
+    }
+
+    fn prefix(&self, source: NodeIndex) -> u32 {
+        source.0 >> self.cfg.prefix_shift
+    }
+
+    /// Judges one join request from `source` at time `now`.
+    pub fn check(&mut self, now: SimTime, source: NodeIndex) -> Admission {
+        let prefix = self.prefix(source);
+        let cfg = &self.cfg;
+        let b =
+            self.buckets.entry(prefix).or_insert(Bucket { tokens: cfg.burst, refilled_at: now });
+        let dt = now.since(b.refilled_at).as_secs_f64();
+        b.tokens = (b.tokens + dt * cfg.refill_per_sec).min(cfg.burst);
+        b.refilled_at = now;
+        if b.tokens >= 1.0 {
+            b.tokens -= 1.0;
+            self.strikes.remove(&prefix);
+            self.admitted += 1;
+            return Admission::Admit;
+        }
+        let strikes = self.strikes.entry(prefix).or_insert(0);
+        let exp = (*strikes).min(16);
+        *strikes = strikes.saturating_add(1);
+        self.rejected += 1;
+        let base = cfg.base_backoff.as_micros().saturating_mul(1u64 << exp);
+        let capped = base.min(cfg.max_backoff.as_micros()).max(1);
+        // Deterministic jitter: backoff * (1 - jitter .. 1 + jitter).
+        let unit = gloss_sim::splitmix_unit(&mut self.rng);
+        let factor = 1.0 - cfg.jitter + 2.0 * cfg.jitter * unit;
+        let jittered = ((capped as f64) * factor).round().max(1.0) as u64;
+        Admission::Backoff(SimDuration::from_micros(jittered))
+    }
+
+    /// Joiner-side retry delay for an *unanswered* join attempt (the
+    /// bootstrap never replied — it is down, partitioned away, or the
+    /// message was lost). Follows the same exponential schedule the
+    /// server side pushes to rejected joiners, jittered from this
+    /// governor's private stream, but floored at one second so a healthy
+    /// join round-trip is never raced by its own retry. Contrast with the
+    /// ungoverned protocol's blind fixed-interval fallback: after a
+    /// partition heals, governed joiners are already retrying on a short
+    /// (≤ `max_backoff`) cadence and complete quickly, while the jitter
+    /// keeps them from re-synchronising into a stampede.
+    pub fn retry_backoff(&mut self, attempt: u32) -> SimDuration {
+        let cfg = &self.cfg;
+        let base = cfg.base_backoff.as_micros().saturating_mul(1u64 << attempt.min(16));
+        let capped =
+            base.min(cfg.max_backoff.as_micros()).max(SimDuration::from_secs(1).as_micros());
+        let unit = gloss_sim::splitmix_unit(&mut self.rng);
+        let factor = 1.0 - cfg.jitter + 2.0 * cfg.jitter * unit;
+        SimDuration::from_micros(((capped as f64) * factor).round().max(1.0) as u64)
+    }
+
+    /// Drops per-source state (e.g. after the source completed its join).
+    pub fn forget(&mut self, source: NodeIndex) {
+        let prefix = self.prefix(source);
+        self.strikes.remove(&prefix);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gov() -> AdmissionGovernor {
+        AdmissionGovernor::new(AdmissionConfig::default(), 7)
+    }
+
+    #[test]
+    fn burst_admitted_then_rejected() {
+        let mut g = gov();
+        let t = SimTime::ZERO;
+        for _ in 0..8 {
+            assert_eq!(g.check(t, NodeIndex(1)), Admission::Admit);
+        }
+        assert!(matches!(g.check(t, NodeIndex(1)), Admission::Backoff(_)));
+        assert_eq!(g.admitted, 8);
+        assert_eq!(g.rejected, 1);
+    }
+
+    #[test]
+    fn refill_restores_admission() {
+        let mut g = gov();
+        for _ in 0..8 {
+            g.check(SimTime::ZERO, NodeIndex(1));
+        }
+        assert!(matches!(g.check(SimTime::ZERO, NodeIndex(1)), Admission::Backoff(_)));
+        // 1 second refills 4 tokens.
+        assert_eq!(g.check(SimTime::from_secs(1), NodeIndex(1)), Admission::Admit);
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_and_caps() {
+        let mut g = gov();
+        for _ in 0..8 {
+            g.check(SimTime::ZERO, NodeIndex(1));
+        }
+        let mut last = SimDuration::ZERO;
+        let mut grew = 0;
+        for _ in 0..12 {
+            match g.check(SimTime::ZERO, NodeIndex(1)) {
+                Admission::Backoff(d) => {
+                    if d > last {
+                        grew += 1;
+                    }
+                    assert!(
+                        d.as_micros()
+                            <= (AdmissionConfig::default().max_backoff.as_micros() as f64 * 1.25)
+                                as u64,
+                        "backoff {d:?} exceeds jittered ceiling"
+                    );
+                    last = d;
+                }
+                Admission::Admit => panic!("no refill happened"),
+            }
+        }
+        assert!(grew >= 4, "backoff never grew: {grew}");
+    }
+
+    #[test]
+    fn sources_in_different_prefixes_do_not_interfere() {
+        let mut g = gov();
+        for _ in 0..8 {
+            g.check(SimTime::ZERO, NodeIndex(1));
+        }
+        assert!(matches!(g.check(SimTime::ZERO, NodeIndex(2)), Admission::Backoff(_)));
+        // Prefix shift 4: node 16 lives in another bucket.
+        assert_eq!(g.check(SimTime::ZERO, NodeIndex(16)), Admission::Admit);
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        let run = || {
+            let mut g = AdmissionGovernor::new(AdmissionConfig::default(), 99);
+            let mut vs = Vec::new();
+            for i in 0..20 {
+                vs.push(g.check(SimTime::from_millis(i * 10), NodeIndex((i % 3) as u32)));
+            }
+            vs
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn admission_resets_strikes() {
+        let mut g = gov();
+        for _ in 0..9 {
+            g.check(SimTime::ZERO, NodeIndex(1));
+        }
+        // Refill fully, admit, then exhaust again: backoff restarts small.
+        let t = SimTime::from_secs(10);
+        assert_eq!(g.check(t, NodeIndex(1)), Admission::Admit);
+        for _ in 0..7 {
+            g.check(t, NodeIndex(1));
+        }
+        match g.check(t, NodeIndex(1)) {
+            Admission::Backoff(d) => {
+                let ceiling = AdmissionConfig::default().base_backoff.as_micros() as f64 * 1.3;
+                assert!((d.as_micros() as f64) <= ceiling, "strikes were not reset: {d:?}");
+            }
+            Admission::Admit => panic!("bucket should be empty"),
+        }
+    }
+}

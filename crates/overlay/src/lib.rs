@@ -36,7 +36,12 @@ pub mod node;
 pub mod table;
 
 pub use freenet::{FreenetNetwork, FreenetNode};
+// Re-exported so embedders can configure the governor without depending
+// on `gloss_governor` directly.
+pub use gloss_governor::{
+    AdmissionConfig, CircuitState, GovernorConfig, SuspicionConfig, SuspicionTracker,
+};
 pub use id::{Key, KeyedNode, DIGITS};
 pub use network::{OverlayNetwork, RouteOutcome};
-pub use node::{Delivery, OverlayMsg, OverlayNode};
+pub use node::{fault_class, Delivery, OverlayMsg, OverlayNode};
 pub use table::{LeafSet, RoutingTable};

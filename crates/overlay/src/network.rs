@@ -1,20 +1,54 @@
 //! Simulation harness for the overlay: staggered joins, routing
-//! experiments, and churn (experiment C2).
+//! experiments, churn (experiment C2), and adversarial scenarios
+//! (partitions, byzantine peers — experiments C14/C15).
 
 use crate::id::{Key, KeyedNode};
-use crate::node::{Delivery, OverlayMsg, OverlayNode};
+use crate::node::{fault_class, Delivery, OverlayMsg, OverlayNode};
+use gloss_governor::GovernorConfig;
 use gloss_sim::{
-    Batch, Input, Node, NodeIndex, Outbox, SimDuration, SimRng, SimTime, Topology, World,
+    Batch, ByzBehavior, ByzantineActor, Input, Node, NodeIndex, Outbox, SimDuration, SimRng,
+    SimTime, Topology, World,
 };
 use std::collections::BTreeMap;
 
-/// The world node: an overlay node plus its delivered payloads.
+/// The world node: an overlay node plus its delivered payloads and an
+/// optional byzantine behaviour wrapper (the adversary lives here in the
+/// harness, not in the protocol).
 #[derive(Debug)]
 pub struct OverlayWorldNode {
     /// The protocol state machine.
     pub overlay: OverlayNode<u64>,
     /// Payloads delivered here, by request id.
     pub delivered: Vec<Delivery<u64>>,
+    /// Misbehaviour policy (honest by default).
+    pub byz: ByzantineActor,
+    /// Cached first gossip payload for [`ByzBehavior::StaleGossip`].
+    stale: Option<OverlayMsg<u64>>,
+}
+
+impl OverlayWorldNode {
+    fn dispatch(
+        &mut self,
+        now: SimTime,
+        from: NodeIndex,
+        msg: OverlayMsg<u64>,
+        out: &mut Outbox<OverlayMsg<u64>>,
+    ) {
+        if !self.byz.is_honest() && self.byz.should_drop_input(from, fault_class(&msg)) {
+            out.count("overlay.byz_dropped", 1.0);
+            return;
+        }
+        let delivered = self.overlay.handle(now, from, msg, out);
+        self.delivered.extend(delivered);
+    }
+
+    fn post_process(&mut self, out: &mut Outbox<OverlayMsg<u64>>) {
+        if !self.byz.is_honest() {
+            self.byz.rewrite_outputs(out, &mut self.stale, |m| {
+                matches!(m, OverlayMsg::ProbeAck { .. } | OverlayMsg::LeafSetReply { .. })
+            });
+        }
+    }
 }
 
 impl Node for OverlayWorldNode {
@@ -24,11 +58,9 @@ impl Node for OverlayWorldNode {
         match input {
             Input::Start => self.overlay.on_start(out),
             Input::Timer { tag } => self.overlay.on_timer(now, tag, out),
-            Input::Msg { from, msg } => {
-                let delivered = self.overlay.handle(now, from, msg, out);
-                self.delivered.extend(delivered);
-            }
+            Input::Msg { from, msg } => self.dispatch(now, from, msg, out),
         }
+        self.post_process(out);
     }
 
     fn on_batch(
@@ -40,9 +72,9 @@ impl Node for OverlayWorldNode {
         // Same-instant arrivals dispatch straight into the protocol state
         // machine, skipping the per-message input match.
         for (from, msg) in batch {
-            let delivered = self.overlay.handle(now, from, msg, out);
-            self.delivered.extend(delivered);
+            self.dispatch(now, from, msg, out);
         }
+        self.post_process(out);
     }
 }
 
@@ -84,18 +116,32 @@ pub struct OverlayNetwork {
 
 impl OverlayNetwork {
     /// Builds `n` overlay nodes on a random wide-area topology; node 0 is
-    /// the bootstrap, later nodes join at 200 ms intervals.
+    /// the bootstrap, later nodes join at 200 ms intervals. The governor
+    /// plane (admission control + suspicion scoring) is enabled with
+    /// default policy; use [`build_with`](Self::build_with) to disable it
+    /// or tune it.
     pub fn build(n: usize, seed: u64) -> Self {
+        Self::build_with(n, seed, Some(GovernorConfig::default()))
+    }
+
+    /// Builds `n` overlay nodes with an explicit governor policy (`None`
+    /// = legacy three-strikes failure detection, no admission control).
+    pub fn build_with(n: usize, seed: u64, governor: Option<GovernorConfig>) -> Self {
         let topology = Topology::random(
             n,
             &["scotland", "england", "europe", "us-east", "us-west", "australia"],
             seed,
         );
-        Self::build_on(topology, seed)
+        Self::build_on_with(topology, seed, governor)
     }
 
-    /// Builds the overlay over an explicit topology.
+    /// Builds the overlay over an explicit topology (governor enabled).
     pub fn build_on(topology: Topology, seed: u64) -> Self {
+        Self::build_on_with(topology, seed, Some(GovernorConfig::default()))
+    }
+
+    /// Builds the overlay over an explicit topology and governor policy.
+    pub fn build_on_with(topology: Topology, seed: u64, governor: Option<GovernorConfig>) -> Self {
         let n = topology.len();
         let mut rng = SimRng::new(seed).fork("overlay-net");
         let mut nodes = Vec::with_capacity(n);
@@ -109,12 +155,27 @@ impl OverlayNetwork {
                 let b = NodeIndex(rng.index(i) as u32);
                 (Some(b), SimDuration::from_millis(200) * i as u64)
             };
-            let overlay = OverlayNode::new(key, idx, bootstrap, delay)
+            let mut overlay = OverlayNode::new(key, idx, bootstrap, delay)
                 .with_probe_interval(SimDuration::from_secs(5));
-            nodes.push(OverlayWorldNode { overlay, delivered: Vec::new() });
+            if let Some(cfg) = &governor {
+                // Per-node jitter seed: deterministic, but no two nodes
+                // share a backoff stream.
+                overlay = overlay.with_governor(cfg.clone(), seed ^ ((i as u64) << 17));
+            }
+            nodes.push(OverlayWorldNode {
+                overlay,
+                delivered: Vec::new(),
+                byz: ByzantineActor::default(),
+                stale: None,
+            });
         }
         let world = World::new(topology, seed, nodes);
         OverlayNetwork { world, next_req: 0, rng }
+    }
+
+    /// Assigns a byzantine behaviour to one node (honest by default).
+    pub fn set_byzantine(&mut self, node: NodeIndex, behavior: ByzBehavior) {
+        self.world.node_mut(node).byz = ByzantineActor::new(behavior);
     }
 
     /// Number of nodes.

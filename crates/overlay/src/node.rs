@@ -4,15 +4,21 @@
 
 use crate::id::{Key, KeyedNode};
 use crate::table::{LeafSet, RoutingTable};
-use gloss_sim::{FnvHashMap, NodeIndex, Outbox, SimDuration, SimTime};
+use gloss_governor::{
+    Admission, AdmissionGovernor, GovernorConfig, ProbeDecision, SuspicionTracker, SuspicionVerdict,
+};
+use gloss_sim::{FaultClass, FnvHashMap, NodeIndex, Outbox, SimDuration, SimTime};
 use std::sync::Arc;
 
 /// Timer tags used by the overlay (the embedding layer must route timer
-/// fires with these tags back into [`OverlayNode::on_timer`]).
+/// fires with these tags back into [`OverlayNode::on_timer`]). Tags use
+/// the low 32 bits; the overlay stamps join-attempt sequence numbers into
+/// the high bits, so embedders must pass tags through unmodified.
 pub mod timers {
     /// Periodic leaf-set heartbeat.
     pub const PROBE: u64 = 0x10;
-    /// Deferred join (staggered bootstrap).
+    /// Deferred join (staggered bootstrap). The high 32 bits carry the
+    /// join attempt sequence, so superseded retry timers are ignored.
     pub const JOIN: u64 = 0x11;
 }
 
@@ -78,6 +84,34 @@ pub enum OverlayMsg<P> {
         /// The members.
         leaves: Arc<[KeyedNode]>,
     },
+    /// Join rejected by admission control: retry after the given delay
+    /// (the governor's exponential backoff with jitter).
+    JoinRetry {
+        /// When the joiner should try again.
+        after: SimDuration,
+    },
+    /// Per-hop acknowledgement that a routed payload was accepted
+    /// (conduct evidence for the suspicion tracker; only sent when the
+    /// governor is enabled).
+    RouteAck,
+}
+
+/// Classifies an overlay message for byzantine fault policies
+/// ([`gloss_sim::ByzantineActor`]).
+pub fn fault_class<P>(msg: &OverlayMsg<P>) -> FaultClass {
+    match msg {
+        OverlayMsg::Route { .. } => FaultClass::Payload,
+        OverlayMsg::Probe | OverlayMsg::ProbeAck { .. } => FaultClass::Liveness,
+        OverlayMsg::JoinInfo { .. }
+        | OverlayMsg::Announce { .. }
+        | OverlayMsg::AnnounceAck { .. }
+        | OverlayMsg::LeafSetRequest
+        | OverlayMsg::LeafSetReply { .. } => FaultClass::Gossip,
+        OverlayMsg::Join { .. }
+        | OverlayMsg::JoinDone { .. }
+        | OverlayMsg::JoinRetry { .. }
+        | OverlayMsg::RouteAck => FaultClass::Control,
+    }
 }
 
 /// A payload delivered at this node (it is the live node numerically
@@ -97,8 +131,37 @@ pub struct Delivery<P> {
 /// Safety valve: routes longer than this deliver locally and are counted,
 /// preventing pathological loops while tables converge.
 const MAX_HOPS: u32 = 64;
-/// Consecutive missed probes before a leaf is declared dead.
+/// Consecutive missed probes before a leaf is declared dead (legacy
+/// three-strikes path, used when no governor is installed).
 const PROBE_DEATH: u32 = 3;
+
+/// An in-flight routed payload: (`target`, `payload`, `origin`, `hops`).
+type PendingForwards<P> = Vec<(Key, P, NodeIndex, u32)>;
+
+/// The per-node governor state: join admission, peer suspicion, and the
+/// outstanding-forward ledger feeding the conduct channel.
+#[derive(Debug, Clone)]
+struct Governor<P> {
+    admission: AdmissionGovernor,
+    suspicion: SuspicionTracker,
+    /// Routed payloads forwarded per peer and awaiting
+    /// [`OverlayMsg::RouteAck`], retained in full so the next probe
+    /// round can re-route an abandoned payload around the suspect
+    /// instead of losing it.
+    pending_acks: FnvHashMap<u32, PendingForwards<P>>,
+}
+
+impl<P> Governor<P> {
+    fn new(cfg: &GovernorConfig, probe_interval: SimDuration, seed: u64) -> Self {
+        let mut scfg = cfg.suspicion.clone();
+        scfg.probe_interval = probe_interval;
+        Governor {
+            admission: AdmissionGovernor::new(cfg.admission.clone(), seed),
+            suspicion: SuspicionTracker::new(scfg),
+            pending_acks: FnvHashMap::default(),
+        }
+    }
+}
 
 /// A Pastry-style overlay node.
 #[derive(Debug, Clone)]
@@ -130,10 +193,17 @@ pub struct OverlayNode<P> {
     /// state every ack repeats the same list, and re-learning it is the
     /// hottest no-op in large settled overlays.
     acked_gossip: FnvHashMap<u32, u64>,
-    _payload: std::marker::PhantomData<P>,
+    /// Admission + suspicion plane (None = legacy three-strikes detection).
+    governor: Option<Governor<P>>,
+    /// Governor config and seed, kept to rebuild fresh state on restart.
+    gov_setup: Option<(GovernorConfig, u64)>,
+    /// Join attempt sequence; stamped into JOIN timer tags so a backoff
+    /// retry invalidates the fixed-interval fallback timer (and vice
+    /// versa).
+    join_attempt: u64,
 }
 
-impl<P> OverlayNode<P> {
+impl<P: Clone> OverlayNode<P> {
     /// Creates a node with identifier `key` on physical node `node`.
     ///
     /// `bootstrap` is the physical node to join through (`None` for the
@@ -159,7 +229,9 @@ impl<P> OverlayNode<P> {
             known_cache: Vec::new(),
             known_dirty: false,
             acked_gossip: FnvHashMap::default(),
-            _payload: std::marker::PhantomData,
+            governor: None,
+            gov_setup: None,
+            join_attempt: 0,
         }
     }
 
@@ -167,6 +239,28 @@ impl<P> OverlayNode<P> {
     pub fn with_probe_interval(mut self, interval: SimDuration) -> Self {
         self.probe_interval = interval;
         self
+    }
+
+    /// Installs the admission + suspicion governor (call after
+    /// [`with_probe_interval`](Self::with_probe_interval): the suspicion
+    /// phi scale follows the probe cadence). `seed` drives the backoff
+    /// jitter stream; derive it from the world seed and the node index so
+    /// every node jitters independently but deterministically.
+    pub fn with_governor(mut self, cfg: GovernorConfig, seed: u64) -> Self {
+        self.governor = Some(Governor::new(&cfg, self.probe_interval, seed));
+        self.gov_setup = Some((cfg, seed));
+        self
+    }
+
+    /// Whether the governor plane is active.
+    pub fn governed(&self) -> bool {
+        self.governor.is_some()
+    }
+
+    /// The suspicion tracker, when the governor is installed (for harness
+    /// assertions and embedders).
+    pub fn suspicion(&self) -> Option<&SuspicionTracker> {
+        self.governor.as_ref().map(|g| &g.suspicion)
     }
 
     /// This node's key and address.
@@ -182,6 +276,28 @@ impl<P> OverlayNode<P> {
     /// The current leaf set members.
     pub fn leaf_members(&self) -> Vec<KeyedNode> {
         self.leaves.members().to_vec()
+    }
+
+    /// Leaf set members whose circuit allows replica placement (all of
+    /// them when no governor is installed). Placement is stricter than
+    /// routing: half-open peers carry trial traffic but do not receive
+    /// new replicas.
+    pub fn usable_leaf_members(&self) -> Vec<KeyedNode> {
+        match &self.governor {
+            None => self.leaf_members(),
+            Some(g) => self
+                .leaves
+                .members()
+                .iter()
+                .copied()
+                .filter(|m| g.suspicion.allows_placement(m.node))
+                .collect(),
+        }
+    }
+
+    /// Whether routing may currently use `node` as a hop.
+    fn peer_usable(&self, node: NodeIndex) -> bool {
+        self.governor.as_ref().is_none_or(|g| g.suspicion.allows_routing(node))
     }
 
     /// Every node this node knows about.
@@ -217,8 +333,16 @@ impl<P> OverlayNode<P> {
         self.acked_since.insert(from.0, ());
     }
 
-    /// Incorporates a discovered node into the routing state.
+    /// Incorporates a discovered node into the routing state. Evicted
+    /// peers are ignored: gossip cannot re-introduce a banned node (the
+    /// one readmission path is an explicit [`OverlayMsg::Join`], which is
+    /// guarded by admission control).
     pub fn learn(&mut self, node: KeyedNode) {
+        if let Some(g) = &self.governor {
+            if g.suspicion.is_banned(node.node) {
+                return;
+            }
+        }
         if node.key != self.me.key {
             let changed = self.table.offer(node) | self.leaves.offer(node);
             self.known_dirty |= changed;
@@ -235,21 +359,46 @@ impl<P> OverlayNode<P> {
         self.known_cache.clear();
         self.known_dirty = false;
         self.acked_gossip.clear();
+        if let Some((cfg, seed)) = &self.gov_setup {
+            // A restarted node starts with a clean slate: suspicion scores
+            // and bans describe the previous incarnation's world view.
+            self.governor = Some(Governor::new(cfg, self.probe_interval, *seed));
+        }
         self.joined = self.bootstrap.is_none();
+        self.join_attempt = 0;
         if self.bootstrap.is_some() {
             out.timer(self.join_delay, timers::JOIN);
         }
         out.timer(self.probe_interval, timers::PROBE);
     }
 
-    /// Handles a timer fire for one of [`timers`]' tags.
-    pub fn on_timer(&mut self, _now: SimTime, tag: u64, out: &mut Outbox<OverlayMsg<P>>) {
-        match tag {
+    /// Handles a timer fire for one of [`timers`]' tags (high bits may
+    /// carry a join attempt sequence).
+    pub fn on_timer(&mut self, now: SimTime, tag: u64, out: &mut Outbox<OverlayMsg<P>>) {
+        let seq = tag >> 32;
+        match tag & 0xffff_ffff {
             timers::JOIN if !self.joined => {
+                // A stale timer: a JoinRetry backoff (or a newer fallback)
+                // superseded this attempt.
+                if seq != self.join_attempt {
+                    return;
+                }
                 if let Some(b) = self.bootstrap {
                     out.send(b, OverlayMsg::Join { joiner: self.me });
-                    // Retry until JoinDone arrives.
-                    out.timer(self.probe_interval * 4, timers::JOIN);
+                    // Retry until JoinDone (or a JoinRetry backoff)
+                    // arrives. Governed joiners retry on the admission
+                    // plane's exponential-with-jitter schedule (capped at
+                    // max_backoff), so a joiner cut off from its
+                    // bootstrap re-completes quickly once connectivity
+                    // returns; the ungoverned fallback is a blind fixed
+                    // interval.
+                    let attempt = self.join_attempt as u32;
+                    let fallback = match &mut self.governor {
+                        Some(g) => g.admission.retry_backoff(attempt),
+                        None => self.probe_interval * 4,
+                    };
+                    self.join_attempt += 1;
+                    out.timer(fallback, timers::JOIN | (self.join_attempt << 32));
                 }
             }
             timers::PROBE => {
@@ -258,25 +407,36 @@ impl<P> OverlayNode<P> {
                 // messages after a crash.
                 self.known_refreshed();
                 let mut dead: Vec<NodeIndex> = Vec::new();
-                let drain_acks = !self.acked_since.is_empty();
-                for i in 0..self.known_cache.len() {
-                    let target = self.known_cache[i].node;
-                    if drain_acks && self.acked_since.remove(&target.0).is_some() {
-                        // Heard from this node since the last heartbeat:
-                        // it is alive, skip this round's probe.
-                        self.probe_counters[i] = 0;
-                        continue;
-                    }
-                    if self.probe_counters[i] >= PROBE_DEATH {
-                        dead.push(target);
-                    } else {
-                        self.probe_counters[i] += 1;
-                        out.send(target, OverlayMsg::Probe);
+                let mut abandoned = Vec::new();
+                if self.governor.is_some() {
+                    abandoned = self.governed_probe_round(now, &mut dead, out);
+                } else {
+                    let drain_acks = !self.acked_since.is_empty();
+                    for i in 0..self.known_cache.len() {
+                        let target = self.known_cache[i].node;
+                        if drain_acks && self.acked_since.remove(&target.0).is_some() {
+                            // Heard from this node since the last
+                            // heartbeat: it is alive, skip this round's
+                            // probe.
+                            self.probe_counters[i] = 0;
+                            continue;
+                        }
+                        if self.probe_counters[i] >= PROBE_DEATH {
+                            dead.push(target);
+                        } else {
+                            self.probe_counters[i] += 1;
+                            out.send(target, OverlayMsg::Probe);
+                        }
                     }
                 }
                 self.acked_since.clear();
                 for d in dead {
                     self.handle_failure(d, out);
+                }
+                // Give abandoned payloads a second life now that evicted
+                // peers are gone and opened circuits divert routing.
+                for (target, payload, origin, hops) in abandoned {
+                    self.reroute(target, payload, origin, hops, out);
                 }
                 out.timer(self.probe_interval, timers::PROBE);
             }
@@ -284,8 +444,123 @@ impl<P> OverlayNode<P> {
         }
     }
 
+    /// One probe round under the governor: expire outstanding forward
+    /// acks into conduct evidence, feed probe contact/timeout evidence,
+    /// and gate probes on each peer's circuit state. Peers whose circuit
+    /// exhausts its half-open trials land in `dead`.
+    fn governed_probe_round(
+        &mut self,
+        now: SimTime,
+        dead: &mut Vec<NodeIndex>,
+        out: &mut Outbox<OverlayMsg<P>>,
+    ) -> PendingForwards<P> {
+        let g = self.governor.as_mut().expect("caller checked");
+        // Forwards that went unacknowledged for a whole probe interval are
+        // conduct evidence (an honest peer acks within a round trip). The
+        // abandoned payloads themselves are returned to the caller, which
+        // re-routes them once failure handling has settled the circuit
+        // state. Sorted: hash-map iteration order must not influence the
+        // schedule.
+        let mut outstanding: Vec<(u32, PendingForwards<P>)> = g.pending_acks.drain().collect();
+        outstanding.sort_unstable_by_key(|(peer, _)| *peer);
+        let mut abandoned = Vec::new();
+        for (peer, pending) in outstanding {
+            let target = NodeIndex(peer);
+            match g.suspicion.on_forward_unacked(now, target) {
+                SuspicionVerdict::Opened => {
+                    out.count("overlay.suspected", 1.0);
+                    out.trace("overlay.suspect", format!("conduct:{peer}"));
+                }
+                SuspicionVerdict::Evict => dead.push(target),
+                _ => {}
+            }
+            abandoned.extend(pending);
+        }
+        let drain_acks = !self.acked_since.is_empty();
+        for i in 0..self.known_cache.len() {
+            let target = self.known_cache[i].node;
+            if dead.contains(&target) {
+                continue;
+            }
+            if drain_acks && self.acked_since.remove(&target.0).is_some() {
+                self.probe_counters[i] = 0;
+                if g.suspicion.on_contact(now, target) == SuspicionVerdict::Refuted {
+                    out.count("overlay.refutations", 1.0);
+                }
+                // Contact alone cannot re-close a conduct-opened circuit,
+                // but its cooldown must still elapse into the half-open
+                // trial — that trial (routing forwards to the peer again)
+                // is what decides between refutation and eviction for an
+                // ack-then-drop peer.
+                let _ = g.suspicion.probe_decision(now, target);
+                continue;
+            }
+            if self.probe_counters[i] > 0 {
+                // The previous round's probe went unanswered.
+                match g.suspicion.on_probe_timeout(now, target) {
+                    SuspicionVerdict::Opened => {
+                        out.count("overlay.suspected", 1.0);
+                        out.trace("overlay.suspect", format!("liveness:{}", target.0));
+                    }
+                    SuspicionVerdict::Evict => {
+                        dead.push(target);
+                        continue;
+                    }
+                    _ => {}
+                }
+            }
+            match g.suspicion.probe_decision(now, target) {
+                ProbeDecision::Skip => {}
+                ProbeDecision::Probe => {
+                    self.probe_counters[i] = self.probe_counters[i].saturating_add(1);
+                    out.send(target, OverlayMsg::Probe);
+                }
+            }
+        }
+        abandoned
+    }
+
+    /// Re-routes a payload whose forward went unacknowledged. The next
+    /// hop is re-chosen under the *current* circuit state, so a payload
+    /// abandoned by a suspected peer detours around it; if this node is
+    /// now the best usable destination, the payload is looped back to
+    /// itself as a message so the delivery surfaces through the normal
+    /// [`handle`](Self::handle) path.
+    fn reroute(
+        &mut self,
+        target: Key,
+        payload: P,
+        origin: NodeIndex,
+        hops: u32,
+        out: &mut Outbox<OverlayMsg<P>>,
+    ) {
+        out.count("overlay.reroutes", 1.0);
+        match self.next_hop(target) {
+            None => {
+                out.send(self.me.node, OverlayMsg::Route { target, payload, origin, hops });
+            }
+            Some(hop) => {
+                if let Some(g) = &mut self.governor {
+                    g.pending_acks.entry(hop.node.0).or_default().push((
+                        target,
+                        payload.clone(),
+                        origin,
+                        hops,
+                    ));
+                }
+                out.send(hop.node, OverlayMsg::Route { target, payload, origin, hops: hops + 1 });
+            }
+        }
+    }
+
     fn handle_failure(&mut self, node: NodeIndex, out: &mut Outbox<OverlayMsg<P>>) {
         self.acked_since.remove(&node.0);
+        if let Some(g) = &mut self.governor {
+            g.suspicion.evict(node);
+            g.pending_acks.remove(&node.0);
+            out.count("overlay.evictions", 1.0);
+            out.trace("overlay.evict", node.0.to_string());
+        }
         let in_leaves = self.leaves.remove_node(node);
         let in_table = self.table.remove_node(node) > 0;
         self.known_dirty |= in_leaves || in_table;
@@ -301,13 +576,35 @@ impl<P> OverlayNode<P> {
     /// Handles a protocol message; returns payloads delivered here.
     pub fn handle(
         &mut self,
-        _now: SimTime,
+        now: SimTime,
         from: NodeIndex,
         msg: OverlayMsg<P>,
         out: &mut Outbox<OverlayMsg<P>>,
     ) -> Vec<Delivery<P>> {
         match msg {
             OverlayMsg::Join { joiner } => {
+                // Admission control applies at the ingress node (the one
+                // the joiner contacted directly); forwarded joins already
+                // paid at the door.
+                if let Some(g) = &mut self.governor {
+                    if from != joiner.node {
+                        g.suspicion.readmit(joiner.node);
+                    } else {
+                        match g.admission.check(now, joiner.node) {
+                            Admission::Admit => {
+                                // An explicit, admitted join is the one
+                                // path back in for an evicted node: a
+                                // restart means a new incarnation.
+                                g.suspicion.readmit(joiner.node);
+                            }
+                            Admission::Backoff(after) => {
+                                out.count("overlay.joins_rejected", 1.0);
+                                out.send(joiner.node, OverlayMsg::JoinRetry { after });
+                                return Vec::new();
+                            }
+                        }
+                    }
+                }
                 // Send the joiner everything we know, then pass the join
                 // along the route toward its key.
                 let mut known = self.known();
@@ -360,7 +657,41 @@ impl<P> OverlayNode<P> {
                 Vec::new()
             }
             OverlayMsg::Route { target, payload, origin, hops } => {
+                if self.governor.is_some() && from != self.me.node {
+                    // Conduct evidence for the previous hop: we accepted
+                    // the payload.
+                    out.send(from, OverlayMsg::RouteAck);
+                }
                 self.route_step(target, payload, origin, hops, out).into_iter().collect()
+            }
+            OverlayMsg::RouteAck => {
+                self.reset_probe_counter(from);
+                if let Some(g) = &mut self.governor {
+                    if let Some(pending) = g.pending_acks.get_mut(&from.0) {
+                        // FIFO: acks arrive in forward order on a lossless
+                        // link, and any ack is equal evidence of conduct.
+                        if !pending.is_empty() {
+                            pending.remove(0);
+                        }
+                        if pending.is_empty() {
+                            g.pending_acks.remove(&from.0);
+                        }
+                    }
+                    if g.suspicion.on_forward_acked(now, from) == SuspicionVerdict::Refuted {
+                        out.count("overlay.refutations", 1.0);
+                    }
+                }
+                Vec::new()
+            }
+            OverlayMsg::JoinRetry { after } => {
+                if !self.joined {
+                    out.count("overlay.join_backoff", 1.0);
+                    // Supersede the pending fixed-interval retry with the
+                    // governor's backoff.
+                    self.join_attempt += 1;
+                    out.timer(after, timers::JOIN | (self.join_attempt << 32));
+                }
+                Vec::new()
             }
             OverlayMsg::Probe => {
                 // An incoming probe is itself liveness evidence.
@@ -423,22 +754,47 @@ impl<P> OverlayNode<P> {
         // Final hops: within the leaf-set span, go numerically closest.
         if self.leaves.covers(key) {
             let closest = self.leaves.closest(key, self.me);
-            return if closest.key == self.me.key { None } else { Some(closest) };
+            if closest.key == self.me.key {
+                return None;
+            }
+            if self.peer_usable(closest.node) {
+                return Some(closest);
+            }
+            // The numerically closest leaf's circuit is open: deliver to
+            // the closest *usable* leaf instead (or locally), exactly as
+            // if the suspected peer had already been removed.
+            let best = self
+                .leaves
+                .members()
+                .iter()
+                .copied()
+                .filter(|m| self.peer_usable(m.node))
+                .chain(std::iter::once(self.me))
+                .min_by_key(|k| k.key.ring_distance(key))
+                .expect("chain includes self");
+            return if best.key == self.me.key { None } else { Some(best) };
         }
         // Prefix routing: advance the shared prefix by one digit.
         if let Some(hop) = self.table.next_hop(key) {
-            return Some(hop);
+            if self.peer_usable(hop.node) {
+                return Some(hop);
+            }
         }
-        // Rare case: no entry; take any known node strictly closer with at
-        // least our prefix length. (Iterates the raw state directly: a
-        // duplicate between table and leaves cannot change the minimum.)
+        // Rare case: no (usable) entry; take any known node strictly
+        // closer with at least our prefix length. (Iterates the raw state
+        // directly: a duplicate between table and leaves cannot change
+        // the minimum.)
         let my_prefix = self.me.key.shared_prefix(key);
         let my_dist = self.me.key.ring_distance(key);
         self.table
             .entries()
             .into_iter()
             .chain(self.leaves.members().iter().copied())
-            .filter(|k| k.key.shared_prefix(key) >= my_prefix && k.key.ring_distance(key) < my_dist)
+            .filter(|k| {
+                k.key.shared_prefix(key) >= my_prefix
+                    && k.key.ring_distance(key) < my_dist
+                    && self.peer_usable(k.node)
+            })
             .min_by_key(|k| k.key.ring_distance(key))
     }
 
@@ -461,6 +817,14 @@ impl<P> OverlayNode<P> {
                 Some(Delivery { target, payload, origin, hops })
             }
             Some(hop) => {
+                if let Some(g) = &mut self.governor {
+                    g.pending_acks.entry(hop.node.0).or_default().push((
+                        target,
+                        payload.clone(),
+                        origin,
+                        hops,
+                    ));
+                }
                 out.send(hop.node, OverlayMsg::Route { target, payload, origin, hops: hops + 1 });
                 None
             }
@@ -623,6 +987,161 @@ mod tests {
         let mut out = Outbox::new();
         let d = a.route_step(Key(8 << 120), 1, n(0), MAX_HOPS, &mut out);
         assert!(d.is_some());
+    }
+
+    fn gnode(key: u128, idx: u32, bootstrap: Option<NodeIndex>) -> OverlayNode<u64> {
+        OverlayNode::new(Key(key), n(idx), bootstrap, SimDuration::ZERO)
+            .with_governor(GovernorConfig::default(), 7)
+    }
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    #[test]
+    fn admission_overflow_sends_join_retry() {
+        let mut a = gnode(0x100, 0, None);
+        // Burst of 8 ingress joins from one source prefix admitted, the
+        // ninth pushed back with a backoff.
+        for i in 1..=8 {
+            let joiner = KeyedNode::new(Key(0x200 + i as u128), n(i));
+            let mut out = Outbox::new();
+            a.handle(SimTime::ZERO, n(i), OverlayMsg::Join { joiner }, &mut out);
+            assert!(
+                !out.sends().iter().any(|(_, m, _)| matches!(m, OverlayMsg::JoinRetry { .. })),
+                "join {i} should be admitted"
+            );
+        }
+        let joiner = KeyedNode::new(Key(0x300), n(9));
+        let mut out = Outbox::new();
+        a.handle(SimTime::ZERO, n(9), OverlayMsg::Join { joiner }, &mut out);
+        assert!(
+            out.sends()
+                .iter()
+                .any(|(to, m, _)| *to == n(9) && matches!(m, OverlayMsg::JoinRetry { .. })),
+            "ninth join should be rejected with a backoff"
+        );
+        // Forwarded joins (from != joiner) are not re-charged.
+        let joiner = KeyedNode::new(Key(0x400), n(10));
+        let mut out = Outbox::new();
+        a.handle(SimTime::ZERO, n(3), OverlayMsg::Join { joiner }, &mut out);
+        assert!(!out.sends().iter().any(|(_, m, _)| matches!(m, OverlayMsg::JoinRetry { .. })));
+    }
+
+    #[test]
+    fn join_retry_supersedes_pending_attempt() {
+        let mut j = gnode(0x77, 5, Some(n(0)));
+        let mut out = Outbox::new();
+        j.on_start(&mut out);
+        // First JOIN fire (seq 0): sends the join, arms fallback seq 1.
+        let mut out = Outbox::new();
+        j.on_timer(t(1), timers::JOIN, &mut out);
+        assert!(out.sends().iter().any(|(_, m, _)| matches!(m, OverlayMsg::Join { .. })));
+        let (_, fallback_tag) = out.timers()[0];
+        assert_eq!(fallback_tag & 0xffff_ffff, timers::JOIN);
+        assert_eq!(fallback_tag >> 32, 1);
+        // A JoinRetry arrives: arms a backoff timer with seq 2.
+        let mut out = Outbox::new();
+        j.handle(
+            t(1),
+            n(0),
+            OverlayMsg::JoinRetry { after: SimDuration::from_millis(700) },
+            &mut out,
+        );
+        let (delay, retry_tag) = out.timers()[0];
+        assert_eq!(delay, SimDuration::from_millis(700));
+        assert_eq!(retry_tag >> 32, 2);
+        // The stale fallback timer is now ignored...
+        let mut out = Outbox::new();
+        j.on_timer(t(2), fallback_tag, &mut out);
+        assert!(out.sends().is_empty(), "superseded timer must not re-send the join");
+        // ...while the backoff timer re-sends.
+        let mut out = Outbox::new();
+        j.on_timer(t(2), retry_tag, &mut out);
+        assert!(out.sends().iter().any(|(_, m, _)| matches!(m, OverlayMsg::Join { .. })));
+    }
+
+    #[test]
+    fn governed_silence_evicts_and_bans() {
+        let mut a = gnode(0x100, 0, None);
+        let peer = KeyedNode::new(Key(0x110), n(1));
+        a.learn(peer);
+        for k in 1..=12 {
+            let mut out = Outbox::new();
+            a.on_timer(t(5 * k), timers::PROBE, &mut out);
+        }
+        let g = a.suspicion().expect("governor installed");
+        assert!(g.is_banned(n(1)), "silent peer should be evicted");
+        assert!(a.leaf_members().is_empty());
+        // Gossip cannot re-introduce the banned peer.
+        a.learn(peer);
+        assert!(a.leaf_members().is_empty());
+        // An explicit admitted join can.
+        let mut out = Outbox::new();
+        a.handle(t(100), n(1), OverlayMsg::Join { joiner: peer }, &mut out);
+        assert!(!a.suspicion().unwrap().is_banned(n(1)));
+    }
+
+    #[test]
+    fn ack_then_drop_peer_is_evicted_despite_probe_contact() {
+        let mut a = gnode(0x100, 0, None);
+        let peer = KeyedNode::new(Key(8 << 120), n(1));
+        a.learn(peer);
+        let mut evicted_at = None;
+        for k in 1..=30u64 {
+            let now = t(5 * k);
+            let mut out = Outbox::new();
+            a.on_timer(now, timers::PROBE, &mut out);
+            if a.suspicion().unwrap().is_banned(n(1)) {
+                evicted_at = Some(now);
+                break;
+            }
+            // The byzantine peer acks every probe (liveness looks fine)...
+            a.handle(
+                now,
+                n(1),
+                OverlayMsg::ProbeAck { leaves: Vec::new().into(), digest: 0 },
+                &mut out,
+            );
+            // ...but never acks the payloads we forward to it.
+            let mut out = Outbox::new();
+            a.route(Key(8 << 120 | 1), k, &mut out);
+        }
+        assert!(evicted_at.is_some(), "conduct evidence should evict an ack-then-drop peer");
+        // Liveness-only flapping would have been refuted; conduct was not.
+        assert!(a.suspicion().unwrap().evicted >= 1);
+    }
+
+    #[test]
+    fn open_circuit_diverts_routing() {
+        let mut a = gnode(0x100, 0, None);
+        let near = KeyedNode::new(Key(0x111), n(1));
+        let far = KeyedNode::new(Key(0x140), n(2));
+        a.learn(near);
+        a.learn(far);
+        // Silence from `near` until its circuit opens (but before
+        // eviction).
+        for k in 1..=6 {
+            let mut out = Outbox::new();
+            a.on_timer(t(5 * k), timers::PROBE, &mut out);
+            // `far` stays healthy.
+            a.handle(
+                t(5 * k),
+                n(2),
+                OverlayMsg::ProbeAck { leaves: Vec::new().into(), digest: 0 },
+                &mut out,
+            );
+            if a.suspicion().unwrap().state(n(1)) == gloss_governor::CircuitState::Open {
+                break;
+            }
+        }
+        assert_eq!(a.suspicion().unwrap().state(n(1)), gloss_governor::CircuitState::Open);
+        // A key numerically closest to the suspected peer routes to the
+        // next usable node instead.
+        let hop = a.next_hop(Key(0x112));
+        assert_ne!(hop.map(|h| h.node), Some(n(1)), "open circuit must not carry traffic");
+        // Placement is stricter still: only closed circuits.
+        assert!(a.usable_leaf_members().iter().all(|m| m.node != n(1)));
     }
 
     #[test]

@@ -73,7 +73,8 @@ impl StoreNetwork {
                 (Some(b), SimDuration::from_millis(200) * i as u64)
             };
             let overlay: OverlayNode<StorePayload> = OverlayNode::new(key, idx, bootstrap, delay)
-                .with_probe_interval(SimDuration::from_secs(5));
+                .with_probe_interval(SimDuration::from_secs(5))
+                .with_governor(gloss_overlay::GovernorConfig::default(), seed ^ ((i as u64) << 17));
             let store = StoreNode::new(idx, overlay, cfg.clone(), directory.clone());
             nodes.push(StoreWorldNode { store });
         }

@@ -245,9 +245,13 @@ impl StoreNode {
     }
 
     /// The `k − 1` leaf-set members numerically closest to `guid` (the
-    /// desired replica holders besides the primary).
+    /// desired replica holders besides the primary). Suspected peers are
+    /// excluded — replicas placed on a node with an open circuit would be
+    /// unreachable exactly when they are needed. (`is_primary_for` stays
+    /// on the full leaf set: primaryship is about ring position, and a
+    /// suspected-but-alive closer neighbour must still suppress us.)
     fn replica_targets(&self, guid: Key) -> Vec<NodeIndex> {
-        let mut members = self.overlay.leaf_members();
+        let mut members = self.overlay.usable_leaf_members();
         members.sort_by_key(|m| m.key.ring_distance(guid));
         members.into_iter().take(self.cfg.replicas.saturating_sub(1)).map(|m| m.node).collect()
     }

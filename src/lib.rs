@@ -11,6 +11,7 @@ pub use gloss_bundle as bundle;
 pub use gloss_core as core;
 pub use gloss_deploy as deploy;
 pub use gloss_event as event;
+pub use gloss_governor as governor;
 pub use gloss_knowledge as knowledge;
 pub use gloss_matchlet as matchlet;
 pub use gloss_overlay as overlay;
