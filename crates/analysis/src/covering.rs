@@ -9,8 +9,16 @@
 //! exactly the edges such an index would collapse.
 
 use crate::diag::Report;
-use gloss_event::{Filter, Subscription};
+use gloss_event::{Filter, FilterIndex, Subscription};
 use gloss_matchlet::Span;
+
+/// Above this table size the audit switches from the O(N²) pairwise scan
+/// to the broker's counting index (see [`audit`]).
+const INDEXED_THRESHOLD: usize = 1024;
+
+/// Per-kind cap on members examined for merge proposals on the indexed
+/// path, bounding the pairwise merge sweep on huge single-kind tables.
+const MERGE_GROUP_SCAN: usize = 64;
 
 /// One redundant subscription.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -42,7 +50,33 @@ pub struct CoveringAudit {
 }
 
 /// Audits a subscription table.
+///
+/// Small tables run the exhaustive pairwise scan
+/// ([`audit_pairwise`] — the oracle). Past [`INDEXED_THRESHOLD`]
+/// entries, redundancy detection switches to the broker's counting
+/// [`FilterIndex`] ([`audit_indexed`]): per subscription, "who covers
+/// me" is one index probe for all-`Eq` filters instead of N `covers`
+/// calls, and merge proposals are computed per kind group with a bounded
+/// sweep ([`MERGE_GROUP_SCAN`]) rather than over every pair. The
+/// redundancy findings are identical to the oracle's (property-tested);
+/// merge proposals on the indexed path are a deterministic subset.
 pub fn audit(subs: &[Subscription]) -> CoveringAudit {
+    let unique_ids = {
+        let mut ids: Vec<u64> = subs.iter().map(|s| s.id).collect();
+        ids.sort_unstable();
+        ids.windows(2).all(|w| w[0] != w[1])
+    };
+    if subs.len() > INDEXED_THRESHOLD && unique_ids {
+        audit_indexed(subs)
+    } else {
+        audit_pairwise(subs)
+    }
+}
+
+/// The exhaustive O(N²) audit — every pair tested both ways. Complete
+/// (all redundancies, all merge proposals) and the oracle the indexed
+/// path is tested against.
+pub fn audit_pairwise(subs: &[Subscription]) -> CoveringAudit {
     let mut out = CoveringAudit::default();
     for (i, a) in subs.iter().enumerate() {
         for b in &subs[i + 1..] {
@@ -64,27 +98,71 @@ pub fn audit(subs: &[Subscription]) -> CoveringAudit {
     out
 }
 
-/// A filter covering both `a` and `b`: `a`'s kind (when shared) plus the
-/// constraints of `a` that some constraint of `b` implies. Every
-/// constraint kept is implied by `a` (it is one of `a`'s) and by `b`, so
-/// the result covers both. `None` when the filters target different
-/// kinds or share no implied constraint (the merge would be `[*]`,
-/// coarser than useful).
-pub fn merge_cover(a: &Filter, b: &Filter) -> Option<Filter> {
-    if a.kind() != b.kind() {
-        return None;
+/// The index-backed audit for large tables. Same redundancy findings as
+/// [`audit_pairwise`] (modulo ordering): a subscription `s` is flagged as
+/// covered by `f` exactly when `f` covers `s`, unless `s` also covers
+/// `f` and `s` came first (then `f` is the flagged one of the mutual
+/// pair). Merge proposals are limited to the first [`MERGE_GROUP_SCAN`]
+/// non-redundant members of each kind group.
+pub fn audit_indexed(subs: &[Subscription]) -> CoveringAudit {
+    let mut index = FilterIndex::new();
+    let mut pos = std::collections::HashMap::with_capacity(subs.len());
+    for (i, s) in subs.iter().enumerate() {
+        index.insert(s.clone());
+        pos.insert(s.id, i);
     }
-    let kept: Vec<_> = a
-        .constraints()
-        .iter()
-        .filter(|ca| b.constraints().iter().any(|cb| ca.covers(cb)))
-        .cloned()
-        .collect();
-    if kept.is_empty() {
-        return None;
+    let mut out = CoveringAudit::default();
+    let mut is_redundant = vec![false; subs.len()];
+    for (j, s) in subs.iter().enumerate() {
+        // Everyone covering s: one counting probe for all-Eq filters,
+        // a scan only for the exotic shapes.
+        let coverers: Vec<u64> = match index.covering_ids(&s.filter) {
+            Some(ids) => ids,
+            None => subs.iter().filter(|f| f.filter.covers(&s.filter)).map(|f| f.id).collect(),
+        };
+        for by in coverers {
+            if by == s.id {
+                continue;
+            }
+            let i = pos[&by];
+            // Of a mutually-covering pair, only the later one is
+            // flagged (same tie-break as the oracle).
+            if i > j && s.filter.covers(&subs[i].filter) {
+                continue;
+            }
+            out.redundant.push(Redundant { covered: s.id, by });
+            is_redundant[j] = true;
+        }
     }
-    Some(Filter::from_parts(a.kind().map(str::to_owned), kept))
+    // Merge proposals among the non-redundant survivors, per kind, with
+    // a bounded sweep.
+    let mut by_kind: std::collections::BTreeMap<Option<&str>, Vec<usize>> = Default::default();
+    for (j, s) in subs.iter().enumerate() {
+        if !is_redundant[j] {
+            by_kind.entry(s.filter.kind()).or_default().push(j);
+        }
+    }
+    for group in by_kind.values() {
+        let scan = &group[..group.len().min(MERGE_GROUP_SCAN)];
+        for (gi, &i) in scan.iter().enumerate() {
+            for &j in &scan[gi + 1..] {
+                let (a, b) = (&subs[i], &subs[j]);
+                if a.filter.covers(&b.filter) || b.filter.covers(&a.filter) {
+                    continue;
+                }
+                if let Some(merged) = merge_cover(&a.filter, &b.filter) {
+                    out.merges.push(MergeProposal { a: a.id, b: b.id, merged });
+                }
+            }
+        }
+    }
+    out
 }
+
+/// A filter covering both `a` and `b`. Since PR 8 the implementation
+/// lives in `gloss_event` (the broker's covering tables merge with it
+/// online); this re-export keeps the analysis API stable.
+pub use gloss_event::merge_cover;
 
 /// The audit as warnings (for metrics and the CLI).
 pub fn audit_report(subs: &[Subscription]) -> Report {
@@ -162,6 +240,74 @@ mod tests {
         let b = Filter::for_kind("k").with_eq("u", "anna");
         let out = audit(&[sub(1, a), sub(2, b)]);
         assert!(out.merges.is_empty());
+    }
+
+    fn random_filter(rng: &mut gloss_sim::SimRng) -> Filter {
+        let mut f = match rng.index(3) {
+            0 => Filter::for_kind("k"),
+            1 => Filter::for_kind("m"),
+            _ => Filter::any(),
+        };
+        const OPS: [Op; 10] = [
+            Op::Eq,
+            Op::Ne,
+            Op::Lt,
+            Op::Le,
+            Op::Gt,
+            Op::Ge,
+            Op::Prefix,
+            Op::Suffix,
+            Op::Contains,
+            Op::Exists,
+        ];
+        for _ in 0..rng.index(4) {
+            let attr = ["x", "u"][rng.index(2)];
+            let op = OPS[rng.index(OPS.len())];
+            if rng.chance(0.5) {
+                f = f.with_constraint(attr, op, rng.index(4) as i64);
+            } else {
+                f = f.with_constraint(attr, op, ["st", "st andrews", ""][rng.index(3)]);
+            }
+        }
+        f
+    }
+
+    #[test]
+    fn indexed_audit_matches_pairwise_oracle() {
+        for seed in 0..25u64 {
+            let mut rng = gloss_sim::SimRng::new(0x9e37 + seed);
+            let n = 40 + rng.index(60);
+            let subs: Vec<Subscription> =
+                (0..n).map(|i| sub(i as u64 + 1, random_filter(&mut rng))).collect();
+            let want = audit_pairwise(&subs);
+            let got = audit_indexed(&subs);
+            let key = |r: &Redundant| (r.covered, r.by);
+            let mut w = want.redundant.clone();
+            w.sort_unstable_by_key(key);
+            let mut g = got.redundant.clone();
+            g.sort_unstable_by_key(key);
+            assert_eq!(g, w, "seed {seed}: indexed redundancy set diverged from oracle");
+            // The indexed merge sweep is a bounded subset, but every
+            // proposal it does emit must genuinely cover both parties.
+            for m in &got.merges {
+                let a = &subs.iter().find(|s| s.id == m.a).unwrap().filter;
+                let b = &subs.iter().find(|s| s.id == m.b).unwrap().filter;
+                assert!(m.merged.covers(a) && m.merged.covers(b), "seed {seed}: {}", m.merged);
+            }
+        }
+    }
+
+    #[test]
+    fn audit_dispatches_to_index_above_threshold() {
+        // Above INDEXED_THRESHOLD the indexed path runs: plant one
+        // duplicate pair in a sea of distinct Eq filters and check it is
+        // still the only finding.
+        let mut subs: Vec<Subscription> = (0..1100u64)
+            .map(|i| sub(i + 1, Filter::for_kind("k").with_eq("user", format!("u{i}"))))
+            .collect();
+        subs.push(sub(9000, Filter::for_kind("k").with_eq("user", "u7")));
+        let out = audit(&subs);
+        assert_eq!(out.redundant, vec![Redundant { covered: 9000, by: 8 }]);
     }
 
     #[test]

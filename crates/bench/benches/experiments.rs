@@ -564,6 +564,106 @@ fn s5_mobility_roam(c: &mut Criterion) {
     }
 }
 
+/// S6: one publish against a broker holding n subscriptions — the
+/// counting index vs the pre-PR8 linear table scan. The indexed rows
+/// should be near-flat in n; the linear rows grow with it. Smoke mode
+/// caps the table at 100 k (and skips the 1 M rows).
+fn s6_subscriber_publish(c: &mut Criterion) {
+    use gloss_event::{Broker, BrokerMsg, BrokerTopology, LinearBroker, Subscription};
+    use gloss_sim::Outbox;
+    let smoke = std::env::var("GLOSS_BENCH_SMOKE").is_ok_and(|v| v != "0");
+    let sizes: &[usize] = if smoke { &[1_000, 100_000] } else { &[1_000, 100_000, 1_000_000] };
+    for &n in sizes {
+        let topology = BrokerTopology::Peer { neighbors: vec![] };
+        let mut broker = Broker::new(NodeIndex(0), topology.clone());
+        let mut out = Outbox::new();
+        for i in 0..n {
+            let client = NodeIndex(10 + i as u32);
+            let filter = Filter::for_kind("ctx").with_eq("user", format!("u{i}"));
+            broker.handle(SimTime::ZERO, client, BrokerMsg::Attach, &mut out);
+            broker.handle(
+                SimTime::ZERO,
+                client,
+                BrokerMsg::Subscribe(Subscription { id: i as u64 + 1, filter }),
+                &mut out,
+            );
+        }
+        let mut i = 0usize;
+        c.bench_function(&format!("s6_publish_indexed_{n}"), |b| {
+            b.iter(|| {
+                i += 1;
+                let e = Event::new("ctx").with_attr("user", format!("u{}", i * 7 % n));
+                let mut out = Outbox::new();
+                broker.handle(SimTime::ZERO, NodeIndex(5), BrokerMsg::Publish(e), &mut out);
+                out
+            })
+        });
+        // The linear baseline pays O(n) per publish; skip its 1 M row
+        // (minutes of wall time for a number the 100 k row already shows).
+        if n > 100_000 {
+            continue;
+        }
+        let mut linear =
+            LinearBroker::new(NodeIndex(0), BrokerTopology::Peer { neighbors: vec![] });
+        for i in 0..n {
+            let client = NodeIndex(10 + i as u32);
+            let filter = Filter::for_kind("ctx").with_eq("user", format!("u{i}"));
+            linear.handle(SimTime::ZERO, client, BrokerMsg::Attach, &mut out);
+            linear.handle(
+                SimTime::ZERO,
+                client,
+                BrokerMsg::Subscribe(Subscription { id: i as u64 + 1, filter }),
+                &mut out,
+            );
+        }
+        let mut i = 0usize;
+        c.bench_function(&format!("s6_publish_linear_{n}"), |b| {
+            b.iter(|| {
+                i += 1;
+                let e = Event::new("ctx").with_attr("user", format!("u{}", i * 7 % n));
+                let mut out = Outbox::new();
+                linear.handle(SimTime::ZERO, NodeIndex(5), BrokerMsg::Publish(e), &mut out);
+                out
+            })
+        });
+    }
+}
+
+/// C17: a synchronized hot-topic burst through an acyclic-peer graph
+/// whose forwarding tables covering/merging have collapsed.
+fn c17_flash_crowd_burst(c: &mut Criterion) {
+    let mut net = PubSubNetwork::build(PubSubConfig {
+        architecture: Architecture::AcyclicPeer,
+        brokers: 4,
+        clients_per_broker: 8,
+        seed: 53,
+        ..PubSubConfig::default()
+    });
+    let clients = net.clients().to_vec();
+    for (i, &cl) in clients.iter().enumerate() {
+        net.subscribe(cl, Filter::for_kind("goal"));
+        net.subscribe(
+            cl,
+            Filter::for_kind("ctx")
+                .with_constraint("temp", Op::Gt, (i % 4) as i64)
+                .with_eq("user", format!("u{i}")),
+        );
+    }
+    net.run_for(SimDuration::from_secs(5));
+    let mut i = 0usize;
+    c.bench_function("c17_flash_burst", |b| {
+        b.iter(|| {
+            i += 1;
+            for k in 0..10 {
+                let p = clients[(i * 5 + k) % clients.len()];
+                net.publish(p, Event::new("goal").with_attr("minute", 90i64));
+            }
+            net.run_for(SimDuration::from_secs(5));
+            net.total_delivered()
+        })
+    });
+}
+
 /// C8: store lookup issue + conclusion (the discovery fetch path).
 fn c8_store_lookup(c: &mut Criterion) {
     let mut net = StoreNetwork::build(12, StoreConfig::default(), 9);
@@ -614,6 +714,7 @@ criterion_group! {
               c1_filter_ops, c1_publish_through_network, c2_overlay_route, c3_cache_ops,
               c3_cache_churn, c4_solver, c6_binding, c7_join, c8_store_lookup, c9_retrieval,
               c10_erasure, c13_rule_churn, m1_histogram_polling, s1_rule_scaling,
-              s2_join_deep_buffer, s3_overlay_scaling, s4_churn_episode, s5_mobility_roam
+              s2_join_deep_buffer, s3_overlay_scaling, s4_churn_episode, s5_mobility_roam,
+              s6_subscriber_publish, c17_flash_crowd_burst
 }
 criterion_main!(experiments);

@@ -1,0 +1,99 @@
+//! CI smoke: build a 100 k-subscription counting index with every
+//! constraint shape, run 1 k publishes through it, and spot-verify a
+//! sample of events against the linear scan oracle. Exits nonzero on any
+//! mismatch. Meant to finish in seconds even on one core.
+
+use gloss_event::{Event, Filter, FilterIndex, Op, Subscription};
+use gloss_sim::SimRng;
+
+const SUBS: usize = 100_000;
+const PUBLISHES: usize = 1_000;
+const VERIFIED: usize = 20;
+
+const OPS: [Op; 10] = [
+    Op::Eq,
+    Op::Ne,
+    Op::Lt,
+    Op::Le,
+    Op::Gt,
+    Op::Ge,
+    Op::Prefix,
+    Op::Suffix,
+    Op::Contains,
+    Op::Exists,
+];
+
+fn random_filter(rng: &mut SimRng) -> Filter {
+    let mut f = match rng.index(4) {
+        0 => Filter::for_kind("ctx"),
+        1 => Filter::for_kind("goal"),
+        2 => Filter::for_kind("weather"),
+        _ => Filter::any(),
+    };
+    for _ in 0..1 + rng.index(3) {
+        let attr = ["user", "temp", "place", "seq"][rng.index(4)];
+        let op = OPS[rng.index(OPS.len())];
+        if rng.chance(0.5) {
+            f = f.with_constraint(attr, op, rng.index(1000) as i64);
+        } else {
+            f = f.with_constraint(attr, op, ["st", "st andrews", "dundee", ""][rng.index(4)]);
+        }
+    }
+    f
+}
+
+fn random_event(rng: &mut SimRng) -> Event {
+    let mut e = Event::new(["ctx", "goal", "weather", "other"][rng.index(4)]);
+    for _ in 0..rng.index(4) {
+        let attr = ["user", "temp", "place", "seq"][rng.index(4)];
+        if rng.chance(0.5) {
+            e = e.with_attr(attr, rng.index(1000) as i64);
+        } else {
+            e = e.with_attr(attr, ["st", "st andrews", "dundee", ""][rng.index(4)]);
+        }
+    }
+    e
+}
+
+fn main() {
+    let mut rng = SimRng::new(0xb8);
+    let subs: Vec<Subscription> = (0..SUBS)
+        .map(|i| Subscription { id: i as u64 + 1, filter: random_filter(&mut rng) })
+        .collect();
+
+    let t0 = std::time::Instant::now();
+    let mut index = FilterIndex::new();
+    for s in &subs {
+        index.insert(s.clone());
+    }
+    let build_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let events: Vec<Event> = (0..PUBLISHES).map(|_| random_event(&mut rng)).collect();
+    let t1 = std::time::Instant::now();
+    let mut total_matches = 0usize;
+    for e in &events {
+        total_matches += index.matching_event(e).len();
+    }
+    let publish_ms = t1.elapsed().as_secs_f64() * 1e3;
+
+    // Spot-verify a sample against the linear scan.
+    let mut mismatches = 0usize;
+    for k in 0..VERIFIED {
+        let e = &events[k * (PUBLISHES / VERIFIED)];
+        let got = index.matching_event(e);
+        let want: Vec<u64> = subs.iter().filter(|s| s.filter.matches(e)).map(|s| s.id).collect();
+        if got != want {
+            mismatches += 1;
+            eprintln!("MISMATCH for {e:?}: indexed {} ids, linear {} ids", got.len(), want.len());
+        }
+    }
+
+    println!(
+        "indexsmoke: {SUBS} subs built in {build_ms:.0} ms, {PUBLISHES} publishes in \
+         {publish_ms:.1} ms ({total_matches} matches), {VERIFIED} events verified, \
+         {mismatches} mismatches"
+    );
+    if mismatches > 0 {
+        std::process::exit(1);
+    }
+}

@@ -1285,6 +1285,180 @@ pub fn c16_overload() -> String {
     )
 }
 
+/// C17: flash crowd — every client holds the same hot-topic subscription
+/// (covering collapses them to one forwarded filter per link) plus an
+/// overlapping personal range filter (SIENA merging collapses those into
+/// broader covers). A synchronized burst on the hot topic then hits the
+/// collapsed tables. Reports delivery completeness, latency percentiles
+/// and how much forwarding state covering/merging actually saved.
+pub fn c17_flash_crowd() -> String {
+    let mut rows = Vec::new();
+    for (brokers, per_broker) in [(4usize, 8usize), (8, 16), (8, 48)] {
+        let mut net = PubSubNetwork::build(PubSubConfig {
+            architecture: Architecture::AcyclicPeer,
+            brokers,
+            clients_per_broker: per_broker,
+            seed: 53,
+            ..PubSubConfig::default()
+        });
+        let clients = net.clients().to_vec();
+        for (i, &c) in clients.iter().enumerate() {
+            // The hot topic everyone watches.
+            net.subscribe(c, Filter::for_kind("goal"));
+            // A personal context filter overlapping its neighbours':
+            // same kind and a shared range shape, distinct user.
+            net.subscribe(
+                c,
+                Filter::for_kind("ctx")
+                    .with_constraint("temp", gloss_event::Op::Gt, (i % 4) as i64)
+                    .with_eq("user", format!("u{i}")),
+            );
+        }
+        net.run_for(SimDuration::from_secs(5));
+        let mut rng = SimRng::new(53).fork("c17");
+        // The flash crowd: one burst of hot events, all in the same
+        // instant, from publishers scattered across the graph.
+        let burst = 50usize;
+        for _ in 0..burst {
+            let p = clients[rng.index(clients.len())];
+            net.publish(p, Event::new("goal").with_attr("minute", 90i64));
+        }
+        // Background personal traffic riding the same burst window.
+        let mut personal_expect = 0u64;
+        for _ in 0..clients.len() * 4 {
+            let u = rng.index(clients.len());
+            let p = clients[rng.index(clients.len())];
+            if p != clients[u] {
+                personal_expect += 1;
+            }
+            net.publish(
+                p,
+                Event::new("ctx").with_attr("user", format!("u{u}")).with_attr("temp", 10i64),
+            );
+        }
+        net.run_for(SimDuration::from_secs(30));
+        let hot_got: u64 =
+            clients.iter().map(|&c| net.client(c).received_of_kind("goal").count() as u64).sum();
+        let personal_got: u64 =
+            clients.iter().map(|&c| net.client(c).received_of_kind("ctx").count() as u64).sum();
+        // A publisher is not notified of its own event.
+        let hot_expect = burst as u64 * (clients.len() as u64 - 1);
+        let m = net.world().metrics();
+        let lat = m.summary("pubsub.delivery_ms");
+        rows.push(vec![
+            clients.len().to_string(),
+            f(hot_got as f64 / hot_expect as f64 * 100.0),
+            f(personal_got as f64 / personal_expect.max(1) as f64 * 100.0),
+            f(lat.p50),
+            f(lat.p99),
+            f(m.counter("pubsub.subs_pruned")),
+            f(m.counter("pubsub.subs_merged")),
+        ]);
+    }
+    table(
+        &[
+            "clients",
+            "hot delivered %",
+            "personal delivered %",
+            "delivery p50 ms",
+            "p99 ms",
+            "subs pruned",
+            "subs merged",
+        ],
+        &rows,
+    )
+}
+
+/// S6: subscriber scaling — the cost of one publish on a broker holding
+/// 1 k to 1 M subscriptions. The counting index resolves a publish with
+/// one probe per event attribute, so the cost is near-flat in table
+/// size; the pre-PR8 linear broker ([`LinearBroker`], kept as the
+/// baseline) pays a full table scan. `GLOSS_BENCH_SMOKE=1` trims the
+/// sizes for CI.
+pub fn s6_subscriber_scaling() -> String {
+    use gloss_event::{Broker, BrokerMsg, BrokerTopology, LinearBroker, Subscription};
+    use gloss_sim::{Outbox, SimTime};
+    let smoke = std::env::var("GLOSS_BENCH_SMOKE").is_ok_and(|v| v != "0");
+    let sizes: &[usize] = if smoke { &[1_000, 10_000] } else { &[1_000, 100_000, 1_000_000] };
+    let filter_for = |i: usize| Filter::for_kind("ctx").with_eq("user", format!("u{i}"));
+    let percentiles = |lat: &mut Vec<f64>| {
+        lat.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        (lat[lat.len() / 2], lat[lat.len() * 99 / 100])
+    };
+    // The linear baseline stops at 100 k: its own subscribe dup-check is
+    // an O(N) table scan, so merely *building* its 1 M table is
+    // quadratic (hours). The 100 k row already pins the linear slope.
+    let linear_max = 100_000usize;
+    let mut rows = Vec::new();
+    let mut base_p50: Option<f64> = None;
+    for &n in sizes {
+        let topology = BrokerTopology::Peer { neighbors: vec![] };
+        let mut broker = Broker::new(NodeIndex(0), topology.clone());
+        let mut out = Outbox::new();
+        let t0 = std::time::Instant::now();
+        for i in 0..n {
+            let client = NodeIndex(10 + i as u32);
+            let s = Subscription { id: i as u64 + 1, filter: filter_for(i) };
+            broker.handle(SimTime::ZERO, client, BrokerMsg::Attach, &mut out);
+            broker.handle(SimTime::ZERO, client, BrokerMsg::Subscribe(s), &mut out);
+        }
+        let build_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let mut rng = SimRng::new(86).fork("s6");
+        let publisher = NodeIndex(5);
+        let probes = 256usize;
+        let mut lat = Vec::with_capacity(probes);
+        for _ in 0..probes {
+            let e = Event::new("ctx").with_attr("user", format!("u{}", rng.index(n)));
+            let mut out = Outbox::new();
+            let t = std::time::Instant::now();
+            broker.handle(SimTime::ZERO, publisher, BrokerMsg::Publish(e), &mut out);
+            lat.push(t.elapsed().as_nanos() as f64 / 1e3);
+        }
+        let (p50, p99) = percentiles(&mut lat);
+        let lin_p50 = (n <= linear_max).then(|| {
+            let mut linear = LinearBroker::new(NodeIndex(0), topology);
+            for i in 0..n {
+                let client = NodeIndex(10 + i as u32);
+                let s = Subscription { id: i as u64 + 1, filter: filter_for(i) };
+                linear.handle(SimTime::ZERO, client, BrokerMsg::Attach, &mut out);
+                linear.handle(SimTime::ZERO, client, BrokerMsg::Subscribe(s), &mut out);
+            }
+            let lin_probes = 64usize;
+            let mut lin_lat = Vec::with_capacity(lin_probes);
+            for _ in 0..lin_probes {
+                let e = Event::new("ctx").with_attr("user", format!("u{}", rng.index(n)));
+                let mut out = Outbox::new();
+                let t = std::time::Instant::now();
+                linear.handle(SimTime::ZERO, publisher, BrokerMsg::Publish(e), &mut out);
+                lin_lat.push(t.elapsed().as_nanos() as f64 / 1e3);
+            }
+            percentiles(&mut lin_lat).0
+        });
+        let base = *base_p50.get_or_insert(p50);
+        rows.push(vec![
+            n.to_string(),
+            f(build_ms),
+            f(p50),
+            f(p99),
+            lin_p50.map_or_else(|| "-".to_string(), f),
+            lin_p50.map_or_else(|| "-".to_string(), |l| f(l / p50.max(1e-9))),
+            f(p50 / base.max(1e-9)),
+        ]);
+    }
+    table(
+        &[
+            "subs",
+            "build ms",
+            "indexed publish p50 us",
+            "p99 us",
+            "linear p50 us",
+            "speedup",
+            "p50 vs 1k",
+        ],
+        &rows,
+    )
+}
+
 /// The generated C13 churn rule for generation `g` (kept lint-clean:
 /// wildcards where nothing reads the binding).
 fn churn_rule_src(g: usize) -> String {
@@ -1317,7 +1491,15 @@ pub fn run_experiment(id: &str) -> Option<(String, String)> {
         }
         "c15" => ("C15: byzantine ack-then-drop peers — conduct-channel eviction", c15_byzantine()),
         "c16" => ("C16: broker overload — load shedding vs unbounded ingress", c16_overload()),
+        "c17" => (
+            "C17: flash crowd — synchronized burst over covering-collapsed tables",
+            c17_flash_crowd(),
+        ),
         "s3" => ("S3: event-plane scaling, 64-1024 nodes at 1 and 4 threads", s3_scaling()),
+        "s6" => (
+            "S6: subscriber scaling — publish cost from 1k to 1M subscriptions",
+            s6_subscriber_scaling(),
+        ),
         _ => return None,
     };
     Some((title.to_string(), body))
@@ -1326,7 +1508,7 @@ pub fn run_experiment(id: &str) -> Option<(String, String)> {
 /// All experiment ids in order.
 pub const ALL_EXPERIMENTS: &[&str] = &[
     "e1", "e2", "e3", "c1", "c2", "c3", "c4", "c5", "c6", "c7", "c8", "c9", "c10", "c11", "c12",
-    "c13", "c14", "c15", "c16", "s3",
+    "c13", "c14", "c15", "c16", "c17", "s3", "s6",
 ];
 
 #[cfg(test)]

@@ -2,18 +2,43 @@
 //! subscription propagation with covering-based pruning, advertisement
 //! gating, and notification forwarding over hierarchical or acyclic-peer
 //! broker topologies.
+//!
+//! Since PR 8 the broker is *sublinear* in its subscription table:
+//!
+//! * routing consults a counting [`FilterIndex`] instead of scanning the
+//!   table filter-by-filter, so publish cost tracks the number of
+//!   candidate subscriptions sharing attributes with the event, and
+//! * each neighbouring interface keeps a [`ForwardTable`] — the covering
+//!   relation over forwarded filters maintained *incrementally* as a
+//!   parent/children DAG, with overlapping same-kind filters collapsed
+//!   into one merged upstream filter ([`merge_cover`]) — so subscribe
+//!   prunes against forwarded roots only and unsubscribe repairs just the
+//!   removed filter's children instead of re-scanning the whole table.
+//!
+//! The pre-index broker survives verbatim as
+//! [`LinearBroker`](crate::LinearBroker); property tests assert both
+//! deliver byte-identical notification streams to clients.
 
-#[cfg(test)]
-use crate::filter::Filter;
-use crate::filter::{Advertisement, Subscription};
+use crate::filter::{merge_cover, Advertisement, Filter, Subscription};
+use crate::index::FilterIndex;
 use crate::notification::Event;
 use gloss_governor::{IngressClass, LoadShedder, ShedConfig, ShedDecision};
-use gloss_sim::{NodeIndex, Outbox, SimDuration, SimTime};
-use std::collections::{BTreeMap, BTreeSet};
+use gloss_sim::{FnvBuildHasher, FnvHashMap, NodeIndex, Outbox, SimDuration, SimTime};
+use std::collections::{BTreeMap, BTreeSet, HashSet};
 
 /// Unique subscription identifier (clients derive these from their node
 /// index so ids never collide).
 pub type SubId = u64;
+
+/// Tag bit for broker-minted merged filters. Client-assigned ids are
+/// `(node_index << 32) | seq` with 31-bit node indices, so bit 63 is
+/// never set on a real subscription.
+const SYNTH_BIT: u64 = 1 << 63;
+
+/// How many most-recent forwarded roots a new subscription is tested
+/// against for merging. Bounded so subscribe stays O(1)-ish per target;
+/// newest roots are the likeliest merge partners under churn.
+const MERGE_SCAN: usize = 8;
 
 /// How this broker is wired to other brokers.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -94,10 +119,61 @@ pub enum BrokerMsg {
     },
 }
 
-#[derive(Debug, Clone)]
-struct SubEntry {
-    sub: Subscription,
-    iface: NodeIndex,
+/// The covering DAG over filters forwarded toward one neighbouring
+/// interface. *Roots* are the filters actually forwarded (real
+/// subscription filters, or broker-minted merged covers); every
+/// non-forwarded subscription is recorded as a *child* of the root that
+/// covers it. Roots double as a [`FilterIndex`], so "is this new filter
+/// already covered" is a counting probe, not a table scan, and removing a
+/// root repairs only its recorded children.
+#[derive(Debug, Clone, Default)]
+struct ForwardTable {
+    /// Forwarded filters, indexed for sublinear cover queries.
+    roots: FilterIndex,
+    /// Root ids in forwarding order (deterministic scan/merge order).
+    order: Vec<SubId>,
+    /// Covered subscription → the root covering it.
+    parent: FnvHashMap<SubId, SubId>,
+    /// Root → covered subscriptions, in arrival order.
+    children: FnvHashMap<SubId, Vec<SubId>>,
+}
+
+impl ForwardTable {
+    fn add_root(&mut self, sub: Subscription) {
+        self.order.push(sub.id);
+        self.roots.insert(sub);
+    }
+
+    fn remove_root(&mut self, id: SubId) {
+        self.order.retain(|x| *x != id);
+        self.roots.remove(id);
+    }
+
+    /// The first forwarded root covering `f`, if any. All-`Eq` filters
+    /// (the overwhelmingly common shape) resolve through the counting
+    /// index; anything else scans the forwarded roots — still bounded by
+    /// the *forwarded* set, which covering keeps far smaller than the
+    /// subscription table.
+    fn find_cover(&self, f: &Filter) -> Option<SubId> {
+        if self.order.is_empty() {
+            return None;
+        }
+        if let Some(ids) = self.roots.covering_ids(f) {
+            return ids.into_iter().next();
+        }
+        self.order.iter().copied().find(|&r| self.roots.get(r).is_some_and(|s| s.filter.covers(f)))
+    }
+
+    /// A recent root `f` can merge with, and the merged cover.
+    fn try_merge(&self, f: &Filter) -> Option<(SubId, Filter)> {
+        for &r in self.order.iter().rev().take(MERGE_SCAN) {
+            let rf = &self.roots.get(r).expect("root indexed").filter;
+            if let Some(m) = merge_cover(rf, f).or_else(|| merge_cover(f, rf)) {
+                return Some((r, m));
+            }
+        }
+        None
+    }
 }
 
 /// A content-based event broker (one per broker node).
@@ -106,9 +182,15 @@ pub struct Broker {
     me: NodeIndex,
     topology: BrokerTopology,
     clients: BTreeSet<NodeIndex>,
-    subs: Vec<SubEntry>,
-    /// Subscription ids we have forwarded, per neighbouring broker.
-    forwarded: BTreeMap<NodeIndex, BTreeSet<SubId>>,
+    /// The subscription table, as a counting attribute index.
+    subs: FilterIndex,
+    /// Which interface each stored subscription arrived on.
+    iface_of: FnvHashMap<SubId, NodeIndex>,
+    /// Subscription ids per arrival interface, in arrival order (drives
+    /// detach/handoff iteration without a table scan).
+    by_iface: FnvHashMap<u32, Vec<SubId>>,
+    /// Incremental covering DAG per neighbouring broker.
+    tables: BTreeMap<NodeIndex, ForwardTable>,
     /// Advertisements seen, with the interface they arrived from.
     advs: Vec<(Advertisement, NodeIndex)>,
     /// When true, subscriptions are only forwarded toward interfaces that
@@ -118,6 +200,8 @@ pub struct Broker {
     proxies: BTreeMap<NodeIndex, Vec<Event>>,
     /// Ingress load shedder (None = unbounded legacy behaviour).
     shed: Option<LoadShedder>,
+    /// Counter for broker-minted merged-filter ids.
+    synth_seq: u64,
     /// Messages handled (load metric for C1).
     pub msgs_handled: u64,
     /// Notifications forwarded to other brokers.
@@ -145,12 +229,15 @@ impl Broker {
             me,
             topology,
             clients: BTreeSet::new(),
-            subs: Vec::new(),
-            forwarded: BTreeMap::new(),
+            subs: FilterIndex::new(),
+            iface_of: FnvHashMap::default(),
+            by_iface: FnvHashMap::default(),
+            tables: BTreeMap::new(),
             advs: Vec::new(),
             use_advertisements: false,
             proxies: BTreeMap::new(),
             shed: None,
+            synth_seq: 0,
             msgs_handled: 0,
             notifications_forwarded: 0,
         }
@@ -183,9 +270,24 @@ impl Broker {
         self.subs.len()
     }
 
-    /// The stored subscriptions (for audit passes over the table).
+    /// The stored subscriptions, in arrival order (for audit passes over
+    /// the table).
     pub fn subscriptions(&self) -> impl Iterator<Item = &Subscription> {
-        self.subs.iter().map(|e| &e.sub)
+        self.subs.iter_in_order()
+    }
+
+    /// Filters currently forwarded toward `target`, in forwarding order.
+    /// Together they cover every local subscription that needs events
+    /// from that interface (the invariant the equivalence tests check).
+    pub fn forwarded_filters(&self, target: NodeIndex) -> Vec<Filter> {
+        let Some(table) = self.tables.get(&target) else {
+            return Vec::new();
+        };
+        table
+            .order
+            .iter()
+            .map(|&r| table.roots.get(r).expect("root indexed").filter.clone())
+            .collect()
     }
 
     /// The locally attached clients.
@@ -232,8 +334,7 @@ impl Broker {
             }
             BrokerMsg::Detach => {
                 self.clients.remove(&from);
-                let ids: Vec<SubId> =
-                    self.subs.iter().filter(|e| e.iface == from).map(|e| e.sub.id).collect();
+                let ids: Vec<SubId> = self.by_iface.get(&from.0).cloned().unwrap_or_default();
                 for id in ids {
                     self.unsubscribe(id, out);
                 }
@@ -252,9 +353,7 @@ impl Broker {
                     }
                 }
             }
-            BrokerMsg::Publish(event) | BrokerMsg::Notify(event) => {
-                self.route(now, from, event, out)
-            }
+            BrokerMsg::Publish(event) | BrokerMsg::Notify(event) => self.route(from, event, out),
             BrokerMsg::MoveOut => {
                 // Keep the client's subscriptions live; buffer its events.
                 self.proxies.entry(from).or_default();
@@ -266,8 +365,9 @@ impl Broker {
             }
             BrokerMsg::FetchBuffer { client } => {
                 let events = self.proxies.remove(&client).unwrap_or_default();
+                let ids: Vec<SubId> = self.by_iface.get(&client.0).cloned().unwrap_or_default();
                 let subs: Vec<Subscription> =
-                    self.subs.iter().filter(|e| e.iface == client).map(|e| e.sub.clone()).collect();
+                    ids.iter().map(|&i| self.subs.get(i).expect("id tracked").clone()).collect();
                 self.clients.remove(&client);
                 for s in &subs {
                     self.unsubscribe(s.id, out);
@@ -290,10 +390,6 @@ impl Broker {
         }
     }
 
-    fn is_broker_link(&self, iface: NodeIndex) -> bool {
-        self.topology.broker_links().contains(&iface)
-    }
-
     /// Targets for subscription propagation, excluding the interface the
     /// subscription arrived on.
     fn sub_targets(&self, came_from: NodeIndex) -> Vec<NodeIndex> {
@@ -308,18 +404,18 @@ impl Broker {
     }
 
     fn subscribe(&mut self, from: NodeIndex, sub: Subscription, out: &mut Outbox<BrokerMsg>) {
-        if self.subs.iter().any(|e| e.sub.id == sub.id) {
+        if self.subs.contains(sub.id) {
             return; // duplicate (acyclic topologies make this rare)
         }
         for target in self.sub_targets(from) {
-            let already = self.forwarded.get(&target);
-            // Covering-based pruning: skip if an already-forwarded filter
-            // covers this one.
-            let covered = self.subs.iter().any(|e| {
-                already.is_some_and(|set| set.contains(&e.sub.id))
-                    && e.sub.filter.covers(&sub.filter)
-            });
-            if covered {
+            let table = self.tables.entry(target).or_default();
+            // Covering-based pruning: an already-forwarded root covering
+            // this filter makes forwarding redundant. `find_cover`
+            // short-circuits on an empty table and answers all-Eq filters
+            // from the counting index.
+            if let Some(root) = table.find_cover(&sub.filter) {
+                table.parent.insert(sub.id, root);
+                table.children.entry(root).or_default().push(sub.id);
                 out.count("pubsub.subs_pruned", 1.0);
                 continue;
             }
@@ -335,28 +431,87 @@ impl Broker {
                     continue;
                 }
             }
-            self.forwarded.entry(target).or_default().insert(sub.id);
+            // SIENA-style merging: collapse this filter with an
+            // overlapping forwarded root into one broader cover, so the
+            // upstream broker holds one filter instead of two. (A merged
+            // cover admits more events on this link; local matching
+            // still delivers exactly the right ones to clients.)
+            if let Some((partner, merged)) = table.try_merge(&sub.filter) {
+                let synth = SYNTH_BIT
+                    | (u64::from(self.me.0) << 32)
+                    | (self.synth_seq & u64::from(u32::MAX));
+                self.synth_seq += 1;
+                let synthetic = Subscription { id: synth, filter: merged };
+                // Subscribe before unsubscribe: upstream coverage never gaps.
+                out.send(target, BrokerMsg::Subscribe(synthetic.clone()));
+                out.send(target, BrokerMsg::Unsubscribe(partner));
+                table.remove_root(partner);
+                let mut kids = table.children.remove(&partner).unwrap_or_default();
+                if partner & SYNTH_BIT == 0 {
+                    kids.push(partner); // a real partner is now covered itself
+                }
+                kids.push(sub.id);
+                for &c in &kids {
+                    table.parent.insert(c, synth);
+                }
+                table.children.insert(synth, kids);
+                table.add_root(synthetic);
+                out.count("pubsub.subs_merged", 1.0);
+                continue;
+            }
+            table.add_root(sub.clone());
             out.send(target, BrokerMsg::Subscribe(sub.clone()));
         }
-        self.subs.push(SubEntry { sub, iface: from });
+        self.iface_of.insert(sub.id, from);
+        self.by_iface.entry(from.0).or_default().push(sub.id);
+        self.subs.insert(sub);
     }
 
     fn unsubscribe(&mut self, id: SubId, out: &mut Outbox<BrokerMsg>) {
-        let Some(pos) = self.subs.iter().position(|e| e.sub.id == id) else {
+        if self.subs.remove(id).is_none() {
             return;
-        };
-        let removed = self.subs.remove(pos);
-        for (neighbor, set) in self.forwarded.iter_mut() {
-            if set.remove(&id) {
-                out.send(*neighbor, BrokerMsg::Unsubscribe(id));
-                // Re-forward subscriptions this one was covering.
-                for e in &self.subs {
-                    if e.iface == *neighbor || set.contains(&e.sub.id) {
-                        continue;
+        }
+        if let Some(iface) = self.iface_of.remove(&id) {
+            if let Some(v) = self.by_iface.get_mut(&iface.0) {
+                v.retain(|x| *x != id);
+                if v.is_empty() {
+                    self.by_iface.remove(&iface.0);
+                }
+            }
+        }
+        for (target, table) in self.tables.iter_mut() {
+            if table.roots.contains(id) {
+                // A forwarded root goes away: retract it, then repair
+                // coverage for exactly its recorded children — not the
+                // whole table, which is what the linear broker re-scanned.
+                table.remove_root(id);
+                out.send(*target, BrokerMsg::Unsubscribe(id));
+                let kids = table.children.remove(&id).unwrap_or_default();
+                for c in kids {
+                    table.parent.remove(&c);
+                    let cf = self.subs.get(c).expect("children are live subs").clone();
+                    match table.find_cover(&cf.filter) {
+                        Some(r) => {
+                            table.parent.insert(c, r);
+                            table.children.entry(r).or_default().push(c);
+                        }
+                        None => {
+                            out.send(*target, BrokerMsg::Subscribe(cf.clone()));
+                            table.add_root(cf);
+                        }
                     }
-                    if removed.sub.filter.covers(&e.sub.filter) {
-                        set.insert(e.sub.id);
-                        out.send(*neighbor, BrokerMsg::Subscribe(e.sub.clone()));
+                }
+            } else if let Some(p) = table.parent.remove(&id) {
+                // A covered child goes away: detach it, and retract a
+                // broker-minted merged cover once its last child is gone.
+                if let Some(kids) = table.children.get_mut(&p) {
+                    kids.retain(|x| *x != id);
+                    if kids.is_empty() {
+                        table.children.remove(&p);
+                        if p & SYNTH_BIT != 0 {
+                            table.remove_root(p);
+                            out.send(*target, BrokerMsg::Unsubscribe(p));
+                        }
                     }
                 }
             }
@@ -376,25 +531,28 @@ impl Broker {
         self.advs.push((adv, from));
     }
 
-    fn route(&mut self, _now: SimTime, from: NodeIndex, event: Event, out: &mut Outbox<BrokerMsg>) {
-        // Local delivery to attached clients with matching subscriptions
-        // (or into their proxy buffer if they have moved out).
+    fn route(&mut self, from: NodeIndex, event: Event, out: &mut Outbox<BrokerMsg>) {
+        // One counting probe yields every matching subscription, in
+        // arrival order (the order the old linear scan delivered in).
+        let matched = self.subs.matching_event(&event);
+        // Interfaces with at least one matching subscription, for
+        // inter-broker forwarding decisions.
+        let mut wanted: HashSet<u32, FnvBuildHasher> = HashSet::default();
+        let mut buffered: HashSet<u32, FnvBuildHasher> = HashSet::default();
         let mut to_buffer: Vec<NodeIndex> = Vec::new();
-        for e in &self.subs {
-            let iface = e.iface;
-            if iface == from || !self.clients.contains(&iface) && !self.proxies.contains_key(&iface)
-            {
+        for &id in &matched {
+            let iface = *self.iface_of.get(&id).expect("id tracked");
+            wanted.insert(iface.0);
+            if iface == from {
                 continue;
             }
-            if e.sub.filter.matches(&event) {
-                if self.proxies.contains_key(&iface) {
-                    if !to_buffer.contains(&iface) {
-                        to_buffer.push(iface);
-                    }
-                } else if self.clients.contains(&iface) {
-                    out.send(iface, BrokerMsg::Notify(event.clone()));
-                    out.count("pubsub.delivered_local", 1.0);
+            if self.proxies.contains_key(&iface) {
+                if buffered.insert(iface.0) {
+                    to_buffer.push(iface);
                 }
+            } else if self.clients.contains(&iface) {
+                out.send(iface, BrokerMsg::Notify(event.clone()));
+                out.count("pubsub.delivered_local", 1.0);
             }
         }
         for iface in to_buffer {
@@ -405,12 +563,7 @@ impl Broker {
         match &self.topology {
             BrokerTopology::Peer { neighbors } => {
                 for &n in neighbors {
-                    if n == from {
-                        continue;
-                    }
-                    let wanted =
-                        self.subs.iter().any(|e| e.iface == n && e.sub.filter.matches(&event));
-                    if wanted {
+                    if n != from && wanted.contains(&n.0) {
                         self.notifications_forwarded += 1;
                         out.send(n, BrokerMsg::Notify(event.clone()));
                     }
@@ -425,22 +578,13 @@ impl Broker {
                     }
                 }
                 for &c in children {
-                    if c == from {
-                        continue;
-                    }
-                    let wanted =
-                        self.subs.iter().any(|e| e.iface == c && e.sub.filter.matches(&event));
-                    if wanted {
+                    if c != from && wanted.contains(&c.0) {
                         self.notifications_forwarded += 1;
                         out.send(c, BrokerMsg::Notify(event.clone()));
                     }
                 }
             }
         }
-
-        // Dedup bookkeeping happens client-side; brokers are stateless
-        // w.r.t. event history (acyclicity prevents loops).
-        let _ = self.is_broker_link(from);
     }
 }
 
@@ -750,6 +894,62 @@ mod tests {
         assert_eq!(b2.subscription_count(), 1);
     }
 
+    #[test]
+    fn overlapping_forwards_merge_into_one_cover() {
+        let mut b = Broker::new(n(0), BrokerTopology::Peer { neighbors: vec![n(1)] });
+        let mut out = Outbox::new();
+        b.handle(SimTime::ZERO, n(10), BrokerMsg::Attach, &mut out);
+        let f1 = Filter::for_kind("k").with_constraint("x", Op::Gt, 0i64).with_eq("u", "bob");
+        let f2 = Filter::for_kind("k").with_constraint("x", Op::Gt, 5i64).with_eq("u", "anna");
+        let mut out = Outbox::new();
+        b.handle(SimTime::ZERO, n(10), BrokerMsg::Subscribe(sub(1, f1.clone())), &mut out);
+        assert_eq!(out.sends().len(), 1, "first sub forwards as itself");
+        // The second overlaps the first without either covering the
+        // other: the broker mints one merged cover and retracts the
+        // original, so upstream holds one filter instead of two.
+        let mut out = Outbox::new();
+        b.handle(SimTime::ZERO, n(10), BrokerMsg::Subscribe(sub(2, f2.clone())), &mut out);
+        let to1 = sent_to(&out, n(1));
+        assert_eq!(to1.len(), 2);
+        let merged = match to1[0] {
+            BrokerMsg::Subscribe(s) => {
+                assert_ne!(s.id & SYNTH_BIT, 0, "merged cover carries a synthetic id");
+                s.filter.clone()
+            }
+            other => panic!("expected merged subscribe first, got {other:?}"),
+        };
+        assert!(matches!(to1[1], BrokerMsg::Unsubscribe(1)), "original retracted after cover");
+        assert!(merged.covers(&f1) && merged.covers(&f2), "merge must cover both: {merged}");
+        assert!(out.counts().iter().any(|(k, _)| k == "pubsub.subs_merged"));
+        assert_eq!(b.forwarded_filters(n(1)), vec![merged]);
+    }
+
+    #[test]
+    fn merged_cover_retracted_when_last_child_unsubscribes() {
+        let mut b = Broker::new(n(0), BrokerTopology::Peer { neighbors: vec![n(1)] });
+        let mut out = Outbox::new();
+        b.handle(SimTime::ZERO, n(10), BrokerMsg::Attach, &mut out);
+        let f1 = Filter::for_kind("k").with_constraint("x", Op::Gt, 0i64).with_eq("u", "bob");
+        let f2 = Filter::for_kind("k").with_constraint("x", Op::Gt, 5i64).with_eq("u", "anna");
+        b.handle(SimTime::ZERO, n(10), BrokerMsg::Subscribe(sub(1, f1)), &mut out);
+        b.handle(SimTime::ZERO, n(10), BrokerMsg::Subscribe(sub(2, f2)), &mut out);
+        assert_eq!(b.forwarded_filters(n(1)).len(), 1);
+        // First child gone: the merged cover still serves the second.
+        let mut out = Outbox::new();
+        b.handle(SimTime::ZERO, n(10), BrokerMsg::Unsubscribe(1), &mut out);
+        assert!(out.sends().is_empty(), "cover still needed, nothing retracted");
+        assert_eq!(b.forwarded_filters(n(1)).len(), 1);
+        // Last child gone: the synthetic cover is retracted upstream.
+        let mut out = Outbox::new();
+        b.handle(SimTime::ZERO, n(10), BrokerMsg::Unsubscribe(2), &mut out);
+        assert_eq!(out.sends().len(), 1);
+        assert!(
+            matches!(sent_to(&out, n(1))[0], BrokerMsg::Unsubscribe(id) if id & SYNTH_BIT != 0),
+            "synthetic cover must be retracted"
+        );
+        assert!(b.forwarded_filters(n(1)).is_empty());
+    }
+
     /// Tight shedding policy for overload tests: selective shedding from
     /// depth 4, hard bound 8, slow drain.
     fn tight_shed() -> gloss_governor::ShedConfig {
@@ -808,6 +1008,30 @@ mod tests {
         assert_eq!(b.subscription_count(), 0);
     }
 
+    /// Runs `msg` at its destination and shuttles every resulting
+    /// inter-broker message until the pair is quiescent.
+    fn drain(
+        a: &mut Broker,
+        b: &mut Broker,
+        mut q: std::collections::VecDeque<(NodeIndex, NodeIndex, BrokerMsg)>,
+    ) -> Vec<(NodeIndex, BrokerMsg)> {
+        let mut external = Vec::new();
+        while let Some((to, from, msg)) = q.pop_front() {
+            let target = if to == a.index() { &mut *a } else { &mut *b };
+            let me = target.index();
+            let mut out = Outbox::new();
+            target.handle(SimTime::ZERO, from, msg, &mut out);
+            for (t, m, _) in out.sends() {
+                if *t == a.index() || *t == b.index() {
+                    q.push_back((*t, me, m.clone()));
+                } else {
+                    external.push((*t, m.clone()));
+                }
+            }
+        }
+        external
+    }
+
     /// Regression: a client crashing mid-covering-chain must not leave
     /// orphan subscription entries at the upstream broker. The access
     /// broker holds a broad forwarded sub and a narrow covered one; on the
@@ -818,26 +1042,6 @@ mod tests {
     fn client_crash_mid_covering_chain_leaves_no_orphans_upstream() {
         let mut a = Broker::new(n(0), BrokerTopology::Peer { neighbors: vec![n(1)] });
         let mut b = Broker::new(n(1), BrokerTopology::Peer { neighbors: vec![n(0)] });
-
-        // Runs `msg` at its destination and shuttles every resulting
-        // inter-broker message until the pair is quiescent.
-        fn drain(
-            a: &mut Broker,
-            b: &mut Broker,
-            mut q: std::collections::VecDeque<(NodeIndex, NodeIndex, BrokerMsg)>,
-        ) {
-            while let Some((to, from, msg)) = q.pop_front() {
-                let target = if to == NodeIndex(0) { &mut *a } else { &mut *b };
-                let me = target.index();
-                let mut out = Outbox::new();
-                target.handle(SimTime::ZERO, from, msg, &mut out);
-                for (t, m, _) in out.sends() {
-                    if *t == NodeIndex(0) || *t == NodeIndex(1) {
-                        q.push_back((*t, me, m.clone()));
-                    }
-                }
-            }
-        }
 
         let client = n(10);
         drain(
@@ -867,5 +1071,60 @@ mod tests {
             0,
             "upstream broker kept orphan entries for a dead client"
         );
+    }
+
+    /// Un-merge regression: after a merged cover is fully unwound,
+    /// republished events must stop crossing the link.
+    #[test]
+    fn unsubscribe_then_republish_after_unmerge() {
+        let mut a = Broker::new(n(0), BrokerTopology::Peer { neighbors: vec![n(1)] });
+        let mut b = Broker::new(n(1), BrokerTopology::Peer { neighbors: vec![n(0)] });
+        let subscriber = n(10); // at a
+        let publisher = n(20); // at b
+        drain(
+            &mut a,
+            &mut b,
+            [
+                (n(0), subscriber, BrokerMsg::Attach),
+                (n(1), publisher, BrokerMsg::Attach),
+                (
+                    n(0),
+                    subscriber,
+                    BrokerMsg::Subscribe(sub(
+                        1,
+                        Filter::for_kind("k")
+                            .with_constraint("x", Op::Gt, 0i64)
+                            .with_eq("u", "bob"),
+                    )),
+                ),
+                (
+                    n(0),
+                    subscriber,
+                    BrokerMsg::Subscribe(sub(
+                        2,
+                        Filter::for_kind("k")
+                            .with_constraint("x", Op::Gt, 5i64)
+                            .with_eq("u", "anna"),
+                    )),
+                ),
+            ]
+            .into(),
+        );
+        assert_eq!(b.subscription_count(), 1, "one merged cover crosses the link");
+
+        // A matching publication reaches the subscriber through the cover.
+        let ev = Event::new("k").with_attr("x", 3i64).with_attr("u", "bob");
+        let delivered =
+            drain(&mut a, &mut b, [(n(1), publisher, BrokerMsg::Publish(ev.clone()))].into());
+        assert_eq!(delivered.len(), 1);
+        assert_eq!(delivered[0].0, subscriber);
+
+        // Unwind both children; then republish: nothing may cross.
+        drain(&mut a, &mut b, [(n(0), subscriber, BrokerMsg::Unsubscribe(1))].into());
+        assert_eq!(b.subscription_count(), 1, "cover still serves the second child");
+        drain(&mut a, &mut b, [(n(0), subscriber, BrokerMsg::Unsubscribe(2))].into());
+        assert_eq!(b.subscription_count(), 0, "merged cover retracted upstream");
+        let delivered = drain(&mut a, &mut b, [(n(1), publisher, BrokerMsg::Publish(ev))].into());
+        assert!(delivered.is_empty(), "republish after unmerge must not deliver");
     }
 }

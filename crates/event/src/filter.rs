@@ -448,6 +448,32 @@ impl fmt::Display for Filter {
     }
 }
 
+/// A filter covering both `a` and `b`: `a`'s kind (when shared) plus the
+/// constraints of `a` that some constraint of `b` implies. Every
+/// constraint kept is implied by `a` (it is one of `a`'s) and by `b`, so
+/// the result covers both. `None` when the filters target different
+/// kinds or share no implied constraint (the merge would be `[*]`,
+/// coarser than useful).
+///
+/// The broker uses this to forward one merged filter upstream instead of
+/// two overlapping ones; `gloss_analysis`'s covering audit re-exports it
+/// for its offline merge proposals.
+pub fn merge_cover(a: &Filter, b: &Filter) -> Option<Filter> {
+    if a.kind() != b.kind() {
+        return None;
+    }
+    let kept: Vec<_> = a
+        .constraints()
+        .iter()
+        .filter(|ca| b.constraints().iter().any(|cb| ca.covers(cb)))
+        .cloned()
+        .collect();
+    if kept.is_empty() {
+        return None;
+    }
+    Some(Filter::from_parts(a.kind().map(str::to_owned), kept))
+}
+
 /// A subscription: a filter plus the subscriber-assigned identifier.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Subscription {

@@ -1,0 +1,724 @@
+//! Counting-based attribute index over subscription filters.
+//!
+//! The broker's matching problem is: given an event, find every stored
+//! filter whose *every* constraint is satisfied. [`FilterIndex`] solves it
+//! the SIENA way — decompose each filter into per-attribute constraint
+//! buckets, let the event's attributes probe only the buckets they can
+//! satisfy, and count satisfied constraints per filter: a filter matches
+//! exactly when its counter reaches its constraint total (and its kind
+//! restriction agrees). Matching cost is proportional to the constraints
+//! the event *touches*, not to table size.
+//!
+//! Bucket layout per attribute:
+//!
+//! | operator               | structure                       | probe cost      |
+//! |------------------------|---------------------------------|-----------------|
+//! | `Eq` (string)          | hash map on the operand         | O(1)            |
+//! | `Eq` (numeric)         | hash map on canonical f64 bits  | O(1)            |
+//! | `Eq` (bool)            | two buckets                     | O(1)            |
+//! | `Gt`/`Ge` (numeric)    | sorted boundary map (lower)     | O(log n + hits) |
+//! | `Lt`/`Le` (numeric)    | sorted boundary map (upper)     | O(log n + hits) |
+//! | `Prefix`               | byte trie on the pattern        | O(len + hits)   |
+//! | everything else        | linear fallback list            | O(list)         |
+//!
+//! The fallback list holds `Suffix`/`Contains`/`Ne`/`Exists` and the rare
+//! non-numeric ordering constraints (lexicographic `Lt` on strings, and so
+//! on); it is scanned only when the event actually carries the attribute.
+//! Constraints that no value can ever satisfy (string operators with a
+//! non-string operand, comparisons against `NaN`) are not indexed at all —
+//! their filter's counter can then never reach its total, which is exactly
+//! the linear scan's verdict.
+//!
+//! Kind restrictions are *not* counted: counting them would make every
+//! publication touch every same-kind subscription, which is the hot-topic
+//! blow-up this index exists to avoid. Instead the kind test is applied
+//! per candidate, and the only filters selected without a constraint probe
+//! are the zero-constraint ones (tracked in dedicated kind/universal
+//! lists — those genuinely match every event of their kind).
+//!
+//! The same structure answers *covering* queries for the broker's forward
+//! tables: for a filter made of distinct-attribute `Eq` constraints,
+//! "which stored filters cover it" is exactly "which stored filters match
+//! the event formed by its operands" (see [`FilterIndex::covering_ids`]).
+
+use crate::broker::SubId;
+use crate::filter::{Filter, Op, Subscription};
+use crate::notification::Event;
+use crate::value::AttrValue;
+use gloss_sim::FnvHashMap;
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone)]
+struct Entry {
+    sub: Subscription,
+    /// Insertion sequence; match results are returned in this order so
+    /// the indexed broker emits notifications in table order, exactly
+    /// like the linear scan it replaces.
+    seq: u64,
+    /// Number of constraints (the counter target).
+    required: u32,
+}
+
+/// Where one constraint is indexed.
+enum Slot<'a> {
+    EqStr(&'a str),
+    EqNum(f64),
+    EqBool(bool),
+    /// `Gt`/`Ge` with a numeric operand; `strict` for `Gt`.
+    Lower {
+        bound: f64,
+        strict: bool,
+    },
+    /// `Lt`/`Le` with a numeric operand; `strict` for `Lt`.
+    Upper {
+        bound: f64,
+        strict: bool,
+    },
+    Prefix(&'a str),
+    /// Evaluated by `matches_value` when the event carries the attribute.
+    Fallback,
+    /// No value can satisfy this constraint; leave it unindexed so its
+    /// filter's counter can never reach `required`.
+    Never,
+}
+
+fn classify(c: &crate::filter::Constraint) -> Slot<'_> {
+    match (c.op, &c.value) {
+        (Op::Eq, AttrValue::Str(s)) => Slot::EqStr(s),
+        (Op::Eq, AttrValue::Bool(b)) => Slot::EqBool(*b),
+        (Op::Eq, v) => match v.as_number() {
+            Some(x) if !x.is_nan() => Slot::EqNum(x),
+            _ => Slot::Never,
+        },
+        (Op::Lt | Op::Le, AttrValue::Int(_) | AttrValue::Float(_)) => match c.value.as_number() {
+            Some(x) if !x.is_nan() => Slot::Upper { bound: x, strict: c.op == Op::Lt },
+            _ => Slot::Never,
+        },
+        (Op::Gt | Op::Ge, AttrValue::Int(_) | AttrValue::Float(_)) => match c.value.as_number() {
+            Some(x) if !x.is_nan() => Slot::Lower { bound: x, strict: c.op == Op::Gt },
+            _ => Slot::Never,
+        },
+        (Op::Prefix, v) => match v.as_str() {
+            Some(s) => Slot::Prefix(s),
+            None => Slot::Never,
+        },
+        (Op::Suffix | Op::Contains, v) => match v.as_str() {
+            Some(_) => Slot::Fallback,
+            None => Slot::Never,
+        },
+        (Op::Ne, v) => match v.as_number() {
+            Some(x) if x.is_nan() => Slot::Never,
+            _ => Slot::Fallback,
+        },
+        // String/bool ordering, Exists.
+        _ => Slot::Fallback,
+    }
+}
+
+/// Canonical hash key for a finite numeric operand: `Int` and `Float`
+/// compare numerically, so both map through `f64`; `-0.0` folds onto
+/// `0.0` (they compare equal).
+fn num_key(x: f64) -> u64 {
+    let x = if x == 0.0 { 0.0 } else { x };
+    x.to_bits()
+}
+
+/// Order-preserving bit transform for finite floats, so boundary maps can
+/// use a plain `BTreeMap<u64, _>`.
+fn ord_key(x: f64) -> u64 {
+    let b = num_key(x);
+    if b >> 63 == 1 {
+        !b
+    } else {
+        b | (1 << 63)
+    }
+}
+
+/// One boundary value's constraint lists in a sorted boundary map.
+#[derive(Debug, Clone, Default)]
+struct Boundary {
+    /// Strict comparisons (`Gt` in the lower map, `Lt` in the upper map).
+    strict: Vec<SubId>,
+    /// Inclusive comparisons (`Ge` / `Le`).
+    incl: Vec<SubId>,
+}
+
+impl Boundary {
+    fn is_empty(&self) -> bool {
+        self.strict.is_empty() && self.incl.is_empty()
+    }
+}
+
+/// Byte trie over `Prefix` patterns: walking an event string's bytes
+/// visits exactly the nodes of its satisfied prefixes.
+#[derive(Debug, Clone, Default)]
+struct Trie {
+    /// Constraints whose pattern ends at this node.
+    ids: Vec<SubId>,
+    children: FnvHashMap<u8, Trie>,
+}
+
+impl Trie {
+    fn insert(&mut self, pat: &[u8], id: SubId) {
+        let mut node = self;
+        for &b in pat {
+            node = node.children.entry(b).or_default();
+        }
+        node.ids.push(id);
+    }
+
+    /// Removes one occurrence path, pruning nodes left empty.
+    fn remove(&mut self, pat: &[u8], id: SubId) {
+        match pat.split_first() {
+            None => {
+                if let Some(pos) = self.ids.iter().position(|x| *x == id) {
+                    self.ids.remove(pos);
+                }
+            }
+            Some((b, rest)) => {
+                if let Some(child) = self.children.get_mut(b) {
+                    child.remove(rest, id);
+                    if child.is_empty() {
+                        self.children.remove(b);
+                    }
+                }
+            }
+        }
+    }
+
+    fn visit(&self, s: &[u8], f: &mut impl FnMut(SubId)) {
+        let mut node = self;
+        for id in &node.ids {
+            f(*id);
+        }
+        for b in s {
+            match node.children.get(b) {
+                Some(child) => node = child,
+                None => return,
+            }
+            for id in &node.ids {
+                f(*id);
+            }
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.ids.is_empty() && self.children.is_empty()
+    }
+}
+
+/// Per-attribute constraint buckets.
+#[derive(Debug, Clone, Default)]
+struct AttrBuckets {
+    eq_str: FnvHashMap<String, Vec<SubId>>,
+    eq_num: FnvHashMap<u64, Vec<SubId>>,
+    eq_bool: [Vec<SubId>; 2],
+    /// `Gt`/`Ge` boundaries, keyed by [`ord_key`] of the bound.
+    lower: BTreeMap<u64, Boundary>,
+    /// `Lt`/`Le` boundaries, keyed by [`ord_key`] of the bound.
+    upper: BTreeMap<u64, Boundary>,
+    prefix: Trie,
+    /// `(subscription, constraint position)` pairs evaluated directly.
+    fallback: Vec<(SubId, u32)>,
+}
+
+impl AttrBuckets {
+    fn is_empty(&self) -> bool {
+        self.eq_str.is_empty()
+            && self.eq_num.is_empty()
+            && self.eq_bool[0].is_empty()
+            && self.eq_bool[1].is_empty()
+            && self.lower.is_empty()
+            && self.upper.is_empty()
+            && self.prefix.is_empty()
+            && self.fallback.is_empty()
+    }
+}
+
+fn remove_from(v: &mut Vec<SubId>, id: SubId) {
+    v.retain(|x| *x != id);
+}
+
+/// The counting index over a set of subscriptions.
+///
+/// Duplicate ids are rejected ([`insert`](Self::insert) returns `false`);
+/// beyond that any mix of filters is accepted, including unsatisfiable
+/// ones (they are stored, forwarded, audited — they just never match,
+/// exactly as under a linear scan).
+#[derive(Debug, Clone, Default)]
+pub struct FilterIndex {
+    entries: FnvHashMap<SubId, Entry>,
+    attrs: FnvHashMap<String, AttrBuckets>,
+    /// Zero-constraint filters restricted to a kind: they match every
+    /// event of that kind, with no constraint to count.
+    kind_only: FnvHashMap<String, Vec<SubId>>,
+    /// Zero-constraint, kindless filters: they match everything.
+    universal: Vec<SubId>,
+    next_seq: u64,
+}
+
+impl FilterIndex {
+    /// An empty index.
+    pub fn new() -> Self {
+        FilterIndex::default()
+    }
+
+    /// Number of stored subscriptions.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether `id` is stored.
+    pub fn contains(&self, id: SubId) -> bool {
+        self.entries.contains_key(&id)
+    }
+
+    /// The stored subscription with this id.
+    pub fn get(&self, id: SubId) -> Option<&Subscription> {
+        self.entries.get(&id).map(|e| &e.sub)
+    }
+
+    /// Stored subscriptions in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = &Subscription> {
+        self.entries.values().map(|e| &e.sub)
+    }
+
+    /// Stored subscriptions in insertion order.
+    pub fn iter_in_order(&self) -> impl Iterator<Item = &Subscription> {
+        let mut v: Vec<&Entry> = self.entries.values().collect();
+        v.sort_unstable_by_key(|e| e.seq);
+        v.into_iter().map(|e| &e.sub)
+    }
+
+    /// Indexes a subscription. Returns `false` (and stores nothing) if the
+    /// id is already present.
+    pub fn insert(&mut self, sub: Subscription) -> bool {
+        if self.entries.contains_key(&sub.id) {
+            return false;
+        }
+        let id = sub.id;
+        for (ci, c) in sub.filter.constraints().iter().enumerate() {
+            let slot = classify(c);
+            if matches!(slot, Slot::Never) {
+                continue;
+            }
+            let b = self.attrs.entry(c.attr.clone()).or_default();
+            match slot {
+                Slot::EqStr(s) => b.eq_str.entry(s.to_string()).or_default().push(id),
+                Slot::EqNum(x) => b.eq_num.entry(num_key(x)).or_default().push(id),
+                Slot::EqBool(v) => b.eq_bool[v as usize].push(id),
+                Slot::Lower { bound, strict } => {
+                    let bo = b.lower.entry(ord_key(bound)).or_default();
+                    if strict { &mut bo.strict } else { &mut bo.incl }.push(id);
+                }
+                Slot::Upper { bound, strict } => {
+                    let bo = b.upper.entry(ord_key(bound)).or_default();
+                    if strict { &mut bo.strict } else { &mut bo.incl }.push(id);
+                }
+                Slot::Prefix(s) => b.prefix.insert(s.as_bytes(), id),
+                Slot::Fallback => b.fallback.push((id, ci as u32)),
+                Slot::Never => unreachable!(),
+            }
+        }
+        if sub.filter.constraints().is_empty() {
+            match sub.filter.kind() {
+                Some(k) => self.kind_only.entry(k.to_string()).or_default().push(id),
+                None => self.universal.push(id),
+            }
+        }
+        let required = sub.filter.constraints().len() as u32;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.entries.insert(id, Entry { sub, seq, required });
+        true
+    }
+
+    /// Removes a subscription, returning it.
+    pub fn remove(&mut self, id: SubId) -> Option<Subscription> {
+        let e = self.entries.remove(&id)?;
+        for c in e.sub.filter.constraints() {
+            let slot = classify(c);
+            if matches!(slot, Slot::Never) {
+                continue;
+            }
+            let Some(b) = self.attrs.get_mut(&c.attr) else { continue };
+            match slot {
+                Slot::EqStr(s) => {
+                    if let Some(v) = b.eq_str.get_mut(s) {
+                        remove_from(v, id);
+                        if v.is_empty() {
+                            b.eq_str.remove(s);
+                        }
+                    }
+                }
+                Slot::EqNum(x) => {
+                    let k = num_key(x);
+                    if let Some(v) = b.eq_num.get_mut(&k) {
+                        remove_from(v, id);
+                        if v.is_empty() {
+                            b.eq_num.remove(&k);
+                        }
+                    }
+                }
+                Slot::EqBool(v) => remove_from(&mut b.eq_bool[v as usize], id),
+                Slot::Lower { bound, strict } => {
+                    let k = ord_key(bound);
+                    if let Some(bo) = b.lower.get_mut(&k) {
+                        remove_from(if strict { &mut bo.strict } else { &mut bo.incl }, id);
+                        if bo.is_empty() {
+                            b.lower.remove(&k);
+                        }
+                    }
+                }
+                Slot::Upper { bound, strict } => {
+                    let k = ord_key(bound);
+                    if let Some(bo) = b.upper.get_mut(&k) {
+                        remove_from(if strict { &mut bo.strict } else { &mut bo.incl }, id);
+                        if bo.is_empty() {
+                            b.upper.remove(&k);
+                        }
+                    }
+                }
+                Slot::Prefix(s) => b.prefix.remove(s.as_bytes(), id),
+                Slot::Fallback => b.fallback.retain(|(x, _)| *x != id),
+                Slot::Never => unreachable!(),
+            }
+            if b.is_empty() {
+                self.attrs.remove(&c.attr);
+            }
+        }
+        if e.sub.filter.constraints().is_empty() {
+            match e.sub.filter.kind() {
+                Some(k) => {
+                    if let Some(v) = self.kind_only.get_mut(k) {
+                        remove_from(v, id);
+                        if v.is_empty() {
+                            self.kind_only.remove(k);
+                        }
+                    }
+                }
+                None => remove_from(&mut self.universal, id),
+            }
+        }
+        Some(e.sub)
+    }
+
+    /// Ids of subscriptions matching an event with the given kind and
+    /// attributes, in insertion order. `kind: None` means "no kind": only
+    /// kind-unrestricted filters can pass (used by covering queries;
+    /// events always carry a kind).
+    pub fn matching<'a>(
+        &self,
+        kind: Option<&str>,
+        attrs: impl Iterator<Item = (&'a str, &'a AttrValue)>,
+    ) -> Vec<SubId> {
+        let mut counts: FnvHashMap<SubId, u32> = FnvHashMap::default();
+        for (name, value) in attrs {
+            let Some(b) = self.attrs.get(name) else { continue };
+            let mut bump = |id: SubId| *counts.entry(id).or_insert(0) += 1;
+            match value {
+                AttrValue::Str(s) => {
+                    if let Some(ids) = b.eq_str.get(s.as_ref()) {
+                        ids.iter().for_each(|&id| bump(id));
+                    }
+                    b.prefix.visit(s.as_bytes(), &mut bump);
+                }
+                AttrValue::Int(_) | AttrValue::Float(_) => {
+                    let x = value.as_number().expect("numeric");
+                    // NaN compares with nothing: only the fallback list
+                    // (where `Exists` lives) can be satisfied.
+                    if !x.is_nan() {
+                        if let Some(ids) = b.eq_num.get(&num_key(x)) {
+                            ids.iter().for_each(|&id| bump(id));
+                        }
+                        let k = ord_key(x);
+                        for (&bk, bo) in b.lower.range(..=k) {
+                            bo.incl.iter().for_each(|&id| bump(id));
+                            if bk != k {
+                                bo.strict.iter().for_each(|&id| bump(id));
+                            }
+                        }
+                        for (&bk, bo) in b.upper.range(k..) {
+                            bo.incl.iter().for_each(|&id| bump(id));
+                            if bk != k {
+                                bo.strict.iter().for_each(|&id| bump(id));
+                            }
+                        }
+                    }
+                }
+                AttrValue::Bool(v) => {
+                    b.eq_bool[*v as usize].iter().for_each(|&id| bump(id));
+                }
+            }
+            for &(id, ci) in &b.fallback {
+                let e = &self.entries[&id];
+                if e.sub.filter.constraints()[ci as usize].matches_value(value) {
+                    bump(id);
+                }
+            }
+        }
+        let kind_ok = |f: &Filter| match f.kind() {
+            None => true,
+            Some(k0) => kind == Some(k0),
+        };
+        let mut out: Vec<SubId> = counts
+            .iter()
+            .filter_map(|(&id, &n)| {
+                let e = &self.entries[&id];
+                (n == e.required && kind_ok(&e.sub.filter)).then_some(id)
+            })
+            .collect();
+        if let Some(k) = kind {
+            if let Some(ids) = self.kind_only.get(k) {
+                out.extend(ids);
+            }
+        }
+        out.extend(&self.universal);
+        out.sort_unstable_by_key(|id| self.entries[id].seq);
+        out
+    }
+
+    /// Ids of subscriptions matching `event`, in insertion order. Agrees
+    /// exactly with scanning every stored filter through
+    /// [`Filter::matches`].
+    pub fn matching_event(&self, event: &Event) -> Vec<SubId> {
+        self.matching(Some(event.kind()), event.attrs())
+    }
+
+    /// Ids of stored filters that *cover* `query` — exact (sound and
+    /// complete) when `query` is a conjunction of `Eq` constraints on
+    /// distinct attributes, plus an optional kind. Returns `None` for
+    /// filters outside that fragment (the caller falls back to a scan).
+    ///
+    /// Why this works: for an `Eq(a, v)` constraint, a stored constraint
+    /// on `a` covers it iff `v` satisfies the stored constraint, so
+    /// "stored filters covering the query" is precisely "stored filters
+    /// matching the event `{a: v, ...}` of the query's operands" — one
+    /// counting probe instead of a pairwise `covers` sweep.
+    pub fn covering_ids(&self, query: &Filter) -> Option<Vec<SubId>> {
+        let cs = query.constraints();
+        let mut pairs: Vec<(&str, &AttrValue)> = Vec::with_capacity(cs.len());
+        for c in cs {
+            if c.op != Op::Eq {
+                return None;
+            }
+            if pairs.iter().any(|(a, _)| *a == c.attr.as_str()) {
+                return None; // repeated attribute: one synthetic value cannot represent both
+            }
+            pairs.push((c.attr.as_str(), &c.value));
+        }
+        Some(self.matching(query.kind(), pairs.into_iter()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sub(id: SubId, filter: Filter) -> Subscription {
+        Subscription { id, filter }
+    }
+
+    fn ids(index: &FilterIndex, event: &Event) -> Vec<SubId> {
+        index.matching_event(event)
+    }
+
+    #[test]
+    fn counting_matches_conjunctions() {
+        let mut ix = FilterIndex::new();
+        ix.insert(sub(1, Filter::for_kind("k").with_eq("u", "bob")));
+        ix.insert(sub(2, Filter::for_kind("k").with_constraint("t", Op::Gt, 10i64)));
+        ix.insert(sub(
+            3,
+            Filter::for_kind("k").with_eq("u", "bob").with_constraint("t", Op::Gt, 10i64),
+        ));
+        let e = Event::new("k").with_attr("u", "bob").with_attr("t", 20i64);
+        assert_eq!(ids(&ix, &e), vec![1, 2, 3]);
+        let e = Event::new("k").with_attr("u", "bob").with_attr("t", 5i64);
+        assert_eq!(ids(&ix, &e), vec![1]);
+        let e = Event::new("k").with_attr("t", 20i64);
+        assert_eq!(ids(&ix, &e), vec![2], "partial conjunction must not match");
+    }
+
+    #[test]
+    fn kind_checked_per_candidate() {
+        let mut ix = FilterIndex::new();
+        ix.insert(sub(1, Filter::for_kind("a").with_eq("x", 1i64)));
+        ix.insert(sub(2, Filter::for_kind("b").with_eq("x", 1i64)));
+        ix.insert(sub(3, Filter::any().with_eq("x", 1i64)));
+        ix.insert(sub(4, Filter::for_kind("a")));
+        ix.insert(sub(5, Filter::any()));
+        let e = Event::new("a").with_attr("x", 1i64);
+        assert_eq!(ids(&ix, &e), vec![1, 3, 4, 5]);
+        let e = Event::new("c").with_attr("x", 1i64);
+        assert_eq!(ids(&ix, &e), vec![3, 5]);
+    }
+
+    #[test]
+    fn numeric_eq_is_cross_type() {
+        let mut ix = FilterIndex::new();
+        ix.insert(sub(1, Filter::any().with_eq("x", 3i64)));
+        ix.insert(sub(2, Filter::any().with_eq("x", 3.0)));
+        ix.insert(sub(3, Filter::any().with_eq("x", 0.0)));
+        let e = Event::new("k").with_attr("x", 3.0);
+        assert_eq!(ids(&ix, &e), vec![1, 2]);
+        let e = Event::new("k").with_attr("x", 3i64);
+        assert_eq!(ids(&ix, &e), vec![1, 2]);
+        // -0.0 equals 0.0 numerically.
+        let e = Event::new("k").with_attr("x", -0.0);
+        assert_eq!(ids(&ix, &e), vec![3]);
+    }
+
+    #[test]
+    fn boundary_maps_respect_strictness() {
+        let mut ix = FilterIndex::new();
+        ix.insert(sub(1, Filter::any().with_constraint("x", Op::Gt, 10i64)));
+        ix.insert(sub(2, Filter::any().with_constraint("x", Op::Ge, 10i64)));
+        ix.insert(sub(3, Filter::any().with_constraint("x", Op::Lt, 10i64)));
+        ix.insert(sub(4, Filter::any().with_constraint("x", Op::Le, 10i64)));
+        let at = |v: f64| Event::new("k").with_attr("x", v);
+        assert_eq!(ids(&ix, &at(10.0)), vec![2, 4]);
+        assert_eq!(ids(&ix, &at(10.5)), vec![1, 2]);
+        assert_eq!(ids(&ix, &at(9.5)), vec![3, 4]);
+    }
+
+    #[test]
+    fn prefix_trie_walks_event_string() {
+        let mut ix = FilterIndex::new();
+        ix.insert(sub(1, Filter::any().with_constraint("s", Op::Prefix, "st")));
+        ix.insert(sub(2, Filter::any().with_constraint("s", Op::Prefix, "st andrews")));
+        ix.insert(sub(3, Filter::any().with_constraint("s", Op::Prefix, "")));
+        ix.insert(sub(4, Filter::any().with_constraint("s", Op::Prefix, "dundee")));
+        let e = Event::new("k").with_attr("s", "st andrews west");
+        assert_eq!(ids(&ix, &e), vec![1, 2, 3]);
+        let e = Event::new("k").with_attr("s", 5i64);
+        assert!(ids(&ix, &e).is_empty(), "prefix never matches non-strings");
+    }
+
+    #[test]
+    fn fallback_ops_and_exists() {
+        let mut ix = FilterIndex::new();
+        ix.insert(sub(1, Filter::any().with_constraint("s", Op::Suffix, "street")));
+        ix.insert(sub(2, Filter::any().with_constraint("s", Op::Contains, "h st")));
+        ix.insert(sub(3, Filter::any().with_constraint("s", Op::Ne, "north haugh")));
+        ix.insert(sub(4, Filter::any().with_exists("s")));
+        ix.insert(sub(5, Filter::any().with_constraint("s", Op::Lt, "t")));
+        let e = Event::new("k").with_attr("s", "south street");
+        assert_eq!(ids(&ix, &e), vec![1, 2, 3, 4, 5]);
+        let e = Event::new("k").with_attr("s", "north haugh");
+        assert_eq!(ids(&ix, &e), vec![4, 5]);
+    }
+
+    #[test]
+    fn nan_operands_and_nan_events_never_match() {
+        let mut ix = FilterIndex::new();
+        ix.insert(sub(1, Filter::any().with_eq("x", f64::NAN)));
+        ix.insert(sub(2, Filter::any().with_constraint("x", Op::Lt, f64::NAN)));
+        ix.insert(sub(3, Filter::any().with_constraint("x", Op::Ne, f64::NAN)));
+        ix.insert(sub(4, Filter::any().with_exists("x")));
+        ix.insert(sub(5, Filter::any().with_eq("x", 1.0)));
+        let e = Event::new("k").with_attr("x", 1.0);
+        assert_eq!(ids(&ix, &e), vec![4, 5]);
+        // A NaN event value satisfies only Exists.
+        let e = Event::new("k").with_attr("x", f64::NAN);
+        assert_eq!(ids(&ix, &e), vec![4]);
+    }
+
+    #[test]
+    fn duplicate_and_repeated_constraints_count_separately() {
+        let mut ix = FilterIndex::new();
+        // Same attribute twice: an interval.
+        ix.insert(sub(
+            1,
+            Filter::any().with_constraint("x", Op::Gt, 0i64).with_constraint("x", Op::Lt, 10i64),
+        ));
+        // Identical constraint repeated.
+        ix.insert(sub(
+            2,
+            Filter::any().with_constraint("x", Op::Gt, 5i64).with_constraint("x", Op::Gt, 5i64),
+        ));
+        let at = |v: i64| Event::new("k").with_attr("x", v);
+        assert_eq!(ids(&ix, &at(7)), vec![1, 2]);
+        assert_eq!(ids(&ix, &at(12)), vec![2]);
+        assert_eq!(ids(&ix, &at(3)), vec![1]);
+    }
+
+    #[test]
+    fn insert_remove_roundtrip_leaves_no_residue() {
+        let mut ix = FilterIndex::new();
+        let filters = [
+            Filter::for_kind("k").with_eq("u", "bob"),
+            Filter::any().with_constraint("x", Op::Gt, 1.5),
+            Filter::any().with_constraint("s", Op::Prefix, "abc"),
+            Filter::any().with_constraint("s", Op::Suffix, "z"),
+            Filter::for_kind("k"),
+            Filter::any(),
+        ];
+        for (i, f) in filters.iter().enumerate() {
+            assert!(ix.insert(sub(i as u64, f.clone())));
+        }
+        assert!(!ix.insert(sub(0, Filter::any())), "duplicate id rejected");
+        for i in 0..filters.len() {
+            assert!(ix.remove(i as u64).is_some());
+        }
+        assert!(ix.is_empty());
+        assert!(ix.attrs.is_empty(), "attribute buckets must drain");
+        assert!(ix.kind_only.is_empty());
+        assert!(ix.universal.is_empty());
+        assert!(ix.remove(0).is_none());
+    }
+
+    #[test]
+    fn covering_ids_agrees_with_filter_covers() {
+        let mut ix = FilterIndex::new();
+        let stored = [
+            Filter::for_kind("k"),
+            Filter::for_kind("k").with_eq("u", "bob"),
+            Filter::any().with_constraint("x", Op::Gt, 0i64),
+            Filter::any().with_constraint("s", Op::Prefix, "st"),
+            Filter::any().with_exists("u"),
+            Filter::any(),
+            Filter::for_kind("other"),
+        ];
+        for (i, f) in stored.iter().enumerate() {
+            ix.insert(sub(i as u64, f.clone()));
+        }
+        let queries = [
+            Filter::for_kind("k").with_eq("u", "bob"),
+            Filter::for_kind("k").with_eq("u", "bob").with_eq("x", 5i64),
+            Filter::for_kind("k"),
+            Filter::any().with_eq("s", "st andrews"),
+            Filter::any(),
+        ];
+        for q in &queries {
+            let got = ix.covering_ids(q).expect("all-Eq query");
+            let want: Vec<SubId> = stored
+                .iter()
+                .enumerate()
+                .filter(|(_, f)| f.covers(q))
+                .map(|(i, _)| i as u64)
+                .collect();
+            assert_eq!(got, want, "query {q}");
+        }
+        // Outside the Eq fragment: no answer, caller scans.
+        assert!(ix.covering_ids(&Filter::any().with_constraint("x", Op::Gt, 1i64)).is_none());
+        assert!(ix.covering_ids(&Filter::any().with_eq("x", 1i64).with_eq("x", 2i64)).is_none());
+    }
+
+    #[test]
+    fn match_order_is_insertion_order() {
+        let mut ix = FilterIndex::new();
+        for id in [9u64, 4, 7, 1] {
+            ix.insert(sub(id, Filter::for_kind("k")));
+        }
+        assert_eq!(ids(&ix, &Event::new("k")), vec![9, 4, 7, 1]);
+        ix.remove(4);
+        ix.insert(sub(4, Filter::for_kind("k")));
+        assert_eq!(ids(&ix, &Event::new("k")), vec![9, 7, 1, 4], "reinsertion goes to the back");
+    }
+}

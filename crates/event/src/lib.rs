@@ -34,18 +34,22 @@
 //! assert!(filter.matches(&event));
 //! ```
 
+pub mod baseline;
 pub mod broker;
 pub mod centralized;
 pub mod filter;
+pub mod index;
 pub mod mobility;
 pub mod network;
 pub mod notification;
 pub mod value;
 
+pub use baseline::LinearBroker;
 pub use broker::{Broker, BrokerMsg, BrokerTopology, SubId};
 pub use centralized::CentralServer;
-pub use filter::{Advertisement, Constraint, Filter, Op, Subscription};
+pub use filter::{merge_cover, Advertisement, Constraint, Filter, Op, Subscription};
 pub use gloss_governor::{IngressClass, LoadShedder, ShedConfig, ShedDecision};
+pub use index::FilterIndex;
 pub use network::{Architecture, ClientApi, PubSubConfig, PubSubNetwork, PubSubNode, Role};
 pub use notification::{Event, EventId};
 pub use value::AttrValue;

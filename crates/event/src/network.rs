@@ -12,8 +12,9 @@ use std::collections::{BTreeMap, BTreeSet};
 /// What a node in the pub/sub world is.
 #[derive(Debug, Clone)]
 pub enum Role {
-    /// A distributed broker.
-    Broker(Broker),
+    /// A distributed broker (boxed: the counting index makes it by far
+    /// the largest role).
+    Broker(Box<Broker>),
     /// The single server of the centralized architecture.
     Central(CentralServer),
     /// An end client: publishes, subscribes, records deliveries.
@@ -243,7 +244,7 @@ impl PubSubNetwork {
                     if let Some(shed) = &cfg.shedding {
                         b = b.with_shedding(shed.clone());
                     }
-                    Role::Broker(b)
+                    Role::Broker(Box::new(b))
                 }
                 Architecture::Hierarchical => {
                     let children: Vec<NodeIndex> = neighbor_sets[i]
@@ -258,7 +259,7 @@ impl PubSubNetwork {
                     if let Some(shed) = &cfg.shedding {
                         b = b.with_shedding(shed.clone());
                     }
-                    Role::Broker(b)
+                    Role::Broker(Box::new(b))
                 }
             };
             nodes.push(PubSubNode { role });

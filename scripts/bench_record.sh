@@ -6,7 +6,7 @@
 #   scripts/bench_record.sh [output.json] [bench-name-filter...]
 #
 # Examples:
-#   scripts/bench_record.sh                          # all benches -> BENCH_pr7.json
+#   scripts/bench_record.sh                          # all benches -> BENCH_pr8.json
 #   scripts/bench_record.sh out.json e1_ c7_         # only e1_* and c7_* benches
 #   scripts/bench_record.sh BENCH_pr3.json s3_ s4_ s5_ c1_filter
 #                                                    # the PR 3 scale/churn/mobility set
@@ -19,7 +19,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_pr7.json}"
+out="${1:-BENCH_pr8.json}"
 shift $(( $# > 0 ? 1 : 0 ))
 
 tmp="$(mktemp)"
