@@ -32,7 +32,11 @@ pub type SubId = u64;
 
 /// Tag bit for broker-minted merged filters. Client-assigned ids are
 /// `(node_index << 32) | seq` with 31-bit node indices, so bit 63 is
-/// never set on a real subscription.
+/// never set on a client's subscription — the bit only keeps minted ids
+/// collision-free. It does NOT mean "synthetic to this broker": a merged
+/// cover minted downstream arrives here as a perfectly live subscription
+/// with bit 63 set, so "is this id live here" is always decided by
+/// `subs.contains(id)`, never by testing the bit.
 const SYNTH_BIT: u64 = 1 << 63;
 
 /// How many most-recent forwarded roots a new subscription is tested
@@ -447,8 +451,12 @@ impl Broker {
                 out.send(target, BrokerMsg::Unsubscribe(partner));
                 table.remove_root(partner);
                 let mut kids = table.children.remove(&partner).unwrap_or_default();
-                if partner & SYNTH_BIT == 0 {
-                    kids.push(partner); // a real partner is now covered itself
+                if self.subs.contains(partner) {
+                    // A live partner — a client's sub, or a merged cover a
+                    // downstream broker forwarded to us — is now covered
+                    // itself; only this broker's own minted covers (never
+                    // stored in `subs`) simply vanish.
+                    kids.push(partner);
                 }
                 kids.push(sub.id);
                 for &c in &kids {
@@ -508,7 +516,11 @@ impl Broker {
                     kids.retain(|x| *x != id);
                     if kids.is_empty() {
                         table.children.remove(&p);
-                        if p & SYNTH_BIT != 0 {
+                        if !self.subs.contains(p) {
+                            // Not a live subscription here ⇒ a cover this
+                            // broker minted; retract it. A downstream
+                            // broker's merged cover stays forwarded until
+                            // its own Unsubscribe arrives.
                             table.remove_root(p);
                             out.send(*target, BrokerMsg::Unsubscribe(p));
                         }

@@ -59,6 +59,18 @@ fn rand_value(rng: &mut SimRng) -> AttrValue {
 }
 
 fn rand_filter(rng: &mut SimRng) -> Filter {
+    // A third of filters take a deliberately mergeable shape — same kind,
+    // an open x-interval, usually a distinguishing Eq — so scripts
+    // routinely drive the brokers' merge path and forward broker-minted
+    // covers across hops (the foreign-merged-cover regression surface).
+    if rng.chance(0.33) {
+        let kind = ["a", "b"][rng.index(2)];
+        let mut f = Filter::for_kind(kind).with_constraint("x", Op::Gt, rng.range(0, 7) as i64 - 3);
+        if rng.chance(0.7) {
+            f = f.with_eq("u", STRINGS[rng.index(STRINGS.len())]);
+        }
+        return f;
+    }
     let mut f = match rng.range(0, 3) {
         0 => Filter::any(),
         1 => Filter::for_kind("a"),
@@ -145,6 +157,18 @@ impl AnyBroker for LinearBroker {
 /// Number of brokers in the line; nodes 0..BROKERS are brokers, 10+
 /// are clients.
 const BROKERS: u32 = 3;
+
+/// Topology of broker `i` in the 0..BROKERS line.
+fn line(i: u32) -> BrokerTopology {
+    let mut neighbors = Vec::new();
+    if i > 0 {
+        neighbors.push(NodeIndex(i - 1));
+    }
+    if i + 1 < BROKERS {
+        neighbors.push(NodeIndex(i + 1));
+    }
+    BrokerTopology::Peer { neighbors }
+}
 
 /// One injected protocol message: (destination broker, from, message).
 type ScriptStep = (u32, u32, BrokerMsg);
@@ -282,16 +306,6 @@ proptest! {
         let mut rng = SimRng::new(seed);
         let script = rand_script(&mut rng);
 
-        let line = |i: u32| {
-            let mut neighbors = Vec::new();
-            if i > 0 {
-                neighbors.push(NodeIndex(i - 1));
-            }
-            if i + 1 < BROKERS {
-                neighbors.push(NodeIndex(i + 1));
-            }
-            BrokerTopology::Peer { neighbors }
-        };
         let mut indexed: Vec<Broker> =
             (0..BROKERS).map(|i| Broker::new(NodeIndex(i), line(i))).collect();
         let mut linear: Vec<LinearBroker> =
@@ -330,4 +344,83 @@ proptest! {
         // (IEEE semantics), but identical bytes are what we claim.
         prop_assert_eq!(format!("{got:?}"), format!("{want:?}"));
     }
+}
+
+/// Deterministic multi-hop regression for the foreign-merged-cover bug:
+/// the downstream broker (2) merges two client subscriptions into one
+/// synthetic cover S, forwarded two hops (2 → 1 → 0). At the *middle*
+/// broker S is a live subscription whose id happens to carry the
+/// synthetic tag bit. Local churn there — a covered child draining, or a
+/// merge that absorbs S as partner and then unwinds — must never retract
+/// S (or drop it from the forward table) while it is still live, or
+/// publications entering at broker 0 silently stop reaching the real
+/// subscriber behind broker 2.
+#[test]
+fn foreign_merged_cover_survives_covered_child_churn() {
+    let mut indexed: Vec<Broker> =
+        (0..BROKERS).map(|i| Broker::new(NodeIndex(i), line(i))).collect();
+    let mut linear: Vec<LinearBroker> =
+        (0..BROKERS).map(|i| LinearBroker::new(NodeIndex(i), line(i))).collect();
+    let mut got: BTreeMap<u32, Vec<Event>> = BTreeMap::new();
+    let mut want: BTreeMap<u32, Vec<Event>> = BTreeMap::new();
+
+    let sub_at = |broker: u32, client: u32, id: u64, filter: Filter| {
+        (broker, client, BrokerMsg::Subscribe(Subscription { id, filter }))
+    };
+    let mut script: Vec<ScriptStep> = vec![
+        (2, 12, BrokerMsg::Attach),
+        (1, 11, BrokerMsg::Attach),
+        (0, 10, BrokerMsg::Attach),
+        // The real subscriber's first filter crosses both hops as itself.
+        sub_at(
+            2,
+            12,
+            1,
+            Filter::for_kind("k").with_constraint("x", Op::Gt, 0i64).with_eq("u", "bob"),
+        ),
+    ];
+    // Pad broker 1's table toward broker 0 with unrelated roots so the
+    // synthetic cover arriving next falls outside the MERGE_SCAN window
+    // and becomes a forwarded root itself instead of being re-merged.
+    for i in 0..8u64 {
+        script.push(sub_at(1, 11, 100 + i, Filter::for_kind(format!("z{i}"))));
+    }
+    // The second subscription overlaps the first without either covering
+    // the other: broker 2 mints synthetic S = (k, x>0), forwards it
+    // through broker 1 to broker 0 and retracts subscription 1.
+    script.push(sub_at(
+        2,
+        12,
+        2,
+        Filter::for_kind("k").with_constraint("x", Op::Gt, 5i64).with_eq("u", "anna"),
+    ));
+    // Covered-child churn at the middle broker: a local sub covered by S
+    // subscribes then unsubscribes, draining S's child list to empty.
+    script.push(sub_at(
+        1,
+        11,
+        3,
+        Filter::for_kind("k").with_constraint("x", Op::Gt, 3i64).with_eq("u", "carol"),
+    ));
+    script.push((1, 11, BrokerMsg::Unsubscribe(3)));
+    // The publication must still cross 0 → 1 → 2 to the real subscriber.
+    let ev = Event::new("k").with_attr("x", 7i64).with_attr("u", "bob");
+    script.push((0, 10, BrokerMsg::Publish(ev.clone())));
+    // Merge-partner churn: a local sub broad enough to absorb S into a
+    // new merged cover. When it unwinds, S must have been re-tracked as a
+    // covered child so the replacement cover keeps standing in for it.
+    script.push(sub_at(1, 11, 4, Filter::for_kind("k").with_constraint("x", Op::Gt, -1i64)));
+    script.push((1, 11, BrokerMsg::Unsubscribe(4)));
+    script.push((0, 10, BrokerMsg::Publish(ev)));
+
+    for step in &script {
+        run_step(&mut indexed, step, &mut got);
+        run_step(&mut linear, step, &mut want);
+    }
+    assert_eq!(
+        got.get(&12).map_or(0, Vec::len),
+        2,
+        "both publications must reach the downstream subscriber: {got:?}"
+    );
+    assert_eq!(format!("{got:?}"), format!("{want:?}"));
 }
