@@ -1,0 +1,138 @@
+//! C18: knowledge replication cost under context churn — epoch-tagged
+//! delta batches (`kbdelta/<subject>@<from..to>`) against whole-document
+//! re-seeding, over the full active architecture.
+//!
+//! This bench lives in its own file because it drives the delta-plane
+//! APIs (`knowledge_mut`/`update_knowledge`/`prefetch_deltas`); the
+//! seed-worktree baseline runs of `experiments.rs` must still compile
+//! against trees that predate them.
+//!
+//! Before timing anything, the harness runs the two modes side by side
+//! for a fixed number of churn rounds and asserts the headline property:
+//! every node converges to the identical fact set in both modes, and
+//! delta shipping moves several times fewer kb bytes than re-seeding
+//! the whole subject document.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gloss_core::{ActiveArchitecture, ArchConfig};
+use gloss_knowledge::{Fact, FactSource, Term};
+use gloss_sim::{NodeIndex, SimDuration};
+
+const SUBJECT: &str = "bob";
+const FACTS: i64 = 40;
+const WRITER: NodeIndex = NodeIndex(2);
+
+/// An architecture with one 40-fact subject seeded and pulled onto every
+/// node (all receivers anchored at the seeding snapshot's epoch).
+fn seeded_arch(nodes: usize, seed: u64) -> ActiveArchitecture {
+    let mut a = ActiveArchitecture::build(ArchConfig { nodes, seed, ..Default::default() });
+    a.settle();
+    let facts: Vec<Fact> =
+        (0..FACTS).map(|i| Fact::new(SUBJECT, format!("attr{i}"), Term::Int(i))).collect();
+    a.seed_knowledge(WRITER, SUBJECT, &facts);
+    a.run_for(SimDuration::from_secs(30));
+    a.prefetch_subject_everywhere(SUBJECT);
+    a.run_for(SimDuration::from_secs(30));
+    a
+}
+
+/// One churn round in delta mode: one fact changes, the unshipped tail
+/// ships as a batch, every node pulls it.
+fn delta_round(a: &mut ActiveArchitecture, round: i64) {
+    a.knowledge_mut(SUBJECT).retract(SUBJECT, "attr0", &Term::Int(round - 1));
+    a.knowledge_mut(SUBJECT).add(Fact::new(SUBJECT, "attr0", Term::Int(round)));
+    a.update_knowledge(WRITER, SUBJECT);
+    a.run_for(SimDuration::from_secs(5));
+    a.prefetch_deltas_everywhere(SUBJECT);
+    a.run_for(SimDuration::from_secs(10));
+}
+
+/// The same round in whole-document mode: the full 40-fact document is
+/// re-seeded and re-pulled, as pre-delta trees replicated updates.
+fn snapshot_round(a: &mut ActiveArchitecture, round: i64) {
+    let facts: Vec<Fact> = (0..FACTS)
+        .map(|i| {
+            let v = if i == 0 { round } else { i };
+            Fact::new(SUBJECT, format!("attr{i}"), Term::Int(v))
+        })
+        .collect();
+    a.seed_knowledge(WRITER, SUBJECT, &facts);
+    a.run_for(SimDuration::from_secs(5));
+    a.prefetch_subject_everywhere(SUBJECT);
+    a.run_for(SimDuration::from_secs(10));
+}
+
+/// A node's fact set for the subject, in canonical order.
+fn fact_set(a: &ActiveArchitecture, node: u32) -> Vec<String> {
+    let mut v: Vec<String> = a
+        .node(NodeIndex(node))
+        .kb
+        .query(Some(SUBJECT), None)
+        .map(|f| format!("{}={}", f.predicate, f.object))
+        .collect();
+    v.sort();
+    v
+}
+
+/// The fixed-rounds experiment behind the C18 table: equal convergence,
+/// fewer bytes.
+fn assert_delta_mode_converges_cheaper(nodes: usize, rounds: i64) {
+    let mut delta = seeded_arch(nodes, 31);
+    let mut snap = seeded_arch(nodes, 31);
+    let snap_base = snap.world().metrics().counter("gloss.kb_snapshot_bytes");
+    for r in 1..=rounds {
+        delta_round(&mut delta, r);
+        snapshot_round(&mut snap, r);
+    }
+    for n in 0..nodes as u32 {
+        assert_eq!(
+            fact_set(&delta, n),
+            fact_set(&snap, n),
+            "node {n}: delta-fed and snapshot-fed replicas diverged"
+        );
+        assert_eq!(fact_set(&delta, n).len(), FACTS as usize, "node {n} incomplete");
+    }
+    let delta_bytes = delta.world().metrics().counter("gloss.kb_delta_bytes");
+    let snap_bytes = snap.world().metrics().counter("gloss.kb_snapshot_bytes") - snap_base;
+    assert!(delta_bytes > 0.0, "delta mode shipped nothing");
+    let ratio = snap_bytes / delta_bytes;
+    eprintln!(
+        "c18: {rounds} churn rounds over {nodes} nodes: {snap_bytes:.0} snapshot bytes vs \
+         {delta_bytes:.0} delta bytes ({ratio:.1}x)"
+    );
+    assert!(
+        ratio >= 5.0,
+        "delta propagation should move >=5x fewer kb bytes ({ratio:.1}x: \
+         {snap_bytes:.0} vs {delta_bytes:.0})"
+    );
+}
+
+fn c18_knowledge_churn(c: &mut Criterion) {
+    let smoke = std::env::var("GLOSS_BENCH_SMOKE").is_ok_and(|v| v != "0");
+    let (nodes, rounds) = if smoke { (6, 4) } else { (8, 12) };
+    assert_delta_mode_converges_cheaper(nodes, rounds);
+
+    let mut a = seeded_arch(nodes, 32);
+    let mut r = 0i64;
+    c.bench_function("c18_delta_update_round", |b| {
+        b.iter(|| {
+            r += 1;
+            delta_round(&mut a, r);
+        })
+    });
+    let mut a = seeded_arch(nodes, 33);
+    let mut r = 0i64;
+    c.bench_function("c18_snapshot_update_round", |b| {
+        b.iter(|| {
+            r += 1;
+            snapshot_round(&mut a, r);
+        })
+    });
+}
+
+criterion_group! {
+    name = knowledge_delta;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = c18_knowledge_churn
+}
+criterion_main!(knowledge_delta);

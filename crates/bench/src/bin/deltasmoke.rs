@@ -1,0 +1,164 @@
+//! Distributed-delta determinism smoke for CI.
+//!
+//! Runs two seeded active architectures side by side over the same
+//! knowledge-churn schedule — one replicating context updates as
+//! epoch-tagged `kbdelta/…` batches, one re-seeding whole `kb/…`
+//! documents — at the thread count given by `GLOSS_SIM_THREADS`, then
+//! prints one digest line covering the traces, every `gloss.kb_*`
+//! counter, and each node's final fact set. CI diffs the output at
+//! threads 1/2/4: the delta plane must be schedule-preserving, and
+//! delta-fed replicas must converge to the byte-identical fact sets the
+//! snapshot-fed replicas hold.
+//!
+//! The schedule also injects one hand-crafted gap batch (a range
+//! starting past every receiver's epoch), so the snapshot-fallback
+//! path and its counters are part of the digested behaviour.
+//!
+//! Usage: deltasmoke [--nodes N] [--seed S] [--rounds K]
+
+use gloss_core::{ActiveArchitecture, ArchConfig};
+use gloss_knowledge::{DeltaBatch, Fact, FactDelta, FactSource, Term};
+use gloss_overlay::Key;
+use gloss_sim::{NodeIndex, SimDuration};
+use gloss_store::Document;
+
+const SUBJECT: &str = "bob";
+const WRITER: NodeIndex = NodeIndex(2);
+
+/// FNV-1a over a byte stream.
+fn fnv(digest: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *digest ^= b as u64;
+        *digest = digest.wrapping_mul(0x100_0000_01b3);
+    }
+}
+
+fn seeded_arch(nodes: usize, seed: u64) -> ActiveArchitecture {
+    let mut a = ActiveArchitecture::build(ArchConfig { nodes, seed, ..Default::default() });
+    a.settle();
+    a.world_mut().enable_tracing(1 << 22);
+    let facts: Vec<Fact> =
+        (0..16i64).map(|i| Fact::new(SUBJECT, format!("attr{i}"), Term::Int(i))).collect();
+    a.seed_knowledge(WRITER, SUBJECT, &facts);
+    a.run_for(SimDuration::from_secs(30));
+    a.prefetch_subject_everywhere(SUBJECT);
+    a.run_for(SimDuration::from_secs(30));
+    a
+}
+
+/// A node's fact set for the subject, in canonical order.
+fn fact_set(a: &ActiveArchitecture, node: u32) -> Vec<String> {
+    let mut v: Vec<String> = a
+        .node(NodeIndex(node))
+        .kb
+        .query(Some(SUBJECT), None)
+        .map(|f| format!("{}={}", f.predicate, f.object))
+        .collect();
+    v.sort();
+    v
+}
+
+fn main() {
+    let mut nodes = 8usize;
+    let mut seed = 2718u64;
+    let mut rounds = 6i64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--nodes" => nodes = args.next().and_then(|v| v.parse().ok()).expect("--nodes N"),
+            "--seed" => seed = args.next().and_then(|v| v.parse().ok()).expect("--seed S"),
+            "--rounds" => rounds = args.next().and_then(|v| v.parse().ok()).expect("--rounds K"),
+            other => {
+                eprintln!("unknown argument `{other}`");
+                std::process::exit(2);
+            }
+        }
+    }
+    let start = std::time::Instant::now();
+
+    let mut delta = seeded_arch(nodes, seed);
+    let mut snap = seeded_arch(nodes, seed);
+    for r in 1..=rounds {
+        // Delta mode: one changed fact ships as a 2-delta batch.
+        delta.knowledge_mut(SUBJECT).retract(SUBJECT, "attr0", &Term::Int(r - 1));
+        delta.knowledge_mut(SUBJECT).add(Fact::new(SUBJECT, "attr0", Term::Int(r)));
+        delta.update_knowledge(WRITER, SUBJECT);
+        delta.run_for(SimDuration::from_secs(5));
+        delta.prefetch_deltas_everywhere(SUBJECT);
+        delta.run_for(SimDuration::from_secs(10));
+        // Snapshot mode: the whole document re-seeds.
+        let facts: Vec<Fact> = (0..16i64)
+            .map(|i| Fact::new(SUBJECT, format!("attr{i}"), Term::Int(if i == 0 { r } else { i })))
+            .collect();
+        snap.seed_knowledge(WRITER, SUBJECT, &facts);
+        snap.run_for(SimDuration::from_secs(5));
+        snap.prefetch_subject_everywhere(SUBJECT);
+        snap.run_for(SimDuration::from_secs(10));
+    }
+
+    // A gap batch nobody can apply: receivers must fall back to a full
+    // fetch and still converge.
+    let source = delta.knowledge_mut(SUBJECT).version().expect("versioned store").source;
+    let gap = DeltaBatch {
+        subject: SUBJECT.into(),
+        source,
+        from: 900,
+        to: 901,
+        deltas: vec![FactDelta::Insert(Fact::new(SUBJECT, "bogus", Term::Int(1)))],
+    };
+    let mut doc = Document::new(gap.doc_name(), gap.to_xml().to_xml().into_bytes());
+    doc.guid = Key::hash_of_str(&format!("kbdelta/{SUBJECT}"));
+    doc.version = 1000; // outrank every legitimate batch
+    delta.insert_document(WRITER, doc);
+    delta.run_for(SimDuration::from_secs(30));
+    delta.prefetch_deltas_everywhere(SUBJECT);
+    delta.run_for(SimDuration::from_secs(60));
+
+    let mut digest = 0xcbf2_9ce4_8422_2325u64;
+    for (label, a) in [("delta", &delta), ("snap", &snap)] {
+        fnv(&mut digest, a.world().tracer().render().as_bytes());
+        let m = a.world().metrics();
+        for name in [
+            "gloss.kb_ingested",
+            "gloss.kb_reingest_skipped",
+            "gloss.kb_snapshot_stale",
+            "gloss.kb_snapshot_bytes",
+            "gloss.kb_delta_applied",
+            "gloss.kb_delta_facts",
+            "gloss.kb_delta_stale",
+            "gloss.kb_delta_fallback",
+            "gloss.kb_delta_bytes",
+            "sim.messages_delivered",
+        ] {
+            fnv(&mut digest, format!("{label}:{name}={}", m.counter(name)).as_bytes());
+        }
+    }
+    let reference = fact_set(&snap, 0);
+    assert_eq!(reference.len(), 16, "snapshot-fed node 0 incomplete");
+    for n in 0..nodes as u32 {
+        let d = fact_set(&delta, n);
+        assert_eq!(d, fact_set(&snap, n), "node {n}: delta-fed replica diverged");
+        assert_eq!(d, reference, "node {n}: replicas disagree");
+        assert!(!d.iter().any(|f| f.starts_with("bogus")), "node {n}: gap batch applied");
+        for f in &d {
+            fnv(&mut digest, f.as_bytes());
+        }
+    }
+    let dm = delta.world().metrics();
+    assert!(dm.counter("gloss.kb_delta_applied") > 0.0, "no batch applied incrementally");
+    assert!(dm.counter("gloss.kb_delta_fallback") > 0.0, "gap batch never forced a fallback");
+
+    println!(
+        "mode=kbdelta nodes={nodes} seed={seed} rounds={rounds} applied={} fallback={} \
+         delta_bytes={} snapshot_bytes={} digest={digest:016x}",
+        dm.counter("gloss.kb_delta_applied"),
+        dm.counter("gloss.kb_delta_fallback"),
+        dm.counter("gloss.kb_delta_bytes"),
+        snap.world().metrics().counter("gloss.kb_snapshot_bytes"),
+    );
+    eprintln!(
+        "threads={} wall={:.3}s",
+        std::env::var("GLOSS_SIM_THREADS").unwrap_or_else(|_| "1".into()),
+        start.elapsed().as_secs_f64()
+    );
+}

@@ -7,7 +7,7 @@ use crate::service::ServiceSpec;
 use gloss_bundle::AuthKey;
 use gloss_deploy::NodeResources;
 use gloss_event::{Broker, BrokerTopology, Event, Filter};
-use gloss_knowledge::{DistributedKnowledge, Fact};
+use gloss_knowledge::{DistributedKnowledge, Fact, InMemoryFacts, KnowledgeAuthority, Shipment};
 use gloss_overlay::OverlayMsg;
 use gloss_overlay::{Key, OverlayNode};
 use gloss_sim::{NodeIndex, SimDuration, SimRng, SimTime, Topology, World};
@@ -59,6 +59,11 @@ pub struct ActiveArchitecture {
     world: World<GlossNode>,
     next_store_req: u64,
     kb_versions: std::collections::BTreeMap<String, u64>,
+    /// Authoritative per-subject fact stores feeding delta propagation:
+    /// mutate via [`knowledge_mut`](Self::knowledge_mut), ship via
+    /// [`update_knowledge`](Self::update_knowledge).
+    authority: KnowledgeAuthority,
+    kb_delta_versions: std::collections::BTreeMap<String, u64>,
 }
 
 impl ActiveArchitecture {
@@ -123,7 +128,13 @@ impl ActiveArchitecture {
             ));
         }
         let world = World::new(topology, cfg.seed, nodes);
-        ActiveArchitecture { world, next_store_req: 0, kb_versions: Default::default() }
+        ActiveArchitecture {
+            world,
+            next_store_req: 0,
+            kb_versions: Default::default(),
+            authority: KnowledgeAuthority::new(),
+            kb_delta_versions: Default::default(),
+        }
     }
 
     /// Runs long enough for overlay joins, broker subscriptions, and
@@ -206,15 +217,68 @@ impl ActiveArchitecture {
 
     /// Writes facts about one subject into the distributed knowledge base
     /// (stored under `kb/<subject>` in the P2P store).
+    ///
+    /// The facts also become the authority state for the subject, so
+    /// later [`knowledge_mut`](Self::knowledge_mut) +
+    /// [`update_knowledge`](Self::update_knowledge) rounds ship only the
+    /// changed tail as delta batches.
     pub fn seed_knowledge(&mut self, via: NodeIndex, subject: &str, facts: &[Fact]) {
-        let refs: Vec<&Fact> = facts.iter().collect();
-        let xml = DistributedKnowledge::facts_to_xml(subject, &refs).to_xml();
-        let mut doc = Document::new(DistributedKnowledge::doc_name(subject), xml.into_bytes());
-        // Re-seeding a subject writes a newer version, so replicas and
-        // caches converge on the update.
-        let version = self.kb_versions.entry(subject.to_string()).or_insert(0);
-        *version += 1;
-        doc.version = *version;
+        let store = self.authority.facts_mut(subject);
+        store.remove_subject(subject);
+        store.extend(facts.iter().cloned());
+        let shipment = self.authority.snapshot(subject).expect("subject store just created");
+        self.ship_knowledge(via, subject, shipment);
+    }
+
+    /// The authoritative fact store for `subject` (created on first
+    /// use). Mutate it freely — inserts and retracts are logged — then
+    /// call [`update_knowledge`](Self::update_knowledge) to ship the
+    /// changes as an epoch-tagged delta batch.
+    pub fn knowledge_mut(&mut self, subject: &str) -> &mut InMemoryFacts {
+        self.authority.facts_mut(subject)
+    }
+
+    /// Ships everything that changed in `subject`'s authority store
+    /// since the last shipment: a `kbdelta/<subject>@<from..to>` batch,
+    /// or a full versioned `kb/<subject>` snapshot when the authority's
+    /// bounded delta log truncated past the last shipment (receivers of
+    /// older epochs then rebuild rather than miss deltas silently).
+    pub fn update_knowledge(&mut self, via: NodeIndex, subject: &str) {
+        if let Some(shipment) = self.authority.flush(subject) {
+            self.ship_knowledge(via, subject, shipment);
+        }
+    }
+
+    fn ship_knowledge(&mut self, via: NodeIndex, subject: &str, shipment: Shipment) {
+        let doc = match shipment {
+            Shipment::Snapshot { source, epoch, facts } => {
+                let refs: Vec<&Fact> = facts.iter().collect();
+                let xml =
+                    DistributedKnowledge::facts_to_xml_versioned(subject, &refs, source, epoch)
+                        .to_xml();
+                let mut doc =
+                    Document::new(DistributedKnowledge::doc_name(subject), xml.into_bytes());
+                // Re-seeding a subject writes a newer version, so
+                // replicas and caches converge on the update.
+                let version = self.kb_versions.entry(subject.to_string()).or_insert(0);
+                *version += 1;
+                doc.version = *version;
+                doc
+            }
+            Shipment::Delta(batch) => {
+                let xml = batch.to_xml().to_xml();
+                let mut doc = Document::new(batch.doc_name(), xml.into_bytes());
+                // Every batch for a subject lives under ONE guid (the
+                // epoch range travels in the name only), so successive
+                // batches land on the same replica/cache set and
+                // version-skipping drops stale re-deliveries.
+                doc.guid = Key::hash_of_str(&format!("kbdelta/{subject}"));
+                let version = self.kb_delta_versions.entry(subject.to_string()).or_insert(0);
+                *version += 1;
+                doc.version = *version;
+                doc
+            }
+        };
         self.insert_document(via, doc);
     }
 
@@ -252,6 +316,21 @@ impl ActiveArchitecture {
     pub fn prefetch_subject_everywhere(&mut self, subject: &str) {
         for i in 0..self.len() as u32 {
             self.prefetch_subject(NodeIndex(i), subject);
+        }
+    }
+
+    /// Pulls the latest delta batch for `subject` into `node` — the
+    /// incremental counterpart of [`prefetch_subject`](Self::prefetch_subject):
+    /// a node whose held state the batch extends repairs in place; one
+    /// it cannot extend falls back to a full fetch automatically.
+    pub fn prefetch_deltas(&mut self, node: NodeIndex, subject: &str) {
+        self.world.inject(node, node, GlossMsg::PrefetchDeltas(subject.to_string()));
+    }
+
+    /// Pulls a subject's latest delta batch into every node.
+    pub fn prefetch_deltas_everywhere(&mut self, subject: &str) {
+        for i in 0..self.len() as u32 {
+            self.prefetch_deltas(NodeIndex(i), subject);
         }
     }
 
@@ -410,6 +489,114 @@ mod tests {
             alerts_before,
             "updated facts stop the suggestion"
         );
+    }
+
+    #[test]
+    fn delta_batches_repair_replicas_incrementally() {
+        let mut a = arch(6, 17);
+        a.seed_knowledge(
+            NodeIndex(2),
+            "bob",
+            &[
+                Fact::new("bob", "likes", Term::str("ice cream")),
+                Fact::new("bob", "at", Term::str("home")),
+            ],
+        );
+        a.run_for(SimDuration::from_secs(30));
+        a.prefetch_subject_everywhere("bob");
+        a.run_for(SimDuration::from_secs(30));
+        // Context churn: bob moves. Only the changed pair ships.
+        a.knowledge_mut("bob").retract("bob", "at", &Term::str("home"));
+        a.knowledge_mut("bob").add(Fact::new("bob", "at", Term::str("market st")));
+        a.update_knowledge(NodeIndex(2), "bob");
+        a.run_for(SimDuration::from_secs(30));
+        a.prefetch_deltas_everywhere("bob");
+        a.run_for(SimDuration::from_secs(30));
+        for i in 0..6u32 {
+            let node = a.node(NodeIndex(i));
+            let at: Vec<_> = node.kb.query(Some("bob"), Some("at")).collect();
+            assert_eq!(at.len(), 1, "node {i} holds exactly one location");
+            assert_eq!(at[0].object.as_str(), Some("market st"), "node {i} repaired");
+            assert_eq!(node.kb.query(Some("bob"), None).count(), 2, "node {i} full state");
+        }
+        let m = a.world().metrics();
+        assert!(m.counter("gloss.kb_delta_applied") > 0.0, "batches applied incrementally");
+        // Replica landings + six explicit prefetches of the same batch:
+        // the re-deliveries past the first are recognised as stale, not
+        // re-applied (which would retract a live fact).
+        assert!(m.counter("gloss.kb_delta_stale") > 0.0, "re-deliveries recognised as stale");
+        assert_eq!(m.counter("gloss.kb_delta_fallback"), 0.0, "no node needed a full fetch");
+    }
+
+    #[test]
+    fn truncated_delta_log_falls_back_to_snapshot_shipping() {
+        let mut a = arch(6, 18);
+        a.seed_knowledge(NodeIndex(2), "bob", &[Fact::new("bob", "seq", Term::Int(-1))]);
+        a.run_for(SimDuration::from_secs(30));
+        a.prefetch_subject_everywhere("bob");
+        a.run_for(SimDuration::from_secs(30));
+        // More unshipped churn than the authority's bounded delta log
+        // holds: the update MUST ship as a full snapshot (a delta batch
+        // would silently miss the truncated prefix).
+        for i in 0..2500i64 {
+            a.knowledge_mut("bob").retract("bob", "seq", &Term::Int(i - 1));
+            a.knowledge_mut("bob").add(Fact::new("bob", "seq", Term::Int(i)));
+        }
+        assert_eq!(a.knowledge_mut("bob").delta_log_truncations(), 0);
+        a.update_knowledge(NodeIndex(2), "bob");
+        assert_eq!(a.knowledge_mut("bob").delta_log_truncations(), 1, "wrap observed, counted");
+        a.run_for(SimDuration::from_secs(30));
+        a.prefetch_subject_everywhere("bob");
+        a.run_for(SimDuration::from_secs(30));
+        for i in 0..6u32 {
+            let seq: Vec<_> = a.node(NodeIndex(i)).kb.query(Some("bob"), Some("seq")).collect();
+            assert_eq!(seq.len(), 1, "node {i} rebuilt from the snapshot");
+            assert_eq!(seq[0].object, Term::Int(2499));
+        }
+        // The post-truncation snapshot re-anchors: subsequent churn
+        // ships as deltas again and applies on top.
+        a.knowledge_mut("bob").add(Fact::new("bob", "extra", Term::Int(1)));
+        a.update_knowledge(NodeIndex(2), "bob");
+        a.run_for(SimDuration::from_secs(30));
+        a.prefetch_deltas_everywhere("bob");
+        a.run_for(SimDuration::from_secs(30));
+        assert!(a.world().metrics().counter("gloss.kb_delta_applied") > 0.0);
+        assert_eq!(a.node(NodeIndex(4)).kb.query(Some("bob"), None).count(), 2);
+    }
+
+    #[test]
+    fn gap_batches_force_a_full_fetch_that_converges() {
+        use gloss_knowledge::{DeltaBatch, FactDelta};
+        let mut a = arch(6, 19);
+        a.seed_knowledge(NodeIndex(2), "bob", &[Fact::new("bob", "likes", Term::str("tea"))]);
+        a.run_for(SimDuration::from_secs(30));
+        a.prefetch_subject_everywhere("bob");
+        a.run_for(SimDuration::from_secs(30));
+        // A hand-crafted batch starting past every receiver's epoch (as
+        // if intervening batches were lost): nobody can apply it, and
+        // applying it anyway would corrupt the fact set.
+        let source = a.knowledge_mut("bob").version().unwrap().source;
+        let batch = DeltaBatch {
+            subject: "bob".into(),
+            source,
+            from: 40,
+            to: 41,
+            deltas: vec![FactDelta::Insert(Fact::new("bob", "bogus", Term::Int(1)))],
+        };
+        let mut doc = Document::new(batch.doc_name(), batch.to_xml().to_xml().into_bytes());
+        doc.guid = Key::hash_of_str("kbdelta/bob");
+        a.insert_document(NodeIndex(2), doc);
+        a.run_for(SimDuration::from_secs(30));
+        a.prefetch_deltas_everywhere("bob");
+        a.run_for(SimDuration::from_secs(60));
+        let m = a.world().metrics();
+        assert!(m.counter("gloss.kb_delta_fallback") > 0.0, "gap detected, full fetch issued");
+        assert_eq!(m.counter("gloss.kb_delta_applied"), 0.0, "the gap batch never applied");
+        for i in 0..6u32 {
+            let node = a.node(NodeIndex(i));
+            assert_eq!(node.kb.query(Some("bob"), Some("bogus")).count(), 0, "node {i} clean");
+            assert_eq!(node.kb.query(Some("bob"), None).count(), 1, "node {i} converged");
+        }
     }
 
     #[test]

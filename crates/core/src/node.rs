@@ -5,7 +5,9 @@ use crate::service::ServiceSpec;
 use gloss_bundle::{AuthKey, Bundle, Capability, ThinServer};
 use gloss_deploy::{EvolutionEngine, MonitorEngine, NodeResources};
 use gloss_event::{Broker, BrokerMsg, Event, EventId, Filter, Subscription};
-use gloss_knowledge::{DistributedKnowledge, InMemoryFacts};
+use gloss_knowledge::{
+    reconcile, DeltaAction, DeltaBatch, DistributedKnowledge, FactDelta, InMemoryFacts,
+};
 use gloss_overlay::Key;
 use gloss_sim::{Batch, Input, Node, NodeIndex, Outbox, SimDuration, SimTime};
 use gloss_store::{Document, StoreMsg, StoreNode};
@@ -25,6 +27,10 @@ pub enum GlossMsg {
     UiSubscribe(Filter),
     /// Prefetch the knowledge-base document for a subject into this node.
     PrefetchSubject(String),
+    /// Pull the latest delta batch for a subject (repairs incrementally
+    /// when it extends the held state; falls back to the full document
+    /// otherwise).
+    PrefetchDeltas(String),
     /// A sealed code bundle shipped by the evolution engine or discovery.
     Bundle {
         /// Instance id (evolution bookkeeping; empty for discovery).
@@ -121,6 +127,15 @@ pub struct GlossNode {
     /// so they do not churn the fact store's delta feed — and with it
     /// the matching engine's memoised solutions — for nothing.
     kb_doc_versions: BTreeMap<String, u64>,
+    /// Authority `(source, epoch)` each locally held subject is anchored
+    /// at, set by versioned snapshots and advanced by applied delta
+    /// batches. Subjects ingested from legacy (unversioned) snapshots
+    /// have no entry and fall back to snapshot fetches on any delta.
+    kb_sub_versions: BTreeMap<String, (u64, u64)>,
+    /// Highest `kbdelta/<subject>` *document* version ingested, per
+    /// subject. Delta prefetches demand strictly newer copies so a
+    /// stale promiscuously-cached batch can't short-circuit the pull.
+    kb_delta_doc_versions: BTreeMap<String, u64>,
 }
 
 impl GlossNode {
@@ -164,6 +179,8 @@ impl GlossNode {
             coordinator_state,
             known_subjects: BTreeSet::new(),
             kb_doc_versions: BTreeMap::new(),
+            kb_sub_versions: BTreeMap::new(),
+            kb_delta_doc_versions: BTreeMap::new(),
         }
     }
 
@@ -294,17 +311,23 @@ impl GlossNode {
         self.store.handle(now, from, msg, &mut sout);
         sout.transfer_into(out, GlossMsg::Store);
         if let Some(doc) = landed_doc {
-            self.ingest_document(&doc, out);
+            self.ingest_document(now, &doc, out);
         }
         if let Some(req) = concluded_req {
             self.conclude_discovery_fetch(now, req, out);
         }
     }
 
-    /// Knowledge documents (`kb/<subject>`) ingest into the local fact
-    /// store wherever they land — the knowledge analogue of promiscuous
-    /// caching.
-    fn ingest_document(&mut self, doc: &Document, out: &mut Outbox<GlossMsg>) {
+    /// Knowledge documents ingest into the local fact store wherever
+    /// they land — the knowledge analogue of promiscuous caching.
+    /// `kb/<subject>` documents are full snapshots;
+    /// `kbdelta/<subject>@<from..to>` documents are epoch-tagged delta
+    /// batches repairing the held state incrementally.
+    fn ingest_document(&mut self, now: SimTime, doc: &Document, out: &mut Outbox<GlossMsg>) {
+        if doc.name.starts_with("kbdelta/") {
+            self.ingest_delta_document(now, doc, out);
+            return;
+        }
         let Some(subject) = doc.name.strip_prefix("kb/") else {
             return;
         };
@@ -322,12 +345,74 @@ impl GlossNode {
         let Ok(el) = gloss_xml::parse(text) else {
             return;
         };
+        let snap_version = DistributedKnowledge::snapshot_version(&el);
+        if let (Some((source, epoch)), Some(&(tracked_source, tracked_epoch))) =
+            (snap_version, self.kb_sub_versions.get(subject))
+        {
+            // Deltas may have advanced us past the snapshot in flight:
+            // rebuilding from it would roll those deltas back.
+            if source == tracked_source && tracked_epoch >= epoch {
+                out.count("gloss.kb_snapshot_stale", 1.0);
+                return;
+            }
+        }
         let facts = DistributedKnowledge::facts_from_xml(&el);
         self.kb.remove_subject(subject);
         self.kb.extend(facts);
         self.known_subjects.insert(subject.to_string());
         self.kb_doc_versions.insert(subject.to_string(), doc.version);
+        match snap_version {
+            Some(v) => {
+                self.kb_sub_versions.insert(subject.to_string(), v);
+            }
+            // A legacy snapshot breaks the anchor: epochs applied on top
+            // of unanchored state would be fiction.
+            None => {
+                self.kb_sub_versions.remove(subject);
+            }
+        }
         out.count("gloss.kb_ingested", 1.0);
+        out.count("gloss.kb_snapshot_bytes", doc.size() as f64);
+    }
+
+    /// Applies a `kbdelta/…` batch, or falls back to a full snapshot
+    /// fetch when it cannot extend the held state ([`reconcile`]).
+    fn ingest_delta_document(&mut self, now: SimTime, doc: &Document, out: &mut Outbox<GlossMsg>) {
+        let Some(batch) = std::str::from_utf8(&doc.content)
+            .ok()
+            .and_then(|text| gloss_xml::parse(text).ok())
+            .and_then(|el| DeltaBatch::from_xml(&el))
+        else {
+            return;
+        };
+        let subject = batch.subject.clone();
+        let seen = self.kb_delta_doc_versions.entry(subject.clone()).or_insert(0);
+        *seen = (*seen).max(doc.version);
+        match reconcile(self.kb_sub_versions.get(&subject).copied(), &batch) {
+            DeltaAction::Apply { skip } => {
+                out.count("gloss.kb_delta_applied", 1.0);
+                out.count("gloss.kb_delta_facts", (batch.deltas.len() - skip) as f64);
+                out.count("gloss.kb_delta_bytes", doc.size() as f64);
+                for d in &batch.deltas[skip..] {
+                    match d {
+                        FactDelta::Insert(f) => self.kb.add(f.clone()),
+                        FactDelta::Retract(f) => {
+                            self.kb.retract(&f.subject, &f.predicate, &f.object);
+                        }
+                    }
+                }
+                self.known_subjects.insert(subject.clone());
+                self.kb_sub_versions.insert(subject, (batch.source, batch.to));
+            }
+            DeltaAction::Stale => out.count("gloss.kb_delta_stale", 1.0),
+            DeltaAction::Snapshot(_) => {
+                // Unanchored, writer changed identity, or epochs are
+                // missing (e.g. the writer's bounded log truncated):
+                // repair by fetching the full document.
+                out.count("gloss.kb_delta_fallback", 1.0);
+                self.prefetch_subject(now, &subject, out);
+            }
+        }
     }
 
     /// Completes a discovery fetch: deploy handler code to the reporters.
@@ -451,13 +536,36 @@ impl GlossNode {
         let guid = Key::hash_of_str(&DistributedKnowledge::doc_name(subject));
         self.sub_seq += 1;
         let req = (1 << 48) | ((self.me.0 as u64) << 20) | self.sub_seq;
+        // Versions at or below the one already ingested are no-ops, so
+        // don't let a stale cached copy answer for the authoritative
+        // one; the responsible node still serves whatever it holds.
+        let floor = self.kb_doc_versions.get(subject).map_or(0, |v| v.saturating_add(1));
         let mut sout = Outbox::new();
-        self.store.lookup(guid, req, now, &mut sout);
+        self.store.lookup_min_version(guid, floor, req, now, &mut sout);
         sout.transfer_into(out, GlossMsg::Store);
         // A locally held copy concludes synchronously with no FetchReply
         // message, so the ingest hook must run here.
         if let Some(doc) = self.store.outcomes.get(&req).and_then(|o| o.doc.clone()) {
-            self.ingest_document(&doc, out);
+            self.ingest_document(now, &doc, out);
+        }
+    }
+
+    /// Issues a storage lookup for a subject's latest delta batch (the
+    /// reply auto-ingests through [`reconcile`], falling back to a full
+    /// fetch when the batch cannot extend the held state).
+    fn prefetch_deltas(&mut self, now: SimTime, subject: &str, out: &mut Outbox<GlossMsg>) {
+        let guid = Key::hash_of_str(&format!("kbdelta/{subject}"));
+        self.sub_seq += 1;
+        let req = (1 << 48) | ((self.me.0 as u64) << 20) | self.sub_seq;
+        // Demand a batch newer than the last one ingested: any cached
+        // copy we (or an en-route node) already hold is stale by
+        // definition, and serving it would end the pull early.
+        let floor = self.kb_delta_doc_versions.get(subject).map_or(0, |v| v.saturating_add(1));
+        let mut sout = Outbox::new();
+        self.store.lookup_min_version(guid, floor, req, now, &mut sout);
+        sout.transfer_into(out, GlossMsg::Store);
+        if let Some(doc) = self.store.outcomes.get(&req).and_then(|o| o.doc.clone()) {
+            self.ingest_document(now, &doc, out);
         }
     }
 }
@@ -518,6 +626,7 @@ impl GlossNode {
                 self.subscribe_filter(now, filter, out);
             }
             GlossMsg::PrefetchSubject(subject) => self.prefetch_subject(now, &subject, out),
+            GlossMsg::PrefetchDeltas(subject) => self.prefetch_deltas(now, &subject, out),
             GlossMsg::Bundle { instance, packet } => match self.server.receive_packet(&packet) {
                 Ok(report) => {
                     out.count("gloss.installs", 1.0);

@@ -42,7 +42,7 @@ pub enum PlaneNode {
     /// A worker: thin server + periodic resource advertisements.
     Worker {
         /// The thin server hosting deployed bundles.
-        server: ThinServer,
+        server: Box<ThinServer>,
         /// What this node advertises.
         resources: NodeResources,
         /// The coordinator to advertise to.
@@ -55,7 +55,7 @@ pub enum PlaneNode {
         /// The monitoring engine.
         monitor: MonitorEngine,
         /// The evolution engine.
-        evolution: EvolutionEngine,
+        evolution: Box<EvolutionEngine>,
         /// Key used to seal bundles.
         key: AuthKey,
         /// Sweep/reconcile period.
@@ -171,7 +171,7 @@ impl DeploymentPlane {
         let mut nodes: Vec<PlaneNode> = Vec::with_capacity(workers + 1);
         nodes.push(PlaneNode::Coordinator {
             monitor: MonitorEngine::new(SimDuration::from_secs(30)),
-            evolution: EvolutionEngine::new(constraints),
+            evolution: Box::new(EvolutionEngine::new(constraints)),
             key: key.clone(),
             sweep_every: SimDuration::from_secs(10),
         });
@@ -182,7 +182,7 @@ impl DeploymentPlane {
             server.grant("evolution", Capability::DeployMatchlet);
             server.grant("evolution", Capability::StoreAccess);
             nodes.push(PlaneNode::Worker {
-                server,
+                server: Box::new(server),
                 resources: NodeResources {
                     node: info.index,
                     region: info.region.clone(),
@@ -333,7 +333,7 @@ mod tests {
         server.trust(key.clone());
         server.grant("evolution", Capability::DeployMatchlet);
         let mut worker = PlaneNode::Worker {
-            server,
+            server: Box::new(server),
             resources: NodeResources {
                 node: NodeIndex(1),
                 region: "scotland".into(),

@@ -40,78 +40,39 @@ impl DistributedKnowledge {
         let mut el = Element::new("facts").with_attr("subject", subject);
         for f in facts {
             debug_assert_eq!(f.subject, subject, "grouped by subject");
-            let mut fe = Element::new("fact")
-                .with_attr("predicate", &f.predicate)
-                .with_attr("type", f.object.type_name());
-            match &f.object {
-                Term::Geo(g) => {
-                    fe.set_attr("lat", g.lat.to_string());
-                    fe.set_attr("lon", g.lon.to_string());
-                }
-                Term::Time(t) => {
-                    fe.set_attr("us", t.as_micros().to_string());
-                }
-                Term::Str(s) => fe.push(Element::new("value").with_text(s.as_ref())),
-                Term::Int(i) => fe.push(Element::new("value").with_text(i.to_string())),
-                Term::Float(x) => fe.push(Element::new("value").with_text(x.to_string())),
-                Term::Bool(b) => fe.push(Element::new("value").with_text(b.to_string())),
-            }
-            if let Some(from) = f.valid_from {
-                fe.set_attr("from_us", from.as_micros().to_string());
-            }
-            if let Some(to) = f.valid_to {
-                fe.set_attr("to_us", to.as_micros().to_string());
-            }
-            el.push(fe);
+            el.push(fact_element("fact", f));
         }
         el
+    }
+
+    /// [`facts_to_xml`](Self::facts_to_xml) with the authoritative
+    /// store's identity stamped on: receivers of this snapshot anchor at
+    /// `(source, epoch)` and can then apply delta batches on top.
+    pub fn facts_to_xml_versioned(
+        subject: &str,
+        facts: &[&Fact],
+        source: u64,
+        epoch: u64,
+    ) -> Element {
+        let mut el = Self::facts_to_xml(subject, facts);
+        el.set_attr("source", source.to_string());
+        el.set_attr("epoch", epoch.to_string());
+        el
+    }
+
+    /// The `(source, epoch)` a versioned snapshot was taken at, if the
+    /// document carries one (legacy snapshots do not).
+    pub fn snapshot_version(el: &Element) -> Option<(u64, u64)> {
+        let source = el.attr("source")?.parse().ok()?;
+        let epoch = el.attr("epoch")?.parse().ok()?;
+        Some((source, epoch))
     }
 
     /// Parses facts back from the XML document form. Malformed entries
     /// are skipped (forward compatibility).
     pub fn facts_from_xml(el: &Element) -> Vec<Fact> {
-        let subject = el.attr("subject").unwrap_or("unknown").to_string();
-        let mut out = Vec::new();
-        for fe in el.children_named("fact") {
-            let Some(predicate) = fe.attr("predicate") else {
-                continue;
-            };
-            let value_text = fe.child("value").map(|v| v.text()).unwrap_or_default();
-            let object = match fe.attr("type") {
-                Some("str") => Term::Str(value_text.into()),
-                Some("int") => match value_text.parse() {
-                    Ok(v) => Term::Int(v),
-                    Err(_) => continue,
-                },
-                Some("float") => match value_text.parse() {
-                    Ok(v) => Term::Float(v),
-                    Err(_) => continue,
-                },
-                Some("bool") => match value_text.parse() {
-                    Ok(v) => Term::Bool(v),
-                    Err(_) => continue,
-                },
-                Some("geo") => {
-                    let lat = fe.attr("lat").and_then(|s| s.parse().ok());
-                    let lon = fe.attr("lon").and_then(|s| s.parse().ok());
-                    match (lat, lon) {
-                        (Some(lat), Some(lon)) => Term::Geo(GeoPoint::new(lat, lon)),
-                        _ => continue,
-                    }
-                }
-                Some("time") => match fe.attr("us").and_then(|s| s.parse().ok()) {
-                    Some(us) => Term::Time(SimTime::from_micros(us)),
-                    None => continue,
-                },
-                _ => continue,
-            };
-            let mut fact = Fact::new(&subject, predicate, object);
-            fact.valid_from =
-                fe.attr("from_us").and_then(|s| s.parse().ok()).map(SimTime::from_micros);
-            fact.valid_to = fe.attr("to_us").and_then(|s| s.parse().ok()).map(SimTime::from_micros);
-            out.push(fact);
-        }
-        out
+        let subject = el.attr("subject").unwrap_or("unknown");
+        el.children_named("fact").filter_map(|fe| fact_from_element(subject, fe)).collect()
     }
 
     /// Writes all facts about `subject` into the store (replacing any
@@ -139,6 +100,58 @@ impl DistributedKnowledge {
         let el = gloss_xml::parse(text).ok()?;
         Some(Self::facts_from_xml(&el))
     }
+}
+
+/// Encodes one fact as an element named `tag` (shared between subject
+/// snapshots, which use `fact`, and delta batches, which use the
+/// operation name).
+pub(crate) fn fact_element(tag: &str, f: &Fact) -> Element {
+    let mut fe = Element::new(tag)
+        .with_attr("predicate", &f.predicate)
+        .with_attr("type", f.object.type_name());
+    match &f.object {
+        Term::Geo(g) => {
+            fe.set_attr("lat", g.lat.to_string());
+            fe.set_attr("lon", g.lon.to_string());
+        }
+        Term::Time(t) => {
+            fe.set_attr("us", t.as_micros().to_string());
+        }
+        Term::Str(s) => fe.push(Element::new("value").with_text(s.as_ref())),
+        Term::Int(i) => fe.push(Element::new("value").with_text(i.to_string())),
+        Term::Float(x) => fe.push(Element::new("value").with_text(x.to_string())),
+        Term::Bool(b) => fe.push(Element::new("value").with_text(b.to_string())),
+    }
+    if let Some(from) = f.valid_from {
+        fe.set_attr("from_us", from.as_micros().to_string());
+    }
+    if let Some(to) = f.valid_to {
+        fe.set_attr("to_us", to.as_micros().to_string());
+    }
+    fe
+}
+
+/// Decodes one fact element (any tag), `None` when malformed.
+pub(crate) fn fact_from_element(subject: &str, fe: &Element) -> Option<Fact> {
+    let predicate = fe.attr("predicate")?;
+    let value_text = fe.child("value").map(|v| v.text()).unwrap_or_default();
+    let object = match fe.attr("type") {
+        Some("str") => Term::Str(value_text.into()),
+        Some("int") => Term::Int(value_text.parse().ok()?),
+        Some("float") => Term::Float(value_text.parse().ok()?),
+        Some("bool") => Term::Bool(value_text.parse().ok()?),
+        Some("geo") => {
+            let lat = fe.attr("lat")?.parse().ok()?;
+            let lon = fe.attr("lon")?.parse().ok()?;
+            Term::Geo(GeoPoint::new(lat, lon))
+        }
+        Some("time") => Term::Time(SimTime::from_micros(fe.attr("us")?.parse().ok()?)),
+        _ => return None,
+    };
+    let mut fact = Fact::new(subject, predicate, object);
+    fact.valid_from = fe.attr("from_us").and_then(|s| s.parse().ok()).map(SimTime::from_micros);
+    fact.valid_to = fe.attr("to_us").and_then(|s| s.parse().ok()).map(SimTime::from_micros);
+    Some(fact)
 }
 
 #[cfg(test)]

@@ -300,6 +300,11 @@ pub struct InMemoryFacts {
     /// Deltas for epochs `log_base + 1 ..= epoch`, oldest first.
     log: VecDeque<FactDelta>,
     log_base: u64,
+    /// Times a consumer asked for a span the wrapped log no longer holds
+    /// and was forced to rebuild from a full read. Previously this
+    /// happened silently; surfacing it is what tells an operator the
+    /// 4096-delta window is too small for their churn rate.
+    truncated_reads: AtomicU64,
 }
 
 impl Default for InMemoryFacts {
@@ -312,6 +317,7 @@ impl Default for InMemoryFacts {
             epoch: 0,
             log: VecDeque::new(),
             log_base: 0,
+            truncated_reads: AtomicU64::new(0),
         }
     }
 }
@@ -329,6 +335,7 @@ impl Clone for InMemoryFacts {
             epoch: self.epoch,
             log: VecDeque::new(),
             log_base: self.epoch,
+            truncated_reads: AtomicU64::new(0),
         }
     }
 }
@@ -342,6 +349,14 @@ impl InMemoryFacts {
     /// The store's mutation count.
     pub fn epoch(&self) -> u64 {
         self.epoch
+    }
+
+    /// How many delta-feed reads failed because the bounded log had
+    /// already wrapped past the requested epoch (each one forced a
+    /// consumer to rebuild from a full read). Surfaced by hosts as the
+    /// `kb.delta_log_truncated` metric.
+    pub fn delta_log_truncations(&self) -> u64 {
+        self.truncated_reads.load(Ordering::Relaxed)
     }
 
     fn record(&mut self, delta: FactDelta) {
@@ -526,7 +541,12 @@ impl FactSource for InMemoryFacts {
     }
 
     fn for_each_delta_since(&self, epoch: u64, f: &mut dyn FnMut(&FactDelta)) -> bool {
-        if epoch < self.log_base || epoch > self.epoch {
+        if epoch < self.log_base {
+            // The bounded log wrapped past the consumer: it must rebuild.
+            self.truncated_reads.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        if epoch > self.epoch {
             return false;
         }
         for d in self.log.iter().skip((epoch - self.log_base) as usize) {
@@ -695,5 +715,25 @@ mod tests {
         let mut n = 0;
         assert!(kb.for_each_delta_since(recent, &mut |_| n += 1));
         assert_eq!(n, 5);
+    }
+
+    #[test]
+    fn truncated_reads_are_counted_not_silent() {
+        let mut kb = InMemoryFacts::new();
+        kb.add(Fact::new("s", "p", Term::Int(0)));
+        assert_eq!(kb.delta_log_truncations(), 0);
+        // In-window reads never count, even at the exact log base.
+        assert!(kb.for_each_delta_since(0, &mut |_| {}));
+        assert_eq!(kb.delta_log_truncations(), 0);
+        // Wrap the bounded log: epoch 0 now precedes the log base by one.
+        for i in 0..super::DELTA_LOG_CAP {
+            kb.add(Fact::new(format!("s{i}"), "p", Term::Int(i as i64)));
+        }
+        assert!(!kb.for_each_delta_since(0, &mut |_| {}));
+        assert_eq!(kb.delta_log_truncations(), 1, "wrapped read counted");
+        assert!(kb.for_each_delta_since(1, &mut |_| {}), "log base itself still replays");
+        // A *future* epoch is unavailable but not a truncation.
+        assert!(!kb.for_each_delta_since(kb.epoch() + 1, &mut |_| {}));
+        assert_eq!(kb.delta_log_truncations(), 1);
     }
 }

@@ -23,7 +23,12 @@
 //!   experiment **C9**,
 //! * [`distributed`] — facts serialised as XML documents in the P2P store
 //!   (one document per subject), with promiscuous caching applying
-//!   transparently.
+//!   transparently,
+//! * [`delta`] — epoch-tagged delta propagation: authoritative writers
+//!   ship `kbdelta/<subject>@<from..to>` batches of the insert/retract
+//!   tail instead of whole subject documents, and [`reconcile`] decides
+//!   receiver-side whether a batch applies, is stale, or forces a full
+//!   snapshot fetch (e.g. after the bounded delta log truncated).
 //!
 //! # Example
 //!
@@ -37,12 +42,14 @@
 //! assert_eq!(likes[0].object.as_str(), Some("ice cream"));
 //! ```
 
+pub mod delta;
 pub mod distributed;
 pub mod fact;
 pub mod gis;
 pub mod ontology;
 pub mod profile;
 
+pub use delta::{reconcile, DeltaAction, DeltaBatch, KnowledgeAuthority, Shipment, SnapshotReason};
 pub use distributed::DistributedKnowledge;
 pub use fact::{Fact, FactDelta, FactSource, FactsVersion, InMemoryFacts, Term};
 pub use gis::{Place, PlaceDirectory};

@@ -18,13 +18,22 @@
 //!   subject. They are *repaired* from the knowledge plane's
 //!   insert/retract deltas ([`FactDelta`]) instead of rebuilt, and track
 //!   the validity-window boundaries of their facts;
-//! - **beta memories** memoise, per rule, the solutions of the rule's
-//!   `where`-goal chain keyed by an exact fingerprint of the bindings the
-//!   goals read. A solution set is reused until a delta touches one of
-//!   the rule's predicates or a fact validity boundary is crossed — so in
-//!   the steady state (facts churning slowly under event traffic, the
-//!   architecture's dominant regime) `on_event` probes two hash tables
-//!   instead of re-solving joins over the knowledge base.
+//! - a **shared beta network** memoises the solutions of `where`-goal
+//!   chains in a trie of join nodes owned by the engine, not by any one
+//!   rule. Each rule's goals are normalised and canonically renamed
+//!   ([`crate::canonical`]), and rules whose canonical chains share a
+//!   prefix share the trie nodes — and therefore the join state — for
+//!   that prefix. A node memoises the cumulative solutions of its path
+//!   keyed by an exact fingerprint of the input bindings the path reads;
+//!   an entry is reused until a delta touches one of the path's
+//!   predicates or a fact validity boundary is crossed. A leaf miss
+//!   extends the deepest still-valid ancestor entry one goal at a time
+//!   instead of re-solving the whole chain, so 10k deployed rules with
+//!   overlapping conditions repair each shared prefix **once** per
+//!   relevant fact delta, not once per rule — and in the steady state
+//!   (facts churning slowly under event traffic, the architecture's
+//!   dominant regime) `on_event` probes two hash tables instead of
+//!   re-solving joins over the knowledge base.
 //!
 //! Rules whose conditions read dynamic state the memo cannot see — a
 //! `fact(...)` call *inside* an expression, or the clock builtins `now` /
@@ -32,7 +41,8 @@
 //! before. Equivalence with from-scratch re-solving is property-tested in
 //! `tests/engine_equivalence.rs`.
 
-use crate::ast::{EventPattern, Expr, Goal, Pat, Rule};
+use crate::ast::{EventPattern, Goal, Pat, Rule};
+use crate::canonical::{canonical_chain, CanonicalChain};
 use crate::eval::{eval, solve_mut, unify, Bindings};
 use crate::parser::{parse_rules, MatchletError};
 use crate::symbol::Symbol;
@@ -261,23 +271,28 @@ impl FactSource for AlphaView<'_> {
     }
 }
 
-// --- beta memories: memoised goal solutions ------------------------------
+// --- the shared beta network: memoised goal solutions --------------------
 
-/// Hard cap on distinct memo keys per rule; past it the table resets (a
-/// backstop against unbounded key cardinality, not a tuning knob).
+/// Hard cap on distinct memo keys per beta node; past it the node's
+/// table resets (a backstop against unbounded key cardinality, not a
+/// tuning knob).
 const MEMO_KEYS_MAX: usize = 1024;
 
 /// How a rule's `where` goals are solved.
 #[derive(Debug, Clone)]
 enum SolvePlan {
     /// Goals read only static-predicate facts and pure builtins: their
-    /// solutions are memoised against the alpha memories.
+    /// solutions are memoised in the engine's shared beta network.
     Memo {
         /// The (static) predicates the goals enumerate.
         predicates: Vec<String>,
-        /// Every variable the goals mention, sorted: the projection of an
-        /// input environment onto these determines the solve outcome.
-        input_vars: Vec<Symbol>,
+        /// The rule's own variable for each canonical slot, in slot
+        /// order: the projection of an input environment onto these is
+        /// the memo key, and replayed canonical suffixes translate back
+        /// through it.
+        key_vars: Vec<Symbol>,
+        /// Beta-trie node ids, root to leaf, one per canonical goal.
+        path: Vec<u32>,
     },
     /// Goals read dynamic state (`fact(...)` inside an expression, or a
     /// clock builtin) — or read no facts at all, making memoisation pure
@@ -285,84 +300,296 @@ enum SolvePlan {
     Direct,
 }
 
-fn expr_reads_dynamic_state(expr: &Expr) -> bool {
-    match expr {
-        Expr::Lit(_) | Expr::Var(_) => false,
-        Expr::Call(name, args) => {
-            crate::builtin::reads_dynamic_state(name) || args.iter().any(expr_reads_dynamic_state)
-        }
-        Expr::Binary(_, l, r) => expr_reads_dynamic_state(l) || expr_reads_dynamic_state(r),
-        Expr::Not(e) | Expr::Neg(e) => expr_reads_dynamic_state(e),
-    }
-}
-
-fn collect_expr_vars(expr: &Expr, vars: &mut Vec<Symbol>) {
-    match expr {
-        Expr::Lit(_) => {}
-        Expr::Var(v) => vars.push(*v),
-        Expr::Call(_, args) => args.iter().for_each(|a| collect_expr_vars(a, vars)),
-        Expr::Binary(_, l, r) => {
-            collect_expr_vars(l, vars);
-            collect_expr_vars(r, vars);
-        }
-        Expr::Not(e) | Expr::Neg(e) => collect_expr_vars(e, vars),
-    }
-}
-
-fn plan_for(rule: &Rule) -> SolvePlan {
-    let mut predicates: Vec<String> = Vec::new();
-    let mut vars: Vec<Symbol> = Vec::new();
-    for goal in &rule.goals {
-        match goal {
-            Goal::Fact { subject, predicate, object } => {
-                if !predicates.iter().any(|p| p == predicate) {
-                    predicates.push(predicate.clone());
-                }
-                for pat in [subject, object] {
-                    if let Pat::Var(v) = pat {
-                        vars.push(*v);
-                    }
-                }
-            }
-            Goal::Cond(expr) => {
-                if expr_reads_dynamic_state(expr) {
-                    return SolvePlan::Direct;
-                }
-                collect_expr_vars(expr, &mut vars);
-            }
-        }
-    }
-    if predicates.is_empty() {
-        return SolvePlan::Direct;
-    }
-    vars.sort_unstable();
-    vars.dedup();
-    SolvePlan::Memo { predicates, input_vars: vars }
-}
-
-/// One memoised solve: the exact goal-input projection it was computed
-/// for, when, and the binding suffixes each solution appended.
+/// One memoised solve at a beta node: the exact path-input projection it
+/// was computed for, when, and the *cumulative* binding suffixes each
+/// solution of the path's goals appended.
 #[derive(Debug, Clone)]
-struct MemoEntry {
-    /// Values of the plan's `input_vars` in the input environment
+struct BetaEntry {
+    /// Values of the path's canonical slots in the input environment
     /// (`None` = unbound), compared *exactly* — variant- and
     /// bit-sensitive, because e.g. `Int(3)` and `Float(3.0)` are
     /// `eq_term`-equal yet divide differently.
     key: Vec<Option<Term>>,
     computed_at: SimTime,
-    /// Per solution, the bindings the solve appended beyond the input
-    /// environment, in solve order.
-    solutions: Vec<Vec<(Symbol, Term)>>,
-    /// Condition-evaluation errors the solve produced (replayed into the
-    /// engine stats so memoisation never hides misconfigured rules).
+    /// Per solution, the `(slot, value)` bindings the path appended
+    /// beyond the input environment, in solve order.
+    solutions: Vec<Vec<(u32, Term)>>,
+    /// Condition-evaluation errors the path produced for this input
+    /// (replayed into the engine stats so memoisation never hides
+    /// misconfigured rules).
     solve_errors: u64,
 }
 
-#[derive(Debug, Clone, Default)]
-struct RuleMemo {
-    table: FnvHashMap<u64, Vec<MemoEntry>>,
-    /// Alpha change stamp the table is valid against.
+/// One join node of the shared beta trie: a canonical goal under a
+/// canonical prefix. Every rule whose canonical chain passes through
+/// this node shares its memo.
+#[derive(Debug, Clone)]
+struct BetaNode {
+    /// Parent node (`None` for depth-0 nodes).
+    parent: Option<u32>,
+    /// This node's identity under its parent (the canonical encoding of
+    /// `goal`).
+    repr: String,
+    /// The goal, over canonical slot symbols.
+    goal: Goal,
+    /// Child encoding → node id.
+    children: FnvHashMap<String, u32>,
+    /// Distinct predicates the path up to and including this goal
+    /// enumerates (invalidation scope).
+    predicates: Vec<String>,
+    /// Canonical slots in scope once the path up to here has run.
+    slots: u32,
+    memo: FnvHashMap<u64, Vec<BetaEntry>>,
+    /// Alpha change stamp the memo is valid against.
     stamp: u64,
+    /// How many hosted rules route through this node.
+    refs: u32,
+}
+
+/// The engine's shared beta trie.
+#[derive(Debug, Clone, Default)]
+struct BetaNet {
+    /// Node slab; `None` = freed.
+    nodes: Vec<Option<BetaNode>>,
+    free: Vec<u32>,
+    /// Depth-0 encoding → node id.
+    roots: FnvHashMap<String, u32>,
+    /// Interned slot symbols, `slot_syms[i]` = `βi`.
+    slot_syms: Vec<Symbol>,
+}
+
+impl BetaNet {
+    fn node(&self, id: u32) -> &BetaNode {
+        self.nodes[id as usize].as_ref().expect("live beta node")
+    }
+
+    fn node_mut(&mut self, id: u32) -> &mut BetaNode {
+        self.nodes[id as usize].as_mut().expect("live beta node")
+    }
+
+    fn live_nodes(&self) -> usize {
+        self.nodes.iter().flatten().count()
+    }
+
+    fn shared_nodes(&self) -> usize {
+        self.nodes.iter().flatten().filter(|n| n.refs > 1).count()
+    }
+
+    /// Interns a rule's canonical chain, creating missing nodes and
+    /// taking a reference on every node along the path.
+    fn intern_path(&mut self, chain: &CanonicalChain) -> Vec<u32> {
+        let total_slots = chain.slots_after.last().copied().unwrap_or(0);
+        while (self.slot_syms.len() as u32) < total_slots {
+            self.slot_syms.push(crate::canonical::slot_symbol(self.slot_syms.len() as u32));
+        }
+        let mut path = Vec::with_capacity(chain.goals.len());
+        let mut parent: Option<u32> = None;
+        for ((goal, repr), slots) in chain.goals.iter().zip(&chain.reprs).zip(&chain.slots_after) {
+            let existing = match parent {
+                None => self.roots.get(repr).copied(),
+                Some(p) => self.node(p).children.get(repr).copied(),
+            };
+            let id = match existing {
+                Some(id) => id,
+                None => {
+                    let mut predicates =
+                        parent.map(|p| self.node(p).predicates.clone()).unwrap_or_default();
+                    if let Goal::Fact { predicate, .. } = goal {
+                        if !predicates.iter().any(|q| q == predicate) {
+                            predicates.push(predicate.clone());
+                        }
+                    }
+                    let node = BetaNode {
+                        parent,
+                        repr: repr.clone(),
+                        goal: goal.clone(),
+                        children: FnvHashMap::default(),
+                        predicates,
+                        slots: *slots,
+                        memo: FnvHashMap::default(),
+                        stamp: 0,
+                        refs: 0,
+                    };
+                    let id = match self.free.pop() {
+                        Some(id) => {
+                            self.nodes[id as usize] = Some(node);
+                            id
+                        }
+                        None => {
+                            self.nodes.push(Some(node));
+                            (self.nodes.len() - 1) as u32
+                        }
+                    };
+                    match parent {
+                        None => {
+                            self.roots.insert(repr.clone(), id);
+                        }
+                        Some(p) => {
+                            self.node_mut(p).children.insert(repr.clone(), id);
+                        }
+                    }
+                    id
+                }
+            };
+            self.node_mut(id).refs += 1;
+            path.push(id);
+            parent = Some(id);
+        }
+        path
+    }
+
+    /// Drops one rule's references along its path, freeing nodes no rule
+    /// routes through any more (leaf first, so a freed child always
+    /// detaches from a still-live parent).
+    fn release(&mut self, path: &[u32]) {
+        for &id in path.iter().rev() {
+            let node = self.node_mut(id);
+            node.refs -= 1;
+            if node.refs == 0 {
+                let parent = node.parent;
+                let repr = std::mem::take(&mut node.repr);
+                self.nodes[id as usize] = None;
+                self.free.push(id);
+                match parent {
+                    None => {
+                        self.roots.remove(&repr);
+                    }
+                    Some(p) => {
+                        self.node_mut(p).children.remove(&repr);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Condemns memo entries along the path whose predicates saw alpha
+    /// deltas since the node's stamp.
+    fn refresh(&mut self, path: &[u32], alphas: &FnvHashMap<String, AlphaMemory>) {
+        for &id in path {
+            let node = self.nodes[id as usize].as_mut().expect("live beta node");
+            let newest = node
+                .predicates
+                .iter()
+                .filter_map(|p| alphas.get(p))
+                .map(|a| a.last_change)
+                .max()
+                .unwrap_or(0);
+            if newest > node.stamp {
+                node.memo.clear();
+                node.stamp = newest;
+            }
+        }
+    }
+
+    /// Looks up a still-valid entry at `id` for the projection of `key`
+    /// onto the node's slots; returns its bucket hash and index.
+    fn find(
+        &self,
+        id: u32,
+        key: &[Option<Term>],
+        alphas: &FnvHashMap<String, AlphaMemory>,
+        now: SimTime,
+    ) -> Option<(u64, usize)> {
+        let node = self.node(id);
+        let prefix = &key[..node.slots as usize];
+        let h = key_fingerprint(prefix);
+        let idx = node.memo.get(&h)?.iter().position(|e| {
+            keys_exact_eq(&e.key, prefix)
+                && boundaries_quiet(alphas, &node.predicates, e.computed_at, now)
+        })?;
+        Some((h, idx))
+    }
+
+    /// Computes (and memoises) the leaf entry for `key` along `path`:
+    /// finds the deepest ancestor with a still-valid entry for the same
+    /// input, then extends it one goal at a time, memoising at every
+    /// node passed so sibling rules hit the shared prefix. Returns the
+    /// leaf entry's bucket hash and index; bumps `partial` when an
+    /// ancestor entry was reused.
+    fn compute(
+        &mut self,
+        path: &[u32],
+        key: &[Option<Term>],
+        alphas: &FnvHashMap<String, AlphaMemory>,
+        now: SimTime,
+        partial: &mut u64,
+    ) -> (u64, usize) {
+        // The root base case: one solution (the input itself), no errors.
+        let mut base: Vec<Vec<(u32, Term)>> = vec![Vec::new()];
+        let mut base_errors = 0u64;
+        let mut start = 0usize;
+        for d in (0..path.len().saturating_sub(1)).rev() {
+            if let Some((h, idx)) = self.find(path[d], key, alphas, now) {
+                let entry = &self.node(path[d]).memo[&h][idx];
+                base = entry.solutions.clone();
+                base_errors = entry.solve_errors;
+                start = d + 1;
+                *partial += 1;
+                break;
+            }
+        }
+        let mut leaf_slot = (0u64, 0usize);
+        for &id in &path[start..] {
+            let (goal, slots) = {
+                let node = self.node(id);
+                (node.goal.clone(), node.slots as usize)
+            };
+            let mut next: Vec<Vec<(u32, Term)>> = Vec::new();
+            let mut errors = base_errors;
+            {
+                let slot_syms = &self.slot_syms;
+                let view = AlphaView { alphas };
+                // Input-bound slots in scope at this node; each base
+                // solution's suffix stacks on top and is truncated away.
+                let mut env = Bindings::new();
+                for (i, v) in key[..slots].iter().enumerate() {
+                    if let Some(v) = v {
+                        env.push_raw(slot_syms[i], v.clone());
+                    }
+                }
+                let input_len = env.len();
+                let goal_slice = std::slice::from_ref(&goal);
+                for sol in &base {
+                    env.truncate(input_len);
+                    for (slot, term) in sol {
+                        env.push_raw(slot_syms[*slot as usize], term.clone());
+                    }
+                    let mark = env.len();
+                    errors += solve_mut(goal_slice, &mut env, &view, now, &mut |senv| {
+                        let mut cum = sol.clone();
+                        for (sym, term) in &senv.raw_entries()[mark..] {
+                            let slot = slot_syms
+                                .iter()
+                                .position(|s| s == sym)
+                                .expect("canonical slot symbol")
+                                as u32;
+                            cum.push((slot, term.clone()));
+                        }
+                        next.push(cum);
+                    });
+                }
+            }
+            let prefix_key = key[..slots].to_vec();
+            let h = key_fingerprint(&prefix_key);
+            let node = self.nodes[id as usize].as_mut().expect("live beta node");
+            if node.memo.len() >= MEMO_KEYS_MAX {
+                node.memo.clear();
+            }
+            let bucket = node.memo.entry(h).or_default();
+            // A boundary-stale entry for this key may linger; replace it.
+            bucket.retain(|e| !keys_exact_eq(&e.key, &prefix_key));
+            bucket.push(BetaEntry {
+                key: prefix_key,
+                computed_at: now,
+                solutions: next.clone(),
+                solve_errors: errors,
+            });
+            leaf_slot = (h, bucket.len() - 1);
+            base = next;
+            base_errors = errors;
+        }
+        leaf_slot
+    }
 }
 
 /// Bit-exact fact equality (the alpha retract match: the delta carries a
@@ -454,15 +681,16 @@ fn boundaries_quiet(
 }
 
 /// The memoisation context of one rule while an event fires it: the
-/// rule's beta memory (taken out of the rule for the duration), the
-/// shared alpha memories, and the plan's static metadata.
+/// engine's shared beta trie, the shared alpha memories, and the rule's
+/// plan metadata.
 struct MemoCtx<'a> {
-    memo: &'a mut RuleMemo,
+    beta: &'a mut BetaNet,
     alphas: &'a FnvHashMap<String, AlphaMemory>,
-    predicates: &'a [String],
-    input_vars: &'a [Symbol],
+    key_vars: &'a [Symbol],
+    path: &'a [u32],
     hits: u64,
     misses: u64,
+    partial: u64,
 }
 
 /// A rule plus its per-pattern event buffers.
@@ -480,31 +708,38 @@ pub struct CompiledRule {
     /// Emit field names, parallel to `rule.emit.fields`, shared the same
     /// way.
     emit_keys: Vec<Arc<str>>,
+    /// The goal chain both solve paths run: the canonically normalised
+    /// chain for memoisable rules (so the memoised and fallback paths
+    /// agree bit-for-bit), the written chain for direct rules.
+    goals: Vec<Goal>,
     /// How the goals are solved (memoised vs from scratch).
     plan: SolvePlan,
-    /// Memoised goal solutions (empty for `Direct` rules).
-    memo: RuleMemo,
     /// How many times the rule has fired.
     pub fired: u64,
 }
 
 impl CompiledRule {
-    fn new(rule: Rule) -> Self {
+    fn new(rule: Rule, beta: &mut BetaNet) -> Self {
         let compiled = rule.patterns.iter().map(CompiledPattern::new).collect();
         let buffers = vec![VecDeque::new(); rule.patterns.len()];
         let emit_kind = Arc::from(rule.emit.kind.as_str());
         let emit_keys = rule.emit.fields.iter().map(|(k, _)| Arc::from(k.as_str())).collect();
-        let plan = plan_for(&rule);
-        CompiledRule {
-            rule,
-            compiled,
-            buffers,
-            emit_kind,
-            emit_keys,
-            plan,
-            memo: RuleMemo::default(),
-            fired: 0,
-        }
+        let (goals, plan) = match canonical_chain(&rule) {
+            Some(chain) => {
+                // The normalised chain in the rule's own variables, for
+                // the direct fallback (a source without a change feed).
+                let goals = crate::canonical::normalise_goals(&rule.goals);
+                let path = beta.intern_path(&chain);
+                let plan = SolvePlan::Memo {
+                    predicates: chain.predicates,
+                    key_vars: chain.key_vars,
+                    path,
+                };
+                (goals, plan)
+            }
+            None => (rule.goals.clone(), SolvePlan::Direct),
+        };
+        CompiledRule { rule, compiled, buffers, emit_kind, emit_keys, goals, plan, fired: 0 }
     }
 
     fn evict_before(&mut self, cutoff: SimTime) {
@@ -535,6 +770,9 @@ pub struct EngineStats {
     pub memo_hits: u64,
     /// Firings that had to re-solve their goals (and memoised the result).
     pub memo_misses: u64,
+    /// Memo misses that reused a still-valid shared-prefix entry from an
+    /// ancestor beta node instead of re-solving the whole chain.
+    pub beta_partial_hits: u64,
 }
 
 impl EngineStats {
@@ -550,10 +788,11 @@ impl EngineStats {
 
 /// A matchlet engine hosting compiled rules.
 ///
-/// All hosted rules — however they were deployed — share one alpha index
-/// and one change-feed cursor per engine, so a node running many
-/// matchlets repairs its fact view once per knowledge update, not once
-/// per rule.
+/// All hosted rules — however they were deployed — share one alpha
+/// index, one change-feed cursor, and one beta trie per engine: a node
+/// running many matchlets repairs its fact view once per knowledge
+/// update, and rules with overlapping goal prefixes share the join state
+/// for the overlap.
 ///
 /// See the [crate docs](crate) for the language and an example.
 #[derive(Debug, Clone, Default)]
@@ -564,6 +803,8 @@ pub struct MatchletEngine {
     kind_index: FnvHashMap<String, Vec<(u32, u32)>>,
     /// Predicate → alpha memory, shared by every memoised rule.
     alphas: FnvHashMap<String, AlphaMemory>,
+    /// The shared beta trie (prefix-shared join state).
+    beta: BetaNet,
     /// The knowledge-base version the alpha memories reflect (`None` =
     /// not synced / source has no change feed).
     synced: Option<FactsVersion>,
@@ -612,14 +853,15 @@ impl MatchletEngine {
         Ok(())
     }
 
-    /// Adds one already-parsed rule. Any predicate its goals read that is
+    /// Adds one already-parsed rule, threading its canonical goal chain
+    /// into the shared beta trie. Any predicate its goals read that is
     /// not yet alpha-indexed gets indexed at the next event.
     pub fn add_rule(&mut self, rule: Rule) {
         let ri = self.rules.len() as u32;
         for (pi, pattern) in rule.patterns.iter().enumerate() {
             self.kind_index.entry(pattern.kind.clone()).or_default().push((ri, pi as u32));
         }
-        let compiled = CompiledRule::new(rule);
+        let compiled = CompiledRule::new(rule, &mut self.beta);
         if matches!(compiled.plan, SolvePlan::Memo { .. }) {
             self.memo_rules += 1;
         }
@@ -627,12 +869,24 @@ impl MatchletEngine {
         self.plans_dirty = true;
     }
 
-    /// Removes a rule by name; returns whether it existed. Its beta
-    /// memory goes with it, and alpha memories no rule reads any more are
-    /// dropped (so unrelated fact churn stops costing index repairs).
+    /// Removes a rule by name; returns whether it existed. Its
+    /// references on the beta trie go with it — join state shared with
+    /// no surviving rule is freed — and alpha memories no rule reads any
+    /// more are dropped (so unrelated fact churn stops costing index
+    /// repairs).
     pub fn remove_rule(&mut self, name: &str) -> bool {
         let before = self.rules.len();
-        self.rules.retain(|r| r.rule.name != name);
+        let mut i = 0;
+        while i < self.rules.len() {
+            if self.rules[i].rule.name == name {
+                let gone = self.rules.remove(i);
+                if let SolvePlan::Memo { path, .. } = &gone.plan {
+                    self.beta.release(path);
+                }
+            } else {
+                i += 1;
+            }
+        }
         if before == self.rules.len() {
             return false;
         }
@@ -678,6 +932,18 @@ impl MatchletEngine {
         self.alphas.len()
     }
 
+    /// How many join nodes the shared beta trie holds. Rules with
+    /// alpha-equivalent goal prefixes share nodes, so this is strictly
+    /// less than the total goal count when prefixes overlap.
+    pub fn beta_nodes(&self) -> usize {
+        self.beta.live_nodes()
+    }
+
+    /// How many beta nodes more than one hosted rule routes through.
+    pub fn beta_shared_nodes(&self) -> usize {
+        self.beta.shared_nodes()
+    }
+
     /// Whether any rule listens for the given event kind (one index
     /// lookup; hosting layers call this per event).
     pub fn handles_kind(&self, kind: &str) -> bool {
@@ -700,6 +966,7 @@ impl MatchletEngine {
             rules,
             kind_index,
             alphas,
+            beta,
             synced,
             change_stamp,
             plans_dirty,
@@ -745,33 +1012,21 @@ impl MatchletEngine {
             // Single-pattern rules have no join partner, so their buffers
             // are never read: fire directly and skip buffering entirely.
             let single = rule.rule.patterns.len() == 1;
-            let memoised = delta_active && matches!(rule.plan, SolvePlan::Memo { .. });
-            // Take the beta memory out so solving can borrow the rule
-            // immutably while appending memo entries.
-            let mut memo =
-                if memoised { std::mem::take(&mut rule.memo) } else { RuleMemo::default() };
             let rule = &rules[ri];
             let mut memoctx = match &rule.plan {
-                SolvePlan::Memo { predicates, input_vars } if memoised => {
-                    // Invalidate on any delta that touched a predicate
-                    // this rule's goals read (and only then).
-                    let newest = predicates
-                        .iter()
-                        .filter_map(|p| alphas.get(p))
-                        .map(|a| a.last_change)
-                        .max()
-                        .unwrap_or(0);
-                    if newest > memo.stamp {
-                        memo.table.clear();
-                        memo.stamp = newest;
-                    }
+                SolvePlan::Memo { key_vars, path, .. } if delta_active => {
+                    // Condemn stale memo entries along the rule's beta
+                    // path: any delta that touched a predicate a path
+                    // node reads (and only that).
+                    beta.refresh(path, alphas);
                     Some(MemoCtx {
-                        memo: &mut memo,
+                        beta: &mut *beta,
                         alphas,
-                        predicates,
-                        input_vars,
+                        key_vars,
+                        path,
                         hits: 0,
                         misses: 0,
+                        partial: 0,
                     })
                 }
                 _ => None,
@@ -804,11 +1059,9 @@ impl MatchletEngine {
             if let Some(ctx) = memoctx.take() {
                 stats.memo_hits += ctx.hits;
                 stats.memo_misses += ctx.misses;
+                stats.beta_partial_hits += ctx.partial;
             }
             let rule = &mut rules[ri];
-            if memoised {
-                rule.memo = memo;
-            }
             rule.fired += fired;
             if !single {
                 for (p, bindings) in matched {
@@ -1076,11 +1329,14 @@ fn emit_one(
 /// event per solution.
 ///
 /// With a [`MemoCtx`] (delta-driven mode): the goal solve is served from
-/// the rule's beta memory when an entry with the same exact goal-input
-/// projection is present and no validity boundary of the rule's
-/// predicates was crossed since it was computed; otherwise the goals are
-/// re-solved against the alpha memories and the solution suffixes are
-/// memoised. Emit expressions are always evaluated fresh (they may read
+/// the shared beta trie when the rule's leaf node holds an entry for the
+/// same exact goal-input projection and no validity boundary of the
+/// path's predicates was crossed since it was computed. On a leaf miss
+/// the trie extends the deepest still-valid ancestor entry — join work
+/// another rule may already have paid for — goal by goal against the
+/// alpha memories, memoising at every node passed. Either way the leaf
+/// entry's canonical solution suffixes replay through the rule's own
+/// variables. Emit expressions are always evaluated fresh (they may read
 /// the clock or the raw knowledge base).
 #[allow(clippy::too_many_arguments)]
 fn fire(
@@ -1095,9 +1351,11 @@ fn fire(
 ) {
     let Some(ctx) = memo.as_mut() else {
         // Direct path: re-solve from scratch against the knowledge base.
+        // `rule.goals` is the same (normalised) chain the beta path
+        // runs, so the two paths count errors identically.
         let mut local_fired = 0u64;
         let mut emit_errors = 0u64;
-        let solve_errors = solve_mut(&rule.rule.goals, &mut env, kb, now, &mut |solution| {
+        let solve_errors = solve_mut(&rule.goals, &mut env, kb, now, &mut |solution| {
             emit_one(rule, solution, kb, now, out, &mut local_fired, &mut emit_errors);
         });
         *fired += local_fired;
@@ -1105,52 +1363,32 @@ fn fire(
         return;
     };
 
-    let key: Vec<Option<Term>> = ctx.input_vars.iter().map(|v| env.get_sym(*v).cloned()).collect();
-    let h = key_fingerprint(&key);
-    let hit = ctx.memo.table.get(&h).and_then(|bucket| {
-        bucket.iter().position(|e| {
-            keys_exact_eq(&e.key, &key)
-                && boundaries_quiet(ctx.alphas, ctx.predicates, e.computed_at, now)
-        })
-    });
-    if let Some(idx) = hit {
-        ctx.hits += 1;
-        let entry = &ctx.memo.table[&h][idx];
-        *errors += entry.solve_errors;
-        let mark = env.len();
-        let mut local_fired = 0u64;
-        let mut emit_errors = 0u64;
-        for suffix in &entry.solutions {
-            for (sym, term) in suffix {
-                env.push_raw(*sym, term.clone());
-            }
-            emit_one(rule, &env, kb, now, out, &mut local_fired, &mut emit_errors);
-            env.truncate(mark);
+    let key: Vec<Option<Term>> = ctx.key_vars.iter().map(|v| env.get_sym(*v).cloned()).collect();
+    let leaf = *ctx.path.last().expect("memoised rules have a non-empty beta path");
+    let (h, idx) = match ctx.beta.find(leaf, &key, ctx.alphas, now) {
+        Some(hit) => {
+            ctx.hits += 1;
+            hit
         }
-        *fired += local_fired;
-        *errors += emit_errors;
-        return;
-    }
-
-    ctx.misses += 1;
-    let view = AlphaView { alphas: ctx.alphas };
+        None => {
+            ctx.misses += 1;
+            ctx.beta.compute(ctx.path, &key, ctx.alphas, now, &mut ctx.partial)
+        }
+    };
+    let entry = &ctx.beta.node(leaf).memo[&h][idx];
+    *errors += entry.solve_errors;
     let mark = env.len();
-    let mut solutions: Vec<Vec<(Symbol, Term)>> = Vec::new();
     let mut local_fired = 0u64;
     let mut emit_errors = 0u64;
-    let solve_errors = solve_mut(&rule.rule.goals, &mut env, &view, now, &mut |solution| {
-        solutions.push(solution.raw_entries()[mark..].to_vec());
-        emit_one(rule, solution, kb, now, out, &mut local_fired, &mut emit_errors);
-    });
-    *fired += local_fired;
-    *errors += solve_errors + emit_errors;
-    if ctx.memo.table.len() >= MEMO_KEYS_MAX {
-        ctx.memo.table.clear();
+    for suffix in &entry.solutions {
+        for (slot, term) in suffix {
+            env.push_raw(ctx.key_vars[*slot as usize], term.clone());
+        }
+        emit_one(rule, &env, kb, now, out, &mut local_fired, &mut emit_errors);
+        env.truncate(mark);
     }
-    let bucket = ctx.memo.table.entry(h).or_default();
-    // A boundary-stale entry for this key may linger; replace it.
-    bucket.retain(|e| !keys_exact_eq(&e.key, &key));
-    bucket.push(MemoEntry { key, computed_at: now, solutions, solve_errors });
+    *fired += local_fired;
+    *errors += emit_errors;
 }
 
 /// Fingerprints the join variables' values in `env` into a hash key, or
@@ -1811,5 +2049,116 @@ mod tests {
         assert_eq!(out[0].num_attr("half"), Some(2.0), "integer division");
         let out = e.on_event(t(1), &Event::new("k").with_attr("v", 5.0), &kb);
         assert_eq!(out[0].num_attr("half"), Some(2.5), "float division");
+    }
+
+    // --- shared beta network --------------------------------------------
+
+    #[test]
+    fn shared_prefix_rules_share_beta_nodes() {
+        // 10 rules, each `likes ∧ nationality ∧ <own filter over ?nat>`:
+        // the two fact goals intern once, only the filter leaves differ.
+        // (A filter over an event variable would hoist to the *front* —
+        // before any enumeration — and become a per-rule root instead.)
+        let mut src = String::new();
+        for i in 0..10 {
+            src.push_str(&format!(
+                r#"rule r{i} {{
+                    on w: event weather(celsius: ?c)
+                    where fact(?u, likes, "ice cream") and fact(?u, nationality, ?nat)
+                    where ?nat != "x{i}"
+                    within 1m
+                    emit s{i}(user: ?u)
+                }}"#
+            ));
+        }
+        let e = MatchletEngine::compile(&src).unwrap();
+        assert_eq!(e.beta_nodes(), 2 + 10, "two shared fact nodes + ten filter leaves");
+        assert_eq!(e.beta_shared_nodes(), 2, "the fact prefix is shared by all ten");
+    }
+
+    #[test]
+    fn shared_prefix_computed_once_feeds_sibling_rules() {
+        let src = r#"
+            rule fans {
+                on q: event query()
+                where fact(?u, likes, "ice cream")
+                emit fan(user: ?u)
+            }
+            rule natl_fans {
+                on q: event query()
+                where fact(?u, likes, "ice cream") and fact(?u, nationality, ?nat)
+                emit natl(user: ?u, nat: ?nat)
+            }
+        "#;
+        let kb = kb();
+        let mut e = MatchletEngine::compile(src).unwrap();
+        assert_eq!(e.beta_shared_nodes(), 1, "the likes node hosts both rules");
+        let out = e.on_event(t(0), &Event::new("query"), &kb);
+        assert_eq!(out.len(), 4, "2 fans + 2 national fans");
+        // Whichever rule ran second extended the first rule's leaf entry
+        // instead of re-enumerating `likes` from the alpha memory.
+        assert_eq!(e.stats.beta_partial_hits, 1, "prefix reused across rules");
+        assert_eq!(e.stats.memo_misses, 2);
+        // Steady state: both leaves replay.
+        e.on_event(t(1), &Event::new("query"), &kb);
+        assert_eq!(e.stats.memo_hits, 2);
+    }
+
+    #[test]
+    fn beta_nodes_free_when_the_last_hosted_rule_leaves() {
+        let src = r#"
+            rule a {
+                on q: event query()
+                where fact(?u, likes, "ice cream") and fact(?u, nationality, ?nat)
+                emit a(user: ?u)
+            }
+            rule b {
+                on q: event query()
+                where fact(?u, likes, "ice cream") and fact(?u, visited, ?p)
+                emit b(user: ?u)
+            }
+        "#;
+        let mut kb = kb();
+        kb.add(Fact::new("bob", "visited", Term::str("market st")));
+        let mut e = MatchletEngine::compile(src).unwrap();
+        assert_eq!(e.beta_nodes(), 3, "shared likes + two suffix leaves");
+        assert!(e.remove_rule("a"));
+        assert_eq!(e.beta_nodes(), 2, "a's nationality leaf freed, prefix kept");
+        assert_eq!(e.beta_shared_nodes(), 0);
+        // The surviving rule still fires through the retained nodes.
+        assert_eq!(e.on_event(t(0), &Event::new("query"), &kb).len(), 1);
+        assert!(e.remove_rule("b"));
+        assert_eq!(e.beta_nodes(), 0, "empty net once no rule routes through it");
+    }
+
+    #[test]
+    fn hoisted_filters_share_prefixes_across_placements() {
+        // Rule a writes the filter *after* the second fact goal; rule b
+        // writes it in hoisted position. Normalisation makes the chains
+        // identical, so the whole 3-node path is shared — and firings
+        // still reflect the filter.
+        let src = r#"
+            rule a {
+                on q: event query()
+                where fact(?u, likes, ?w) and fact(?u, nationality, ?n) and ?w != "golf"
+                emit a(user: ?u)
+            }
+            rule b {
+                on q: event query()
+                where fact(?p, likes, ?q) and ?q != "golf" and fact(?p, nationality, ?m)
+                emit b(user: ?p)
+            }
+        "#;
+        let mut kb = kb();
+        kb.add(Fact::new("zoe", "likes", Term::str("golf")));
+        kb.add(Fact::new("zoe", "nationality", Term::str("scottish")));
+        let mut e = MatchletEngine::compile(src).unwrap();
+        assert_eq!(e.beta_nodes(), 3, "one fully shared chain");
+        assert_eq!(e.beta_shared_nodes(), 3);
+        let out = e.on_event(t(0), &Event::new("query"), &kb);
+        assert_eq!(out.len(), 4, "bob+anna for each rule; zoe filtered in both");
+        assert!(out.iter().all(|ev| ev.str_attr("user") != Some("zoe")));
+        assert_eq!(e.stats.memo_misses, 1, "second rule replays the first's leaf");
+        assert_eq!(e.stats.memo_hits, 1);
     }
 }

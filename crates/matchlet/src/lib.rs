@@ -67,6 +67,7 @@
 
 pub mod ast;
 pub mod builtin;
+pub mod canonical;
 pub mod engine;
 pub mod eval;
 pub mod lexer;

@@ -163,6 +163,7 @@ impl StoreNetwork {
                     req_id: id,
                     issued_at: now,
                     path: Vec::new(),
+                    min_version: 0,
                 },
                 origin: node,
                 hops: 0,

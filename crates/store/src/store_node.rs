@@ -38,6 +38,11 @@ pub enum StorePayload {
         /// Nodes the request has passed through (promiscuous caching
         /// pushes copies back along this path).
         path: Vec<NodeIndex>,
+        /// Minimum acceptable `Document::version`. Cached copies below
+        /// this floor neither satisfy the request locally nor intercept
+        /// it en route; only the responsible node answers with whatever
+        /// it holds. `0` preserves the classic any-copy behaviour.
+        min_version: u64,
     },
 }
 
@@ -398,12 +403,15 @@ impl StoreNode {
         // answers immediately (promiscuous caching's latency win).
         if let OverlayMsg::Route { payload: StorePayload::Lookup { .. }, .. } = &omsg {
             if let OverlayMsg::Route {
-                payload: StorePayload::Lookup { guid, reply_to, req_id, issued_at, path },
+                payload:
+                    StorePayload::Lookup { guid, reply_to, req_id, issued_at, path, min_version },
                 hops,
                 ..
             } = &mut omsg
             {
-                if let Some((doc, from_cache)) = self.local_copy(*guid) {
+                if let Some((doc, from_cache)) =
+                    self.local_copy(*guid).filter(|(d, _)| d.version >= *min_version)
+                {
                     // Cache along the path walked so far, then move the
                     // copy into the reply (no clone for the common
                     // empty-path case).
@@ -528,8 +536,28 @@ impl StoreNode {
     /// Originates a lookup from this node; the outcome lands in
     /// [`outcomes`](Self::outcomes) keyed by `req_id`.
     pub fn lookup(&mut self, guid: Key, req_id: u64, now: SimTime, out: &mut Outbox<StoreMsg>) {
-        // Local copy? Serve instantly.
-        if let Some((doc, from_cache)) = self.local_copy(guid) {
+        self.lookup_min_version(guid, 0, req_id, now, out);
+    }
+
+    /// Like [`lookup`](Self::lookup), but refuses cached copies below
+    /// `min_version`: neither the local fast path nor en-route
+    /// interception serves a stale copy, so the request reaches the
+    /// responsible node, which answers with whatever it holds. Lets
+    /// readers who know a document has advanced (e.g. the knowledge
+    /// plane pulling the next delta batch) bypass promiscuous caching's
+    /// stale copies without losing its latency win for fresh ones.
+    pub fn lookup_min_version(
+        &mut self,
+        guid: Key,
+        min_version: u64,
+        req_id: u64,
+        now: SimTime,
+        out: &mut Outbox<StoreMsg>,
+    ) {
+        // Fresh-enough local copy? Serve instantly.
+        if let Some((doc, from_cache)) =
+            self.local_copy(guid).filter(|(d, _)| d.version >= min_version)
+        {
             out.count("store.lookups_ok", 1.0);
             out.count("store.lookups_local", 1.0);
             out.observe("store.lookup_ms", 0.0);
@@ -555,23 +583,49 @@ impl StoreNode {
             req_id,
             issued_at: now,
             path: vec![self.me],
+            min_version,
         };
         let mut oout = Outbox::new();
         let delivered = self.overlay.route(guid, payload, &mut oout);
         oout.transfer_into(out, StoreMsg::Overlay);
         if delivered.is_some() {
-            // We are the responsible node and have no copy.
-            out.count("store.lookups_missing", 1.0);
-            self.outcomes.insert(
-                req_id,
-                LookupOutcome {
-                    guid,
-                    doc: None,
-                    latency: SimDuration::ZERO,
-                    from_cache: false,
-                    hops: 0,
-                },
-            );
+            // We are the responsible node: answer with whatever we hold
+            // (the floor only filters non-authoritative copies), or
+            // record the miss.
+            match self.local_copy(guid) {
+                Some((doc, from_cache)) => {
+                    out.count("store.lookups_ok", 1.0);
+                    out.count("store.lookups_local", 1.0);
+                    out.observe("store.lookup_ms", 0.0);
+                    out.observe("store.lookup_hops", 0.0);
+                    if from_cache {
+                        out.count("store.cache_served", 1.0);
+                    }
+                    self.outcomes.insert(
+                        req_id,
+                        LookupOutcome {
+                            guid,
+                            doc: Some(doc),
+                            latency: SimDuration::ZERO,
+                            from_cache,
+                            hops: 0,
+                        },
+                    );
+                }
+                None => {
+                    out.count("store.lookups_missing", 1.0);
+                    self.outcomes.insert(
+                        req_id,
+                        LookupOutcome {
+                            guid,
+                            doc: None,
+                            latency: SimDuration::ZERO,
+                            from_cache: false,
+                            hops: 0,
+                        },
+                    );
+                }
+            }
         }
     }
 }
@@ -687,6 +741,7 @@ mod tests {
                 req_id: 4,
                 issued_at: SimTime::ZERO,
                 path: vec![n(9), n(7)],
+                min_version: 0,
             },
             origin: n(9),
             hops: 2,
