@@ -1,0 +1,202 @@
+//! Storage-plane repair smoke for CI: a 48-node store network loses two
+//! whole regions at once (a correlated machine-room crash taking out at
+//! least a quarter of the nodes) and must self-heal — every surviving
+//! document back at its tier's redundancy target, every erasure shard
+//! re-encoded from survivors, and **zero data loss**: all document bytes
+//! and the reconstructed erasure object byte-identical to what was
+//! inserted.
+//!
+//! Prints one digest line covering repair counters, per-document
+//! redundancy, and the time-to-redundancy; CI diffs the output at
+//! `GLOSS_SIM_THREADS` 1/2/4, so the whole repair storm — scan order,
+//! token-bucket grants, retry jitter — must be schedule-preserving.
+//!
+//! Usage: repairsmoke [--nodes N] [--seed S]
+
+use gloss_sim::{NodeIndex, SimDuration};
+use gloss_store::{Document, Priority, StoreConfig, StoreNetwork};
+
+/// FNV-1a over a byte stream.
+fn fnv(digest: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *digest ^= b as u64;
+        *digest = digest.wrapping_mul(0x100_0000_01b3);
+    }
+}
+
+/// Deterministic xorshift content.
+fn fill(seed: u64, len: usize) -> Vec<u8> {
+    let mut s = seed ^ 0x9e37_79b9_7f4a_7c15;
+    (0..len)
+        .map(|_| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s & 0xff) as u8
+        })
+        .collect()
+}
+
+fn first_alive(net: &StoreNetwork) -> NodeIndex {
+    (0..net.len() as u32)
+        .map(NodeIndex)
+        .find(|&i| net.world().is_alive(i))
+        .expect("someone survived")
+}
+
+fn main() {
+    let mut nodes = 48usize;
+    let mut seed = 1903u64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--nodes" => nodes = args.next().and_then(|v| v.parse().ok()).expect("--nodes N"),
+            "--seed" => seed = args.next().and_then(|v| v.parse().ok()).expect("--seed S"),
+            other => {
+                eprintln!("unknown argument `{other}`");
+                std::process::exit(2);
+            }
+        }
+    }
+    let start = std::time::Instant::now();
+    let cfg = StoreConfig {
+        replicas: 3,
+        heal_interval: SimDuration::from_secs(10),
+        repair_interval: Some(SimDuration::from_secs(10)),
+        tier_high_extra: 1,
+        ..Default::default()
+    };
+    let mut net = StoreNetwork::build(nodes, cfg, seed);
+    net.settle();
+
+    // A tiered document population plus one erasure-coded object.
+    let docs: Vec<Document> = (0..9u64)
+        .map(|i| {
+            Document::new(format!("smoke-doc-{i}"), fill(1000 + i, 300)).with_priority(
+                match i % 3 {
+                    0 => Priority::High,
+                    1 => Priority::Normal,
+                    _ => Priority::Low,
+                },
+            )
+        })
+        .collect();
+    for (i, d) in docs.iter().enumerate() {
+        net.insert(NodeIndex((i % nodes) as u32), d.clone());
+    }
+    let (m, n) = (3usize, 6usize);
+    let obj = fill(42, 1200);
+    let shard_guids = net.insert_erasure(NodeIndex(0), "smoke-obj", &obj, m, n).unwrap();
+    net.run_for(SimDuration::from_secs(60));
+    assert_eq!(net.shards_alive("smoke-obj", n), n, "erasure object incompletely placed");
+
+    // Correlated loss: whole regions go dark together until at least a
+    // quarter of the network is gone.
+    let mut killed = 0usize;
+    let mut regions_lost = Vec::new();
+    for region in ["us-east", "australia", "europe", "us-west"] {
+        if killed * 4 >= nodes {
+            break;
+        }
+        killed += net.crash_region(region);
+        regions_lost.push(region);
+    }
+    assert!(killed * 4 >= nodes, "only {killed}/{nodes} nodes crashed; smoke needs >= 1/4");
+
+    // Additionally wipe every surviving holder of shard 0, so only
+    // re-encoding from the other shards can bring it back — the smoke
+    // must drive the erasure repair path, not just replica top-up.
+    let g0 = shard_guids[0];
+    let shard_victims: Vec<NodeIndex> = (0..nodes as u32)
+        .map(NodeIndex)
+        .filter(|&i| net.world().is_alive(i) && net.world().node(i).store.holds(g0))
+        .collect();
+    killed += shard_victims.len();
+    for v in shard_victims {
+        net.crash(v);
+    }
+    assert_eq!(net.replica_count(g0), 0, "shard 0 should be durably gone");
+
+    // Redundancy targets per tier, judged from any survivor's config.
+    let probe = first_alive(&net);
+    let targets: Vec<usize> =
+        docs.iter().map(|d| net.world().node(probe).store.target_replicas(d.priority)).collect();
+
+    // Poll until every document is back at target and every shard has a
+    // durable holder again.
+    fn recovered(net: &StoreNetwork, docs: &[Document], targets: &[usize], n: usize) -> bool {
+        docs.iter().zip(targets).all(|(d, t)| net.replica_count(d.guid) >= *t)
+            && net.shards_alive("smoke-obj", n) == n
+    }
+    let deadline = 600u64;
+    let mut elapsed = 0u64;
+    while elapsed < deadline && !recovered(&net, &docs, &targets, n) {
+        net.run_for(SimDuration::from_secs(10));
+        elapsed += 10;
+    }
+    assert!(
+        recovered(&net, &docs, &targets, n),
+        "not back at redundancy {deadline} s after losing {killed} nodes ({regions_lost:?})"
+    );
+    let time_to_redundancy = elapsed;
+
+    // Zero data loss: every document's bytes and the reconstructed
+    // erasure object must match what was inserted.
+    let reader = first_alive(&net);
+    let doc_reqs: Vec<u64> = docs.iter().map(|d| net.lookup(reader, d.guid)).collect();
+    let shard_reqs = net.lookup_erasure(reader, &shard_guids);
+    net.run_for(SimDuration::from_secs(30));
+    for (d, req) in docs.iter().zip(&doc_reqs) {
+        let got = net
+            .result(*req)
+            .and_then(|r| r.doc.as_ref())
+            .unwrap_or_else(|| panic!("{} lost after the crash", d.name));
+        assert_eq!(got.content, d.content, "{} bytes corrupted by repair", d.name);
+    }
+    let rebuilt =
+        net.reconstruct(&shard_reqs, m, n, obj.len()).expect("erasure object unrecoverable");
+    assert_eq!(rebuilt, obj, "erasure object bytes corrupted by repair");
+    assert!(
+        net.counter("store.repair_shards") >= 1.0,
+        "shard 0 came back without the erasure repair path firing"
+    );
+
+    // Digest: counters, redundancy, shard survival — diffed across
+    // thread counts by CI.
+    let mut digest = 0xcbf2_9ce4_8422_2325u64;
+    for d in &docs {
+        fnv(&mut digest, format!("{}={}", d.name, net.replica_count(d.guid)).as_bytes());
+    }
+    for (i, g) in shard_guids.iter().enumerate() {
+        fnv(&mut digest, format!("shard{i}={}", net.replica_count(*g)).as_bytes());
+    }
+    for c in [
+        "store.repair_puts",
+        "store.repair_bytes",
+        "store.repair_shards",
+        "store.repair_audits",
+        "store.repair_deferred",
+        "store.locations_purged",
+        "store.lookups_retried",
+        "store.lookups_timeout",
+        "store.evictions",
+        "sim.messages_sent",
+    ] {
+        fnv(&mut digest, format!("{c}={}", net.counter(c)).as_bytes());
+    }
+    fnv(&mut digest, format!("ttr={time_to_redundancy}").as_bytes());
+
+    println!(
+        "repairsmoke ok: nodes={nodes} seed={seed} killed={killed} ttr_s={time_to_redundancy} \
+         repair_puts={} repair_shards={} repair_bytes={} retried={} digest={digest:016x}",
+        net.counter("store.repair_puts"),
+        net.counter("store.repair_shards"),
+        net.counter("store.repair_bytes"),
+        net.counter("store.lookups_retried"),
+    );
+    eprintln!(
+        "threads={} wall={:.3}s",
+        std::env::var("GLOSS_SIM_THREADS").unwrap_or_else(|_| "1".into()),
+        start.elapsed().as_secs_f64()
+    );
+}

@@ -15,7 +15,7 @@ use gloss_matchlet::MatchletEngine;
 use gloss_overlay::{FreenetNetwork, Key, OverlayNetwork};
 use gloss_pipeline::{standard::Counter, DistributedPipeline, PipelineGraph};
 use gloss_sim::{NodeIndex, SimDuration, SimRng, Zipf};
-use gloss_store::{Document, ErasureCode, StoreConfig, StoreNetwork};
+use gloss_store::{Document, ErasureCode, Priority, StoreConfig, StoreNetwork};
 use gloss_xml::{Element, FieldType, ProjSpec, Schema};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Write as _;
@@ -1459,6 +1459,172 @@ pub fn s6_subscriber_scaling() -> String {
     )
 }
 
+/// C19: crash-driven repair storm. A correlated regional crash kills at
+/// least a quarter of the store nodes; the repair pipeline must return
+/// every surviving document to its tier's redundancy target with zero
+/// data loss, while its token bucket keeps foreground lookups usable
+/// mid-storm. Rows sweep the repair rate budget: a bigger budget
+/// shortens time-to-redundancy, the cap bounds what the storm does to
+/// concurrent reads. `GLOSS_BENCH_SMOKE=1` trims the sweep for CI.
+pub fn c19_repair_storm() -> String {
+    let smoke = std::env::var("GLOSS_BENCH_SMOKE").is_ok_and(|v| v != "0");
+    let nodes = if smoke { 32usize } else { 48 };
+    // The low end is deliberately throttled into deferral (burst rides
+    // the rate): the table shows pacing trading time-to-redundancy for a
+    // bounded repair-traffic rate, not three unthrottled reruns.
+    let rates: &[f64] = if smoke { &[8.0] } else { &[0.1, 1.0, 8.0] };
+    let fill = |seed: u64, len: usize| -> Vec<u8> {
+        let mut s = seed ^ 0x9e37_79b9_7f4a_7c15;
+        (0..len)
+            .map(|_| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                (s & 0xff) as u8
+            })
+            .collect()
+    };
+    let mut rows = Vec::new();
+    for &rate in rates {
+        let cfg = StoreConfig {
+            replicas: 3,
+            tier_high_extra: 1,
+            heal_interval: SimDuration::from_secs(10),
+            repair_interval: Some(SimDuration::from_secs(10)),
+            repair_rate_per_sec: rate,
+            repair_burst: (rate * 2.0).max(1.0),
+            ..Default::default()
+        };
+        let mut net = StoreNetwork::build(nodes, cfg, 1907);
+        net.settle();
+        let docs: Vec<Document> = (0..12u64)
+            .map(|i| {
+                Document::new(format!("c19-doc-{i}"), fill(500 + i, 400)).with_priority(
+                    match i % 3 {
+                        0 => Priority::High,
+                        1 => Priority::Normal,
+                        _ => Priority::Low,
+                    },
+                )
+            })
+            .collect();
+        for (i, d) in docs.iter().enumerate() {
+            net.insert(NodeIndex((i % nodes) as u32), d.clone());
+        }
+        let (m, n) = (3usize, 6usize);
+        let obj = fill(4242, 1500);
+        let shard_guids = net.insert_erasure(NodeIndex(0), "c19-obj", &obj, m, n).unwrap();
+        net.run_for(SimDuration::from_secs(60));
+
+        // The correlated crash: whole regions until >= 1/4 of nodes die.
+        let mut killed = 0usize;
+        for region in ["us-east", "australia", "europe", "us-west"] {
+            if killed * 4 >= nodes {
+                break;
+            }
+            killed += net.crash_region(region);
+        }
+        assert!(killed * 4 >= nodes, "crash script killed only {killed}/{nodes}");
+        let alive: Vec<NodeIndex> =
+            (0..nodes as u32).map(NodeIndex).filter(|&i| net.world().is_alive(i)).collect();
+        let targets: Vec<usize> = docs
+            .iter()
+            .map(|d| net.world().node(alive[0]).store.target_replicas(d.priority))
+            .collect();
+
+        // Poll in 10 s steps, riding foreground lookups on the storm.
+        let mut rng = SimRng::new(1907).fork("c19-fg");
+        let mut fg_reqs = Vec::new();
+        let mut ttr = None;
+        let mut elapsed = 0u64;
+        while elapsed < 600 {
+            for _ in 0..4 {
+                let reader = alive[rng.index(alive.len())];
+                let target = &docs[rng.index(docs.len())];
+                fg_reqs.push(net.lookup_retrying(reader, target.guid));
+            }
+            net.run_for(SimDuration::from_secs(10));
+            elapsed += 10;
+            let recovered = docs.iter().zip(&targets).all(|(d, t)| net.replica_count(d.guid) >= *t)
+                && net.shards_alive("c19-obj", n) == n;
+            if recovered {
+                ttr = Some(elapsed);
+                break;
+            }
+        }
+        let ttr = ttr.expect("repair never restored redundancy within 600 s");
+        // Let stragglers conclude, then split outcomes.
+        net.run_for(SimDuration::from_secs(30));
+        let mut lat_ms: Vec<f64> = Vec::new();
+        let mut fg_timeouts = 0u64;
+        for id in &fg_reqs {
+            match net.result(*id) {
+                Some(r) if r.doc.is_some() => {
+                    lat_ms.push(r.latency.as_secs_f64() * 1e3);
+                }
+                _ => fg_timeouts += 1,
+            }
+        }
+        lat_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let pct = |v: &[f64], p: usize| {
+            if v.is_empty() {
+                0.0
+            } else {
+                v[(v.len() * p / 100).min(v.len() - 1)]
+            }
+        };
+
+        // Zero data loss: every document's bytes and the reconstructed
+        // erasure object must match what was inserted.
+        let reader = alive[0];
+        let doc_reqs: Vec<u64> = docs.iter().map(|d| net.lookup_retrying(reader, d.guid)).collect();
+        let shard_reqs = net.lookup_erasure(reader, &shard_guids);
+        net.run_for(SimDuration::from_secs(30));
+        let mut lost = 0usize;
+        for (d, req) in docs.iter().zip(&doc_reqs) {
+            let ok = net
+                .result(*req)
+                .and_then(|r| r.doc.as_ref())
+                .is_some_and(|got| got.content == d.content);
+            if !ok {
+                lost += 1;
+            }
+        }
+        if net.reconstruct(&shard_reqs, m, n, obj.len()).map(|b| b == obj) != Ok(true) {
+            lost += 1;
+        }
+        rows.push(vec![
+            f(rate),
+            killed.to_string(),
+            ttr.to_string(),
+            f(net.counter("store.repair_puts")),
+            f(net.counter("store.repair_bytes") / 1024.0),
+            f(net.counter("store.repair_deferred")),
+            fg_reqs.len().to_string(),
+            f(pct(&lat_ms, 50)),
+            f(pct(&lat_ms, 99)),
+            fg_timeouts.to_string(),
+            lost.to_string(),
+        ]);
+    }
+    table(
+        &[
+            "repair rate/s",
+            "killed",
+            "time-to-redundancy s",
+            "repair puts",
+            "repair KiB",
+            "deferred",
+            "fg lookups",
+            "fg p50 ms",
+            "fg p99 ms",
+            "fg timeouts",
+            "objects lost",
+        ],
+        &rows,
+    )
+}
+
 /// The generated C13 churn rule for generation `g` (kept lint-clean:
 /// wildcards where nothing reads the binding).
 fn churn_rule_src(g: usize) -> String {
@@ -1495,6 +1661,10 @@ pub fn run_experiment(id: &str) -> Option<(String, String)> {
             "C17: flash crowd — synchronized burst over covering-collapsed tables",
             c17_flash_crowd(),
         ),
+        "c19" => (
+            "C19: repair storm — regional crash, rate-limited re-replication, zero loss",
+            c19_repair_storm(),
+        ),
         "s3" => ("S3: event-plane scaling, 64-1024 nodes at 1 and 4 threads", s3_scaling()),
         "s6" => (
             "S6: subscriber scaling — publish cost from 1k to 1M subscriptions",
@@ -1508,7 +1678,7 @@ pub fn run_experiment(id: &str) -> Option<(String, String)> {
 /// All experiment ids in order.
 pub const ALL_EXPERIMENTS: &[&str] = &[
     "e1", "e2", "e3", "c1", "c2", "c3", "c4", "c5", "c6", "c7", "c8", "c9", "c10", "c11", "c12",
-    "c13", "c14", "c15", "c16", "c17", "s3", "s6",
+    "c13", "c14", "c15", "c16", "c17", "c19", "s3", "s6",
 ];
 
 #[cfg(test)]

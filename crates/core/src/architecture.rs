@@ -87,7 +87,7 @@ impl ActiveArchitecture {
 
         let directory: Vec<NodeSite> = topology
             .iter()
-            .map(|info| NodeSite { node: info.index, geo: info.geo, region: info.region.clone() })
+            .map(|info| NodeSite::new(info.index, info.geo, info.region.clone()))
             .collect();
 
         let mut nodes = Vec::with_capacity(cfg.nodes);

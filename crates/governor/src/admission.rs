@@ -8,6 +8,7 @@
 //! serve per source neighbourhood and tells the overflow *when* to come
 //! back, spreading the stampede over time instead of shedding it blindly.
 
+use crate::bucket::TokenBucket;
 use gloss_sim::{splitmix64, FnvHashMap, NodeIndex, SimDuration, SimTime};
 
 /// Admission policy knobs.
@@ -51,21 +52,17 @@ pub enum Admission {
     Backoff(SimDuration),
 }
 
-#[derive(Debug, Clone, Copy)]
-struct Bucket {
-    tokens: f64,
-    refilled_at: SimTime,
-}
-
 /// Token-bucket join admission with per-source exponential backoff.
 ///
 /// Deterministic: jitter draws from a private splitmix64 stream seeded by
 /// the owner, and bucket state advances only on calls carrying simulated
-/// time — identical call sequences yield identical verdicts.
+/// time — identical call sequences yield identical verdicts. The bucket
+/// itself is the shared [`TokenBucket`] primitive the storage plane's
+/// repair pipeline also paces itself with.
 #[derive(Debug, Clone)]
 pub struct AdmissionGovernor {
     cfg: AdmissionConfig,
-    buckets: FnvHashMap<u32, Bucket>,
+    buckets: FnvHashMap<u32, TokenBucket>,
     /// Consecutive rejections per source prefix (drives the exponent).
     strikes: FnvHashMap<u32, u32>,
     rng: u64,
@@ -98,13 +95,11 @@ impl AdmissionGovernor {
     pub fn check(&mut self, now: SimTime, source: NodeIndex) -> Admission {
         let prefix = self.prefix(source);
         let cfg = &self.cfg;
-        let b =
-            self.buckets.entry(prefix).or_insert(Bucket { tokens: cfg.burst, refilled_at: now });
-        let dt = now.since(b.refilled_at).as_secs_f64();
-        b.tokens = (b.tokens + dt * cfg.refill_per_sec).min(cfg.burst);
-        b.refilled_at = now;
-        if b.tokens >= 1.0 {
-            b.tokens -= 1.0;
+        let b = self
+            .buckets
+            .entry(prefix)
+            .or_insert_with(|| TokenBucket::new(cfg.burst, cfg.refill_per_sec, now));
+        if b.try_take(now, 1.0) {
             self.strikes.remove(&prefix);
             self.admitted += 1;
             return Admission::Admit;

@@ -27,10 +27,12 @@
 //! any thread count.
 
 pub mod admission;
+pub mod bucket;
 pub mod shedding;
 pub mod suspicion;
 
 pub use admission::{Admission, AdmissionConfig, AdmissionGovernor};
+pub use bucket::TokenBucket;
 pub use shedding::{IngressClass, LoadShedder, ShedConfig, ShedDecision};
 pub use suspicion::{
     CircuitState, ProbeDecision, SuspicionConfig, SuspicionTracker, SuspicionVerdict,

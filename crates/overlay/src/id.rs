@@ -12,12 +12,21 @@ pub const DIGITS: usize = 32;
 pub struct Key(pub u128);
 
 impl Key {
-    /// Derives a GUID from content bytes (FNV-1a, 128-bit).
+    /// Derives a GUID from content bytes (FNV-1a, 128-bit, with a
+    /// murmur-style finalisation pass).
     ///
     /// The paper: "all the P2P architectures cited use hashing algorithms
     /// to assign each document with a globally unique identifier (GUID)",
     /// derived "purely from document content using secure hashes". FNV-1a
     /// stands in for a secure hash here (see DESIGN.md substitutions).
+    ///
+    /// Raw FNV-1a gives a trailing byte only one multiply by the (small)
+    /// FNV prime, so names differing near the end ("x#shard0" …
+    /// "x#shard5") differ only in their low ~34 bits and land adjacent
+    /// on the ring — the same primary would hold every fragment, which
+    /// defeats erasure coding's independent-failure premise. The
+    /// finalisation avalanches every input bit across all 128 output
+    /// bits so related names scatter uniformly.
     pub fn hash_of(bytes: &[u8]) -> Key {
         const OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
         const PRIME: u128 = 0x0000000001000000000000000000013b;
@@ -26,7 +35,23 @@ impl Key {
             h ^= b as u128;
             h = h.wrapping_mul(PRIME);
         }
-        Key(h)
+        fn fmix64(mut k: u64) -> u64 {
+            k ^= k >> 33;
+            k = k.wrapping_mul(0xff51_afd7_ed55_8ccd);
+            k ^= k >> 33;
+            k = k.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+            k ^= k >> 33;
+            k
+        }
+        let mut lo = h as u64;
+        let mut hi = (h >> 64) as u64;
+        lo = lo.wrapping_add(hi);
+        hi = hi.wrapping_add(lo);
+        lo = fmix64(lo);
+        hi = fmix64(hi);
+        lo = lo.wrapping_add(hi);
+        hi = hi.wrapping_add(lo);
+        Key(((hi as u128) << 64) | lo as u128)
     }
 
     /// Derives a GUID from a text name (convenience over
@@ -117,6 +142,21 @@ mod tests {
         // Single-byte difference flips high digits with good probability;
         // just check the keys differ substantially.
         assert!(a.ring_distance(c) > 1 << 64);
+    }
+
+    #[test]
+    fn sequentially_named_documents_scatter_on_the_ring() {
+        // Erasure shards are named "{base}#shard{i}" — differing only in
+        // the final byte. Without output avalanching they would share
+        // their high bits, cluster on the ring, and all land on one
+        // primary, losing fragment independence.
+        let keys: Vec<Key> = (0..6).map(|i| Key::hash_of_str(&format!("obj#shard{i}"))).collect();
+        for (i, a) in keys.iter().enumerate() {
+            for b in keys.iter().skip(i + 1) {
+                assert!(a.shared_prefix(*b) <= 4, "{a} and {b} cluster");
+                assert!(a.ring_distance(*b) > 1 << 100, "{a} and {b} are ring-adjacent");
+            }
+        }
     }
 
     #[test]

@@ -201,6 +201,12 @@ pub struct OverlayNode<P> {
     /// retry invalidates the fixed-interval fallback timer (and vice
     /// versa).
     join_attempt: u64,
+    /// Peers declared dead (probe exhaustion or circuit eviction) since
+    /// the embedder last drained [`take_failed`](Self::take_failed).
+    /// Embedding layers hold state keyed by peer — replica location maps,
+    /// placement holder sets — that silently rots when a peer crashes;
+    /// this is the notification channel that lets them purge it.
+    failed_peers: Vec<NodeIndex>,
 }
 
 impl<P: Clone> OverlayNode<P> {
@@ -232,6 +238,7 @@ impl<P: Clone> OverlayNode<P> {
             governor: None,
             gov_setup: None,
             join_attempt: 0,
+            failed_peers: Vec::new(),
         }
     }
 
@@ -366,6 +373,7 @@ impl<P: Clone> OverlayNode<P> {
         }
         self.joined = self.bootstrap.is_none();
         self.join_attempt = 0;
+        self.failed_peers.clear();
         if self.bootstrap.is_some() {
             out.timer(self.join_delay, timers::JOIN);
         }
@@ -553,7 +561,25 @@ impl<P: Clone> OverlayNode<P> {
         }
     }
 
+    /// Dead peers detected since the last call (probe exhaustion or
+    /// circuit eviction), in detection order. Embedders drain this after
+    /// every [`on_timer`](Self::on_timer)/[`handle`](Self::handle) call
+    /// to purge peer-keyed state (the storage layer's replica location
+    /// maps are the canonical customer).
+    pub fn take_failed(&mut self) -> Vec<NodeIndex> {
+        std::mem::take(&mut self.failed_peers)
+    }
+
+    /// Declares `node` dead on external evidence (an embedder's own
+    /// fault detector, an operator action): same state purge and leaf
+    /// repair as a probe-exhaustion detection, and `node` appears in the
+    /// next [`take_failed`](Self::take_failed) drain.
+    pub fn declare_failed(&mut self, node: NodeIndex, out: &mut Outbox<OverlayMsg<P>>) {
+        self.handle_failure(node, out);
+    }
+
     fn handle_failure(&mut self, node: NodeIndex, out: &mut Outbox<OverlayMsg<P>>) {
+        self.failed_peers.push(node);
         self.acked_since.remove(&node.0);
         if let Some(g) = &mut self.governor {
             g.suspicion.evict(node);

@@ -6,6 +6,33 @@ use gloss_sim::SimTime;
 use std::fmt;
 use std::sync::Arc;
 
+/// A document's redundancy tier. The storage layer maps each tier to a
+/// replica/fragment target count ("a rule might create 5 copies of some
+/// data for resilience"): high-priority documents get extra copies, low
+/// priority fewer, and the eviction path sheds lower-priority replicas
+/// first when a node crosses its capacity watermark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum Priority {
+    /// Evictable first; below-default redundancy target.
+    Low,
+    /// The default tier.
+    #[default]
+    Normal,
+    /// Extra redundancy; never evicted in favour of lower tiers.
+    High,
+}
+
+impl Priority {
+    /// Stable short label (trace/report rendering).
+    pub fn label(self) -> &'static str {
+        match self {
+            Priority::Low => "low",
+            Priority::Normal => "normal",
+            Priority::High => "high",
+        }
+    }
+}
+
 /// A stored document.
 ///
 /// The GUID is derived from the document *name* (as in PAST, where GUIDs
@@ -27,6 +54,8 @@ pub struct Document {
     pub version: u64,
     /// When the document was created (stamped by the inserting client).
     pub created_at: SimTime,
+    /// Redundancy tier (drives the replica target and eviction order).
+    pub priority: Priority,
 }
 
 impl Document {
@@ -39,7 +68,14 @@ impl Document {
             content: content.into(),
             version: 1,
             created_at: SimTime::ZERO,
+            priority: Priority::Normal,
         }
+    }
+
+    /// Sets the redundancy tier.
+    pub fn with_priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
     }
 
     /// A later version of this document with new content.
@@ -50,6 +86,7 @@ impl Document {
             content: content.into(),
             version: self.version + 1,
             created_at: self.created_at,
+            priority: self.priority,
         }
     }
 

@@ -300,33 +300,44 @@ impl ErasureCode {
     /// Reconstructs the original `len` bytes from any `m` shards, given as
     /// `(shard_index, bytes)` pairs.
     ///
+    /// Every supplied shard is validated — a duplicate index is rejected
+    /// rather than skipped, because a caller presenting the same shard
+    /// twice (a repair pipeline double-counting one survivor, say) is
+    /// operating on a wrong model of how much redundancy it has. Given
+    /// more than `m` shards, the `m` *lowest* indices are used, so the
+    /// same survivor set always decodes through the same matrix no
+    /// matter what order the survivors answered in.
+    ///
     /// # Errors
     ///
-    /// Returns [`ErasureError`] if fewer than `m` distinct valid shards
-    /// are provided or the shards are inconsistent.
+    /// Returns [`ErasureError`] if fewer than `m` shards are provided or
+    /// the shards are malformed (out-of-range or duplicate indices,
+    /// unequal lengths).
     pub fn decode(&self, shards: &[(usize, Vec<u8>)], len: usize) -> Result<Vec<u8>, ErasureError> {
-        // Collect up to m distinct, valid shards.
-        let mut chosen: Vec<(usize, &[u8])> = Vec::new();
+        let mut seen = [false; 256]; // n <= 255
+        let mut chosen: Vec<(usize, &[u8])> = Vec::with_capacity(shards.len());
         for (idx, bytes) in shards {
             if *idx >= self.n {
                 return Err(ErasureError::MalformedShards(format!("index {idx} out of range")));
             }
-            if chosen.iter().any(|(i, _)| i == idx) {
-                continue;
+            if seen[*idx] {
+                return Err(ErasureError::MalformedShards(format!("duplicate shard index {idx}")));
             }
+            seen[*idx] = true;
             if let Some((_, first)) = chosen.first() {
                 if first.len() != bytes.len() {
                     return Err(ErasureError::MalformedShards("unequal shard lengths".into()));
                 }
             }
             chosen.push((*idx, bytes.as_slice()));
-            if chosen.len() == self.m {
-                break;
-            }
         }
         if chosen.len() < self.m {
             return Err(ErasureError::NotEnoughShards { needed: self.m, got: chosen.len() });
         }
+        // Surplus shards: keep the lowest m indices. With a systematic
+        // code those are the cheapest rows (often the identity block).
+        chosen.sort_by_key(|(i, _)| *i);
+        chosen.truncate(self.m);
         let sub: Vec<Vec<u8>> = chosen.iter().map(|(i, _)| self.rows[*i].clone()).collect();
         let inv = invert(&sub).ok_or_else(|| {
             ErasureError::MalformedShards("singular decode matrix (duplicate rows?)".into())
@@ -416,13 +427,44 @@ mod tests {
     }
 
     #[test]
-    fn duplicate_shards_do_not_count_twice() {
+    fn duplicate_shard_indices_rejected() {
         let code = ErasureCode::new(2, 4).unwrap();
         let shards = code.encode(b"data!");
+        // The same shard presented three times is one shard — and a
+        // caller that thinks otherwise has lost track of its redundancy,
+        // so the duplicate is an error even when enough distinct shards
+        // ride along.
         let kept = vec![(1, shards[1].clone()), (1, shards[1].clone()), (1, shards[1].clone())];
-        assert!(code.decode(&kept, 5).is_err());
-        let ok = vec![(1, shards[1].clone()), (1, shards[1].clone()), (3, shards[3].clone())];
-        assert_eq!(code.decode(&ok, 5).unwrap(), b"data!");
+        assert!(matches!(code.decode(&kept, 5), Err(ErasureError::MalformedShards(_))));
+        let dup = vec![(1, shards[1].clone()), (3, shards[3].clone()), (1, shards[1].clone())];
+        assert!(matches!(code.decode(&dup, 5), Err(ErasureError::MalformedShards(_))));
+    }
+
+    #[test]
+    fn exactly_m_survivors_reconstruct() {
+        let code = ErasureCode::new(3, 6).unwrap();
+        let data: Vec<u8> = (0..64u8).collect();
+        let shards = code.encode(&data);
+        // The worst crash the code tolerates: n - m losses, exactly m
+        // survivors — and all-parity survivors are the hardest subset.
+        let kept = vec![(5, shards[5].clone()), (3, shards[3].clone()), (4, shards[4].clone())];
+        assert_eq!(code.decode(&kept, data.len()).unwrap(), data);
+    }
+
+    #[test]
+    fn surplus_shards_decode_deterministically() {
+        let code = ErasureCode::new(2, 5).unwrap();
+        let data = b"surplus shards".to_vec();
+        let shards = code.encode(&data);
+        // More than m shards, presented in scrambled orders: every
+        // ordering must decode (via the lowest-m-indices rule) to the
+        // same bytes.
+        let orders: [[usize; 4]; 3] = [[4, 2, 0, 3], [0, 2, 3, 4], [3, 4, 2, 0]];
+        for order in orders {
+            let kept: Vec<(usize, Vec<u8>)> =
+                order.iter().map(|&i| (i, shards[i].clone())).collect();
+            assert_eq!(code.decode(&kept, data.len()).unwrap(), data, "order {order:?}");
+        }
     }
 
     #[test]

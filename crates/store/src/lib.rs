@@ -44,11 +44,16 @@ pub mod document;
 pub mod erasure;
 pub mod network;
 pub mod placement;
+pub mod repair;
 pub mod store_node;
 
 pub use cache::LruCache;
-pub use document::Document;
+pub use document::{Document, Priority};
 pub use erasure::{ErasureCode, ErasureError};
 pub use network::{LookupResult, StoreNetwork};
-pub use placement::{BackupPolicy, LatencyReductionPolicy, PlacementAction, PlacementPolicy};
+pub use placement::{
+    plan_quota_targets, BackupPolicy, LatencyReductionPolicy, NodeCapacity, NodeSite,
+    PlacementAction, PlacementPolicy,
+};
+pub use repair::{FragmentManifest, RepairScheduler};
 pub use store_node::{LookupOutcome, StoreConfig, StoreMsg, StoreNode, StorePayload};

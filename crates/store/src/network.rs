@@ -1,9 +1,10 @@
 //! Simulation harness for the storage layer: insert/lookup workloads,
 //! cache experiments, healing under churn, and erasure-coded storage.
 
-use crate::document::Document;
+use crate::document::{Document, Priority};
 use crate::erasure::{ErasureCode, ErasureError};
 use crate::placement::NodeSite;
+use crate::repair::FragmentManifest;
 use crate::store_node::{LookupOutcome, StoreConfig, StoreMsg, StoreNode, StorePayload};
 use gloss_overlay::{Key, OverlayMsg, OverlayNode};
 use gloss_sim::{Input, Node, NodeIndex, Outbox, SimDuration, SimRng, SimTime, Topology, World};
@@ -60,7 +61,7 @@ impl StoreNetwork {
         let mut rng = SimRng::new(seed).fork("store-net");
         let directory: Vec<NodeSite> = topology
             .iter()
-            .map(|info| NodeSite { node: info.index, geo: info.geo, region: info.region.clone() })
+            .map(|info| NodeSite::new(info.index, info.geo, info.region.clone()))
             .collect();
         let mut nodes = Vec::with_capacity(n);
         for i in 0..n {
@@ -172,6 +173,19 @@ impl StoreNetwork {
         id
     }
 
+    /// Originates a lookup through the node's full client path — local
+    /// fast path, routing, and the retry/backoff plane. Unlike
+    /// [`lookup`](Self::lookup) (a raw injected route), an unanswered
+    /// request here is re-routed with exponential backoff and concludes
+    /// as a timeout outcome once the attempt budget is spent.
+    pub fn lookup_retrying(&mut self, node: NodeIndex, guid: Key) -> u64 {
+        self.next_req += 1;
+        let id = self.next_req;
+        self.req_origin.insert(id, node);
+        self.world.inject(node, node, StoreMsg::LocalLookup { guid, req_id: id });
+        id
+    }
+
     /// The outcome of a lookup, if concluded.
     pub fn result(&self, req_id: u64) -> Option<&LookupResult> {
         let origin = self.req_origin.get(&req_id)?;
@@ -199,8 +213,59 @@ impl StoreNetwork {
         self.world.crash(node);
     }
 
+    /// Crashes every node in `region` (correlated machine-room loss);
+    /// returns how many went down.
+    pub fn crash_region(&mut self, region: &str) -> usize {
+        let victims: Vec<NodeIndex> =
+            self.world.topology().in_region(region).map(|i| i.index).collect();
+        for &v in &victims {
+            self.world.crash(v);
+        }
+        victims.len()
+    }
+
+    /// Nodes currently alive.
+    pub fn alive_count(&self) -> usize {
+        (0..self.len() as u32).map(NodeIndex).filter(|&i| self.world.is_alive(i)).count()
+    }
+
+    /// A metrics counter's current value (e.g. `store.repair_puts`).
+    pub fn counter(&self, name: &str) -> f64 {
+        self.world.metrics().counter(name)
+    }
+
     /// Inserts `content` as `(m, n)` erasure-coded shards named
-    /// `name#shard{i}`; returns the shard GUIDs in index order.
+    /// `name#shard{i}` plus a `name#manifest` document (whose primary
+    /// becomes the object's repair coordinator); returns the shard GUIDs
+    /// in index order. All documents carry `priority`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ErasureError`] for invalid `(m, n)`.
+    pub fn insert_erasure_priority(
+        &mut self,
+        node: NodeIndex,
+        name: &str,
+        content: &[u8],
+        m: usize,
+        n: usize,
+        priority: Priority,
+    ) -> Result<Vec<Key>, ErasureError> {
+        let code = ErasureCode::new(m, n)?;
+        let shards = code.encode(content);
+        let mut guids = Vec::with_capacity(n);
+        for (i, shard) in shards.into_iter().enumerate() {
+            let doc = Document::new(format!("{name}#shard{i}"), shard).with_priority(priority);
+            guids.push(doc.guid);
+            self.insert(node, doc);
+        }
+        let manifest = FragmentManifest { base: name.to_string(), m, n, len: content.len() };
+        self.insert(node, manifest.to_doc(priority));
+        Ok(guids)
+    }
+
+    /// [`insert_erasure_priority`](Self::insert_erasure_priority) at
+    /// [`Priority::Normal`].
     ///
     /// # Errors
     ///
@@ -213,15 +278,18 @@ impl StoreNetwork {
         m: usize,
         n: usize,
     ) -> Result<Vec<Key>, ErasureError> {
-        let code = ErasureCode::new(m, n)?;
-        let shards = code.encode(content);
-        let mut guids = Vec::with_capacity(n);
-        for (i, shard) in shards.into_iter().enumerate() {
-            let doc = Document::new(format!("{name}#shard{i}"), shard);
-            guids.push(doc.guid);
-            self.insert(node, doc);
-        }
-        Ok(guids)
+        self.insert_erasure_priority(node, name, content, m, n, Priority::Normal)
+    }
+
+    /// How many of the `n` shards of erasure object `name` still have at
+    /// least one alive durable holder.
+    pub fn shards_alive(&self, name: &str, n: usize) -> usize {
+        (0..n)
+            .filter(|&i| {
+                let guid = Key::hash_of_str(&FragmentManifest::shard_name(name, i));
+                self.replica_count(guid) > 0
+            })
+            .count()
     }
 
     /// Fetches and reconstructs an erasure-coded object by issuing
@@ -374,6 +442,132 @@ mod tests {
         net.run_for(SimDuration::from_secs(60));
         let restored = net.reconstruct(&ids, 4, 8, content.len()).unwrap();
         assert_eq!(restored, content);
+    }
+
+    #[test]
+    fn crash_purges_replica_location_maps_network_wide() {
+        let cfg = StoreConfig {
+            replicas: 3,
+            heal_interval: SimDuration::from_secs(10),
+            ..Default::default()
+        };
+        let mut net = settled(16, cfg, 21);
+        let doc = Document::new("tracked-doc", vec![3u8; 128]);
+        net.insert(NodeIndex(0), doc.clone());
+        net.run_for(SimDuration::from_secs(40));
+        // Find the primary (the holder that believes it is responsible)
+        // and one acknowledged replica holder to kill.
+        let primary = (0..net.len() as u32)
+            .map(NodeIndex)
+            .find(|&i| {
+                let s = &net.world().node(i).store;
+                s.holds(doc.guid) && s.is_primary_for(doc.guid) && s.known_replicas(doc.guid) > 0
+            })
+            .expect("a primary with acknowledged replicas");
+        let victim = (0..net.len() as u32)
+            .map(NodeIndex)
+            .find(|&i| i != primary && net.world().node(i).store.holds(doc.guid))
+            .expect("a replica holder");
+        net.crash(victim);
+        // Probes detect the death; every node's failure drain then purges
+        // the dead peer from its location maps.
+        net.run_for(SimDuration::from_secs(90));
+        assert!(
+            net.counter("store.locations_purged") >= 1.0,
+            "crash purged at least one location entry"
+        );
+        assert!(
+            net.replica_count(doc.guid) >= 3,
+            "repair restored redundancy to {} alive holders",
+            net.replica_count(doc.guid)
+        );
+    }
+
+    #[test]
+    fn high_priority_documents_get_extra_replicas() {
+        let cfg = StoreConfig {
+            replicas: 2,
+            tier_high_extra: 2,
+            repair_interval: Some(SimDuration::from_secs(10)),
+            ..Default::default()
+        };
+        let mut net = settled(16, cfg, 22);
+        let high = Document::new("vital", vec![8u8; 64]).with_priority(Priority::High);
+        let low = Document::new("scratch", vec![8u8; 64]).with_priority(Priority::Low);
+        net.insert(NodeIndex(0), high.clone());
+        net.insert(NodeIndex(1), low.clone());
+        // The repair scan tops the high-tier doc up to replicas +
+        // tier_high_extra even though initial placement may find fewer
+        // usable targets.
+        net.run_for(SimDuration::from_secs(90));
+        assert!(
+            net.replica_count(high.guid) >= 4,
+            "high tier reached {} copies",
+            net.replica_count(high.guid)
+        );
+        assert!(net.replica_count(low.guid) >= 1);
+    }
+
+    #[test]
+    fn retrying_lookup_concludes_even_when_every_holder_crashed() {
+        let cfg = StoreConfig { replicas: 2, ..Default::default() };
+        let mut net = settled(16, cfg, 31);
+        let doc = Document::new("fragile", vec![9u8; 64]);
+        net.insert(NodeIndex(0), doc.clone());
+        net.run_for(SimDuration::from_secs(30));
+        let victims: Vec<NodeIndex> = (0..net.len() as u32)
+            .map(NodeIndex)
+            .filter(|&i| net.world().node(i).store.holds(doc.guid))
+            .collect();
+        assert!(!victims.is_empty());
+        let reader = (0..net.len() as u32)
+            .map(NodeIndex)
+            .find(|i| !victims.contains(i))
+            .expect("a surviving reader");
+        for v in victims {
+            net.crash(v);
+        }
+        // A raw routed lookup towards a dead holder would hang forever;
+        // the client-path lookup re-routes with backoff and concludes —
+        // as not-found or a timeout — within the retry budget.
+        let id = net.lookup_retrying(reader, doc.guid);
+        net.run_for(SimDuration::from_secs(90));
+        let r = net.result(id).expect("lookup never concluded despite retry plane");
+        assert!(r.doc.is_none(), "every durable copy died with the crash");
+    }
+
+    #[test]
+    fn fragment_repair_recreates_lost_shards() {
+        let cfg = StoreConfig {
+            replicas: 2,
+            heal_interval: SimDuration::from_secs(10),
+            repair_interval: Some(SimDuration::from_secs(10)),
+            ..Default::default()
+        };
+        let mut net = settled(20, cfg, 23);
+        let content: Vec<u8> = (0..600u32).map(|i| (i * 7 % 251) as u8).collect();
+        net.insert_erasure(NodeIndex(0), "sharded", &content, 3, 6).unwrap();
+        net.run_for(SimDuration::from_secs(40));
+        assert_eq!(net.shards_alive("sharded", 6), 6);
+        // Kill every durable holder of shard 4: no surviving copy, so
+        // only re-encoding from the other shards can bring it back.
+        let g4 = Key::hash_of_str("sharded#shard4");
+        let victims: Vec<NodeIndex> = (0..net.len() as u32)
+            .map(NodeIndex)
+            .filter(|&i| net.world().is_alive(i) && net.world().node(i).store.holds(g4))
+            .collect();
+        assert!(!victims.is_empty());
+        for v in victims {
+            net.crash(v);
+        }
+        assert!(net.shards_alive("sharded", 6) < 6, "shard 4 is gone");
+        net.run_for(SimDuration::from_secs(240));
+        assert_eq!(
+            net.shards_alive("sharded", 6),
+            6,
+            "repair pipeline re-encoded the lost shard from survivors"
+        );
+        assert!(net.counter("store.repair_shards") >= 1.0);
     }
 
     #[test]

@@ -13,10 +13,64 @@
 //!   location";
 //! * [`BackupPolicy`] — "seek to replicate data on a geographically remote
 //!   storage unit as soon as possible after it was created".
+//!
+//! On top of the reactive policies sits the *quota-aware placement
+//! planner* ([`plan_quota_targets`]): every replica push — initial
+//! placement and crash repair alike — filters candidates by advertised
+//! capacity and spreads copies across regions, so one full disk or one
+//! lost machine room never takes every copy with it.
 
 use gloss_overlay::Key;
 use gloss_sim::{GeoPoint, NodeIndex, SimTime};
 use std::collections::BTreeMap;
+
+/// Per-node storage quota: how many bytes a storage unit is willing to
+/// host for the overlay, how much of that is set aside for local use,
+/// and the free-space watermark below which it starts shedding
+/// lower-priority replicas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeCapacity {
+    /// Total bytes the node exposes to the storage plane.
+    pub max_bytes: u64,
+    /// Bytes held back from placement (local headroom).
+    pub reserved_bytes: u64,
+    /// Eviction watermark: once free space dips under this, the node is
+    /// over-committed and refuses new replicas / evicts low tiers.
+    pub min_free_bytes: u64,
+}
+
+impl Default for NodeCapacity {
+    fn default() -> Self {
+        NodeCapacity {
+            max_bytes: 64 * 1024 * 1024,
+            reserved_bytes: 4 * 1024 * 1024,
+            min_free_bytes: 1024 * 1024,
+        }
+    }
+}
+
+impl NodeCapacity {
+    /// Bytes actually placeable (max minus reserved).
+    pub fn budget(&self) -> u64 {
+        self.max_bytes.saturating_sub(self.reserved_bytes)
+    }
+
+    /// Placeable bytes left given `used` bytes already stored.
+    pub fn available(&self, used: u64) -> u64 {
+        self.budget().saturating_sub(used)
+    }
+
+    /// Whether a write of `size` bytes fits without crossing the
+    /// free-space watermark.
+    pub fn admits(&self, used: u64, size: u64) -> bool {
+        used.saturating_add(size).saturating_add(self.min_free_bytes) <= self.budget()
+    }
+
+    /// Whether the node has already dipped under its watermark.
+    pub fn over_watermark(&self, used: u64) -> bool {
+        self.available(used) < self.min_free_bytes
+    }
+}
 
 /// A lightweight directory entry describing a storage node (distributed
 /// dynamically by the deployment layer; static within one experiment).
@@ -28,6 +82,94 @@ pub struct NodeSite {
     pub geo: GeoPoint,
     /// Its region name.
     pub region: String,
+    /// Advertised storage quota.
+    pub capacity: NodeCapacity,
+}
+
+impl NodeSite {
+    /// A site with the default capacity profile.
+    pub fn new(node: NodeIndex, geo: GeoPoint, region: impl Into<String>) -> Self {
+        NodeSite { node, geo, region: region.into(), capacity: NodeCapacity::default() }
+    }
+
+    /// Overrides the advertised capacity.
+    pub fn with_capacity(mut self, capacity: NodeCapacity) -> Self {
+        self.capacity = capacity;
+        self
+    }
+}
+
+/// Quota- and diversity-aware replica target selection.
+///
+/// `candidates` come in preference order (typically ring distance to the
+/// GUID, as `replica_targets` computes) and the planner re-ranks them:
+///
+/// 1. candidates whose advertised quota cannot admit `size` more bytes
+///    (given what the planner knows of their usage — unknown usage is
+///    treated optimistically as zero, and the receiving node still
+///    enforces its own quota on arrival) are dropped;
+/// 2. a greedy pass prefers candidates in regions not yet holding a
+///    copy (seeded by `covered_regions`, usually the primary's region),
+///    breaking ties by available capacity (descending) and then by the
+///    caller's preference order — so under equal pressure the plan
+///    degrades to exactly the classic closest-in-ring placement;
+/// 3. once every region is covered, remaining slots fill by available
+///    capacity, same tie-break.
+///
+/// Entirely deterministic: no randomness, and every comparison grounds
+/// out in the caller-supplied ordering.
+pub fn plan_quota_targets(
+    size: u64,
+    want: usize,
+    covered_regions: &[&str],
+    candidates: &[NodeIndex],
+    directory: &[NodeSite],
+    used_bytes: &BTreeMap<NodeIndex, u64>,
+) -> Vec<NodeIndex> {
+    struct Cand<'a> {
+        node: NodeIndex,
+        region: Option<&'a str>,
+        avail: u64,
+        pref: usize,
+    }
+    let mut pool: Vec<Cand<'_>> = Vec::with_capacity(candidates.len());
+    for (pref, &node) in candidates.iter().enumerate() {
+        let site = directory.iter().find(|s| s.node == node);
+        let cap = site.map(|s| s.capacity).unwrap_or_default();
+        let used = used_bytes.get(&node).copied().unwrap_or(0);
+        if !cap.admits(used, size) {
+            continue;
+        }
+        pool.push(Cand {
+            node,
+            region: site.map(|s| s.region.as_str()),
+            avail: cap.available(used),
+            pref,
+        });
+    }
+    fn best(pool: &[Cand<'_>], covered: &[String], fresh_only: bool) -> Option<usize> {
+        pool.iter()
+            .enumerate()
+            .filter(|(_, c)| {
+                !fresh_only || c.region.map(|r| !covered.iter().any(|v| v == r)).unwrap_or(true)
+            })
+            .min_by(|(_, a), (_, b)| b.avail.cmp(&a.avail).then(a.pref.cmp(&b.pref)))
+            .map(|(i, _)| i)
+    }
+    let mut covered: Vec<String> = covered_regions.iter().map(|r| r.to_string()).collect();
+    let mut chosen = Vec::with_capacity(want);
+    while chosen.len() < want && !pool.is_empty() {
+        // Prefer a region we have no copy in yet; otherwise anyone.
+        let pick = best(&pool, &covered, true)
+            .or_else(|| best(&pool, &covered, false))
+            .expect("pool is non-empty");
+        let c = pool.remove(pick);
+        if let Some(r) = c.region {
+            covered.push(r.to_string());
+        }
+        chosen.push(c.node);
+    }
+    chosen
 }
 
 /// An action requested by a placement policy.
@@ -209,7 +351,7 @@ mod tests {
     use super::*;
 
     fn site(node: u32, region: &str, lat: f64, lon: f64) -> NodeSite {
-        NodeSite { node: NodeIndex(node), geo: GeoPoint::new(lat, lon), region: region.into() }
+        NodeSite::new(NodeIndex(node), GeoPoint::new(lat, lon), region)
     }
 
     fn directory() -> Vec<NodeSite> {
@@ -304,5 +446,86 @@ mod tests {
         let guid = Key::hash_of_str("doc");
         let dir = directory();
         assert!(p.on_create(guid, &dir[0], SimTime::ZERO, &dir, &[NodeIndex(0)]).is_empty());
+    }
+
+    #[test]
+    fn capacity_admission_and_watermark() {
+        let cap = NodeCapacity { max_bytes: 100, reserved_bytes: 20, min_free_bytes: 10 };
+        assert_eq!(cap.budget(), 80);
+        assert_eq!(cap.available(30), 50);
+        assert!(cap.admits(30, 40)); // 30 + 40 + 10 = 80 fits exactly
+        assert!(!cap.admits(30, 41));
+        assert!(!cap.over_watermark(70));
+        assert!(cap.over_watermark(71));
+    }
+
+    #[test]
+    fn planner_skips_full_nodes() {
+        let tiny = NodeCapacity { max_bytes: 8, reserved_bytes: 0, min_free_bytes: 0 };
+        let dir = vec![
+            site(0, "scotland", 56.3, -3.0).with_capacity(tiny),
+            site(1, "england", 51.5, -0.1),
+            site(2, "europe", 48.8, 2.3),
+        ];
+        let used = BTreeMap::new();
+        let plan = plan_quota_targets(
+            100,
+            2,
+            &[],
+            &[NodeIndex(0), NodeIndex(1), NodeIndex(2)],
+            &dir,
+            &used,
+        );
+        assert_eq!(plan, vec![NodeIndex(1), NodeIndex(2)], "full node 0 must be skipped");
+    }
+
+    #[test]
+    fn planner_prefers_region_diversity() {
+        let dir = vec![
+            site(0, "scotland", 56.3, -3.0),
+            site(1, "scotland", 56.0, -3.5),
+            site(2, "australia", -33.9, 151.2),
+        ];
+        let used = BTreeMap::new();
+        // Primary already sits in scotland: the first pick must jump to
+        // australia even though both scotland nodes are preferred by ring
+        // order.
+        let plan = plan_quota_targets(
+            10,
+            2,
+            &["scotland"],
+            &[NodeIndex(0), NodeIndex(1), NodeIndex(2)],
+            &dir,
+            &used,
+        );
+        assert_eq!(plan[0], NodeIndex(2), "uncovered region wins the first slot");
+        assert_eq!(plan.len(), 2);
+    }
+
+    #[test]
+    fn planner_breaks_ties_by_available_capacity_then_preference() {
+        let big = NodeCapacity { max_bytes: 1 << 30, ..NodeCapacity::default() };
+        let dir = vec![
+            site(0, "scotland", 56.3, -3.0),
+            site(1, "scotland", 56.0, -3.5).with_capacity(big),
+        ];
+        let mut used = BTreeMap::new();
+        let plan = plan_quota_targets(10, 1, &[], &[NodeIndex(0), NodeIndex(1)], &dir, &used);
+        assert_eq!(plan, vec![NodeIndex(1)], "more available capacity wins");
+        // Equal capacity: caller preference order decides.
+        used.insert(NodeIndex(1), (1 << 30) - (64 * 1024 * 1024));
+        let plan = plan_quota_targets(10, 1, &[], &[NodeIndex(0), NodeIndex(1)], &dir, &used);
+        assert_eq!(plan, vec![NodeIndex(0)]);
+    }
+
+    #[test]
+    fn planner_is_deterministic_and_bounded() {
+        let dir = directory();
+        let used = BTreeMap::new();
+        let cands = [NodeIndex(0), NodeIndex(1), NodeIndex(2), NodeIndex(3)];
+        let a = plan_quota_targets(5, 10, &[], &cands, &dir, &used);
+        let b = plan_quota_targets(5, 10, &[], &cands, &dir, &used);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 4, "cannot return more targets than candidates");
     }
 }

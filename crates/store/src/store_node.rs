@@ -3,19 +3,32 @@
 //! placement policies.
 
 use crate::cache::LruCache;
-use crate::document::Document;
+use crate::document::{Document, Priority};
+use crate::erasure::ErasureCode;
 use crate::placement::{
-    BackupPolicy, LatencyReductionPolicy, NodeSite, PlacementAction, PlacementPolicy,
+    plan_quota_targets, BackupPolicy, LatencyReductionPolicy, NodeCapacity, NodeSite,
+    PlacementAction, PlacementPolicy,
 };
+use crate::repair::{FragmentManifest, RepairScheduler};
 use gloss_overlay::{Key, OverlayMsg, OverlayNode};
-use gloss_sim::{FnvHashMap, NodeIndex, Outbox, SimDuration, SimTime};
+use gloss_sim::{splitmix64, splitmix_unit, FnvHashMap, NodeIndex, Outbox, SimDuration, SimTime};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Timer tags private to the storage layer (overlay tags pass through).
 pub mod timers {
     /// Periodic replica audit (self-healing).
     pub const HEAL: u64 = 0x20;
+    /// Repair pipeline scan (under-replication + fragment audits).
+    pub const REPAIR: u64 = 0x21;
+    /// One-shot sweep of lookup retry/timeout deadlines.
+    pub const LOOKUP_RETRY: u64 = 0x22;
 }
+
+/// High bit marking request ids minted by the storage layer itself
+/// (fragment audits); their outcomes feed the repair pipeline instead of
+/// the embedder-visible [`StoreNode::outcomes`] map. Embedder request
+/// ids must stay below this bit.
+pub const INTERNAL_REQ_BIT: u64 = 1 << 63;
 
 /// Payloads routed through the overlay.
 #[derive(Debug, Clone, PartialEq)]
@@ -53,10 +66,23 @@ pub enum StoreMsg {
     /// [`StorePayload`]s.
     Overlay(OverlayMsg<StorePayload>),
     /// Push a durable replica (idempotent; receivers keep the highest
-    /// version).
+    /// version). Answered with a [`StoreMsg::ReplicaPutAck`].
     ReplicaPut {
         /// The document.
         doc: Document,
+    },
+    /// Answer to a [`StoreMsg::ReplicaPut`]: whether the receiver kept
+    /// the replica, and its current durable usage — the capacity gossip
+    /// that feeds the sender's quota-aware placement planner.
+    ReplicaPutAck {
+        /// The document acknowledged.
+        guid: Key,
+        /// Whether the replica was (or already is) durably stored; a
+        /// refusal means the receiver's quota is exhausted and the
+        /// sender should place elsewhere.
+        accepted: bool,
+        /// The receiver's durable bytes after handling the put.
+        used_bytes: u64,
     },
     /// Push a cached copy (promiscuous caching; evictable).
     CachePush {
@@ -99,6 +125,16 @@ pub enum StoreMsg {
         /// When the lookup was issued.
         issued_at: SimTime,
     },
+    /// Harness request: originate a lookup from this node through the
+    /// full client path — local fast path, routing, and the retry /
+    /// backoff plane (unlike a raw injected `Route`, which bypasses
+    /// retries).
+    LocalLookup {
+        /// The GUID to look up.
+        guid: Key,
+        /// Correlation id for [`StoreNode::outcomes`].
+        req_id: u64,
+    },
 }
 
 /// The outcome of a lookup, recorded at the requesting node.
@@ -133,6 +169,28 @@ pub struct StoreConfig {
     /// Backup policy: minimum distance (km) for the creation-time remote
     /// replica (`None` = off).
     pub backup_policy_min_km: Option<f64>,
+    /// Extra replicas for [`Priority::High`] documents.
+    pub tier_high_extra: usize,
+    /// Replicas trimmed from [`Priority::Low`] documents (floored at 1).
+    pub tier_low_cut: usize,
+    /// Shed lower-priority non-primary replicas when a write would cross
+    /// the capacity watermark.
+    pub eviction_enabled: bool,
+    /// Repair pipeline scan cadence (`None` disables the pipeline;
+    /// per-node jitter of ±25% is applied to each tick).
+    pub repair_interval: Option<SimDuration>,
+    /// Sustained repair transfers per second a node will initiate.
+    pub repair_rate_per_sec: f64,
+    /// Repair transfer burst (token-bucket capacity).
+    pub repair_burst: f64,
+    /// Outstanding repair transfers allowed per target peer.
+    pub repair_inflight_per_peer: usize,
+    /// Retries for an unanswered lookup before reporting a timeout
+    /// (`0` disables retry but keeps the timeout).
+    pub lookup_retries: u32,
+    /// Base per-attempt lookup deadline; doubles each retry, jittered
+    /// ±25% so synchronised readers do not re-storm a recovering node.
+    pub lookup_timeout: SimDuration,
 }
 
 impl Default for StoreConfig {
@@ -144,8 +202,41 @@ impl Default for StoreConfig {
             heal_interval: SimDuration::from_secs(30),
             latency_policy_threshold: None,
             backup_policy_min_km: None,
+            tier_high_extra: 1,
+            tier_low_cut: 1,
+            eviction_enabled: true,
+            repair_interval: Some(SimDuration::from_secs(10)),
+            repair_rate_per_sec: 8.0,
+            repair_burst: 4.0,
+            repair_inflight_per_peer: 2,
+            lookup_retries: 3,
+            lookup_timeout: SimDuration::from_secs(2),
         }
     }
+}
+
+/// A lookup this node issued and has not yet seen answered: the retry
+/// plane re-routes it when its deadline lapses and reports a timeout
+/// outcome once the attempt budget is spent.
+#[derive(Debug, Clone)]
+struct PendingLookup {
+    guid: Key,
+    min_version: u64,
+    issued_at: SimTime,
+    attempts: u32,
+    deadline: SimTime,
+}
+
+/// An in-flight fragment audit: one internal lookup per shard; once all
+/// resolve, missing shards are re-encoded from the survivors.
+#[derive(Debug, Clone)]
+struct FragmentRepair {
+    manifest: FragmentManifest,
+    priority: Priority,
+    /// Outstanding internal request id → shard index.
+    pending: BTreeMap<u64, usize>,
+    found: BTreeMap<usize, Vec<u8>>,
+    missing: BTreeSet<usize>,
 }
 
 /// A storage node (storelet) embedding an overlay node.
@@ -164,6 +255,25 @@ pub struct StoreNode {
     /// Outcomes of lookups issued from this node, by request id (FNV:
     /// written once per lookup, probed by the discovery/ingest hooks).
     pub outcomes: FnvHashMap<u64, LookupOutcome>,
+    /// Durable bytes stored locally (replicas + primaries).
+    used: u64,
+    /// Last advertised durable usage of each peer (from
+    /// [`StoreMsg::ReplicaPutAck`]s); feeds the placement planner.
+    peer_used: BTreeMap<NodeIndex, u64>,
+    /// Where the replicas of each document this node is primary for are
+    /// known (acknowledged) to live. Purged when the overlay declares a
+    /// holder dead; the repair scan replaces the lost copies.
+    replica_locations: BTreeMap<Key, BTreeSet<NodeIndex>>,
+    /// Lookups awaiting a reply, by request id.
+    pending_lookups: BTreeMap<u64, PendingLookup>,
+    /// Fragment audits in flight, by manifest GUID.
+    repairs: BTreeMap<Key, FragmentRepair>,
+    /// Anti-storm pacing for repair traffic.
+    scheduler: RepairScheduler,
+    /// Internal request id counter (fragment audits).
+    internal_req: u64,
+    /// Private jitter stream (retry deadlines).
+    rng: u64,
 }
 
 impl StoreNode {
@@ -178,6 +288,15 @@ impl StoreNode {
         let cache = LruCache::new(cfg.cache_capacity);
         let latency_policy = cfg.latency_policy_threshold.map(LatencyReductionPolicy::new);
         let backup_policy = cfg.backup_policy_min_km.map(BackupPolicy::new);
+        let key = overlay.id().key.0;
+        let mut rng = (key as u64) ^ ((key >> 64) as u64) ^ ((me.0 as u64) << 32);
+        splitmix64(&mut rng);
+        let scheduler = RepairScheduler::new(
+            cfg.repair_rate_per_sec,
+            cfg.repair_burst,
+            cfg.repair_inflight_per_peer,
+            rng,
+        );
         StoreNode {
             me,
             overlay,
@@ -189,6 +308,14 @@ impl StoreNode {
             backup_policy,
             policy_holders: BTreeMap::new(),
             outcomes: FnvHashMap::default(),
+            used: 0,
+            peer_used: BTreeMap::new(),
+            replica_locations: BTreeMap::new(),
+            pending_lookups: BTreeMap::new(),
+            repairs: BTreeMap::new(),
+            scheduler,
+            internal_req: 0,
+            rng,
         }
     }
 
@@ -222,23 +349,68 @@ impl StoreNode {
         (self.cache.hits, self.cache.misses)
     }
 
-    /// Cold start: reset overlay state and arm the heal timer.
+    /// Durable bytes stored locally.
+    pub fn used_bytes(&self) -> u64 {
+        self.used
+    }
+
+    /// This node's advertised capacity (directory entry, or the default
+    /// profile when the deployment layer did not describe it).
+    pub fn capacity(&self) -> NodeCapacity {
+        self.site_of(self.me).map(|s| s.capacity).unwrap_or_default()
+    }
+
+    /// Acknowledged replica holders of `guid` (primary-side knowledge).
+    pub fn known_replicas(&self, guid: Key) -> usize {
+        self.replica_locations.get(&guid).map_or(0, BTreeSet::len)
+    }
+
+    /// The replica target for a document of the given tier.
+    pub fn target_replicas(&self, p: Priority) -> usize {
+        match p {
+            Priority::High => self.cfg.replicas + self.cfg.tier_high_extra,
+            Priority::Normal => self.cfg.replicas,
+            Priority::Low => self.cfg.replicas.saturating_sub(self.cfg.tier_low_cut).max(1),
+        }
+    }
+
+    /// Cold start: reset overlay state and arm the periodic timers.
     pub fn on_start(&mut self, out: &mut Outbox<StoreMsg>) {
         let mut oout = Outbox::new();
         self.overlay.on_start(&mut oout);
         oout.transfer_into(out, StoreMsg::Overlay);
         out.timer(self.cfg.heal_interval, timers::HEAL);
+        if let Some(iv) = self.cfg.repair_interval {
+            // Jittered per node so regional crashes do not produce a
+            // synchronised wall of repair scans.
+            let delay = self.scheduler.backoff(iv);
+            out.timer(delay, timers::REPAIR);
+        }
     }
 
-    /// Timer dispatch (overlay tags pass through; `HEAL` audits replicas).
+    /// Timer dispatch (overlay tags pass through; `HEAL` audits replicas,
+    /// `REPAIR` runs the self-healing scan, `LOOKUP_RETRY` sweeps lookup
+    /// deadlines).
     pub fn on_timer(&mut self, now: SimTime, tag: u64, out: &mut Outbox<StoreMsg>) {
-        if tag == timers::HEAL {
-            self.heal(out);
-            out.timer(self.cfg.heal_interval, timers::HEAL);
-        } else {
-            let mut oout = Outbox::new();
-            self.overlay.on_timer(now, tag, &mut oout);
-            oout.transfer_into(out, StoreMsg::Overlay);
+        match tag {
+            timers::HEAL => {
+                self.heal(out);
+                out.timer(self.cfg.heal_interval, timers::HEAL);
+            }
+            timers::REPAIR => {
+                self.repair_tick(now, out);
+                if let Some(iv) = self.cfg.repair_interval {
+                    let delay = self.scheduler.backoff(iv);
+                    out.timer(delay, timers::REPAIR);
+                }
+            }
+            timers::LOOKUP_RETRY => self.retry_sweep(now, out),
+            _ => {
+                let mut oout = Outbox::new();
+                self.overlay.on_timer(now, tag, &mut oout);
+                oout.transfer_into(out, StoreMsg::Overlay);
+                self.drain_failures(out);
+            }
         }
     }
 
@@ -275,6 +447,321 @@ impl StoreNode {
         }
     }
 
+    /// Initial replica placement for a document rooted here: the quota
+    /// planner re-ranks the ring-closest usable leaf members by
+    /// advertised capacity and region diversity.
+    fn placement_targets(&self, guid: Key, doc: &Document) -> Vec<NodeIndex> {
+        let want = self.target_replicas(doc.priority).saturating_sub(1);
+        let mut members = self.overlay.usable_leaf_members();
+        members.sort_by_key(|m| m.key.ring_distance(guid));
+        let candidates: Vec<NodeIndex> = members.into_iter().map(|m| m.node).collect();
+        let covered: Vec<String> =
+            self.site_of(self.me).map(|s| vec![s.region.clone()]).unwrap_or_default();
+        let covered_refs: Vec<&str> = covered.iter().map(String::as_str).collect();
+        plan_quota_targets(
+            doc.size() as u64,
+            want,
+            &covered_refs,
+            &candidates,
+            &self.directory,
+            &self.peer_used,
+        )
+    }
+
+    /// One repair scan: re-replicate documents this node is primary for
+    /// that have fallen under their tier target, and audit the shard
+    /// sets of erasure manifests rooted here. All transfers pass through
+    /// the scheduler — deferred work is retried on the next tick.
+    fn repair_tick(&mut self, now: SimTime, out: &mut Outbox<StoreMsg>) {
+        let primaries: Vec<(Key, Document)> = self
+            .store
+            .iter()
+            .filter(|(g, _)| self.is_primary_for(**g))
+            .map(|(g, d)| (*g, d.clone()))
+            .collect();
+        for (guid, doc) in &primaries {
+            let target = self.target_replicas(doc.priority);
+            let holders = self.replica_locations.get(guid).cloned().unwrap_or_default();
+            let have = holders.len() + 1; // + this primary
+            if have >= target {
+                continue;
+            }
+            out.count("store.repair_underreplicated", 1.0);
+            let mut members = self.overlay.usable_leaf_members();
+            members.sort_by_key(|m| m.key.ring_distance(*guid));
+            let candidates: Vec<NodeIndex> = members
+                .into_iter()
+                .map(|m| m.node)
+                .filter(|n| !holders.contains(n) && *n != self.me)
+                .collect();
+            let mut covered: Vec<String> =
+                holders.iter().filter_map(|h| self.site_of(*h).map(|s| s.region.clone())).collect();
+            if let Some(s) = self.site_of(self.me) {
+                covered.push(s.region.clone());
+            }
+            let covered_refs: Vec<&str> = covered.iter().map(String::as_str).collect();
+            let plan = plan_quota_targets(
+                doc.size() as u64,
+                target - have,
+                &covered_refs,
+                &candidates,
+                &self.directory,
+                &self.peer_used,
+            );
+            for t in plan {
+                if self.scheduler.try_grant(now, t) {
+                    out.count("store.repair_puts", 1.0);
+                    out.count("store.repair_bytes", doc.size() as f64);
+                    out.send(t, StoreMsg::ReplicaPut { doc: doc.clone() });
+                } else {
+                    out.count("store.repair_deferred", 1.0);
+                }
+            }
+        }
+        // Fragment audits: the manifest's primary is the coordinator.
+        // One scheduler grant per audit (held until it concludes) caps
+        // concurrency; the budget is shared with replica repair above.
+        for (mguid, doc) in &primaries {
+            let Some(manifest) = FragmentManifest::parse(doc) else { continue };
+            if self.repairs.contains_key(mguid) {
+                continue;
+            }
+            if !self.scheduler.try_grant(now, self.me) {
+                out.count("store.repair_deferred", 1.0);
+                break;
+            }
+            out.count("store.repair_audits", 1.0);
+            self.start_fragment_audit(*mguid, manifest, doc.priority, now, out);
+        }
+    }
+
+    /// Issues one internal lookup per shard of `manifest`; outcomes are
+    /// routed back through [`on_internal_outcome`](Self::on_internal_outcome).
+    fn start_fragment_audit(
+        &mut self,
+        mguid: Key,
+        manifest: FragmentManifest,
+        priority: Priority,
+        now: SimTime,
+        out: &mut Outbox<StoreMsg>,
+    ) {
+        let mut reqs: Vec<(u64, usize, Key)> = Vec::with_capacity(manifest.n);
+        for i in 0..manifest.n {
+            self.internal_req += 1;
+            let req = INTERNAL_REQ_BIT | self.internal_req;
+            let shard_guid = Key::hash_of_str(&FragmentManifest::shard_name(&manifest.base, i));
+            reqs.push((req, i, shard_guid));
+        }
+        // Register the audit before issuing: a shard held locally
+        // resolves synchronously inside lookup_min_version.
+        self.repairs.insert(
+            mguid,
+            FragmentRepair {
+                manifest,
+                priority,
+                pending: reqs.iter().map(|(r, i, _)| (*r, *i)).collect(),
+                found: BTreeMap::new(),
+                missing: BTreeSet::new(),
+            },
+        );
+        for (req, _, shard_guid) in reqs {
+            // An unsatisfiable version floor pushes the probe past every
+            // promiscuous cache to the shard's responsible node: the
+            // audit must measure durable redundancy, and a cache hit
+            // en route would mask a shard whose holders all crashed.
+            self.lookup_min_version(shard_guid, u64::MAX, req, now, out);
+        }
+    }
+
+    /// Receives the outcome of one internal shard lookup; when the last
+    /// one lands, the audit concludes.
+    fn on_internal_outcome(
+        &mut self,
+        req: u64,
+        outcome: LookupOutcome,
+        now: SimTime,
+        out: &mut Outbox<StoreMsg>,
+    ) {
+        let Some(mguid) =
+            self.repairs.iter().find(|(_, fr)| fr.pending.contains_key(&req)).map(|(g, _)| *g)
+        else {
+            return; // late duplicate reply after the audit concluded
+        };
+        let fr = self.repairs.get_mut(&mguid).expect("found above");
+        let idx = fr.pending.remove(&req).expect("found above");
+        match outcome.doc {
+            Some(d) if !outcome.from_cache => {
+                fr.found.insert(idx, d.content.to_vec());
+            }
+            Some(d) => {
+                // The responsible node answered from its *cache*: the
+                // bytes survive but no durable authority holds them.
+                // Keep them (they spare a decode) and repair the shard.
+                fr.found.insert(idx, d.content.to_vec());
+                fr.missing.insert(idx);
+            }
+            None => {
+                fr.missing.insert(idx);
+            }
+        }
+        if fr.pending.is_empty() {
+            let fr = self.repairs.remove(&mguid).expect("present");
+            self.scheduler.complete(self.me);
+            self.finish_fragment_audit(fr, now, out);
+        }
+    }
+
+    /// All shard lookups resolved: re-encode whatever is missing from
+    /// the survivors and re-insert it through normal (quota-aware)
+    /// placement. Systematic Reed–Solomon makes the repaired bytes
+    /// byte-identical to the originals.
+    fn finish_fragment_audit(
+        &mut self,
+        fr: FragmentRepair,
+        _now: SimTime,
+        out: &mut Outbox<StoreMsg>,
+    ) {
+        if fr.missing.is_empty() {
+            out.count("store.repair_audits_clean", 1.0);
+            return;
+        }
+        let (m, n) = (fr.manifest.m, fr.manifest.n);
+        let mut bytes_of = fr.found;
+        // Shards whose bytes arrived (e.g. cache-served) re-insert as-is;
+        // the rest must be re-encoded from any m survivors.
+        if fr.missing.iter().any(|i| !bytes_of.contains_key(i)) {
+            if bytes_of.len() < m {
+                // Fewer than m survivors: unrecoverable for now; the next
+                // scan retries in case survivors were merely unreachable.
+                out.count("store.repair_unrecoverable", 1.0);
+                return;
+            }
+            let Ok(code) = ErasureCode::new(m, n) else {
+                out.count("store.repair_bad_manifest", 1.0);
+                return;
+            };
+            let survivors: Vec<(usize, Vec<u8>)> =
+                bytes_of.iter().map(|(i, b)| (*i, b.clone())).collect();
+            let Ok(data) = code.decode(&survivors, fr.manifest.len) else {
+                out.count("store.repair_decode_failed", 1.0);
+                return;
+            };
+            let shards = code.encode(&data);
+            for (idx, shard) in shards.into_iter().enumerate() {
+                bytes_of.entry(idx).or_insert(shard);
+            }
+        }
+        for idx in fr.missing {
+            let shard = bytes_of.get(&idx).expect("present or re-encoded").clone();
+            let name = FragmentManifest::shard_name(&fr.manifest.base, idx);
+            let doc = Document::new(name, shard).with_priority(fr.priority);
+            out.count("store.repair_shards", 1.0);
+            out.count("store.repair_bytes", doc.size() as f64);
+            self.insert(doc, out);
+        }
+    }
+
+    /// A jittered deadline for lookup attempt number `attempt`
+    /// (exponential: base × 2^attempt, ±25%).
+    fn retry_delay(&mut self, attempt: u32) -> SimDuration {
+        let base = self.cfg.lookup_timeout.as_micros().saturating_mul(1u64 << attempt.min(16));
+        let unit = splitmix_unit(&mut self.rng);
+        let factor = 0.75 + 0.5 * unit;
+        SimDuration::from_micros(((base as f64) * factor).round().max(1.0) as u64)
+    }
+
+    /// Sweeps lookup deadlines: re-routes lapsed requests with budget
+    /// left, reports a timeout outcome for the rest.
+    fn retry_sweep(&mut self, now: SimTime, out: &mut Outbox<StoreMsg>) {
+        let due: Vec<u64> = self
+            .pending_lookups
+            .iter()
+            .filter(|(_, p)| p.deadline <= now)
+            .map(|(r, _)| *r)
+            .collect();
+        for req in due {
+            let mut p = self.pending_lookups.remove(&req).expect("collected above");
+            if p.attempts >= self.cfg.lookup_retries {
+                out.count("store.lookups_timeout", 1.0);
+                let o = LookupOutcome {
+                    guid: p.guid,
+                    doc: None,
+                    latency: now.since(p.issued_at),
+                    from_cache: false,
+                    hops: 0,
+                };
+                self.record_outcome(req, o, now, out);
+                continue;
+            }
+            p.attempts += 1;
+            out.count("store.lookups_retried", 1.0);
+            // Re-route: the previous carrier is presumed lost with a
+            // crashed hop (or the responsible node died holding it).
+            let payload = StorePayload::Lookup {
+                guid: p.guid,
+                reply_to: self.me,
+                req_id: req,
+                issued_at: p.issued_at,
+                path: vec![self.me],
+                min_version: p.min_version,
+            };
+            let mut oout = Outbox::new();
+            let delivered = self.overlay.route(p.guid, payload, &mut oout);
+            oout.transfer_into(out, StoreMsg::Overlay);
+            if delivered.is_some() {
+                // The ring shrank onto us: answer authoritatively.
+                let outcome = match self.local_copy(p.guid) {
+                    Some((doc, from_cache)) => {
+                        out.count("store.lookups_ok", 1.0);
+                        out.observe("store.lookup_ms", now.since(p.issued_at).as_secs_f64() * 1e3);
+                        if from_cache {
+                            out.count("store.cache_served", 1.0);
+                        }
+                        LookupOutcome {
+                            guid: p.guid,
+                            doc: Some(doc),
+                            latency: now.since(p.issued_at),
+                            from_cache,
+                            hops: 0,
+                        }
+                    }
+                    None => {
+                        out.count("store.lookups_missing", 1.0);
+                        LookupOutcome {
+                            guid: p.guid,
+                            doc: None,
+                            latency: now.since(p.issued_at),
+                            from_cache: false,
+                            hops: 0,
+                        }
+                    }
+                };
+                self.record_outcome(req, outcome, now, out);
+            } else {
+                let delay = self.retry_delay(p.attempts);
+                p.deadline = now + delay;
+                out.timer(delay, timers::LOOKUP_RETRY);
+                self.pending_lookups.insert(req, p);
+            }
+        }
+    }
+
+    /// Routes a finished lookup to its consumer: the embedder-visible
+    /// outcomes map, or the repair pipeline for internal requests.
+    fn record_outcome(
+        &mut self,
+        req_id: u64,
+        outcome: LookupOutcome,
+        now: SimTime,
+        out: &mut Outbox<StoreMsg>,
+    ) {
+        if req_id & INTERNAL_REQ_BIT != 0 {
+            self.on_internal_outcome(req_id, outcome, now, out);
+        } else {
+            self.outcomes.insert(req_id, outcome);
+        }
+    }
+
     fn site_of(&self, node: NodeIndex) -> Option<&NodeSite> {
         self.directory.iter().find(|s| s.node == node)
     }
@@ -301,9 +788,64 @@ impl StoreNode {
     fn put_local(&mut self, doc: Document) -> bool {
         match self.store.get(&doc.guid) {
             Some(existing) if existing.version >= doc.version => false,
-            _ => {
+            existing => {
+                let old = existing.map_or(0, |d| d.size() as u64);
+                self.used = self.used.saturating_sub(old).saturating_add(doc.size() as u64);
                 self.store.insert(doc.guid, doc);
                 true
+            }
+        }
+    }
+
+    /// Makes room for `need` more bytes, shedding strictly-lower-priority
+    /// replicas this node is not primary for (lowest tier first, then
+    /// GUID order — deterministic). Returns whether the write now fits.
+    fn make_room(&mut self, need: u64, incoming: Priority, out: &mut Outbox<StoreMsg>) -> bool {
+        let cap = self.capacity();
+        if cap.admits(self.used, need) {
+            return true;
+        }
+        if !self.cfg.eviction_enabled {
+            return false;
+        }
+        let mut victims: Vec<(Priority, Key, u64)> = self
+            .store
+            .iter()
+            .filter(|(g, d)| d.priority < incoming && !self.is_primary_for(**g))
+            .map(|(g, d)| (d.priority, *g, d.size() as u64))
+            .collect();
+        victims.sort();
+        for (_, guid, size) in victims {
+            if cap.admits(self.used, need) {
+                break;
+            }
+            self.store.remove(&guid);
+            self.used = self.used.saturating_sub(size);
+            out.count("store.evictions", 1.0);
+        }
+        cap.admits(self.used, need)
+    }
+
+    /// Forgets everything predicated on `peer` being alive: replica
+    /// location entries, policy holder records, advertised usage, and
+    /// repair in-flight slots. Runs for every peer the overlay declares
+    /// dead, so the repair scan sees true (not wishful) redundancy.
+    fn drain_failures(&mut self, out: &mut Outbox<StoreMsg>) {
+        for peer in self.overlay.take_failed() {
+            let mut purged = 0u64;
+            self.replica_locations.retain(|_, holders| {
+                if holders.remove(&peer) {
+                    purged += 1;
+                }
+                !holders.is_empty()
+            });
+            for holders in self.policy_holders.values_mut() {
+                holders.remove(&peer);
+            }
+            self.peer_used.remove(&peer);
+            self.scheduler.forget_peer(peer);
+            if purged > 0 {
+                out.count("store.locations_purged", purged as f64);
             }
         }
     }
@@ -333,8 +875,37 @@ impl StoreNode {
         match msg {
             StoreMsg::Overlay(omsg) => self.handle_overlay(now, from, omsg, out),
             StoreMsg::ReplicaPut { doc } => {
-                if self.put_local(doc) {
-                    out.count("store.replica_puts", 1.0);
+                let guid = doc.guid;
+                let already = self.store.get(&guid).is_some_and(|d| d.version >= doc.version);
+                let accepted = if already {
+                    true
+                } else {
+                    let old = self.store.get(&guid).map_or(0, |d| d.size() as u64);
+                    let extra = (doc.size() as u64).saturating_sub(old);
+                    if self.make_room(extra, doc.priority, out) {
+                        if self.put_local(doc) {
+                            out.count("store.replica_puts", 1.0);
+                        }
+                        true
+                    } else {
+                        out.count("store.replica_rejected", 1.0);
+                        false
+                    }
+                };
+                out.send(from, StoreMsg::ReplicaPutAck { guid, accepted, used_bytes: self.used });
+            }
+            StoreMsg::ReplicaPutAck { guid, accepted, used_bytes } => {
+                self.peer_used.insert(from, used_bytes);
+                self.scheduler.complete(from);
+                if accepted {
+                    self.replica_locations.entry(guid).or_default().insert(from);
+                } else {
+                    // The peer's quota refused us: stop counting it and
+                    // let the next repair scan place elsewhere.
+                    out.count("store.replica_refused", 1.0);
+                    if let Some(holders) = self.replica_locations.get_mut(&guid) {
+                        holders.remove(&from);
+                    }
                 }
             }
             StoreMsg::CachePush { doc } => {
@@ -347,14 +918,36 @@ impl StoreNode {
                 out.send(from, StoreMsg::HaveReplicaAck { guid, have });
             }
             StoreMsg::HaveReplicaAck { guid, have } => {
-                if !have {
-                    if let Some(doc) = self.store.get(&guid).cloned() {
-                        out.count("store.heal_puts", 1.0);
-                        out.send(from, StoreMsg::ReplicaPut { doc });
-                    }
+                if have {
+                    self.replica_locations.entry(guid).or_default().insert(from);
+                } else if let Some(doc) = self.store.get(&guid).cloned() {
+                    out.count("store.heal_puts", 1.0);
+                    out.send(from, StoreMsg::ReplicaPut { doc });
                 }
             }
             StoreMsg::FetchReply { req_id, doc, issued_at, from_cache, hops } => {
+                self.pending_lookups.remove(&req_id);
+                // First conclusion wins: re-routing delivers at least
+                // once, so a request the retry plane already concluded
+                // (or a slow original racing its own re-route) can see a
+                // second reply. Dropping it keeps outcomes — and their
+                // latencies — deterministic.
+                if req_id & INTERNAL_REQ_BIT == 0 && self.outcomes.contains_key(&req_id) {
+                    out.count("store.lookups_dup_replies", 1.0);
+                    return;
+                }
+                if req_id & INTERNAL_REQ_BIT != 0 {
+                    out.count("store.repair_fetches", 1.0);
+                    let o = LookupOutcome {
+                        guid: doc.guid,
+                        doc: Some(doc),
+                        latency: now.since(issued_at),
+                        from_cache,
+                        hops,
+                    };
+                    self.on_internal_outcome(req_id, o, now, out);
+                    return;
+                }
                 out.count("store.lookups_ok", 1.0);
                 out.observe("store.lookup_ms", now.since(issued_at).as_secs_f64() * 1e3);
                 out.observe("store.lookup_hops", hops as f64);
@@ -377,6 +970,22 @@ impl StoreNode {
                 );
             }
             StoreMsg::NotFound { req_id, guid, issued_at } => {
+                self.pending_lookups.remove(&req_id);
+                if req_id & INTERNAL_REQ_BIT == 0 && self.outcomes.contains_key(&req_id) {
+                    out.count("store.lookups_dup_replies", 1.0);
+                    return;
+                }
+                if req_id & INTERNAL_REQ_BIT != 0 {
+                    let o = LookupOutcome {
+                        guid,
+                        doc: None,
+                        latency: now.since(issued_at),
+                        from_cache: false,
+                        hops: 0,
+                    };
+                    self.on_internal_outcome(req_id, o, now, out);
+                    return;
+                }
                 out.count("store.lookups_missing", 1.0);
                 self.outcomes.insert(
                     req_id,
@@ -388,6 +997,9 @@ impl StoreNode {
                         hops: 0,
                     },
                 );
+            }
+            StoreMsg::LocalLookup { guid, req_id } => {
+                self.lookup(guid, req_id, now, out);
             }
         }
     }
@@ -412,6 +1024,14 @@ impl StoreNode {
                 if let Some((doc, from_cache)) =
                     self.local_copy(*guid).filter(|(d, _)| d.version >= *min_version)
                 {
+                    // The intercept consumes the Route without the overlay
+                    // ever seeing it, so the previous hop's forward must
+                    // be acknowledged here — otherwise the hop holds the
+                    // payload as un-acked, conduct-suspects this node, and
+                    // re-routes a duplicate lookup every probe round.
+                    if self.overlay.governed() && from != self.me {
+                        out.send(from, StoreMsg::Overlay(OverlayMsg::RouteAck));
+                    }
                     // Cache along the path walked so far, then move the
                     // copy into the reply (no clone for the common
                     // empty-path case).
@@ -440,15 +1060,20 @@ impl StoreNode {
         let mut oout = Outbox::new();
         let deliveries = self.overlay.handle(now, from, omsg, &mut oout);
         oout.transfer_into(out, StoreMsg::Overlay);
+        self.drain_failures(out);
 
         for d in deliveries {
             match d.payload {
                 StorePayload::Insert { doc } => {
                     let guid = doc.guid;
                     out.count("store.inserts_rooted", 1.0);
-                    for target in self.replica_targets(guid) {
+                    for target in self.placement_targets(guid, &doc) {
                         out.send(target, StoreMsg::ReplicaPut { doc: doc.clone() });
                     }
+                    // The primary always keeps its copy (it is the
+                    // authority); eviction still makes best-effort room.
+                    let old = self.store.get(&guid).map_or(0, |d2| d2.size() as u64);
+                    self.make_room((doc.size() as u64).saturating_sub(old), Priority::High, out);
                     self.put_local(doc);
                     // Backup policy: remote replica as soon as created.
                     if self.backup_policy.is_some() {
@@ -525,9 +1150,11 @@ impl StoreNode {
             // We are the root ourselves.
             if let StorePayload::Insert { doc } = d.payload {
                 let guid = doc.guid;
-                for target in self.replica_targets(guid) {
+                for target in self.placement_targets(guid, &doc) {
                     out.send(target, StoreMsg::ReplicaPut { doc: doc.clone() });
                 }
+                let old = self.store.get(&guid).map_or(0, |d2| d2.size() as u64);
+                self.make_room((doc.size() as u64).saturating_sub(old), Priority::High, out);
                 self.put_local(doc);
             }
         }
@@ -565,16 +1192,14 @@ impl StoreNode {
             if from_cache {
                 out.count("store.cache_served", 1.0);
             }
-            self.outcomes.insert(
-                req_id,
-                LookupOutcome {
-                    guid,
-                    doc: Some(doc),
-                    latency: SimDuration::ZERO,
-                    from_cache,
-                    hops: 0,
-                },
-            );
+            let o = LookupOutcome {
+                guid,
+                doc: Some(doc),
+                latency: SimDuration::ZERO,
+                from_cache,
+                hops: 0,
+            };
+            self.record_outcome(req_id, o, now, out);
             return;
         }
         let payload = StorePayload::Lookup {
@@ -601,31 +1226,44 @@ impl StoreNode {
                     if from_cache {
                         out.count("store.cache_served", 1.0);
                     }
-                    self.outcomes.insert(
-                        req_id,
-                        LookupOutcome {
-                            guid,
-                            doc: Some(doc),
-                            latency: SimDuration::ZERO,
-                            from_cache,
-                            hops: 0,
-                        },
-                    );
+                    let o = LookupOutcome {
+                        guid,
+                        doc: Some(doc),
+                        latency: SimDuration::ZERO,
+                        from_cache,
+                        hops: 0,
+                    };
+                    self.record_outcome(req_id, o, now, out);
                 }
                 None => {
                     out.count("store.lookups_missing", 1.0);
-                    self.outcomes.insert(
-                        req_id,
-                        LookupOutcome {
-                            guid,
-                            doc: None,
-                            latency: SimDuration::ZERO,
-                            from_cache: false,
-                            hops: 0,
-                        },
-                    );
+                    let o = LookupOutcome {
+                        guid,
+                        doc: None,
+                        latency: SimDuration::ZERO,
+                        from_cache: false,
+                        hops: 0,
+                    };
+                    self.record_outcome(req_id, o, now, out);
                 }
             }
+        } else {
+            // In flight toward the responsible node: arm the retry plane.
+            // An unanswered lookup (crashed holder, lost carrier) is
+            // re-routed after a jittered deadline and reported as a
+            // timeout once the attempt budget is spent.
+            let delay = self.retry_delay(0);
+            self.pending_lookups.insert(
+                req_id,
+                PendingLookup {
+                    guid,
+                    min_version,
+                    issued_at: now,
+                    attempts: 0,
+                    deadline: now + delay,
+                },
+            );
+            out.timer(delay, timers::LOOKUP_RETRY);
         }
     }
 }
@@ -760,6 +1398,76 @@ mod tests {
     }
 
     #[test]
+    fn cache_intercept_acks_the_forward() {
+        // Under the governor every accepted forward must be acknowledged,
+        // *including* lookups the cache intercept consumes before the
+        // overlay sees them. An un-acked forward is held by the previous
+        // hop and re-routed every probe round: the same lookup is served
+        // again and again, and an honest cache-serving node accumulates
+        // conduct suspicion.
+        let overlay = OverlayNode::new(Key(0x100), n(0), None, SimDuration::ZERO)
+            .with_governor(gloss_overlay::GovernorConfig::default(), 7);
+        let mut s = StoreNode::new(n(0), overlay, StoreConfig::default(), Vec::new());
+        let d = doc("popular");
+        let mut out = Outbox::new();
+        s.handle(SimTime::ZERO, n(5), StoreMsg::CachePush { doc: d.clone() }, &mut out);
+        let lookup = StoreMsg::Overlay(OverlayMsg::Route {
+            target: d.guid,
+            payload: StorePayload::Lookup {
+                guid: d.guid,
+                reply_to: n(9),
+                req_id: 4,
+                issued_at: SimTime::ZERO,
+                path: vec![n(9), n(7)],
+                min_version: 0,
+            },
+            origin: n(9),
+            hops: 2,
+        });
+        let mut out = Outbox::new();
+        s.handle(SimTime::from_millis(10), n(7), lookup, &mut out);
+        assert!(
+            out.sends().iter().any(|(t, m, _)| *t == n(7)
+                && matches!(m, StoreMsg::Overlay(OverlayMsg::RouteAck))),
+            "cache intercept must ack the previous hop's forward"
+        );
+    }
+
+    #[test]
+    fn duplicate_replies_keep_the_first_outcome() {
+        // Re-routing delivers at least once; a request can see a second
+        // reply (slow original racing its own re-route). The first
+        // conclusion wins — a late duplicate must not overwrite the
+        // recorded latency.
+        let mut s = store_node(0x100, 0, StoreConfig::default());
+        let d = doc("raced");
+        let reply = |at_ms: u64, out: &mut Outbox<StoreMsg>, s: &mut StoreNode| {
+            s.handle(
+                SimTime::from_millis(at_ms),
+                n(3),
+                StoreMsg::FetchReply {
+                    req_id: 8,
+                    doc: d.clone(),
+                    issued_at: SimTime::ZERO,
+                    from_cache: false,
+                    hops: 2,
+                },
+                out,
+            );
+        };
+        let mut out = Outbox::new();
+        reply(10, &mut out, &mut s);
+        assert_eq!(s.outcomes[&8].latency, SimDuration::from_millis(10));
+        let mut out = Outbox::new();
+        reply(5000, &mut out, &mut s);
+        assert_eq!(
+            s.outcomes[&8].latency,
+            SimDuration::from_millis(10),
+            "duplicate reply overwrote the concluded outcome"
+        );
+    }
+
+    #[test]
     fn heal_audits_and_repairs() {
         let mut s = store_node(0x100, 0, StoreConfig { replicas: 2, ..Default::default() });
         s.overlay.learn(KeyedNode::new(Key(0x110), n(1)));
@@ -812,6 +1520,264 @@ mod tests {
         let mut out = Outbox::new();
         s.handle(SimTime::ZERO, n(2), StoreMsg::HaveReplica { guid: d.guid, version: 2 }, &mut out);
         assert!(matches!(out.sends()[0].1, StoreMsg::HaveReplicaAck { have: false, .. }));
+    }
+
+    fn site_with(node: u32, region: &str, capacity: NodeCapacity) -> NodeSite {
+        NodeSite::new(n(node), gloss_sim::GeoPoint::new(0.0, 0.0), region).with_capacity(capacity)
+    }
+
+    #[test]
+    fn tier_targets_follow_priority() {
+        let s = store_node(0x100, 0, StoreConfig { replicas: 3, ..Default::default() });
+        assert_eq!(s.target_replicas(Priority::Normal), 3);
+        assert_eq!(s.target_replicas(Priority::High), 4);
+        assert_eq!(s.target_replicas(Priority::Low), 2);
+        let s = store_node(
+            0x100,
+            0,
+            StoreConfig { replicas: 1, tier_low_cut: 3, ..Default::default() },
+        );
+        assert_eq!(s.target_replicas(Priority::Low), 1, "low tier never drops below one copy");
+    }
+
+    #[test]
+    fn replica_put_is_acked_with_usage() {
+        let mut s = store_node(0x100, 0, StoreConfig::default());
+        let d = doc("acked");
+        let size = d.size() as u64;
+        let mut out = Outbox::new();
+        s.handle(SimTime::ZERO, n(5), StoreMsg::ReplicaPut { doc: d.clone() }, &mut out);
+        match out.sends().iter().find(|(t, _, _)| *t == n(5)) {
+            Some((_, StoreMsg::ReplicaPutAck { guid, accepted, used_bytes }, _)) => {
+                assert_eq!(*guid, d.guid);
+                assert!(accepted);
+                assert_eq!(*used_bytes, size);
+            }
+            other => panic!("expected ReplicaPutAck, got {other:?}"),
+        }
+        assert_eq!(s.used_bytes(), size);
+    }
+
+    #[test]
+    fn replica_put_rejected_when_quota_exhausted() {
+        let cap = NodeCapacity { max_bytes: 16, reserved_bytes: 0, min_free_bytes: 0 };
+        let overlay = OverlayNode::new(Key(0x100), n(0), None, SimDuration::ZERO);
+        let mut s = StoreNode::new(
+            n(0),
+            overlay,
+            StoreConfig { eviction_enabled: false, ..Default::default() },
+            vec![site_with(0, "scotland", cap)],
+        );
+        let d = doc("too-big-to-host"); // content > 16 bytes
+        let mut out = Outbox::new();
+        s.handle(SimTime::ZERO, n(5), StoreMsg::ReplicaPut { doc: d.clone() }, &mut out);
+        match &out.sends()[0].1 {
+            StoreMsg::ReplicaPutAck { accepted, used_bytes, .. } => {
+                assert!(!accepted, "over-quota put must be refused");
+                assert_eq!(*used_bytes, 0);
+            }
+            other => panic!("expected ReplicaPutAck, got {other:?}"),
+        }
+        assert!(!s.holds(d.guid));
+    }
+
+    #[test]
+    fn eviction_sheds_lower_priority_non_primary_docs() {
+        // Budget fits one ~30-byte doc; the node is NOT primary for the
+        // low-priority resident (a peer sits exactly on its guid).
+        let low = doc("low-doc").with_priority(Priority::Low);
+        let high = doc("high-doc").with_priority(Priority::High);
+        let cap = NodeCapacity {
+            max_bytes: low.size().max(high.size()) as u64 + 8,
+            reserved_bytes: 0,
+            min_free_bytes: 0,
+        };
+        let overlay = OverlayNode::new(Key(0x100), n(0), None, SimDuration::ZERO);
+        let mut s =
+            StoreNode::new(n(0), overlay, StoreConfig::default(), vec![site_with(0, "x", cap)]);
+        s.overlay.learn(KeyedNode::new(low.guid, n(1)));
+        let mut out = Outbox::new();
+        s.handle(SimTime::ZERO, n(5), StoreMsg::ReplicaPut { doc: low.clone() }, &mut out);
+        assert!(s.holds(low.guid));
+        let mut out = Outbox::new();
+        s.handle(SimTime::ZERO, n(5), StoreMsg::ReplicaPut { doc: high.clone() }, &mut out);
+        assert!(s.holds(high.guid), "high-priority replica admitted");
+        assert!(!s.holds(low.guid), "low-priority replica evicted to make room");
+        assert!(out.counts().iter().any(|(name, _)| name == "store.evictions"));
+    }
+
+    #[test]
+    fn acks_build_replica_locations_and_refusals_unbuild_them() {
+        let mut s = store_node(0x100, 0, StoreConfig::default());
+        let d = doc("tracked");
+        let mut out = Outbox::new();
+        s.handle(
+            SimTime::ZERO,
+            n(1),
+            StoreMsg::ReplicaPutAck { guid: d.guid, accepted: true, used_bytes: 64 },
+            &mut out,
+        );
+        assert_eq!(s.known_replicas(d.guid), 1);
+        s.handle(
+            SimTime::ZERO,
+            n(1),
+            StoreMsg::ReplicaPutAck { guid: d.guid, accepted: false, used_bytes: 512 },
+            &mut out,
+        );
+        assert_eq!(s.known_replicas(d.guid), 0, "a refusal withdraws the holder");
+    }
+
+    #[test]
+    fn crash_purges_location_maps() {
+        let mut s = store_node(0x100, 0, StoreConfig::default());
+        s.overlay.learn(KeyedNode::new(Key(0x110), n(1)));
+        let d = doc("purge-me");
+        let mut out = Outbox::new();
+        s.insert(d.clone(), &mut out);
+        s.handle(
+            SimTime::ZERO,
+            n(1),
+            StoreMsg::ReplicaPutAck { guid: d.guid, accepted: true, used_bytes: 64 },
+            &mut out,
+        );
+        assert_eq!(s.known_replicas(d.guid), 1);
+        // The overlay declares n1 dead; the next store-layer activity
+        // drains the failure and purges every map keyed by it.
+        let mut oout = Outbox::new();
+        s.overlay.declare_failed(n(1), &mut oout);
+        let mut out = Outbox::new();
+        s.drain_failures(&mut out);
+        assert_eq!(s.known_replicas(d.guid), 0, "dead holder purged from location map");
+        assert!(out.counts().iter().any(|(name, _)| name == "store.locations_purged"));
+    }
+
+    #[test]
+    fn repair_tick_replaces_lost_replicas() {
+        let d = doc("under-replicated");
+        let mut s = store_node(
+            d.guid.0,
+            0,
+            StoreConfig { replicas: 3, repair_rate_per_sec: 100.0, ..Default::default() },
+        );
+        s.overlay.learn(KeyedNode::new(Key(d.guid.0 ^ 0x10), n(1)));
+        s.overlay.learn(KeyedNode::new(Key(d.guid.0 ^ 0x20), n(2)));
+        let mut out = Outbox::new();
+        s.insert(d.clone(), &mut out);
+        // Only n1 acknowledged; n2's put was lost. Target 3, have 2.
+        s.handle(
+            SimTime::ZERO,
+            n(1),
+            StoreMsg::ReplicaPutAck { guid: d.guid, accepted: true, used_bytes: 64 },
+            &mut out,
+        );
+        let mut out = Outbox::new();
+        s.on_timer(SimTime::from_secs(10), timers::REPAIR, &mut out);
+        let repairs: Vec<NodeIndex> = out
+            .sends()
+            .iter()
+            .filter(|(_, m, _)| matches!(m, StoreMsg::ReplicaPut { .. }))
+            .map(|(t, _, _)| *t)
+            .collect();
+        assert_eq!(repairs, vec![n(2)], "the unacknowledged slot is re-placed");
+        assert!(out.counts().iter().any(|(name, _)| name == "store.repair_puts"));
+    }
+
+    #[test]
+    fn lookup_times_out_after_bounded_retries() {
+        let mut s = store_node(0x100, 0, StoreConfig { lookup_retries: 2, ..Default::default() });
+        // A peer sits on the guid, so the lookup routes away and nobody
+        // ever answers.
+        let guid = Key::hash_of_str("silent");
+        s.overlay.learn(KeyedNode::new(guid, n(1)));
+        let mut out = Outbox::new();
+        s.lookup(guid, 7, SimTime::ZERO, &mut out);
+        assert!(!s.outcomes.contains_key(&7), "in flight");
+        assert!(
+            out.timers().iter().any(|(_, tag)| *tag == timers::LOOKUP_RETRY),
+            "retry deadline armed"
+        );
+        // Sweep far past every (jittered, doubling) deadline each time:
+        // two retries, then the timeout outcome.
+        let mut retried = 0u32;
+        for i in 1..=4u64 {
+            let mut out = Outbox::new();
+            s.on_timer(SimTime::from_secs(i * 60), timers::LOOKUP_RETRY, &mut out);
+            retried +=
+                out.counts().iter().filter(|(name, _)| name == "store.lookups_retried").count()
+                    as u32;
+            if s.outcomes.contains_key(&7) {
+                break;
+            }
+        }
+        assert_eq!(retried, 2, "bounded retry budget");
+        let o = s.outcomes.get(&7).expect("timeout outcome recorded");
+        assert!(o.doc.is_none());
+        assert!(o.latency >= SimDuration::from_secs(60));
+    }
+
+    #[test]
+    fn fetch_reply_cancels_pending_retry() {
+        let mut s = store_node(0x100, 0, StoreConfig::default());
+        let guid = Key::hash_of_str("answered");
+        s.overlay.learn(KeyedNode::new(guid, n(1)));
+        let mut out = Outbox::new();
+        s.lookup(guid, 8, SimTime::ZERO, &mut out);
+        let d = Document::new("answered", b"late but fine".to_vec());
+        let mut out = Outbox::new();
+        s.handle(
+            SimTime::from_millis(300),
+            n(1),
+            StoreMsg::FetchReply {
+                req_id: 8,
+                doc: d,
+                issued_at: SimTime::ZERO,
+                from_cache: false,
+                hops: 2,
+            },
+            &mut out,
+        );
+        // A later sweep must not retry or overwrite the outcome.
+        let mut out = Outbox::new();
+        s.on_timer(SimTime::from_secs(600), timers::LOOKUP_RETRY, &mut out);
+        assert!(out.sends().is_empty());
+        assert!(s.outcomes[&8].doc.is_some());
+    }
+
+    #[test]
+    fn fragment_audit_reencodes_missing_shards() {
+        let mut s = store_node(
+            0x100,
+            0,
+            StoreConfig { replicas: 1, repair_rate_per_sec: 100.0, ..Default::default() },
+        );
+        // The node is primary for everything (no peers): store the
+        // manifest and all-but-one shard locally, then let the repair
+        // tick audit and re-create the missing one.
+        let content: Vec<u8> = (0..200u8).collect();
+        let code = crate::erasure::ErasureCode::new(3, 5).unwrap();
+        let shards = code.encode(&content);
+        let manifest = FragmentManifest { base: "obj".into(), m: 3, n: 5, len: content.len() };
+        let mut out = Outbox::new();
+        s.insert(manifest.to_doc(Priority::Normal), &mut out);
+        for (i, bytes) in shards.iter().enumerate() {
+            if i == 2 {
+                continue; // lost shard
+            }
+            let d = Document::new(FragmentManifest::shard_name("obj", i), bytes.clone());
+            s.insert(d, &mut out);
+        }
+        let missing_guid = Key::hash_of_str(&FragmentManifest::shard_name("obj", 2));
+        assert!(!s.holds(missing_guid));
+        let mut out = Outbox::new();
+        s.on_timer(SimTime::from_secs(10), timers::REPAIR, &mut out);
+        assert!(s.holds(missing_guid), "audit re-encoded and re-inserted the lost shard");
+        let repaired = s.store.get(&missing_guid).unwrap();
+        assert_eq!(
+            repaired.content.as_ref(),
+            shards[2].as_slice(),
+            "systematic re-encode reproduces the original bytes exactly"
+        );
+        assert!(out.counts().iter().any(|(name, _)| name == "store.repair_shards"));
     }
 
     #[test]

@@ -6,7 +6,7 @@
 #   scripts/bench_record.sh [output.json] [bench-name-filter...]
 #
 # Examples:
-#   scripts/bench_record.sh                          # all benches -> BENCH_pr9.json
+#   scripts/bench_record.sh                          # all benches -> BENCH_pr10.json
 #   scripts/bench_record.sh out.json e1_ c7_         # only e1_* and c7_* benches
 #   scripts/bench_record.sh BENCH_pr3.json s3_ s4_ s5_ c1_filter
 #                                                    # the PR 3 scale/churn/mobility set
@@ -19,18 +19,21 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_pr9.json}"
+out="${1:-BENCH_pr10.json}"
 shift $(( $# > 0 ? 1 : 0 ))
 
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
 CRITERION_JSON="$tmp" cargo bench --bench experiments -- "$@"
-# The delta-plane bench lives in its own file (its APIs postdate the
-# seed baseline); CRITERION_JSON appends, so both land in one document.
-# Skip it when a filter is given that can't match its benchmarks.
+# The delta-plane and repair benches live in their own files (their APIs
+# postdate the seed baseline); CRITERION_JSON appends, so all land in
+# one document. Skip each when a filter is given that can't match it.
 if [ $# -eq 0 ] || printf '%s\n' "$@" | grep -q '^c18_'; then
     CRITERION_JSON="$tmp" cargo bench --bench knowledge_delta -- "$@" || true
+fi
+if [ $# -eq 0 ] || printf '%s\n' "$@" | grep -qE '^(c19_|s8_)'; then
+    CRITERION_JSON="$tmp" cargo bench --bench repair -- "$@" || true
 fi
 
 if [ ! -s "$tmp" ]; then
